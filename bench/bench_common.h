@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harnesses: default dataset scales
+// (chosen so the full bench suite finishes in minutes on a laptop) and
+// common formatting.
+#ifndef RDFPARAMS_BENCH_BENCH_COMMON_H_
+#define RDFPARAMS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "bsbm/generator.h"
+#include "snb/generator.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace rdfparams::bench {
+
+/// Standard BSBM scale for experiments (~0.5M triples).
+inline bsbm::GeneratorConfig DefaultBsbmConfig(uint64_t products = 6000,
+                                               uint64_t seed = 42) {
+  bsbm::GeneratorConfig config;
+  config.num_products = products;
+  // Depth 4 with branching 4 gives 341 types (256 leaves); Q4's cost is
+  // super-linear in the subtree size (features x offers), so generic types
+  // cost orders of magnitude more than leaves — the regime of E1/E3.
+  config.type_depth = 4;
+  config.type_branching = 4;
+  config.offers_per_product = 3.0;
+  config.seed = seed;
+  return config;
+}
+
+/// Standard SNB scale for experiments (~0.6M triples).
+inline snb::GeneratorConfig DefaultSnbConfig(uint64_t persons = 8000,
+                                             uint64_t seed = 7) {
+  snb::GeneratorConfig config;
+  config.num_persons = persons;
+  config.seed = seed;
+  return config;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+inline std::string Dur(double seconds) {
+  return util::FormatDuration(seconds);
+}
+
+}  // namespace rdfparams::bench
+
+#endif  // RDFPARAMS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,127 @@
+// Microbenchmarks for the optimizer and executor: DP join ordering cost,
+// hash-join throughput, full template bind+optimize+execute round trips.
+#include <benchmark/benchmark.h>
+
+#include "bsbm/generator.h"
+#include "bsbm/queries.h"
+#include "core/workload.h"
+#include "engine/executor.h"
+#include "optimizer/optimizer.h"
+#include "sparql/parser.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rdfparams;
+
+struct Fixture {
+  bsbm::Dataset ds;
+  Fixture() {
+    bsbm::GeneratorConfig config;
+    config.num_products = 2000;  // keeps the Q4-at-root case ~1s per run
+    config.offers_per_product = 3.0;
+    config.seed = 9;
+    ds = bsbm::Generate(config);
+  }
+  static Fixture& Get() {
+    static Fixture instance;
+    return instance;
+  }
+};
+
+void BM_OptimizeQ4(benchmark::State& state) {
+  auto& f = Fixture::Get();
+  auto q4 = bsbm::MakeQ4(f.ds);
+  sparql::ParameterBinding b{{f.ds.types[0].id}};
+  auto q = q4.Bind(b, f.ds.dict);
+  for (auto _ : state) {
+    auto plan = opt::Optimize(*q, f.ds.store, f.ds.dict);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OptimizeQ4);
+
+void BM_OptimizeChainDp(benchmark::State& state) {
+  // DP over an n-pattern chain: measures join-order enumeration cost.
+  auto& f = Fixture::Get();
+  int n = static_cast<int>(state.range(0));
+  std::string text = "SELECT * WHERE { ";
+  const char* preds[] = {"http://rdfparams.org/bsbm/vocabulary#productFeature",
+                         "http://rdfparams.org/bsbm/vocabulary#producer",
+                         "http://rdfparams.org/bsbm/vocabulary#product",
+                         "http://rdfparams.org/bsbm/vocabulary#vendor"};
+  for (int k = 0; k < n; ++k) {
+    text += "?v" + std::to_string(k) + " <" + preds[k % 4] + "> ?v" +
+            std::to_string(k + 1) + " . ";
+  }
+  text += "}";
+  auto q = sparql::ParseQuery(text);
+  for (auto _ : state) {
+    auto plan = opt::Optimize(*q, f.ds.store, f.ds.dict);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_OptimizeChainDp)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_ExecuteQ4Leaf(benchmark::State& state) {
+  auto& f = Fixture::Get();
+  auto q4 = bsbm::MakeQ4(f.ds);
+  sparql::ParameterBinding b{{f.ds.LeafTypeIds()[0]}};
+  auto q = q4.Bind(b, f.ds.dict);
+  auto plan = opt::Optimize(*q, f.ds.store, f.ds.dict);
+  engine::Executor exec(f.ds.store, &f.ds.dict);
+  for (auto _ : state) {
+    engine::ExecutionStats stats;
+    auto result = exec.Execute(*q, *plan->root, &stats);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ExecuteQ4Leaf);
+
+void BM_ExecuteQ4Root(benchmark::State& state) {
+  auto& f = Fixture::Get();
+  auto q4 = bsbm::MakeQ4(f.ds);
+  sparql::ParameterBinding b{{f.ds.types[0].id}};
+  auto q = q4.Bind(b, f.ds.dict);
+  auto plan = opt::Optimize(*q, f.ds.store, f.ds.dict);
+  engine::Executor exec(f.ds.store, &f.ds.dict);
+  for (auto _ : state) {
+    engine::ExecutionStats stats;
+    auto result = exec.Execute(*q, *plan->root, &stats);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ExecuteQ4Root);
+
+void BM_WorkloadRunOnce(benchmark::State& state) {
+  auto& f = Fixture::Get();
+  auto q2 = bsbm::MakeQ2(f.ds);
+  core::WorkloadRunner runner(f.ds.store, &f.ds.dict);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    sparql::ParameterBinding b{
+        {f.ds.products[static_cast<size_t>(
+            rng.Uniform(f.ds.products.size()))]}};
+    auto obs = runner.RunOnce(q2, b);
+    benchmark::DoNotOptimize(obs.ok());
+  }
+}
+BENCHMARK(BM_WorkloadRunOnce);
+
+void BM_HashJoinTwoScans(benchmark::State& state) {
+  auto& f = Fixture::Get();
+  auto q = sparql::ParseQuery(
+      "SELECT * WHERE { ?offer "
+      "<http://rdfparams.org/bsbm/vocabulary#product> ?p . ?offer "
+      "<http://rdfparams.org/bsbm/vocabulary#price> ?price . }");
+  engine::Executor exec(f.ds.store, &f.ds.dict);
+  for (auto _ : state) {
+    engine::ExecutionStats stats;
+    auto result = exec.Run(*q, &stats);
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+}
+BENCHMARK(BM_HashJoinTwoScans);
+
+}  // namespace

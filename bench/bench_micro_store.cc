@@ -1,0 +1,134 @@
+// Microbenchmarks for the RDF substrate: dictionary interning, store
+// finalization (index builds), pattern counting and range scans.
+#include <benchmark/benchmark.h>
+
+#include "rdf/dictionary.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple_store.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rdfparams;
+
+rdf::TripleStore MakeStore(size_t n, rdf::Dictionary* dict) {
+  util::Rng rng(17);
+  rdf::TripleStore store;
+  for (size_t i = 0; i < n; ++i) {
+    store.Add(dict->InternIri("http://e/" +
+                              std::to_string(rng.Uniform(n / 4 + 1))),
+              dict->InternIri("http://p/" + std::to_string(rng.Uniform(16))),
+              dict->InternIri("http://e/" +
+                              std::to_string(rng.Uniform(n / 4 + 1))));
+  }
+  store.Finalize();
+  return store;
+}
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdf::Dictionary dict;
+    state.ResumeTiming();
+    for (int k = 0; k < 1000; ++k) {
+      benchmark::DoNotOptimize(
+          dict.InternIri("http://entity/" + std::to_string(k)));
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_DictionaryLookupHit(benchmark::State& state) {
+  rdf::Dictionary dict;
+  for (int k = 0; k < 10000; ++k) {
+    dict.InternIri("http://entity/" + std::to_string(k));
+  }
+  util::Rng rng(3);
+  for (auto _ : state) {
+    auto id = dict.Find(rdf::Term::Iri(
+        "http://entity/" + std::to_string(rng.Uniform(10000))));
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DictionaryLookupHit);
+
+void BM_StoreFinalize(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(11);
+  std::vector<rdf::Triple> triples;
+  triples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    triples.emplace_back(static_cast<rdf::TermId>(rng.Uniform(n / 4 + 1)),
+                         static_cast<rdf::TermId>(rng.Uniform(16)),
+                         static_cast<rdf::TermId>(rng.Uniform(n / 4 + 1)));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdf::TripleStore store;
+    for (const rdf::Triple& t : triples) store.Add(t);
+    state.ResumeTiming();
+    store.Finalize();
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StoreFinalize)->Arg(10000)->Arg(100000);
+
+void BM_CountPattern(benchmark::State& state) {
+  rdf::Dictionary dict;
+  rdf::TripleStore store = MakeStore(200000, &dict);
+  util::Rng rng(5);
+  auto preds = store.Predicates();
+  for (auto _ : state) {
+    rdf::TermId p = preds[static_cast<size_t>(rng.Uniform(preds.size()))];
+    benchmark::DoNotOptimize(
+        store.CountPattern(rdf::kWildcardId, p, rdf::kWildcardId));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CountPattern);
+
+void BM_RangeScan(benchmark::State& state) {
+  rdf::Dictionary dict;
+  rdf::TripleStore store = MakeStore(200000, &dict);
+  auto preds = store.Predicates();
+  size_t k = 0;
+  for (auto _ : state) {
+    rdf::TermId p = preds[k++ % preds.size()];
+    uint64_t count = 0;
+    for (const rdf::Triple& t :
+         store.Range(rdf::IndexOrder::kPOS, rdf::kWildcardId, p,
+                     rdf::kWildcardId)) {
+      count += t.o;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_RangeScan);
+
+void BM_NTriplesParse(benchmark::State& state) {
+  std::string doc;
+  for (int i = 0; i < 2000; ++i) {
+    doc += "<http://e/" + std::to_string(i) + "> <http://p/name> \"entity " +
+           std::to_string(i) + "\" .\n";
+  }
+  for (auto _ : state) {
+    size_t count = 0;
+    auto st = rdf::ParseNTriples(
+        doc, [&](const rdf::Term&, const rdf::Term&, const rdf::Term&) {
+          ++count;
+        });
+    benchmark::DoNotOptimize(st.ok());
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_NTriplesParse);
+
+}  // namespace

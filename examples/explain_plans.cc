@@ -1,0 +1,124 @@
+// Plan explorer: EXPLAIN the optimal plan of any built-in template under a
+// sweep of its parameter domain, showing exactly where the optimizer
+// switches join orders (the paper's condition (c) boundaries).
+//
+//   ./explain_plans [--workload=bsbm|snb] [--query=4] [--max=12]
+#include <cstdio>
+#include <iostream>
+
+#include "bsbm/generator.h"
+#include "bsbm/queries.h"
+#include "core/parameter_domain.h"
+#include "optimizer/optimizer.h"
+#include "snb/generator.h"
+#include "snb/queries.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+using namespace rdfparams;
+
+namespace {
+
+void ExplainSweep(const sparql::QueryTemplate& tmpl,
+                  const core::ParameterDomain& domain,
+                  const rdf::TripleStore& store, rdf::Dictionary& dict,
+                  size_t max_shown) {
+  std::printf("template %s, parameters:", tmpl.name().c_str());
+  for (const auto& p : tmpl.parameter_names()) std::printf(" %%%s", p.c_str());
+  std::printf("\n%s\n\n", tmpl.query().ToString().c_str());
+
+  auto bindings = domain.Enumerate(max_shown);
+  std::string last_fingerprint;
+  for (const auto& binding : bindings) {
+    auto q = tmpl.Bind(binding, dict);
+    if (!q.ok()) continue;
+    auto plan = opt::Optimize(*q, store, dict);
+    if (!plan.ok()) continue;
+    std::string params;
+    for (size_t i = 0; i < binding.values.size(); ++i) {
+      if (i > 0) params += ", ";
+      params += dict.ToString(binding.values[i]);
+    }
+    bool flipped = plan->fingerprint != last_fingerprint;
+    std::printf("%s params = [%s]\n", flipped ? "*" : " ", params.c_str());
+    std::printf("   plan %s   est C_out %.4g\n", plan->fingerprint.c_str(),
+                plan->est_cout);
+    if (flipped) {
+      std::printf("%s", plan->root->Explain(*q).c_str());
+      last_fingerprint = plan->fingerprint;
+    }
+  }
+  std::printf("\n('*' marks bindings where the optimal plan changed)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "bsbm";
+  int64_t query = 4;
+  int64_t max_shown = 12;
+  util::FlagParser flags;
+  flags.AddString("workload", &workload, "bsbm or snb");
+  flags.AddInt64("query", &query, "query number within the workload");
+  flags.AddInt64("max", &max_shown, "max bindings to explain");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok() || flags.help_requested()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return flags.help_requested() ? 0 : 1;
+  }
+
+  if (workload == "bsbm") {
+    bsbm::GeneratorConfig config;
+    config.num_products = 1500;
+    bsbm::Dataset ds = bsbm::Generate(config);
+    auto templates = bsbm::AllTemplates(ds);
+    if (query < 1 || static_cast<size_t>(query) > templates.size()) {
+      std::cerr << "query must be 1.." << templates.size() << "\n";
+      return 1;
+    }
+    const auto& tmpl = templates[static_cast<size_t>(query - 1)];
+    core::ParameterDomain domain;
+    for (const std::string& p : tmpl.parameter_names()) {
+      if (p == "type" || p == "ProductType") {
+        domain.AddSingle(p, bsbm::TypeDomain(ds));
+      } else if (p == "product") {
+        domain.AddSingle(p, bsbm::ProductDomain(ds));
+      } else if (p == "feature") {
+        domain.AddSingle(p, bsbm::FeatureDomain(ds));
+      }
+    }
+    ExplainSweep(tmpl, domain, ds.store, ds.dict,
+                 static_cast<size_t>(max_shown));
+    return 0;
+  }
+  if (workload == "snb") {
+    snb::GeneratorConfig config;
+    config.num_persons = 2500;
+    snb::Dataset ds = snb::Generate(config);
+    auto templates = snb::AllTemplates(ds);
+    if (query < 1 || static_cast<size_t>(query) > templates.size()) {
+      std::cerr << "query must be 1.." << templates.size() << "\n";
+      return 1;
+    }
+    const auto& tmpl = templates[static_cast<size_t>(query - 1)];
+    core::ParameterDomain domain;
+    for (const std::string& p : tmpl.parameter_names()) {
+      if (p == "person") {
+        std::vector<rdf::TermId> one(ds.persons.begin(),
+                                     ds.persons.begin() + 1);
+        domain.AddSingle(p, one);
+      } else if (p == "name") {
+        domain.AddSingle(p, snb::NameDomain(ds));
+      } else if (p == "country" || p == "countryX" || p == "countryY") {
+        domain.AddSingle(p, snb::CountryDomain(ds));
+      } else if (p == "tag") {
+        domain.AddSingle(p, snb::TagDomain(ds));
+      }
+    }
+    ExplainSweep(tmpl, domain, ds.store, ds.dict,
+                 static_cast<size_t>(max_shown));
+    return 0;
+  }
+  std::cerr << "unknown workload '" << workload << "'\n";
+  return 1;
+}

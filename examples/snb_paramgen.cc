@@ -1,0 +1,90 @@
+// SNB parameter-generation demo (the paper's E4 scenario): LDBC-style Q3
+// ("friends-of-friends who visited countries X and Y") flips its optimal
+// plan with the country pair. This example classifies all country pairs
+// into plan classes and prints representative pairs per class — the
+// "countries that are rarely and frequently visited together" split the
+// paper asks the workload generator to sample independently.
+//
+//   ./snb_paramgen [--persons=3000] [--seed=7]
+#include <cstdio>
+#include <iostream>
+
+#include "core/plan_classifier.h"
+#include "core/workload.h"
+#include "snb/generator.h"
+#include "snb/queries.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace rdfparams;
+
+int main(int argc, char** argv) {
+  int64_t persons = 3000;
+  int64_t seed = 7;
+  util::FlagParser flags;
+  flags.AddInt64("persons", &persons, "number of persons");
+  flags.AddInt64("seed", &seed, "generator seed");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok() || flags.help_requested()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return flags.help_requested() ? 0 : 1;
+  }
+
+  snb::GeneratorConfig config;
+  config.num_persons = static_cast<uint64_t>(persons);
+  config.seed = static_cast<uint64_t>(seed);
+  std::printf("generating social network (%lld persons)...\n",
+              static_cast<long long>(persons));
+  snb::Dataset ds = snb::Generate(config);
+  std::printf("  %s triples, %zu posts, %zu countries\n\n",
+              util::FormatCount(ds.store.size()).c_str(), ds.posts.size(),
+              ds.countries.size());
+
+  auto q3 = snb::MakeQ3(ds);
+
+  // Domain: a few probe persons x all unordered country pairs.
+  core::ParameterDomain domain;
+  std::vector<rdf::TermId> probe(ds.persons.begin(), ds.persons.begin() + 2);
+  domain.AddSingle("person", probe);
+  std::vector<std::vector<rdf::TermId>> pairs;
+  for (const auto& b : snb::CountryPairDomain(ds)) pairs.push_back(b.values);
+  domain.AddTuples({"countryX", "countryY"}, pairs);
+
+  core::ClassifyOptions options;
+  options.max_candidates = 992;  // 2 persons x 496 pairs
+  auto classes =
+      core::ClassifyParameters(q3, domain, ds.store, ds.dict, options);
+  if (!classes.ok()) {
+    std::cerr << classes.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::printf("Q3 parameter classes over %llu candidate bindings:\n\n",
+              static_cast<unsigned long long>(classes->num_candidates));
+  util::TablePrinter table(
+      {"class", "share", "plan fingerprint", "bucket", "example pair"});
+  int idx = 0;
+  for (const core::PlanClass& cls : classes->classes) {
+    if (idx >= 8) break;
+    const auto& rep = cls.representative;
+    // rep.values = {person, countryX, countryY}
+    std::string example =
+        ds.dict.term(rep.values[1]).lexical.substr(
+            std::string("http://rdfparams.org/snb/instances/Country_").size()) +
+        " + " +
+        ds.dict.term(rep.values[2]).lexical.substr(
+            std::string("http://rdfparams.org/snb/instances/Country_").size());
+    table.AddRow({"S" + std::to_string(idx++),
+                  util::StringPrintf("%.1f%%", cls.fraction * 100),
+                  cls.fingerprint, std::to_string(cls.cost_bucket), example});
+  }
+  std::printf("%s", table.ToText().c_str());
+
+  std::printf(
+      "\nDistinct plan shapes across classes confirm E4: for frequently\n"
+      "co-visited pairs the optimizer expands from the person's friends,\n"
+      "for rare pairs it starts from the country-visit intersection.\n"
+      "A workload generator should sample each class separately.\n");
+  return 0;
+}

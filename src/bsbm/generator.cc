@@ -1,0 +1,286 @@
+#include "bsbm/generator.h"
+
+#include <cmath>
+#include <deque>
+
+#include "rdf/vocab.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace rdfparams::bsbm {
+
+using rdf::Term;
+using rdf::TermId;
+
+Vocabulary Vocabulary::Default() {
+  const std::string ns(rdf::vocab::kBsbmNs);
+  Vocabulary v;
+  v.rdf_type = std::string(rdf::vocab::kRdfType);
+  v.rdfs_label = std::string(rdf::vocab::kRdfsLabel);
+  v.rdfs_subclass_of = std::string(rdf::vocab::kRdfsSubClassOf);
+  v.product_type_class = ns + "ProductType";
+  v.product_class = ns + "Product";
+  v.product_feature = ns + "productFeature";
+  v.producer = ns + "producer";
+  v.product = ns + "product";
+  v.vendor = ns + "vendor";
+  v.price = ns + "price";
+  v.review_for = ns + "reviewFor";
+  v.reviewer = ns + "reviewer";
+  v.rating = ns + "rating";
+  v.numeric_prop1 = ns + "productPropertyNumeric1";
+  return v;
+}
+
+std::vector<TermId> Dataset::TypeIds() const {
+  std::vector<TermId> out;
+  out.reserve(types.size());
+  for (const TypeNode& t : types) out.push_back(t.id);
+  return out;
+}
+
+std::vector<TermId> Dataset::LeafTypeIds() const {
+  std::vector<TermId> out;
+  std::vector<char> has_child(types.size(), 0);
+  for (const TypeNode& t : types) {
+    if (t.parent >= 0) has_child[static_cast<size_t>(t.parent)] = 1;
+  }
+  for (size_t i = 0; i < types.size(); ++i) {
+    if (!has_child[i]) out.push_back(types[i].id);
+  }
+  return out;
+}
+
+namespace {
+
+/// Geometric-ish count with the given mean, capped for safety.
+uint64_t SampleCount(util::Rng* rng, double mean, uint64_t cap) {
+  if (mean <= 0) return 0;
+  double x = rng->NextExponential(1.0 / mean);
+  uint64_t n = static_cast<uint64_t>(std::floor(x));
+  return std::min(n, cap);
+}
+
+}  // namespace
+
+Dataset Generate(const GeneratorConfig& config) {
+  Dataset ds;
+  ds.vocab = Vocabulary::Default();
+  const Vocabulary& V = ds.vocab;
+  const std::string inst(rdf::vocab::kBsbmInst);
+
+  util::Rng root_rng(config.seed);
+  util::Rng prod_rng =
+      root_rng.Fork(util::SeedFromLabel(config.seed, "products"));
+  util::Rng offer_rng =
+      root_rng.Fork(util::SeedFromLabel(config.seed, "offers"));
+  util::Rng review_rng =
+      root_rng.Fork(util::SeedFromLabel(config.seed, "reviews"));
+
+  rdf::Dictionary& dict = ds.dict;
+  rdf::TripleStore& store = ds.store;
+
+  TermId p_type = dict.InternIri(V.rdf_type);
+  TermId p_label = dict.InternIri(V.rdfs_label);
+  TermId p_subclass = dict.InternIri(V.rdfs_subclass_of);
+  TermId c_product_type = dict.InternIri(V.product_type_class);
+  TermId c_product = dict.InternIri(V.product_class);
+  TermId p_feature = dict.InternIri(V.product_feature);
+  TermId p_producer = dict.InternIri(V.producer);
+  TermId p_product = dict.InternIri(V.product);
+  TermId p_vendor = dict.InternIri(V.vendor);
+  TermId p_price = dict.InternIri(V.price);
+  TermId p_review_for = dict.InternIri(V.review_for);
+  TermId p_reviewer = dict.InternIri(V.reviewer);
+  TermId p_rating = dict.InternIri(V.rating);
+  TermId p_numeric1 = dict.InternIri(V.numeric_prop1);
+
+  // ---------------------------------------------------------------------
+  // Product type tree (BFS), with per-node feature pools.
+  // ---------------------------------------------------------------------
+  uint32_t feature_counter = 0;
+  auto new_features = [&](TypeNode* node) {
+    for (uint32_t i = 0; i < config.features_per_type; ++i) {
+      TermId f = dict.InternIri(
+          inst + "ProductFeature" + std::to_string(feature_counter++));
+      node->feature_pool.push_back(static_cast<uint32_t>(ds.features.size()));
+      ds.features.push_back(f);
+    }
+  };
+
+  {
+    TypeNode root;
+    root.id = dict.InternIri(inst + "ProductType0");
+    root.level = 0;
+    root.parent = -1;
+    new_features(&root);
+    store.Add(root.id, p_type, c_product_type);
+    store.Add(root.id, p_label,
+              dict.InternLiteral("product type 0 (root)"));
+    ds.types.push_back(std::move(root));
+  }
+  {
+    size_t begin = 0;
+    uint32_t counter = 1;
+    for (uint32_t level = 1; level <= config.type_depth; ++level) {
+      size_t end = ds.types.size();
+      for (size_t parent = begin; parent < end; ++parent) {
+        for (uint32_t child = 0; child < config.type_branching; ++child) {
+          TypeNode node;
+          node.id =
+              dict.InternIri(inst + "ProductType" + std::to_string(counter));
+          node.level = level;
+          node.parent = static_cast<int>(parent);
+          new_features(&node);
+          store.Add(node.id, p_type, c_product_type);
+          store.Add(node.id, p_subclass, ds.types[parent].id);
+          store.Add(node.id, p_label,
+                    dict.InternLiteral(util::StringPrintf(
+                        "product type %u (level %u)", counter, level)));
+          ds.types.push_back(std::move(node));
+          ++counter;
+        }
+      }
+      begin = end;
+    }
+  }
+  // Leaf list for product assignment.
+  std::vector<size_t> leaf_indexes;
+  {
+    std::vector<char> has_child(ds.types.size(), 0);
+    for (const TypeNode& t : ds.types) {
+      if (t.parent >= 0) has_child[static_cast<size_t>(t.parent)] = 1;
+    }
+    for (size_t i = 0; i < ds.types.size(); ++i) {
+      if (!has_child[i]) leaf_indexes.push_back(i);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Producers and vendors.
+  // ---------------------------------------------------------------------
+  uint32_t num_producers =
+      config.num_producers > 0
+          ? config.num_producers
+          : static_cast<uint32_t>(config.num_products / 30 + 1);
+  uint32_t num_vendors =
+      config.num_vendors > 0
+          ? config.num_vendors
+          : static_cast<uint32_t>(config.num_products / 50 + 1);
+  for (uint32_t i = 0; i < num_producers; ++i) {
+    TermId id = dict.InternIri(inst + "Producer" + std::to_string(i));
+    store.Add(id, p_label,
+              dict.InternLiteral("producer " + std::to_string(i)));
+    ds.producers.push_back(id);
+  }
+  for (uint32_t i = 0; i < num_vendors; ++i) {
+    TermId id = dict.InternIri(inst + "Vendor" + std::to_string(i));
+    store.Add(id, p_label, dict.InternLiteral("vendor " + std::to_string(i)));
+    ds.vendors.push_back(id);
+  }
+  uint32_t num_reviewers =
+      static_cast<uint32_t>(config.num_products / 10 + 10);
+  for (uint32_t i = 0; i < num_reviewers; ++i) {
+    ds.reviewers.push_back(
+        dict.InternIri(inst + "Reviewer" + std::to_string(i)));
+  }
+
+  // Producer popularity is skewed (big brands make more products).
+  util::ZipfDistribution producer_zipf(num_producers, 0.8);
+  util::ZipfDistribution vendor_zipf(num_vendors, 0.7);
+  util::ZipfDistribution reviewer_zipf(num_reviewers, 0.9);
+
+  // ---------------------------------------------------------------------
+  // Products with hierarchy-materialized types, features, offers, reviews.
+  // ---------------------------------------------------------------------
+  uint64_t offer_counter = 0;
+  uint64_t review_counter = 0;
+  for (uint64_t i = 0; i < config.num_products; ++i) {
+    TermId prod = dict.InternIri(inst + "Product" + std::to_string(i));
+    ds.products.push_back(prod);
+    store.Add(prod, p_type, c_product);
+    store.Add(prod, p_label,
+              dict.InternLiteral("product " + std::to_string(i)));
+    store.Add(prod, p_numeric1,
+              dict.InternInteger(prod_rng.UniformRange(1, 2000)));
+
+    // Leaf type, uniformly; materialize the whole ancestor chain.
+    size_t leaf =
+        leaf_indexes[static_cast<size_t>(prod_rng.Uniform(leaf_indexes.size()))];
+    for (int node = static_cast<int>(leaf); node >= 0;
+         node = ds.types[static_cast<size_t>(node)].parent) {
+      TypeNode& tn = ds.types[static_cast<size_t>(node)];
+      store.Add(prod, p_type, tn.id);
+      ++tn.num_products;
+    }
+
+    // Features from the pools along the root-to-leaf path, so products of
+    // sibling types share high-level features (similarity!). The number
+    // taken per level varies (0-3 at inner levels, 1-3 at the leaf) and
+    // picks within a pool are Zipf-skewed: some products end up with
+    // several very popular generic features, others with none — this is
+    // what makes the Q2 "similar products" runtime distribution far from
+    // normal (paper E1).
+    {
+      util::ZipfDistribution pool_zipf(config.features_per_type, 1.0);
+      bool at_leaf = true;
+      for (int node = static_cast<int>(leaf); node >= 0;
+           node = ds.types[static_cast<size_t>(node)].parent) {
+        const TypeNode& tn = ds.types[static_cast<size_t>(node)];
+        // Leaf: 1-3 specific features. Inner levels: heavy-tailed count —
+        // most products carry no generic feature of that level, a few carry
+        // many. Generic features are owned by thousands of products, so the
+        // per-product cost of feature-similarity queries (Q2) becomes
+        // mostly-cheap-with-a-long-tail, i.e. far from normal (paper E1).
+        uint64_t take = at_leaf ? 1 + prod_rng.Uniform(3)
+                                : SampleCount(&prod_rng, 0.55, 6);
+        at_leaf = false;
+        for (uint64_t k = 0; k < take; ++k) {
+          size_t pick = static_cast<size_t>(pool_zipf.Sample(&prod_rng) - 1) %
+                        tn.feature_pool.size();
+          uint32_t fi = tn.feature_pool[pick];
+          store.Add(prod, p_feature, ds.features[fi]);
+        }
+      }
+    }
+
+    // Producer.
+    TermId producer =
+        ds.producers[static_cast<size_t>(producer_zipf.Sample(&prod_rng) - 1)];
+    store.Add(prod, p_producer, producer);
+
+    // Offers.
+    uint64_t n_offers = SampleCount(&offer_rng, config.offers_per_product, 40);
+    for (uint64_t k = 0; k < n_offers; ++k) {
+      TermId offer =
+          dict.InternIri(inst + "Offer" + std::to_string(offer_counter++));
+      store.Add(offer, p_product, prod);
+      store.Add(offer, p_vendor,
+                ds.vendors[static_cast<size_t>(
+                    vendor_zipf.Sample(&offer_rng) - 1)]);
+      // Price: log-normal-ish positive value.
+      double price = std::exp(3.0 + 1.2 * offer_rng.NextGaussian());
+      store.Add(offer, p_price,
+                dict.InternDouble(std::round(price * 100.0) / 100.0));
+    }
+
+    // Reviews.
+    uint64_t n_reviews =
+        SampleCount(&review_rng, config.reviews_per_product, 60);
+    for (uint64_t k = 0; k < n_reviews; ++k) {
+      TermId review =
+          dict.InternIri(inst + "Review" + std::to_string(review_counter++));
+      store.Add(review, p_review_for, prod);
+      store.Add(review, p_reviewer,
+                ds.reviewers[static_cast<size_t>(
+                    reviewer_zipf.Sample(&review_rng) - 1)]);
+      store.Add(review, p_rating,
+                dict.InternInteger(review_rng.UniformRange(1, 10)));
+    }
+  }
+
+  store.Finalize();
+  return ds;
+}
+
+}  // namespace rdfparams::bsbm

@@ -1,0 +1,93 @@
+// BSBM-style data generator (Berlin SPARQL Benchmark, e-commerce domain).
+//
+// The structural property the paper's E1/E3 experiments depend on is the
+// *product type hierarchy*: every product carries rdf:type triples for its
+// leaf type and all ancestors, so a type high in the tree matches a large
+// fraction of all products while a leaf matches only a handful. Everything
+// else (producers, features, offers with prices, reviews with ratings)
+// exists so that the BI-style join queries touch realistic amounts of data.
+#ifndef RDFPARAMS_BSBM_GENERATOR_H_
+#define RDFPARAMS_BSBM_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace rdfparams::bsbm {
+
+struct GeneratorConfig {
+  /// Number of products; total triples are roughly 40-50x this.
+  uint64_t num_products = 2000;
+  /// Depth of the product type tree (root = level 0).
+  uint32_t type_depth = 4;
+  /// Children per internal type node.
+  uint32_t type_branching = 4;
+  /// Features attached to each type node's pool.
+  uint32_t features_per_type = 6;
+  /// Mean offers per product (geometric-ish).
+  double offers_per_product = 4.0;
+  /// Mean reviews per product.
+  double reviews_per_product = 3.0;
+  uint32_t num_producers = 0;  ///< 0 = derived (num_products / 30 + 1)
+  uint32_t num_vendors = 0;    ///< 0 = derived (num_products / 50 + 1)
+  uint64_t seed = 42;
+};
+
+/// IRIs of the BSBM vocabulary used by generator and query templates.
+struct Vocabulary {
+  std::string rdf_type;
+  std::string rdfs_label;
+  std::string rdfs_subclass_of;
+  std::string product_type_class;  ///< bsbm:ProductType
+  std::string product_class;       ///< bsbm:Product
+  std::string product_feature;     ///< bsbm:productFeature
+  std::string producer;            ///< bsbm:producer
+  std::string product;             ///< bsbm:product   (offer -> product)
+  std::string vendor;              ///< bsbm:vendor    (offer -> vendor)
+  std::string price;               ///< bsbm:price     (offer -> double)
+  std::string review_for;          ///< bsbm:reviewFor (review -> product)
+  std::string reviewer;            ///< bsbm:reviewer
+  std::string rating;              ///< bsbm:rating    (review -> 1..10)
+  std::string numeric_prop1;       ///< bsbm:productPropertyNumeric1
+
+  static Vocabulary Default();
+};
+
+/// Node of the generated product type tree.
+struct TypeNode {
+  rdf::TermId id = rdf::kInvalidTermId;
+  uint32_t level = 0;        ///< 0 = root (most generic)
+  int parent = -1;           ///< index into `types`, -1 for root
+  std::vector<uint32_t> feature_pool;  ///< indices into dataset features
+  uint64_t num_products = 0; ///< products whose type path includes this node
+};
+
+/// The generated dataset: dictionary + finalized store + the entity lists
+/// that parameter domains are extracted from.
+struct Dataset {
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  Vocabulary vocab;
+
+  std::vector<TypeNode> types;        ///< tree in BFS order, [0] = root
+  std::vector<rdf::TermId> products;
+  std::vector<rdf::TermId> features;
+  std::vector<rdf::TermId> producers;
+  std::vector<rdf::TermId> vendors;
+  std::vector<rdf::TermId> reviewers;
+
+  /// TermIds of all product types (same order as `types`).
+  std::vector<rdf::TermId> TypeIds() const;
+  /// TermIds of leaf product types only.
+  std::vector<rdf::TermId> LeafTypeIds() const;
+};
+
+/// Generates a dataset; deterministic for a fixed config.
+Dataset Generate(const GeneratorConfig& config);
+
+}  // namespace rdfparams::bsbm
+
+#endif  // RDFPARAMS_BSBM_GENERATOR_H_

@@ -1,0 +1,47 @@
+// BSBM-BI-style query templates over the generated dataset, including the
+// two templates the paper measures:
+//   Q2 — top-10 products most similar to %product   (E1b, E2b)
+//   Q4 — price aggregation per feature for products of %ProductType
+//        (E1a, E3: bimodal runtime driven by type generality)
+#ifndef RDFPARAMS_BSBM_QUERIES_H_
+#define RDFPARAMS_BSBM_QUERIES_H_
+
+#include <vector>
+
+#include "bsbm/generator.h"
+#include "sparql/query_template.h"
+
+namespace rdfparams::bsbm {
+
+/// Q1: products of %type that carry %feature (lookup join).
+sparql::QueryTemplate MakeQ1(const Dataset& ds);
+
+/// Q2: top-10 products sharing the most features with %product.
+sparql::QueryTemplate MakeQ2(const Dataset& ds);
+
+/// Q3: best-reviewed products of %type (rating >= 8).
+sparql::QueryTemplate MakeQ3(const Dataset& ds);
+
+/// Q4: per-feature average offer price over products of %ProductType.
+sparql::QueryTemplate MakeQ4(const Dataset& ds);
+
+/// Q5: vendors ranked by offer count/price over products of %type.
+sparql::QueryTemplate MakeQ5(const Dataset& ds);
+
+/// All templates above, in order Q1..Q5.
+std::vector<sparql::QueryTemplate> AllTemplates(const Dataset& ds);
+
+/// Parameter domain helpers -------------------------------------------------
+
+/// Domain of %type / %ProductType: every node of the type tree.
+std::vector<rdf::TermId> TypeDomain(const Dataset& ds);
+
+/// Domain of %product: every product.
+std::vector<rdf::TermId> ProductDomain(const Dataset& ds);
+
+/// Domain of %feature: every product feature.
+std::vector<rdf::TermId> FeatureDomain(const Dataset& ds);
+
+}  // namespace rdfparams::bsbm
+
+#endif  // RDFPARAMS_BSBM_QUERIES_H_

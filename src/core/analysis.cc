@@ -1,0 +1,78 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+
+namespace rdfparams::core {
+
+GroupAggregates AggregateGroup(const std::vector<double>& runtimes) {
+  GroupAggregates g;
+  g.summary = stats::Summarize(runtimes);
+  g.q10 = g.summary.q10;
+  g.median = g.summary.median;
+  g.q90 = g.summary.q90;
+  g.average = g.summary.mean;
+  return g;
+}
+
+StabilityReport AnalyzeStability(
+    const std::vector<std::vector<double>>& group_runtimes) {
+  StabilityReport r;
+  std::vector<double> avgs, medians, q10s, q90s;
+  for (const std::vector<double>& g : group_runtimes) {
+    GroupAggregates agg = AggregateGroup(g);
+    avgs.push_back(agg.average);
+    medians.push_back(agg.median);
+    q10s.push_back(agg.q10);
+    q90s.push_back(agg.q90);
+    r.groups.push_back(std::move(agg));
+  }
+  r.average_spread = stats::RelativeSpread(avgs);
+  r.median_spread = stats::RelativeSpread(medians);
+  r.q10_spread = stats::RelativeSpread(q10s);
+  r.q90_spread = stats::RelativeSpread(q90s);
+  for (size_t i = 0; i < group_runtimes.size(); ++i) {
+    for (size_t j = i + 1; j < group_runtimes.size(); ++j) {
+      r.max_pairwise_ks =
+          std::max(r.max_pairwise_ks,
+                   stats::KsTwoSampleDistance(group_runtimes[i],
+                                              group_runtimes[j]));
+    }
+  }
+  return r;
+}
+
+ShapeReport AnalyzeShape(const std::vector<double>& runtimes) {
+  ShapeReport r;
+  r.summary = stats::Summarize(runtimes);
+  r.mean_over_median =
+      r.summary.median > 0 ? r.summary.mean / r.summary.median : 0;
+  r.mid_mass_fraction = stats::MidRangeMassFraction(runtimes, 0.05, 0.95);
+  r.ks_vs_normal = stats::KsTestAgainstFittedNormal(runtimes);
+  return r;
+}
+
+std::vector<std::vector<double>> SplitIntoGroups(
+    const std::vector<double>& values, size_t g) {
+  std::vector<std::vector<double>> out;
+  if (g == 0) return out;
+  size_t per = values.size() / g;
+  out.resize(g);
+  for (size_t i = 0; i < g; ++i) {
+    out[i].assign(values.begin() + static_cast<long>(i * per),
+                  values.begin() + static_cast<long>((i + 1) * per));
+  }
+  return out;
+}
+
+ClassQuality AnalyzeClass(const std::vector<RunObservation>& obs) {
+  ClassQuality q;
+  q.num_bindings = obs.size();
+  q.distinct_plans = DistinctPlans(obs);
+  q.runtime_summary = stats::Summarize(RuntimesOf(obs));
+  q.runtime_cv = q.runtime_summary.cv;
+  stats::Summary cout_summary = stats::Summarize(EstimatedCoutsOf(obs));
+  q.cout_cv = cout_summary.cv;
+  return q;
+}
+
+}  // namespace rdfparams::core

@@ -1,0 +1,73 @@
+// Stability / representativeness analysis of workload measurements — the
+// quantities the paper reports in E1-E4 and the P1-P3 properties the
+// Section III clustering is supposed to restore.
+#ifndef RDFPARAMS_CORE_ANALYSIS_H_
+#define RDFPARAMS_CORE_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "stats/descriptive.h"
+#include "stats/ks_test.h"
+
+namespace rdfparams::core {
+
+/// Aggregates of one parameter group (one "workload" of N bindings), the
+/// rows of the paper's E2 table.
+struct GroupAggregates {
+  stats::Summary summary;
+  double q10 = 0;
+  double median = 0;
+  double q90 = 0;
+  double average = 0;
+};
+
+GroupAggregates AggregateGroup(const std::vector<double>& runtimes);
+
+/// E2-style stability report over g independent groups.
+struct StabilityReport {
+  std::vector<GroupAggregates> groups;
+  /// (max-min)/min across groups, per aggregate — the paper's "deviation
+  /// in reported average runtime up to 40%".
+  double average_spread = 0;
+  double median_spread = 0;
+  double q10_spread = 0;
+  double q90_spread = 0;
+  /// Largest two-sample KS distance between any two groups (property P2).
+  double max_pairwise_ks = 0;
+};
+
+StabilityReport AnalyzeStability(
+    const std::vector<std::vector<double>>& group_runtimes);
+
+/// E3-style distribution shape report.
+struct ShapeReport {
+  stats::Summary summary;
+  double mean_over_median = 0;      ///< >> 1 signals a heavy right mode
+  double mid_mass_fraction = 0;     ///< ~0 signals a "clustered" bimodal dist
+  stats::KsResult ks_vs_normal;     ///< E1: distance from fitted normal
+};
+
+ShapeReport AnalyzeShape(const std::vector<double>& runtimes);
+
+/// Splits observations into g groups of equal size (truncating leftovers)
+/// in order — used with independently sampled binding groups.
+std::vector<std::vector<double>> SplitIntoGroups(
+    const std::vector<double>& values, size_t g);
+
+/// Property P1/P2/P3 check for a parameter class (paper Sec. III): runs
+/// summary + plan uniqueness on per-class observations.
+struct ClassQuality {
+  size_t num_bindings = 0;
+  size_t distinct_plans = 0;     ///< P3: should be 1
+  double runtime_cv = 0;         ///< P1: coefficient of variation
+  double cout_cv = 0;            ///< estimate spread within the class
+  stats::Summary runtime_summary;
+};
+
+ClassQuality AnalyzeClass(const std::vector<RunObservation>& obs);
+
+}  // namespace rdfparams::core
+
+#endif  // RDFPARAMS_CORE_ANALYSIS_H_

@@ -1,0 +1,124 @@
+#include "core/parameter_domain.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rdfparams::core {
+
+void ParameterDomain::AddSingle(std::string name,
+                                std::vector<rdf::TermId> values) {
+  Group g;
+  g.names.push_back(std::move(name));
+  g.tuples.reserve(values.size());
+  for (rdf::TermId v : values) g.tuples.push_back({v});
+  groups_.push_back(std::move(g));
+}
+
+void ParameterDomain::AddTuples(std::vector<std::string> names,
+                                std::vector<std::vector<rdf::TermId>> tuples) {
+  Group g;
+  g.names = std::move(names);
+  g.tuples = std::move(tuples);
+#ifndef NDEBUG
+  for (const auto& t : g.tuples) {
+    RDFPARAMS_DCHECK(t.size() == g.names.size());
+  }
+#endif
+  groups_.push_back(std::move(g));
+}
+
+Status ParameterDomain::Validate(const sparql::QueryTemplate& tmpl) const {
+  std::vector<std::string> flat;
+  for (const Group& g : groups_) {
+    if (g.tuples.empty()) {
+      return Status::InvalidArgument("empty domain group");
+    }
+    for (const std::string& n : g.names) flat.push_back(n);
+  }
+  if (flat != tmpl.parameter_names()) {
+    std::string got, want;
+    for (const auto& n : flat) got += "%" + n + " ";
+    for (const auto& n : tmpl.parameter_names()) want += "%" + n + " ";
+    return Status::InvalidArgument("domain parameters [" + got +
+                                   "] do not match template [" + want + "]");
+  }
+  return Status::OK();
+}
+
+uint64_t ParameterDomain::NumCombinations() const {
+  if (groups_.empty()) return 0;
+  uint64_t total = 1;
+  for (const Group& g : groups_) {
+    if (g.tuples.empty()) return 0;
+    // Saturating multiply.
+    uint64_t size = g.tuples.size();
+    if (total > ~uint64_t{0} / size) return ~uint64_t{0};
+    total *= size;
+  }
+  return total;
+}
+
+sparql::ParameterBinding ParameterDomain::At(uint64_t index) const {
+  sparql::ParameterBinding b;
+  for (const Group& g : groups_) {
+    uint64_t size = g.tuples.size();
+    const std::vector<rdf::TermId>& tuple =
+        g.tuples[static_cast<size_t>(index % size)];
+    index /= size;
+    b.values.insert(b.values.end(), tuple.begin(), tuple.end());
+  }
+  return b;
+}
+
+sparql::ParameterBinding ParameterDomain::Sample(util::Rng* rng) const {
+  sparql::ParameterBinding b;
+  for (const Group& g : groups_) {
+    const std::vector<rdf::TermId>& tuple =
+        g.tuples[static_cast<size_t>(rng->Uniform(g.tuples.size()))];
+    b.values.insert(b.values.end(), tuple.begin(), tuple.end());
+  }
+  return b;
+}
+
+std::vector<sparql::ParameterBinding> ParameterDomain::SampleN(
+    util::Rng* rng, size_t n, bool distinct) const {
+  std::vector<sparql::ParameterBinding> out;
+  out.reserve(n);
+  uint64_t total = NumCombinations();
+  if (!distinct || total < n * 2) {
+    // Plain i.i.d. sampling (also used when distinctness is infeasible).
+    for (size_t i = 0; i < n; ++i) out.push_back(Sample(rng));
+    return out;
+  }
+  std::set<sparql::ParameterBinding> seen;
+  size_t attempts = 0;
+  while (out.size() < n && attempts < n * 50) {
+    sparql::ParameterBinding b = Sample(rng);
+    if (seen.insert(b).second) out.push_back(std::move(b));
+    ++attempts;
+  }
+  while (out.size() < n) out.push_back(Sample(rng));  // degenerate fallback
+  return out;
+}
+
+std::vector<sparql::ParameterBinding> ParameterDomain::Enumerate(
+    uint64_t max) const {
+  std::vector<sparql::ParameterBinding> out;
+  uint64_t total = NumCombinations();
+  if (total == 0 || max == 0) return out;
+  if (total <= max) {
+    out.reserve(static_cast<size_t>(total));
+    for (uint64_t i = 0; i < total; ++i) out.push_back(At(i));
+    return out;
+  }
+  // Uniformly spaced coverage (deterministic).
+  out.reserve(static_cast<size_t>(max));
+  for (uint64_t k = 0; k < max; ++k) {
+    uint64_t idx = static_cast<uint64_t>(
+        (static_cast<__uint128_t>(k) * total) / max);
+    out.push_back(At(idx));
+  }
+  return out;
+}
+
+}  // namespace rdfparams::core

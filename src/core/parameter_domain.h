@@ -1,0 +1,72 @@
+// Parameter domains: the set P = P1 x ... x Pn a workload generator draws
+// bindings from. Parameters that are correlated by construction (e.g. the
+// (countryX, countryY) pair of LDBC Q3) can be grouped so that their joint
+// domain is an explicit tuple list instead of a cross product.
+#ifndef RDFPARAMS_CORE_PARAMETER_DOMAIN_H_
+#define RDFPARAMS_CORE_PARAMETER_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "sparql/query_template.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rdfparams::core {
+
+/// The domain of a query template's parameters.
+///
+/// Built from groups; each group binds one or more parameters jointly.
+/// Concatenated group parameter names must equal the template's
+/// parameter_names() (validated by Validate()).
+class ParameterDomain {
+ public:
+  /// Adds a group binding a single parameter to any of `values`.
+  void AddSingle(std::string name, std::vector<rdf::TermId> values);
+
+  /// Adds a group binding `names` jointly; every tuple must have
+  /// names.size() values.
+  void AddTuples(std::vector<std::string> names,
+                 std::vector<std::vector<rdf::TermId>> tuples);
+
+  /// Checks group/parameter alignment against the template.
+  Status Validate(const sparql::QueryTemplate& tmpl) const;
+
+  /// Total number of distinct full bindings (product of group sizes).
+  uint64_t NumCombinations() const;
+
+  /// Decodes combination `index` (mixed radix over groups, group 0 runs
+  /// fastest). index < NumCombinations().
+  sparql::ParameterBinding At(uint64_t index) const;
+
+  /// One uniform random full binding.
+  sparql::ParameterBinding Sample(util::Rng* rng) const;
+
+  /// n uniform bindings; when `distinct` is true and the domain is large
+  /// enough, bindings are pairwise different.
+  std::vector<sparql::ParameterBinding> SampleN(util::Rng* rng, size_t n,
+                                                bool distinct = false) const;
+
+  /// All combinations if there are at most `max`, else `max` uniformly
+  /// spaced ones (deterministic coverage of the domain).
+  std::vector<sparql::ParameterBinding> Enumerate(uint64_t max) const;
+
+  size_t num_groups() const { return groups_.size(); }
+  const std::vector<std::string>& group_names(size_t g) const {
+    return groups_[g].names;
+  }
+  size_t group_size(size_t g) const { return groups_[g].tuples.size(); }
+
+ private:
+  struct Group {
+    std::vector<std::string> names;
+    std::vector<std::vector<rdf::TermId>> tuples;
+  };
+  std::vector<Group> groups_;
+};
+
+}  // namespace rdfparams::core
+
+#endif  // RDFPARAMS_CORE_PARAMETER_DOMAIN_H_

@@ -1,0 +1,123 @@
+#include "core/plan_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rdfparams::core {
+
+int64_t CostBucket(double cout, double log2_width) {
+  if (log2_width <= 0 || !std::isfinite(log2_width)) return 0;
+  // C_out of 0 (e.g. plans whose joins are all empty) gets its own bucket.
+  if (cout <= 0) return std::numeric_limits<int64_t>::min();
+  return static_cast<int64_t>(std::floor(std::log2(cout) / log2_width));
+}
+
+Result<Classification> ClassifyParameters(const sparql::QueryTemplate& tmpl,
+                                          const ParameterDomain& domain,
+                                          const rdf::TripleStore& store,
+                                          const rdf::Dictionary& dict,
+                                          const ClassifyOptions& options) {
+  RDFPARAMS_RETURN_NOT_OK(domain.Validate(tmpl));
+  std::vector<sparql::ParameterBinding> candidates =
+      domain.Enumerate(options.max_candidates);
+  if (candidates.empty()) {
+    return Status::InvalidArgument("parameter domain is empty");
+  }
+
+  struct Key {
+    std::string fingerprint;
+    int64_t bucket;
+    bool operator<(const Key& other) const {
+      if (fingerprint != other.fingerprint)
+        return fingerprint < other.fingerprint;
+      return bucket < other.bucket;
+    }
+  };
+  struct Entry {
+    std::vector<size_t> member_idx;
+    std::vector<double> couts;
+  };
+  std::map<Key, Entry> buckets;
+  std::vector<double> all_couts(candidates.size(), 0.0);
+  std::vector<Key> candidate_key(candidates.size());
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    RDFPARAMS_ASSIGN_OR_RETURN(sparql::SelectQuery q,
+                               tmpl.Bind(candidates[i], dict));
+    RDFPARAMS_ASSIGN_OR_RETURN(opt::OptimizedPlan plan,
+                               opt::Optimize(q, store, dict,
+                                             options.optimizer));
+    Key key{plan.fingerprint,
+            CostBucket(plan.est_cout, options.cost_bucket_log2_width)};
+    Entry& e = buckets[key];
+    e.member_idx.push_back(i);
+    e.couts.push_back(plan.est_cout);
+    all_couts[i] = plan.est_cout;
+    candidate_key[i] = key;
+  }
+
+  Classification out;
+  out.num_candidates = candidates.size();
+  out.class_of_candidate.assign(candidates.size(), 0);
+
+  // Build classes, largest first (deterministic tie-break on the key).
+  std::vector<std::pair<Key, Entry*>> ordered;
+  ordered.reserve(buckets.size());
+  for (auto& [key, entry] : buckets) ordered.push_back({key, &entry});
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->member_idx.size() != b.second->member_idx.size())
+                return a.second->member_idx.size() >
+                       b.second->member_idx.size();
+              return a.first < b.first;
+            });
+
+  std::map<Key, uint32_t> class_index;
+  for (const auto& [key, entry] : ordered) {
+    PlanClass cls;
+    cls.fingerprint = key.fingerprint;
+    cls.cost_bucket = key.bucket;
+    cls.min_cout = *std::min_element(entry->couts.begin(), entry->couts.end());
+    cls.max_cout = *std::max_element(entry->couts.begin(), entry->couts.end());
+    cls.fraction = static_cast<double>(entry->member_idx.size()) /
+                   static_cast<double>(candidates.size());
+    for (size_t idx : entry->member_idx) {
+      cls.members.push_back(candidates[idx]);
+    }
+    // Median-cost member as the representative.
+    std::vector<size_t> by_cost(entry->member_idx.size());
+    for (size_t k = 0; k < by_cost.size(); ++k) by_cost[k] = k;
+    std::sort(by_cost.begin(), by_cost.end(), [&](size_t a, size_t b) {
+      return entry->couts[a] < entry->couts[b];
+    });
+    cls.representative = cls.members[by_cost[by_cost.size() / 2]];
+    class_index[key] = static_cast<uint32_t>(out.classes.size());
+    out.classes.push_back(std::move(cls));
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    out.class_of_candidate[i] = class_index[candidate_key[i]];
+  }
+  return out;
+}
+
+std::vector<sparql::ParameterBinding> SampleFromClass(const PlanClass& cls,
+                                                      size_t n,
+                                                      util::Rng* rng) {
+  std::vector<sparql::ParameterBinding> out;
+  out.reserve(n);
+  if (cls.members.empty()) return out;
+  if (cls.members.size() >= n) {
+    std::vector<size_t> idx = rng->SampleWithoutReplacement(
+        cls.members.size(), n);
+    for (size_t i : idx) out.push_back(cls.members[i]);
+    return out;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(
+        cls.members[static_cast<size_t>(rng->Uniform(cls.members.size()))]);
+  }
+  return out;
+}
+
+}  // namespace rdfparams::core

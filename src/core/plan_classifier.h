@@ -1,0 +1,80 @@
+// The paper's Section III problem, made executable:
+//
+//   PARAMETERS FOR RDF BENCHMARKS: split P into subsets S1..Sk such that
+//   (a) every binding in Si yields the same C_out-optimal plan,
+//   (b) the optimal plan's C_out is the same within Si,
+//   (c) plans differ across classes.
+//
+// Finding the optimal plan per binding is itself NP-hard join ordering, so
+// — exactly as the paper prescribes — we run the (exact, DP) optimizer per
+// candidate binding and cluster the results. Condition (a) maps to equal
+// plan fingerprints; condition (b), which cannot hold exactly over a
+// continuous cost range, is relaxed to log-scale cost buckets of
+// configurable width (an ablation knob); condition (c) holds by
+// construction of the grouping key.
+#ifndef RDFPARAMS_CORE_PLAN_CLASSIFIER_H_
+#define RDFPARAMS_CORE_PLAN_CLASSIFIER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/parameter_domain.h"
+#include "optimizer/optimizer.h"
+#include "rdf/triple_store.h"
+#include "sparql/query_template.h"
+#include "util/status.h"
+
+namespace rdfparams::core {
+
+struct ClassifyOptions {
+  /// Width of the log2(C_out) bucket implementing condition (b).
+  /// +infinity (or <= 0) collapses to plan-fingerprint-only clustering.
+  double cost_bucket_log2_width = 1.0;
+  /// Candidates examined: Enumerate(max_candidates) over the domain.
+  uint64_t max_candidates = 2000;
+  opt::OptimizeOptions optimizer;
+};
+
+/// One class Si of the partition.
+struct PlanClass {
+  std::string fingerprint;      ///< shared optimal plan (condition a)
+  int64_t cost_bucket = 0;      ///< floor(log2(cost)/width) (condition b)
+  double min_cout = 0;          ///< observed est. C_out range in the class
+  double max_cout = 0;
+  std::vector<sparql::ParameterBinding> members;
+  /// A representative member (the one with median cost).
+  sparql::ParameterBinding representative;
+
+  /// Share of examined candidates falling into this class.
+  double fraction = 0;
+};
+
+struct Classification {
+  std::vector<PlanClass> classes;  ///< sorted by descending size
+  uint64_t num_candidates = 0;
+  /// Per-candidate (aligned with the enumeration order): class index.
+  std::vector<uint32_t> class_of_candidate;
+};
+
+/// Runs the optimizer for every candidate binding and clusters by
+/// (fingerprint, cost bucket). Deterministic.
+Result<Classification> ClassifyParameters(const sparql::QueryTemplate& tmpl,
+                                          const ParameterDomain& domain,
+                                          const rdf::TripleStore& store,
+                                          const rdf::Dictionary& dict,
+                                          const ClassifyOptions& options = {});
+
+/// Stratified sampling: n bindings drawn from one class (with replacement
+/// if the class is smaller than n).
+std::vector<sparql::ParameterBinding> SampleFromClass(const PlanClass& cls,
+                                                      size_t n,
+                                                      util::Rng* rng);
+
+/// Cost bucket of a C_out value under the given log2 width.
+int64_t CostBucket(double cout, double log2_width);
+
+}  // namespace rdfparams::core
+
+#endif  // RDFPARAMS_CORE_PLAN_CLASSIFIER_H_

@@ -1,0 +1,60 @@
+#include "core/step_distribution.h"
+
+namespace rdfparams::core {
+
+StepSampler::StepSampler(const ParameterDomain* domain,
+                         std::vector<double> weights)
+    : domain_(domain),
+      weights_(std::move(weights)),
+      alias_(weights_),
+      total_(domain->NumCombinations()) {}
+
+Result<StepSampler> StepSampler::Create(const ParameterDomain* domain,
+                                        std::vector<double> step_weights) {
+  if (domain == nullptr || domain->NumCombinations() == 0) {
+    return Status::InvalidArgument("step sampler needs a non-empty domain");
+  }
+  if (step_weights.empty()) {
+    return Status::InvalidArgument("step sampler needs at least one step");
+  }
+  if (step_weights.size() > domain->NumCombinations()) {
+    return Status::InvalidArgument(
+        "more steps than domain combinations");
+  }
+  double total = 0;
+  for (double w : step_weights) {
+    if (w < 0) {
+      return Status::InvalidArgument("step weights must be non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0) {
+    return Status::InvalidArgument("step weights must have positive sum");
+  }
+  return StepSampler(domain, std::move(step_weights));
+}
+
+std::pair<uint64_t, uint64_t> StepSampler::StepRange(size_t i) const {
+  uint64_t k = weights_.size();
+  uint64_t lo = total_ * i / k;
+  uint64_t hi = total_ * (i + 1) / k;
+  if (hi <= lo) hi = lo + 1;  // degenerate tiny domains
+  return {lo, std::min(hi, total_)};
+}
+
+sparql::ParameterBinding StepSampler::Sample(util::Rng* rng) const {
+  size_t step = alias_.Sample(rng);
+  auto [lo, hi] = StepRange(step);
+  uint64_t index = lo + rng->Uniform(hi - lo);
+  return domain_->At(index);
+}
+
+std::vector<sparql::ParameterBinding> StepSampler::SampleN(util::Rng* rng,
+                                                           size_t n) const {
+  std::vector<sparql::ParameterBinding> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Sample(rng));
+  return out;
+}
+
+}  // namespace rdfparams::core

@@ -1,0 +1,54 @@
+// "Step-shaped" parameter distributions — the related-work baseline the
+// paper generalizes (Poess & Stephens: TPC-DS / MUDD parameter generation,
+// refs [10] and [12]). The ordered domain is split into contiguous steps;
+// each step carries a weight; sampling picks a step by weight and a value
+// uniformly inside it. This can down-weight known-pathological regions
+// (e.g. generic product types) but, unlike the paper's plan-class
+// partition, it is oblivious to the optimizer: nothing guarantees one
+// plan per step (condition (a)) — which is exactly the gap the paper
+// points out. bench_paramgen compares the three samplers.
+#ifndef RDFPARAMS_CORE_STEP_DISTRIBUTION_H_
+#define RDFPARAMS_CORE_STEP_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/parameter_domain.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rdfparams::core {
+
+/// Samples full bindings from a ParameterDomain with a step-shaped
+/// marginal over the *combination index* (groups enumerated in mixed-radix
+/// order, group 0 fastest).
+class StepSampler {
+ public:
+  /// `step_weights[i]` is the probability mass of the i-th of k equal-width
+  /// steps over [0, domain.NumCombinations()). Weights need not be
+  /// normalized; all-equal weights reduce to uniform sampling.
+  static Result<StepSampler> Create(const ParameterDomain* domain,
+                                    std::vector<double> step_weights);
+
+  sparql::ParameterBinding Sample(util::Rng* rng) const;
+
+  std::vector<sparql::ParameterBinding> SampleN(util::Rng* rng,
+                                                size_t n) const;
+
+  size_t num_steps() const { return weights_.size(); }
+
+  /// [lo, hi) combination-index range of step i.
+  std::pair<uint64_t, uint64_t> StepRange(size_t i) const;
+
+ private:
+  StepSampler(const ParameterDomain* domain, std::vector<double> weights);
+
+  const ParameterDomain* domain_;
+  std::vector<double> weights_;
+  util::AliasTable alias_;
+  uint64_t total_;
+};
+
+}  // namespace rdfparams::core
+
+#endif  // RDFPARAMS_CORE_STEP_DISTRIBUTION_H_

@@ -1,0 +1,80 @@
+#include "core/workload.h"
+
+#include <limits>
+#include <set>
+
+namespace rdfparams::core {
+
+Result<RunObservation> WorkloadRunner::RunOnce(
+    const sparql::QueryTemplate& tmpl,
+    const sparql::ParameterBinding& binding, const WorkloadOptions& options) {
+  RDFPARAMS_ASSIGN_OR_RETURN(sparql::SelectQuery q, tmpl.Bind(binding, *dict_));
+  RDFPARAMS_ASSIGN_OR_RETURN(opt::OptimizedPlan plan,
+                             opt::Optimize(q, store_, *dict_,
+                                           options.optimizer));
+  engine::Executor exec(store_, dict_);
+
+  RunObservation obs;
+  obs.binding = binding;
+  obs.est_cout = plan.est_cout;
+  obs.est_cardinality = plan.est_cardinality;
+  obs.fingerprint = plan.fingerprint;
+  obs.seconds = std::numeric_limits<double>::infinity();
+
+  int reps = std::max(options.repetitions, 1);
+  for (int r = 0; r < reps; ++r) {
+    engine::ExecutionStats stats;
+    RDFPARAMS_ASSIGN_OR_RETURN(engine::BindingTable result,
+                               exec.Execute(q, *plan.root, &stats));
+    obs.seconds = std::min(obs.seconds, stats.wall_seconds);
+    obs.observed_cout = stats.intermediate_rows;
+    obs.result_rows = stats.result_rows;
+    (void)result;
+  }
+  return obs;
+}
+
+Result<std::vector<RunObservation>> WorkloadRunner::RunAll(
+    const sparql::QueryTemplate& tmpl,
+    const std::vector<sparql::ParameterBinding>& bindings,
+    const WorkloadOptions& options) {
+  std::vector<RunObservation> out;
+  out.reserve(bindings.size());
+  for (const sparql::ParameterBinding& b : bindings) {
+    RDFPARAMS_ASSIGN_OR_RETURN(RunObservation obs,
+                               RunOnce(tmpl, b, options));
+    out.push_back(std::move(obs));
+  }
+  return out;
+}
+
+std::vector<double> RuntimesOf(const std::vector<RunObservation>& obs) {
+  std::vector<double> out;
+  out.reserve(obs.size());
+  for (const RunObservation& o : obs) out.push_back(o.seconds);
+  return out;
+}
+
+std::vector<double> ObservedCoutsOf(const std::vector<RunObservation>& obs) {
+  std::vector<double> out;
+  out.reserve(obs.size());
+  for (const RunObservation& o : obs) {
+    out.push_back(static_cast<double>(o.observed_cout));
+  }
+  return out;
+}
+
+std::vector<double> EstimatedCoutsOf(const std::vector<RunObservation>& obs) {
+  std::vector<double> out;
+  out.reserve(obs.size());
+  for (const RunObservation& o : obs) out.push_back(o.est_cout);
+  return out;
+}
+
+size_t DistinctPlans(const std::vector<RunObservation>& obs) {
+  std::set<std::string> plans;
+  for (const RunObservation& o : obs) plans.insert(o.fingerprint);
+  return plans.size();
+}
+
+}  // namespace rdfparams::core

@@ -1,0 +1,73 @@
+// Workload runner: executes a query template over a set of parameter
+// bindings and records, per binding, the wall time, the observed C_out
+// (summed join-output sizes) and the optimizer's estimates — everything
+// the paper's E1-E4 measurements and the Section III correlation need.
+#ifndef RDFPARAMS_CORE_WORKLOAD_H_
+#define RDFPARAMS_CORE_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "core/parameter_domain.h"
+#include "sparql/query_template.h"
+#include "stats/descriptive.h"
+#include "util/status.h"
+
+namespace rdfparams::core {
+
+/// Measurement for one parameter binding.
+struct RunObservation {
+  sparql::ParameterBinding binding;
+  double seconds = 0;
+  uint64_t observed_cout = 0;   ///< summed join output sizes
+  double est_cout = 0;          ///< optimizer's C_out of the chosen plan
+  double est_cardinality = 0;
+  std::string fingerprint;      ///< plan actually executed
+  uint64_t result_rows = 0;
+};
+
+struct WorkloadOptions {
+  /// Repetitions per binding; the *minimum* wall time is kept (standard
+  /// benchmarking practice to suppress scheduler noise).
+  int repetitions = 1;
+  opt::OptimizeOptions optimizer;
+};
+
+class WorkloadRunner {
+ public:
+  WorkloadRunner(const rdf::TripleStore& store, rdf::Dictionary* dict)
+      : store_(store), dict_(dict) {}
+
+  /// Optimizes + executes the template under one binding.
+  Result<RunObservation> RunOnce(const sparql::QueryTemplate& tmpl,
+                                 const sparql::ParameterBinding& binding,
+                                 const WorkloadOptions& options = {});
+
+  /// Runs all bindings in order.
+  Result<std::vector<RunObservation>> RunAll(
+      const sparql::QueryTemplate& tmpl,
+      const std::vector<sparql::ParameterBinding>& bindings,
+      const WorkloadOptions& options = {});
+
+ private:
+  const rdf::TripleStore& store_;
+  rdf::Dictionary* dict_;
+};
+
+/// Extracts the per-binding runtimes (seconds).
+std::vector<double> RuntimesOf(const std::vector<RunObservation>& obs);
+
+/// Extracts the observed C_out values as doubles.
+std::vector<double> ObservedCoutsOf(const std::vector<RunObservation>& obs);
+
+/// Extracts the estimated C_out values.
+std::vector<double> EstimatedCoutsOf(const std::vector<RunObservation>& obs);
+
+/// Number of distinct plan fingerprints among the observations (property
+/// P3: should be 1 within a well-formed parameter class).
+size_t DistinctPlans(const std::vector<RunObservation>& obs);
+
+}  // namespace rdfparams::core
+
+#endif  // RDFPARAMS_CORE_WORKLOAD_H_

@@ -1,0 +1,97 @@
+#include "core/workload_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "rdf/ntriples.h"
+#include "util/string_util.h"
+
+namespace rdfparams::core {
+
+Status WriteBindings(const sparql::QueryTemplate& tmpl,
+                     const std::vector<sparql::ParameterBinding>& bindings,
+                     const rdf::Dictionary& dict, std::ostream& os) {
+  os << "# template: " << tmpl.name() << "\n";
+  os << "# params:";
+  for (const std::string& p : tmpl.parameter_names()) os << " " << p;
+  os << "\n";
+  for (const sparql::ParameterBinding& b : bindings) {
+    if (b.values.size() != tmpl.arity()) {
+      return Status::InvalidArgument(
+          "binding arity " + std::to_string(b.values.size()) +
+          " does not match template arity " + std::to_string(tmpl.arity()));
+    }
+    for (size_t i = 0; i < b.values.size(); ++i) {
+      if (i > 0) os << "\t";
+      os << dict.term(b.values[i]).ToNTriples();
+    }
+    os << "\n";
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteBindingsFile(const sparql::QueryTemplate& tmpl,
+                         const std::vector<sparql::ParameterBinding>& bindings,
+                         const rdf::Dictionary& dict,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  return WriteBindings(tmpl, bindings, dict, out);
+}
+
+Result<std::vector<sparql::ParameterBinding>> ReadBindings(
+    const sparql::QueryTemplate& tmpl, rdf::Dictionary* dict,
+    std::istream& is) {
+  std::vector<sparql::ParameterBinding> out;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '#') {
+      constexpr std::string_view kTemplateTag = "# template: ";
+      if (util::StartsWith(trimmed, kTemplateTag)) {
+        std::string_view name = trimmed.substr(kTemplateTag.size());
+        if (name != tmpl.name()) {
+          return Status::InvalidArgument(
+              "bindings file is for template '" + std::string(name) +
+              "', expected '" + tmpl.name() + "'");
+        }
+      }
+      continue;
+    }
+    std::vector<std::string> fields = util::Split(trimmed, '\t');
+    if (fields.size() != tmpl.arity()) {
+      return Status::ParseError(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(tmpl.arity()) + " terms, got " +
+          std::to_string(fields.size()));
+    }
+    sparql::ParameterBinding binding;
+    binding.values.reserve(fields.size());
+    for (const std::string& field : fields) {
+      size_t pos = 0;
+      auto term = rdf::ParseNTriplesTerm(util::Trim(field), &pos);
+      if (!term.ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                  term.status().message());
+      }
+      binding.values.push_back(dict->Intern(*term));
+    }
+    out.push_back(std::move(binding));
+  }
+  return out;
+}
+
+Result<std::vector<sparql::ParameterBinding>> ReadBindingsFile(
+    const sparql::QueryTemplate& tmpl, rdf::Dictionary* dict,
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadBindings(tmpl, dict, in);
+}
+
+}  // namespace rdfparams::core

@@ -1,0 +1,49 @@
+// Serialization of parameter bindings — the artifact a benchmark's
+// workload generator actually ships. Text format, one binding per line:
+//
+//   # template: BSBM-Q4
+//   # params: ProductType
+//   <http://.../ProductType17>
+//   <http://.../ProductType3>
+//
+// Terms are encoded in N-Triples syntax, TAB-separated for multi-parameter
+// templates. Lines starting with '#' are comments; the two header
+// comments above are written by WriteBindings and validated (when
+// present) by ReadBindings.
+#ifndef RDFPARAMS_CORE_WORKLOAD_IO_H_
+#define RDFPARAMS_CORE_WORKLOAD_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "sparql/query_template.h"
+#include "util/status.h"
+
+namespace rdfparams::core {
+
+/// Writes bindings for `tmpl` to a stream.
+Status WriteBindings(const sparql::QueryTemplate& tmpl,
+                     const std::vector<sparql::ParameterBinding>& bindings,
+                     const rdf::Dictionary& dict, std::ostream& os);
+
+/// Writes to a file (overwrites).
+Status WriteBindingsFile(const sparql::QueryTemplate& tmpl,
+                         const std::vector<sparql::ParameterBinding>& bindings,
+                         const rdf::Dictionary& dict,
+                         const std::string& path);
+
+/// Reads bindings; terms are interned into `dict`. If the stream carries a
+/// "# template:" header naming a different template, reading fails.
+Result<std::vector<sparql::ParameterBinding>> ReadBindings(
+    const sparql::QueryTemplate& tmpl, rdf::Dictionary* dict,
+    std::istream& is);
+
+Result<std::vector<sparql::ParameterBinding>> ReadBindingsFile(
+    const sparql::QueryTemplate& tmpl, rdf::Dictionary* dict,
+    const std::string& path);
+
+}  // namespace rdfparams::core
+
+#endif  // RDFPARAMS_CORE_WORKLOAD_IO_H_

@@ -1,0 +1,48 @@
+#include "engine/binding_table.h"
+
+#include "util/status.h"
+
+namespace rdfparams::engine {
+
+BindingTable::BindingTable(std::vector<std::string> vars)
+    : vars_(std::move(vars)) {}
+
+int BindingTable::VarIndex(const std::string& var) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void BindingTable::AppendRow(std::span<const rdf::TermId> values) {
+  RDFPARAMS_DCHECK(values.size() == vars_.size());
+  data_.insert(data_.end(), values.begin(), values.end());
+}
+
+void BindingTable::AppendRow(std::initializer_list<rdf::TermId> values) {
+  AppendRow(std::span<const rdf::TermId>(values.begin(), values.size()));
+}
+
+std::string BindingTable::ToString(const rdf::Dictionary& dict,
+                                   size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (i > 0) out += "\t";
+    out += "?" + vars_[i];
+  }
+  out += "\n";
+  size_t n = std::min(num_rows(), max_rows);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < vars_.size(); ++c) {
+      if (c > 0) out += "\t";
+      out += dict.ToString(at(r, c));
+    }
+    out += "\n";
+  }
+  if (num_rows() > n) {
+    out += "... (" + std::to_string(num_rows() - n) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace rdfparams::engine

@@ -1,0 +1,54 @@
+// Row-major materialized table of variable bindings (TermIds).
+#ifndef RDFPARAMS_ENGINE_BINDING_TABLE_H_
+#define RDFPARAMS_ENGINE_BINDING_TABLE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+
+namespace rdfparams::engine {
+
+/// Intermediate and final results of query execution. Columns are named by
+/// the variables they bind; rows are tuples of TermIds.
+class BindingTable {
+ public:
+  BindingTable() = default;
+  explicit BindingTable(std::vector<std::string> vars);
+
+  const std::vector<std::string>& vars() const { return vars_; }
+  size_t num_vars() const { return vars_.size(); }
+  size_t num_rows() const {
+    return vars_.empty() ? 0 : data_.size() / vars_.size();
+  }
+
+  /// Column position of `var`, or -1.
+  int VarIndex(const std::string& var) const;
+
+  std::span<const rdf::TermId> row(size_t i) const {
+    return {data_.data() + i * vars_.size(), vars_.size()};
+  }
+  rdf::TermId at(size_t row, size_t col) const {
+    return data_[row * vars_.size() + col];
+  }
+
+  /// Appends a row; `values.size()` must equal num_vars().
+  void AppendRow(std::span<const rdf::TermId> values);
+  void AppendRow(std::initializer_list<rdf::TermId> values);
+
+  void Reserve(size_t rows) { data_.reserve(rows * vars_.size()); }
+  void Clear() { data_.clear(); }
+
+  /// Renders up to `max_rows` rows through the dictionary (debug/examples).
+  std::string ToString(const rdf::Dictionary& dict,
+                       size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> vars_;
+  std::vector<rdf::TermId> data_;
+};
+
+}  // namespace rdfparams::engine
+
+#endif  // RDFPARAMS_ENGINE_BINDING_TABLE_H_

@@ -1,0 +1,869 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace rdfparams::engine {
+
+namespace {
+
+using rdf::kWildcardId;
+using rdf::TermId;
+using sparql::SelectQuery;
+using sparql::Slot;
+using sparql::TriplePattern;
+
+/// Resolves a constant slot against the dictionary. Returns false when the
+/// constant does not occur in the data at all (empty result).
+bool ResolveConst(const Slot& slot, const rdf::Dictionary& dict, TermId* out) {
+  auto id = dict.Find(slot.term);
+  if (!id) return false;
+  *out = *id;
+  return true;
+}
+
+/// Hash of a join key (a subset of row columns).
+uint64_t KeyHash(std::span<const TermId> row, const std::vector<int>& cols) {
+  uint64_t h = 0x12345678abcdef01ULL;
+  for (int c : cols) {
+    h = util::HashCombine(h, row[static_cast<size_t>(c)]);
+  }
+  return h;
+}
+
+bool KeyEquals(std::span<const TermId> a, const std::vector<int>& acols,
+               std::span<const TermId> b, const std::vector<int>& bcols) {
+  for (size_t i = 0; i < acols.size(); ++i) {
+    if (a[static_cast<size_t>(acols[i])] != b[static_cast<size_t>(bcols[i])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Index nested-loop join kernel
+// ---------------------------------------------------------------------------
+
+/// Precomputed wiring for probing one triple pattern per outer row.
+struct IndexJoinPlan {
+  struct VarSlot {
+    rdf::TriplePos pos;
+    int outer_col;  // >= 0: bound from the outer row; -1: free
+    int out_col;    // output column (free vars)
+    std::string name;
+  };
+  std::vector<VarSlot> var_slots;
+  TermId cs = kWildcardId, cp = kWildcardId, co = kWildcardId;
+  bool absent_const = false;  // a constant term absent from the data
+  std::vector<std::string> out_vars;
+  size_t outer_width = 0;
+};
+
+Result<IndexJoinPlan> PrepareIndexJoin(const TriplePattern& tp,
+                                       const std::vector<std::string>& outer,
+                                       const rdf::Dictionary& dict) {
+  if (tp.s.is_param() || tp.p.is_param() || tp.o.is_param()) {
+    return Status::InvalidArgument("executor got an unbound %parameter");
+  }
+  IndexJoinPlan plan;
+  plan.outer_width = outer.size();
+  if (tp.s.is_const() && !ResolveConst(tp.s, dict, &plan.cs)) {
+    plan.absent_const = true;
+  }
+  if (tp.p.is_const() && !ResolveConst(tp.p, dict, &plan.cp)) {
+    plan.absent_const = true;
+  }
+  if (tp.o.is_const() && !ResolveConst(tp.o, dict, &plan.co)) {
+    plan.absent_const = true;
+  }
+
+  auto outer_col = [&](const std::string& name) {
+    for (size_t i = 0; i < outer.size(); ++i) {
+      if (outer[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  auto classify = [&](const Slot& slot, rdf::TriplePos pos) {
+    if (!slot.is_var()) return;
+    plan.var_slots.push_back({pos, outer_col(slot.name), -1, slot.name});
+  };
+  classify(tp.s, rdf::TriplePos::kS);
+  classify(tp.p, rdf::TriplePos::kP);
+  classify(tp.o, rdf::TriplePos::kO);
+
+  plan.out_vars = outer;
+  for (auto& vs : plan.var_slots) {
+    if (vs.outer_col >= 0) continue;
+    bool seen = false;
+    for (size_t i = outer.size(); i < plan.out_vars.size(); ++i) {
+      if (plan.out_vars[i] == vs.name) {
+        vs.out_col = static_cast<int>(i);
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      vs.out_col = static_cast<int>(plan.out_vars.size());
+      plan.out_vars.push_back(vs.name);
+    }
+  }
+  return plan;
+}
+
+/// Streams the join of `outer_table` with the plan's pattern; calls
+/// emit(row_span) per result row. Returns the number of probed base rows.
+template <typename Emit>
+uint64_t RunIndexJoin(const rdf::TripleStore& store, const IndexJoinPlan& plan,
+                      const BindingTable& outer_table, Emit&& emit) {
+  if (plan.absent_const) return 0;
+  std::vector<TermId> row(plan.out_vars.size());
+  uint64_t probed = 0;
+  for (size_t r = 0; r < outer_table.num_rows(); ++r) {
+    auto orow = outer_table.row(r);
+    TermId s = plan.cs, p = plan.cp, o = plan.co;
+    for (const auto& vs : plan.var_slots) {
+      if (vs.outer_col >= 0) {
+        TermId v = orow[static_cast<size_t>(vs.outer_col)];
+        switch (vs.pos) {
+          case rdf::TriplePos::kS: s = v; break;
+          case rdf::TriplePos::kP: p = v; break;
+          case rdf::TriplePos::kO: o = v; break;
+        }
+      }
+    }
+    auto range = store.Range(store.ChooseIndex(s, p, o), s, p, o);
+    probed += range.size();
+    for (const rdf::Triple& t : range) {
+      bool ok = true;
+      size_t k = 0;
+      for (TermId v : orow) row[k++] = v;
+      for (size_t i = plan.outer_width; i < plan.out_vars.size(); ++i) {
+        row[i] = kWildcardId;
+      }
+      for (const auto& vs : plan.var_slots) {
+        if (vs.outer_col >= 0) continue;
+        TermId v = GetPos(t, vs.pos);
+        size_t col = static_cast<size_t>(vs.out_col);
+        if (row[col] != kWildcardId && row[col] != v) {
+          ok = false;  // repeated free variable mismatch (e.g. ?x p ?x)
+          break;
+        }
+        row[col] = v;
+      }
+      if (ok) emit(std::span<const TermId>(row));
+    }
+  }
+  return probed;
+}
+
+// ---------------------------------------------------------------------------
+// Hash join kernel
+// ---------------------------------------------------------------------------
+
+struct HashJoinPlan {
+  std::vector<int> build_key;
+  std::vector<int> probe_key;
+  std::vector<int> probe_extra;  // probe columns appended to the output
+  std::vector<std::string> out_vars;
+};
+
+HashJoinPlan PrepareHashJoin(const std::vector<std::string>& build_vars,
+                             const std::vector<std::string>& probe_vars) {
+  HashJoinPlan plan;
+  auto probe_col = [&](const std::string& name) {
+    for (size_t j = 0; j < probe_vars.size(); ++j) {
+      if (probe_vars[j] == name) return static_cast<int>(j);
+    }
+    return -1;
+  };
+  for (size_t i = 0; i < build_vars.size(); ++i) {
+    int j = probe_col(build_vars[i]);
+    if (j >= 0) {
+      plan.build_key.push_back(static_cast<int>(i));
+      plan.probe_key.push_back(j);
+    }
+  }
+  plan.out_vars = build_vars;
+  for (size_t j = 0; j < probe_vars.size(); ++j) {
+    bool in_build = false;
+    for (const std::string& v : build_vars) {
+      if (v == probe_vars[j]) {
+        in_build = true;
+        break;
+      }
+    }
+    if (!in_build) {
+      plan.out_vars.push_back(probe_vars[j]);
+      plan.probe_extra.push_back(static_cast<int>(j));
+    }
+  }
+  return plan;
+}
+
+template <typename Emit>
+void RunHashJoin(const HashJoinPlan& plan, const BindingTable& build,
+                 const BindingTable& probe, Emit&& emit) {
+  std::vector<TermId> row(plan.out_vars.size());
+  auto emit_pair = [&](std::span<const TermId> brow,
+                       std::span<const TermId> prow) {
+    size_t k = 0;
+    for (TermId v : brow) row[k++] = v;
+    for (int j : plan.probe_extra) row[k++] = prow[static_cast<size_t>(j)];
+    emit(std::span<const TermId>(row));
+  };
+  if (plan.build_key.empty()) {
+    for (size_t i = 0; i < build.num_rows(); ++i) {
+      for (size_t j = 0; j < probe.num_rows(); ++j) {
+        emit_pair(build.row(i), probe.row(j));
+      }
+    }
+    return;
+  }
+  std::unordered_map<uint64_t, std::vector<uint32_t>> table;
+  table.reserve(build.num_rows() * 2);
+  for (size_t i = 0; i < build.num_rows(); ++i) {
+    table[KeyHash(build.row(i), plan.build_key)].push_back(
+        static_cast<uint32_t>(i));
+  }
+  for (size_t j = 0; j < probe.num_rows(); ++j) {
+    auto it = table.find(KeyHash(probe.row(j), plan.probe_key));
+    if (it == table.end()) continue;
+    for (uint32_t i : it->second) {
+      if (KeyEquals(build.row(i), plan.build_key, probe.row(j),
+                    plan.probe_key)) {
+        emit_pair(build.row(i), probe.row(j));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Group-by accumulator (shared by materialized and streaming aggregation)
+// ---------------------------------------------------------------------------
+
+class GroupAccumulator {
+ public:
+  Status Init(const SelectQuery& query, const std::vector<std::string>& vars) {
+    query_ = &query;
+    for (const std::string& v : query.group_by) {
+      int c = -1;
+      for (size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i] == v) c = static_cast<int>(i);
+      }
+      if (c < 0) {
+        return Status::InvalidArgument("GROUP BY variable ?" + v +
+                                       " not bound by the pattern");
+      }
+      group_cols_.push_back(c);
+    }
+    n_agg_ = query.aggregates.size();
+    agg_cols_.assign(n_agg_, -1);
+    needs_value_.assign(n_agg_, false);
+    for (size_t a = 0; a < n_agg_; ++a) {
+      needs_value_[a] =
+          query.aggregates[a].kind != sparql::AggregateKind::kCount;
+      if (query.aggregates[a].var.empty()) continue;  // COUNT(*)
+      for (size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i] == query.aggregates[a].var) {
+          agg_cols_[a] = static_cast<int>(i);
+        }
+      }
+      if (agg_cols_[a] < 0) {
+        return Status::InvalidArgument("aggregate variable ?" +
+                                       query.aggregates[a].var +
+                                       " not bound by the pattern");
+      }
+    }
+    scratch_key_.resize(group_cols_.size());
+    return Status::OK();
+  }
+
+  void AddRow(std::span<const TermId> row, const rdf::Dictionary& dict) {
+    uint64_t h = 0xabcdef;
+    for (size_t k = 0; k < group_cols_.size(); ++k) {
+      scratch_key_[k] = row[static_cast<size_t>(group_cols_[k])];
+      h = util::HashCombine(h, scratch_key_[k]);
+    }
+    std::vector<Acc>& bucket = groups_[h];
+    Acc* acc = nullptr;
+    for (Acc& candidate : bucket) {
+      if (candidate.key == scratch_key_) {
+        acc = &candidate;
+        break;
+      }
+    }
+    if (acc == nullptr) {
+      bucket.push_back(Acc{});
+      acc = &bucket.back();
+      acc->key = scratch_key_;
+      acc->sum.assign(n_agg_, 0.0);
+      acc->min.assign(n_agg_, std::numeric_limits<double>::infinity());
+      acc->max.assign(n_agg_, -std::numeric_limits<double>::infinity());
+      acc->count.assign(n_agg_, 0);
+    }
+    for (size_t a = 0; a < n_agg_; ++a) {
+      ++acc->count[a];
+      if (agg_cols_[a] < 0 || !needs_value_[a]) continue;  // COUNT
+      TermId v = row[static_cast<size_t>(agg_cols_[a])];
+      double x = 0;
+      auto it = numeric_cache_.find(v);
+      if (it != numeric_cache_.end()) {
+        x = it->second;
+      } else {
+        x = dict.term(v).AsDouble().value_or(0.0);
+        numeric_cache_.emplace(v, x);
+      }
+      acc->sum[a] += x;
+      acc->min[a] = std::min(acc->min[a], x);
+      acc->max[a] = std::max(acc->max[a], x);
+    }
+  }
+
+  /// Produces the grouped table: group keys followed by aggregate outputs.
+  Result<BindingTable> Finish(rdf::Dictionary* dict) {
+    std::vector<std::string> out_vars = query_->group_by;
+    for (const sparql::Aggregate& a : query_->aggregates) {
+      out_vars.push_back(a.as_name);
+    }
+    BindingTable out(out_vars);
+    std::vector<TermId> row(out_vars.size());
+    for (auto& [h, bucket] : groups_) {
+      (void)h;
+      for (Acc& acc : bucket) {
+        size_t k = 0;
+        for (TermId id : acc.key) row[k++] = id;
+        for (size_t a = 0; a < n_agg_; ++a) {
+          const sparql::Aggregate& agg = query_->aggregates[a];
+          double value = 0;
+          switch (agg.kind) {
+            case sparql::AggregateKind::kCount:
+              value = static_cast<double>(acc.count[a]);
+              break;
+            case sparql::AggregateKind::kSum: value = acc.sum[a]; break;
+            case sparql::AggregateKind::kAvg:
+              value = acc.count[a] > 0
+                          ? acc.sum[a] / static_cast<double>(acc.count[a])
+                          : 0.0;
+              break;
+            case sparql::AggregateKind::kMin:
+              value = acc.count[a] > 0 ? acc.min[a] : 0.0;
+              break;
+            case sparql::AggregateKind::kMax:
+              value = acc.count[a] > 0 ? acc.max[a] : 0.0;
+              break;
+          }
+          row[k++] = dict->Intern(rdf::Term::Double(value));
+        }
+        out.AppendRow(row);
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Acc {
+    std::vector<TermId> key;
+    std::vector<double> sum;
+    std::vector<double> min;
+    std::vector<double> max;
+    std::vector<uint64_t> count;
+  };
+  const SelectQuery* query_ = nullptr;
+  std::vector<int> group_cols_;
+  std::vector<int> agg_cols_;
+  std::vector<bool> needs_value_;
+  size_t n_agg_ = 0;
+  std::vector<TermId> scratch_key_;
+  std::unordered_map<uint64_t, std::vector<Acc>> groups_;
+  std::unordered_map<TermId, double> numeric_cache_;
+};
+
+/// Filter compiled against a concrete schema for per-row evaluation.
+struct CompiledFilter {
+  const sparql::FilterCondition* f = nullptr;
+  int lhs_col = -1;
+  int rhs_col = -1;           // -1: constant
+  TermId rhs_const = rdf::kInvalidTermId;
+};
+
+}  // namespace
+
+Result<BindingTable> Executor::ExecScan(const SelectQuery& query,
+                                        const opt::PlanNode& node,
+                                        std::vector<char>* filter_done,
+                                        ExecutionStats* stats) {
+  const TriplePattern& tp = query.patterns[node.pattern_index];
+  if (tp.s.is_param() || tp.p.is_param() || tp.o.is_param()) {
+    return Status::InvalidArgument("executor got an unbound %parameter");
+  }
+
+  std::vector<std::string> vars = tp.Variables();
+  BindingTable out(vars);
+
+  TermId s = kWildcardId, p = kWildcardId, o = kWildcardId;
+  if (tp.s.is_const() && !ResolveConst(tp.s, *dict_, &s)) return out;
+  if (tp.p.is_const() && !ResolveConst(tp.p, *dict_, &p)) return out;
+  if (tp.o.is_const() && !ResolveConst(tp.o, *dict_, &o)) return out;
+
+  int s_col = tp.s.is_var() ? out.VarIndex(tp.s.name) : -1;
+  int p_col = tp.p.is_var() ? out.VarIndex(tp.p.name) : -1;
+  int o_col = tp.o.is_var() ? out.VarIndex(tp.o.name) : -1;
+
+  bool s_eq_p = tp.s.is_var() && tp.p.is_var() && tp.s.name == tp.p.name;
+  bool s_eq_o = tp.s.is_var() && tp.o.is_var() && tp.s.name == tp.o.name;
+  bool p_eq_o = tp.p.is_var() && tp.o.is_var() && tp.p.name == tp.o.name;
+
+  std::vector<TermId> row(vars.size());
+  auto range = store_.Range(store_.ChooseIndex(s, p, o), s, p, o);
+  out.Reserve(range.size());
+  for (const rdf::Triple& t : range) {
+    if (s_eq_p && t.s != t.p) continue;
+    if (s_eq_o && t.s != t.o) continue;
+    if (p_eq_o && t.p != t.o) continue;
+    if (s_col >= 0) row[static_cast<size_t>(s_col)] = t.s;
+    if (p_col >= 0) row[static_cast<size_t>(p_col)] = t.p;
+    if (o_col >= 0) row[static_cast<size_t>(o_col)] = t.o;
+    out.AppendRow(row);
+  }
+  stats->scan_rows += out.num_rows();
+  RDFPARAMS_RETURN_NOT_OK(ApplyFilters(query, filter_done, &out));
+  return out;
+}
+
+Result<BindingTable> Executor::ExecIndexJoin(const SelectQuery& query,
+                                             const opt::PlanNode& outer,
+                                             const opt::PlanNode& inner_scan,
+                                             std::vector<char>* filter_done,
+                                             ExecutionStats* stats) {
+  RDFPARAMS_ASSIGN_OR_RETURN(
+      BindingTable outer_table, ExecNode(query, outer, filter_done, stats));
+  const TriplePattern& tp = query.patterns[inner_scan.pattern_index];
+  RDFPARAMS_ASSIGN_OR_RETURN(IndexJoinPlan plan,
+                             PrepareIndexJoin(tp, outer_table.vars(), *dict_));
+  BindingTable out(plan.out_vars);
+  stats->scan_rows += RunIndexJoin(
+      store_, plan, outer_table,
+      [&](std::span<const TermId> row) { out.AppendRow(row); });
+  stats->intermediate_rows += out.num_rows();
+  RDFPARAMS_RETURN_NOT_OK(ApplyFilters(query, filter_done, &out));
+  return out;
+}
+
+Result<BindingTable> Executor::ExecJoin(const SelectQuery& query,
+                                        const opt::PlanNode& node,
+                                        std::vector<char>* filter_done,
+                                        ExecutionStats* stats) {
+  // Prefer an index nested-loop join when either input is a bare scan: the
+  // scan side is probed through the store's indexes, never materialized.
+  if (node.right->is_scan()) {
+    return ExecIndexJoin(query, *node.left, *node.right, filter_done, stats);
+  }
+  if (node.left->is_scan()) {
+    return ExecIndexJoin(query, *node.right, *node.left, filter_done, stats);
+  }
+  RDFPARAMS_ASSIGN_OR_RETURN(
+      BindingTable build, ExecNode(query, *node.left, filter_done, stats));
+  RDFPARAMS_ASSIGN_OR_RETURN(
+      BindingTable probe, ExecNode(query, *node.right, filter_done, stats));
+  HashJoinPlan plan = PrepareHashJoin(build.vars(), probe.vars());
+  BindingTable out(plan.out_vars);
+  RunHashJoin(plan, build, probe,
+              [&](std::span<const TermId> row) { out.AppendRow(row); });
+  stats->intermediate_rows += out.num_rows();
+  RDFPARAMS_RETURN_NOT_OK(ApplyFilters(query, filter_done, &out));
+  return out;
+}
+
+Result<BindingTable> Executor::ExecNode(const SelectQuery& query,
+                                        const opt::PlanNode& node,
+                                        std::vector<char>* filter_done,
+                                        ExecutionStats* stats) {
+  if (node.is_scan()) return ExecScan(query, node, filter_done, stats);
+  return ExecJoin(query, node, filter_done, stats);
+}
+
+bool Executor::EvalFilter(const sparql::FilterCondition& f, TermId lhs,
+                          TermId rhs) const {
+  using sparql::CompareOp;
+  if (f.op == CompareOp::kEq && lhs == rhs) return true;
+  if (f.op == CompareOp::kNe && lhs == rhs) return false;
+  if (lhs == rdf::kInvalidTermId || rhs == rdf::kInvalidTermId) {
+    return f.op == CompareOp::kNe;
+  }
+  const rdf::Term& a = dict_->term(lhs);
+  const rdf::Term& b = dict_->term(rhs);
+  int cmp = a.Compare(b);
+  switch (f.op) {
+    case CompareOp::kEq: return cmp == 0;
+    case CompareOp::kNe: return cmp != 0;
+    case CompareOp::kLt: return cmp < 0;
+    case CompareOp::kLe: return cmp <= 0;
+    case CompareOp::kGt: return cmp > 0;
+    case CompareOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+Status Executor::ApplyFilters(const SelectQuery& query,
+                              std::vector<char>* filter_done,
+                              BindingTable* table) {
+  for (size_t fi = 0; fi < query.filters.size(); ++fi) {
+    if ((*filter_done)[fi]) continue;
+    const sparql::FilterCondition& f = query.filters[fi];
+    int lhs_col = table->VarIndex(f.lhs_var);
+    if (lhs_col < 0) continue;
+    int rhs_col = -1;
+    TermId rhs_const = rdf::kInvalidTermId;
+    if (f.rhs.is_var()) {
+      rhs_col = table->VarIndex(f.rhs.name);
+      if (rhs_col < 0) continue;  // not yet available
+    } else if (f.rhs.is_const()) {
+      // Intern so comparisons against fresh constants work numerically.
+      rhs_const = dict_->Intern(f.rhs.term);
+    } else {
+      return Status::InvalidArgument("filter still has an unbound %parameter");
+    }
+    (*filter_done)[fi] = 1;
+
+    BindingTable kept(table->vars());
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      TermId lhs = table->at(r, static_cast<size_t>(lhs_col));
+      TermId rhs = rhs_col >= 0 ? table->at(r, static_cast<size_t>(rhs_col))
+                                : rhs_const;
+      if (EvalFilter(f, lhs, rhs)) kept.AppendRow(table->row(r));
+    }
+    *table = std::move(kept);
+  }
+  return Status::OK();
+}
+
+Status Executor::SortRows(const SelectQuery& query, BindingTable* table) {
+  if (query.order_by.empty() || table->num_rows() == 0) return Status::OK();
+  std::vector<int> key_cols;
+  std::vector<bool> desc;
+  for (const sparql::OrderKey& k : query.order_by) {
+    int c = table->VarIndex(k.var);
+    if (c < 0) {
+      return Status::InvalidArgument("ORDER BY variable ?" + k.var +
+                                     " not available");
+    }
+    key_cols.push_back(c);
+    desc.push_back(k.descending);
+  }
+  // Decode each distinct key term once (numeric value when applicable) so
+  // the comparator never re-parses lexical forms.
+  struct DecodedKey {
+    bool numeric = false;
+    double value = 0;
+  };
+  std::unordered_map<TermId, DecodedKey> decoded;
+  auto decode = [&](TermId id) {
+    auto it = decoded.find(id);
+    if (it != decoded.end()) return;
+    DecodedKey key;
+    const rdf::Term& term = dict_->term(id);
+    if (term.is_numeric()) {
+      auto v = term.AsDouble();
+      if (v) {
+        key.numeric = true;
+        key.value = *v;
+      }
+    }
+    decoded.emplace(id, key);
+  };
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    for (int c : key_cols) decode(table->at(r, static_cast<size_t>(c)));
+  }
+  std::vector<size_t> order(table->num_rows());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      TermId va = table->at(a, static_cast<size_t>(key_cols[k]));
+      TermId vb = table->at(b, static_cast<size_t>(key_cols[k]));
+      if (va == vb) continue;
+      const DecodedKey& ka = decoded.find(va)->second;
+      const DecodedKey& kb = decoded.find(vb)->second;
+      int cmp;
+      if (ka.numeric && kb.numeric) {
+        cmp = ka.value < kb.value ? -1 : (ka.value > kb.value ? 1 : 0);
+      } else {
+        cmp = dict_->term(va).Compare(dict_->term(vb));
+      }
+      if (cmp == 0) continue;
+      return desc[k] ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+  BindingTable sorted(table->vars());
+  sorted.Reserve(table->num_rows());
+  for (size_t r : order) sorted.AppendRow(table->row(r));
+  *table = std::move(sorted);
+  return Status::OK();
+}
+
+void Executor::DeduplicatePreservingOrder(BindingTable* table) {
+  std::unordered_map<uint64_t, std::vector<uint32_t>> seen;
+  BindingTable out(table->vars());
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    auto row = table->row(r);
+    uint64_t h = 0x9e3779b9;
+    for (TermId id : row) h = util::HashCombine(h, id);
+    std::vector<uint32_t>& bucket = seen[h];
+    bool dup = false;
+    for (uint32_t prev : bucket) {
+      auto prow = out.row(prev);
+      if (std::equal(row.begin(), row.end(), prow.begin())) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(static_cast<uint32_t>(out.num_rows()));
+      out.AppendRow(row);
+    }
+  }
+  *table = std::move(out);
+}
+
+void Executor::ApplyLimitOffset(const SelectQuery& query,
+                                BindingTable* table) {
+  if (query.offset <= 0 && query.limit < 0) return;
+  size_t begin = std::min<size_t>(static_cast<size_t>(
+                                      std::max<int64_t>(query.offset, 0)),
+                                  table->num_rows());
+  size_t end = table->num_rows();
+  if (query.limit >= 0) {
+    end = std::min(end, begin + static_cast<size_t>(query.limit));
+  }
+  BindingTable out(table->vars());
+  out.Reserve(end - begin);
+  for (size_t r = begin; r < end; ++r) out.AppendRow(table->row(r));
+  *table = std::move(out);
+}
+
+Result<BindingTable> Executor::ApplyModifiers(const SelectQuery& query,
+                                              BindingTable table) {
+  // 1. GROUP BY + aggregates (when not already done by the streaming path).
+  if (!query.aggregates.empty()) {
+    GroupAccumulator acc;
+    RDFPARAMS_RETURN_NOT_OK(acc.Init(query, table.vars()));
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      acc.AddRow(table.row(r), *dict_);
+    }
+    RDFPARAMS_ASSIGN_OR_RETURN(table, acc.Finish(dict_));
+  }
+  return FinishModifiers(query, std::move(table));
+}
+
+Result<BindingTable> Executor::FinishModifiers(const SelectQuery& query,
+                                               BindingTable table) {
+  // 2. Projection (before DISTINCT, which SPARQL applies post-projection).
+  std::vector<std::string> proj = query.select_vars;
+  if (!query.aggregates.empty()) {
+    if (proj.empty()) {
+      proj = table.vars();  // group keys + aggregate outputs
+    } else {
+      for (const sparql::Aggregate& a : query.aggregates) {
+        if (std::find(proj.begin(), proj.end(), a.as_name) == proj.end()) {
+          proj.push_back(a.as_name);
+        }
+      }
+    }
+  }
+  if (!proj.empty()) {
+    std::vector<int> cols;
+    for (const std::string& v : proj) {
+      int c = table.VarIndex(v);
+      if (c < 0) {
+        return Status::InvalidArgument("SELECT variable ?" + v +
+                                       " not bound by the pattern");
+      }
+      cols.push_back(c);
+    }
+    bool keys_survive = true;
+    for (const sparql::OrderKey& k : query.order_by) {
+      if (std::find(proj.begin(), proj.end(), k.var) == proj.end()) {
+        keys_survive = false;
+        break;
+      }
+    }
+    if (!keys_survive) {
+      RDFPARAMS_RETURN_NOT_OK(SortRows(query, &table));
+    }
+    BindingTable out(proj);
+    out.Reserve(table.num_rows());
+    std::vector<TermId> row(cols.size());
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      for (size_t k = 0; k < cols.size(); ++k) {
+        row[k] = table.at(r, static_cast<size_t>(cols[k]));
+      }
+      out.AppendRow(row);
+    }
+    if (!keys_survive) {
+      table = std::move(out);
+      if (query.distinct) DeduplicatePreservingOrder(&table);
+      ApplyLimitOffset(query, &table);
+      return table;
+    }
+    table = std::move(out);
+  }
+
+  // 3. DISTINCT.
+  if (query.distinct) DeduplicatePreservingOrder(&table);
+
+  // 4. ORDER BY.
+  RDFPARAMS_RETURN_NOT_OK(SortRows(query, &table));
+
+  // 5. OFFSET / LIMIT.
+  ApplyLimitOffset(query, &table);
+  return table;
+}
+
+Result<BindingTable> Executor::ExecuteStreamingAggregate(
+    const SelectQuery& query, const opt::PlanNode& root,
+    std::vector<char>* filter_done, ExecutionStats* stats) {
+  // Execute children normally (their filters apply inside), then stream
+  // the root join's rows straight into the group-by accumulator — the
+  // root output is never materialized. This is what lets cross-product
+  // aggregates (BSBM-BI Q4's with/without price ratio) run at generic
+  // product types without exhausting memory.
+  RDFPARAMS_DCHECK(root.is_join());
+
+  // Figure out the output schema and the row source.
+  auto stream = [&](const std::vector<std::string>& schema,
+                    auto&& produce) -> Result<BindingTable> {
+    // Compile remaining filters against the root schema.
+    std::vector<CompiledFilter> filters;
+    for (size_t fi = 0; fi < query.filters.size(); ++fi) {
+      if ((*filter_done)[fi]) continue;
+      const sparql::FilterCondition& f = query.filters[fi];
+      CompiledFilter cf;
+      cf.f = &f;
+      for (size_t i = 0; i < schema.size(); ++i) {
+        if (schema[i] == f.lhs_var) cf.lhs_col = static_cast<int>(i);
+        if (f.rhs.is_var() && schema[i] == f.rhs.name) {
+          cf.rhs_col = static_cast<int>(i);
+        }
+      }
+      if (cf.lhs_col < 0) continue;
+      if (f.rhs.is_var() && cf.rhs_col < 0) continue;
+      if (f.rhs.is_param()) {
+        return Status::InvalidArgument(
+            "filter still has an unbound %parameter");
+      }
+      if (f.rhs.is_const()) {
+        cf.rhs_const = dict_->Intern(f.rhs.term);
+      }
+      (*filter_done)[fi] = 1;
+      filters.push_back(cf);
+    }
+
+    GroupAccumulator acc;
+    RDFPARAMS_RETURN_NOT_OK(acc.Init(query, schema));
+    uint64_t rows = 0;
+    produce([&](std::span<const TermId> row) {
+      ++rows;
+      for (const CompiledFilter& cf : filters) {
+        TermId lhs = row[static_cast<size_t>(cf.lhs_col)];
+        TermId rhs = cf.rhs_col >= 0 ? row[static_cast<size_t>(cf.rhs_col)]
+                                     : cf.rhs_const;
+        if (!EvalFilter(*cf.f, lhs, rhs)) return;
+      }
+      acc.AddRow(row, *dict_);
+    });
+    stats->intermediate_rows += rows;
+    RDFPARAMS_ASSIGN_OR_RETURN(BindingTable grouped, acc.Finish(dict_));
+    return FinishModifiers(query, std::move(grouped));
+  };
+
+  if (root.right->is_scan() || root.left->is_scan()) {
+    const opt::PlanNode& outer =
+        root.right->is_scan() ? *root.left : *root.right;
+    const opt::PlanNode& inner =
+        root.right->is_scan() ? *root.right : *root.left;
+    RDFPARAMS_ASSIGN_OR_RETURN(
+        BindingTable outer_table, ExecNode(query, outer, filter_done, stats));
+    const TriplePattern& tp = query.patterns[inner.pattern_index];
+    RDFPARAMS_ASSIGN_OR_RETURN(
+        IndexJoinPlan plan, PrepareIndexJoin(tp, outer_table.vars(), *dict_));
+    return stream(plan.out_vars, [&](auto&& sink) {
+      stats->scan_rows += RunIndexJoin(store_, plan, outer_table, sink);
+    });
+  }
+  RDFPARAMS_ASSIGN_OR_RETURN(
+      BindingTable build, ExecNode(query, *root.left, filter_done, stats));
+  RDFPARAMS_ASSIGN_OR_RETURN(
+      BindingTable probe, ExecNode(query, *root.right, filter_done, stats));
+  HashJoinPlan plan = PrepareHashJoin(build.vars(), probe.vars());
+  return stream(plan.out_vars, [&](auto&& sink) {
+    RunHashJoin(plan, build, probe, sink);
+  });
+}
+
+Result<BindingTable> Executor::Execute(const SelectQuery& query,
+                                       const opt::PlanNode& plan,
+                                       ExecutionStats* stats) {
+  ExecutionStats local;
+  util::WallTimer timer;
+  std::vector<char> filter_done(query.filters.size(), 0);
+
+  BindingTable table;
+  if (!query.aggregates.empty() && plan.is_join()) {
+    RDFPARAMS_ASSIGN_OR_RETURN(
+        table, ExecuteStreamingAggregate(query, plan, &filter_done, &local));
+  } else {
+    RDFPARAMS_ASSIGN_OR_RETURN(table,
+                               ExecNode(query, plan, &filter_done, &local));
+  }
+  for (size_t fi = 0; fi < filter_done.size(); ++fi) {
+    if (!filter_done[fi]) {
+      return Status::InvalidArgument(
+          "filter references a variable not bound by the pattern: " +
+          query.filters[fi].ToString());
+    }
+  }
+  if (query.aggregates.empty() || plan.is_scan()) {
+    RDFPARAMS_ASSIGN_OR_RETURN(table, ApplyModifiers(query, std::move(table)));
+  }
+  local.wall_seconds = timer.ElapsedSeconds();
+  local.result_rows = table.num_rows();
+  if (stats != nullptr) *stats = local;
+  return table;
+}
+
+Result<BindingTable> Executor::Run(const SelectQuery& query,
+                                   ExecutionStats* stats,
+                                   const opt::OptimizeOptions& options) {
+  RDFPARAMS_ASSIGN_OR_RETURN(opt::OptimizedPlan plan,
+                             opt::Optimize(query, store_, *dict_, options));
+  return Execute(query, *plan.root, stats);
+}
+
+Result<BindingTable> ExecuteNaive(const SelectQuery& query,
+                                  const rdf::TripleStore& store,
+                                  rdf::Dictionary* dict) {
+  // Left-deep, in-text-order execution: the plan is pattern 0 joined with
+  // pattern 1, joined with pattern 2, ... regardless of cost. Shares the
+  // executor's operators so only the plan shape is "naive".
+  if (query.patterns.empty()) {
+    return Status::InvalidArgument("query has no patterns");
+  }
+  std::unique_ptr<opt::PlanNode> root =
+      opt::PlanNode::MakeScan(0, rdf::IndexOrder::kSPO);
+  for (size_t i = 1; i < query.patterns.size(); ++i) {
+    auto rhs = opt::PlanNode::MakeScan(i, rdf::IndexOrder::kSPO);
+    root = opt::PlanNode::MakeJoin(std::move(root), std::move(rhs), {});
+  }
+  Executor exec(store, dict);
+  ExecutionStats stats;
+  return exec.Execute(query, *root, &stats);
+}
+
+}  // namespace rdfparams::engine

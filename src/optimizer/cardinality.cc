@@ -1,0 +1,316 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace rdfparams::opt {
+
+namespace {
+
+using rdf::kWildcardId;
+using rdf::TermId;
+using sparql::Slot;
+using sparql::SlotKind;
+
+/// Resolves a constant slot to a TermId; kInvalidTermId when the term does
+/// not occur in the data (=> pattern cardinality 0).
+bool ResolveSlot(const Slot& slot, const rdf::Dictionary& dict, TermId* out,
+                 bool* is_bound) {
+  if (slot.is_var()) {
+    *out = kWildcardId;
+    *is_bound = false;
+    return true;
+  }
+  if (slot.is_const()) {
+    *is_bound = true;
+    auto id = dict.Find(slot.term);
+    *out = id.has_value() ? *id : rdf::kInvalidTermId;
+    return id.has_value();
+  }
+  return false;  // parameter: caller must have bound it
+}
+
+}  // namespace
+
+double FilterSelectivity(sparql::CompareOp op, double distinct_values) {
+  double d = std::max(distinct_values, 1.0);
+  switch (op) {
+    case sparql::CompareOp::kEq:
+      return 1.0 / d;
+    case sparql::CompareOp::kNe:
+      return 1.0 - 1.0 / d;
+    case sparql::CompareOp::kLt:
+    case sparql::CompareOp::kLe:
+    case sparql::CompareOp::kGt:
+    case sparql::CompareOp::kGe:
+      return 1.0 / 3.0;  // classical System R guess
+  }
+  return 1.0;
+}
+
+Result<RelationInfo> CardinalityEstimator::EstimatePattern(
+    const sparql::SelectQuery& query, size_t pattern_index) const {
+  if (pattern_index >= query.patterns.size()) {
+    return Status::InvalidArgument("pattern index out of range");
+  }
+  const sparql::TriplePattern& tp = query.patterns[pattern_index];
+  if (tp.s.is_param() || tp.p.is_param() || tp.o.is_param()) {
+    return Status::InvalidArgument(
+        "pattern still contains unbound %parameters");
+  }
+
+  TermId s = kWildcardId, p = kWildcardId, o = kWildcardId;
+  bool bs = false, bp = false, bo = false;
+  bool s_present = ResolveSlot(tp.s, dict_, &s, &bs);
+  bool p_present = ResolveSlot(tp.p, dict_, &p, &bp);
+  bool o_present = ResolveSlot(tp.o, dict_, &o, &bo);
+
+  RelationInfo info;
+  // A constant that is absent from the dictionary matches nothing.
+  if (!s_present || !p_present || !o_present) {
+    info.cardinality = 0;
+    for (const std::string& v : tp.Variables()) info.var_distinct[v] = 0;
+    return info;
+  }
+
+  // Exact match count through the covering index.
+  double card = static_cast<double>(store_.CountPattern(s, p, o));
+
+  // Repeated variable inside one pattern (e.g. ?x :p ?x): the index range
+  // over-counts; apply an equality selectivity between the two positions.
+  bool s_eq_o = tp.s.is_var() && tp.o.is_var() && tp.s.name == tp.o.name;
+  bool s_eq_p = tp.s.is_var() && tp.p.is_var() && tp.s.name == tp.p.name;
+  bool p_eq_o = tp.p.is_var() && tp.o.is_var() && tp.p.name == tp.o.name;
+
+  // Distinct-value estimates per variable position.
+  auto global_distinct = [&](rdf::TriplePos pos) -> double {
+    switch (pos) {
+      case rdf::TriplePos::kS:
+        return static_cast<double>(std::max<uint64_t>(
+            store_.NumDistinctSubjects(), 1));
+      case rdf::TriplePos::kP:
+        return static_cast<double>(std::max<uint64_t>(
+            store_.NumDistinctPredicates(), 1));
+      case rdf::TriplePos::kO:
+        return static_cast<double>(std::max<uint64_t>(
+            store_.NumDistinctObjects(), 1));
+    }
+    return 1;
+  };
+
+  auto position_distinct = [&](rdf::TriplePos pos) -> double {
+    // Predicate bound: use the per-predicate statistics.
+    if (bp && p != rdf::kInvalidTermId) {
+      if (pos == rdf::TriplePos::kS && !bs && !bo) {
+        return static_cast<double>(
+            std::max<uint64_t>(store_.DistinctSubjectsForPredicate(p), 1));
+      }
+      if (pos == rdf::TriplePos::kO && !bo && !bs) {
+        return static_cast<double>(
+            std::max<uint64_t>(store_.DistinctObjectsForPredicate(p), 1));
+      }
+    }
+    // Otherwise: bounded by both the match count and the global distinct.
+    return std::max(1.0, std::min(card, global_distinct(pos)));
+  };
+
+  if (s_eq_o) card /= std::max(position_distinct(rdf::TriplePos::kO), 1.0);
+  if (s_eq_p) card /= std::max(position_distinct(rdf::TriplePos::kP), 1.0);
+  if (p_eq_o) card /= std::max(position_distinct(rdf::TriplePos::kO), 1.0);
+
+  info.cardinality = card;
+  if (tp.s.is_var()) {
+    info.var_distinct[tp.s.name] =
+        std::min(card, position_distinct(rdf::TriplePos::kS));
+  }
+  if (tp.p.is_var()) {
+    info.var_distinct[tp.p.name] =
+        std::min(card, position_distinct(rdf::TriplePos::kP));
+  }
+  if (tp.o.is_var()) {
+    info.var_distinct[tp.o.name] =
+        std::min(card, position_distinct(rdf::TriplePos::kO));
+  }
+
+  // Fold in constant-rhs filters on variables this pattern produces.
+  for (const sparql::FilterCondition& f : query.filters) {
+    if (!f.rhs.is_const()) continue;
+    auto it = info.var_distinct.find(f.lhs_var);
+    if (it == info.var_distinct.end()) continue;
+    double sel = FilterSelectivity(f.op, it->second);
+    info.cardinality *= sel;
+    for (auto& [var, d] : info.var_distinct) {
+      d = std::max(1.0, std::min(d, info.cardinality));
+      (void)var;
+    }
+  }
+  return info;
+}
+
+namespace {
+
+/// Where (if anywhere) does variable `var` sit in the pattern? Returns the
+/// number of occurrences; `pos` receives the first occurrence.
+int FindVarPosition(const sparql::TriplePattern& tp, const std::string& var,
+                    rdf::TriplePos* pos) {
+  int count = 0;
+  if (tp.s.is_var() && tp.s.name == var) {
+    if (count++ == 0) *pos = rdf::TriplePos::kS;
+  }
+  if (tp.p.is_var() && tp.p.name == var) {
+    if (count++ == 0) *pos = rdf::TriplePos::kP;
+  }
+  if (tp.o.is_var() && tp.o.name == var) {
+    if (count++ == 0) *pos = rdf::TriplePos::kO;
+  }
+  return count;
+}
+
+/// Resolves the pattern into a (s, p, o) id triple with wildcards for
+/// variables; false when a constant is absent from the data.
+bool ResolvePattern(const sparql::TriplePattern& tp,
+                    const rdf::Dictionary& dict, rdf::TermId* s, rdf::TermId* p,
+                    rdf::TermId* o) {
+  bool bound = false;
+  if (!ResolveSlot(tp.s, dict, s, &bound) && tp.s.is_const()) return false;
+  if (!ResolveSlot(tp.p, dict, p, &bound) && tp.p.is_const()) return false;
+  if (!ResolveSlot(tp.o, dict, o, &bound) && tp.o.is_const()) return false;
+  return true;
+}
+
+/// Returns a copy of (s,p,o) with the slot at `pos` set to `value`.
+void BindPosition(rdf::TriplePos pos, rdf::TermId value, rdf::TermId* s,
+                  rdf::TermId* p, rdf::TermId* o) {
+  switch (pos) {
+    case rdf::TriplePos::kS: *s = value; break;
+    case rdf::TriplePos::kP: *p = value; break;
+    case rdf::TriplePos::kO: *o = value; break;
+  }
+}
+
+}  // namespace
+
+std::optional<double> CardinalityEstimator::ExactPairJoinCount(
+    const sparql::SelectQuery& query, size_t pattern_a, size_t pattern_b,
+    uint64_t max_work) const {
+  if (pattern_a >= query.patterns.size() || pattern_b >= query.patterns.size())
+    return std::nullopt;
+  const sparql::TriplePattern& ta = query.patterns[pattern_a];
+  const sparql::TriplePattern& tb = query.patterns[pattern_b];
+
+  // Exactly one shared variable, occurring once on each side.
+  std::vector<std::string> shared;
+  for (const std::string& v : ta.Variables()) {
+    for (const std::string& w : tb.Variables()) {
+      if (v == w) shared.push_back(v);
+    }
+  }
+  if (shared.size() != 1) return std::nullopt;
+  rdf::TriplePos pos_a, pos_b;
+  if (FindVarPosition(ta, shared[0], &pos_a) != 1) return std::nullopt;
+  if (FindVarPosition(tb, shared[0], &pos_b) != 1) return std::nullopt;
+
+  rdf::TermId sa = rdf::kWildcardId, pa = rdf::kWildcardId,
+              oa = rdf::kWildcardId;
+  rdf::TermId sb = rdf::kWildcardId, pb = rdf::kWildcardId,
+              ob = rdf::kWildcardId;
+  if (!ResolvePattern(ta, dict_, &sa, &pa, &oa)) return 0.0;
+  if (!ResolvePattern(tb, dict_, &sb, &pb, &ob)) return 0.0;
+
+  uint64_t size_a = store_.CountPattern(sa, pa, oa);
+  uint64_t size_b = store_.CountPattern(sb, pb, ob);
+  if (size_a == 0 || size_b == 0) return 0.0;
+
+  // Iterate the smaller side.
+  bool a_smaller = size_a <= size_b;
+  const sparql::TriplePattern& small_tp = a_smaller ? ta : tb;
+  rdf::TriplePos small_pos = a_smaller ? pos_a : pos_b;
+  rdf::TriplePos big_pos = a_smaller ? pos_b : pos_a;
+  rdf::TermId ss = a_smaller ? sa : sb, sp = a_smaller ? pa : pb,
+              so = a_smaller ? oa : ob;
+  rdf::TermId bs = a_smaller ? sb : sa, bp = a_smaller ? pb : pa,
+              bo = a_smaller ? ob : oa;
+  uint64_t small_size = std::min(size_a, size_b);
+  uint64_t big_size = std::max(size_a, size_b);
+  (void)small_tp;
+
+  constexpr uint64_t kPerValueLimit = 4096;
+  if (small_size <= kPerValueLimit) {
+    // Per-value counting: for each binding of the shared variable on the
+    // small side, binary-search the big side.
+    double total = 0;
+    auto range = store_.Range(store_.ChooseIndex(ss, sp, so), ss, sp, so);
+    for (const rdf::Triple& t : range) {
+      rdf::TermId v = rdf::GetPos(t, small_pos);
+      rdf::TermId qs = bs, qp = bp, qo = bo;
+      BindPosition(big_pos, v, &qs, &qp, &qo);
+      total += static_cast<double>(store_.CountPattern(qs, qp, qo));
+    }
+    return total;
+  }
+
+  if (small_size + big_size > max_work) return std::nullopt;
+
+  // Hash-count pass: value -> multiplicity from the small side, then sum
+  // products over the big side.
+  std::unordered_map<rdf::TermId, uint64_t> counts;
+  counts.reserve(small_size * 2);
+  {
+    auto range = store_.Range(store_.ChooseIndex(ss, sp, so), ss, sp, so);
+    for (const rdf::Triple& t : range) {
+      ++counts[rdf::GetPos(t, small_pos)];
+    }
+  }
+  double total = 0;
+  {
+    auto range = store_.Range(store_.ChooseIndex(bs, bp, bo), bs, bp, bo);
+    for (const rdf::Triple& t : range) {
+      auto it = counts.find(rdf::GetPos(t, big_pos));
+      if (it != counts.end()) total += static_cast<double>(it->second);
+    }
+  }
+  return total;
+}
+
+std::vector<std::string> CardinalityEstimator::SharedVars(
+    const RelationInfo& a, const RelationInfo& b) {
+  std::vector<std::string> shared;
+  for (const auto& [var, d] : a.var_distinct) {
+    (void)d;
+    if (b.var_distinct.count(var) > 0) shared.push_back(var);
+  }
+  return shared;  // std::map iteration is already sorted by name
+}
+
+RelationInfo CardinalityEstimator::EstimateJoin(const RelationInfo& a,
+                                                const RelationInfo& b) {
+  RelationInfo out;
+  std::vector<std::string> shared = SharedVars(a, b);
+  double selectivity = 1.0;
+  for (const std::string& v : shared) {
+    double da = std::max(a.var_distinct.at(v), 1.0);
+    double db = std::max(b.var_distinct.at(v), 1.0);
+    selectivity /= std::max(da, db);
+  }
+  out.cardinality = a.cardinality * b.cardinality * selectivity;
+
+  // Propagate distinct counts: shared vars keep the smaller side
+  // (containment assumption); exclusive vars carry over. All are capped by
+  // the output cardinality.
+  for (const auto& [var, da] : a.var_distinct) {
+    double d = da;
+    auto it = b.var_distinct.find(var);
+    if (it != b.var_distinct.end()) d = std::min(d, it->second);
+    out.var_distinct[var] = std::max(0.0, std::min(d, out.cardinality));
+  }
+  for (const auto& [var, db] : b.var_distinct) {
+    if (out.var_distinct.count(var) == 0) {
+      out.var_distinct[var] = std::max(0.0, std::min(db, out.cardinality));
+    }
+  }
+  return out;
+}
+
+}  // namespace rdfparams::opt

@@ -1,0 +1,43 @@
+// Join-order optimization minimizing the paper's C_out cost function:
+//
+//   C_out(T) = 0                                   if T is a scan
+//   C_out(T) = |T| + C_out(T1) + C_out(T2)         if T = T1 JOIN T2
+//
+// Exact dynamic programming over pattern subsets (DPsub with connectivity)
+// up to `dp_max_patterns`; greedy operator ordering (GOO) beyond that.
+// Plans are canonicalized (build side = smaller estimated input) so that
+// equal join trees yield equal fingerprints across parameter bindings.
+#ifndef RDFPARAMS_OPTIMIZER_OPTIMIZER_H_
+#define RDFPARAMS_OPTIMIZER_OPTIMIZER_H_
+
+#include <cstdint>
+
+#include "optimizer/cardinality.h"
+#include "optimizer/plan.h"
+#include "sparql/algebra.h"
+#include "util/status.h"
+
+namespace rdfparams::opt {
+
+struct OptimizeOptions {
+  /// Above this pattern count, fall back from exact DP to greedy ordering.
+  size_t dp_max_patterns = 13;
+  /// Permit cross products when the query graph is disconnected.
+  bool allow_cross_products = true;
+};
+
+/// Optimizes a ground query (no unbound %parameters). Returns the
+/// C_out-optimal join tree with estimates annotated on every node.
+Result<OptimizedPlan> Optimize(const sparql::SelectQuery& query,
+                               const rdf::TripleStore& store,
+                               const rdf::Dictionary& dict,
+                               const OptimizeOptions& options = {});
+
+/// Baseline for tests and ablations: left-deep greedy ordering only.
+Result<OptimizedPlan> OptimizeGreedy(const sparql::SelectQuery& query,
+                                     const rdf::TripleStore& store,
+                                     const rdf::Dictionary& dict);
+
+}  // namespace rdfparams::opt
+
+#endif  // RDFPARAMS_OPTIMIZER_OPTIMIZER_H_

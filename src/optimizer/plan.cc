@@ -1,0 +1,86 @@
+#include "optimizer/plan.h"
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace rdfparams::opt {
+
+std::unique_ptr<PlanNode> PlanNode::MakeScan(size_t pattern_index,
+                                             rdf::IndexOrder order) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kScan;
+  node->pattern_index = pattern_index;
+  node->index_order = order;
+  node->pattern_set = uint64_t{1} << pattern_index;
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::MakeJoin(
+    std::unique_ptr<PlanNode> left, std::unique_ptr<PlanNode> right,
+    std::vector<std::string> join_vars) {
+  RDFPARAMS_DCHECK(left && right);
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kJoin;
+  node->pattern_set = left->pattern_set | right->pattern_set;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->join_vars = std::move(join_vars);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  node->pattern_index = pattern_index;
+  node->index_order = index_order;
+  node->join_vars = join_vars;
+  node->est_cardinality = est_cardinality;
+  node->est_cout = est_cout;
+  node->pattern_set = pattern_set;
+  if (left) node->left = left->Clone();
+  if (right) node->right = right->Clone();
+  return node;
+}
+
+std::string PlanNode::Fingerprint() const {
+  if (is_scan()) {
+    return "S" + std::to_string(pattern_index);
+  }
+  return "J(" + left->Fingerprint() + "," + right->Fingerprint() + ")";
+}
+
+size_t PlanNode::NumJoins() const {
+  if (is_scan()) return 0;
+  return 1 + left->NumJoins() + right->NumJoins();
+}
+
+void PlanNode::ExplainRec(const sparql::SelectQuery& query, int depth,
+                          std::string* out) const {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (is_scan()) {
+    const sparql::TriplePattern& tp = query.patterns[pattern_index];
+    out->append(util::StringPrintf(
+        "IndexScan[%s] #%zu  %s  (est_card=%.3g)\n",
+        rdf::IndexOrderName(index_order), pattern_index,
+        tp.ToString().c_str(), est_cardinality));
+    return;
+  }
+  std::string vars;
+  for (size_t i = 0; i < join_vars.size(); ++i) {
+    if (i > 0) vars += ",";
+    vars += "?" + join_vars[i];
+  }
+  if (join_vars.empty()) vars = "<cross>";
+  out->append(util::StringPrintf("HashJoin[%s]  (est_card=%.3g, cout=%.3g)\n",
+                                 vars.c_str(), est_cardinality, est_cout));
+  left->ExplainRec(query, depth + 1, out);
+  right->ExplainRec(query, depth + 1, out);
+}
+
+std::string PlanNode::Explain(const sparql::SelectQuery& query) const {
+  std::string out;
+  ExplainRec(query, 0, &out);
+  return out;
+}
+
+}  // namespace rdfparams::opt

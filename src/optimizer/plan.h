@@ -1,0 +1,79 @@
+// Logical/physical plan tree with the paper's C_out cost annotation and a
+// canonical fingerprint used to compare plans across parameter bindings
+// (condition (a) of the PARAMETERS FOR RDF BENCHMARKS problem).
+#ifndef RDFPARAMS_OPTIMIZER_PLAN_H_
+#define RDFPARAMS_OPTIMIZER_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "sparql/algebra.h"
+
+namespace rdfparams::opt {
+
+/// Node of a join tree. Leaves are index scans of one triple pattern;
+/// inner nodes are (hash) joins on the shared variables of their inputs.
+struct PlanNode {
+  enum class Kind : uint8_t { kScan, kJoin };
+
+  Kind kind = Kind::kScan;
+
+  // --- kScan ---
+  size_t pattern_index = 0;                       ///< index into query.patterns
+  rdf::IndexOrder index_order = rdf::IndexOrder::kSPO;
+
+  // --- kJoin ---
+  std::unique_ptr<PlanNode> left;                 ///< build side
+  std::unique_ptr<PlanNode> right;                ///< probe side
+  std::vector<std::string> join_vars;             ///< empty => cross product
+
+  // --- estimates (filled by the optimizer) ---
+  double est_cardinality = 0;  ///< estimated output rows of this node
+  double est_cout = 0;         ///< C_out of the subtree rooted here
+
+  /// Bitmask of pattern indices covered by this subtree.
+  uint64_t pattern_set = 0;
+
+  static std::unique_ptr<PlanNode> MakeScan(size_t pattern_index,
+                                            rdf::IndexOrder order);
+  static std::unique_ptr<PlanNode> MakeJoin(std::unique_ptr<PlanNode> left,
+                                            std::unique_ptr<PlanNode> right,
+                                            std::vector<std::string> join_vars);
+
+  bool is_scan() const { return kind == Kind::kScan; }
+  bool is_join() const { return kind == Kind::kJoin; }
+
+  /// Deep copy.
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Canonical structural fingerprint, e.g. "J(S1,J(S0,S2))".
+  /// Two plans for the same template with equal fingerprints have the same
+  /// join tree over the same patterns — the paper's "same optimal plan".
+  std::string Fingerprint() const;
+
+  /// Number of join nodes in the subtree.
+  size_t NumJoins() const;
+
+  /// Human-readable EXPLAIN rendering with estimates; `query` supplies the
+  /// pattern texts.
+  std::string Explain(const sparql::SelectQuery& query) const;
+
+ private:
+  void ExplainRec(const sparql::SelectQuery& query, int depth,
+                  std::string* out) const;
+};
+
+/// Result of optimization: the plan plus template-level metadata.
+struct OptimizedPlan {
+  std::unique_ptr<PlanNode> root;
+  double est_cout = 0;          ///< == root->est_cout
+  double est_cardinality = 0;   ///< == root->est_cardinality
+  std::string fingerprint;      ///< == root->Fingerprint()
+};
+
+}  // namespace rdfparams::opt
+
+#endif  // RDFPARAMS_OPTIMIZER_PLAN_H_

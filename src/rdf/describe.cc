@@ -1,0 +1,61 @@
+#include "rdf/describe.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace rdfparams::rdf {
+
+std::string ShortenIri(const std::string& iri) {
+  size_t cut = iri.find_last_of("#/");
+  if (cut == std::string::npos || cut + 1 >= iri.size()) return iri;
+  return iri.substr(cut + 1);
+}
+
+std::string DescribeStore(const TripleStore& store, const Dictionary& dict,
+                          const DescribeOptions& options) {
+  std::string out = util::StringPrintf(
+      "%s triples | %s subjects | %zu predicates | %s objects\n\n",
+      util::FormatCount(store.size()).c_str(),
+      util::FormatCount(store.NumDistinctSubjects()).c_str(),
+      static_cast<size_t>(store.NumDistinctPredicates()),
+      util::FormatCount(store.NumDistinctObjects()).c_str());
+
+  struct Row {
+    TermId p;
+    uint64_t count;
+  };
+  std::vector<Row> rows;
+  for (TermId p : store.Predicates()) {
+    rows.push_back({p, store.CountPattern(kWildcardId, p, kWildcardId)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.count > b.count; });
+  if (options.max_predicates > 0 && rows.size() > options.max_predicates) {
+    rows.resize(options.max_predicates);
+  }
+
+  util::TablePrinter table({"predicate", "triples", "distinct S",
+                            "distinct O", "fan-out", "fan-in"});
+  for (const Row& row : rows) {
+    const Term& term = dict.term(row.p);
+    std::string name =
+        options.shorten_iris ? ShortenIri(term.lexical) : term.lexical;
+    uint64_t ds = store.DistinctSubjectsForPredicate(row.p);
+    uint64_t dobj = store.DistinctObjectsForPredicate(row.p);
+    double fan_out = ds > 0 ? static_cast<double>(row.count) /
+                                  static_cast<double>(ds)
+                            : 0;
+    double fan_in = dobj > 0 ? static_cast<double>(row.count) /
+                                   static_cast<double>(dobj)
+                             : 0;
+    table.AddRow({name, util::FormatCount(row.count),
+                  util::FormatCount(ds), util::FormatCount(dobj),
+                  util::StringPrintf("%.1f", fan_out),
+                  util::StringPrintf("%.1f", fan_in)});
+  }
+  return out + table.ToText();
+}
+
+}  // namespace rdfparams::rdf

@@ -1,0 +1,32 @@
+// Human-readable dataset statistics: the per-predicate table a benchmark
+// author inspects before choosing parameter domains (triple counts,
+// distinct subjects/objects — i.e. the fan-in/fan-out that drives the
+// paper's selectivity effects).
+#ifndef RDFPARAMS_RDF_DESCRIBE_H_
+#define RDFPARAMS_RDF_DESCRIBE_H_
+
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace rdfparams::rdf {
+
+struct DescribeOptions {
+  /// Print at most this many predicates (largest first); 0 = all.
+  size_t max_predicates = 0;
+  /// Shorten IRIs to their fragment/last path segment.
+  bool shorten_iris = true;
+};
+
+/// Renders a table: predicate, #triples, distinct S, distinct O, avg
+/// fan-out (triples / distinct S) and fan-in (triples / distinct O).
+std::string DescribeStore(const TripleStore& store, const Dictionary& dict,
+                          const DescribeOptions& options = {});
+
+/// "http://x/vocab#livesIn" -> "livesIn" (for display only).
+std::string ShortenIri(const std::string& iri);
+
+}  // namespace rdfparams::rdf
+
+#endif  // RDFPARAMS_RDF_DESCRIBE_H_

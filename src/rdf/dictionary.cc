@@ -1,0 +1,33 @@
+#include "rdf/dictionary.h"
+
+namespace rdfparams::rdf {
+
+TermId Dictionary::Intern(const Term& term) {
+  std::string key = term.ToNTriples();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  RDFPARAMS_DCHECK(id != kInvalidTermId);
+  terms_.push_back(term);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Find(const Term& term) const {
+  auto it = index_.find(term.ToNTriples());
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Term& Dictionary::term(TermId id) const {
+  RDFPARAMS_DCHECK(id < terms_.size());
+  return terms_[id];
+}
+
+std::string Dictionary::ToString(TermId id) const {
+  if (id == kInvalidTermId) return "?";
+  if (id >= terms_.size()) return "<bad-id>";
+  return terms_[id].ToNTriples();
+}
+
+}  // namespace rdfparams::rdf

@@ -1,0 +1,64 @@
+// Dictionary encoding: bidirectional mapping between Terms and dense
+// 32-bit TermIds. All store/optimizer/executor code works on TermIds.
+#ifndef RDFPARAMS_RDF_DICTIONARY_H_
+#define RDFPARAMS_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace rdfparams::rdf {
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = 0xFFFFFFFFu;
+
+/// Append-only term dictionary. Ids are dense and start at 0.
+/// Not thread-safe for writes; concurrent reads after loading are fine.
+class Dictionary {
+ public:
+  Dictionary() = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Interns a term, returning its id (existing or freshly assigned).
+  TermId Intern(const Term& term);
+
+  /// Convenience interners.
+  TermId InternIri(std::string iri) { return Intern(Term::Iri(std::move(iri))); }
+  TermId InternLiteral(std::string s) {
+    return Intern(Term::Literal(std::move(s)));
+  }
+  TermId InternInteger(int64_t v) { return Intern(Term::Integer(v)); }
+  TermId InternDouble(double v) { return Intern(Term::Double(v)); }
+
+  /// Lookup without interning; nullopt if absent.
+  std::optional<TermId> Find(const Term& term) const;
+  std::optional<TermId> FindIri(const std::string& iri) const {
+    return Find(Term::Iri(iri));
+  }
+
+  /// Id -> term. Asserts id < size().
+  const Term& term(TermId id) const;
+
+  /// Number of interned terms.
+  size_t size() const { return terms_.size(); }
+
+  /// N-Triples rendering of an id (convenience for EXPLAIN / debugging).
+  std::string ToString(TermId id) const;
+
+ private:
+  std::vector<Term> terms_;
+  // Key: canonical N-Triples form, which is unique per term.
+  std::unordered_map<std::string, TermId> index_;
+};
+
+}  // namespace rdfparams::rdf
+
+#endif  // RDFPARAMS_RDF_DICTIONARY_H_

@@ -1,0 +1,191 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace rdfparams::rdf {
+
+namespace {
+
+void SkipWs(std::string_view s, size_t* pos) {
+  while (*pos < s.size() && (s[*pos] == ' ' || s[*pos] == '\t')) ++*pos;
+}
+
+bool IsPnChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+}
+
+}  // namespace
+
+Result<Term> ParseNTriplesTerm(std::string_view line, size_t* pos) {
+  SkipWs(line, pos);
+  if (*pos >= line.size()) {
+    return Status::ParseError("expected term, found end of line");
+  }
+  char c = line[*pos];
+  if (c == '<') {
+    size_t end = line.find('>', *pos + 1);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated IRI");
+    }
+    std::string iri(line.substr(*pos + 1, end - *pos - 1));
+    *pos = end + 1;
+    if (iri.empty()) return Status::ParseError("empty IRI");
+    return Term::Iri(std::move(iri));
+  }
+  if (c == '_') {
+    if (*pos + 1 >= line.size() || line[*pos + 1] != ':') {
+      return Status::ParseError("malformed blank node (expected _:)");
+    }
+    size_t start = *pos + 2;
+    size_t end = start;
+    while (end < line.size() && IsPnChar(line[end])) ++end;
+    if (end == start) return Status::ParseError("empty blank node label");
+    std::string label(line.substr(start, end - start));
+    *pos = end;
+    return Term::Blank(std::move(label));
+  }
+  if (c == '"') {
+    // Scan to the closing unescaped quote.
+    size_t i = *pos + 1;
+    bool escaped = false;
+    while (i < line.size()) {
+      if (escaped) {
+        escaped = false;
+      } else if (line[i] == '\\') {
+        escaped = true;
+      } else if (line[i] == '"') {
+        break;
+      }
+      ++i;
+    }
+    if (i >= line.size()) return Status::ParseError("unterminated literal");
+    RDFPARAMS_ASSIGN_OR_RETURN(
+        std::string lexical,
+        UnescapeNTriplesString(line.substr(*pos + 1, i - *pos - 1)));
+    *pos = i + 1;
+    // Optional language tag or datatype.
+    if (*pos < line.size() && line[*pos] == '@') {
+      size_t start = *pos + 1;
+      size_t end = start;
+      while (end < line.size() &&
+             (IsPnChar(line[end]) || line[end] == '-')) {
+        ++end;
+      }
+      if (end == start) return Status::ParseError("empty language tag");
+      std::string lang(line.substr(start, end - start));
+      *pos = end;
+      return Term::LangLiteral(std::move(lexical), std::move(lang));
+    }
+    if (*pos + 1 < line.size() && line[*pos] == '^' && line[*pos + 1] == '^') {
+      *pos += 2;
+      if (*pos >= line.size() || line[*pos] != '<') {
+        return Status::ParseError("datatype must be an IRI");
+      }
+      size_t end = line.find('>', *pos + 1);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated datatype IRI");
+      }
+      std::string dt(line.substr(*pos + 1, end - *pos - 1));
+      *pos = end + 1;
+      return Term::TypedLiteral(std::move(lexical), std::move(dt));
+    }
+    return Term::Literal(std::move(lexical));
+  }
+  return Status::ParseError(std::string("unexpected character '") + c +
+                            "' at term start");
+}
+
+Status ParseNTriples(
+    std::string_view document,
+    const std::function<void(const Term& s, const Term& p, const Term& o)>&
+        sink) {
+  size_t line_no = 0;
+  size_t offset = 0;
+  while (offset <= document.size()) {
+    size_t nl = document.find('\n', offset);
+    std::string_view line = nl == std::string_view::npos
+                                ? document.substr(offset)
+                                : document.substr(offset, nl - offset);
+    offset = nl == std::string_view::npos ? document.size() + 1 : nl + 1;
+    ++line_no;
+
+    std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    size_t pos = 0;
+    auto fail = [&](const Status& st) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                st.message());
+    };
+    Result<Term> s = ParseNTriplesTerm(trimmed, &pos);
+    if (!s.ok()) return fail(s.status());
+    Result<Term> p = ParseNTriplesTerm(trimmed, &pos);
+    if (!p.ok()) return fail(p.status());
+    if (!p->is_iri()) {
+      return fail(Status::ParseError("predicate must be an IRI"));
+    }
+    Result<Term> o = ParseNTriplesTerm(trimmed, &pos);
+    if (!o.ok()) return fail(o.status());
+    SkipWs(trimmed, &pos);
+    if (pos >= trimmed.size() || trimmed[pos] != '.') {
+      return fail(Status::ParseError("expected '.' after object"));
+    }
+    ++pos;
+    SkipWs(trimmed, &pos);
+    if (pos < trimmed.size() && trimmed[pos] != '#') {
+      return fail(Status::ParseError("trailing content after '.'"));
+    }
+    if (s->is_literal()) {
+      return fail(Status::ParseError("subject must not be a literal"));
+    }
+    sink(*s, *p, *o);
+  }
+  return Status::OK();
+}
+
+Status LoadNTriples(std::string_view document, Dictionary* dict,
+                    TripleStore* store) {
+  return ParseNTriples(document,
+                       [&](const Term& s, const Term& p, const Term& o) {
+                         store->Add(dict->Intern(s), dict->Intern(p),
+                                    dict->Intern(o));
+                       });
+}
+
+Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
+                        TripleStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Status st = LoadNTriples(buf.str(), dict, store);
+  if (!st.ok()) {
+    return Status::ParseError(path + ": " + st.message());
+  }
+  return Status::OK();
+}
+
+std::string ToNTriplesLine(const Term& s, const Term& p, const Term& o) {
+  return s.ToNTriples() + " " + p.ToNTriples() + " " + o.ToNTriples() + " .";
+}
+
+Status WriteNTriples(const Dictionary& dict, const TripleStore& store,
+                     std::ostream& os) {
+  if (!store.finalized()) {
+    return Status::InvalidArgument("store must be finalized before writing");
+  }
+  for (const Triple& t :
+       store.Range(IndexOrder::kSPO, kWildcardId, kWildcardId, kWildcardId)) {
+    os << ToNTriplesLine(dict.term(t.s), dict.term(t.p), dict.term(t.o))
+       << '\n';
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+}  // namespace rdfparams::rdf

@@ -1,0 +1,49 @@
+// N-Triples parser and writer (the project's Serd substitute).
+//
+// Implements the line-based W3C N-Triples grammar: IRIs in angle brackets,
+// blank nodes, literals with language tags or datatypes, #-comments, and
+// \-escapes. Parsing reports precise line numbers on error.
+#ifndef RDFPARAMS_RDF_NTRIPLES_H_
+#define RDFPARAMS_RDF_NTRIPLES_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace rdfparams::rdf {
+
+/// Parses a single N-Triples term starting at *pos in `line`; advances *pos
+/// past the term. Exposed for reuse by the Turtle parser and for tests.
+Result<Term> ParseNTriplesTerm(std::string_view line, size_t* pos);
+
+/// Streaming parser: invokes `sink` for every triple. Stops at the first
+/// malformed line and reports its 1-based number.
+Status ParseNTriples(
+    std::string_view document,
+    const std::function<void(const Term& s, const Term& p, const Term& o)>&
+        sink);
+
+/// Parses a whole document into a dictionary + store (store not finalized).
+Status LoadNTriples(std::string_view document, Dictionary* dict,
+                    TripleStore* store);
+
+/// Reads the file at `path` and loads it. Errors include the path.
+Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
+                        TripleStore* store);
+
+/// Serializes one triple as an N-Triples line (no trailing newline).
+std::string ToNTriplesLine(const Term& s, const Term& p, const Term& o);
+
+/// Writes the whole store in SPO order.
+Status WriteNTriples(const Dictionary& dict, const TripleStore& store,
+                     std::ostream& os);
+
+}  // namespace rdfparams::rdf
+
+#endif  // RDFPARAMS_RDF_NTRIPLES_H_

@@ -1,0 +1,223 @@
+#include "rdf/term.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace rdfparams::rdf {
+
+Term Term::Iri(std::string iri) {
+  Term t;
+  t.kind = TermKind::kIri;
+  t.lexical = std::move(iri);
+  return t;
+}
+
+Term Term::Blank(std::string label) {
+  Term t;
+  t.kind = TermKind::kBlank;
+  t.lexical = std::move(label);
+  return t;
+}
+
+Term Term::Literal(std::string lexical) {
+  Term t;
+  t.kind = TermKind::kLiteral;
+  t.lexical = std::move(lexical);
+  return t;
+}
+
+Term Term::TypedLiteral(std::string lexical, std::string datatype) {
+  Term t;
+  t.kind = TermKind::kLiteral;
+  t.lexical = std::move(lexical);
+  t.datatype = std::move(datatype);
+  return t;
+}
+
+Term Term::LangLiteral(std::string lexical, std::string lang) {
+  Term t;
+  t.kind = TermKind::kLiteral;
+  t.lexical = std::move(lexical);
+  t.lang = std::move(lang);
+  return t;
+}
+
+Term Term::Integer(int64_t value) {
+  return TypedLiteral(std::to_string(value), std::string(kXsdInteger));
+}
+
+Term Term::Double(double value) {
+  return TypedLiteral(util::StringPrintf("%.17g", value),
+                      std::string(kXsdDouble));
+}
+
+Term Term::Boolean(bool value) {
+  return TypedLiteral(value ? "true" : "false", std::string(kXsdBoolean));
+}
+
+Term Term::DateTime(std::string iso8601) {
+  return TypedLiteral(std::move(iso8601), std::string(kXsdDateTime));
+}
+
+bool Term::is_numeric() const {
+  if (!is_literal()) return false;
+  return datatype == kXsdInteger || datatype == kXsdDouble ||
+         datatype == kXsdDecimal;
+}
+
+std::optional<int64_t> Term::AsInteger() const {
+  if (!is_literal()) return std::nullopt;
+  const char* s = lexical.c_str();
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') return std::nullopt;
+  return static_cast<int64_t>(v);
+}
+
+std::optional<double> Term::AsDouble() const {
+  if (!is_literal()) return std::nullopt;
+  const char* s = lexical.c_str();
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::string EscapeNTriplesString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += util::StringPrintf("\\u%04X", c);
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeNTriplesString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      return Status::ParseError("dangling backslash in literal");
+    }
+    char esc = s[++i];
+    switch (esc) {
+      case 't': out.push_back('\t'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'f': out.push_back('\f'); break;
+      case '"': out.push_back('"'); break;
+      case '\'': out.push_back('\''); break;
+      case '\\': out.push_back('\\'); break;
+      case 'u':
+      case 'U': {
+        size_t len = esc == 'u' ? 4 : 8;
+        if (i + len >= s.size()) {
+          return Status::ParseError("truncated \\u escape");
+        }
+        uint32_t cp = 0;
+        for (size_t k = 0; k < len; ++k) {
+          char h = s[i + 1 + k];
+          cp <<= 4;
+          if (h >= '0' && h <= '9') cp |= static_cast<uint32_t>(h - '0');
+          else if (h >= 'a' && h <= 'f') cp |= static_cast<uint32_t>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') cp |= static_cast<uint32_t>(h - 'A' + 10);
+          else return Status::ParseError("bad hex digit in \\u escape");
+        }
+        i += len;
+        // Encode the code point as UTF-8.
+        if (cp < 0x80) {
+          out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+          out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return Status::ParseError(std::string("unknown escape \\") + esc);
+    }
+  }
+  return out;
+}
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + lexical + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeNTriplesString(lexical) + "\"";
+      if (!lang.empty()) {
+        out += "@" + lang;
+      } else if (!datatype.empty() && datatype != kXsdString) {
+        out += "^^<" + datatype + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+int Term::Compare(const Term& other) const {
+  // SPARQL ordering: blank nodes < IRIs < literals.
+  auto rank = [](TermKind k) {
+    switch (k) {
+      case TermKind::kBlank: return 0;
+      case TermKind::kIri: return 1;
+      case TermKind::kLiteral: return 2;
+    }
+    return 3;
+  };
+  int ra = rank(kind), rb = rank(other.kind);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (kind == TermKind::kLiteral && is_numeric() && other.is_numeric()) {
+    auto a = AsDouble();
+    auto b = other.AsDouble();
+    if (a && b) {
+      if (*a < *b) return -1;
+      if (*a > *b) return 1;
+      return 0;
+    }
+  }
+  int c = lexical.compare(other.lexical);
+  if (c != 0) return c < 0 ? -1 : 1;
+  c = datatype.compare(other.datatype);
+  if (c != 0) return c < 0 ? -1 : 1;
+  c = lang.compare(other.lang);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+}  // namespace rdfparams::rdf

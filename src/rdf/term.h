@@ -1,0 +1,94 @@
+// RDF term model: IRIs, blank nodes, and literals (plain / typed / tagged).
+//
+// Terms carry their full lexical form. Inside the store they are always
+// referred to by TermId via the Dictionary; Term objects appear only at the
+// edges (parsing, generation, result rendering).
+#ifndef RDFPARAMS_RDF_TERM_H_
+#define RDFPARAMS_RDF_TERM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace rdfparams::rdf {
+
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kBlank = 1,
+  kLiteral = 2,
+};
+
+/// Well-known XSD datatype IRIs.
+inline constexpr std::string_view kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr std::string_view kXsdDouble =
+    "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr std::string_view kXsdDecimal =
+    "http://www.w3.org/2001/XMLSchema#decimal";
+inline constexpr std::string_view kXsdBoolean =
+    "http://www.w3.org/2001/XMLSchema#boolean";
+inline constexpr std::string_view kXsdDateTime =
+    "http://www.w3.org/2001/XMLSchema#dateTime";
+inline constexpr std::string_view kXsdDate =
+    "http://www.w3.org/2001/XMLSchema#date";
+
+/// One RDF term. Equality is structural over all four fields.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string lexical;   ///< IRI, blank label, or literal lexical form
+  std::string datatype;  ///< datatype IRI; empty for plain literals / non-literals
+  std::string lang;      ///< language tag; empty if none
+
+  Term() = default;
+
+  static Term Iri(std::string iri);
+  static Term Blank(std::string label);
+  static Term Literal(std::string lexical);
+  static Term TypedLiteral(std::string lexical, std::string datatype);
+  static Term LangLiteral(std::string lexical, std::string lang);
+  static Term Integer(int64_t value);
+  static Term Double(double value);
+  static Term Boolean(bool value);
+  /// "YYYY-MM-DDThh:mm:ss" xsd:dateTime from a unix-like day/second pair.
+  static Term DateTime(std::string iso8601);
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+
+  /// True for literals whose datatype is one of the XSD numeric types.
+  bool is_numeric() const;
+
+  /// Parses the lexical form as an integer / double when sensible.
+  std::optional<int64_t> AsInteger() const;
+  std::optional<double> AsDouble() const;
+
+  /// Canonical N-Triples serialization; also the dictionary key.
+  std::string ToNTriples() const;
+
+  /// SPARQL-ordering comparison: blank < IRI < literal; numeric literals
+  /// compare by value, others lexically. Returns <0, 0, >0.
+  int Compare(const Term& other) const;
+
+  bool operator==(const Term& other) const {
+    return kind == other.kind && lexical == other.lexical &&
+           datatype == other.datatype && lang == other.lang;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  bool operator<(const Term& other) const { return Compare(other) < 0; }
+};
+
+/// Escapes a string for N-Triples (quotes, backslash, control chars).
+std::string EscapeNTriplesString(std::string_view s);
+
+/// Reverses EscapeNTriplesString; fails on malformed escapes.
+Result<std::string> UnescapeNTriplesString(std::string_view s);
+
+}  // namespace rdfparams::rdf
+
+#endif  // RDFPARAMS_RDF_TERM_H_

@@ -1,0 +1,40 @@
+// Dictionary-encoded triple and triple pattern over TermIds.
+#ifndef RDFPARAMS_RDF_TRIPLE_H_
+#define RDFPARAMS_RDF_TRIPLE_H_
+
+#include <cstdint>
+
+#include "rdf/dictionary.h"
+
+namespace rdfparams::rdf {
+
+/// A fully-ground triple of dictionary ids.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  Triple() = default;
+  Triple(TermId s_, TermId p_, TermId o_) : s(s_), p(p_), o(o_) {}
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+  bool operator!=(const Triple& other) const { return !(*this == other); }
+};
+
+/// Positions inside a triple. Used to describe index permutations.
+enum class TriplePos : uint8_t { kS = 0, kP = 1, kO = 2 };
+
+inline TermId GetPos(const Triple& t, TriplePos pos) {
+  switch (pos) {
+    case TriplePos::kS: return t.s;
+    case TriplePos::kP: return t.p;
+    case TriplePos::kO: return t.o;
+  }
+  return kInvalidTermId;
+}
+
+}  // namespace rdfparams::rdf
+
+#endif  // RDFPARAMS_RDF_TRIPLE_H_

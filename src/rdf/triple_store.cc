@@ -1,0 +1,256 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace rdfparams::rdf {
+
+const char* IndexOrderName(IndexOrder order) {
+  switch (order) {
+    case IndexOrder::kSPO: return "SPO";
+    case IndexOrder::kPOS: return "POS";
+    case IndexOrder::kOSP: return "OSP";
+    case IndexOrder::kSOP: return "SOP";
+    case IndexOrder::kPSO: return "PSO";
+    case IndexOrder::kOPS: return "OPS";
+  }
+  return "???";
+}
+
+std::array<TriplePos, 3> IndexPermutation(IndexOrder order) {
+  using P = TriplePos;
+  switch (order) {
+    case IndexOrder::kSPO: return {P::kS, P::kP, P::kO};
+    case IndexOrder::kPOS: return {P::kP, P::kO, P::kS};
+    case IndexOrder::kOSP: return {P::kO, P::kS, P::kP};
+    case IndexOrder::kSOP: return {P::kS, P::kO, P::kP};
+    case IndexOrder::kPSO: return {P::kP, P::kS, P::kO};
+    case IndexOrder::kOPS: return {P::kO, P::kP, P::kS};
+  }
+  return {P::kS, P::kP, P::kO};
+}
+
+namespace {
+
+/// Comparator sorting triples by a permutation of their positions.
+struct PermutedLess {
+  std::array<TriplePos, 3> perm;
+  bool operator()(const Triple& a, const Triple& b) const {
+    for (TriplePos pos : perm) {
+      TermId va = GetPos(a, pos);
+      TermId vb = GetPos(b, pos);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+void TripleStore::Add(TermId s, TermId p, TermId o) {
+  RDFPARAMS_DCHECK(s != kWildcardId && p != kWildcardId && o != kWildcardId);
+  spo_.emplace_back(s, p, o);
+  finalized_ = false;
+}
+
+void TripleStore::SortIndex(IndexOrder order, std::vector<Triple>* v) const {
+  std::sort(v->begin(), v->end(), PermutedLess{IndexPermutation(order)});
+}
+
+void TripleStore::Finalize() {
+  if (finalized_) return;
+  SortIndex(IndexOrder::kSPO, &spo_);
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  SortIndex(IndexOrder::kPOS, &pos_);
+  osp_ = spo_;
+  SortIndex(IndexOrder::kOSP, &osp_);
+  if (all_indexes_) {
+    sop_ = spo_;
+    SortIndex(IndexOrder::kSOP, &sop_);
+    pso_ = spo_;
+    SortIndex(IndexOrder::kPSO, &pso_);
+    ops_ = spo_;
+    SortIndex(IndexOrder::kOPS, &ops_);
+  }
+  ComputePredicateStats();
+  finalized_ = true;
+}
+
+void TripleStore::BuildAllIndexes() {
+  all_indexes_ = true;
+  if (finalized_) {
+    sop_ = spo_;
+    SortIndex(IndexOrder::kSOP, &sop_);
+    pso_ = spo_;
+    SortIndex(IndexOrder::kPSO, &pso_);
+    ops_ = spo_;
+    SortIndex(IndexOrder::kOPS, &ops_);
+  }
+}
+
+void TripleStore::ComputePredicateStats() {
+  distinct_s_ = 0;
+  distinct_p_ = 0;
+  distinct_o_ = 0;
+  predicates_.clear();
+  pred_count_.clear();
+  pred_distinct_s_.clear();
+  pred_distinct_o_.clear();
+
+  // Distinct subjects from SPO (sorted by s first).
+  TermId prev = kInvalidTermId;
+  for (const Triple& t : spo_) {
+    if (t.s != prev) {
+      ++distinct_s_;
+      prev = t.s;
+    }
+  }
+  // Distinct objects from OSP (sorted by o first).
+  prev = kInvalidTermId;
+  for (const Triple& t : osp_) {
+    if (t.o != prev) {
+      ++distinct_o_;
+      prev = t.o;
+    }
+  }
+  // Per-predicate stats from POS (sorted by p, then o, then s).
+  size_t i = 0;
+  while (i < pos_.size()) {
+    TermId p = pos_[i].p;
+    size_t begin = i;
+    uint64_t distinct_o = 0;
+    TermId prev_o = kInvalidTermId;
+    while (i < pos_.size() && pos_[i].p == p) {
+      if (pos_[i].o != prev_o) {
+        ++distinct_o;
+        prev_o = pos_[i].o;
+      }
+      ++i;
+    }
+    // Distinct subjects for this predicate: collect and sort the slice.
+    std::vector<TermId> subs;
+    subs.reserve(i - begin);
+    for (size_t k = begin; k < i; ++k) subs.push_back(pos_[k].s);
+    std::sort(subs.begin(), subs.end());
+    uint64_t distinct_s = static_cast<uint64_t>(
+        std::unique(subs.begin(), subs.end()) - subs.begin());
+
+    predicates_.push_back(p);
+    pred_count_.push_back(i - begin);
+    pred_distinct_s_.push_back(distinct_s);
+    pred_distinct_o_.push_back(distinct_o);
+  }
+  distinct_p_ = predicates_.size();
+}
+
+const std::vector<Triple>& TripleStore::IndexVector(IndexOrder order) const {
+  switch (order) {
+    case IndexOrder::kSPO: return spo_;
+    case IndexOrder::kPOS: return pos_;
+    case IndexOrder::kOSP: return osp_;
+    case IndexOrder::kSOP: return sop_;
+    case IndexOrder::kPSO: return pso_;
+    case IndexOrder::kOPS: return ops_;
+  }
+  return spo_;
+}
+
+IndexOrder TripleStore::ChooseIndex(TermId s, TermId p, TermId o) const {
+  bool bs = s != kWildcardId, bp = p != kWildcardId, bo = o != kWildcardId;
+  // Full triple or nothing bound: SPO works.
+  if (bs && bp) return IndexOrder::kSPO;               // covers S, SP, SPO
+  if (bp && bo) return IndexOrder::kPOS;               // covers P, PO
+  if (bo && bs) return IndexOrder::kOSP;               // covers O, OS
+  if (bs) return IndexOrder::kSPO;
+  if (bp) return IndexOrder::kPOS;
+  if (bo) return IndexOrder::kOSP;
+  return IndexOrder::kSPO;
+}
+
+std::span<const Triple> TripleStore::Range(IndexOrder order, TermId s,
+                                           TermId p, TermId o) const {
+  RDFPARAMS_DCHECK(finalized_);
+  const std::vector<Triple>& index = IndexVector(order);
+  RDFPARAMS_DCHECK(!index.empty() || spo_.empty());
+  auto perm = IndexPermutation(order);
+  Triple pattern(s, p, o);
+  // The bound slots must be a prefix of the permutation.
+  int prefix = 0;
+  for (int k = 0; k < 3; ++k) {
+    if (GetPos(pattern, perm[static_cast<size_t>(k)]) != kWildcardId) {
+      RDFPARAMS_DCHECK(prefix == k && "bound slots must form an index prefix");
+      prefix = k + 1;
+    }
+  }
+  if (prefix == 0) return {index.data(), index.size()};
+
+  auto less_prefix = [&](const Triple& a, const Triple& b) {
+    for (int k = 0; k < prefix; ++k) {
+      TriplePos pos = perm[static_cast<size_t>(k)];
+      TermId va = GetPos(a, pos);
+      TermId vb = GetPos(b, pos);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  };
+  auto range = std::equal_range(index.begin(), index.end(), pattern,
+                                less_prefix);
+  return {&*range.first, static_cast<size_t>(range.second - range.first)};
+}
+
+uint64_t TripleStore::CountPattern(TermId s, TermId p, TermId o) const {
+  IndexOrder order = ChooseIndex(s, p, o);
+  return Range(order, s, p, o).size();
+}
+
+void TripleStore::ScanPattern(
+    TermId s, TermId p, TermId o,
+    const std::function<void(const Triple&)>& fn) const {
+  IndexOrder order = ChooseIndex(s, p, o);
+  for (const Triple& t : Range(order, s, p, o)) fn(t);
+}
+
+uint64_t TripleStore::DistinctSubjectsForPredicate(TermId p) const {
+  auto it = std::lower_bound(predicates_.begin(), predicates_.end(), p);
+  if (it == predicates_.end() || *it != p) return 0;
+  return pred_distinct_s_[static_cast<size_t>(it - predicates_.begin())];
+}
+
+uint64_t TripleStore::DistinctObjectsForPredicate(TermId p) const {
+  auto it = std::lower_bound(predicates_.begin(), predicates_.end(), p);
+  if (it == predicates_.end() || *it != p) return 0;
+  return pred_distinct_o_[static_cast<size_t>(it - predicates_.begin())];
+}
+
+std::vector<TermId> TripleStore::DistinctObjectsOf(TermId p) const {
+  std::vector<TermId> out;
+  TermId prev = kInvalidTermId;
+  for (const Triple& t : Range(IndexOrder::kPOS, kWildcardId, p, kWildcardId)) {
+    if (t.o != prev) {
+      out.push_back(t.o);
+      prev = t.o;
+    }
+  }
+  return out;
+}
+
+std::vector<TermId> TripleStore::DistinctSubjectsOf(TermId p) const {
+  std::vector<TermId> out;
+  for (const Triple& t : Range(IndexOrder::kPOS, kWildcardId, p, kWildcardId)) {
+    out.push_back(t.s);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t TripleStore::MemoryBytes() const {
+  size_t per = sizeof(Triple);
+  size_t n = spo_.capacity() + pos_.capacity() + osp_.capacity() +
+             sop_.capacity() + pso_.capacity() + ops_.capacity();
+  return n * per;
+}
+
+}  // namespace rdfparams::rdf

@@ -1,0 +1,131 @@
+// In-memory triple store with sorted permutation indexes.
+//
+// The store keeps up to six sorted copies of the triples (SPO, POS, OSP by
+// default; SOP, PSO, OPS on request). Every bound-prefix lookup maps to a
+// contiguous range of exactly one index, so pattern matching is two binary
+// searches + a linear walk. This mirrors the index layout of RDF-3X /
+// Virtuoso's quad indexes closely enough for the paper's plan-choice
+// effects to materialize.
+#ifndef RDFPARAMS_RDF_TRIPLE_STORE_H_
+#define RDFPARAMS_RDF_TRIPLE_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace rdfparams::rdf {
+
+/// Pattern slot: a concrete TermId or kWildcardId ("any").
+inline constexpr TermId kWildcardId = kInvalidTermId;
+
+/// The six permutations. Values chosen so that [0]=primary sort key etc.
+enum class IndexOrder : uint8_t {
+  kSPO = 0,
+  kPOS = 1,
+  kOSP = 2,
+  kSOP = 3,
+  kPSO = 4,
+  kOPS = 5,
+};
+
+/// Returns e.g. "POS".
+const char* IndexOrderName(IndexOrder order);
+
+/// Permutation of positions for an order: {primary, secondary, tertiary}.
+std::array<TriplePos, 3> IndexPermutation(IndexOrder order);
+
+/// Immutable-after-Finalize triple store.
+class TripleStore {
+ public:
+  TripleStore() = default;
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  /// Appends a triple. Only valid before Finalize().
+  void Add(TermId s, TermId p, TermId o);
+  void Add(const Triple& t) { Add(t.s, t.p, t.o); }
+
+  /// Sorts, deduplicates, and builds the default indexes (SPO, POS, OSP).
+  /// Idempotent; adding after Finalize() requires Finalize() again.
+  void Finalize();
+
+  /// Additionally builds SOP, PSO, OPS (for ordered access on any position).
+  void BuildAllIndexes();
+
+  bool finalized() const { return finalized_; }
+  size_t size() const { return spo_.size(); }
+
+  /// Exact number of triples matching the pattern (wildcards allowed).
+  uint64_t CountPattern(TermId s, TermId p, TermId o) const;
+
+  /// Invokes fn(const Triple&) for every match of the pattern.
+  void ScanPattern(TermId s, TermId p, TermId o,
+                   const std::function<void(const Triple&)>& fn) const;
+
+  /// Contiguous sorted range of triples matching the pattern in the chosen
+  /// index order; empty span if no match. The pattern's bound slots must be
+  /// a prefix of the order's permutation (checked).
+  std::span<const Triple> Range(IndexOrder order, TermId s, TermId p,
+                                TermId o) const;
+
+  /// Picks the most selective available index whose prefix covers the
+  /// pattern's bound slots.
+  IndexOrder ChooseIndex(TermId s, TermId p, TermId o) const;
+
+  /// Number of distinct values in a position (computed at Finalize).
+  uint64_t NumDistinctSubjects() const { return distinct_s_; }
+  uint64_t NumDistinctPredicates() const { return distinct_p_; }
+  uint64_t NumDistinctObjects() const { return distinct_o_; }
+
+  /// All distinct predicate ids (ascending). Available after Finalize().
+  const std::vector<TermId>& Predicates() const { return predicates_; }
+
+  /// Distinct subjects / objects occurring with a given predicate.
+  uint64_t DistinctSubjectsForPredicate(TermId p) const;
+  uint64_t DistinctObjectsForPredicate(TermId p) const;
+
+  /// Collects the distinct objects appearing with predicate p
+  /// (e.g. "all countries" = objects of :livesIn). Sorted ascending.
+  std::vector<TermId> DistinctObjectsOf(TermId p) const;
+  /// Collects the distinct subjects appearing with predicate p.
+  std::vector<TermId> DistinctSubjectsOf(TermId p) const;
+
+  /// Approximate resident bytes of all built indexes.
+  size_t MemoryBytes() const;
+
+ private:
+  const std::vector<Triple>& IndexVector(IndexOrder order) const;
+  void SortIndex(IndexOrder order, std::vector<Triple>* v) const;
+  void ComputePredicateStats();
+
+  std::vector<Triple> spo_;
+  std::vector<Triple> pos_;
+  std::vector<Triple> osp_;
+  std::vector<Triple> sop_;
+  std::vector<Triple> pso_;
+  std::vector<Triple> ops_;
+  bool finalized_ = false;
+  bool all_indexes_ = false;
+
+  uint64_t distinct_s_ = 0;
+  uint64_t distinct_p_ = 0;
+  uint64_t distinct_o_ = 0;
+
+  // Parallel arrays keyed by position in predicates_.
+  std::vector<TermId> predicates_;
+  std::vector<uint64_t> pred_count_;
+  std::vector<uint64_t> pred_distinct_s_;
+  std::vector<uint64_t> pred_distinct_o_;
+};
+
+}  // namespace rdfparams::rdf
+
+#endif  // RDFPARAMS_RDF_TRIPLE_STORE_H_

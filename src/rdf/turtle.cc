@@ -1,0 +1,298 @@
+#include "rdf/turtle.h"
+
+#include <map>
+
+#include "rdf/ntriples.h"
+#include "util/string_util.h"
+
+namespace rdfparams::rdf {
+
+namespace {
+
+constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Character-level cursor with line tracking and prefix table.
+class TurtleParser {
+ public:
+  TurtleParser(std::string_view doc,
+               const std::function<void(const Term&, const Term&,
+                                        const Term&)>& sink)
+      : doc_(doc), sink_(sink) {}
+
+  Status Run() {
+    while (true) {
+      SkipWsAndComments();
+      if (AtEnd()) return Status::OK();
+      if (Peek() == '@') {
+        RDFPARAMS_RETURN_NOT_OK(ParseDirective());
+        continue;
+      }
+      RDFPARAMS_RETURN_NOT_OK(ParseStatement());
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= doc_.size(); }
+  char Peek() const { return doc_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < doc_.size() ? doc_[pos_ + off] : '\0';
+  }
+
+  void Advance() {
+    if (doc_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void SkipWsAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("line " + std::to_string(line_) + ": " + msg);
+  }
+
+  bool IsLocalNameChar(char c) const {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+           c == '%';
+  }
+
+  Status ParseDirective() {
+    // "@prefix p: <iri> ." or "@base <iri> ."
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != ' ' && Peek() != '\t') Advance();
+    std::string_view word = doc_.substr(start, pos_ - start);
+    SkipWsAndComments();
+    if (word == "@prefix") {
+      size_t pstart = pos_;
+      while (!AtEnd() && Peek() != ':') Advance();
+      if (AtEnd()) return Err("expected ':' in @prefix");
+      std::string prefix(doc_.substr(pstart, pos_ - pstart));
+      Advance();  // ':'
+      SkipWsAndComments();
+      RDFPARAMS_ASSIGN_OR_RETURN(Term iri, ParseIriRef());
+      prefixes_[prefix] = iri.lexical;
+      SkipWsAndComments();
+      if (AtEnd() || Peek() != '.') return Err("expected '.' after @prefix");
+      Advance();
+      return Status::OK();
+    }
+    if (word == "@base") {
+      RDFPARAMS_ASSIGN_OR_RETURN(Term iri, ParseIriRef());
+      base_ = iri.lexical;
+      SkipWsAndComments();
+      if (AtEnd() || Peek() != '.') return Err("expected '.' after @base");
+      Advance();
+      return Status::OK();
+    }
+    return Err("unknown directive '" + std::string(word) + "'");
+  }
+
+  Result<Term> ParseIriRef() {
+    if (AtEnd() || Peek() != '<') return Err("expected IRI");
+    size_t end = doc_.find('>', pos_ + 1);
+    if (end == std::string_view::npos) return Err("unterminated IRI");
+    std::string iri(doc_.substr(pos_ + 1, end - pos_ - 1));
+    // Track newlines skipped inside the IRI (unusual but cheap to support).
+    for (size_t i = pos_; i <= end; ++i) {
+      if (doc_[i] == '\n') ++line_;
+    }
+    pos_ = end + 1;
+    if (!iri.empty() && iri.find(':') == std::string::npos && !base_.empty()) {
+      iri = base_ + iri;  // resolve relative against @base (string concat)
+    }
+    return Term::Iri(std::move(iri));
+  }
+
+  Result<Term> ParsePrefixedName() {
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != ':' && IsLocalNameChar(Peek())) Advance();
+    if (AtEnd() || Peek() != ':') return Err("expected ':' in prefixed name");
+    std::string prefix(doc_.substr(start, pos_ - start));
+    Advance();  // ':'
+    size_t lstart = pos_;
+    while (!AtEnd() && IsLocalNameChar(Peek())) Advance();
+    std::string local(doc_.substr(lstart, pos_ - lstart));
+    // A trailing '.' belongs to the statement, not the name.
+    while (!local.empty() && local.back() == '.') {
+      local.pop_back();
+      --pos_;
+    }
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Err("undefined prefix '" + prefix + ":'");
+    }
+    return Term::Iri(it->second + local);
+  }
+
+  Result<Term> ParseLiteral() {
+    // Delegate quoted literals to the N-Triples term parser; it shares the
+    // escape rules. We hand it the rest of the current line.
+    size_t line_end = doc_.find('\n', pos_);
+    std::string_view rest =
+        doc_.substr(pos_, line_end == std::string_view::npos
+                              ? std::string_view::npos
+                              : line_end - pos_);
+    size_t local = 0;
+    Result<Term> t = ParseNTriplesTerm(rest, &local);
+    if (!t.ok()) return Err(t.status().message());
+    pos_ += local;
+    return t;
+  }
+
+  Result<Term> ParseNumberOrBool() {
+    size_t start = pos_;
+    if (!AtEnd() && (Peek() == '+' || Peek() == '-')) Advance();
+    bool saw_digit = false, saw_dot = false, saw_exp = false;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c >= '0' && c <= '9') {
+        saw_digit = true;
+        Advance();
+      } else if (c == '.' && !saw_dot && !saw_exp) {
+        // Lookahead: '.' followed by digit is a decimal point, else it is
+        // the statement terminator.
+        if (PeekAt(1) >= '0' && PeekAt(1) <= '9') {
+          saw_dot = true;
+          Advance();
+        } else {
+          break;
+        }
+      } else if ((c == 'e' || c == 'E') && saw_digit && !saw_exp) {
+        saw_exp = true;
+        Advance();
+        if (!AtEnd() && (Peek() == '+' || Peek() == '-')) Advance();
+      } else {
+        break;
+      }
+    }
+    std::string text(doc_.substr(start, pos_ - start));
+    if (!saw_digit) {
+      // Maybe a boolean keyword.
+      if (util::StartsWith(doc_.substr(start), "true")) {
+        pos_ = start + 4;
+        return Term::Boolean(true);
+      }
+      if (util::StartsWith(doc_.substr(start), "false")) {
+        pos_ = start + 5;
+        return Term::Boolean(false);
+      }
+      return Err("expected numeric literal");
+    }
+    if (saw_exp) {
+      return Term::TypedLiteral(text, std::string(kXsdDouble));
+    }
+    if (saw_dot) {
+      return Term::TypedLiteral(text, std::string(kXsdDecimal));
+    }
+    return Term::TypedLiteral(text, std::string(kXsdInteger));
+  }
+
+  Result<Term> ParseTerm(bool allow_keyword_a) {
+    SkipWsAndComments();
+    if (AtEnd()) return Err("unexpected end of document");
+    char c = Peek();
+    if (c == '<') return ParseIriRef();
+    if (c == '"') return ParseLiteral();
+    if (c == '_' && PeekAt(1) == ':') {
+      Advance();
+      Advance();
+      size_t start = pos_;
+      while (!AtEnd() && IsLocalNameChar(Peek())) Advance();
+      std::string label(doc_.substr(start, pos_ - start));
+      while (!label.empty() && label.back() == '.') {
+        label.pop_back();
+        --pos_;
+      }
+      if (label.empty()) return Err("empty blank node label");
+      return Term::Blank(std::move(label));
+    }
+    if (c == '[') return Err("blank node property lists are not supported");
+    if (c == '(') return Err("collections are not supported");
+    if (allow_keyword_a && c == 'a') {
+      char next = PeekAt(1);
+      if (next == ' ' || next == '\t' || next == '<' || next == '\n') {
+        Advance();
+        return Term::Iri(std::string(kRdfType));
+      }
+    }
+    if (c == '+' || c == '-' || (c >= '0' && c <= '9')) {
+      return ParseNumberOrBool();
+    }
+    if (util::StartsWith(doc_.substr(pos_), "true") ||
+        util::StartsWith(doc_.substr(pos_), "false")) {
+      return ParseNumberOrBool();
+    }
+    return ParsePrefixedName();
+  }
+
+  Status ParseStatement() {
+    RDFPARAMS_ASSIGN_OR_RETURN(Term subject, ParseTerm(false));
+    if (subject.is_literal()) return Err("subject must not be a literal");
+    while (true) {
+      RDFPARAMS_ASSIGN_OR_RETURN(Term predicate, ParseTerm(true));
+      if (!predicate.is_iri()) return Err("predicate must be an IRI");
+      while (true) {
+        RDFPARAMS_ASSIGN_OR_RETURN(Term object, ParseTerm(false));
+        sink_(subject, predicate, object);
+        SkipWsAndComments();
+        if (!AtEnd() && Peek() == ',') {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      SkipWsAndComments();
+      if (!AtEnd() && Peek() == ';') {
+        Advance();
+        SkipWsAndComments();
+        // A ';' directly before '.' is legal Turtle.
+        if (!AtEnd() && Peek() == '.') break;
+        continue;
+      }
+      break;
+    }
+    SkipWsAndComments();
+    if (AtEnd() || Peek() != '.') return Err("expected '.' at end of statement");
+    Advance();
+    return Status::OK();
+  }
+
+  std::string_view doc_;
+  const std::function<void(const Term&, const Term&, const Term&)>& sink_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  std::map<std::string, std::string> prefixes_;
+  std::string base_;
+};
+
+}  // namespace
+
+Status ParseTurtle(
+    std::string_view document,
+    const std::function<void(const Term& s, const Term& p, const Term& o)>&
+        sink) {
+  TurtleParser parser(document, sink);
+  return parser.Run();
+}
+
+Status LoadTurtle(std::string_view document, Dictionary* dict,
+                  TripleStore* store) {
+  return ParseTurtle(document,
+                     [&](const Term& s, const Term& p, const Term& o) {
+                       store->Add(dict->Intern(s), dict->Intern(p),
+                                  dict->Intern(o));
+                     });
+}
+
+}  // namespace rdfparams::rdf

@@ -1,0 +1,37 @@
+// Turtle-subset parser.
+//
+// Supported grammar (sufficient for hand-written test fixtures and the
+// generators' vocabulary files):
+//   @prefix / @base directives, prefixed names, the 'a' keyword,
+//   predicate lists with ';', object lists with ',', blank nodes (_:x),
+//   string literals with @lang / ^^datatype, bare integers, decimals,
+//   doubles and booleans, and '#' comments.
+// Not supported (rejected with ParseError): collections '( )', blank node
+// property lists '[ ]', multi-line ("""...""") strings.
+#ifndef RDFPARAMS_RDF_TURTLE_H_
+#define RDFPARAMS_RDF_TURTLE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace rdfparams::rdf {
+
+/// Streaming Turtle parsing; `sink` receives each triple.
+Status ParseTurtle(
+    std::string_view document,
+    const std::function<void(const Term& s, const Term& p, const Term& o)>&
+        sink);
+
+/// Parses into a dictionary + store (store left unfinalized).
+Status LoadTurtle(std::string_view document, Dictionary* dict,
+                  TripleStore* store);
+
+}  // namespace rdfparams::rdf
+
+#endif  // RDFPARAMS_RDF_TURTLE_H_

@@ -1,0 +1,31 @@
+// Well-known vocabulary IRIs shared by the generators and query templates.
+#ifndef RDFPARAMS_RDF_VOCAB_H_
+#define RDFPARAMS_RDF_VOCAB_H_
+
+#include <string_view>
+
+namespace rdfparams::rdf::vocab {
+
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr std::string_view kRdfsSubClassOf =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+
+/// BSBM-style namespace (products, offers, reviews).
+inline constexpr std::string_view kBsbmNs =
+    "http://rdfparams.org/bsbm/vocabulary#";
+/// BSBM instance namespace.
+inline constexpr std::string_view kBsbmInst =
+    "http://rdfparams.org/bsbm/instances/";
+
+/// SNB-style namespace (social network).
+inline constexpr std::string_view kSnbNs =
+    "http://rdfparams.org/snb/vocabulary#";
+inline constexpr std::string_view kSnbInst =
+    "http://rdfparams.org/snb/instances/";
+
+}  // namespace rdfparams::rdf::vocab
+
+#endif  // RDFPARAMS_RDF_VOCAB_H_

@@ -1,0 +1,318 @@
+#include "snb/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "rdf/vocab.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace rdfparams::snb {
+
+using rdf::TermId;
+
+Vocabulary Vocabulary::Default() {
+  const std::string ns(rdf::vocab::kSnbNs);
+  Vocabulary v;
+  v.rdf_type = std::string(rdf::vocab::kRdfType);
+  v.person_class = ns + "Person";
+  v.post_class = ns + "Post";
+  v.first_name = ns + "firstName";
+  v.lives_in = ns + "livesIn";
+  v.knows = ns + "knows";
+  v.has_creator = ns + "hasCreator";
+  v.creation_date = ns + "creationDate";
+  v.has_tag = ns + "hasTag";
+  v.has_been_to = ns + "hasBeenTo";
+  v.has_interest = ns + "hasInterest";
+  return v;
+}
+
+const std::vector<CountryInfo>& Countries() {
+  // Regions: 0=NorthAmerica 1=LatinAmerica 2=WestEurope 3=NorthEurope
+  //          4=EastEurope 5=EastAsia 6=SouthAsia 7=Africa/Oceania
+  static const std::vector<CountryInfo> kCountries = [] {
+    std::vector<CountryInfo> c;
+    auto add = [&](const char* name, uint32_t region, double pop, double tour,
+                   std::vector<int> neighbors) {
+      c.push_back(CountryInfo{name, region, pop, tour, std::move(neighbors)});
+    };
+    //    name            region  pop    tour   neighbors (indices)
+    add("USA",               0,  22.0,  30.0, {1, 2});        // 0
+    add("Canada",            0,   4.0,  12.0, {0});           // 1
+    add("Mexico",            1,   8.0,  10.0, {0});           // 2
+    add("Brazil",            1,  12.0,   9.0, {4, 5});        // 3
+    add("Argentina",         1,   3.0,   5.0, {3, 5});        // 4
+    add("Chile",             1,   1.5,   3.0, {3, 4});        // 5
+    add("UnitedKingdom",     2,   6.0,  18.0, {7, 8});        // 6
+    add("France",            2,   6.0,  25.0, {6, 8, 9});     // 7
+    add("Germany",           2,   8.0,  16.0, {7, 9, 10, 16});// 8
+    add("Spain",             2,   4.5,  20.0, {7});           // 9
+    add("Netherlands",       2,   1.7,   8.0, {8});           // 10
+    add("Italy",             2,   5.5,  19.0, {7, 8});        // 11
+    add("Sweden",            3,   1.0,   4.0, {13, 14});      // 12
+    add("Norway",            3,   0.6,   3.5, {12, 14});      // 13
+    add("Finland",           3,   0.6,   2.5, {12, 13});      // 14
+    add("Denmark",           3,   0.6,   3.0, {8, 12});       // 15
+    add("Poland",            4,   3.8,   4.0, {8, 17});       // 16
+    add("Ukraine",           4,   3.5,   1.5, {16, 18});      // 17
+    add("Russia",            4,  12.0,   4.0, {17, 19});      // 18
+    add("Kazakhstan",        4,   1.5,   0.8, {18, 20});      // 19
+    add("China",             5,  60.0,  14.0, {19, 21, 22, 24}); // 20
+    add("Japan",             5,  11.0,  12.0, {20, 22});      // 21
+    add("SouthKorea",        5,   5.0,   6.0, {20, 21});      // 22
+    add("Vietnam",           5,   8.0,   4.0, {20});          // 23
+    add("India",             6,  55.0,   9.0, {20, 25});      // 24
+    add("Pakistan",          6,  15.0,   1.2, {24});          // 25
+    add("Indonesia",         6,  20.0,   5.0, {23});          // 26
+    add("Egypt",             7,   8.0,   6.0, {28});          // 27
+    add("Nigeria",           7,  16.0,   1.0, {27});          // 28
+    add("SouthAfrica",       7,   5.0,   4.0, {30});          // 29
+    add("Zimbabwe",          7,   1.2,   0.5, {29});          // 30
+    add("Australia",         7,   2.2,   8.0, {31});          // 31  (region reuse)
+    return c;
+  }();
+  return kCountries;
+}
+
+namespace {
+
+/// Regional first-name pools; region index matches CountryInfo::region.
+const std::vector<std::vector<const char*>>& NamePools() {
+  static const std::vector<std::vector<const char*>> kPools = {
+      /*0 NA*/ {"John", "Mary", "James", "Jennifer", "Robert", "Linda",
+                "Michael", "Elizabeth", "William", "Barbara"},
+      /*1 LA*/ {"Jose", "Maria", "Juan", "Guadalupe", "Luis", "Carmen",
+                "Carlos", "Ana", "Jorge", "Sofia"},
+      /*2 WE*/ {"Jean", "Marie", "Hans", "Anna", "Pierre", "Emma",
+                "Giovanni", "Laura", "Pablo", "Lucia"},
+      /*3 NE*/ {"Erik", "Astrid", "Lars", "Ingrid", "Mikko", "Aino",
+                "Soren", "Freja", "Olav", "Sigrid"},
+      /*4 EE*/ {"Ivan", "Olga", "Piotr", "Katarzyna", "Dmitri", "Natasha",
+                "Andriy", "Oksana", "Sergei", "Elena"},
+      /*5 EA*/ {"Li", "Wei", "Chen", "Yuki", "Hiroshi", "Sakura",
+                "Minjun", "Jiwoo", "Wang", "Mei"},
+      /*6 SA*/ {"Raj", "Priya", "Amit", "Ananya", "Muhammad", "Fatima",
+                "Arjun", "Lakshmi", "Budi", "Siti"},
+      /*7 AF*/ {"Ahmed", "Amara", "Kwame", "Zanele", "Chinedu", "Ngozi",
+                "Tendai", "Thabo", "Jack", "Olivia"},
+  };
+  return kPools;
+}
+
+}  // namespace
+
+Dataset Generate(const GeneratorConfig& config) {
+  Dataset ds;
+  ds.vocab = Vocabulary::Default();
+  const Vocabulary& V = ds.vocab;
+  const std::string inst(rdf::vocab::kSnbInst);
+  const std::vector<CountryInfo>& countries = Countries();
+
+  rdf::Dictionary& dict = ds.dict;
+  rdf::TripleStore& store = ds.store;
+
+  TermId p_type = dict.InternIri(V.rdf_type);
+  TermId c_person = dict.InternIri(V.person_class);
+  TermId c_post = dict.InternIri(V.post_class);
+  TermId p_first_name = dict.InternIri(V.first_name);
+  TermId p_lives_in = dict.InternIri(V.lives_in);
+  TermId p_knows = dict.InternIri(V.knows);
+  TermId p_has_creator = dict.InternIri(V.has_creator);
+  TermId p_creation_date = dict.InternIri(V.creation_date);
+  TermId p_has_tag = dict.InternIri(V.has_tag);
+  TermId p_has_been_to = dict.InternIri(V.has_been_to);
+  TermId p_has_interest = dict.InternIri(V.has_interest);
+
+  util::Rng base(config.seed);
+  util::Rng person_rng = base.Fork(1);
+  util::Rng friend_rng = base.Fork(2);
+  util::Rng post_rng = base.Fork(3);
+  util::Rng travel_rng = base.Fork(4);
+
+  // Countries and tags.
+  for (size_t i = 0; i < countries.size(); ++i) {
+    TermId id = dict.InternIri(inst + "Country_" + countries[i].name);
+    ds.countries.push_back(id);
+  }
+  for (uint32_t i = 0; i < config.num_tags; ++i) {
+    ds.tags.push_back(dict.InternIri(inst + "Tag" + std::to_string(i)));
+  }
+
+  // Name literals per region plus the flat global list.
+  const auto& pools = NamePools();
+  std::vector<std::vector<TermId>> region_names(pools.size());
+  std::vector<TermId> all_names;
+  for (size_t r = 0; r < pools.size(); ++r) {
+    for (const char* name : pools[r]) {
+      TermId id = dict.InternLiteral(name);
+      region_names[r].push_back(id);
+      all_names.push_back(id);
+    }
+  }
+  ds.first_names = all_names;
+  std::sort(ds.first_names.begin(), ds.first_names.end());
+  ds.first_names.erase(
+      std::unique(ds.first_names.begin(), ds.first_names.end()),
+      ds.first_names.end());
+
+  // Country assignment by population; name popularity within a region is
+  // itself Zipf-skewed (a few very common names).
+  std::vector<double> pop_weights;
+  for (const CountryInfo& c : countries) pop_weights.push_back(c.population_weight);
+  util::AliasTable country_table(pop_weights);
+  util::ZipfDistribution name_rank(10, 0.9);
+
+  // ---------------------------------------------------------------------
+  // Persons.
+  // ---------------------------------------------------------------------
+  uint64_t n = config.num_persons;
+  ds.persons.reserve(n);
+  ds.home_country.reserve(n);
+  std::vector<std::vector<uint32_t>> persons_by_country(countries.size());
+  for (uint64_t i = 0; i < n; ++i) {
+    TermId person = dict.InternIri(inst + "Person" + std::to_string(i));
+    ds.persons.push_back(person);
+    uint32_t country = static_cast<uint32_t>(country_table.Sample(&person_rng));
+    ds.home_country.push_back(country);
+    persons_by_country[country].push_back(static_cast<uint32_t>(i));
+
+    store.Add(person, p_type, c_person);
+    store.Add(person, p_lives_in, ds.countries[country]);
+
+    // First name: regional pool with high probability, global otherwise.
+    TermId name;
+    if (person_rng.Bernoulli(config.regional_name_prob)) {
+      const auto& pool = region_names[countries[country].region];
+      name = pool[static_cast<size_t>(name_rank.Sample(&person_rng) - 1) %
+                  pool.size()];
+    } else {
+      name = all_names[static_cast<size_t>(
+          person_rng.Uniform(all_names.size()))];
+    }
+    store.Add(person, p_first_name, name);
+
+    // Interests.
+    util::ZipfDistribution tag_zipf(config.num_tags, 1.1);
+    uint64_t n_interests = 1 + person_rng.Uniform(4);
+    for (uint64_t k = 0; k < n_interests; ++k) {
+      store.Add(person, p_has_interest,
+                ds.tags[static_cast<size_t>(tag_zipf.Sample(&person_rng) - 1)]);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Friendships: heavy-tailed degrees, country-correlated endpoints.
+  // ---------------------------------------------------------------------
+  std::vector<uint32_t> degree(n, 0);
+  {
+    // Target degree per person: 1 + Zipf-distributed extra edges scaled so
+    // the mean lands near avg_degree.
+    util::ZipfDistribution degree_zipf(512, config.degree_zipf_s);
+    std::vector<uint32_t> target(n);
+    double mean_raw = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      target[i] = static_cast<uint32_t>(degree_zipf.Sample(&friend_rng));
+      mean_raw += target[i];
+    }
+    mean_raw /= static_cast<double>(n);
+    double scale = config.avg_degree / std::max(mean_raw, 1e-9);
+    std::unordered_set<uint64_t> edges;
+    auto edge_key = [](uint32_t a, uint32_t b) {
+      return (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+    };
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t want = static_cast<uint32_t>(
+          std::max(1.0, std::round(target[i] * scale)));
+      for (uint32_t e = 0; e < want; ++e) {
+        uint32_t other;
+        uint32_t attempts = 0;
+        do {
+          if (friend_rng.Bernoulli(config.same_country_friend_prob)) {
+            const auto& pool = persons_by_country[ds.home_country[i]];
+            other = pool[static_cast<size_t>(friend_rng.Uniform(pool.size()))];
+          } else {
+            other = static_cast<uint32_t>(friend_rng.Uniform(n));
+          }
+        } while (other == i && ++attempts < 8);
+        if (other == i) continue;
+        uint64_t key = edge_key(static_cast<uint32_t>(i), other);
+        if (!edges.insert(key).second) continue;
+        store.Add(ds.persons[i], p_knows, ds.persons[other]);
+        store.Add(ds.persons[other], p_knows, ds.persons[i]);
+        ++degree[i];
+        ++degree[other];
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Posts with creation dates and tags.
+  // ---------------------------------------------------------------------
+  {
+    util::ZipfDistribution tag_zipf(config.num_tags, 1.1);
+    uint64_t post_counter = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      // A small celebrity fraction is hyper-active: a workload binding
+      // whose person happens to know a celebrity is an order of magnitude
+      // slower — the rare-heavy tail behind the paper's E2 instability.
+      // (Ordinary posting activity is independent of the degree; the
+      // degree's own Zipf tail already contributes heavy bindings.)
+      bool celebrity = post_rng.Bernoulli(0.002);
+      double mean = config.posts_per_person * (celebrity ? 100.0 : 1.0);
+      uint64_t cap = celebrity ? config.max_posts_per_person * 10
+                               : config.max_posts_per_person;
+      uint64_t count = static_cast<uint64_t>(
+          std::floor(post_rng.NextExponential(1.0 / std::max(mean, 1e-9))));
+      count = std::min(count, cap);
+      for (uint64_t k = 0; k < count; ++k) {
+        TermId post =
+            dict.InternIri(inst + "Post" + std::to_string(post_counter++));
+        ds.posts.push_back(post);
+        store.Add(post, p_type, c_post);
+        store.Add(post, p_has_creator, ds.persons[i]);
+        // Timestamp: integer seconds over a ~3-year window.
+        int64_t ts = post_rng.UniformRange(1262304000, 1356998400);
+        store.Add(post, p_creation_date, dict.InternInteger(ts));
+        uint64_t n_tags = 1 + post_rng.Uniform(3);
+        for (uint64_t t = 0; t < n_tags; ++t) {
+          store.Add(post, p_has_tag,
+                    ds.tags[static_cast<size_t>(
+                        tag_zipf.Sample(&post_rng) - 1)]);
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Travel: home + neighbors (likely) + tourism-popular extras.
+  // ---------------------------------------------------------------------
+  {
+    std::vector<double> tourism;
+    for (const CountryInfo& c : countries) tourism.push_back(c.tourism_weight);
+    util::AliasTable tourism_table(tourism);
+    for (uint64_t i = 0; i < n; ++i) {
+      std::unordered_set<uint32_t> visited;
+      uint32_t home = ds.home_country[i];
+      visited.insert(home);
+      for (int nb : countries[home].neighbors) {
+        if (travel_rng.Bernoulli(0.45)) {
+          visited.insert(static_cast<uint32_t>(nb));
+        }
+      }
+      uint64_t extra = travel_rng.Uniform(4);  // 0-3 tourist trips
+      for (uint64_t k = 0; k < extra; ++k) {
+        visited.insert(static_cast<uint32_t>(tourism_table.Sample(&travel_rng)));
+      }
+      for (uint32_t c : visited) {
+        store.Add(ds.persons[i], p_has_been_to, ds.countries[c]);
+      }
+    }
+  }
+
+  store.Finalize();
+  return ds;
+}
+
+}  // namespace rdfparams::snb

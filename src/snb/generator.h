@@ -1,0 +1,93 @@
+// SNB-style social network generator (the project's S3G2 / LDBC substitute).
+//
+// The correlations the paper's E2/E4 experiments rely on are generated
+// explicitly:
+//   * first names correlate with the home country (name regions), so the
+//     intro example (firstName x livesIn) has wildly varying selectivity;
+//   * friendship edges prefer same-country pairs and node degrees are
+//     heavy-tailed, so "posts of my friends" (Q2) fan-out is skewed;
+//   * country visits combine home, neighbors and tourism popularity, so
+//     |visitors(X) CAP visitors(Y)| spans orders of magnitude across pairs
+//     (USA+Canada large, Finland+Zimbabwe nearly empty) — the E4 plan flip.
+#ifndef RDFPARAMS_SNB_GENERATOR_H_
+#define RDFPARAMS_SNB_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace rdfparams::snb {
+
+struct GeneratorConfig {
+  uint64_t num_persons = 2000;
+  /// Average number of knows-edges per person (each edge stored in both
+  /// directions).
+  double avg_degree = 12.0;
+  /// Zipf exponent of the degree distribution (larger = more skew).
+  double degree_zipf_s = 1.4;
+  /// Probability that a friend lives in the same country.
+  double same_country_friend_prob = 0.7;
+  /// Mean number of posts per person (exponential, heavy right tail).
+  double posts_per_person = 15.0;
+  uint64_t max_posts_per_person = 400;
+  /// Number of distinct tags for posts.
+  uint32_t num_tags = 400;
+  /// Probability that a first name is drawn from the home region's pool
+  /// (the rest is drawn from the global pool) — the name/country
+  /// correlation knob.
+  double regional_name_prob = 0.85;
+  uint64_t seed = 7;
+};
+
+struct Vocabulary {
+  std::string rdf_type;
+  std::string person_class;
+  std::string post_class;
+  std::string first_name;     ///< snb:firstName (literal)
+  std::string lives_in;       ///< snb:livesIn (country IRI)
+  std::string knows;          ///< snb:knows (person, symmetric)
+  std::string has_creator;    ///< snb:hasCreator (post -> person)
+  std::string creation_date;  ///< snb:creationDate (integer timestamp)
+  std::string has_tag;        ///< snb:hasTag (post -> tag)
+  std::string has_been_to;    ///< snb:hasBeenTo (person -> country)
+  std::string has_interest;   ///< snb:hasInterest (person -> tag)
+
+  static Vocabulary Default();
+};
+
+/// Static country metadata used by the generator.
+struct CountryInfo {
+  const char* name;
+  uint32_t region;           ///< name-region index
+  double population_weight;  ///< P(person lives here)
+  double tourism_weight;     ///< attractiveness for visits
+  std::vector<int> neighbors;
+};
+
+/// The built-in country table (~32 entries).
+const std::vector<CountryInfo>& Countries();
+
+/// Generated dataset plus the entity lists used for parameter domains.
+struct Dataset {
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  Vocabulary vocab;
+
+  std::vector<rdf::TermId> persons;
+  std::vector<rdf::TermId> countries;  ///< aligned with Countries()
+  std::vector<rdf::TermId> tags;
+  std::vector<rdf::TermId> posts;
+  std::vector<rdf::TermId> first_names;  ///< distinct name literals
+
+  /// persons[i] lives in countries[home_country[i]].
+  std::vector<uint32_t> home_country;
+};
+
+Dataset Generate(const GeneratorConfig& config);
+
+}  // namespace rdfparams::snb
+
+#endif  // RDFPARAMS_SNB_GENERATOR_H_

@@ -1,0 +1,101 @@
+#include "snb/queries.h"
+
+#include "util/status.h"
+
+namespace rdfparams::snb {
+
+namespace {
+
+sparql::QueryTemplate MustParse(const char* name, const std::string& text) {
+  auto t = sparql::QueryTemplate::Parse(name, text);
+  RDFPARAMS_DCHECK(t.ok());
+  return std::move(t).value();
+}
+
+std::string Prefixes() {
+  return "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+         "PREFIX snb: <http://rdfparams.org/snb/vocabulary#>\n";
+}
+
+}  // namespace
+
+sparql::QueryTemplate MakeQ1(const Dataset& ds) {
+  (void)ds;
+  return MustParse("SNB-Q1", Prefixes() + R"(
+SELECT ?person WHERE {
+  ?person snb:firstName %name .
+  ?person snb:livesIn %country .
+}
+)");
+}
+
+sparql::QueryTemplate MakeQ2(const Dataset& ds) {
+  (void)ds;
+  return MustParse("SNB-Q2", Prefixes() + R"(
+SELECT ?post ?date WHERE {
+  %person snb:knows ?friend .
+  ?post snb:hasCreator ?friend .
+  ?post snb:creationDate ?date .
+}
+ORDER BY DESC(?date)
+LIMIT 20
+)");
+}
+
+sparql::QueryTemplate MakeQ3(const Dataset& ds) {
+  (void)ds;
+  return MustParse("SNB-Q3", Prefixes() + R"(
+SELECT DISTINCT ?f2 WHERE {
+  %person snb:knows ?f1 .
+  ?f1 snb:knows ?f2 .
+  ?f2 snb:hasBeenTo %countryX .
+  ?f2 snb:hasBeenTo %countryY .
+}
+)");
+}
+
+sparql::QueryTemplate MakeQ4(const Dataset& ds) {
+  (void)ds;
+  return MustParse("SNB-Q4", Prefixes() + R"(
+SELECT ?post WHERE {
+  %person snb:knows ?friend .
+  ?post snb:hasCreator ?friend .
+  ?post snb:hasTag %tag .
+}
+)");
+}
+
+std::vector<sparql::QueryTemplate> AllTemplates(const Dataset& ds) {
+  std::vector<sparql::QueryTemplate> out;
+  out.push_back(MakeQ1(ds));
+  out.push_back(MakeQ2(ds));
+  out.push_back(MakeQ3(ds));
+  out.push_back(MakeQ4(ds));
+  return out;
+}
+
+std::vector<rdf::TermId> PersonDomain(const Dataset& ds) { return ds.persons; }
+
+std::vector<rdf::TermId> CountryDomain(const Dataset& ds) {
+  return ds.countries;
+}
+
+std::vector<rdf::TermId> NameDomain(const Dataset& ds) {
+  return ds.first_names;
+}
+
+std::vector<rdf::TermId> TagDomain(const Dataset& ds) { return ds.tags; }
+
+std::vector<sparql::ParameterBinding> CountryPairDomain(const Dataset& ds) {
+  std::vector<sparql::ParameterBinding> out;
+  for (size_t x = 0; x < ds.countries.size(); ++x) {
+    for (size_t y = x + 1; y < ds.countries.size(); ++y) {
+      sparql::ParameterBinding b;
+      b.values = {ds.countries[x], ds.countries[y]};
+      out.push_back(std::move(b));
+    }
+  }
+  return out;
+}
+
+}  // namespace rdfparams::snb

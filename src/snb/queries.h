@@ -1,0 +1,43 @@
+// LDBC-style query templates over the social network dataset, including the
+// two queries the paper measures:
+//   Q2 — the newest 20 posts of %person's friends    (E2 group table)
+//   Q3 — 2-hop friends who visited both %countryX and %countryY
+//        (E4: the optimal plan flips with the country pair)
+#ifndef RDFPARAMS_SNB_QUERIES_H_
+#define RDFPARAMS_SNB_QUERIES_H_
+
+#include <vector>
+
+#include "snb/generator.h"
+#include "sparql/query_template.h"
+
+namespace rdfparams::snb {
+
+/// Q1 (the paper's intro example): persons by first name and country.
+sparql::QueryTemplate MakeQ1(const Dataset& ds);
+
+/// Q2: newest 20 posts of the friends of %person.
+sparql::QueryTemplate MakeQ2(const Dataset& ds);
+
+/// Q3: distinct friends-of-friends of %person who have been to both
+/// %countryX and %countryY.
+sparql::QueryTemplate MakeQ3(const Dataset& ds);
+
+/// Q4: posts of %person's friends carrying %tag.
+sparql::QueryTemplate MakeQ4(const Dataset& ds);
+
+std::vector<sparql::QueryTemplate> AllTemplates(const Dataset& ds);
+
+/// Parameter domains ---------------------------------------------------------
+
+std::vector<rdf::TermId> PersonDomain(const Dataset& ds);
+std::vector<rdf::TermId> CountryDomain(const Dataset& ds);
+std::vector<rdf::TermId> NameDomain(const Dataset& ds);
+std::vector<rdf::TermId> TagDomain(const Dataset& ds);
+
+/// All unordered country pairs (X != Y) as explicit 2-tuples, for Q3.
+std::vector<sparql::ParameterBinding> CountryPairDomain(const Dataset& ds);
+
+}  // namespace rdfparams::snb
+
+#endif  // RDFPARAMS_SNB_QUERIES_H_

@@ -1,0 +1,170 @@
+#include "sparql/algebra.h"
+
+#include <algorithm>
+
+namespace rdfparams::sparql {
+
+Slot Slot::Var(std::string name) {
+  Slot s;
+  s.kind = SlotKind::kVariable;
+  s.name = std::move(name);
+  return s;
+}
+
+Slot Slot::Const(rdf::Term term) {
+  Slot s;
+  s.kind = SlotKind::kConstant;
+  s.term = std::move(term);
+  return s;
+}
+
+Slot Slot::Param(std::string name) {
+  Slot s;
+  s.kind = SlotKind::kParameter;
+  s.name = std::move(name);
+  return s;
+}
+
+bool Slot::operator==(const Slot& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case SlotKind::kVariable:
+    case SlotKind::kParameter:
+      return name == other.name;
+    case SlotKind::kConstant:
+      return term == other.term;
+  }
+  return false;
+}
+
+std::string Slot::ToString() const {
+  switch (kind) {
+    case SlotKind::kVariable: return "?" + name;
+    case SlotKind::kParameter: return "%" + name;
+    case SlotKind::kConstant: return term.ToNTriples();
+  }
+  return "<?>";
+}
+
+std::vector<std::string> TriplePattern::Variables() const {
+  std::vector<std::string> out;
+  for (const Slot* slot : {&s, &p, &o}) {
+    if (slot->is_var() &&
+        std::find(out.begin(), out.end(), slot->name) == out.end()) {
+      out.push_back(slot->name);
+    }
+  }
+  return out;
+}
+
+std::string TriplePattern::ToString() const {
+  return s.ToString() + " " + p.ToString() + " " + o.ToString() + " .";
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string FilterCondition::ToString() const {
+  return "FILTER(?" + lhs_var + " " + CompareOpName(op) + " " +
+         rhs.ToString() + ")";
+}
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount: return "COUNT";
+    case AggregateKind::kSum: return "SUM";
+    case AggregateKind::kAvg: return "AVG";
+    case AggregateKind::kMin: return "MIN";
+    case AggregateKind::kMax: return "MAX";
+  }
+  return "?";
+}
+
+std::string Aggregate::ToString() const {
+  std::string arg = var.empty() ? "*" : "?" + var;
+  return std::string("(") + AggregateKindName(kind) + "(" + arg + ") AS ?" +
+         as_name + ")";
+}
+
+std::vector<std::string> SelectQuery::PatternVariables() const {
+  std::vector<std::string> out;
+  for (const TriplePattern& tp : patterns) {
+    for (const std::string& v : tp.Variables()) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SelectQuery::ParameterNames() const {
+  std::vector<std::string> out;
+  auto add = [&](const Slot& slot) {
+    if (slot.is_param() &&
+        std::find(out.begin(), out.end(), slot.name) == out.end()) {
+      out.push_back(slot.name);
+    }
+  };
+  for (const TriplePattern& tp : patterns) {
+    add(tp.s);
+    add(tp.p);
+    add(tp.o);
+  }
+  for (const FilterCondition& f : filters) add(f.rhs);
+  return out;
+}
+
+bool SelectQuery::IsGround() const { return ParameterNames().empty(); }
+
+std::string SelectQuery::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (select_vars.empty() && aggregates.empty()) {
+    out += "*";
+  } else {
+    bool first = true;
+    for (const std::string& v : select_vars) {
+      if (!first) out += " ";
+      out += "?" + v;
+      first = false;
+    }
+    for (const Aggregate& a : aggregates) {
+      if (!first) out += " ";
+      out += a.ToString();
+      first = false;
+    }
+  }
+  out += "\nWHERE {\n";
+  for (const TriplePattern& tp : patterns) {
+    out += "  " + tp.ToString() + "\n";
+  }
+  for (const FilterCondition& f : filters) {
+    out += "  " + f.ToString() + "\n";
+  }
+  out += "}";
+  if (!group_by.empty()) {
+    out += "\nGROUP BY";
+    for (const std::string& v : group_by) out += " ?" + v;
+  }
+  if (!order_by.empty()) {
+    out += "\nORDER BY";
+    for (const OrderKey& k : order_by) {
+      out += k.descending ? " DESC(?" + k.var + ")" : " ASC(?" + k.var + ")";
+    }
+  }
+  if (limit >= 0) out += "\nLIMIT " + std::to_string(limit);
+  if (offset > 0) out += "\nOFFSET " + std::to_string(offset);
+  return out;
+}
+
+}  // namespace rdfparams::sparql

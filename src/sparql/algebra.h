@@ -1,0 +1,113 @@
+// Query algebra for the SPARQL subset used by the benchmarks:
+// basic graph patterns with FILTER, DISTINCT, GROUP BY + aggregates,
+// ORDER BY and LIMIT/OFFSET. Triple pattern slots are variables, constants,
+// or named substitution parameters (`%param`), the paper's central notion.
+#ifndef RDFPARAMS_SPARQL_ALGEBRA_H_
+#define RDFPARAMS_SPARQL_ALGEBRA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfparams::sparql {
+
+enum class SlotKind : uint8_t {
+  kVariable = 0,   ///< ?x
+  kConstant = 1,   ///< IRI / literal
+  kParameter = 2,  ///< %param — replaced by the workload generator
+};
+
+/// One position of a triple pattern.
+struct Slot {
+  SlotKind kind = SlotKind::kVariable;
+  std::string name;  ///< variable or parameter name (without ? / %)
+  rdf::Term term;    ///< constant value if kind == kConstant
+
+  static Slot Var(std::string name);
+  static Slot Const(rdf::Term term);
+  static Slot Param(std::string name);
+
+  bool is_var() const { return kind == SlotKind::kVariable; }
+  bool is_const() const { return kind == SlotKind::kConstant; }
+  bool is_param() const { return kind == SlotKind::kParameter; }
+
+  bool operator==(const Slot& other) const;
+
+  /// "?x", "%type", or the constant's N-Triples form.
+  std::string ToString() const;
+};
+
+struct TriplePattern {
+  Slot s, p, o;
+
+  TriplePattern() = default;
+  TriplePattern(Slot s_, Slot p_, Slot o_)
+      : s(std::move(s_)), p(std::move(p_)), o(std::move(o_)) {}
+
+  /// Variables mentioned (deduplicated, in s,p,o order).
+  std::vector<std::string> Variables() const;
+
+  std::string ToString() const;
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// FILTER(?lhs op rhs); rhs may be a variable, constant or parameter.
+struct FilterCondition {
+  std::string lhs_var;
+  CompareOp op = CompareOp::kEq;
+  Slot rhs;
+
+  std::string ToString() const;
+};
+
+enum class AggregateKind : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggregateKindName(AggregateKind kind);
+
+/// e.g. (AVG(?price) AS ?avgPrice); var empty means COUNT(*).
+struct Aggregate {
+  AggregateKind kind = AggregateKind::kCount;
+  std::string var;      ///< aggregated variable ("" = COUNT(*))
+  std::string as_name;  ///< output variable name
+
+  std::string ToString() const;
+};
+
+struct OrderKey {
+  std::string var;
+  bool descending = false;
+};
+
+/// A SELECT query over one basic graph pattern.
+struct SelectQuery {
+  std::vector<std::string> select_vars;  ///< empty means SELECT *
+  bool distinct = false;
+  std::vector<TriplePattern> patterns;
+  std::vector<FilterCondition> filters;
+  std::vector<std::string> group_by;
+  std::vector<Aggregate> aggregates;
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;  ///< -1: none
+  int64_t offset = 0;
+
+  /// All variables used in patterns (deduplicated, first-occurrence order).
+  std::vector<std::string> PatternVariables() const;
+
+  /// Names of all %parameters in patterns and filters (deduplicated).
+  std::vector<std::string> ParameterNames() const;
+
+  /// True if no slot/filter still holds an unbound parameter.
+  bool IsGround() const;
+
+  /// Round-trippable textual form (parsable by sparql::ParseQuery).
+  std::string ToString() const;
+};
+
+}  // namespace rdfparams::sparql
+
+#endif  // RDFPARAMS_SPARQL_ALGEBRA_H_

@@ -1,0 +1,491 @@
+#include "sparql/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "rdf/ntriples.h"
+#include "util/string_util.h"
+
+namespace rdfparams::sparql {
+
+namespace {
+
+constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+enum class TokKind {
+  kKeyword,   // SELECT, WHERE, ... (uppercased)
+  kVar,       // ?x
+  kParam,     // %x
+  kIri,       // <...> (resolved)
+  kPname,     // prefix:local (resolved to IRI at lex time when possible)
+  kLiteral,   // "..." with optional @lang/^^
+  kNumber,    // bare numeric literal
+  kPunct,     // { } ( ) . ; , * = != < <= > >=
+  kA,         // the 'a' keyword
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;    // keyword name / var name / punct
+  rdf::Term term;      // for kIri, kPname (resolved), kLiteral, kNumber
+  size_t line;
+};
+
+bool IsKeyword(const std::string& upper) {
+  static const char* kKeywords[] = {
+      "PREFIX", "SELECT", "DISTINCT", "WHERE",  "FILTER", "GROUP",
+      "BY",     "ORDER",  "ASC",      "DESC",   "LIMIT",  "OFFSET",
+      "AS",     "COUNT",  "SUM",      "AVG",    "MIN",    "MAX"};
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        out->push_back({TokKind::kEnd, "", {}, line_});
+        return Status::OK();
+      }
+      char c = text_[pos_];
+      if (c == '?' || c == '$') {
+        ++pos_;
+        std::string name = LexName();
+        if (name.empty()) return Err("empty variable name");
+        out->push_back({TokKind::kVar, name, {}, line_});
+        continue;
+      }
+      if (c == '%') {
+        ++pos_;
+        std::string name = LexName();
+        if (name.empty()) return Err("empty parameter name");
+        out->push_back({TokKind::kParam, name, {}, line_});
+        continue;
+      }
+      if (c == '<') {
+        // Operator when followed by space or '='; IRI otherwise.
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          pos_ += 2;
+          out->push_back({TokKind::kPunct, "<=", {}, line_});
+          continue;
+        }
+        size_t gt = text_.find('>', pos_ + 1);
+        size_t ws = text_.find_first_of(" \t\r\n", pos_ + 1);
+        if (gt != std::string_view::npos &&
+            (ws == std::string_view::npos || gt < ws)) {
+          std::string iri(text_.substr(pos_ + 1, gt - pos_ - 1));
+          pos_ = gt + 1;
+          out->push_back({TokKind::kIri, "", rdf::Term::Iri(std::move(iri)),
+                          line_});
+          continue;
+        }
+        ++pos_;
+        out->push_back({TokKind::kPunct, "<", {}, line_});
+        continue;
+      }
+      if (c == '"') {
+        size_t local = 0;
+        std::string_view rest = text_.substr(pos_);
+        auto term = rdf::ParseNTriplesTerm(rest, &local);
+        if (!term.ok()) return Err(term.status().message());
+        pos_ += local;
+        out->push_back({TokKind::kLiteral, "", std::move(term).value(), line_});
+        continue;
+      }
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' ||
+          (c == '-' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        out->push_back(LexNumber());
+        continue;
+      }
+      if (c == '!' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+        pos_ += 2;
+        out->push_back({TokKind::kPunct, "!=", {}, line_});
+        continue;
+      }
+      if (c == '>') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          pos_ += 2;
+          out->push_back({TokKind::kPunct, ">=", {}, line_});
+        } else {
+          ++pos_;
+          out->push_back({TokKind::kPunct, ">", {}, line_});
+        }
+        continue;
+      }
+      if (std::string_view("{}().;,*=").find(c) != std::string_view::npos) {
+        ++pos_;
+        out->push_back({TokKind::kPunct, std::string(1, c), {}, line_});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        std::string name = LexName();
+        if (pos_ < text_.size() && text_[pos_] == ':') {
+          // Prefixed name.
+          ++pos_;
+          std::string local = LexName();
+          auto it = prefixes_.find(name);
+          if (it == prefixes_.end()) {
+            return Err("undefined prefix '" + name + ":'");
+          }
+          out->push_back({TokKind::kPname, "",
+                          rdf::Term::Iri(it->second + local), line_});
+          continue;
+        }
+        std::string upper;
+        for (char ch : name) {
+          upper.push_back(static_cast<char>(std::toupper(
+              static_cast<unsigned char>(ch))));
+        }
+        if (name == "a") {
+          out->push_back({TokKind::kA, "a", {}, line_});
+          continue;
+        }
+        if (upper == "PREFIX") {
+          RDFPARAMS_RETURN_NOT_OK(LexPrefixDecl());
+          continue;
+        }
+        if (upper == "TRUE" || upper == "FALSE") {
+          out->push_back({TokKind::kLiteral, "",
+                          rdf::Term::Boolean(upper == "TRUE"), line_});
+          continue;
+        }
+        if (IsKeyword(upper)) {
+          out->push_back({TokKind::kKeyword, upper, {}, line_});
+          continue;
+        }
+        (void)start;
+        return Err("unexpected identifier '" + name + "'");
+      }
+      return Err(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string LexName() {
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Token LexNumber() {
+    size_t start = pos_;
+    if (text_[pos_] == '+' || text_[pos_] == '-') ++pos_;
+    bool dot = false, exp = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' && !dot && !exp && pos_ + 1 < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        dot = true;
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && !exp) {
+        exp = true;
+        ++pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    std::string text(text_.substr(start, pos_ - start));
+    rdf::Term term =
+        exp ? rdf::Term::TypedLiteral(text, std::string(rdf::kXsdDouble))
+        : dot ? rdf::Term::TypedLiteral(text, std::string(rdf::kXsdDecimal))
+              : rdf::Term::TypedLiteral(text, std::string(rdf::kXsdInteger));
+    return {TokKind::kNumber, text, std::move(term), line_};
+  }
+
+  Status LexPrefixDecl() {
+    SkipWs();
+    std::string prefix = LexName();
+    if (pos_ >= text_.size() || text_[pos_] != ':') {
+      return Err("expected ':' in PREFIX declaration");
+    }
+    ++pos_;
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Err("expected <IRI> in PREFIX declaration");
+    }
+    size_t gt = text_.find('>', pos_ + 1);
+    if (gt == std::string_view::npos) return Err("unterminated IRI");
+    prefixes_[prefix] = std::string(text_.substr(pos_ + 1, gt - pos_ - 1));
+    pos_ = gt + 1;
+    return Status::OK();
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("line " + std::to_string(line_) + ": " + msg);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  std::map<std::string, std::string> prefixes_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<SelectQuery> Parse() {
+    SelectQuery q;
+    RDFPARAMS_RETURN_NOT_OK(Expect(TokKind::kKeyword, "SELECT"));
+    if (PeekKeyword("DISTINCT")) {
+      Next();
+      q.distinct = true;
+    }
+    // Projection: '*' | (?var | (AGG(?x) AS ?y))+
+    if (PeekPunct("*")) {
+      Next();
+    } else {
+      while (true) {
+        if (Peek().kind == TokKind::kVar) {
+          q.select_vars.push_back(Next().text);
+        } else if (PeekPunct("(")) {
+          RDFPARAMS_ASSIGN_OR_RETURN(Aggregate agg, ParseAggregate());
+          q.aggregates.push_back(std::move(agg));
+        } else {
+          break;
+        }
+      }
+      if (q.select_vars.empty() && q.aggregates.empty()) {
+        return Err("SELECT needs '*', variables, or aggregates");
+      }
+    }
+    RDFPARAMS_RETURN_NOT_OK(Expect(TokKind::kKeyword, "WHERE"));
+    RDFPARAMS_RETURN_NOT_OK(ExpectPunct("{"));
+    while (!PeekPunct("}")) {
+      if (PeekKeyword("FILTER")) {
+        Next();
+        RDFPARAMS_ASSIGN_OR_RETURN(FilterCondition f, ParseFilter());
+        q.filters.push_back(std::move(f));
+        // Optional '.' after a filter.
+        if (PeekPunct(".")) Next();
+        continue;
+      }
+      RDFPARAMS_ASSIGN_OR_RETURN(TriplePattern tp, ParseTriplePattern());
+      q.patterns.push_back(std::move(tp));
+      if (PeekPunct(".")) Next();
+    }
+    RDFPARAMS_RETURN_NOT_OK(ExpectPunct("}"));
+
+    // Modifiers in any sensible order: GROUP BY, ORDER BY, LIMIT, OFFSET.
+    while (Peek().kind != TokKind::kEnd) {
+      if (PeekKeyword("GROUP")) {
+        Next();
+        RDFPARAMS_RETURN_NOT_OK(Expect(TokKind::kKeyword, "BY"));
+        while (Peek().kind == TokKind::kVar) {
+          q.group_by.push_back(Next().text);
+        }
+        if (q.group_by.empty()) return Err("GROUP BY needs variables");
+        continue;
+      }
+      if (PeekKeyword("ORDER")) {
+        Next();
+        RDFPARAMS_RETURN_NOT_OK(Expect(TokKind::kKeyword, "BY"));
+        while (true) {
+          OrderKey key;
+          if (PeekKeyword("ASC") || PeekKeyword("DESC")) {
+            key.descending = Next().text == "DESC";
+            RDFPARAMS_RETURN_NOT_OK(ExpectPunct("("));
+            if (Peek().kind != TokKind::kVar) {
+              return Err("ORDER BY expects a variable");
+            }
+            key.var = Next().text;
+            RDFPARAMS_RETURN_NOT_OK(ExpectPunct(")"));
+          } else if (Peek().kind == TokKind::kVar) {
+            key.var = Next().text;
+          } else {
+            break;
+          }
+          q.order_by.push_back(std::move(key));
+        }
+        if (q.order_by.empty()) return Err("ORDER BY needs keys");
+        continue;
+      }
+      if (PeekKeyword("LIMIT")) {
+        Next();
+        RDFPARAMS_ASSIGN_OR_RETURN(int64_t n, ParseInt());
+        q.limit = n;
+        continue;
+      }
+      if (PeekKeyword("OFFSET")) {
+        Next();
+        RDFPARAMS_ASSIGN_OR_RETURN(int64_t n, ParseInt());
+        q.offset = n;
+        continue;
+      }
+      return Err("unexpected trailing token");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[idx_]; }
+  Token Next() { return toks_[idx_++]; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kKeyword && Peek().text == kw;
+  }
+  bool PeekPunct(const char* p) const {
+    return Peek().kind == TokKind::kPunct && Peek().text == p;
+  }
+
+  Status Expect(TokKind kind, const char* text) {
+    if (Peek().kind != kind || Peek().text != text) {
+      return Err(std::string("expected ") + text);
+    }
+    Next();
+    return Status::OK();
+  }
+  Status ExpectPunct(const char* p) { return Expect(TokKind::kPunct, p); }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("line " + std::to_string(Peek().line) + ": " +
+                              msg);
+  }
+
+  Result<int64_t> ParseInt() {
+    if (Peek().kind != TokKind::kNumber) return Err("expected integer");
+    Token t = Next();
+    auto v = t.term.AsInteger();
+    if (!v) return Err("expected integer, got '" + t.text + "'");
+    return *v;
+  }
+
+  Result<Slot> ParseSlot(bool allow_a) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokKind::kVar: return Slot::Var(Next().text);
+      case TokKind::kParam: return Slot::Param(Next().text);
+      case TokKind::kIri:
+      case TokKind::kPname:
+      case TokKind::kLiteral:
+      case TokKind::kNumber:
+        return Slot::Const(Next().term);
+      case TokKind::kA:
+        if (allow_a) {
+          Next();
+          return Slot::Const(rdf::Term::Iri(std::string(kRdfType)));
+        }
+        return Err("'a' is only allowed in predicate position");
+      default:
+        return Err("expected a term");
+    }
+  }
+
+  Result<TriplePattern> ParseTriplePattern() {
+    RDFPARAMS_ASSIGN_OR_RETURN(Slot s, ParseSlot(false));
+    RDFPARAMS_ASSIGN_OR_RETURN(Slot p, ParseSlot(true));
+    RDFPARAMS_ASSIGN_OR_RETURN(Slot o, ParseSlot(false));
+    return TriplePattern(std::move(s), std::move(p), std::move(o));
+  }
+
+  Result<FilterCondition> ParseFilter() {
+    RDFPARAMS_RETURN_NOT_OK(ExpectPunct("("));
+    if (Peek().kind != TokKind::kVar) {
+      return Err("FILTER left-hand side must be a variable");
+    }
+    FilterCondition f;
+    f.lhs_var = Next().text;
+    if (Peek().kind != TokKind::kPunct) return Err("expected comparison");
+    std::string op = Next().text;
+    if (op == "=") f.op = CompareOp::kEq;
+    else if (op == "!=") f.op = CompareOp::kNe;
+    else if (op == "<") f.op = CompareOp::kLt;
+    else if (op == "<=") f.op = CompareOp::kLe;
+    else if (op == ">") f.op = CompareOp::kGt;
+    else if (op == ">=") f.op = CompareOp::kGe;
+    else return Err("unknown comparison '" + op + "'");
+    RDFPARAMS_ASSIGN_OR_RETURN(Slot rhs, ParseSlot(false));
+    f.rhs = std::move(rhs);
+    RDFPARAMS_RETURN_NOT_OK(ExpectPunct(")"));
+    return f;
+  }
+
+  Result<Aggregate> ParseAggregate() {
+    RDFPARAMS_RETURN_NOT_OK(ExpectPunct("("));
+    if (Peek().kind != TokKind::kKeyword) return Err("expected aggregate");
+    std::string name = Next().text;
+    Aggregate agg;
+    if (name == "COUNT") agg.kind = AggregateKind::kCount;
+    else if (name == "SUM") agg.kind = AggregateKind::kSum;
+    else if (name == "AVG") agg.kind = AggregateKind::kAvg;
+    else if (name == "MIN") agg.kind = AggregateKind::kMin;
+    else if (name == "MAX") agg.kind = AggregateKind::kMax;
+    else return Err("unknown aggregate " + name);
+    RDFPARAMS_RETURN_NOT_OK(ExpectPunct("("));
+    if (PeekPunct("*")) {
+      Next();
+      if (agg.kind != AggregateKind::kCount) {
+        return Err("'*' argument is only valid for COUNT");
+      }
+    } else if (Peek().kind == TokKind::kVar) {
+      agg.var = Next().text;
+    } else {
+      return Err("aggregate expects a variable or '*'");
+    }
+    RDFPARAMS_RETURN_NOT_OK(ExpectPunct(")"));
+    RDFPARAMS_RETURN_NOT_OK(Expect(TokKind::kKeyword, "AS"));
+    if (Peek().kind != TokKind::kVar) return Err("expected output variable");
+    agg.as_name = Next().text;
+    RDFPARAMS_RETURN_NOT_OK(ExpectPunct(")"));
+    return agg;
+  }
+
+  std::vector<Token> toks_;
+  size_t idx_ = 0;
+};
+
+}  // namespace
+
+Result<SelectQuery> ParseQuery(std::string_view text) {
+  Lexer lexer(text);
+  std::vector<Token> toks;
+  RDFPARAMS_RETURN_NOT_OK(lexer.Tokenize(&toks));
+  Parser parser(std::move(toks));
+  RDFPARAMS_ASSIGN_OR_RETURN(SelectQuery q, parser.Parse());
+  if (q.patterns.empty()) {
+    return Status::ParseError("query has no triple patterns");
+  }
+  return q;
+}
+
+}  // namespace rdfparams::sparql

@@ -1,0 +1,25 @@
+// Parser for the SPARQL subset (see algebra.h), extended with %parameter
+// placeholders in any term position, as in the paper's query templates:
+//
+//   PREFIX sn: <http://example.org/sn#>
+//   SELECT * WHERE {
+//     ?person sn:firstName %name .
+//     ?person sn:livesIn %country .
+//   }
+#ifndef RDFPARAMS_SPARQL_PARSER_H_
+#define RDFPARAMS_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "sparql/algebra.h"
+#include "util/status.h"
+
+namespace rdfparams::sparql {
+
+/// Parses a query text into a SelectQuery. Error messages carry 1-based
+/// line numbers.
+Result<SelectQuery> ParseQuery(std::string_view text);
+
+}  // namespace rdfparams::sparql
+
+#endif  // RDFPARAMS_SPARQL_PARSER_H_

@@ -1,0 +1,24 @@
+// Pearson and Spearman correlation, used to reproduce the paper's claim
+// that C_out correlates with runtime at ~85% (Pearson).
+#ifndef RDFPARAMS_STATS_CORRELATION_H_
+#define RDFPARAMS_STATS_CORRELATION_H_
+
+#include <vector>
+
+namespace rdfparams::stats {
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Returns 0 when either sample is constant or sizes mismatch/empty.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Spearman rank correlation (Pearson over fractional ranks, ties averaged).
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Fractional ranks with ties averaged; helper exposed for tests.
+std::vector<double> FractionalRanks(const std::vector<double>& xs);
+
+}  // namespace rdfparams::stats
+
+#endif  // RDFPARAMS_STATS_CORRELATION_H_

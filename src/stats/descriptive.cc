@@ -1,0 +1,112 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace rdfparams::stats {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  RDFPARAMS_DCHECK(!sorted.empty());
+  RDFPARAMS_DCHECK(p >= 0.0 && p <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  double h = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(h));
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return PercentileSorted(xs, p);
+}
+
+Summary Summarize(std::vector<double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  s.mean = Mean(xs);
+  s.variance = Variance(xs);
+  s.stddev = std::sqrt(s.variance);
+  s.median = PercentileSorted(xs, 0.5);
+  s.q10 = PercentileSorted(xs, 0.10);
+  s.q90 = PercentileSorted(xs, 0.90);
+  s.q95 = PercentileSorted(xs, 0.95);
+  s.q99 = PercentileSorted(xs, 0.99);
+  s.cv = s.mean != 0.0 ? s.stddev / s.mean : 0.0;
+  if (xs.size() >= 3 && s.stddev > 0) {
+    double n = static_cast<double>(xs.size());
+    double acc = 0;
+    for (double x : xs) {
+      double d = (x - s.mean) / s.stddev;
+      acc += d * d * d;
+    }
+    s.skewness = acc * n / ((n - 1) * (n - 2));
+  }
+  return s;
+}
+
+double MidRangeMassFraction(std::vector<double> xs, double lo_q, double hi_q) {
+  if (xs.size() < 4) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double lo = PercentileSorted(xs, lo_q);
+  double hi = PercentileSorted(xs, hi_q);
+  // Middle band of the *value* range between the two percentile anchors:
+  // [lo + 1/3 span, hi - 1/3 span]. Mass here indicates a filled-in middle.
+  double span = hi - lo;
+  if (span <= 0) return 1.0;  // degenerate: everything identical
+  double band_lo = lo + span / 3.0;
+  double band_hi = hi - span / 3.0;
+  size_t in_band = 0;
+  for (double x : xs) {
+    if (x >= band_lo && x <= band_hi) ++in_band;
+  }
+  return static_cast<double>(in_band) / static_cast<double>(xs.size());
+}
+
+double RelativeSpread(const std::vector<double>& group_values) {
+  if (group_values.empty()) return 0.0;
+  double lo = group_values[0], hi = group_values[0];
+  for (double v : group_values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo == 0.0) return hi == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return (hi - lo) / lo;
+}
+
+std::string ToString(const Summary& s) {
+  return util::StringPrintf(
+      "n=%zu min=%s q10=%s median=%s mean=%s q90=%s q95=%s max=%s var=%.4g",
+      s.count, util::FormatSig(s.min, 4).c_str(),
+      util::FormatSig(s.q10, 4).c_str(), util::FormatSig(s.median, 4).c_str(),
+      util::FormatSig(s.mean, 4).c_str(), util::FormatSig(s.q90, 4).c_str(),
+      util::FormatSig(s.q95, 4).c_str(), util::FormatSig(s.max, 4).c_str(),
+      s.variance);
+}
+
+}  // namespace rdfparams::stats

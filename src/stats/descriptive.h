@@ -1,0 +1,64 @@
+// Descriptive statistics for runtime distributions: mean, variance,
+// percentiles, and the paper's aggregate rows (q10 / median / q90 / avg).
+#ifndef RDFPARAMS_STATS_DESCRIPTIVE_H_
+#define RDFPARAMS_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rdfparams::stats {
+
+/// Summary of a sample. All durations/values are in the caller's unit.
+struct Summary {
+  size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double variance = 0;  // unbiased (n-1) sample variance
+  double stddev = 0;
+  double median = 0;
+  double q10 = 0;
+  double q90 = 0;
+  double q95 = 0;
+  double q99 = 0;
+  /// Coefficient of variation: stddev / mean (0 when mean == 0).
+  double cv = 0;
+  /// Skewness (adjusted Fisher-Pearson); 0 for n < 3.
+  double skewness = 0;
+};
+
+/// Sample mean; 0 for an empty sample.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance; 0 for n < 2.
+double Variance(const std::vector<double>& xs);
+
+double StdDev(const std::vector<double>& xs);
+
+/// Linear-interpolation percentile (type 7, the R/NumPy default).
+/// p in [0, 1]. Asserts on an empty sample.
+double Percentile(std::vector<double> xs, double p);
+
+/// Percentile for an already ascending-sorted sample (no copy).
+double PercentileSorted(const std::vector<double>& sorted, double p);
+
+/// Full summary in one pass over a copy of the data.
+Summary Summarize(std::vector<double> xs);
+
+/// Midhinge-based "bimodality" check used in E3 analysis: the fraction of
+/// points whose value lies within (lo_q, hi_q) percentile band of the range
+/// between those percentiles. A clustered distribution (fast group + slow
+/// group, nothing in between) yields a near-zero mid-mass.
+double MidRangeMassFraction(std::vector<double> xs, double lo_q, double hi_q);
+
+/// Relative spread across group aggregates: (max - min) / min.
+/// Used for E2: "deviation in reported average runtime up to 40%".
+double RelativeSpread(const std::vector<double>& group_values);
+
+/// Renders a Summary as a one-line string for logs.
+std::string ToString(const Summary& s);
+
+}  // namespace rdfparams::stats
+
+#endif  // RDFPARAMS_STATS_DESCRIPTIVE_H_

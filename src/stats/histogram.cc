@@ -1,0 +1,142 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace rdfparams::stats {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  RDFPARAMS_DCHECK(edges_.size() >= 2);
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : Histogram([&] {
+        RDFPARAMS_DCHECK(bins > 0);
+        RDFPARAMS_DCHECK(hi > lo);
+        std::vector<double> edges(bins + 1);
+        for (size_t i = 0; i <= bins; ++i) {
+          edges[i] = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(bins);
+        }
+        return edges;
+      }()) {}
+
+Histogram Histogram::MakeLog(double lo, double hi, size_t bins) {
+  RDFPARAMS_DCHECK(lo > 0 && hi > lo && bins > 0);
+  std::vector<double> edges(bins + 1);
+  double llo = std::log(lo), lhi = std::log(hi);
+  for (size_t i = 0; i <= bins; ++i) {
+    edges[i] = std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                                  static_cast<double>(bins));
+  }
+  return Histogram(std::move(edges));
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < edges_.front()) {
+    ++underflow_;
+    return;
+  }
+  if (x >= edges_.back()) {
+    ++overflow_;
+    return;
+  }
+  // Binary search for the bucket.
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(edges_.begin(), edges_.end(), x) - edges_.begin());
+  RDFPARAMS_DCHECK(idx >= 1 && idx <= counts_.size());
+  ++counts_[idx - 1];
+}
+
+void Histogram::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+size_t Histogram::ModeBin() const {
+  size_t best = 0;
+  for (size_t i = 1; i < counts_.size(); ++i) {
+    if (counts_[i] > counts_[best]) best = i;
+  }
+  return best;
+}
+
+size_t Histogram::CountModes() const {
+  if (counts_.empty()) return 0;
+  // Light smoothing: 3-point moving sum, then count strict local maxima of
+  // non-zero mass separated by at least one emptier bin.
+  std::vector<double> s(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double acc = static_cast<double>(counts_[i]);
+    if (i > 0) acc += static_cast<double>(counts_[i - 1]);
+    if (i + 1 < counts_.size()) acc += static_cast<double>(counts_[i + 1]);
+    s[i] = acc;
+  }
+  size_t modes = 0;
+  bool rising = true;
+  double peak = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (rising) {
+      peak = std::max(peak, s[i]);
+      bool falls = (i + 1 == s.size()) || s[i + 1] < s[i];
+      if (falls && s[i] > 0 && s[i] == peak) {
+        ++modes;
+        rising = false;
+      }
+    } else {
+      // Wait for a clear valley (below half the last peak) before counting
+      // another mode; avoids counting jitter.
+      if (s[i] < peak / 2.0) {
+        rising = true;
+        peak = 0;
+      }
+    }
+  }
+  return modes;
+}
+
+std::string Histogram::Sparkline() const {
+  static const char kRamp[] = " .:-=+*#%@";
+  uint64_t max_count = 0;
+  for (uint64_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  out.reserve(counts_.size());
+  for (uint64_t c : counts_) {
+    if (max_count == 0) {
+      out.push_back(' ');
+      continue;
+    }
+    size_t level =
+        c == 0 ? 0
+               : 1 + static_cast<size_t>(static_cast<double>(c) /
+                                         static_cast<double>(max_count) * 8.0);
+    level = std::min<size_t>(level, 9);
+    out.push_back(kRamp[level]);
+  }
+  return out;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out += util::StringPrintf("[%12s, %12s)  %8llu\n",
+                              util::FormatSig(edges_[i], 4).c_str(),
+                              util::FormatSig(edges_[i + 1], 4).c_str(),
+                              static_cast<unsigned long long>(counts_[i]));
+  }
+  if (underflow_ > 0) {
+    out += util::StringPrintf("underflow  %llu\n",
+                              static_cast<unsigned long long>(underflow_));
+  }
+  if (overflow_ > 0) {
+    out += util::StringPrintf("overflow   %llu\n",
+                              static_cast<unsigned long long>(overflow_));
+  }
+  return out;
+}
+
+}  // namespace rdfparams::stats

@@ -1,0 +1,58 @@
+// Fixed-bin and log-scale histograms for runtime distributions; also renders
+// a small ASCII sparkline used in bench output to show bimodality (E3).
+#ifndef RDFPARAMS_STATS_HISTOGRAM_H_
+#define RDFPARAMS_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdfparams::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets plus
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  /// Logarithmic bucket edges between lo and hi (both > 0).
+  static Histogram MakeLog(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  size_t num_bins() const { return counts_.size(); }
+  uint64_t bin_count(size_t i) const { return counts_[i]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total() const { return total_; }
+
+  /// Lower edge of bin i; bin_edge(num_bins()) is the upper bound.
+  double bin_edge(size_t i) const { return edges_[i]; }
+
+  /// Index of the fullest bin (0 if empty).
+  size_t ModeBin() const;
+
+  /// Number of local maxima in the (lightly smoothed) bin counts; >= 2
+  /// signals a multi-modal ("clustered") runtime distribution as in E3.
+  size_t CountModes() const;
+
+  /// One-line ASCII rendering: " .:-=+*#%@" density ramp.
+  std::string Sparkline() const;
+
+  /// Multi-line rendering with bucket ranges and counts.
+  std::string ToString() const;
+
+ private:
+  explicit Histogram(std::vector<double> edges);
+
+  std::vector<double> edges_;   // bins+1 ascending edges
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace rdfparams::stats
+
+#endif  // RDFPARAMS_STATS_HISTOGRAM_H_

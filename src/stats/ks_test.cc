@@ -1,0 +1,88 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace rdfparams::stats {
+
+double NormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double NormalCdf(double x, double mean, double stddev) {
+  if (stddev <= 0) return x < mean ? 0.0 : 1.0;
+  return NormalCdf((x - mean) / stddev);
+}
+
+double KolmogorovPValue(double distance, size_t n) {
+  if (n == 0 || distance <= 0) return 1.0;
+  if (distance >= 1.0) return 0.0;
+  double sqrt_n = std::sqrt(static_cast<double>(n));
+  double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * distance;
+  // Alternating series; terms decay as exp(-2 k^2 lambda^2).
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-18) break;
+  }
+  double p = 2.0 * sum;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+namespace {
+
+double KsDistanceSortedVsNormal(const std::vector<double>& sorted, double mean,
+                                double stddev) {
+  double d = 0.0;
+  size_t n = sorted.size();
+  for (size_t i = 0; i < n; ++i) {
+    double f = NormalCdf(sorted[i], mean, stddev);
+    double ecdf_hi = static_cast<double>(i + 1) / static_cast<double>(n);
+    double ecdf_lo = static_cast<double>(i) / static_cast<double>(n);
+    d = std::max(d, std::max(std::abs(ecdf_hi - f), std::abs(f - ecdf_lo)));
+  }
+  return d;
+}
+
+}  // namespace
+
+KsResult KsTestAgainstNormal(const std::vector<double>& xs, double mean,
+                             double stddev) {
+  KsResult r;
+  r.n = xs.size();
+  if (xs.empty()) return r;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  r.distance = KsDistanceSortedVsNormal(sorted, mean, stddev);
+  r.p_value = KolmogorovPValue(r.distance, r.n);
+  return r;
+}
+
+KsResult KsTestAgainstFittedNormal(const std::vector<double>& xs) {
+  return KsTestAgainstNormal(xs, Mean(xs), StdDev(xs));
+}
+
+double KsTwoSampleDistance(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t i = 0, j = 0;
+  double d = 0.0;
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  while (i < a.size() && j < b.size()) {
+    double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+}  // namespace rdfparams::stats

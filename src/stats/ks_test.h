@@ -1,0 +1,52 @@
+// One-sample Kolmogorov-Smirnov test against a fitted normal distribution.
+//
+// The paper (E1) reports "the Kolmogorov-Smirnov test that measures the
+// distance between the runtime distribution of BSBM-BI Query 2 and the
+// normal distribution results in the distance of 0.89 (p-value 1e-21)".
+// This module reproduces that measurement: KS distance D_n between the
+// empirical CDF and N(mean, stddev) fitted to the sample, and the
+// asymptotic Kolmogorov p-value.
+#ifndef RDFPARAMS_STATS_KS_TEST_H_
+#define RDFPARAMS_STATS_KS_TEST_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rdfparams::stats {
+
+struct KsResult {
+  double distance = 0;   ///< D_n = sup |F_emp - F_ref| in [0, 1]
+  double p_value = 1;    ///< asymptotic Kolmogorov p-value
+  size_t n = 0;
+};
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+
+/// CDF of N(mean, stddev) at x. stddev <= 0 degenerates to a step.
+double NormalCdf(double x, double mean, double stddev);
+
+/// Asymptotic Kolmogorov distribution complement:
+/// p = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2),
+/// lambda = (sqrt(n) + 0.12 + 0.11/sqrt(n)) * D_n   (Stephens' correction).
+double KolmogorovPValue(double distance, size_t n);
+
+/// KS distance of the sample against an arbitrary reference CDF.
+template <typename Cdf>
+double KsDistanceAgainst(std::vector<double> xs, const Cdf& cdf);
+
+/// One-sample KS test of xs against the normal fitted to xs itself
+/// (mean, stddev estimated from the data, as done in the paper).
+KsResult KsTestAgainstFittedNormal(const std::vector<double>& xs);
+
+/// One-sample KS test of xs against N(mean, stddev).
+KsResult KsTestAgainstNormal(const std::vector<double>& xs, double mean,
+                             double stddev);
+
+/// Two-sample KS distance between empirical CDFs (used by stability
+/// analysis to compare parameter groups, property P2).
+double KsTwoSampleDistance(std::vector<double> a, std::vector<double> b);
+
+}  // namespace rdfparams::stats
+
+#endif  // RDFPARAMS_STATS_KS_TEST_H_

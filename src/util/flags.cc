@@ -1,0 +1,128 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace rdfparams::util {
+
+void FlagParser::AddInt64(const std::string& name, int64_t* target,
+                          const std::string& help) {
+  flags_.push_back(
+      {name, Type::kInt64, target, help, std::to_string(*target)});
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  flags_.push_back(
+      {name, Type::kDouble, target, help, FormatSig(*target, 6)});
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_.push_back(
+      {name, Type::kBool, target, help, *target ? "true" : "false"});
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  flags_.push_back({name, Type::kString, target, help, *target});
+}
+
+FlagParser::Flag* FlagParser::Find(const std::string& name) {
+  for (auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status FlagParser::SetValue(Flag* flag, const std::string& value) {
+  char* end = nullptr;
+  switch (flag->type) {
+    case Type::kInt64: {
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + flag->name +
+                                       ": not an integer: '" + value + "'");
+      }
+      *static_cast<int64_t*>(flag->target) = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + flag->name +
+                                       ": not a number: '" + value + "'");
+      }
+      *static_cast<double*>(flag->target) = v;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      std::string lower = ToLower(value);
+      if (lower == "true" || lower == "1" || lower == "yes") {
+        *static_cast<bool*>(flag->target) = true;
+      } else if (lower == "false" || lower == "0" || lower == "no") {
+        *static_cast<bool*>(flag->target) = false;
+      } else {
+        return Status::InvalidArgument("flag --" + flag->name +
+                                       ": not a boolean: '" + value + "'");
+      }
+      return Status::OK();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag->target) = value;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        value = "true";  // bare --verbose means true
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + " expects a value");
+      }
+    }
+    RDFPARAMS_RETURN_NOT_OK(SetValue(flag, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& f : flags_) {
+    out += StringPrintf("  --%-24s %s (default: %s)\n", f.name.c_str(),
+                        f.help.c_str(), f.default_value.c_str());
+  }
+  return out;
+}
+
+}  // namespace rdfparams::util

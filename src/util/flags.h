@@ -1,0 +1,60 @@
+// Minimal command-line flag parsing for examples and bench harnesses.
+//
+//   util::FlagParser flags;
+//   int64_t scale = 1;
+//   flags.AddInt64("scale", &scale, "BSBM scale factor");
+//   flags.Parse(argc, argv);   // accepts --scale=3 and --scale 3
+#ifndef RDFPARAMS_UTIL_FLAGS_H_
+#define RDFPARAMS_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdfparams::util {
+
+/// Registry of typed flags; Parse() fills the bound variables.
+class FlagParser {
+ public:
+  void AddInt64(const std::string& name, int64_t* target,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Parses argv; unknown flags produce an error. `--help` sets
+  /// help_requested() and is not an error. Positional arguments are
+  /// collected into positional().
+  Status Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing every registered flag with its default and help.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  Status SetValue(Flag* flag, const std::string& value);
+  Flag* Find(const std::string& name);
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace rdfparams::util
+
+#endif  // RDFPARAMS_UTIL_FLAGS_H_

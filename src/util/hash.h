@@ -1,0 +1,43 @@
+// 64-bit mixing and combining helpers used for plan fingerprints,
+// dictionary tables and seed derivation.
+#ifndef RDFPARAMS_UTIL_HASH_H_
+#define RDFPARAMS_UTIL_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace rdfparams::util {
+
+/// SplitMix64 finalizer: a fast, well-mixed 64 -> 64 bit hash.
+inline uint64_t Hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combiner (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Hash64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+/// FNV-1a over bytes; stable across platforms, used for string keys.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace rdfparams::util
+
+#endif  // RDFPARAMS_UTIL_HASH_H_

@@ -1,0 +1,267 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace rdfparams::util {
+
+namespace {
+
+// 128-bit multiply-accumulate helpers for the PCG64 LCG step.
+// state = state * kMul + inc (mod 2^128).
+constexpr uint64_t kMulHi = 2549297995355413924ULL;
+constexpr uint64_t kMulLo = 4865540595714422341ULL;
+
+inline void Mul128(uint64_t a_hi, uint64_t a_lo, uint64_t b_hi, uint64_t b_lo,
+                   uint64_t* out_hi, uint64_t* out_lo) {
+#if defined(__SIZEOF_INT128__)
+  unsigned __int128 a =
+      (static_cast<unsigned __int128>(a_hi) << 64) | a_lo;
+  unsigned __int128 b =
+      (static_cast<unsigned __int128>(b_hi) << 64) | b_lo;
+  unsigned __int128 r = a * b;
+  *out_hi = static_cast<uint64_t>(r >> 64);
+  *out_lo = static_cast<uint64_t>(r);
+#else
+#error "rdfparams requires __int128 support"
+#endif
+}
+
+inline void Add128(uint64_t a_hi, uint64_t a_lo, uint64_t b_hi, uint64_t b_lo,
+                   uint64_t* out_hi, uint64_t* out_lo) {
+  uint64_t lo = a_lo + b_lo;
+  uint64_t carry = lo < a_lo ? 1 : 0;
+  *out_lo = lo;
+  *out_hi = a_hi + b_hi + carry;
+}
+
+inline uint64_t RotR64(uint64_t v, unsigned rot) {
+  return (v >> rot) | (v << ((-rot) & 63));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed, uint64_t stream) {
+  // PCG initialization: the stream selector must be odd.
+  inc_hi_ = Hash64(stream ^ 0x5851f42d4c957f2dULL);
+  inc_lo_ = (stream << 1u) | 1u;
+  state_hi_ = 0;
+  state_lo_ = 0;
+  Next64();
+  // Mix the seed into the state.
+  uint64_t s_hi, s_lo;
+  Add128(state_hi_, state_lo_, Hash64(seed ^ 0x9e3779b97f4a7c15ULL), seed,
+         &s_hi, &s_lo);
+  state_hi_ = s_hi;
+  state_lo_ = s_lo;
+  Next64();
+}
+
+uint64_t Rng::Next64() {
+  // LCG step.
+  uint64_t mul_hi, mul_lo;
+  Mul128(state_hi_, state_lo_, kMulHi, kMulLo, &mul_hi, &mul_lo);
+  Add128(mul_hi, mul_lo, inc_hi_, inc_lo_, &state_hi_, &state_lo_);
+  // XSL-RR output function.
+  uint64_t xored = state_hi_ ^ state_lo_;
+  unsigned rot = static_cast<unsigned>(state_hi_ >> 58u);
+  return RotR64(xored, rot);
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  RDFPARAMS_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = Next64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next64();
+      m = static_cast<unsigned __int128>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  RDFPARAMS_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next64());  // full 64-bit range
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  has_spare_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::NextExponential(double lambda) {
+  RDFPARAMS_DCHECK(lambda > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+Rng Rng::Fork(uint64_t salt) const {
+  uint64_t seed = Hash64(state_hi_ ^ Hash64(salt));
+  uint64_t stream = Hash64(state_lo_ ^ (salt * 0x9e3779b97f4a7c15ULL));
+  return Rng(seed, stream);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  RDFPARAMS_DCHECK(k <= n);
+  std::vector<size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over the full index range.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + static_cast<size_t>(Uniform(n - i));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  // Sparse case: Floyd's algorithm.
+  std::vector<size_t> chosen;
+  chosen.reserve(k);
+  for (size_t i = n - k; i < n; ++i) {
+    size_t t = static_cast<size_t>(Uniform(i + 1));
+    bool dup = false;
+    for (size_t c : chosen) {
+      if (c == t) {
+        dup = true;
+        break;
+      }
+    }
+    chosen.push_back(dup ? i : t);
+  }
+  Shuffle(&chosen);
+  return chosen;
+}
+
+// ---------------------------------------------------------------------------
+// ZipfDistribution
+// ---------------------------------------------------------------------------
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  RDFPARAMS_DCHECK(n >= 1);
+  RDFPARAMS_DCHECK(s >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  c_ = H(0.5);  // normalizing offset
+}
+
+double ZipfDistribution::H(double x) const {
+  // H(x) = integral of x^-s; handles s == 1 via log.
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  if (n_ == 1) return 1;
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996).
+  while (true) {
+    double u = h_n_ + rng->NextDouble() * (c_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= h_x1_) return k;
+    if (u >= H(kd + 0.5) - std::pow(kd, -s_)) return k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AliasTable
+// ---------------------------------------------------------------------------
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  size_t n = weights.size();
+  RDFPARAMS_DCHECK(n > 0);
+  double total = 0;
+  for (double w : weights) {
+    RDFPARAMS_DCHECK(w >= 0);
+    total += w;
+  }
+  RDFPARAMS_DCHECK(total > 0);
+  norm_.resize(n);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    norm_[i] = weights[i] / total;
+    scaled[i] = norm_[i] * static_cast<double>(n);
+  }
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    size_t s = small.back();
+    small.pop_back();
+    size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: every remaining bucket keeps probability 1.
+  for (size_t l : large) prob_[l] = 1.0;
+  for (size_t s : small) prob_[s] = 1.0;
+}
+
+size_t AliasTable::Sample(Rng* rng) const {
+  size_t i = static_cast<size_t>(rng->Uniform(prob_.size()));
+  return rng->NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+uint64_t SeedFromLabel(uint64_t base_seed, const std::string& label) {
+  uint64_t h = Hash64(base_seed);
+  for (char ch : label) {
+    h = Hash64(h ^ static_cast<uint64_t>(static_cast<unsigned char>(ch)));
+  }
+  return h;
+}
+
+}  // namespace rdfparams::util

@@ -1,0 +1,125 @@
+// Deterministic random number generation for data generators and samplers.
+//
+// All randomness in the project flows through Rng so that every generator,
+// sampler and experiment is reproducible given a seed. The core engine is
+// PCG64 (O'Neill), small, fast, and statistically solid.
+#ifndef RDFPARAMS_UTIL_RNG_H_
+#define RDFPARAMS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdfparams::util {
+
+/// PCG64 (XSL-RR variant) pseudo random generator.
+///
+/// Satisfies UniformRandomBitGenerator, so it can be used with <random>
+/// distributions, but the project mostly uses the convenience methods below.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL,
+               uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next raw 64 random bits.
+  uint64_t operator()() { return Next64(); }
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (p clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller (cached spare value).
+  double NextGaussian();
+
+  /// Exponential with rate lambda (> 0).
+  double NextExponential(double lambda);
+
+  /// Fork a child generator with an independent stream, derived
+  /// deterministically from this generator's state and `salt`.
+  /// Forking does not perturb the parent sequence.
+  Rng Fork(uint64_t salt) const;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_hi_, state_lo_;  // 128-bit LCG state
+  uint64_t inc_hi_, inc_lo_;      // stream (must be odd in the low word)
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+/// Zipf-distributed integers over {1, ..., n} with exponent s, using
+/// rejection-inversion (Hörmann & Derflinger). Mean work is O(1) per draw.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s);
+
+  /// Draws a value in [1, n]; rank 1 is the most frequent.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_, h_n_, c_;
+};
+
+/// O(1) sampling from an arbitrary discrete distribution (Walker/Vose alias
+/// method). Used for, e.g., per-country first-name distributions.
+class AliasTable {
+ public:
+  /// Weights need not be normalized; they must be non-negative with a
+  /// positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Returns an index in [0, size()).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// Probability mass assigned to index i (normalized).
+  double probability(size_t i) const { return norm_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+  std::vector<double> norm_;
+};
+
+/// Deterministic 64-bit seed derived from a string label, for wiring
+/// independent generator components ("persons", "posts", ...).
+uint64_t SeedFromLabel(uint64_t base_seed, const std::string& label);
+
+}  // namespace rdfparams::util
+
+#endif  // RDFPARAMS_UTIL_RNG_H_

@@ -1,0 +1,166 @@
+// Status / Result error handling, in the style of Arrow / RocksDB.
+//
+// Library code that can fail for data-dependent reasons (parsers, loaders)
+// returns Status or Result<T> instead of throwing. Programming errors use
+// assertions (RDFPARAMS_DCHECK).
+#ifndef RDFPARAMS_UTIL_STATUS_H_
+#define RDFPARAMS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace rdfparams {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,
+  kNotFound = 3,
+  kOutOfRange = 4,
+  kUnsupported = 5,
+  kInternal = 6,
+  kIOError = 7,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "ParseError", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kIOError: return "IOError";
+  }
+  return "Unknown";
+}
+
+/// Lightweight success/error carrier. Copyable; the OK status stores nothing.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ParseError: unexpected token at line 3"
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of T or an error Status. Modeled after arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) { // NOLINT implicit
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; undefined behaviour if !ok() (asserts in debug).
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+#define RDFPARAMS_RETURN_NOT_OK(expr)           \
+  do {                                          \
+    ::rdfparams::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define RDFPARAMS_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                    \
+  if (!var.ok()) return var.status();                    \
+  lhs = std::move(var).value();
+
+#define RDFPARAMS_CONCAT_INNER(a, b) a##b
+#define RDFPARAMS_CONCAT(a, b) RDFPARAMS_CONCAT_INNER(a, b)
+
+/// RDFPARAMS_ASSIGN_OR_RETURN(auto x, SomeResultReturningCall());
+#define RDFPARAMS_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  RDFPARAMS_ASSIGN_OR_RETURN_IMPL(                                           \
+      RDFPARAMS_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#ifndef NDEBUG
+#define RDFPARAMS_DCHECK(cond) assert(cond)
+#else
+#define RDFPARAMS_DCHECK(cond) ((void)0)
+#endif
+
+}  // namespace rdfparams
+
+#endif  // RDFPARAMS_UTIL_STATUS_H_

@@ -1,0 +1,42 @@
+// Small string helpers shared by the parsers and report printers.
+#ifndef RDFPARAMS_UTIL_STRING_UTIL_H_
+#define RDFPARAMS_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdfparams::util {
+
+/// Split on a single separator character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Join with a separator string.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII letters only.
+std::string ToLower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Human-friendly duration: "59 ms", "3.61 s", "4.2 us".
+std::string FormatDuration(double seconds);
+
+/// Human-friendly count: "1234" -> "1,234".
+std::string FormatCount(uint64_t n);
+
+/// Formats a double with `digits` significant digits.
+std::string FormatSig(double v, int digits);
+
+}  // namespace rdfparams::util
+
+#endif  // RDFPARAMS_UTIL_STRING_UTIL_H_

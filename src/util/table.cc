@@ -1,0 +1,79 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace rdfparams::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToText() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < r.size() ? r[i] : "";
+      if (i > 0) out += "  ";
+      if (i == 0) {
+        out += cell;
+        out.append(width[i] - cell.size(), ' ');
+      } else {
+        out.append(width[i] - cell.size(), ' ');
+        out += cell;
+      }
+    }
+    // Trim trailing spaces introduced by left alignment of short rows.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t i = 0; i < cols; ++i) total += width[i] + (i > 0 ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += "\"\"";
+      else q.push_back(c);
+    }
+    q += '"';
+    return q;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += quote(r[i]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToText() << "\n"; }
+
+}  // namespace rdfparams::util

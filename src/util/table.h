@@ -1,0 +1,40 @@
+// Aligned text table printer for bench output (paper-style tables).
+#ifndef RDFPARAMS_UTIL_TABLE_H_
+#define RDFPARAMS_UTIL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rdfparams::util {
+
+/// Collects rows of strings and renders them as an aligned ASCII table or
+/// as CSV. Column 0 is left-aligned; the rest are right-aligned (numeric
+/// convention).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; it may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders as an aligned table with a header separator.
+  std::string ToText() const;
+
+  /// Renders as RFC-4180-ish CSV (fields with comma/quote/newline quoted).
+  std::string ToCsv() const;
+
+  /// Convenience: write ToText() to a stream with a trailing newline.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rdfparams::util
+
+#endif  // RDFPARAMS_UTIL_TABLE_H_

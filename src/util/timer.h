@@ -1,0 +1,39 @@
+// Wall-clock timing used by the workload runner and benches.
+#ifndef RDFPARAMS_UTIL_TIMER_H_
+#define RDFPARAMS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rdfparams::util {
+
+/// Monotonic stopwatch. Started on construction; Restart() re-arms it.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rdfparams::util
+
+#endif  // RDFPARAMS_UTIL_TIMER_H_

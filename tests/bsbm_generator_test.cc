@@ -1,0 +1,152 @@
+#include "bsbm/generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::bsbm {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_products = 300;
+  config.type_depth = 3;
+  config.type_branching = 3;
+  config.seed = 11;
+  return config;
+}
+
+TEST(BsbmGeneratorTest, DeterministicForSeed) {
+  Dataset a = Generate(SmallConfig());
+  Dataset b = Generate(SmallConfig());
+  EXPECT_EQ(a.store.size(), b.store.size());
+  EXPECT_EQ(a.dict.size(), b.dict.size());
+  GeneratorConfig other = SmallConfig();
+  other.seed = 12;
+  Dataset c = Generate(other);
+  EXPECT_NE(a.store.size(), c.store.size());
+}
+
+TEST(BsbmGeneratorTest, TypeTreeShape) {
+  Dataset ds = Generate(SmallConfig());
+  // 1 + 3 + 9 + 27 nodes.
+  EXPECT_EQ(ds.types.size(), 40u);
+  EXPECT_EQ(ds.types[0].parent, -1);
+  EXPECT_EQ(ds.types[0].level, 0u);
+  size_t leaves = ds.LeafTypeIds().size();
+  EXPECT_EQ(leaves, 27u);
+  // Levels are consistent with parents.
+  for (size_t i = 1; i < ds.types.size(); ++i) {
+    const TypeNode& t = ds.types[i];
+    ASSERT_GE(t.parent, 0);
+    EXPECT_EQ(t.level, ds.types[static_cast<size_t>(t.parent)].level + 1);
+  }
+}
+
+TEST(BsbmGeneratorTest, HierarchyMaterialized) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_type = *ds.dict.FindIri(ds.vocab.rdf_type);
+  // Every product matches the root type (hierarchy materialization) — the
+  // root is the "generic type" of the paper's E3.
+  uint64_t root_count =
+      ds.store.CountPattern(rdf::kWildcardId, p_type, ds.types[0].id);
+  EXPECT_EQ(root_count, ds.products.size());
+  // Leaf types match far fewer products.
+  uint64_t leaf_total = 0;
+  for (rdf::TermId leaf : ds.LeafTypeIds()) {
+    leaf_total += ds.store.CountPattern(rdf::kWildcardId, p_type, leaf);
+  }
+  EXPECT_EQ(leaf_total, ds.products.size());  // each product has one leaf
+}
+
+TEST(BsbmGeneratorTest, TypeCountsMonotoneUpTheTree) {
+  Dataset ds = Generate(SmallConfig());
+  for (size_t i = 1; i < ds.types.size(); ++i) {
+    const TypeNode& t = ds.types[i];
+    EXPECT_LE(t.num_products,
+              ds.types[static_cast<size_t>(t.parent)].num_products);
+  }
+  EXPECT_EQ(ds.types[0].num_products, ds.products.size());
+}
+
+TEST(BsbmGeneratorTest, OffersHaveProductVendorPrice) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_product = *ds.dict.FindIri(ds.vocab.product);
+  rdf::TermId p_price = *ds.dict.FindIri(ds.vocab.price);
+  rdf::TermId p_vendor = *ds.dict.FindIri(ds.vocab.vendor);
+  uint64_t offers =
+      ds.store.CountPattern(rdf::kWildcardId, p_product, rdf::kWildcardId);
+  EXPECT_GT(offers, 0u);
+  EXPECT_EQ(
+      ds.store.CountPattern(rdf::kWildcardId, p_price, rdf::kWildcardId),
+      offers);
+  EXPECT_EQ(
+      ds.store.CountPattern(rdf::kWildcardId, p_vendor, rdf::kWildcardId),
+      offers);
+}
+
+TEST(BsbmGeneratorTest, PricesAreNumericLiterals) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_price = *ds.dict.FindIri(ds.vocab.price);
+  size_t checked = 0;
+  ds.store.ScanPattern(rdf::kWildcardId, p_price, rdf::kWildcardId,
+                       [&](const rdf::Triple& t) {
+                         const rdf::Term& lit = ds.dict.term(t.o);
+                         EXPECT_TRUE(lit.is_numeric());
+                         auto value = lit.AsDouble();
+                         ASSERT_TRUE(value.has_value());
+                         EXPECT_GT(*value, 0.0);
+                         ++checked;
+                       });
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(BsbmGeneratorTest, RatingsInRange) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_rating = *ds.dict.FindIri(ds.vocab.rating);
+  ds.store.ScanPattern(rdf::kWildcardId, p_rating, rdf::kWildcardId,
+                       [&](const rdf::Triple& t) {
+                         auto v = ds.dict.term(t.o).AsInteger();
+                         ASSERT_TRUE(v.has_value());
+                         EXPECT_GE(*v, 1);
+                         EXPECT_LE(*v, 10);
+                       });
+}
+
+TEST(BsbmGeneratorTest, ProductsShareFeaturesThroughHierarchy) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_feature = *ds.dict.FindIri(ds.vocab.product_feature);
+  // Feature triples exist and some features are shared by many products
+  // (those drawn from high-level pools).
+  uint64_t total =
+      ds.store.CountPattern(rdf::kWildcardId, p_feature, rdf::kWildcardId);
+  EXPECT_GT(total, ds.products.size());  // multiple features per product
+  uint64_t max_share = 0;
+  for (rdf::TermId f : ds.features) {
+    max_share = std::max(
+        max_share, ds.store.CountPattern(rdf::kWildcardId, p_feature, f));
+  }
+  EXPECT_GT(max_share, 10u);
+}
+
+TEST(BsbmGeneratorTest, ScalesWithProductCount) {
+  GeneratorConfig small = SmallConfig();
+  GeneratorConfig large = SmallConfig();
+  large.num_products = 900;
+  Dataset a = Generate(small);
+  Dataset b = Generate(large);
+  EXPECT_GT(b.store.size(), 2 * a.store.size());
+  EXPECT_EQ(b.products.size(), 900u);
+}
+
+TEST(BsbmGeneratorTest, TypeIdsAlignedWithTypes) {
+  Dataset ds = Generate(SmallConfig());
+  auto ids = ds.TypeIds();
+  ASSERT_EQ(ids.size(), ds.types.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], ds.types[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace rdfparams::bsbm

@@ -1,0 +1,109 @@
+#include "bsbm/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "engine/executor.h"
+
+namespace rdfparams::bsbm {
+namespace {
+
+class BsbmQueriesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig config;
+    config.num_products = 400;
+    config.type_depth = 3;
+    config.type_branching = 3;
+    config.seed = 5;
+    ds_ = new Dataset(Generate(config));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+  static Dataset* ds_;
+};
+
+Dataset* BsbmQueriesTest::ds_ = nullptr;
+
+TEST_F(BsbmQueriesTest, AllTemplatesParse) {
+  auto templates = AllTemplates(*ds_);
+  ASSERT_EQ(templates.size(), 5u);
+  EXPECT_EQ(templates[0].name(), "BSBM-Q1");
+  EXPECT_EQ(templates[3].name(), "BSBM-Q4");
+  for (const auto& t : templates) {
+    EXPECT_FALSE(t.parameter_names().empty()) << t.name();
+  }
+}
+
+TEST_F(BsbmQueriesTest, Q4ParametersAndShape) {
+  auto q4 = MakeQ4(*ds_);
+  EXPECT_EQ(q4.parameter_names(),
+            (std::vector<std::string>{"ProductType"}));
+  // Ratio form: (?p, ?f) component x (?p2, ?offer, ?price) component.
+  EXPECT_EQ(q4.query().patterns.size(), 5u);
+  EXPECT_FALSE(q4.query().aggregates.empty());
+}
+
+TEST_F(BsbmQueriesTest, Q4ExecutesForRootAndLeaf) {
+  auto q4 = MakeQ4(*ds_);
+  core::WorkloadRunner runner(ds_->store, &ds_->dict);
+
+  sparql::ParameterBinding root;
+  root.values = {ds_->types[0].id};
+  auto obs_root = runner.RunOnce(q4, root);
+  ASSERT_TRUE(obs_root.ok()) << obs_root.status().ToString();
+  EXPECT_GT(obs_root->observed_cout, 0u);
+
+  sparql::ParameterBinding leaf;
+  leaf.values = {ds_->LeafTypeIds().back()};
+  auto obs_leaf = runner.RunOnce(q4, leaf);
+  ASSERT_TRUE(obs_leaf.ok());
+  // The generic (root) type touches much more data than a leaf (E3 driver).
+  EXPECT_GT(obs_root->observed_cout, 5 * obs_leaf->observed_cout);
+}
+
+TEST_F(BsbmQueriesTest, Q2FindsSimilarProducts) {
+  auto q2 = MakeQ2(*ds_);
+  core::WorkloadRunner runner(ds_->store, &ds_->dict);
+  sparql::ParameterBinding b;
+  b.values = {ds_->products[0]};
+  auto obs = runner.RunOnce(q2, b);
+  ASSERT_TRUE(obs.ok()) << obs.status().ToString();
+  EXPECT_LE(obs->result_rows, 10u);  // LIMIT 10
+  EXPECT_GE(obs->result_rows, 1u);   // at least the product itself
+}
+
+TEST_F(BsbmQueriesTest, Q1LookupJoin) {
+  auto q1 = MakeQ1(*ds_);
+  core::WorkloadRunner runner(ds_->store, &ds_->dict);
+  // Use the root type and some feature; result may be empty but must run.
+  sparql::ParameterBinding b;
+  b.values = {ds_->types[0].id, ds_->features[0]};
+  // Parameter order: q1 parameters are (type, feature).
+  ASSERT_EQ(q1.parameter_names().size(), 2u);
+  auto obs = runner.RunOnce(q1, b);
+  ASSERT_TRUE(obs.ok()) << obs.status().ToString();
+}
+
+TEST_F(BsbmQueriesTest, Q3AndQ5Execute) {
+  core::WorkloadRunner runner(ds_->store, &ds_->dict);
+  sparql::ParameterBinding b;
+  b.values = {ds_->types[0].id};
+  auto obs3 = runner.RunOnce(MakeQ3(*ds_), b);
+  ASSERT_TRUE(obs3.ok()) << obs3.status().ToString();
+  EXPECT_LE(obs3->result_rows, 10u);
+  auto obs5 = runner.RunOnce(MakeQ5(*ds_), b);
+  ASSERT_TRUE(obs5.ok()) << obs5.status().ToString();
+  EXPECT_LE(obs5->result_rows, 10u);
+}
+
+TEST_F(BsbmQueriesTest, DomainsNonEmptyAndValid) {
+  EXPECT_EQ(TypeDomain(*ds_).size(), ds_->types.size());
+  EXPECT_EQ(ProductDomain(*ds_).size(), ds_->products.size());
+  EXPECT_FALSE(FeatureDomain(*ds_).empty());
+}
+
+}  // namespace
+}  // namespace rdfparams::bsbm

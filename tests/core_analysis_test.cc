@@ -1,0 +1,113 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rdfparams::core {
+namespace {
+
+TEST(AggregateGroupTest, MatchesSummary) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  GroupAggregates g = AggregateGroup(xs);
+  EXPECT_DOUBLE_EQ(g.average, 5.5);
+  EXPECT_DOUBLE_EQ(g.median, 5.5);
+  EXPECT_DOUBLE_EQ(g.q10, g.summary.q10);
+  EXPECT_DOUBLE_EQ(g.q90, g.summary.q90);
+}
+
+TEST(StabilityTest, IdenticalGroupsZeroSpread) {
+  std::vector<double> g{1, 2, 3, 4, 5};
+  StabilityReport r = AnalyzeStability({g, g, g, g});
+  EXPECT_DOUBLE_EQ(r.average_spread, 0.0);
+  EXPECT_DOUBLE_EQ(r.median_spread, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_pairwise_ks, 0.0);
+}
+
+TEST(StabilityTest, PaperE2TableSpread) {
+  // Reconstruct the paper's LDBC Q2 table: averages 1.80/1.33/1.53/1.30.
+  // We test that our spread metric reports the paper's "up to 40%".
+  std::vector<std::vector<double>> groups;
+  util::Rng rng(3);
+  for (double target : {1.80, 1.33, 1.53, 1.30}) {
+    std::vector<double> g;
+    for (int i = 0; i < 100; ++i) {
+      g.push_back(target);  // constant groups at the reported averages
+    }
+    groups.push_back(std::move(g));
+  }
+  StabilityReport r = AnalyzeStability(groups);
+  EXPECT_NEAR(r.average_spread, 0.3846, 1e-3);
+}
+
+TEST(StabilityTest, SkewedGroupsHaveHighKs) {
+  util::Rng rng(5);
+  std::vector<double> fast, slow;
+  for (int i = 0; i < 200; ++i) fast.push_back(0.01 + 0.001 * rng.NextDouble());
+  for (int i = 0; i < 200; ++i) slow.push_back(10.0 + rng.NextDouble());
+  StabilityReport r = AnalyzeStability({fast, slow});
+  EXPECT_GT(r.max_pairwise_ks, 0.9);
+  EXPECT_GT(r.average_spread, 10.0);
+}
+
+TEST(ShapeTest, BimodalDetected) {
+  // E3-like: cluster at 0.35s, cluster at 17s+.
+  std::vector<double> xs;
+  util::Rng rng(7);
+  for (int i = 0; i < 90; ++i) xs.push_back(0.3 + 0.1 * rng.NextDouble());
+  for (int i = 0; i < 10; ++i) xs.push_back(17.0 + 5 * rng.NextDouble());
+  ShapeReport r = AnalyzeShape(xs);
+  EXPECT_GT(r.mean_over_median, 3.0);
+  EXPECT_LT(r.mid_mass_fraction, 0.05);
+  EXPECT_GT(r.ks_vs_normal.distance, 0.3);
+  EXPECT_LT(r.ks_vs_normal.p_value, 1e-6);
+}
+
+TEST(ShapeTest, WellBehavedSample) {
+  util::Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(5.0 + 0.3 * rng.NextGaussian());
+  ShapeReport r = AnalyzeShape(xs);
+  EXPECT_NEAR(r.mean_over_median, 1.0, 0.05);
+  EXPECT_LT(r.ks_vs_normal.distance, 0.08);
+  EXPECT_GT(r.mid_mass_fraction, 0.2);
+}
+
+TEST(SplitIntoGroupsTest, EvenSplit) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  auto groups = SplitIntoGroups(xs, 4);
+  ASSERT_EQ(groups.size(), 4u);
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<double>{1, 2}));
+  EXPECT_EQ(groups[3], (std::vector<double>{7, 8}));
+}
+
+TEST(SplitIntoGroupsTest, TruncatesLeftovers) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7};
+  auto groups = SplitIntoGroups(xs, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(AnalyzeClassTest, ComputesPlanAndCvMetrics) {
+  std::vector<RunObservation> obs(4);
+  for (size_t i = 0; i < 4; ++i) {
+    obs[i].seconds = 0.1;
+    obs[i].est_cout = 100;
+    obs[i].fingerprint = "J(S0,S1)";
+  }
+  ClassQuality q = AnalyzeClass(obs);
+  EXPECT_EQ(q.num_bindings, 4u);
+  EXPECT_EQ(q.distinct_plans, 1u);  // P3 holds
+  EXPECT_NEAR(q.runtime_cv, 0.0, 1e-9);
+  EXPECT_NEAR(q.cout_cv, 0.0, 1e-9);
+
+  obs[3].fingerprint = "J(S1,S0)";
+  obs[3].seconds = 5.0;
+  ClassQuality q2 = AnalyzeClass(obs);
+  EXPECT_EQ(q2.distinct_plans, 2u);
+  EXPECT_GT(q2.runtime_cv, 0.5);
+}
+
+}  // namespace
+}  // namespace rdfparams::core

@@ -1,0 +1,198 @@
+#include "core/plan_classifier.h"
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bsbm/generator.h"
+#include "bsbm/queries.h"
+
+namespace rdfparams::core {
+namespace {
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bsbm::GeneratorConfig config;
+    config.num_products = 500;
+    config.type_depth = 3;
+    config.type_branching = 3;
+    config.seed = 17;
+    ds_ = new bsbm::Dataset(bsbm::Generate(config));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+  static bsbm::Dataset* ds_;
+};
+
+bsbm::Dataset* ClassifierTest::ds_ = nullptr;
+
+TEST(CostBucketTest, LogBuckets) {
+  EXPECT_EQ(CostBucket(1.0, 1.0), 0);
+  EXPECT_EQ(CostBucket(2.0, 1.0), 1);
+  EXPECT_EQ(CostBucket(1024.0, 1.0), 10);
+  EXPECT_EQ(CostBucket(1100.0, 1.0), 10);
+  EXPECT_EQ(CostBucket(3.9, 2.0), 0);   // log2(3.9)/2 ~ 0.98
+  EXPECT_EQ(CostBucket(5.0, 2.0), 1);
+  // Width <= 0 or infinity: single bucket.
+  EXPECT_EQ(CostBucket(7.0, 0.0), 0);
+  EXPECT_EQ(CostBucket(1e9, std::numeric_limits<double>::infinity()), 0);
+  // Zero cost gets its own sentinel bucket.
+  EXPECT_EQ(CostBucket(0.0, 1.0), std::numeric_limits<int64_t>::min());
+}
+
+TEST_F(ClassifierTest, ClassifiesQ4TypeDomain) {
+  auto q4 = bsbm::MakeQ4(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(*ds_));
+
+  auto result = ClassifyParameters(q4, domain, ds_->store, ds_->dict);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_candidates, ds_->types.size());
+  // The type hierarchy must split into more than one class (Q4a/Q4b in the
+  // paper's terminology) ...
+  EXPECT_GE(result->classes.size(), 2u);
+  // ... classes are sorted by size, fractions sum to 1.
+  double total = 0;
+  size_t members = 0;
+  for (size_t i = 0; i < result->classes.size(); ++i) {
+    total += result->classes[i].fraction;
+    members += result->classes[i].members.size();
+    if (i > 0) {
+      EXPECT_LE(result->classes[i].members.size(),
+                result->classes[i - 1].members.size());
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(members, result->num_candidates);
+}
+
+TEST_F(ClassifierTest, ConditionsHoldWithinClasses) {
+  auto q4 = bsbm::MakeQ4(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(*ds_));
+  ClassifyOptions options;
+  options.cost_bucket_log2_width = 1.0;
+  auto result =
+      ClassifyParameters(q4, domain, ds_->store, ds_->dict, options);
+  ASSERT_TRUE(result.ok());
+
+  for (const PlanClass& cls : result->classes) {
+    // Condition (a): re-optimizing any member reproduces the fingerprint.
+    for (const auto& member : cls.members) {
+      auto q = q4.Bind(member, ds_->dict);
+      ASSERT_TRUE(q.ok());
+      auto plan = opt::Optimize(*q, ds_->store, ds_->dict);
+      ASSERT_TRUE(plan.ok());
+      EXPECT_EQ(plan->fingerprint, cls.fingerprint);
+      // Condition (b): cost falls into the class bucket.
+      EXPECT_EQ(CostBucket(plan->est_cout, options.cost_bucket_log2_width),
+                cls.cost_bucket);
+    }
+  }
+  // Condition (c): class keys pairwise distinct.
+  for (size_t i = 0; i < result->classes.size(); ++i) {
+    for (size_t j = i + 1; j < result->classes.size(); ++j) {
+      bool same_fp = result->classes[i].fingerprint ==
+                     result->classes[j].fingerprint;
+      bool same_bucket =
+          result->classes[i].cost_bucket == result->classes[j].cost_bucket;
+      EXPECT_FALSE(same_fp && same_bucket);
+    }
+  }
+}
+
+TEST_F(ClassifierTest, RepresentativeIsMember) {
+  auto q4 = bsbm::MakeQ4(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(*ds_));
+  auto result = ClassifyParameters(q4, domain, ds_->store, ds_->dict);
+  ASSERT_TRUE(result.ok());
+  for (const PlanClass& cls : result->classes) {
+    bool found = false;
+    for (const auto& m : cls.members) {
+      if (m == cls.representative) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(ClassifierTest, ClassOfCandidateConsistent) {
+  auto q4 = bsbm::MakeQ4(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(*ds_));
+  auto result = ClassifyParameters(q4, domain, ds_->store, ds_->dict);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->class_of_candidate.size(), result->num_candidates);
+  // Count members per class through the mapping; must match class sizes.
+  std::vector<size_t> counts(result->classes.size(), 0);
+  for (uint32_t c : result->class_of_candidate) {
+    ASSERT_LT(c, result->classes.size());
+    ++counts[c];
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], result->classes[i].members.size());
+  }
+}
+
+TEST_F(ClassifierTest, InfiniteWidthMergesCostBuckets) {
+  auto q4 = bsbm::MakeQ4(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(*ds_));
+  ClassifyOptions narrow;
+  narrow.cost_bucket_log2_width = 0.5;
+  ClassifyOptions plan_only;
+  plan_only.cost_bucket_log2_width = std::numeric_limits<double>::infinity();
+  auto fine =
+      ClassifyParameters(q4, domain, ds_->store, ds_->dict, narrow);
+  auto coarse =
+      ClassifyParameters(q4, domain, ds_->store, ds_->dict, plan_only);
+  ASSERT_TRUE(fine.ok() && coarse.ok());
+  EXPECT_GE(fine->classes.size(), coarse->classes.size());
+}
+
+TEST_F(ClassifierTest, MaxCandidatesRespected) {
+  auto q4 = bsbm::MakeQ4(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(*ds_));
+  ClassifyOptions options;
+  options.max_candidates = 7;
+  auto result =
+      ClassifyParameters(q4, domain, ds_->store, ds_->dict, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_candidates, 7u);
+}
+
+TEST_F(ClassifierTest, MismatchedDomainFails) {
+  auto q4 = bsbm::MakeQ4(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("WrongName", bsbm::TypeDomain(*ds_));
+  EXPECT_FALSE(ClassifyParameters(q4, domain, ds_->store, ds_->dict).ok());
+}
+
+TEST_F(ClassifierTest, SampleFromClassDistinctWhenPossible) {
+  PlanClass cls;
+  for (rdf::TermId i = 0; i < 20; ++i) {
+    sparql::ParameterBinding b;
+    b.values = {i};
+    cls.members.push_back(b);
+  }
+  util::Rng rng(3);
+  auto sample = SampleFromClass(cls, 10, &rng);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<sparql::ParameterBinding> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  // Oversampling falls back to replacement.
+  auto big = SampleFromClass(cls, 50, &rng);
+  EXPECT_EQ(big.size(), 50u);
+}
+
+}  // namespace
+}  // namespace rdfparams::core

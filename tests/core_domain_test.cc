@@ -1,0 +1,130 @@
+#include "core/parameter_domain.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::core {
+namespace {
+
+sparql::QueryTemplate TwoParamTemplate() {
+  auto t = sparql::QueryTemplate::Parse("t", R"(
+SELECT * WHERE { ?s <http://p> %a . ?s <http://q> %b . }
+)");
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(ParameterDomainTest, ValidateMatchesTemplateOrder) {
+  ParameterDomain d;
+  d.AddSingle("a", {1, 2, 3});
+  d.AddSingle("b", {10, 20});
+  EXPECT_TRUE(d.Validate(TwoParamTemplate()).ok());
+
+  ParameterDomain wrong;
+  wrong.AddSingle("b", {1});
+  wrong.AddSingle("a", {2});
+  EXPECT_FALSE(wrong.Validate(TwoParamTemplate()).ok());
+}
+
+TEST(ParameterDomainTest, NumCombinationsProduct) {
+  ParameterDomain d;
+  d.AddSingle("a", {1, 2, 3});
+  d.AddSingle("b", {10, 20});
+  EXPECT_EQ(d.NumCombinations(), 6u);
+}
+
+TEST(ParameterDomainTest, AtDecodesAllCombinations) {
+  ParameterDomain d;
+  d.AddSingle("a", {1, 2, 3});
+  d.AddSingle("b", {10, 20});
+  std::set<std::pair<rdf::TermId, rdf::TermId>> seen;
+  for (uint64_t i = 0; i < 6; ++i) {
+    auto b = d.At(i);
+    ASSERT_EQ(b.values.size(), 2u);
+    seen.insert({b.values[0], b.values[1]});
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(ParameterDomainTest, TupleGroupKeepsCorrelation) {
+  ParameterDomain d;
+  d.AddSingle("person", {100, 200});
+  d.AddTuples({"x", "y"}, {{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(d.NumCombinations(), 6u);
+  for (uint64_t i = 0; i < 6; ++i) {
+    auto b = d.At(i);
+    ASSERT_EQ(b.values.size(), 3u);
+    // Tuples stay intact: (1,2), (3,4) or (5,6); never (1,4).
+    EXPECT_EQ(b.values[2], b.values[1] + 1);
+  }
+}
+
+TEST(ParameterDomainTest, SampleWithinDomain) {
+  ParameterDomain d;
+  d.AddSingle("a", {1, 2, 3});
+  d.AddSingle("b", {10, 20});
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    auto b = d.Sample(&rng);
+    EXPECT_GE(b.values[0], 1u);
+    EXPECT_LE(b.values[0], 3u);
+    EXPECT_TRUE(b.values[1] == 10 || b.values[1] == 20);
+  }
+}
+
+TEST(ParameterDomainTest, SampleNDistinct) {
+  ParameterDomain d;
+  d.AddSingle("a", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  util::Rng rng(7);
+  auto samples = d.SampleN(&rng, 5, /*distinct=*/true);
+  ASSERT_EQ(samples.size(), 5u);
+  std::set<sparql::ParameterBinding> unique(samples.begin(), samples.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(ParameterDomainTest, SampleNFallsBackWhenDomainTiny) {
+  ParameterDomain d;
+  d.AddSingle("a", {1});
+  util::Rng rng(9);
+  auto samples = d.SampleN(&rng, 10, /*distinct=*/true);
+  EXPECT_EQ(samples.size(), 10u);  // with replacement fallback
+}
+
+TEST(ParameterDomainTest, EnumerateSmallDomainComplete) {
+  ParameterDomain d;
+  d.AddSingle("a", {1, 2, 3});
+  auto all = d.Enumerate(100);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(ParameterDomainTest, EnumerateLargeDomainSpaced) {
+  ParameterDomain d;
+  std::vector<rdf::TermId> big;
+  for (rdf::TermId i = 0; i < 1000; ++i) big.push_back(i);
+  d.AddSingle("a", big);
+  auto some = d.Enumerate(10);
+  ASSERT_EQ(some.size(), 10u);
+  // Spaced coverage: first near 0, last near the end.
+  EXPECT_LT(some.front().values[0], 100u);
+  EXPECT_GT(some.back().values[0], 800u);
+  std::set<rdf::TermId> unique;
+  for (const auto& b : some) unique.insert(b.values[0]);
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(ParameterDomainTest, EmptyDomainZeroCombinations) {
+  ParameterDomain d;
+  EXPECT_EQ(d.NumCombinations(), 0u);
+  EXPECT_TRUE(d.Enumerate(10).empty());
+}
+
+TEST(ParameterDomainTest, ValidateRejectsEmptyGroup) {
+  ParameterDomain d;
+  d.AddSingle("a", {});
+  d.AddSingle("b", {1});
+  EXPECT_FALSE(d.Validate(TwoParamTemplate()).ok());
+}
+
+}  // namespace
+}  // namespace rdfparams::core

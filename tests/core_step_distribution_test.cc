@@ -1,0 +1,109 @@
+#include "core/step_distribution.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::core {
+namespace {
+
+ParameterDomain MakeDomain(size_t n) {
+  ParameterDomain d;
+  std::vector<rdf::TermId> values;
+  for (rdf::TermId i = 0; i < n; ++i) values.push_back(i);
+  d.AddSingle("x", values);
+  return d;
+}
+
+TEST(StepSamplerTest, EqualWeightsAreUniformish) {
+  ParameterDomain d = MakeDomain(100);
+  auto sampler = StepSampler::Create(&d, {1, 1, 1, 1});
+  ASSERT_TRUE(sampler.ok());
+  util::Rng rng(3);
+  std::map<rdf::TermId, int> counts;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[sampler->Sample(&rng).values[0]];
+  }
+  // Every value reachable, roughly uniform.
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [v, c] : counts) {
+    (void)v;
+    EXPECT_NEAR(c, kN / 100, kN / 100 * 0.5);
+  }
+}
+
+TEST(StepSamplerTest, ZeroWeightStepNeverSampled) {
+  ParameterDomain d = MakeDomain(100);
+  // Kill the first quarter (values 0..24).
+  auto sampler = StepSampler::Create(&d, {0, 1, 1, 1});
+  ASSERT_TRUE(sampler.ok());
+  util::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(sampler->Sample(&rng).values[0], 25u);
+  }
+}
+
+TEST(StepSamplerTest, SkewedWeightsShiftMass) {
+  ParameterDomain d = MakeDomain(100);
+  auto sampler = StepSampler::Create(&d, {9, 1});
+  ASSERT_TRUE(sampler.ok());
+  util::Rng rng(7);
+  int low = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (sampler->Sample(&rng).values[0] < 50) ++low;
+  }
+  EXPECT_NEAR(low / static_cast<double>(kN), 0.9, 0.02);
+}
+
+TEST(StepSamplerTest, StepRangesPartitionDomain) {
+  ParameterDomain d = MakeDomain(10);
+  auto sampler = StepSampler::Create(&d, {1, 1, 1});
+  ASSERT_TRUE(sampler.ok());
+  uint64_t prev_hi = 0;
+  for (size_t i = 0; i < sampler->num_steps(); ++i) {
+    auto [lo, hi] = sampler->StepRange(i);
+    EXPECT_EQ(lo, prev_hi);
+    EXPECT_GT(hi, lo);
+    prev_hi = hi;
+  }
+  EXPECT_EQ(prev_hi, 10u);
+}
+
+TEST(StepSamplerTest, MultiGroupDomains) {
+  ParameterDomain d;
+  d.AddSingle("a", {0, 1, 2});
+  d.AddTuples({"x", "y"}, {{10, 11}, {20, 21}});
+  auto sampler = StepSampler::Create(&d, {1, 1});
+  ASSERT_TRUE(sampler.ok());
+  util::Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    auto b = sampler->Sample(&rng);
+    ASSERT_EQ(b.values.size(), 3u);
+    EXPECT_LE(b.values[0], 2u);
+    EXPECT_EQ(b.values[2], b.values[1] + 1);  // tuple stays intact
+  }
+}
+
+TEST(StepSamplerTest, SampleNCount) {
+  ParameterDomain d = MakeDomain(10);
+  auto sampler = StepSampler::Create(&d, {1});
+  ASSERT_TRUE(sampler.ok());
+  util::Rng rng(11);
+  EXPECT_EQ(sampler->SampleN(&rng, 17).size(), 17u);
+}
+
+TEST(StepSamplerTest, InvalidConfigurations) {
+  ParameterDomain d = MakeDomain(4);
+  EXPECT_FALSE(StepSampler::Create(nullptr, {1}).ok());
+  EXPECT_FALSE(StepSampler::Create(&d, {}).ok());
+  EXPECT_FALSE(StepSampler::Create(&d, {1, 1, 1, 1, 1}).ok());  // k > |P|
+  EXPECT_FALSE(StepSampler::Create(&d, {0, 0}).ok());
+  EXPECT_FALSE(StepSampler::Create(&d, {1, -1}).ok());
+  ParameterDomain empty;
+  EXPECT_FALSE(StepSampler::Create(&empty, {1}).ok());
+}
+
+}  // namespace
+}  // namespace rdfparams::core

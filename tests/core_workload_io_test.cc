@@ -1,0 +1,121 @@
+#include "core/workload_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::core {
+namespace {
+
+sparql::QueryTemplate TwoParamTemplate() {
+  auto t = sparql::QueryTemplate::Parse("IO-Q1", R"(
+SELECT * WHERE { ?s <http://p> %a . ?s <http://q> %b . }
+)");
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(WorkloadIoTest, RoundTrip) {
+  sparql::QueryTemplate tmpl = TwoParamTemplate();
+  rdf::Dictionary dict;
+  std::vector<sparql::ParameterBinding> bindings;
+  for (int i = 0; i < 5; ++i) {
+    sparql::ParameterBinding b;
+    b.values = {dict.InternIri("http://e/" + std::to_string(i)),
+                dict.InternLiteral("value " + std::to_string(i))};
+    bindings.push_back(std::move(b));
+  }
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteBindings(tmpl, bindings, dict, out).ok());
+
+  // Read back into a *fresh* dictionary; terms must survive.
+  rdf::Dictionary dict2;
+  std::istringstream in(out.str());
+  auto read = ReadBindings(tmpl, &dict2, in);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->size(), bindings.size());
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    for (size_t k = 0; k < 2; ++k) {
+      EXPECT_EQ(dict2.term((*read)[i].values[k]),
+                dict.term(bindings[i].values[k]));
+    }
+  }
+}
+
+TEST(WorkloadIoTest, HeaderContainsTemplateAndParams) {
+  sparql::QueryTemplate tmpl = TwoParamTemplate();
+  rdf::Dictionary dict;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteBindings(tmpl, {}, dict, out).ok());
+  EXPECT_NE(out.str().find("# template: IO-Q1"), std::string::npos);
+  EXPECT_NE(out.str().find("# params: a b"), std::string::npos);
+}
+
+TEST(WorkloadIoTest, TemplateMismatchRejected) {
+  sparql::QueryTemplate tmpl = TwoParamTemplate();
+  rdf::Dictionary dict;
+  std::istringstream in("# template: OTHER-TEMPLATE\n");
+  auto read = ReadBindings(tmpl, &dict, in);
+  EXPECT_FALSE(read.ok());
+}
+
+TEST(WorkloadIoTest, ArityMismatchOnWriteRejected) {
+  sparql::QueryTemplate tmpl = TwoParamTemplate();
+  rdf::Dictionary dict;
+  sparql::ParameterBinding bad;
+  bad.values = {dict.InternIri("http://only-one")};
+  std::ostringstream out;
+  EXPECT_FALSE(WriteBindings(tmpl, {bad}, dict, out).ok());
+}
+
+TEST(WorkloadIoTest, ArityMismatchOnReadRejected) {
+  sparql::QueryTemplate tmpl = TwoParamTemplate();
+  rdf::Dictionary dict;
+  std::istringstream in("<http://a>\n");  // one term, arity 2
+  auto read = ReadBindings(tmpl, &dict, in);
+  EXPECT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(WorkloadIoTest, MalformedTermRejectedWithLine) {
+  sparql::QueryTemplate tmpl = TwoParamTemplate();
+  rdf::Dictionary dict;
+  std::istringstream in("<http://a>\t<http://b>\nnot-a-term\tnope\n");
+  auto read = ReadBindings(tmpl, &dict, in);
+  EXPECT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(WorkloadIoTest, SkipsCommentsAndBlankLines) {
+  sparql::QueryTemplate tmpl = TwoParamTemplate();
+  rdf::Dictionary dict;
+  std::istringstream in(
+      "# a comment\n\n<http://a>\t\"x\"\n# trailing comment\n");
+  auto read = ReadBindings(tmpl, &dict, in);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->size(), 1u);
+}
+
+TEST(WorkloadIoTest, FileRoundTrip) {
+  sparql::QueryTemplate tmpl = TwoParamTemplate();
+  rdf::Dictionary dict;
+  sparql::ParameterBinding b;
+  b.values = {dict.InternIri("http://e/1"), dict.InternInteger(42)};
+  std::string path = ::testing::TempDir() + "/bindings_test.tsv";
+  ASSERT_TRUE(WriteBindingsFile(tmpl, {b}, dict, path).ok());
+  rdf::Dictionary dict2;
+  auto read = ReadBindingsFile(tmpl, &dict2, path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->size(), 1u);
+  EXPECT_EQ(dict2.term((*read)[0].values[1]).AsInteger(), 42);
+}
+
+TEST(WorkloadIoTest, MissingFileFails) {
+  sparql::QueryTemplate tmpl = TwoParamTemplate();
+  rdf::Dictionary dict;
+  EXPECT_FALSE(ReadBindingsFile(tmpl, &dict, "/no/such/file.tsv").ok());
+}
+
+}  // namespace
+}  // namespace rdfparams::core

@@ -1,0 +1,110 @@
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/turtle.h"
+
+namespace rdfparams::core {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string doc = "@prefix x: <http://x/> .\n";
+    for (int i = 0; i < 50; ++i) {
+      doc += "x:item" + std::to_string(i) + " x:type x:T" +
+             std::to_string(i % 5) + " .\n";
+      doc += "x:item" + std::to_string(i) + " x:score " +
+             std::to_string(i % 10) + " .\n";
+    }
+    ASSERT_TRUE(rdf::LoadTurtle(doc, &dict_, &store_).ok());
+    store_.Finalize();
+
+    auto t = sparql::QueryTemplate::Parse("wl", R"(
+SELECT * WHERE { ?i <http://x/type> %type . ?i <http://x/score> ?s . }
+)");
+    ASSERT_TRUE(t.ok());
+    tmpl_ = std::move(t).value();
+    for (int k = 0; k < 5; ++k) {
+      types_.push_back(*dict_.FindIri("http://x/T" + std::to_string(k)));
+    }
+  }
+
+  rdf::Dictionary dict_;
+  rdf::TripleStore store_;
+  sparql::QueryTemplate tmpl_;
+  std::vector<rdf::TermId> types_;
+};
+
+TEST_F(WorkloadTest, RunOnceFillsAllFields) {
+  WorkloadRunner runner(store_, &dict_);
+  sparql::ParameterBinding b{{types_[0]}};
+  auto obs = runner.RunOnce(tmpl_, b);
+  ASSERT_TRUE(obs.ok()) << obs.status().ToString();
+  EXPECT_EQ(obs->binding, b);
+  EXPECT_GT(obs->seconds, 0.0);
+  EXPECT_EQ(obs->result_rows, 10u);       // 10 items per type
+  EXPECT_EQ(obs->observed_cout, 10u);     // single join output
+  EXPECT_GT(obs->est_cout, 0.0);
+  EXPECT_FALSE(obs->fingerprint.empty());
+}
+
+TEST_F(WorkloadTest, EstimateMatchesObservationOnExactLeafPairs) {
+  WorkloadRunner runner(store_, &dict_);
+  sparql::ParameterBinding b{{types_[2]}};
+  auto obs = runner.RunOnce(tmpl_, b);
+  ASSERT_TRUE(obs.ok());
+  // Exact pairwise leaf statistics: estimate equals observation.
+  EXPECT_DOUBLE_EQ(obs->est_cout, static_cast<double>(obs->observed_cout));
+}
+
+TEST_F(WorkloadTest, RunAllPreservesOrder) {
+  WorkloadRunner runner(store_, &dict_);
+  std::vector<sparql::ParameterBinding> bindings;
+  for (rdf::TermId t : types_) bindings.push_back({{t}});
+  auto obs = runner.RunAll(tmpl_, bindings);
+  ASSERT_TRUE(obs.ok());
+  ASSERT_EQ(obs->size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*obs)[i].binding.values[0], types_[i]);
+  }
+}
+
+TEST_F(WorkloadTest, RepetitionsKeepMinimum) {
+  WorkloadRunner runner(store_, &dict_);
+  WorkloadOptions options;
+  options.repetitions = 3;
+  sparql::ParameterBinding b{{types_[0]}};
+  auto obs = runner.RunOnce(tmpl_, b, options);
+  ASSERT_TRUE(obs.ok());
+  EXPECT_GT(obs->seconds, 0.0);
+}
+
+TEST_F(WorkloadTest, ExtractorsAligned) {
+  WorkloadRunner runner(store_, &dict_);
+  std::vector<sparql::ParameterBinding> bindings;
+  for (rdf::TermId t : types_) bindings.push_back({{t}});
+  auto obs = runner.RunAll(tmpl_, bindings);
+  ASSERT_TRUE(obs.ok());
+  auto times = RuntimesOf(*obs);
+  auto couts = ObservedCoutsOf(*obs);
+  auto ests = EstimatedCoutsOf(*obs);
+  ASSERT_EQ(times.size(), 5u);
+  ASSERT_EQ(couts.size(), 5u);
+  ASSERT_EQ(ests.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(times[i], (*obs)[i].seconds);
+    EXPECT_DOUBLE_EQ(couts[i], static_cast<double>((*obs)[i].observed_cout));
+  }
+  // All bindings of this template share one plan.
+  EXPECT_EQ(DistinctPlans(*obs), 1u);
+}
+
+TEST_F(WorkloadTest, BadBindingFails) {
+  WorkloadRunner runner(store_, &dict_);
+  sparql::ParameterBinding wrong;  // arity 0
+  EXPECT_FALSE(runner.RunOnce(tmpl_, wrong).ok());
+}
+
+}  // namespace
+}  // namespace rdfparams::core

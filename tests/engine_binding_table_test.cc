@@ -1,0 +1,61 @@
+#include "engine/binding_table.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::engine {
+namespace {
+
+TEST(BindingTableTest, EmptyTable) {
+  BindingTable t({"a", "b"});
+  EXPECT_EQ(t.num_vars(), 2u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.VarIndex("a"), 0);
+  EXPECT_EQ(t.VarIndex("b"), 1);
+  EXPECT_EQ(t.VarIndex("c"), -1);
+}
+
+TEST(BindingTableTest, AppendAndAccess) {
+  BindingTable t({"x", "y"});
+  t.AppendRow({1, 2});
+  t.AppendRow({3, 4});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 0), 1u);
+  EXPECT_EQ(t.at(0, 1), 2u);
+  EXPECT_EQ(t.at(1, 0), 3u);
+  auto row = t.row(1);
+  EXPECT_EQ(row[1], 4u);
+}
+
+TEST(BindingTableTest, AppendSpan) {
+  BindingTable t({"x"});
+  std::vector<rdf::TermId> vals{7};
+  t.AppendRow(std::span<const rdf::TermId>(vals));
+  EXPECT_EQ(t.at(0, 0), 7u);
+}
+
+TEST(BindingTableTest, ClearResets) {
+  BindingTable t({"x"});
+  t.AppendRow({1});
+  t.Clear();
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(BindingTableTest, NoVarsTableHasZeroRows) {
+  BindingTable t;
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_vars(), 0u);
+}
+
+TEST(BindingTableTest, ToStringRendersTermsAndTruncates) {
+  rdf::Dictionary dict;
+  rdf::TermId a = dict.InternIri("http://x/a");
+  BindingTable t({"v"});
+  for (int i = 0; i < 30; ++i) t.AppendRow({a});
+  std::string s = t.ToString(dict, 5);
+  EXPECT_NE(s.find("?v"), std::string::npos);
+  EXPECT_NE(s.find("<http://x/a>"), std::string::npos);
+  EXPECT_NE(s.find("25 more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfparams::engine

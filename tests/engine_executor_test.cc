@@ -1,0 +1,257 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rdf/turtle.h"
+#include "sparql/parser.h"
+
+namespace rdfparams::engine {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* doc = R"(
+@prefix x: <http://x/> .
+x:alice x:knows x:bob ; x:age 30 ; x:name "Alice" .
+x:bob x:knows x:carol ; x:age 25 ; x:name "Bob" .
+x:carol x:knows x:alice ; x:age 35 ; x:name "Carol" .
+x:dave x:age 25 ; x:name "Dave" .
+x:alice x:knows x:carol .
+)";
+    ASSERT_TRUE(rdf::LoadTurtle(doc, &dict_, &store_).ok());
+    store_.Finalize();
+  }
+
+  sparql::SelectQuery Parse(const std::string& text) {
+    auto q = sparql::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  BindingTable Run(const std::string& text, ExecutionStats* stats = nullptr) {
+    auto q = Parse(text);
+    Executor exec(store_, &dict_);
+    ExecutionStats local;
+    auto result = exec.Run(q, stats != nullptr ? stats : &local);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::string TermAt(const BindingTable& t, size_t row, const char* var) {
+    int col = t.VarIndex(var);
+    EXPECT_GE(col, 0);
+    return dict_.term(t.at(row, static_cast<size_t>(col))).lexical;
+  }
+
+  rdf::Dictionary dict_;
+  rdf::TripleStore store_;
+};
+
+TEST_F(ExecutorTest, SingleScanAllRows) {
+  auto t = Run("SELECT * WHERE { ?a <http://x/knows> ?b . }");
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, ScanWithConstantSubjectObject) {
+  auto t = Run(
+      "SELECT * WHERE { <http://x/alice> <http://x/knows> ?b . }");
+  EXPECT_EQ(t.num_rows(), 2u);  // bob, carol
+  auto t2 = Run(
+      "SELECT * WHERE { ?a <http://x/knows> <http://x/carol> . }");
+  EXPECT_EQ(t2.num_rows(), 2u);  // bob, alice
+}
+
+TEST_F(ExecutorTest, TwoHopJoin) {
+  auto t = Run(
+      "SELECT * WHERE { ?a <http://x/knows> ?b . ?b <http://x/knows> ?c . }");
+  // alice->bob->carol, alice->carol->alice, bob->carol->alice,
+  // carol->alice->bob, carol->alice->carol.
+  EXPECT_EQ(t.num_rows(), 5u);
+}
+
+TEST_F(ExecutorTest, JoinProducesCorrectColumns) {
+  auto t = Run(
+      "SELECT * WHERE { ?a <http://x/knows> ?b . ?b <http://x/age> ?age . }");
+  EXPECT_EQ(t.num_vars(), 3u);
+  EXPECT_GE(t.VarIndex("a"), 0);
+  EXPECT_GE(t.VarIndex("b"), 0);
+  EXPECT_GE(t.VarIndex("age"), 0);
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, FilterNumericComparison) {
+  auto t = Run(
+      "SELECT * WHERE { ?p <http://x/age> ?age . FILTER(?age > 26) }");
+  EXPECT_EQ(t.num_rows(), 2u);  // alice 30, carol 35
+  auto t2 = Run(
+      "SELECT * WHERE { ?p <http://x/age> ?age . FILTER(?age = 25) }");
+  EXPECT_EQ(t2.num_rows(), 2u);  // bob, dave
+}
+
+TEST_F(ExecutorTest, FilterVarVsVar) {
+  auto t = Run(
+      "SELECT * WHERE { ?a <http://x/age> ?aa . ?b <http://x/age> ?ab . "
+      "FILTER(?aa < ?ab) }");
+  // Pairs with strictly increasing age: (25,30)x2, (25,35)x2, (30,35) = 5.
+  EXPECT_EQ(t.num_rows(), 5u);
+}
+
+TEST_F(ExecutorTest, FilterOnIriEquality) {
+  auto t = Run(
+      "SELECT * WHERE { ?a <http://x/knows> ?b . "
+      "FILTER(?b != <http://x/carol>) }");
+  EXPECT_EQ(t.num_rows(), 2u);  // alice->bob, carol->alice
+}
+
+TEST_F(ExecutorTest, DistinctRemovesDuplicates) {
+  auto t = Run(
+      "SELECT DISTINCT ?b WHERE { ?a <http://x/knows> ?b . }");
+  EXPECT_EQ(t.num_rows(), 3u);  // bob, carol, alice
+}
+
+TEST_F(ExecutorTest, OrderByNumericDescending) {
+  auto t = Run(
+      "SELECT ?p ?age WHERE { ?p <http://x/age> ?age . } ORDER BY DESC(?age)");
+  ASSERT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(TermAt(t, 0, "age"), "35");
+  EXPECT_EQ(TermAt(t, 3, "age"), "25");
+}
+
+TEST_F(ExecutorTest, OrderByStringAscending) {
+  auto t = Run(
+      "SELECT ?n WHERE { ?p <http://x/name> ?n . } ORDER BY ?n");
+  ASSERT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(TermAt(t, 0, "n"), "Alice");
+  EXPECT_EQ(TermAt(t, 3, "n"), "Dave");
+}
+
+TEST_F(ExecutorTest, LimitAndOffset) {
+  auto t = Run(
+      "SELECT ?n WHERE { ?p <http://x/name> ?n . } ORDER BY ?n LIMIT 2");
+  EXPECT_EQ(t.num_rows(), 2u);
+  auto t2 = Run(
+      "SELECT ?n WHERE { ?p <http://x/name> ?n . } ORDER BY ?n LIMIT 2 "
+      "OFFSET 3");
+  ASSERT_EQ(t2.num_rows(), 1u);
+  EXPECT_EQ(TermAt(t2, 0, "n"), "Dave");
+}
+
+TEST_F(ExecutorTest, GroupByCount) {
+  auto t = Run(
+      "SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a <http://x/knows> ?b . } "
+      "GROUP BY ?a ORDER BY DESC(?n)");
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(TermAt(t, 0, "a"), "http://x/alice");  // 2 friends
+  // The aggregate output column is part of the projection.
+  int n_col = t.VarIndex("n");
+  ASSERT_GE(n_col, 0);
+  EXPECT_DOUBLE_EQ(
+      *dict_.term(t.at(0, static_cast<size_t>(n_col))).AsDouble(), 2.0);
+}
+
+TEST_F(ExecutorTest, GroupByAvg) {
+  auto t = Run(
+      "SELECT ?b (AVG(?age) AS ?avg) WHERE { ?a <http://x/knows> ?b . "
+      "?b <http://x/age> ?age . } GROUP BY ?b ORDER BY ?b");
+  ASSERT_EQ(t.num_rows(), 3u);
+  // Values present: alice (from carol) avg 30, bob avg 25, carol avg 35 (x2).
+  std::set<std::string> seen;
+  for (size_t r = 0; r < t.num_rows(); ++r) seen.insert(TermAt(t, r, "b"));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST_F(ExecutorTest, AggregateMinMaxSum) {
+  auto t = Run(
+      "SELECT (MIN(?age) AS ?lo) (MAX(?age) AS ?hi) (SUM(?age) AS ?total) "
+      "WHERE { ?p <http://x/age> ?age . }");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(*dict_.term(t.at(0, 0)).AsDouble(), 25.0);
+  EXPECT_DOUBLE_EQ(*dict_.term(t.at(0, 1)).AsDouble(), 35.0);
+  EXPECT_DOUBLE_EQ(*dict_.term(t.at(0, 2)).AsDouble(), 115.0);
+}
+
+TEST_F(ExecutorTest, CountStar) {
+  auto t = Run(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?a <http://x/knows> ?b . }");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(*dict_.term(t.at(0, 0)).AsDouble(), 4.0);
+}
+
+TEST_F(ExecutorTest, ProjectionSelectsColumns) {
+  auto t = Run("SELECT ?b WHERE { ?a <http://x/knows> ?b . }");
+  EXPECT_EQ(t.num_vars(), 1u);
+  EXPECT_EQ(t.vars()[0], "b");
+}
+
+TEST_F(ExecutorTest, OrderByKeyNotInProjection) {
+  // ORDER BY ?age but only ?p projected: sort must happen pre-projection.
+  auto t = Run(
+      "SELECT ?p WHERE { ?p <http://x/age> ?age . } ORDER BY DESC(?age) "
+      "LIMIT 1");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(TermAt(t, 0, "p"), "http://x/carol");
+}
+
+TEST_F(ExecutorTest, StatsCountIntermediates) {
+  ExecutionStats stats;
+  Run("SELECT * WHERE { ?a <http://x/knows> ?b . ?b <http://x/knows> ?c . }",
+      &stats);
+  EXPECT_EQ(stats.intermediate_rows, 5u);  // single join, output 5
+  // Index nested-loop join: 4 materialized outer rows + 5 probed matches.
+  EXPECT_EQ(stats.scan_rows, 9u);
+  EXPECT_EQ(stats.result_rows, 5u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST_F(ExecutorTest, EmptyResultOnAbsentConstant) {
+  auto t = Run(
+      "SELECT * WHERE { <http://x/zelda> <http://x/knows> ?b . }");
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST_F(ExecutorTest, RepeatedVariableInPattern) {
+  // Self-loops: none in the data.
+  auto t = Run("SELECT * WHERE { ?a <http://x/knows> ?a . }");
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST_F(ExecutorTest, FilterOnUnboundVariableFails) {
+  auto q = Parse(
+      "SELECT * WHERE { ?a <http://x/knows> ?b . FILTER(?nope = 1) }");
+  Executor exec(store_, &dict_);
+  ExecutionStats stats;
+  auto result = exec.Run(q, &stats);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ExecutorTest, NaiveAndOptimizedAgree) {
+  const char* queries[] = {
+      "SELECT * WHERE { ?a <http://x/knows> ?b . ?b <http://x/age> ?g . }",
+      "SELECT * WHERE { ?a <http://x/knows> ?b . ?b <http://x/knows> ?c . "
+      "?c <http://x/age> ?g . }",
+      "SELECT * WHERE { ?a <http://x/age> ?g . FILTER(?g >= 30) }",
+  };
+  for (const char* text : queries) {
+    auto q = Parse(text);
+    Executor exec(store_, &dict_);
+    ExecutionStats stats;
+    auto opt = exec.Run(q, &stats);
+    ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+    auto naive = ExecuteNaive(q, store_, &dict_);
+    ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+    EXPECT_EQ(opt->num_rows(), naive->num_rows()) << text;
+  }
+}
+
+TEST_F(ExecutorTest, CrossProductExecution) {
+  auto t = Run(
+      "SELECT * WHERE { ?a <http://x/age> 30 . ?b <http://x/age> 35 . }");
+  EXPECT_EQ(t.num_rows(), 1u);  // alice x carol
+}
+
+}  // namespace
+}  // namespace rdfparams::engine

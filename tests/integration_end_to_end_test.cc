@@ -1,0 +1,148 @@
+// End-to-end integration: generate data -> extract domains -> classify
+// parameters -> sample per class -> run workloads -> check that the
+// Section III properties (P1-P3) hold within classes and fail across the
+// pooled uniform sample. This is the paper's whole pipeline in one test.
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "bsbm/generator.h"
+#include "bsbm/queries.h"
+#include "core/analysis.h"
+#include "core/plan_classifier.h"
+#include "core/workload.h"
+#include "rdf/ntriples.h"
+#include "snb/generator.h"
+#include "snb/queries.h"
+
+namespace rdfparams {
+namespace {
+
+TEST(EndToEndBsbm, UniformSamplingIsUnstableClassSamplingIsNot) {
+  bsbm::GeneratorConfig config;
+  config.num_products = 600;
+  config.type_depth = 4;  // deeper hierarchy -> stronger leaf/root skew
+  config.type_branching = 3;
+  config.seed = 99;
+  bsbm::Dataset ds = bsbm::Generate(config);
+
+  auto q4 = bsbm::MakeQ4(ds);
+  core::ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(ds));
+
+  // Uniform baseline over the full type domain.
+  util::Rng rng(1);
+  core::WorkloadRunner runner(ds.store, &ds.dict);
+  auto uniform_bindings = domain.SampleN(&rng, 60);
+  auto uniform_obs = runner.RunAll(q4, uniform_bindings);
+  ASSERT_TRUE(uniform_obs.ok()) << uniform_obs.status().ToString();
+
+  // The pooled uniform workload mixes plans and costs: high CV expected
+  // because generic types cost orders of magnitude more than leaves.
+  auto uniform_couts = core::ObservedCoutsOf(*uniform_obs);
+  stats::Summary pooled = stats::Summarize(uniform_couts);
+  EXPECT_GT(pooled.cv, 1.0);
+
+  // Classify and re-run within the largest class.
+  auto classes =
+      core::ClassifyParameters(q4, domain, ds.store, ds.dict);
+  ASSERT_TRUE(classes.ok()) << classes.status().ToString();
+  ASSERT_GE(classes->classes.size(), 2u);
+
+  const core::PlanClass& biggest = classes->classes[0];
+  auto class_bindings = core::SampleFromClass(biggest, 30, &rng);
+  auto class_obs = runner.RunAll(q4, class_bindings);
+  ASSERT_TRUE(class_obs.ok());
+
+  core::ClassQuality quality = core::AnalyzeClass(*class_obs);
+  // P3: one plan within the class.
+  EXPECT_EQ(quality.distinct_plans, 1u);
+  // P1: the class C_out spread is far below the pooled spread.
+  stats::Summary class_couts =
+      stats::Summarize(core::ObservedCoutsOf(*class_obs));
+  EXPECT_LT(class_couts.cv, pooled.cv);
+}
+
+TEST(EndToEndSnb, Q3PlanFlipsAcrossCountryPairsButNotWithinClass) {
+  snb::GeneratorConfig config;
+  config.num_persons = 1500;
+  config.avg_degree = 10;
+  config.posts_per_person = 4;
+  config.seed = 31;
+  snb::Dataset ds = snb::Generate(config);
+
+  auto q3 = snb::MakeQ3(ds);
+  core::ParameterDomain domain;
+  // A handful of persons x all country pairs.
+  std::vector<rdf::TermId> persons(ds.persons.begin(), ds.persons.begin() + 3);
+  domain.AddSingle("person", persons);
+  std::vector<std::vector<rdf::TermId>> pairs;
+  for (const auto& b : snb::CountryPairDomain(ds)) pairs.push_back(b.values);
+  domain.AddTuples({"countryX", "countryY"}, pairs);
+
+  core::ClassifyOptions options;
+  options.max_candidates = 300;
+  auto classes =
+      core::ClassifyParameters(q3, domain, ds.store, ds.dict, options);
+  ASSERT_TRUE(classes.ok()) << classes.status().ToString();
+  // E4: the country-pair correlation must yield >= 2 distinct plans.
+  std::set<std::string> fingerprints;
+  for (const auto& cls : classes->classes) {
+    fingerprints.insert(cls.fingerprint);
+  }
+  EXPECT_GE(fingerprints.size(), 2u)
+      << "expected the optimal Q3 plan to flip across country pairs";
+}
+
+TEST(EndToEndSnb, Q2WorkloadRunsAndAggregates) {
+  snb::GeneratorConfig config;
+  config.num_persons = 800;
+  config.avg_degree = 8;
+  config.posts_per_person = 6;
+  config.seed = 77;
+  snb::Dataset ds = snb::Generate(config);
+
+  auto q2 = snb::MakeQ2(ds);
+  core::ParameterDomain domain;
+  domain.AddSingle("person", snb::PersonDomain(ds));
+
+  util::Rng rng(5);
+  core::WorkloadRunner runner(ds.store, &ds.dict);
+  std::vector<std::vector<double>> group_times;
+  for (int g = 0; g < 4; ++g) {
+    auto bindings = domain.SampleN(&rng, 25);
+    auto obs = runner.RunAll(q2, bindings);
+    ASSERT_TRUE(obs.ok());
+    group_times.push_back(core::RuntimesOf(*obs));
+  }
+  core::StabilityReport report = core::AnalyzeStability(group_times);
+  ASSERT_EQ(report.groups.size(), 4u);
+  for (const auto& g : report.groups) {
+    EXPECT_EQ(g.summary.count, 25u);
+    EXPECT_GT(g.average, 0.0);
+    EXPECT_LE(g.q10, g.median);
+    EXPECT_LE(g.median, g.q90);
+  }
+  EXPECT_GE(report.average_spread, 0.0);
+}
+
+TEST(EndToEndRoundTrip, GeneratedDataSurvivesNTriplesSerialization) {
+  bsbm::GeneratorConfig config;
+  config.num_products = 100;
+  config.type_depth = 2;
+  config.type_branching = 2;
+  bsbm::Dataset ds = bsbm::Generate(config);
+
+  std::ostringstream out;
+  ASSERT_TRUE(rdf::WriteNTriples(ds.dict, ds.store, out).ok());
+
+  rdf::Dictionary dict2;
+  rdf::TripleStore store2;
+  ASSERT_TRUE(rdf::LoadNTriples(out.str(), &dict2, &store2).ok());
+  store2.Finalize();
+  EXPECT_EQ(store2.size(), ds.store.size());
+}
+
+}  // namespace
+}  // namespace rdfparams

@@ -1,0 +1,182 @@
+// Property-based tests (parameterized gtest) over randomized queries and
+// datasets: executor/optimizer agreement, plan invariance of results, and
+// C_out bookkeeping invariants.
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "optimizer/optimizer.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "sparql/parser.h"
+#include "util/rng.h"
+
+namespace rdfparams {
+namespace {
+
+/// Builds a random graph dataset with controllable shape.
+struct RandomDataset {
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+
+  RandomDataset(uint64_t seed, size_t n_triples, size_t n_entities,
+                size_t n_predicates) {
+    util::Rng rng(seed);
+    for (size_t i = 0; i < n_triples; ++i) {
+      store.Add(dict.InternIri("http://e/" +
+                               std::to_string(rng.Uniform(n_entities))),
+                dict.InternIri("http://p/" +
+                               std::to_string(rng.Uniform(n_predicates))),
+                dict.InternIri("http://e/" +
+                               std::to_string(rng.Uniform(n_entities))));
+    }
+    store.Finalize();
+  }
+};
+
+/// Generates a random connected query (chain / star / mixed).
+std::string RandomQuery(util::Rng* rng, size_t n_patterns,
+                        size_t n_predicates) {
+  std::string text = "SELECT * WHERE { ";
+  // Chain backbone with occasional star branches.
+  size_t next_var = 1;
+  std::vector<size_t> frontier{0};
+  for (size_t k = 0; k < n_patterns; ++k) {
+    size_t from = frontier[static_cast<size_t>(
+        rng->Uniform(frontier.size()))];
+    size_t to = next_var++;
+    text += "?v" + std::to_string(from) + " <http://p/" +
+            std::to_string(rng->Uniform(n_predicates)) + "> ?v" +
+            std::to_string(to) + " . ";
+    frontier.push_back(to);
+  }
+  text += "}";
+  return text;
+}
+
+/// Canonical multiset of result rows for comparison across plans.
+std::multiset<std::vector<rdf::TermId>> Canonicalize(
+    const engine::BindingTable& t) {
+  // Sort columns by variable name so column order differences vanish.
+  std::vector<size_t> order(t.num_vars());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return t.vars()[a] < t.vars()[b];
+  });
+  std::multiset<std::vector<rdf::TermId>> rows;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::vector<rdf::TermId> row;
+    for (size_t c : order) row.push_back(t.at(r, c));
+    rows.insert(std::move(row));
+  }
+  return rows;
+}
+
+class QueryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryPropertyTest, OptimizedMatchesNaiveResults) {
+  int seed = GetParam();
+  RandomDataset data(static_cast<uint64_t>(seed), 4000, 300, 6);
+  util::Rng rng(static_cast<uint64_t>(seed) * 31 + 7);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::string text = RandomQuery(&rng, 2 + rng.Uniform(3), 6);
+    auto q = sparql::ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    engine::Executor exec(data.store, &data.dict);
+    engine::ExecutionStats stats;
+    auto optimized = exec.Run(*q, &stats);
+    ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+    auto naive = engine::ExecuteNaive(*q, data.store, &data.dict);
+    ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+    EXPECT_EQ(Canonicalize(*optimized), Canonicalize(*naive))
+        << "seed=" << seed << " query: " << text;
+  }
+}
+
+TEST_P(QueryPropertyTest, GreedyAndDpPlansGiveIdenticalResults) {
+  int seed = GetParam();
+  RandomDataset data(static_cast<uint64_t>(seed) + 1000, 3000, 200, 5);
+  util::Rng rng(static_cast<uint64_t>(seed) * 17 + 3);
+  std::string text = RandomQuery(&rng, 3 + rng.Uniform(2), 5);
+  auto q = sparql::ParseQuery(text);
+  ASSERT_TRUE(q.ok());
+
+  auto dp_plan = opt::Optimize(*q, data.store, data.dict);
+  auto greedy_plan = opt::OptimizeGreedy(*q, data.store, data.dict);
+  ASSERT_TRUE(dp_plan.ok());
+  ASSERT_TRUE(greedy_plan.ok());
+
+  engine::Executor exec(data.store, &data.dict);
+  engine::ExecutionStats s1, s2;
+  auto r1 = exec.Execute(*q, *dp_plan->root, &s1);
+  auto r2 = exec.Execute(*q, *greedy_plan->root, &s2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(Canonicalize(*r1), Canonicalize(*r2)) << text;
+  // DP cost estimate must not exceed greedy's.
+  EXPECT_LE(dp_plan->est_cout, greedy_plan->est_cout * (1 + 1e-9) + 1e-9);
+}
+
+TEST_P(QueryPropertyTest, ObservedCoutCountsJoinOutputs) {
+  int seed = GetParam();
+  RandomDataset data(static_cast<uint64_t>(seed) + 2000, 2000, 150, 4);
+  util::Rng rng(static_cast<uint64_t>(seed) * 13 + 1);
+  std::string text = RandomQuery(&rng, 2, 4);
+  auto q = sparql::ParseQuery(text);
+  ASSERT_TRUE(q.ok());
+  engine::Executor exec(data.store, &data.dict);
+  engine::ExecutionStats stats;
+  auto result = exec.Run(*q, &stats);
+  ASSERT_TRUE(result.ok());
+  // Two patterns => exactly one join => observed C_out equals result size
+  // (no filters/modifiers in these queries).
+  EXPECT_EQ(stats.intermediate_rows, stats.result_rows);
+  EXPECT_EQ(stats.result_rows, result->num_rows());
+}
+
+TEST_P(QueryPropertyTest, FingerprintStableAcrossRepeatedOptimization) {
+  int seed = GetParam();
+  RandomDataset data(static_cast<uint64_t>(seed) + 3000, 2500, 180, 5);
+  util::Rng rng(static_cast<uint64_t>(seed) * 11 + 9);
+  std::string text = RandomQuery(&rng, 3, 5);
+  auto q = sparql::ParseQuery(text);
+  ASSERT_TRUE(q.ok());
+  auto p1 = opt::Optimize(*q, data.store, data.dict);
+  auto p2 = opt::Optimize(*q, data.store, data.dict);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1->fingerprint, p2->fingerprint);
+  EXPECT_DOUBLE_EQ(p1->est_cout, p2->est_cout);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, QueryPropertyTest,
+                         ::testing::Range(1, 13));
+
+class StoreInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StoreInvariantTest, SumOfPredicateCountsIsStoreSize) {
+  RandomDataset data(static_cast<uint64_t>(GetParam()), 3000, 250, 7);
+  uint64_t total = 0;
+  for (rdf::TermId p : data.store.Predicates()) {
+    total += data.store.CountPattern(rdf::kWildcardId, p, rdf::kWildcardId);
+  }
+  EXPECT_EQ(total, data.store.size());
+}
+
+TEST_P(StoreInvariantTest, DistinctBoundsHold) {
+  RandomDataset data(static_cast<uint64_t>(GetParam()) + 500, 3000, 250, 7);
+  for (rdf::TermId p : data.store.Predicates()) {
+    uint64_t count =
+        data.store.CountPattern(rdf::kWildcardId, p, rdf::kWildcardId);
+    EXPECT_LE(data.store.DistinctSubjectsForPredicate(p), count);
+    EXPECT_LE(data.store.DistinctObjectsForPredicate(p), count);
+    EXPECT_GE(data.store.DistinctSubjectsForPredicate(p), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, StoreInvariantTest,
+                         ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace rdfparams

@@ -1,0 +1,203 @@
+#include "optimizer/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/turtle.h"
+#include "sparql/parser.h"
+#include "util/rng.h"
+
+namespace rdfparams::opt {
+namespace {
+
+/// A small star + chain dataset where good join order matters:
+/// few "hub" nodes with many attributes.
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string doc = "@prefix x: <http://x/> .\n";
+    // 100 items with type A, 5 with type B. Every item has three values,
+    // so joining through x:value multiplies cardinalities by 3 and join
+    // order genuinely matters.
+    for (int i = 0; i < 100; ++i) {
+      doc += "x:item" + std::to_string(i) + " x:type x:A .\n";
+      for (int offset : {0, 3, 7}) {
+        doc += "x:item" + std::to_string(i) + " x:value x:v" +
+               std::to_string((i + offset) % 10) + " .\n";
+      }
+    }
+    for (int i = 0; i < 5; ++i) {
+      doc += "x:item" + std::to_string(i) + " x:type x:B .\n";
+    }
+    // Chain: item -> link -> target (only items 0..4 have links).
+    for (int i = 0; i < 5; ++i) {
+      doc += "x:item" + std::to_string(i) + " x:link x:t" +
+             std::to_string(i) + " .\n";
+    }
+    ASSERT_TRUE(rdf::LoadTurtle(doc, &dict_, &store_).ok());
+    store_.Finalize();
+  }
+
+  sparql::SelectQuery Parse(const std::string& text) {
+    auto q = sparql::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  rdf::Dictionary dict_;
+  rdf::TripleStore store_;
+};
+
+TEST_F(OptimizerTest, SinglePatternIsScan) {
+  auto q = Parse("SELECT * WHERE { ?s <http://x/type> <http://x/A> . }");
+  auto plan = Optimize(q, store_, dict_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->fingerprint, "S0");
+  EXPECT_DOUBLE_EQ(plan->est_cout, 0.0);  // scans are free under C_out
+  EXPECT_DOUBLE_EQ(plan->est_cardinality, 100.0);
+}
+
+TEST_F(OptimizerTest, TwoPatternJoin) {
+  auto q = Parse(
+      "SELECT * WHERE { ?s <http://x/type> <http://x/B> . "
+      "?s <http://x/value> ?v . }");
+  auto plan = Optimize(q, store_, dict_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root->NumJoins(), 1u);
+  // Exact pairwise count: items 0..4 each have exactly 3 value triples.
+  EXPECT_DOUBLE_EQ(plan->est_cardinality, 15.0);
+  EXPECT_DOUBLE_EQ(plan->est_cout, 15.0);
+  // Build side should be the smaller input (type B scan, 5 rows).
+  ASSERT_TRUE(plan->root->left->is_scan());
+  EXPECT_EQ(plan->root->left->pattern_index, 0u);
+}
+
+TEST_F(OptimizerTest, SelectiveFirstInChain) {
+  // (?s type B) is selective (5); the optimizer must not start from the
+  // 100-row type-A-like scans.
+  auto q = Parse(
+      "SELECT * WHERE { ?s <http://x/type> <http://x/B> . "
+      "?s <http://x/value> ?v . ?s <http://x/link> ?t . }");
+  auto plan = Optimize(q, store_, dict_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root->NumJoins(), 2u);
+  // The C_out optimal plan joins B-items with links (both 5 rows, join
+  // size 5) first, then expands values (15): C_out = 5 + 15 = 20. Any plan
+  // touching values earlier pays 15 + 15 = 30.
+  std::string fp = plan->fingerprint;
+  EXPECT_TRUE(fp == "J(J(S0,S2),S1)" || fp == "J(J(S2,S0),S1)" ||
+              fp == "J(S1,J(S0,S2))")
+      << fp;
+  EXPECT_DOUBLE_EQ(plan->est_cout, 20.0);
+}
+
+TEST_F(OptimizerTest, CoutIsSumOfIntermediateSizes) {
+  auto q = Parse(
+      "SELECT * WHERE { ?s <http://x/type> <http://x/A> . "
+      "?s <http://x/value> ?v . }");
+  auto plan = Optimize(q, store_, dict_);
+  ASSERT_TRUE(plan.ok());
+  // 100 items of type A, each 3 values: join size 300; C_out = 300.
+  EXPECT_DOUBLE_EQ(plan->est_cout, 300.0);
+}
+
+TEST_F(OptimizerTest, CrossProductOnlyWhenDisconnected) {
+  auto q = Parse(
+      "SELECT * WHERE { ?a <http://x/type> <http://x/B> . "
+      "?b <http://x/link> ?t . }");
+  auto plan = Optimize(q, store_, dict_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->root->join_vars.empty());
+  EXPECT_DOUBLE_EQ(plan->root->est_cardinality, 25.0);
+
+  OptimizeOptions no_cross;
+  no_cross.allow_cross_products = false;
+  EXPECT_FALSE(Optimize(q, store_, dict_, no_cross).ok());
+}
+
+TEST_F(OptimizerTest, UnboundParameterRejected) {
+  auto q = Parse("SELECT * WHERE { ?s <http://x/type> %t . }");
+  auto plan = Optimize(q, store_, dict_);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(OptimizerTest, GreedyMatchesDpOnSmallQueries) {
+  auto q = Parse(
+      "SELECT * WHERE { ?s <http://x/type> <http://x/B> . "
+      "?s <http://x/value> ?v . ?s <http://x/link> ?t . }");
+  auto dp = Optimize(q, store_, dict_);
+  auto greedy = OptimizeGreedy(q, store_, dict_);
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE(greedy.ok());
+  // Greedy can never beat exact DP.
+  EXPECT_LE(dp->est_cout, greedy->est_cout + 1e-9);
+}
+
+TEST_F(OptimizerTest, DeterministicAcrossRuns) {
+  auto q = Parse(
+      "SELECT * WHERE { ?s <http://x/type> <http://x/A> . "
+      "?s <http://x/value> ?v . ?s <http://x/link> ?t . }");
+  auto p1 = Optimize(q, store_, dict_);
+  auto p2 = Optimize(q, store_, dict_);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->fingerprint, p2->fingerprint);
+  EXPECT_DOUBLE_EQ(p1->est_cout, p2->est_cout);
+}
+
+TEST_F(OptimizerTest, EstimatesAnnotatedOnAllNodes) {
+  auto q = Parse(
+      "SELECT * WHERE { ?s <http://x/type> <http://x/A> . "
+      "?s <http://x/value> ?v . ?s <http://x/link> ?t . }");
+  auto plan = Optimize(q, store_, dict_);
+  ASSERT_TRUE(plan.ok());
+  std::function<void(const PlanNode&)> check = [&](const PlanNode& n) {
+    EXPECT_GE(n.est_cardinality, 0.0);
+    if (n.is_join()) {
+      EXPECT_GE(n.est_cout, n.left->est_cout + n.right->est_cout);
+      check(*n.left);
+      check(*n.right);
+    }
+  };
+  check(*plan->root);
+}
+
+TEST(OptimizerRandomTest, DpNeverWorseThanGreedy) {
+  // Property: over random chain/star queries on random data, DP's C_out is
+  // <= greedy's C_out.
+  util::Rng rng(99);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  for (int i = 0; i < 5000; ++i) {
+    store.Add(static_cast<rdf::TermId>(dict.InternIri(
+                  "http://e/" + std::to_string(rng.Uniform(400)))),
+              static_cast<rdf::TermId>(dict.InternIri(
+                  "http://p/" + std::to_string(rng.Uniform(8)))),
+              static_cast<rdf::TermId>(dict.InternIri(
+                  "http://e/" + std::to_string(rng.Uniform(400)))));
+  }
+  store.Finalize();
+
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random chain query of length 3-5 over random predicates.
+    size_t len = 3 + rng.Uniform(3);
+    std::string text = "SELECT * WHERE { ";
+    for (size_t k = 0; k < len; ++k) {
+      text += "?v" + std::to_string(k) + " <http://p/" +
+              std::to_string(rng.Uniform(8)) + "> ?v" +
+              std::to_string(k + 1) + " . ";
+    }
+    text += "}";
+    auto q = sparql::ParseQuery(text);
+    ASSERT_TRUE(q.ok());
+    auto dp = Optimize(*q, store, dict);
+    auto greedy = OptimizeGreedy(*q, store, dict);
+    ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_LE(dp->est_cout, greedy->est_cout * (1 + 1e-9) + 1e-9)
+        << "query: " << text;
+  }
+}
+
+}  // namespace
+}  // namespace rdfparams::opt

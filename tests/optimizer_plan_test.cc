@@ -1,0 +1,80 @@
+#include "optimizer/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace rdfparams::opt {
+namespace {
+
+TEST(PlanNodeTest, ScanBasics) {
+  auto scan = PlanNode::MakeScan(3, rdf::IndexOrder::kPOS);
+  EXPECT_TRUE(scan->is_scan());
+  EXPECT_EQ(scan->pattern_index, 3u);
+  EXPECT_EQ(scan->pattern_set, 8u);
+  EXPECT_EQ(scan->Fingerprint(), "S3");
+  EXPECT_EQ(scan->NumJoins(), 0u);
+}
+
+TEST(PlanNodeTest, JoinCombinesPatternSets) {
+  auto join = PlanNode::MakeJoin(PlanNode::MakeScan(0, rdf::IndexOrder::kSPO),
+                                 PlanNode::MakeScan(2, rdf::IndexOrder::kSPO),
+                                 {"x"});
+  EXPECT_TRUE(join->is_join());
+  EXPECT_EQ(join->pattern_set, 0b101u);
+  EXPECT_EQ(join->Fingerprint(), "J(S0,S2)");
+  EXPECT_EQ(join->NumJoins(), 1u);
+}
+
+TEST(PlanNodeTest, FingerprintDistinguishesShapes) {
+  // Left-deep ((0 1) 2) vs bushy ((0 2) 1) vs ((0 1) 2) with swapped leaves.
+  auto a = PlanNode::MakeJoin(
+      PlanNode::MakeJoin(PlanNode::MakeScan(0, rdf::IndexOrder::kSPO),
+                         PlanNode::MakeScan(1, rdf::IndexOrder::kSPO), {}),
+      PlanNode::MakeScan(2, rdf::IndexOrder::kSPO), {});
+  auto b = PlanNode::MakeJoin(
+      PlanNode::MakeJoin(PlanNode::MakeScan(0, rdf::IndexOrder::kSPO),
+                         PlanNode::MakeScan(2, rdf::IndexOrder::kSPO), {}),
+      PlanNode::MakeScan(1, rdf::IndexOrder::kSPO), {});
+  auto c = PlanNode::MakeJoin(
+      PlanNode::MakeScan(2, rdf::IndexOrder::kSPO),
+      PlanNode::MakeJoin(PlanNode::MakeScan(0, rdf::IndexOrder::kSPO),
+                         PlanNode::MakeScan(1, rdf::IndexOrder::kSPO), {}),
+      {});
+  EXPECT_NE(a->Fingerprint(), b->Fingerprint());
+  EXPECT_NE(a->Fingerprint(), c->Fingerprint());
+  EXPECT_NE(b->Fingerprint(), c->Fingerprint());
+}
+
+TEST(PlanNodeTest, CloneIsDeepAndEqual) {
+  auto join = PlanNode::MakeJoin(PlanNode::MakeScan(0, rdf::IndexOrder::kSPO),
+                                 PlanNode::MakeScan(1, rdf::IndexOrder::kOSP),
+                                 {"v"});
+  join->est_cardinality = 42;
+  join->est_cout = 99;
+  auto clone = join->Clone();
+  EXPECT_EQ(clone->Fingerprint(), join->Fingerprint());
+  EXPECT_EQ(clone->est_cardinality, 42);
+  EXPECT_EQ(clone->est_cout, 99);
+  EXPECT_EQ(clone->join_vars, join->join_vars);
+  EXPECT_NE(clone->left.get(), join->left.get());  // deep copy
+  EXPECT_EQ(clone->left->index_order, rdf::IndexOrder::kSPO);
+  EXPECT_EQ(clone->right->index_order, rdf::IndexOrder::kOSP);
+}
+
+TEST(PlanNodeTest, ExplainMentionsPatternsAndEstimates) {
+  auto q = sparql::ParseQuery(
+      "SELECT * WHERE { ?s <http://p> ?v . ?v <http://q> ?o . }");
+  ASSERT_TRUE(q.ok());
+  auto join = PlanNode::MakeJoin(PlanNode::MakeScan(0, rdf::IndexOrder::kPOS),
+                                 PlanNode::MakeScan(1, rdf::IndexOrder::kPOS),
+                                 {"v"});
+  join->est_cardinality = 7;
+  std::string text = join->Explain(*q);
+  EXPECT_NE(text.find("HashJoin[?v]"), std::string::npos);
+  EXPECT_NE(text.find("IndexScan[POS] #0"), std::string::npos);
+  EXPECT_NE(text.find("<http://q>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfparams::opt

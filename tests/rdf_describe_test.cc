@@ -1,0 +1,68 @@
+#include "rdf/describe.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/turtle.h"
+
+namespace rdfparams::rdf {
+namespace {
+
+TEST(ShortenIriTest, Cases) {
+  EXPECT_EQ(ShortenIri("http://x/vocab#livesIn"), "livesIn");
+  EXPECT_EQ(ShortenIri("http://x/path/to/name"), "name");
+  EXPECT_EQ(ShortenIri("plain"), "plain");
+  EXPECT_EQ(ShortenIri("http://trailing/"), "http://trailing/");
+}
+
+TEST(DescribeStoreTest, ListsPredicatesWithStats) {
+  Dictionary dict;
+  TripleStore store;
+  const char* doc = R"(
+@prefix x: <http://x/> .
+x:a x:knows x:b , x:c .
+x:b x:knows x:c .
+x:a x:name "A" .
+x:b x:name "B" .
+x:c x:name "C" .
+)";
+  ASSERT_TRUE(LoadTurtle(doc, &dict, &store).ok());
+  store.Finalize();
+
+  std::string text = DescribeStore(store, dict);
+  EXPECT_NE(text.find("6 triples"), std::string::npos);
+  EXPECT_NE(text.find("knows"), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  // knows: 3 triples, 2 distinct subjects -> fan-out 1.5.
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+}
+
+TEST(DescribeStoreTest, MaxPredicatesTruncates) {
+  Dictionary dict;
+  TripleStore store;
+  for (int p = 0; p < 10; ++p) {
+    for (int i = 0; i <= p; ++i) {
+      store.Add(dict.InternIri("http://s/" + std::to_string(i)),
+                dict.InternIri("http://p/" + std::to_string(p)),
+                dict.InternIri("http://o/" + std::to_string(i)));
+    }
+  }
+  store.Finalize();
+  DescribeOptions options;
+  options.max_predicates = 3;
+  options.shorten_iris = false;
+  std::string text = DescribeStore(store, dict, options);
+  // Largest predicates kept: p/9, p/8, p/7; p/0 dropped.
+  EXPECT_NE(text.find("http://p/9"), std::string::npos);
+  EXPECT_EQ(text.find("http://p/0,"), std::string::npos);
+}
+
+TEST(DescribeStoreTest, EmptyStore) {
+  Dictionary dict;
+  TripleStore store;
+  store.Finalize();
+  std::string text = DescribeStore(store, dict);
+  EXPECT_NE(text.find("0 triples"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfparams::rdf

@@ -1,0 +1,82 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::rdf {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  Dictionary d;
+  TermId a = d.InternIri("http://x/a");
+  TermId b = d.InternIri("http://x/b");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  TermId a1 = d.InternIri("http://x/a");
+  TermId a2 = d.InternIri("http://x/a");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DictionaryTest, DistinguishesTermKinds) {
+  Dictionary d;
+  TermId iri = d.Intern(Term::Iri("x"));
+  TermId lit = d.Intern(Term::Literal("x"));
+  TermId blank = d.Intern(Term::Blank("x"));
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(iri, blank);
+  EXPECT_NE(lit, blank);
+}
+
+TEST(DictionaryTest, DistinguishesDatatypeAndLang) {
+  Dictionary d;
+  TermId plain = d.Intern(Term::Literal("5"));
+  TermId typed = d.Intern(Term::Integer(5));
+  TermId lang = d.Intern(Term::LangLiteral("5", "en"));
+  EXPECT_NE(plain, typed);
+  EXPECT_NE(plain, lang);
+}
+
+TEST(DictionaryTest, LookupRoundTrip) {
+  Dictionary d;
+  Term t = Term::LangLiteral("hello", "en");
+  TermId id = d.Intern(t);
+  EXPECT_EQ(d.term(id), t);
+  auto found = d.Find(t);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, id);
+}
+
+TEST(DictionaryTest, FindMissingReturnsNullopt) {
+  Dictionary d;
+  EXPECT_FALSE(d.Find(Term::Iri("http://nope")).has_value());
+  EXPECT_FALSE(d.FindIri("http://nope").has_value());
+}
+
+TEST(DictionaryTest, ToStringHandlesBadIds) {
+  Dictionary d;
+  d.InternIri("http://x");
+  EXPECT_EQ(d.ToString(0), "<http://x>");
+  EXPECT_EQ(d.ToString(kInvalidTermId), "?");
+  EXPECT_EQ(d.ToString(999), "<bad-id>");
+}
+
+TEST(DictionaryTest, ManyTermsStressConsistency) {
+  Dictionary d;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(d.InternIri("http://x/" + std::to_string(i)));
+  }
+  EXPECT_EQ(d.size(), 10000u);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(d.term(ids[static_cast<size_t>(i)]).lexical,
+              "http://x/" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace rdfparams::rdf

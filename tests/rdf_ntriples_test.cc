@@ -1,0 +1,176 @@
+#include "rdf/ntriples.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::rdf {
+namespace {
+
+TEST(NTriplesParseTermTest, Iri) {
+  size_t pos = 0;
+  auto t = ParseNTriplesTerm("<http://x/a> rest", &pos);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_iri());
+  EXPECT_EQ(t->lexical, "http://x/a");
+  EXPECT_EQ(pos, 12u);
+}
+
+TEST(NTriplesParseTermTest, BlankNode) {
+  size_t pos = 0;
+  auto t = ParseNTriplesTerm("_:b42 .", &pos);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_blank());
+  EXPECT_EQ(t->lexical, "b42");
+}
+
+TEST(NTriplesParseTermTest, PlainLiteral) {
+  size_t pos = 0;
+  auto t = ParseNTriplesTerm("\"hello world\"", &pos);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_literal());
+  EXPECT_EQ(t->lexical, "hello world");
+}
+
+TEST(NTriplesParseTermTest, LangLiteral) {
+  size_t pos = 0;
+  auto t = ParseNTriplesTerm("\"bonjour\"@fr-CA", &pos);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->lang, "fr-CA");
+}
+
+TEST(NTriplesParseTermTest, TypedLiteral) {
+  size_t pos = 0;
+  auto t = ParseNTriplesTerm(
+      "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>", &pos);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->AsInteger(), 5);
+}
+
+TEST(NTriplesParseTermTest, EscapedQuoteInsideLiteral) {
+  size_t pos = 0;
+  auto t = ParseNTriplesTerm(R"("say \"hi\" now")", &pos);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->lexical, "say \"hi\" now");
+}
+
+TEST(NTriplesParseTermTest, Malformed) {
+  size_t pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("<unterminated", &pos).ok());
+  pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("\"unterminated", &pos).ok());
+  pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("", &pos).ok());
+  pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("_x", &pos).ok());
+  pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("<>", &pos).ok());
+}
+
+TEST(NTriplesDocTest, ParsesTriplesAndComments) {
+  const char* doc = R"(# a comment
+<http://x/s> <http://x/p> <http://x/o> .
+
+<http://x/s> <http://x/p> "lit"@en .  # trailing comment
+_:b <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+)";
+  std::vector<std::string> triples;
+  Status st = ParseNTriples(doc, [&](const Term& s, const Term& p,
+                                     const Term& o) {
+    triples.push_back(ToNTriplesLine(s, p, o));
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(triples.size(), 3u);
+  EXPECT_EQ(triples[0], "<http://x/s> <http://x/p> <http://x/o> .");
+}
+
+TEST(NTriplesDocTest, ErrorsCarryLineNumbers) {
+  Status st = ParseNTriples("<http://a> <http://b> <http://c> .\nbroken line\n",
+                            [](const Term&, const Term&, const Term&) {});
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesDocTest, RejectsLiteralSubject) {
+  Status st = ParseNTriples("\"lit\" <http://p> <http://o> .",
+                            [](const Term&, const Term&, const Term&) {});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(NTriplesDocTest, RejectsNonIriPredicate) {
+  Status st = ParseNTriples("<http://s> \"lit\" <http://o> .",
+                            [](const Term&, const Term&, const Term&) {});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(NTriplesDocTest, RejectsMissingDot) {
+  Status st = ParseNTriples("<http://s> <http://p> <http://o>",
+                            [](const Term&, const Term&, const Term&) {});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(NTriplesLoadTest, LoadIntoStore) {
+  const char* doc =
+      "<http://x/a> <http://x/p> <http://x/b> .\n"
+      "<http://x/b> <http://x/p> <http://x/c> .\n";
+  Dictionary dict;
+  TripleStore store;
+  ASSERT_TRUE(LoadNTriples(doc, &dict, &store).ok());
+  store.Finalize();
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(dict.size(), 4u);  // a, p, b, c
+}
+
+TEST(NTriplesWriteTest, RoundTrip) {
+  const char* doc =
+      "<http://x/a> <http://x/p> \"v\\\"1\" .\n"
+      "<http://x/a> <http://x/q> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "_:b <http://x/p> \"text\"@en .\n";
+  Dictionary dict;
+  TripleStore store;
+  ASSERT_TRUE(LoadNTriples(doc, &dict, &store).ok());
+  store.Finalize();
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteNTriples(dict, store, out).ok());
+
+  Dictionary dict2;
+  TripleStore store2;
+  ASSERT_TRUE(LoadNTriples(out.str(), &dict2, &store2).ok());
+  store2.Finalize();
+  EXPECT_EQ(store2.size(), store.size());
+
+  std::ostringstream out2;
+  ASSERT_TRUE(WriteNTriples(dict2, store2, out2).ok());
+  // Canonical rendering is identical modulo dictionary ids, but since both
+  // documents contain the same terms the sorted line sets must match.
+  auto lines = [](std::string text) {
+    std::vector<std::string> v;
+    std::istringstream in(text);
+    std::string l;
+    while (std::getline(in, l)) v.push_back(l);
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(lines(out.str()), lines(out2.str()));
+}
+
+TEST(NTriplesWriteTest, RequiresFinalizedStore) {
+  Dictionary dict;
+  TripleStore store;
+  store.Add(dict.InternIri("http://a"), dict.InternIri("http://b"),
+            dict.InternIri("http://c"));
+  std::ostringstream out;
+  EXPECT_FALSE(WriteNTriples(dict, store, out).ok());
+}
+
+TEST(NTriplesFileTest, MissingFileFails) {
+  Dictionary dict;
+  TripleStore store;
+  Status st = LoadNTriplesFile("/nonexistent/path.nt", &dict, &store);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace rdfparams::rdf

@@ -1,0 +1,101 @@
+#include "rdf/term.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::rdf {
+namespace {
+
+TEST(TermTest, Constructors) {
+  Term iri = Term::Iri("http://example.org/a");
+  EXPECT_TRUE(iri.is_iri());
+  EXPECT_EQ(iri.lexical, "http://example.org/a");
+
+  Term blank = Term::Blank("b0");
+  EXPECT_TRUE(blank.is_blank());
+
+  Term lit = Term::Literal("hello");
+  EXPECT_TRUE(lit.is_literal());
+  EXPECT_TRUE(lit.datatype.empty());
+
+  Term typed = Term::TypedLiteral("5", std::string(kXsdInteger));
+  EXPECT_TRUE(typed.is_numeric());
+
+  Term lang = Term::LangLiteral("hallo", "de");
+  EXPECT_EQ(lang.lang, "de");
+}
+
+TEST(TermTest, IntegerAndDoubleAccessors) {
+  EXPECT_EQ(Term::Integer(42).AsInteger(), 42);
+  EXPECT_EQ(Term::Integer(-7).AsInteger(), -7);
+  EXPECT_DOUBLE_EQ(*Term::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Term::Literal("abc").AsInteger(), std::nullopt);
+  EXPECT_EQ(Term::Literal("12x").AsInteger(), std::nullopt);
+  EXPECT_EQ(Term::Iri("http://x/12").AsInteger(), std::nullopt);
+  // Integers parse as doubles too.
+  EXPECT_DOUBLE_EQ(*Term::Integer(3).AsDouble(), 3.0);
+}
+
+TEST(TermTest, NTriplesSerialization) {
+  EXPECT_EQ(Term::Iri("http://x/a").ToNTriples(), "<http://x/a>");
+  EXPECT_EQ(Term::Blank("n1").ToNTriples(), "_:n1");
+  EXPECT_EQ(Term::Literal("hi").ToNTriples(), "\"hi\"");
+  EXPECT_EQ(Term::LangLiteral("hi", "en").ToNTriples(), "\"hi\"@en");
+  EXPECT_EQ(Term::Integer(5).ToNTriples(),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  // xsd:string is normalized away.
+  EXPECT_EQ(Term::TypedLiteral("x", std::string(kXsdString)).ToNTriples(),
+            "\"x\"");
+}
+
+TEST(TermTest, EscapeRoundTrip) {
+  std::string nasty = "line1\nline2\t\"quoted\" back\\slash\r";
+  std::string escaped = EscapeNTriplesString(nasty);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  auto back = UnescapeNTriplesString(escaped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, nasty);
+}
+
+TEST(TermTest, UnicodeEscapes) {
+  auto r = UnescapeNTriplesString("caf\\u00E9");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "caf\xC3\xA9");
+  auto r2 = UnescapeNTriplesString("\\U0001F600");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 4u);  // 4-byte UTF-8
+}
+
+TEST(TermTest, BadEscapesFail) {
+  EXPECT_FALSE(UnescapeNTriplesString("trailing\\").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\q").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\u12").ok());
+  EXPECT_FALSE(UnescapeNTriplesString("\\u12GZ").ok());
+}
+
+TEST(TermTest, EqualityStructural) {
+  EXPECT_EQ(Term::Iri("http://x"), Term::Iri("http://x"));
+  EXPECT_NE(Term::Iri("http://x"), Term::Literal("http://x"));
+  EXPECT_NE(Term::LangLiteral("a", "en"), Term::LangLiteral("a", "de"));
+  EXPECT_NE(Term::Integer(1), Term::Literal("1"));
+}
+
+TEST(TermTest, CompareKindOrder) {
+  // blank < IRI < literal.
+  EXPECT_LT(Term::Blank("z").Compare(Term::Iri("a")), 0);
+  EXPECT_LT(Term::Iri("z").Compare(Term::Literal("a")), 0);
+}
+
+TEST(TermTest, CompareNumericByValue) {
+  // "10" > "9" numerically although lexically smaller.
+  EXPECT_GT(Term::Integer(10).Compare(Term::Integer(9)), 0);
+  EXPECT_LT(Term::Double(2.5).Compare(Term::Integer(3)), 0);
+  EXPECT_EQ(Term::Double(3.0).Compare(Term::Integer(3)), 0);
+}
+
+TEST(TermTest, CompareLexicalFallback) {
+  EXPECT_LT(Term::Literal("apple").Compare(Term::Literal("banana")), 0);
+  EXPECT_EQ(Term::Literal("a").Compare(Term::Literal("a")), 0);
+}
+
+}  // namespace
+}  // namespace rdfparams::rdf

@@ -1,0 +1,184 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rdfparams::rdf {
+namespace {
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Small fixed graph:
+    //   s0 -p0-> o0   s0 -p0-> o1   s0 -p1-> o0
+    //   s1 -p0-> o0   s1 -p1-> o1   s2 -p1-> o1
+    store_.Add(0, 10, 20);
+    store_.Add(0, 10, 21);
+    store_.Add(0, 11, 20);
+    store_.Add(1, 10, 20);
+    store_.Add(1, 11, 21);
+    store_.Add(2, 11, 21);
+    store_.Finalize();
+  }
+  TripleStore store_;
+};
+
+TEST_F(TripleStoreTest, SizeAndDedup) {
+  EXPECT_EQ(store_.size(), 6u);
+  TripleStore s2;
+  s2.Add(1, 2, 3);
+  s2.Add(1, 2, 3);
+  s2.Add(1, 2, 3);
+  s2.Finalize();
+  EXPECT_EQ(s2.size(), 1u);
+}
+
+TEST_F(TripleStoreTest, CountPatternAllCombinations) {
+  const TermId W = kWildcardId;
+  EXPECT_EQ(store_.CountPattern(W, W, W), 6u);
+  EXPECT_EQ(store_.CountPattern(0, W, W), 3u);
+  EXPECT_EQ(store_.CountPattern(W, 10, W), 3u);
+  EXPECT_EQ(store_.CountPattern(W, W, 21), 3u);
+  EXPECT_EQ(store_.CountPattern(0, 10, W), 2u);
+  EXPECT_EQ(store_.CountPattern(W, 10, 20), 2u);
+  EXPECT_EQ(store_.CountPattern(0, W, 20), 2u);
+  EXPECT_EQ(store_.CountPattern(0, 10, 21), 1u);
+  EXPECT_EQ(store_.CountPattern(9, W, W), 0u);
+  EXPECT_EQ(store_.CountPattern(0, 11, 21), 0u);
+}
+
+TEST_F(TripleStoreTest, ScanPatternVisitsExactlyMatches) {
+  std::set<std::tuple<TermId, TermId, TermId>> seen;
+  store_.ScanPattern(kWildcardId, 11, kWildcardId, [&](const Triple& t) {
+    seen.insert({t.s, t.p, t.o});
+  });
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(seen.count({0, 11, 20}));
+  EXPECT_TRUE(seen.count({1, 11, 21}));
+  EXPECT_TRUE(seen.count({2, 11, 21}));
+}
+
+TEST_F(TripleStoreTest, RangeIsSortedInIndexOrder) {
+  auto range = store_.Range(IndexOrder::kPOS, kWildcardId, 10, kWildcardId);
+  ASSERT_EQ(range.size(), 3u);
+  for (size_t i = 1; i < range.size(); ++i) {
+    EXPECT_LE(range[i - 1].o, range[i].o);
+    if (range[i - 1].o == range[i].o) {
+      EXPECT_LE(range[i - 1].s, range[i].s);
+    }
+  }
+}
+
+TEST_F(TripleStoreTest, DistinctCounts) {
+  EXPECT_EQ(store_.NumDistinctSubjects(), 3u);
+  EXPECT_EQ(store_.NumDistinctPredicates(), 2u);
+  EXPECT_EQ(store_.NumDistinctObjects(), 2u);
+  EXPECT_EQ(store_.DistinctSubjectsForPredicate(10), 2u);
+  EXPECT_EQ(store_.DistinctObjectsForPredicate(10), 2u);
+  EXPECT_EQ(store_.DistinctSubjectsForPredicate(11), 3u);
+  EXPECT_EQ(store_.DistinctObjectsForPredicate(11), 2u);
+  EXPECT_EQ(store_.DistinctSubjectsForPredicate(99), 0u);
+}
+
+TEST_F(TripleStoreTest, PredicatesListAscending) {
+  auto preds = store_.Predicates();
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], 10u);
+  EXPECT_EQ(preds[1], 11u);
+}
+
+TEST_F(TripleStoreTest, DistinctObjectsOfSubjectsOf) {
+  auto objs = store_.DistinctObjectsOf(11);
+  EXPECT_EQ(objs, (std::vector<TermId>{20, 21}));
+  auto subs = store_.DistinctSubjectsOf(10);
+  EXPECT_EQ(subs, (std::vector<TermId>{0, 1}));
+  EXPECT_TRUE(store_.DistinctObjectsOf(99).empty());
+}
+
+TEST_F(TripleStoreTest, AllSixIndexesConsistent) {
+  store_.BuildAllIndexes();
+  const TermId W = kWildcardId;
+  for (IndexOrder order : {IndexOrder::kSPO, IndexOrder::kPOS,
+                           IndexOrder::kOSP, IndexOrder::kSOP,
+                           IndexOrder::kPSO, IndexOrder::kOPS}) {
+    auto all = store_.Range(order, W, W, W);
+    EXPECT_EQ(all.size(), 6u) << IndexOrderName(order);
+  }
+  // SOP prefix (s, o).
+  auto range = store_.Range(IndexOrder::kSOP, 0, W, 20);
+  EXPECT_EQ(range.size(), 2u);
+}
+
+TEST(TripleStoreRandomTest, CountsMatchBruteForce) {
+  util::Rng rng(17);
+  TripleStore store;
+  std::vector<Triple> truth;
+  for (int i = 0; i < 3000; ++i) {
+    Triple t(static_cast<TermId>(rng.Uniform(20)),
+             static_cast<TermId>(rng.Uniform(5) + 100),
+             static_cast<TermId>(rng.Uniform(30) + 200));
+    store.Add(t);
+    truth.push_back(t);
+  }
+  store.Finalize();
+  std::sort(truth.begin(), truth.end(), [](const Triple& a, const Triple& b) {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  });
+  truth.erase(std::unique(truth.begin(), truth.end()), truth.end());
+
+  auto brute = [&](TermId s, TermId p, TermId o) {
+    uint64_t n = 0;
+    for (const Triple& t : truth) {
+      if ((s == kWildcardId || t.s == s) && (p == kWildcardId || t.p == p) &&
+          (o == kWildcardId || t.o == o)) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    TermId s = rng.Bernoulli(0.5) ? static_cast<TermId>(rng.Uniform(20))
+                                  : kWildcardId;
+    TermId p = rng.Bernoulli(0.5) ? static_cast<TermId>(rng.Uniform(5) + 100)
+                                  : kWildcardId;
+    TermId o = rng.Bernoulli(0.5) ? static_cast<TermId>(rng.Uniform(30) + 200)
+                                  : kWildcardId;
+    EXPECT_EQ(store.CountPattern(s, p, o), brute(s, p, o))
+        << "s=" << s << " p=" << p << " o=" << o;
+  }
+}
+
+TEST(TripleStoreEdgeTest, EmptyStore) {
+  TripleStore store;
+  store.Finalize();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.CountPattern(kWildcardId, kWildcardId, kWildcardId), 0u);
+  EXPECT_EQ(store.NumDistinctSubjects(), 0u);
+  EXPECT_TRUE(store.Predicates().empty());
+}
+
+TEST(TripleStoreEdgeTest, RefinalizeAfterAdd) {
+  TripleStore store;
+  store.Add(1, 2, 3);
+  store.Finalize();
+  EXPECT_EQ(store.size(), 1u);
+  store.Add(4, 5, 6);
+  EXPECT_FALSE(store.finalized());
+  store.Finalize();
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.CountPattern(4, kWildcardId, kWildcardId), 1u);
+}
+
+TEST(TripleStoreEdgeTest, MemoryBytesPositive) {
+  TripleStore store;
+  store.Add(1, 2, 3);
+  store.Finalize();
+  EXPECT_GT(store.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rdfparams::rdf

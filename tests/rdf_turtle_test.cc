@@ -1,0 +1,166 @@
+#include "rdf/turtle.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/ntriples.h"
+
+namespace rdfparams::rdf {
+namespace {
+
+std::vector<std::string> ParseToLines(const std::string& doc, Status* st) {
+  std::vector<std::string> out;
+  *st = ParseTurtle(doc, [&](const Term& s, const Term& p, const Term& o) {
+    out.push_back(ToNTriplesLine(s, p, o));
+  });
+  return out;
+}
+
+TEST(TurtleTest, PrefixAndPrefixedNames) {
+  Status st;
+  auto lines = ParseToLines(
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:a ex:p ex:b .\n",
+      &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            "<http://example.org/a> <http://example.org/p> "
+            "<http://example.org/b> .");
+}
+
+TEST(TurtleTest, AKeywordExpandsToRdfType) {
+  Status st;
+  auto lines = ParseToLines(
+      "@prefix ex: <http://x/> .\n"
+      "ex:s a ex:Class .\n",
+      &st);
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("22-rdf-syntax-ns#type"), std::string::npos);
+}
+
+TEST(TurtleTest, SemicolonPredicateLists) {
+  Status st;
+  auto lines = ParseToLines(
+      "@prefix ex: <http://x/> .\n"
+      "ex:s ex:p1 ex:o1 ;\n"
+      "     ex:p2 ex:o2 ;\n"
+      "     ex:p3 \"v\" .\n",
+      &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(lines.size(), 3u);
+  for (const std::string& l : lines) {
+    EXPECT_NE(l.find("<http://x/s>"), std::string::npos);
+  }
+}
+
+TEST(TurtleTest, CommaObjectLists) {
+  Status st;
+  auto lines = ParseToLines(
+      "@prefix ex: <http://x/> .\n"
+      "ex:s ex:p ex:a, ex:b, ex:c .\n",
+      &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(lines.size(), 3u);
+}
+
+TEST(TurtleTest, NumericAndBooleanLiterals) {
+  Status st;
+  auto lines = ParseToLines(
+      "@prefix ex: <http://x/> .\n"
+      "ex:s ex:int 42 .\n"
+      "ex:s ex:dec 3.25 .\n"
+      "ex:s ex:dbl 1.5e3 .\n"
+      "ex:s ex:neg -7 .\n"
+      "ex:s ex:t true .\n"
+      "ex:s ex:f false .\n",
+      &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_NE(lines[0].find("\"42\"^^"), std::string::npos);
+  EXPECT_NE(lines[0].find("integer"), std::string::npos);
+  EXPECT_NE(lines[1].find("decimal"), std::string::npos);
+  EXPECT_NE(lines[2].find("double"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"-7\""), std::string::npos);
+  EXPECT_NE(lines[4].find("boolean"), std::string::npos);
+}
+
+TEST(TurtleTest, StringLiteralsWithLangAndType) {
+  Status st;
+  auto lines = ParseToLines(
+      "@prefix ex: <http://x/> .\n"
+      "ex:s ex:p \"hi\"@en .\n"
+      "ex:s ex:q \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+      &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("@en"), std::string::npos);
+}
+
+TEST(TurtleTest, BlankNodes) {
+  Status st;
+  auto lines = ParseToLines(
+      "@prefix ex: <http://x/> .\n"
+      "_:a ex:p _:b .\n",
+      &st);
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "_:a <http://x/p> _:b .");
+}
+
+TEST(TurtleTest, CommentsIgnoredEverywhere) {
+  Status st;
+  auto lines = ParseToLines(
+      "# top comment\n"
+      "@prefix ex: <http://x/> .  # directive comment\n"
+      "ex:s ex:p ex:o .  # statement comment\n",
+      &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(TurtleTest, UndefinedPrefixFails) {
+  Status st;
+  ParseToLines("foo:a foo:b foo:c .", &st);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("undefined prefix"), std::string::npos);
+}
+
+TEST(TurtleTest, UnsupportedConstructsRejectedCleanly) {
+  Status st;
+  ParseToLines("@prefix ex: <http://x/> .\nex:s ex:p [ ex:q ex:o ] .", &st);
+  EXPECT_FALSE(st.ok());
+  ParseToLines("@prefix ex: <http://x/> .\nex:s ex:p (1 2 3) .", &st);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(TurtleTest, MissingDotFails) {
+  Status st;
+  ParseToLines("@prefix ex: <http://x/> .\nex:s ex:p ex:o", &st);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(TurtleTest, LoadIntoStore) {
+  Dictionary dict;
+  TripleStore store;
+  Status st = LoadTurtle(
+      "@prefix ex: <http://x/> .\n"
+      "ex:a ex:knows ex:b, ex:c ; ex:name \"A\" .\n",
+      &dict, &store);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  store.Finalize();
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(TurtleTest, SemicolonBeforeDotIsLegal) {
+  Status st;
+  auto lines = ParseToLines(
+      "@prefix ex: <http://x/> .\n"
+      "ex:s ex:p ex:o ; .\n",
+      &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rdfparams::rdf

@@ -1,0 +1,177 @@
+#include "snb/generator.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::snb {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_persons = 500;
+  config.avg_degree = 8;
+  config.posts_per_person = 5;
+  config.seed = 3;
+  return config;
+}
+
+TEST(SnbGeneratorTest, Deterministic) {
+  Dataset a = Generate(SmallConfig());
+  Dataset b = Generate(SmallConfig());
+  EXPECT_EQ(a.store.size(), b.store.size());
+  EXPECT_EQ(a.posts.size(), b.posts.size());
+}
+
+TEST(SnbGeneratorTest, CountryTableConsistent) {
+  const auto& countries = Countries();
+  EXPECT_GE(countries.size(), 30u);
+  for (const CountryInfo& c : countries) {
+    EXPECT_GT(c.population_weight, 0.0);
+    EXPECT_GT(c.tourism_weight, 0.0);
+    EXPECT_LT(c.region, 8u);
+    for (int nb : c.neighbors) {
+      ASSERT_GE(nb, 0);
+      ASSERT_LT(static_cast<size_t>(nb), countries.size());
+    }
+  }
+}
+
+TEST(SnbGeneratorTest, EveryPersonHasNameAndCountry) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_name = *ds.dict.FindIri(ds.vocab.first_name);
+  rdf::TermId p_lives = *ds.dict.FindIri(ds.vocab.lives_in);
+  EXPECT_EQ(
+      ds.store.CountPattern(rdf::kWildcardId, p_name, rdf::kWildcardId),
+      ds.persons.size());
+  EXPECT_EQ(
+      ds.store.CountPattern(rdf::kWildcardId, p_lives, rdf::kWildcardId),
+      ds.persons.size());
+  ASSERT_EQ(ds.home_country.size(), ds.persons.size());
+}
+
+TEST(SnbGeneratorTest, KnowsIsSymmetric) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_knows = *ds.dict.FindIri(ds.vocab.knows);
+  size_t violations = 0;
+  ds.store.ScanPattern(
+      rdf::kWildcardId, p_knows, rdf::kWildcardId, [&](const rdf::Triple& t) {
+        if (ds.store.CountPattern(t.o, p_knows, t.s) != 1) ++violations;
+      });
+  EXPECT_EQ(violations, 0u);
+}
+
+TEST(SnbGeneratorTest, NoSelfFriendship) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_knows = *ds.dict.FindIri(ds.vocab.knows);
+  ds.store.ScanPattern(rdf::kWildcardId, p_knows, rdf::kWildcardId,
+                       [&](const rdf::Triple& t) { EXPECT_NE(t.s, t.o); });
+}
+
+TEST(SnbGeneratorTest, DegreeDistributionIsSkewed) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_knows = *ds.dict.FindIri(ds.vocab.knows);
+  std::vector<uint64_t> degrees;
+  for (rdf::TermId person : ds.persons) {
+    degrees.push_back(
+        ds.store.CountPattern(person, p_knows, rdf::kWildcardId));
+  }
+  uint64_t max_degree = *std::max_element(degrees.begin(), degrees.end());
+  double mean = 0;
+  for (uint64_t d : degrees) mean += static_cast<double>(d);
+  mean /= static_cast<double>(degrees.size());
+  // Heavy tail: hub degree far above the mean.
+  EXPECT_GT(static_cast<double>(max_degree), 4 * mean);
+}
+
+TEST(SnbGeneratorTest, FriendshipsAreCountryCorrelated) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_knows = *ds.dict.FindIri(ds.vocab.knows);
+  std::map<rdf::TermId, uint32_t> country_of;
+  for (size_t i = 0; i < ds.persons.size(); ++i) {
+    country_of[ds.persons[i]] = ds.home_country[i];
+  }
+  uint64_t same = 0, total = 0;
+  ds.store.ScanPattern(rdf::kWildcardId, p_knows, rdf::kWildcardId,
+                       [&](const rdf::Triple& t) {
+                         ++total;
+                         if (country_of[t.s] == country_of[t.o]) ++same;
+                       });
+  ASSERT_GT(total, 0u);
+  // With same_country_friend_prob = 0.7, well over a third of edges should
+  // be intra-country (random baseline would be a few percent).
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.4);
+}
+
+TEST(SnbGeneratorTest, NamesCorrelateWithRegion) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_name = *ds.dict.FindIri(ds.vocab.first_name);
+  // "Li" should be much more common among China-region persons than, say,
+  // among USA-region ones.
+  auto li = ds.dict.Find(rdf::Term::Literal("Li"));
+  ASSERT_TRUE(li.has_value());
+  const auto& countries = Countries();
+  uint64_t li_east_asia = 0, li_elsewhere = 0;
+  for (size_t i = 0; i < ds.persons.size(); ++i) {
+    if (ds.store.CountPattern(ds.persons[i], p_name, *li) > 0) {
+      if (countries[ds.home_country[i]].region == 5) {
+        ++li_east_asia;
+      } else {
+        ++li_elsewhere;
+      }
+    }
+  }
+  EXPECT_GT(li_east_asia, li_elsewhere);
+}
+
+TEST(SnbGeneratorTest, PostsHaveCreatorDateTags) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_creator = *ds.dict.FindIri(ds.vocab.has_creator);
+  rdf::TermId p_date = *ds.dict.FindIri(ds.vocab.creation_date);
+  uint64_t n_posts = ds.posts.size();
+  ASSERT_GT(n_posts, 0u);
+  EXPECT_EQ(
+      ds.store.CountPattern(rdf::kWildcardId, p_creator, rdf::kWildcardId),
+      n_posts);
+  EXPECT_EQ(
+      ds.store.CountPattern(rdf::kWildcardId, p_date, rdf::kWildcardId),
+      n_posts);
+}
+
+TEST(SnbGeneratorTest, EveryoneVisitedHomeCountry) {
+  Dataset ds = Generate(SmallConfig());
+  rdf::TermId p_been = *ds.dict.FindIri(ds.vocab.has_been_to);
+  for (size_t i = 0; i < ds.persons.size(); ++i) {
+    EXPECT_EQ(ds.store.CountPattern(ds.persons[i], p_been,
+                                    ds.countries[ds.home_country[i]]),
+              1u);
+  }
+}
+
+TEST(SnbGeneratorTest, CovisitCorrelationSpansOrdersOfMagnitude) {
+  GeneratorConfig config = SmallConfig();
+  config.num_persons = 2000;
+  Dataset ds = Generate(config);
+  rdf::TermId p_been = *ds.dict.FindIri(ds.vocab.has_been_to);
+
+  auto covisit = [&](const char* a, const char* b) {
+    auto ca = ds.dict.FindIri(std::string("http://rdfparams.org/snb/instances/Country_") + a);
+    auto cb = ds.dict.FindIri(std::string("http://rdfparams.org/snb/instances/Country_") + b);
+    if (!ca || !cb) return uint64_t{0};
+    uint64_t both = 0;
+    ds.store.ScanPattern(rdf::kWildcardId, p_been, *ca,
+                         [&](const rdf::Triple& t) {
+                           both += ds.store.CountPattern(t.s, p_been, *cb);
+                         });
+    return both;
+  };
+  uint64_t usa_canada = covisit("USA", "Canada");
+  uint64_t finland_zimbabwe = covisit("Finland", "Zimbabwe");
+  // The paper's E4 premise: neighbor/popular pairs co-visited often, remote
+  // unpopular pairs almost never.
+  EXPECT_GT(usa_canada, 10 * (finland_zimbabwe + 1));
+}
+
+}  // namespace
+}  // namespace rdfparams::snb

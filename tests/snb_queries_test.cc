@@ -1,0 +1,132 @@
+#include "snb/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace rdfparams::snb {
+namespace {
+
+class SnbQueriesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig config;
+    config.num_persons = 800;
+    config.avg_degree = 8;
+    config.posts_per_person = 6;
+    config.seed = 21;
+    ds_ = new Dataset(Generate(config));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+  static Dataset* ds_;
+};
+
+Dataset* SnbQueriesTest::ds_ = nullptr;
+
+TEST_F(SnbQueriesTest, AllTemplatesParse) {
+  auto templates = AllTemplates(*ds_);
+  ASSERT_EQ(templates.size(), 4u);
+  EXPECT_EQ(templates[1].name(), "SNB-Q2");
+  EXPECT_EQ(templates[1].parameter_names(),
+            (std::vector<std::string>{"person"}));
+  EXPECT_EQ(templates[2].parameter_names(),
+            (std::vector<std::string>{"person", "countryX", "countryY"}));
+}
+
+TEST_F(SnbQueriesTest, Q1IntroExampleSelectivityVaries) {
+  auto q1 = MakeQ1(*ds_);
+  core::WorkloadRunner runner(ds_->store, &ds_->dict);
+  // Li x China should give many matches; Li x Finland nearly none.
+  auto li = ds_->dict.Find(rdf::Term::Literal("Li"));
+  auto china = ds_->dict.FindIri(
+      "http://rdfparams.org/snb/instances/Country_China");
+  auto finland = ds_->dict.FindIri(
+      "http://rdfparams.org/snb/instances/Country_Finland");
+  ASSERT_TRUE(li && china && finland);
+  sparql::ParameterBinding li_china{{*li, *china}};
+  sparql::ParameterBinding li_finland{{*li, *finland}};
+  auto obs1 = runner.RunOnce(q1, li_china);
+  auto obs2 = runner.RunOnce(q1, li_finland);
+  ASSERT_TRUE(obs1.ok() && obs2.ok());
+  EXPECT_GT(obs1->result_rows, obs2->result_rows);
+}
+
+TEST_F(SnbQueriesTest, Q2RespectsLimitAndOrdering) {
+  auto q2 = MakeQ2(*ds_);
+  core::WorkloadRunner runner(ds_->store, &ds_->dict);
+  // Pick a person with friends.
+  rdf::TermId p_knows = *ds_->dict.FindIri(ds_->vocab.knows);
+  rdf::TermId person = rdf::kInvalidTermId;
+  for (rdf::TermId p : ds_->persons) {
+    if (ds_->store.CountPattern(p, p_knows, rdf::kWildcardId) >= 3) {
+      person = p;
+      break;
+    }
+  }
+  ASSERT_NE(person, rdf::kInvalidTermId);
+  sparql::ParameterBinding b{{person}};
+  auto q = q2.Bind(b, ds_->dict);
+  ASSERT_TRUE(q.ok());
+  engine::Executor exec(ds_->store, &ds_->dict);
+  engine::ExecutionStats stats;
+  auto result = exec.Run(*q, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->num_rows(), 20u);
+  // Dates descending.
+  int date_col = result->VarIndex("date");
+  ASSERT_GE(date_col, 0);
+  for (size_t r = 1; r < result->num_rows(); ++r) {
+    auto prev = ds_->dict.term(result->at(r - 1, static_cast<size_t>(date_col)))
+                    .AsInteger();
+    auto cur = ds_->dict.term(result->at(r, static_cast<size_t>(date_col)))
+                   .AsInteger();
+    ASSERT_TRUE(prev && cur);
+    EXPECT_GE(*prev, *cur);
+  }
+}
+
+TEST_F(SnbQueriesTest, Q3RunsOnCountryPairs) {
+  auto q3 = MakeQ3(*ds_);
+  core::WorkloadRunner runner(ds_->store, &ds_->dict);
+  auto usa = ds_->dict.FindIri(
+      "http://rdfparams.org/snb/instances/Country_USA");
+  auto canada = ds_->dict.FindIri(
+      "http://rdfparams.org/snb/instances/Country_Canada");
+  ASSERT_TRUE(usa && canada);
+  sparql::ParameterBinding b{{ds_->persons[0], *usa, *canada}};
+  auto obs = runner.RunOnce(q3, b);
+  ASSERT_TRUE(obs.ok()) << obs.status().ToString();
+  EXPECT_FALSE(obs->fingerprint.empty());
+}
+
+TEST_F(SnbQueriesTest, Q4TagQuery) {
+  auto q4 = MakeQ4(*ds_);
+  core::WorkloadRunner runner(ds_->store, &ds_->dict);
+  sparql::ParameterBinding b{{ds_->persons[0], ds_->tags[0]}};
+  ASSERT_EQ(q4.parameter_names().size(), 2u);
+  auto obs = runner.RunOnce(q4, b);
+  ASSERT_TRUE(obs.ok()) << obs.status().ToString();
+}
+
+TEST_F(SnbQueriesTest, CountryPairDomainComplete) {
+  auto pairs = CountryPairDomain(*ds_);
+  size_t n = ds_->countries.size();
+  EXPECT_EQ(pairs.size(), n * (n - 1) / 2);
+  for (const auto& p : pairs) {
+    ASSERT_EQ(p.values.size(), 2u);
+    EXPECT_NE(p.values[0], p.values[1]);
+  }
+}
+
+TEST_F(SnbQueriesTest, DomainsNonEmpty) {
+  EXPECT_EQ(PersonDomain(*ds_).size(), ds_->persons.size());
+  EXPECT_EQ(CountryDomain(*ds_).size(), ds_->countries.size());
+  EXPECT_FALSE(NameDomain(*ds_).empty());
+  EXPECT_FALSE(TagDomain(*ds_).empty());
+}
+
+}  // namespace
+}  // namespace rdfparams::snb

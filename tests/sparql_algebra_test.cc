@@ -1,0 +1,108 @@
+#include "sparql/algebra.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::sparql {
+namespace {
+
+TEST(SlotTest, KindsAndToString) {
+  Slot v = Slot::Var("x");
+  Slot p = Slot::Param("type");
+  Slot c = Slot::Const(rdf::Term::Iri("http://x/a"));
+  EXPECT_TRUE(v.is_var());
+  EXPECT_TRUE(p.is_param());
+  EXPECT_TRUE(c.is_const());
+  EXPECT_EQ(v.ToString(), "?x");
+  EXPECT_EQ(p.ToString(), "%type");
+  EXPECT_EQ(c.ToString(), "<http://x/a>");
+}
+
+TEST(SlotTest, Equality) {
+  EXPECT_EQ(Slot::Var("x"), Slot::Var("x"));
+  EXPECT_FALSE(Slot::Var("x") == Slot::Var("y"));
+  EXPECT_FALSE(Slot::Var("x") == Slot::Param("x"));
+  EXPECT_EQ(Slot::Const(rdf::Term::Integer(1)),
+            Slot::Const(rdf::Term::Integer(1)));
+}
+
+TEST(TriplePatternTest, VariablesDeduplicated) {
+  TriplePattern tp(Slot::Var("x"), Slot::Var("p"), Slot::Var("x"));
+  EXPECT_EQ(tp.Variables(), (std::vector<std::string>{"x", "p"}));
+  TriplePattern ground(Slot::Const(rdf::Term::Iri("a")),
+                       Slot::Const(rdf::Term::Iri("b")),
+                       Slot::Const(rdf::Term::Iri("c")));
+  EXPECT_TRUE(ground.Variables().empty());
+}
+
+TEST(SelectQueryTest, PatternVariablesFirstOccurrenceOrder) {
+  SelectQuery q;
+  q.patterns.push_back(
+      {Slot::Var("b"), Slot::Const(rdf::Term::Iri("p")), Slot::Var("a")});
+  q.patterns.push_back(
+      {Slot::Var("a"), Slot::Const(rdf::Term::Iri("q")), Slot::Var("c")});
+  EXPECT_EQ(q.PatternVariables(), (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(SelectQueryTest, ParameterNamesIncludeFilters) {
+  SelectQuery q;
+  q.patterns.push_back(
+      {Slot::Var("x"), Slot::Const(rdf::Term::Iri("p")), Slot::Param("t")});
+  FilterCondition f;
+  f.lhs_var = "x";
+  f.op = CompareOp::kGt;
+  f.rhs = Slot::Param("limit");
+  q.filters.push_back(f);
+  EXPECT_EQ(q.ParameterNames(), (std::vector<std::string>{"t", "limit"}));
+  EXPECT_FALSE(q.IsGround());
+}
+
+TEST(SelectQueryTest, GroundWhenNoParams) {
+  SelectQuery q;
+  q.patterns.push_back(
+      {Slot::Var("x"), Slot::Const(rdf::Term::Iri("p")), Slot::Var("y")});
+  EXPECT_TRUE(q.IsGround());
+}
+
+TEST(SelectQueryTest, ToStringContainsAllClauses) {
+  SelectQuery q;
+  q.distinct = true;
+  q.select_vars = {"x"};
+  q.patterns.push_back(
+      {Slot::Var("x"), Slot::Const(rdf::Term::Iri("http://p")),
+       Slot::Param("o")});
+  FilterCondition f;
+  f.lhs_var = "x";
+  f.op = CompareOp::kLe;
+  f.rhs = Slot::Const(rdf::Term::Integer(5));
+  q.filters.push_back(f);
+  q.group_by = {"x"};
+  Aggregate agg;
+  agg.kind = AggregateKind::kCount;
+  agg.as_name = "n";
+  q.aggregates.push_back(agg);
+  q.order_by.push_back({"n", true});
+  q.limit = 10;
+  q.offset = 2;
+
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("SELECT DISTINCT"), std::string::npos);
+  EXPECT_NE(s.find("%o"), std::string::npos);
+  EXPECT_NE(s.find("FILTER(?x <= "), std::string::npos);
+  EXPECT_NE(s.find("GROUP BY ?x"), std::string::npos);
+  EXPECT_NE(s.find("(COUNT(*) AS ?n)"), std::string::npos);
+  EXPECT_NE(s.find("DESC(?n)"), std::string::npos);
+  EXPECT_NE(s.find("LIMIT 10"), std::string::npos);
+  EXPECT_NE(s.find("OFFSET 2"), std::string::npos);
+}
+
+TEST(EnumNamesTest, CompareOpAndAggregateNames) {
+  EXPECT_STREQ(CompareOpName(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kNe), "!=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kLt), "<");
+  EXPECT_STREQ(CompareOpName(CompareOp::kGe), ">=");
+  EXPECT_STREQ(AggregateKindName(AggregateKind::kAvg), "AVG");
+  EXPECT_STREQ(AggregateKindName(AggregateKind::kSum), "SUM");
+}
+
+}  // namespace
+}  // namespace rdfparams::sparql

@@ -1,0 +1,179 @@
+#include "sparql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::sparql {
+namespace {
+
+TEST(ParserTest, MinimalSelectStar) {
+  auto q = ParseQuery(
+      "SELECT * WHERE { ?s <http://x/p> ?o . }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->select_vars.empty());
+  ASSERT_EQ(q->patterns.size(), 1u);
+  EXPECT_TRUE(q->patterns[0].s.is_var());
+  EXPECT_TRUE(q->patterns[0].p.is_const());
+  EXPECT_TRUE(q->patterns[0].o.is_var());
+}
+
+TEST(ParserTest, PaperIntroExample) {
+  // The exact query template from the paper's introduction (lowercase
+  // keywords — the lexer is case-insensitive on keywords).
+  auto q = ParseQuery(R"(
+PREFIX sn: <http://example.org/sn#>
+select * where {
+  ?person sn:firstName %name .
+  ?person sn:livesIn %country .
+}
+)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->ParameterNames(),
+            (std::vector<std::string>{"name", "country"}));
+  EXPECT_EQ(q->patterns[0].p.term.lexical, "http://example.org/sn#firstName");
+}
+
+TEST(ParserTest, ProjectionVariables) {
+  auto q = ParseQuery("SELECT ?a ?b WHERE { ?a <http://p> ?b . }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select_vars, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserTest, DistinctFlag) {
+  auto q = ParseQuery("SELECT DISTINCT ?a WHERE { ?a <http://p> ?b . }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->distinct);
+}
+
+TEST(ParserTest, AKeyword) {
+  auto q = ParseQuery("SELECT * WHERE { ?s a <http://x/C> . }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->patterns[0].p.term.lexical,
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+}
+
+TEST(ParserTest, LiteralsInPatterns) {
+  auto q = ParseQuery(
+      "SELECT * WHERE { ?s <http://p> \"lit\"@en . ?s <http://q> 42 . }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->patterns[0].o.term.lang, "en");
+  EXPECT_EQ(q->patterns[1].o.term.AsInteger(), 42);
+}
+
+TEST(ParserTest, FilterComparisons) {
+  for (const char* op : {"=", "!=", "<", "<=", ">", ">="}) {
+    std::string text = std::string("SELECT * WHERE { ?s <http://p> ?v . ") +
+                       "FILTER(?v " + op + " 10) }";
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    ASSERT_EQ(q->filters.size(), 1u);
+    EXPECT_EQ(q->filters[0].lhs_var, "v");
+  }
+}
+
+TEST(ParserTest, FilterAgainstVariableAndParam) {
+  auto q = ParseQuery(
+      "SELECT * WHERE { ?s <http://p> ?v . ?s <http://q> ?w . "
+      "FILTER(?v < ?w) FILTER(?w >= %threshold) }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->filters.size(), 2u);
+  EXPECT_TRUE(q->filters[0].rhs.is_var());
+  EXPECT_TRUE(q->filters[1].rhs.is_param());
+}
+
+TEST(ParserTest, GroupByAggregates) {
+  auto q = ParseQuery(R"(
+SELECT ?g (COUNT(?x) AS ?n) (AVG(?v) AS ?avg) WHERE {
+  ?x <http://p> ?g .
+  ?x <http://q> ?v .
+}
+GROUP BY ?g
+ORDER BY DESC(?n)
+LIMIT 5
+)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->group_by, (std::vector<std::string>{"g"}));
+  ASSERT_EQ(q->aggregates.size(), 2u);
+  EXPECT_EQ(q->aggregates[0].kind, AggregateKind::kCount);
+  EXPECT_EQ(q->aggregates[0].var, "x");
+  EXPECT_EQ(q->aggregates[0].as_name, "n");
+  EXPECT_EQ(q->aggregates[1].kind, AggregateKind::kAvg);
+  ASSERT_EQ(q->order_by.size(), 1u);
+  EXPECT_TRUE(q->order_by[0].descending);
+  EXPECT_EQ(q->limit, 5);
+}
+
+TEST(ParserTest, CountStar) {
+  auto q = ParseQuery(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://p> ?o . }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->aggregates[0].var.empty());
+}
+
+TEST(ParserTest, OrderByPlainAndDirectional) {
+  auto q = ParseQuery(
+      "SELECT * WHERE { ?s <http://p> ?o . } ORDER BY ?o ASC(?s)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_FALSE(q->order_by[0].descending);
+  EXPECT_EQ(q->order_by[1].var, "s");
+}
+
+TEST(ParserTest, LimitOffset) {
+  auto q = ParseQuery(
+      "SELECT * WHERE { ?s <http://p> ?o . } LIMIT 20 OFFSET 40");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->limit, 20);
+  EXPECT_EQ(q->offset, 40);
+}
+
+TEST(ParserTest, CommentsSkipped) {
+  auto q = ParseQuery(
+      "# header\nSELECT * WHERE { # inner\n ?s <http://p> ?o . }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST(ParserTest, ParamInAnyPosition) {
+  auto q = ParseQuery("SELECT * WHERE { %s %p %o . }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ParameterNames(), (std::vector<std::string>{"s", "p", "o"}));
+}
+
+TEST(ParserTest, ErrorsWithLineNumbers) {
+  auto q = ParseQuery("SELECT *\nWHERE {\n  broken here\n}");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsEmptyPatternList) {
+  EXPECT_FALSE(ParseQuery("SELECT * WHERE { }").ok());
+}
+
+TEST(ParserTest, RejectsUndefinedPrefix) {
+  auto q = ParseQuery("SELECT * WHERE { foo:a foo:b foo:c . }");
+  EXPECT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("undefined prefix"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsGarbageAtEnd) {
+  EXPECT_FALSE(
+      ParseQuery("SELECT * WHERE { ?s <http://p> ?o . } BOGUS").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  auto q = ParseQuery(R"(
+SELECT DISTINCT ?x WHERE {
+  ?x <http://p> %param .
+  FILTER(?x != <http://excluded>)
+}
+ORDER BY ?x
+LIMIT 3
+)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok()) << "round-trip failed on: " << q->ToString() << "\n"
+                       << q2.status().ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+}  // namespace
+}  // namespace rdfparams::sparql

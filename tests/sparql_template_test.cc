@@ -1,0 +1,109 @@
+#include "sparql/query_template.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace rdfparams::sparql {
+namespace {
+
+QueryTemplate MakeTemplate() {
+  auto t = QueryTemplate::Parse("test", R"(
+SELECT * WHERE {
+  ?person <http://sn/firstName> %name .
+  ?person <http://sn/livesIn> %country .
+}
+)");
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+TEST(QueryTemplateTest, ParameterNamesInOrder) {
+  QueryTemplate t = MakeTemplate();
+  EXPECT_EQ(t.name(), "test");
+  EXPECT_EQ(t.parameter_names(),
+            (std::vector<std::string>{"name", "country"}));
+  EXPECT_EQ(t.arity(), 2u);
+}
+
+TEST(QueryTemplateTest, BindNamedSubstitutesAll) {
+  QueryTemplate t = MakeTemplate();
+  auto q = t.BindNamed({{"name", rdf::Term::Literal("Li")},
+                        {"country", rdf::Term::Iri("http://c/China")}});
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->IsGround());
+  EXPECT_EQ(q->patterns[0].o.term.lexical, "Li");
+  EXPECT_EQ(q->patterns[1].o.term.lexical, "http://c/China");
+}
+
+TEST(QueryTemplateTest, BindNamedMissingParameterFails) {
+  QueryTemplate t = MakeTemplate();
+  auto q = t.BindNamed({{"name", rdf::Term::Literal("Li")}});
+  EXPECT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("country"), std::string::npos);
+}
+
+TEST(QueryTemplateTest, BindPositional) {
+  QueryTemplate t = MakeTemplate();
+  rdf::Dictionary dict;
+  ParameterBinding b;
+  b.values = {dict.Intern(rdf::Term::Literal("John")),
+              dict.Intern(rdf::Term::Iri("http://c/USA"))};
+  auto q = t.Bind(b, dict);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->patterns[0].o.term.lexical, "John");
+}
+
+TEST(QueryTemplateTest, BindArityMismatchFails) {
+  QueryTemplate t = MakeTemplate();
+  rdf::Dictionary dict;
+  ParameterBinding b;
+  b.values = {dict.Intern(rdf::Term::Literal("John"))};
+  EXPECT_FALSE(t.Bind(b, dict).ok());
+}
+
+TEST(QueryTemplateTest, BindingDoesNotMutateTemplate) {
+  QueryTemplate t = MakeTemplate();
+  rdf::Dictionary dict;
+  ParameterBinding b;
+  b.values = {dict.Intern(rdf::Term::Literal("A")),
+              dict.Intern(rdf::Term::Iri("http://c/X"))};
+  ASSERT_TRUE(t.Bind(b, dict).ok());
+  // Template still has parameters.
+  EXPECT_EQ(t.arity(), 2u);
+  EXPECT_FALSE(t.query().IsGround());
+}
+
+TEST(QueryTemplateTest, FilterParameterBound) {
+  auto t = QueryTemplate::Parse("f", R"(
+SELECT * WHERE {
+  ?s <http://p> ?v .
+  FILTER(?v >= %threshold)
+}
+)");
+  ASSERT_TRUE(t.ok());
+  auto q = t->BindNamed({{"threshold", rdf::Term::Integer(10)}});
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->IsGround());
+  EXPECT_TRUE(q->filters[0].rhs.is_const());
+  EXPECT_EQ(q->filters[0].rhs.term.AsInteger(), 10);
+}
+
+TEST(QueryTemplateTest, ParameterBindingComparisons) {
+  ParameterBinding a, b;
+  a.values = {1, 2};
+  b.values = {1, 3};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(a == b);
+  ParameterBinding c;
+  c.values = {1, 2};
+  EXPECT_TRUE(a == c);
+}
+
+TEST(QueryTemplateTest, ParseErrorPropagates) {
+  auto t = QueryTemplate::Parse("bad", "SELECT WHERE");
+  EXPECT_FALSE(t.ok());
+}
+
+}  // namespace
+}  // namespace rdfparams::sparql

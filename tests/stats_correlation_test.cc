@@ -1,0 +1,73 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rdfparams::stats {
+namespace {
+
+TEST(PearsonTest, PerfectLinearCorrelation) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, IndependentNearZero) {
+  util::Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.NextDouble());
+    y.push_back(rng.NextDouble());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.03);
+}
+
+TEST(PearsonTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1}), 0.0);       // size mismatch
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({3, 3, 3}, {1, 2, 3}), 0.0);  // constant
+}
+
+TEST(PearsonTest, NoisyLinearAboveThreshold) {
+  // Mirrors the paper's "ca. 85% Pearson correlation" situation: a linear
+  // relation plus noise.
+  util::Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    double xi = rng.NextDouble() * 100;
+    x.push_back(xi);
+    y.push_back(2 * xi + 20 * rng.NextGaussian());
+  }
+  double r = PearsonCorrelation(x, y);
+  EXPECT_GT(r, 0.85);
+  EXPECT_LT(r, 1.0);
+}
+
+TEST(FractionalRanksTest, TiesAveraged) {
+  std::vector<double> xs{10, 20, 20, 30};
+  std::vector<double> ranks = FractionalRanks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsOne) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{1, 8, 27, 64, 125};  // x^3: nonlinear but monotone
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 1.0);
+}
+
+TEST(SpearmanTest, RobustToOutliers) {
+  std::vector<double> x{1, 2, 3, 4, 5, 6};
+  std::vector<double> y{1, 2, 3, 4, 5, 10000};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rdfparams::stats

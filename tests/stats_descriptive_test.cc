@@ -1,0 +1,108 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rdfparams::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanVarianceKnownValues) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(PercentileTest, MedianInterpolation) {
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({7}, 0.5), 7.0);
+}
+
+TEST(PercentileTest, ExtremesAreMinMax) {
+  std::vector<double> xs{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 9.0);
+}
+
+TEST(PercentileTest, Monotone) {
+  util::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.NextDouble() * 100);
+  double prev = -1;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    double v = Percentile(xs, p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SummarizeTest, FieldsConsistent) {
+  std::vector<double> xs;
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.NextDouble());
+  Summary s = Summarize(xs);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_LE(s.min, s.q10);
+  EXPECT_LE(s.q10, s.median);
+  EXPECT_LE(s.median, s.q90);
+  EXPECT_LE(s.q90, s.q95);
+  EXPECT_LE(s.q95, s.q99);
+  EXPECT_LE(s.q99, s.max);
+  EXPECT_NEAR(s.mean, 0.5, 0.05);
+  EXPECT_NEAR(s.cv, s.stddev / s.mean, 1e-12);
+}
+
+TEST(SummarizeTest, SkewnessSignDetectsRightTail) {
+  // Heavily right-skewed: most small, few huge (like E3 runtimes).
+  std::vector<double> right;
+  for (int i = 0; i < 95; ++i) right.push_back(1.0);
+  for (int i = 0; i < 5; ++i) right.push_back(1000.0);
+  EXPECT_GT(Summarize(right).skewness, 1.0);
+
+  std::vector<double> symmetric{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_NEAR(Summarize(symmetric).skewness, 0.0, 1e-9);
+}
+
+TEST(MidRangeMassTest, BimodalHasEmptyMiddle) {
+  // Two clusters: 0.3s and 17s, nothing between (the paper's E3 shape).
+  std::vector<double> bimodal;
+  for (int i = 0; i < 80; ++i) bimodal.push_back(0.3 + i * 1e-4);
+  for (int i = 0; i < 20; ++i) bimodal.push_back(17.0 + i * 1e-2);
+  EXPECT_LT(MidRangeMassFraction(bimodal, 0.05, 0.95), 0.05);
+
+  // Uniform fills the middle.
+  std::vector<double> uniform;
+  for (int i = 0; i < 100; ++i) uniform.push_back(i * 0.1);
+  EXPECT_GT(MidRangeMassFraction(uniform, 0.05, 0.95), 0.2);
+}
+
+TEST(RelativeSpreadTest, PaperStyleDeviation) {
+  // Averages 1.80, 1.33, 1.53, 1.30 (paper E2 table) -> ~38% spread.
+  std::vector<double> avgs{1.80, 1.33, 1.53, 1.30};
+  EXPECT_NEAR(RelativeSpread(avgs), (1.80 - 1.30) / 1.30, 1e-12);
+  EXPECT_DOUBLE_EQ(RelativeSpread({2.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeSpread({}), 0.0);
+}
+
+TEST(ToStringTest, MentionsKeyFields) {
+  Summary s = Summarize({1, 2, 3});
+  std::string str = ToString(s);
+  EXPECT_NE(str.find("median"), std::string::npos);
+  EXPECT_NE(str.find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfparams::stats

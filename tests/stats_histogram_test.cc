@@ -1,0 +1,81 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::stats {
+namespace {
+
+TEST(HistogramTest, LinearBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);   // bin 0
+  h.Add(9.99);  // bin 9
+  h.Add(5.0);   // bin 5
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-1.0);
+  h.Add(2.0);
+  h.Add(1.0);  // hi edge counts as overflow (half-open)
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, LogBinsCoverDecades) {
+  Histogram h = Histogram::MakeLog(0.001, 1000.0, 6);
+  EXPECT_NEAR(h.bin_edge(0), 0.001, 1e-9);
+  EXPECT_NEAR(h.bin_edge(6), 1000.0, 1e-6);
+  // Each bin spans one decade.
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(h.bin_edge(i + 1) / h.bin_edge(i), 10.0, 1e-6);
+  }
+  h.Add(0.005);
+  h.Add(50.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+}
+
+TEST(HistogramTest, ModeBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.Add(1.5);
+  h.Add(1.6);
+  h.Add(0.5);
+  EXPECT_EQ(h.ModeBin(), 1u);
+}
+
+TEST(HistogramTest, CountModesBimodal) {
+  Histogram h(0.0, 100.0, 20);
+  // Cluster near 10 and cluster near 90, empty middle (E3 shape).
+  for (int i = 0; i < 50; ++i) h.Add(8.0 + (i % 5));
+  for (int i = 0; i < 30; ++i) h.Add(88.0 + (i % 5));
+  EXPECT_GE(h.CountModes(), 2u);
+}
+
+TEST(HistogramTest, CountModesUnimodal) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(5.0 + ((i % 3) - 1) * 0.5);
+  EXPECT_EQ(h.CountModes(), 1u);
+}
+
+TEST(HistogramTest, SparklineLengthMatchesBins) {
+  Histogram h(0.0, 1.0, 16);
+  for (int i = 0; i < 50; ++i) h.Add(i / 50.0);
+  EXPECT_EQ(h.Sparkline().size(), 16u);
+}
+
+TEST(HistogramTest, ToStringListsBuckets) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(5.0);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("overflow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfparams::stats

@@ -1,0 +1,94 @@
+#include "stats/ks_test.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rdfparams::stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormalCdf(10.0), 1.0, 1e-12);
+}
+
+TEST(NormalCdfTest, ParameterizedShiftScale) {
+  EXPECT_NEAR(NormalCdf(5.0, 5.0, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(7.0, 5.0, 2.0), NormalCdf(1.0), 1e-12);
+  // Degenerate stddev: step function.
+  EXPECT_DOUBLE_EQ(NormalCdf(4.9, 5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(NormalCdf(5.1, 5.0, 0.0), 1.0);
+}
+
+TEST(KolmogorovPValueTest, BoundsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(KolmogorovPValue(0.0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(KolmogorovPValue(1.0, 100), 0.0);
+  double p_small = KolmogorovPValue(0.05, 100);
+  double p_large = KolmogorovPValue(0.3, 100);
+  EXPECT_GT(p_small, p_large);
+  EXPECT_GT(p_small, 0.5);
+  EXPECT_LT(p_large, 0.01);
+}
+
+TEST(KsTest, GaussianSampleMatchesFittedNormal) {
+  util::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(3.0 + 2.0 * rng.NextGaussian());
+  KsResult r = KsTestAgainstFittedNormal(xs);
+  EXPECT_LT(r.distance, 0.05);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, BimodalSampleFarFromNormal) {
+  // The paper's E1: extreme clustering gives distance near 0.9 with a
+  // vanishing p-value.
+  std::vector<double> xs;
+  for (int i = 0; i < 90; ++i) xs.push_back(0.3);
+  for (int i = 0; i < 10; ++i) xs.push_back(250.0);
+  KsResult r = KsTestAgainstFittedNormal(xs);
+  EXPECT_GT(r.distance, 0.4);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(KsTest, EmptySample) {
+  KsResult r = KsTestAgainstFittedNormal({});
+  EXPECT_EQ(r.n, 0u);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(KsTest, AgainstExplicitNormal) {
+  util::Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.NextGaussian());
+  // Correct reference: small distance.
+  EXPECT_LT(KsTestAgainstNormal(xs, 0.0, 1.0).distance, 0.06);
+  // Shifted reference: large distance.
+  EXPECT_GT(KsTestAgainstNormal(xs, 3.0, 1.0).distance, 0.8);
+}
+
+TEST(KsTwoSampleTest, IdenticalSamplesZero) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(KsTwoSampleDistance(a, a), 0.0);
+}
+
+TEST(KsTwoSampleTest, DisjointSamplesOne) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{10, 11, 12};
+  EXPECT_DOUBLE_EQ(KsTwoSampleDistance(a, b), 1.0);
+}
+
+TEST(KsTwoSampleTest, SimilarDistributionsSmall) {
+  util::Rng rng(13);
+  std::vector<double> a, b;
+  for (int i = 0; i < 3000; ++i) a.push_back(rng.NextGaussian());
+  for (int i = 0; i < 3000; ++i) b.push_back(rng.NextGaussian());
+  double d = KsTwoSampleDistance(a, b);
+  EXPECT_LT(d, 0.06);
+}
+
+}  // namespace
+}  // namespace rdfparams::stats

@@ -1,0 +1,92 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::util {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(FlagParserTest, ParsesEqualsAndSpaceSyntax) {
+  FlagParser flags;
+  int64_t scale = 1;
+  double ratio = 0.5;
+  std::string name = "default";
+  flags.AddInt64("scale", &scale, "scale factor");
+  flags.AddDouble("ratio", &ratio, "a ratio");
+  flags.AddString("name", &name, "a name");
+
+  std::vector<std::string> storage{"prog", "--scale=7", "--ratio", "0.25",
+                                   "--name=bench"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(scale, 7);
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+  EXPECT_EQ(name, "bench");
+}
+
+TEST(FlagParserTest, BoolFlagVariants) {
+  FlagParser flags;
+  bool verbose = false, quiet = true;
+  flags.AddBool("verbose", &verbose, "verbosity");
+  flags.AddBool("quiet", &quiet, "quietness");
+  std::vector<std::string> storage{"prog", "--verbose", "--quiet=false"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(verbose);
+  EXPECT_FALSE(quiet);
+}
+
+TEST(FlagParserTest, UnknownFlagFails) {
+  FlagParser flags;
+  std::vector<std::string> storage{"prog", "--nope=1"};
+  auto argv = MakeArgv(storage);
+  Status st = flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, BadIntegerFails) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "");
+  std::vector<std::string> storage{"prog", "--n=abc"};
+  auto argv = MakeArgv(storage);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, CollectsPositionalAndHelp) {
+  FlagParser flags;
+  std::vector<std::string> storage{"prog", "input.nt", "--help"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(flags.help_requested());
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.nt");
+}
+
+TEST(FlagParserTest, MissingValueFails) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "");
+  std::vector<std::string> storage{"prog", "--n"};
+  auto argv = MakeArgv(storage);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, UsageListsFlagsWithDefaults) {
+  FlagParser flags;
+  int64_t n = 13;
+  flags.AddInt64("n", &n, "the n");
+  std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("the n"), std::string::npos);
+  EXPECT_NE(usage.find("13"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfparams::util

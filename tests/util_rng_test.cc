@@ -1,0 +1,210 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::util {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.Uniform(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  constexpr int kN = 50000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  constexpr int kN = 50000;
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ForkIsIndependentOfParentSequence) {
+  Rng a(42);
+  Rng fork1 = a.Fork(1);
+  uint64_t f1 = fork1.Next64();
+  // Re-create: fork before any parent draws must be identical.
+  Rng b(42);
+  Rng fork2 = b.Fork(1);
+  EXPECT_EQ(f1, fork2.Next64());
+  // Different salts give different streams.
+  Rng c(42);
+  Rng fork3 = c.Fork(2);
+  EXPECT_NE(f1, fork3.Next64());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  for (size_t n : {10ul, 100ul, 1000ul}) {
+    for (size_t k : {0ul, 1ul, 5ul, n / 2, n}) {
+      auto sample = rng.SampleWithoutReplacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<size_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (size_t s : sample) EXPECT_LT(s, n);
+    }
+  }
+}
+
+TEST(ZipfTest, RankOneIsMostFrequent) {
+  Rng rng(31);
+  ZipfDistribution zipf(100, 1.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[1], counts[50] + counts[51]);
+  for (const auto& [value, count] : counts) {
+    (void)count;
+    EXPECT_GE(value, 1u);
+    EXPECT_LE(value, 100u);
+  }
+}
+
+TEST(ZipfTest, ZipfLawRatio) {
+  Rng rng(37);
+  ZipfDistribution zipf(1000, 1.0);
+  int c1 = 0, c2 = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t v = zipf.Sample(&rng);
+    if (v == 1) ++c1;
+    if (v == 2) ++c2;
+  }
+  // P(1)/P(2) should be about 2 for s=1.
+  EXPECT_NEAR(static_cast<double>(c1) / c2, 2.0, 0.4);
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  Rng rng(39);
+  ZipfDistribution zipf(1, 1.2);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 1u);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Rng rng(41);
+  AliasTable table({1.0, 2.0, 3.0, 4.0});
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[table.Sample(&rng)];
+  for (int i = 0; i < 4; ++i) {
+    double expect = (i + 1) / 10.0;
+    EXPECT_NEAR(counts[i] / static_cast<double>(kN), expect, 0.01);
+    EXPECT_NEAR(table.probability(i), expect, 1e-12);
+  }
+}
+
+TEST(AliasTableTest, HandlesZeroWeights) {
+  Rng rng(43);
+  AliasTable table({0.0, 1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.Sample(&rng), 1u);
+  }
+}
+
+TEST(SeedFromLabelTest, DistinctLabelsDistinctSeeds) {
+  uint64_t a = SeedFromLabel(1, "persons");
+  uint64_t b = SeedFromLabel(1, "posts");
+  uint64_t c = SeedFromLabel(2, "persons");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, SeedFromLabel(1, "persons"));
+}
+
+}  // namespace
+}  // namespace rdfparams::util

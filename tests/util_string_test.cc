@@ -1,0 +1,70 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::util {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "-"), "x-y-z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(TrimTest, StripsAsciiWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\r\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("bar", "foobar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringPrintfTest, Formats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+TEST(FormatDurationTest, PicksUnit) {
+  EXPECT_EQ(FormatDuration(2.5), "2.50 s");
+  EXPECT_EQ(FormatDuration(0.0591), "59.10 ms");
+  EXPECT_EQ(FormatDuration(3.5e-5), "35.00 us");
+  EXPECT_EQ(FormatDuration(5e-8), "50 ns");
+}
+
+TEST(FormatCountTest, InsertsSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(FormatCount(100000000), "100,000,000");
+}
+
+TEST(FormatSigTest, SignificantDigits) {
+  EXPECT_EQ(FormatSig(1234.5678, 3), "1.23e+03");
+  EXPECT_EQ(FormatSig(0.000123456, 2), "0.00012");
+}
+
+}  // namespace
+}  // namespace rdfparams::util

@@ -1,0 +1,42 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "12345"});
+  std::string text = t.ToText();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // Right-aligned numeric column: "    1" under "12345".
+  EXPECT_NE(text.find("long-name  12345"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HandlesShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  std::string text = t.ToText();
+  EXPECT_NE(text.find('x'), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvQuotesSpecialCharacters) {
+  TablePrinter t({"k", "v"});
+  t.AddRow({"with,comma", "with\"quote"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvPlainFieldsUnquoted) {
+  TablePrinter t({"k"});
+  t.AddRow({"plain"});
+  EXPECT_EQ(t.ToCsv(), "k\nplain\n");
+}
+
+}  // namespace
+}  // namespace rdfparams::util

@@ -1,0 +1,375 @@
+// rdfparams — command-line workload generator implementing the paper's
+// pipeline end to end:
+//
+//   rdfparams generate --workload=bsbm --products=10000 --out=data.nt
+//       Generate a dataset and write it as N-Triples.
+//
+//   rdfparams classify --workload=bsbm --query=4
+//       Partition the query's parameter domain into plan classes
+//       (Section III, conditions a/b/c) and print the class table.
+//
+//   rdfparams sample --workload=bsbm --query=4 --mode=class --n=100 \
+//             --out=bindings.tsv
+//       Emit parameter bindings: uniform baseline, step-shaped
+//       (TPC-DS-style related work), or stratified per plan class.
+//
+//   rdfparams run --workload=bsbm --query=4 --bindings=bindings.tsv
+//       Execute the workload from a bindings file and report the
+//       aggregate runtimes (q10 / median / q90 / average, P1-P3 checks).
+//
+// Every subcommand regenerates the dataset deterministically from
+// --seed/--products/--persons, so binding files remain valid across runs.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+
+#include "bsbm/generator.h"
+#include "bsbm/queries.h"
+#include "core/analysis.h"
+#include "core/plan_classifier.h"
+#include "core/step_distribution.h"
+#include "core/workload.h"
+#include "core/workload_io.h"
+#include "rdf/describe.h"
+#include "rdf/ntriples.h"
+#include "snb/generator.h"
+#include "snb/queries.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace rdfparams;
+
+namespace {
+
+struct Options {
+  std::string workload = "bsbm";
+  int64_t query = 4;
+  int64_t products = 6000;
+  int64_t persons = 8000;
+  int64_t seed = 42;
+  int64_t n = 100;
+  int64_t max_candidates = 2000;
+  double bucket_width = 1.0;
+  std::string mode = "uniform";  // uniform | step | class | class:K
+  std::string out;
+  std::string bindings;
+};
+
+/// A workload context: dataset + templates + per-template domains.
+struct Context {
+  std::unique_ptr<bsbm::Dataset> bsbm_ds;
+  std::unique_ptr<snb::Dataset> snb_ds;
+  std::vector<sparql::QueryTemplate> templates;
+
+  rdf::Dictionary* dict() {
+    return bsbm_ds ? &bsbm_ds->dict : &snb_ds->dict;
+  }
+  const rdf::TripleStore* store() const {
+    return bsbm_ds ? &bsbm_ds->store : &snb_ds->store;
+  }
+};
+
+Result<Context> MakeContext(const Options& opt) {
+  Context ctx;
+  if (opt.workload == "bsbm") {
+    bsbm::GeneratorConfig config;
+    config.num_products = static_cast<uint64_t>(opt.products);
+    config.offers_per_product = 3.0;
+    config.seed = static_cast<uint64_t>(opt.seed);
+    ctx.bsbm_ds = std::make_unique<bsbm::Dataset>(bsbm::Generate(config));
+    ctx.templates = bsbm::AllTemplates(*ctx.bsbm_ds);
+    return ctx;
+  }
+  if (opt.workload == "snb") {
+    snb::GeneratorConfig config;
+    config.num_persons = static_cast<uint64_t>(opt.persons);
+    config.seed = static_cast<uint64_t>(opt.seed);
+    ctx.snb_ds = std::make_unique<snb::Dataset>(snb::Generate(config));
+    ctx.templates = snb::AllTemplates(*ctx.snb_ds);
+    return ctx;
+  }
+  return Status::InvalidArgument("unknown workload '" + opt.workload +
+                                 "' (use bsbm or snb)");
+}
+
+Result<const sparql::QueryTemplate*> PickTemplate(const Context& ctx,
+                                                  int64_t query) {
+  if (query < 1 || static_cast<size_t>(query) > ctx.templates.size()) {
+    return Status::InvalidArgument(
+        "query must be 1.." + std::to_string(ctx.templates.size()));
+  }
+  return &ctx.templates[static_cast<size_t>(query - 1)];
+}
+
+/// Default parameter domain for each built-in template.
+Result<core::ParameterDomain> MakeDomain(Context* ctx,
+                                         const sparql::QueryTemplate& tmpl) {
+  core::ParameterDomain domain;
+  for (const std::string& p : tmpl.parameter_names()) {
+    if (ctx->bsbm_ds) {
+      const bsbm::Dataset& ds = *ctx->bsbm_ds;
+      if (p == "type" || p == "ProductType") {
+        domain.AddSingle(p, bsbm::TypeDomain(ds));
+      } else if (p == "product") {
+        domain.AddSingle(p, bsbm::ProductDomain(ds));
+      } else if (p == "feature") {
+        domain.AddSingle(p, bsbm::FeatureDomain(ds));
+      } else {
+        return Status::Unsupported("no default domain for %" + p);
+      }
+    } else {
+      const snb::Dataset& ds = *ctx->snb_ds;
+      if (p == "person") {
+        domain.AddSingle(p, snb::PersonDomain(ds));
+      } else if (p == "name") {
+        domain.AddSingle(p, snb::NameDomain(ds));
+      } else if (p == "country") {
+        domain.AddSingle(p, snb::CountryDomain(ds));
+      } else if (p == "tag") {
+        domain.AddSingle(p, snb::TagDomain(ds));
+      } else if (p == "countryX") {
+        // countryX/countryY are grouped as correlated pairs.
+        std::vector<std::vector<rdf::TermId>> pairs;
+        for (const auto& b : snb::CountryPairDomain(ds)) {
+          pairs.push_back(b.values);
+        }
+        domain.AddTuples({"countryX", "countryY"}, std::move(pairs));
+      } else if (p == "countryY") {
+        continue;  // consumed by the countryX group
+      } else {
+        return Status::Unsupported("no default domain for %" + p);
+      }
+    }
+  }
+  RDFPARAMS_RETURN_NOT_OK(domain.Validate(tmpl));
+  return domain;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int CmdGenerate(const Options& opt) {
+  auto ctx = MakeContext(opt);
+  if (!ctx.ok()) return Fail(ctx.status());
+  std::printf("generated %s dataset: %s triples, %zu terms\n",
+              opt.workload.c_str(),
+              util::FormatCount(ctx->store()->size()).c_str(),
+              ctx->dict()->size());
+  if (opt.out.empty()) {
+    std::printf("(no --out given; dataset not written)\n");
+    return 0;
+  }
+  std::ofstream os(opt.out, std::ios::trunc);
+  if (!os) return Fail(Status::IOError("cannot open " + opt.out));
+  Status st = rdf::WriteNTriples(*ctx->dict(), *ctx->store(), os);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s\n", opt.out.c_str());
+  return 0;
+}
+
+int CmdDescribe(const Options& opt) {
+  auto ctx = MakeContext(opt);
+  if (!ctx.ok()) return Fail(ctx.status());
+  rdf::DescribeOptions options;
+  options.max_predicates = 30;
+  std::printf("%s", rdf::DescribeStore(*ctx->store(), *ctx->dict(),
+                                       options).c_str());
+  return 0;
+}
+
+int CmdClassify(const Options& opt) {
+  auto ctx = MakeContext(opt);
+  if (!ctx.ok()) return Fail(ctx.status());
+  auto tmpl = PickTemplate(*ctx, opt.query);
+  if (!tmpl.ok()) return Fail(tmpl.status());
+  auto domain = MakeDomain(&ctx.value(), **tmpl);
+  if (!domain.ok()) return Fail(domain.status());
+
+  core::ClassifyOptions options;
+  options.cost_bucket_log2_width = opt.bucket_width;
+  options.max_candidates = static_cast<uint64_t>(opt.max_candidates);
+  auto classes = core::ClassifyParameters(**tmpl, *domain, *ctx->store(),
+                                          *ctx->dict(), options);
+  if (!classes.ok()) return Fail(classes.status());
+
+  std::printf("%s: %llu candidates -> %zu classes\n\n",
+              (*tmpl)->name().c_str(),
+              static_cast<unsigned long long>(classes->num_candidates),
+              classes->classes.size());
+  util::TablePrinter table(
+      {"class", "size", "share", "cost bucket", "est C_out range", "plan"});
+  for (size_t i = 0; i < classes->classes.size(); ++i) {
+    const core::PlanClass& cls = classes->classes[i];
+    std::string bucket =
+        cls.cost_bucket == std::numeric_limits<int64_t>::min()
+            ? "empty-join"
+            : std::to_string(cls.cost_bucket);
+    table.AddRow({"S" + std::to_string(i),
+                  std::to_string(cls.members.size()),
+                  util::StringPrintf("%.1f%%", cls.fraction * 100),
+                  bucket,
+                  util::StringPrintf("[%.3g, %.3g]", cls.min_cout,
+                                     cls.max_cout),
+                  cls.fingerprint});
+  }
+  std::printf("%s", table.ToText().c_str());
+  return 0;
+}
+
+int CmdSample(const Options& opt) {
+  auto ctx = MakeContext(opt);
+  if (!ctx.ok()) return Fail(ctx.status());
+  auto tmpl = PickTemplate(*ctx, opt.query);
+  if (!tmpl.ok()) return Fail(tmpl.status());
+  auto domain = MakeDomain(&ctx.value(), **tmpl);
+  if (!domain.ok()) return Fail(domain.status());
+
+  util::Rng rng(static_cast<uint64_t>(opt.seed) + 1000);
+  std::vector<sparql::ParameterBinding> bindings;
+  size_t n = static_cast<size_t>(opt.n);
+
+  if (opt.mode == "uniform") {
+    bindings = domain->SampleN(&rng, n);
+  } else if (opt.mode == "step") {
+    // Related-work baseline: down-weight the front of the ordered domain
+    // (in BSBM the generic types come first) with a 1:2:4:8 step shape.
+    auto sampler = core::StepSampler::Create(&domain.value(), {1, 2, 4, 8});
+    if (!sampler.ok()) return Fail(sampler.status());
+    bindings = sampler->SampleN(&rng, n);
+  } else if (util::StartsWith(opt.mode, "class")) {
+    size_t which = 0;
+    if (util::StartsWith(opt.mode, "class:")) {
+      which = static_cast<size_t>(std::strtoull(
+          opt.mode.c_str() + 6, nullptr, 10));
+    }
+    core::ClassifyOptions options;
+    options.cost_bucket_log2_width = opt.bucket_width;
+    options.max_candidates = static_cast<uint64_t>(opt.max_candidates);
+    auto classes = core::ClassifyParameters(**tmpl, *domain, *ctx->store(),
+                                            *ctx->dict(), options);
+    if (!classes.ok()) return Fail(classes.status());
+    if (which >= classes->classes.size()) {
+      return Fail(Status::InvalidArgument(
+          "class index out of range (have " +
+          std::to_string(classes->classes.size()) + " classes)"));
+    }
+    bindings = core::SampleFromClass(classes->classes[which], n, &rng);
+    std::printf("sampling from class S%zu (plan %s, share %.1f%%)\n", which,
+                classes->classes[which].fingerprint.c_str(),
+                classes->classes[which].fraction * 100);
+  } else {
+    return Fail(Status::InvalidArgument(
+        "unknown --mode (use uniform, step, class, or class:K)"));
+  }
+
+  if (opt.out.empty()) {
+    Status st = core::WriteBindings(**tmpl, bindings, *ctx->dict(),
+                                    std::cout);
+    return st.ok() ? 0 : Fail(st);
+  }
+  Status st =
+      core::WriteBindingsFile(**tmpl, bindings, *ctx->dict(), opt.out);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu bindings to %s\n", bindings.size(),
+              opt.out.c_str());
+  return 0;
+}
+
+int CmdRun(const Options& opt) {
+  auto ctx = MakeContext(opt);
+  if (!ctx.ok()) return Fail(ctx.status());
+  auto tmpl = PickTemplate(*ctx, opt.query);
+  if (!tmpl.ok()) return Fail(tmpl.status());
+
+  std::vector<sparql::ParameterBinding> bindings;
+  if (!opt.bindings.empty()) {
+    auto read = core::ReadBindingsFile(**tmpl, ctx->dict(), opt.bindings);
+    if (!read.ok()) return Fail(read.status());
+    bindings = std::move(read).value();
+  } else {
+    auto domain = MakeDomain(&ctx.value(), **tmpl);
+    if (!domain.ok()) return Fail(domain.status());
+    util::Rng rng(static_cast<uint64_t>(opt.seed) + 1000);
+    bindings = domain->SampleN(&rng, static_cast<size_t>(opt.n));
+    std::printf("(no --bindings file; using %zu uniform bindings)\n",
+                bindings.size());
+  }
+
+  core::WorkloadRunner runner(*ctx->store(), ctx->dict());
+  auto obs = runner.RunAll(**tmpl, bindings);
+  if (!obs.ok()) return Fail(obs.status());
+
+  core::ClassQuality quality = core::AnalyzeClass(*obs);
+  const stats::Summary& s = quality.runtime_summary;
+  std::printf("\n%s over %zu bindings:\n", (*tmpl)->name().c_str(),
+              bindings.size());
+  util::TablePrinter table({"q10", "Median", "q90", "Average"});
+  table.AddRow({util::FormatDuration(s.q10), util::FormatDuration(s.median),
+                util::FormatDuration(s.q90), util::FormatDuration(s.mean)});
+  std::printf("%s", table.ToText().c_str());
+  std::printf("\nP1 runtime cv: %.2f   P3 distinct plans: %zu%s\n",
+              quality.runtime_cv, quality.distinct_plans,
+              quality.distinct_plans == 1 ? " (stable)" : " (plan-unstable!)");
+  return 0;
+}
+
+int CmdHelp(const char* prog) {
+  std::printf(
+      "usage: %s <generate|describe|classify|sample|run> [flags]\n\n"
+      "common flags:\n"
+      "  --workload=bsbm|snb     which generator/templates (default bsbm)\n"
+      "  --query=N               template number within the workload\n"
+      "  --products=N --persons=N --seed=N    dataset shape (deterministic)\n"
+      "subcommand flags:\n"
+      "  generate: --out=FILE.nt\n"
+      "  classify: --bucket_width=W --max_candidates=N\n"
+      "  sample:   --mode=uniform|step|class|class:K --n=N --out=FILE.tsv\n"
+      "  run:      --bindings=FILE.tsv | --n=N (uniform fallback)\n",
+      prog);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return CmdHelp(argv[0]);
+  std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") return CmdHelp(argv[0]);
+
+  Options opt;
+  util::FlagParser flags;
+  flags.AddString("workload", &opt.workload, "bsbm or snb");
+  flags.AddInt64("query", &opt.query, "template number");
+  flags.AddInt64("products", &opt.products, "BSBM products");
+  flags.AddInt64("persons", &opt.persons, "SNB persons");
+  flags.AddInt64("seed", &opt.seed, "generator seed");
+  flags.AddInt64("n", &opt.n, "number of bindings");
+  flags.AddInt64("max_candidates", &opt.max_candidates,
+                 "classification candidate budget");
+  flags.AddDouble("bucket_width", &opt.bucket_width,
+                  "log2 C_out bucket width (condition b)");
+  flags.AddString("mode", &opt.mode, "uniform | step | class | class:K");
+  flags.AddString("out", &opt.out, "output file");
+  flags.AddString("bindings", &opt.bindings, "bindings file to run");
+  Status st = flags.Parse(argc - 1, argv + 1);
+  if (!st.ok()) return Fail(st);
+  if (flags.help_requested()) return CmdHelp(argv[0]);
+
+  if (cmd == "generate") return CmdGenerate(opt);
+  if (cmd == "describe") return CmdDescribe(opt);
+  if (cmd == "classify") return CmdClassify(opt);
+  if (cmd == "sample") return CmdSample(opt);
+  if (cmd == "run") return CmdRun(opt);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  CmdHelp(argv[0]);
+  return 1;
+}
