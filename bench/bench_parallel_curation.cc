@@ -1,0 +1,196 @@
+// Parallel curation pipeline harness: measures the wall-clock speedup of
+// ClassifyParameters and WorkloadRunner::RunAll at increasing thread
+// counts against the serial baseline, verifies that every thread count
+// produces identical results, and reports the shared CardinalityCache hit
+// rate — the two levers this repo uses to curate parameters at
+// production scale.
+//
+//   ./bench_parallel_curation [--products=N] [--candidates=N]
+//                             [--run_bindings=N] [--max_threads=N]
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "bsbm/queries.h"
+#include "core/plan_classifier.h"
+#include "core/workload.h"
+#include "optimizer/cardinality_cache.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace rdfparams;
+
+namespace {
+
+bool SameClassification(const core::Classification& a,
+                        const core::Classification& b) {
+  if (a.num_candidates != b.num_candidates ||
+      a.classes.size() != b.classes.size() ||
+      a.class_of_candidate != b.class_of_candidate) {
+    return false;
+  }
+  for (size_t i = 0; i < a.classes.size(); ++i) {
+    const core::PlanClass& x = a.classes[i];
+    const core::PlanClass& y = b.classes[i];
+    if (x.fingerprint != y.fingerprint || x.cost_bucket != y.cost_bucket ||
+        x.members != y.members ||
+        !(x.representative == y.representative)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameObservations(const std::vector<core::RunObservation>& a,
+                      const std::vector<core::RunObservation>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].binding == b[i].binding) ||
+        a[i].observed_cout != b[i].observed_cout ||
+        a[i].est_cout != b[i].est_cout ||
+        a[i].fingerprint != b[i].fingerprint ||
+        a[i].result_rows != b[i].result_rows) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t products = 4000;
+  int64_t candidates = 2000;
+  int64_t run_bindings = 200;
+  int64_t max_threads =
+      static_cast<int64_t>(util::ThreadPool::ResolveThreads(0));
+  util::FlagParser flags;
+  flags.AddInt64("products", &products, "BSBM scale");
+  flags.AddInt64("candidates", &candidates, "classification budget");
+  flags.AddInt64("run_bindings", &run_bindings, "workload bindings");
+  flags.AddInt64("max_threads", &max_threads, "highest thread count");
+  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return flags.help_requested() ? 0 : 1;
+  }
+
+  std::printf("generating BSBM dataset (%lld products)...\n",
+              static_cast<long long>(products));
+  bsbm::Dataset ds = bsbm::Generate(
+      bench::DefaultBsbmConfig(static_cast<uint64_t>(products)));
+  std::printf("%zu triples, %zu terms, %u hardware threads\n\n",
+              ds.store.size(), ds.dict.size(),
+              static_cast<unsigned>(util::ThreadPool::ResolveThreads(0)));
+
+  auto q4 = bsbm::MakeQ4(ds);
+  core::ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(ds));
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  // --- Stage 0: what the CardinalityCache alone buys (serial) -----------
+  {
+    std::vector<sparql::ParameterBinding> probe =
+        domain.Enumerate(static_cast<uint64_t>(candidates));
+    auto time_optimizer = [&](::rdfparams::opt::CardinalityCache* cache) {
+      ::rdfparams::opt::OptimizeOptions options;
+      options.cardinality_cache = cache;
+      util::WallTimer timer;
+      for (const sparql::ParameterBinding& b : probe) {
+        auto q = q4.Bind(b, ds.dict);
+        if (!q.ok()) continue;
+        auto plan = ::rdfparams::opt::Optimize(*q, ds.store, ds.dict, options);
+        (void)plan;
+      }
+      return timer.ElapsedSeconds();
+    };
+    double uncached = time_optimizer(nullptr);
+    ::rdfparams::opt::CardinalityCache cache;
+    double cached = time_optimizer(&cache);
+    std::printf(
+        "=== CardinalityCache (serial, %zu candidates) ===\n"
+        "uncached %.3fs -> cached %.3fs (%.2fx, %.1f%% hit rate)\n\n",
+        probe.size(), uncached, cached, uncached / cached,
+        cache.HitRate() * 100);
+  }
+
+  // --- Stage 1: classification (the per-candidate optimizer DP) ---------
+  std::printf("=== ClassifyParameters (%lld candidates) ===\n",
+              static_cast<long long>(candidates));
+  util::TablePrinter cls_table(
+      {"threads", "seconds", "speedup", "cache hit rate", "identical"});
+  core::Classification baseline;
+  double serial_seconds = 0;
+  for (int threads : thread_counts) {
+    ::rdfparams::opt::CardinalityCache cache;
+    core::ClassifyOptions options;
+    options.max_candidates = static_cast<uint64_t>(candidates);
+    options.threads = threads;
+    options.optimizer.cardinality_cache = &cache;
+    util::WallTimer timer;
+    auto result =
+        core::ClassifyParameters(q4, domain, ds.store, ds.dict, options);
+    double seconds = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    bool identical = true;
+    if (threads == 1) {
+      baseline = std::move(result).value();
+      serial_seconds = seconds;
+    } else {
+      identical = SameClassification(baseline, *result);
+    }
+    cls_table.AddRow({std::to_string(threads),
+                      util::StringPrintf("%.3f", seconds),
+                      util::StringPrintf("%.2fx", serial_seconds / seconds),
+                      util::StringPrintf("%.1f%%", cache.HitRate() * 100),
+                      identical ? "yes" : "NO (BUG)"});
+  }
+  std::printf("%s\n", cls_table.ToText().c_str());
+
+  // --- Stage 2: workload measurement ------------------------------------
+  std::printf("=== WorkloadRunner::RunAll (%lld bindings) ===\n",
+              static_cast<long long>(run_bindings));
+  util::Rng rng(99);
+  std::vector<sparql::ParameterBinding> bindings =
+      domain.SampleN(&rng, static_cast<size_t>(run_bindings));
+  const rdf::Dictionary& const_dict = ds.dict;
+  core::WorkloadRunner runner(ds.store, const_dict);
+
+  util::TablePrinter run_table(
+      {"threads", "seconds", "speedup", "cache hit rate", "identical"});
+  std::vector<core::RunObservation> run_baseline;
+  double run_serial_seconds = 0;
+  for (int threads : thread_counts) {
+    ::rdfparams::opt::CardinalityCache cache;
+    core::WorkloadOptions options;
+    options.threads = threads;
+    options.optimizer.cardinality_cache = &cache;
+    util::WallTimer timer;
+    auto obs = runner.RunAll(q4, bindings, options);
+    double seconds = timer.ElapsedSeconds();
+    if (!obs.ok()) {
+      std::fprintf(stderr, "%s\n", obs.status().ToString().c_str());
+      return 1;
+    }
+    bool identical = true;
+    if (threads == 1) {
+      run_baseline = std::move(obs).value();
+      run_serial_seconds = seconds;
+    } else {
+      identical = SameObservations(run_baseline, *obs);
+    }
+    run_table.AddRow({std::to_string(threads),
+                      util::StringPrintf("%.3f", seconds),
+                      util::StringPrintf("%.2fx",
+                                         run_serial_seconds / seconds),
+                      util::StringPrintf("%.1f%%", cache.HitRate() * 100),
+                      identical ? "yes" : "NO (BUG)"});
+  }
+  std::printf("%s", run_table.ToText().c_str());
+  return 0;
+}

@@ -1,8 +1,12 @@
 #include "core/plan_classifier.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+
+#include "optimizer/cardinality_cache.h"
+#include "util/thread_pool.h"
 
 namespace rdfparams::core {
 
@@ -38,22 +42,58 @@ Result<Classification> ClassifyParameters(const sparql::QueryTemplate& tmpl,
     std::vector<size_t> member_idx;
     std::vector<double> couts;
   };
-  std::map<Key, Entry> buckets;
-  std::vector<double> all_couts(candidates.size(), 0.0);
-  std::vector<Key> candidate_key(candidates.size());
 
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    RDFPARAMS_ASSIGN_OR_RETURN(sparql::SelectQuery q,
-                               tmpl.Bind(candidates[i], dict));
-    RDFPARAMS_ASSIGN_OR_RETURN(opt::OptimizedPlan plan,
-                               opt::Optimize(q, store, dict,
-                                             options.optimizer));
-    Key key{plan.fingerprint,
-            CostBucket(plan.est_cout, options.cost_bucket_log2_width)};
+  // Stage 1 — run the C_out-optimal join-ordering DP once per candidate.
+  // This is the hot loop of the whole pipeline: candidates are partitioned
+  // across workers (each Optimize() call builds its own optimizer state)
+  // over a shared read-mostly cardinality cache. Results land in
+  // per-candidate slots, so the outcome does not depend on scheduling.
+  const size_t n = candidates.size();
+  std::vector<double> all_couts(n, 0.0);
+  std::vector<std::string> fingerprints(n);
+  std::vector<Status> failures(n);
+
+  opt::CardinalityCache local_cache;
+  opt::OptimizeOptions optimizer_options = options.optimizer;
+  if (optimizer_options.cardinality_cache == nullptr) {
+    optimizer_options.cardinality_cache = &local_cache;
+  }
+
+  size_t threads = util::ThreadPool::ResolveThreads(options.threads);
+  util::ThreadPool pool(threads - 1);
+  util::FirstFailureTracker tracker(n);
+  pool.ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) {
+      if (tracker.ShouldSkip(i)) continue;
+      auto bound = tmpl.Bind(candidates[i], dict);
+      if (!bound.ok()) {
+        failures[i] = bound.status();
+        tracker.Record(i);
+        continue;
+      }
+      auto plan = opt::Optimize(*bound, store, dict, optimizer_options);
+      if (!plan.ok()) {
+        failures[i] = plan.status();
+        tracker.Record(i);
+        continue;
+      }
+      all_couts[i] = plan->est_cout;
+      fingerprints[i] = std::move(plan->fingerprint);
+    }
+  });
+  // First failure in enumeration order, so errors are deterministic too.
+  if (tracker.any()) return failures[tracker.first()];
+
+  // Stage 2 — serial merge in enumeration order: byte-identical for every
+  // thread count.
+  std::map<Key, Entry> buckets;
+  std::vector<Key> candidate_key(n);
+  for (size_t i = 0; i < n; ++i) {
+    Key key{fingerprints[i],
+            CostBucket(all_couts[i], options.cost_bucket_log2_width)};
     Entry& e = buckets[key];
     e.member_idx.push_back(i);
-    e.couts.push_back(plan.est_cout);
-    all_couts[i] = plan.est_cout;
+    e.couts.push_back(all_couts[i]);
     candidate_key[i] = key;
   }
 

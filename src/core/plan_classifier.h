@@ -34,6 +34,11 @@ struct ClassifyOptions {
   double cost_bucket_log2_width = 1.0;
   /// Candidates examined: Enumerate(max_candidates) over the domain.
   uint64_t max_candidates = 2000;
+  /// Worker threads for the per-candidate optimizer runs. 1 = serial,
+  /// 0 = hardware concurrency. The partition of candidates is merged in
+  /// enumeration order, so the result is byte-identical for every thread
+  /// count.
+  int threads = 1;
   opt::OptimizeOptions optimizer;
 };
 

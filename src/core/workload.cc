@@ -1,18 +1,21 @@
 #include "core/workload.h"
 
+#include <atomic>
 #include <limits>
 #include <set>
 
+#include "optimizer/cardinality_cache.h"
+#include "util/thread_pool.h"
+
 namespace rdfparams::core {
 
-Result<RunObservation> WorkloadRunner::RunOnce(
-    const sparql::QueryTemplate& tmpl,
+Result<RunObservation> WorkloadRunner::RunWith(
+    engine::Executor* exec, const sparql::QueryTemplate& tmpl,
     const sparql::ParameterBinding& binding, const WorkloadOptions& options) {
   RDFPARAMS_ASSIGN_OR_RETURN(sparql::SelectQuery q, tmpl.Bind(binding, *dict_));
   RDFPARAMS_ASSIGN_OR_RETURN(opt::OptimizedPlan plan,
                              opt::Optimize(q, store_, *dict_,
                                            options.optimizer));
-  engine::Executor exec(store_, dict_);
 
   RunObservation obs;
   obs.binding = binding;
@@ -25,7 +28,7 @@ Result<RunObservation> WorkloadRunner::RunOnce(
   for (int r = 0; r < reps; ++r) {
     engine::ExecutionStats stats;
     RDFPARAMS_ASSIGN_OR_RETURN(engine::BindingTable result,
-                               exec.Execute(q, *plan.root, &stats));
+                               exec->Execute(q, *plan.root, &stats));
     obs.seconds = std::min(obs.seconds, stats.wall_seconds);
     obs.observed_cout = stats.intermediate_rows;
     obs.result_rows = stats.result_rows;
@@ -34,17 +37,55 @@ Result<RunObservation> WorkloadRunner::RunOnce(
   return obs;
 }
 
+Result<RunObservation> WorkloadRunner::RunOnce(
+    const sparql::QueryTemplate& tmpl,
+    const sparql::ParameterBinding& binding, const WorkloadOptions& options) {
+  if (mut_dict_ != nullptr) {
+    engine::Executor exec(store_, mut_dict_);
+    return RunWith(&exec, tmpl, binding, options);
+  }
+  engine::Executor exec(store_, *dict_);
+  return RunWith(&exec, tmpl, binding, options);
+}
+
 Result<std::vector<RunObservation>> WorkloadRunner::RunAll(
     const sparql::QueryTemplate& tmpl,
     const std::vector<sparql::ParameterBinding>& bindings,
     const WorkloadOptions& options) {
-  std::vector<RunObservation> out;
-  out.reserve(bindings.size());
-  for (const sparql::ParameterBinding& b : bindings) {
-    RDFPARAMS_ASSIGN_OR_RETURN(RunObservation obs,
-                               RunOnce(tmpl, b, options));
-    out.push_back(std::move(obs));
+  const size_t n = bindings.size();
+  std::vector<RunObservation> out(n);
+  std::vector<Status> failures(n);
+
+  // Bindings of one template share most resolved patterns, so all workers
+  // share one cardinality cache unless the caller brought their own.
+  opt::CardinalityCache local_cache;
+  WorkloadOptions run_options = options;
+  if (run_options.optimizer.cardinality_cache == nullptr) {
+    run_options.optimizer.cardinality_cache = &local_cache;
   }
+
+  size_t threads = util::ThreadPool::ResolveThreads(options.threads);
+  util::ThreadPool pool(threads - 1);
+  util::FirstFailureTracker tracker(n);
+  pool.ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
+    // Per-chunk executor state: a read-only view of the shared dictionary
+    // plus a private scratch overlay for aggregate interning. The overlay
+    // starts empty each chunk (cheap — a snapshot of the base size), which
+    // keeps chunks fully independent of each other.
+    engine::Executor exec(store_, *dict_);
+    for (uint64_t i = lo; i < hi; ++i) {
+      if (tracker.ShouldSkip(i)) continue;
+      auto obs = RunWith(&exec, tmpl, bindings[i], run_options);
+      if (obs.ok()) {
+        out[i] = std::move(obs).value();
+      } else {
+        failures[i] = obs.status();
+        tracker.Record(i);
+      }
+    }
+  });
+  // Report the first failure in binding order (deterministic).
+  if (tracker.any()) return failures[tracker.first()];
   return out;
 }
 

@@ -31,28 +31,53 @@ struct WorkloadOptions {
   /// Repetitions per binding; the *minimum* wall time is kept (standard
   /// benchmarking practice to suppress scheduler noise).
   int repetitions = 1;
+  /// Worker threads for RunAll. 1 = serial, 0 = hardware concurrency.
+  /// Every thread count yields identical observations except for the
+  /// wall-clock `seconds` field, which is a measurement, not a value —
+  /// it is non-deterministic even when run serially.
+  int threads = 1;
   opt::OptimizeOptions optimizer;
 };
 
 class WorkloadRunner {
  public:
+  /// Mutable-dictionary mode: RunOnce executes with an Executor that may
+  /// intern aggregate literals into `dict`.
   WorkloadRunner(const rdf::TripleStore& store, rdf::Dictionary* dict)
-      : store_(store), dict_(dict) {}
+      : store_(store), mut_dict_(dict), dict_(dict) {}
+
+  /// Read-only mode: the dictionary is never mutated; executors use
+  /// private scratch overlays instead (see engine::Executor). Required
+  /// for sharing one dictionary across RunAll worker threads, and
+  /// sufficient for the paper's measurements, which never decode result
+  /// tables.
+  WorkloadRunner(const rdf::TripleStore& store, const rdf::Dictionary& dict)
+      : store_(store), dict_(&dict) {}
 
   /// Optimizes + executes the template under one binding.
   Result<RunObservation> RunOnce(const sparql::QueryTemplate& tmpl,
                                  const sparql::ParameterBinding& binding,
                                  const WorkloadOptions& options = {});
 
-  /// Runs all bindings in order.
+  /// Measures all bindings; observations come back in binding order
+  /// regardless of options.threads. Worker executors never mutate the
+  /// shared dictionary (per-worker scratch overlays absorb aggregate
+  /// interning), so the parallel mode is safe in both constructor modes.
   Result<std::vector<RunObservation>> RunAll(
       const sparql::QueryTemplate& tmpl,
       const std::vector<sparql::ParameterBinding>& bindings,
       const WorkloadOptions& options = {});
 
  private:
+  /// Optimize + execute one binding through a caller-provided executor.
+  Result<RunObservation> RunWith(engine::Executor* exec,
+                                 const sparql::QueryTemplate& tmpl,
+                                 const sparql::ParameterBinding& binding,
+                                 const WorkloadOptions& options);
+
   const rdf::TripleStore& store_;
-  rdf::Dictionary* dict_;
+  rdf::Dictionary* mut_dict_ = nullptr;  ///< null in read-only mode
+  const rdf::Dictionary* dict_;
 };
 
 /// Extracts the per-binding runtimes (seconds).

@@ -21,7 +21,7 @@ using sparql::TriplePattern;
 
 /// Resolves a constant slot against the dictionary. Returns false when the
 /// constant does not occur in the data at all (empty result).
-bool ResolveConst(const Slot& slot, const rdf::Dictionary& dict, TermId* out) {
+bool ResolveConst(const Slot& slot, const DictAccess& dict, TermId* out) {
   auto id = dict.Find(slot.term);
   if (!id) return false;
   *out = *id;
@@ -68,7 +68,7 @@ struct IndexJoinPlan {
 
 Result<IndexJoinPlan> PrepareIndexJoin(const TriplePattern& tp,
                                        const std::vector<std::string>& outer,
-                                       const rdf::Dictionary& dict) {
+                                       const DictAccess& dict) {
   if (tp.s.is_param() || tp.p.is_param() || tp.o.is_param()) {
     return Status::InvalidArgument("executor got an unbound %parameter");
   }
@@ -285,7 +285,7 @@ class GroupAccumulator {
     return Status::OK();
   }
 
-  void AddRow(std::span<const TermId> row, const rdf::Dictionary& dict) {
+  void AddRow(std::span<const TermId> row, const DictAccess& dict) {
     uint64_t h = 0xabcdef;
     for (size_t k = 0; k < group_cols_.size(); ++k) {
       scratch_key_[k] = row[static_cast<size_t>(group_cols_[k])];
@@ -327,7 +327,7 @@ class GroupAccumulator {
   }
 
   /// Produces the grouped table: group keys followed by aggregate outputs.
-  Result<BindingTable> Finish(rdf::Dictionary* dict) {
+  Result<BindingTable> Finish(DictAccess* dict) {
     std::vector<std::string> out_vars = query_->group_by;
     for (const sparql::Aggregate& a : query_->aggregates) {
       out_vars.push_back(a.as_name);
@@ -408,9 +408,9 @@ Result<BindingTable> Executor::ExecScan(const SelectQuery& query,
   BindingTable out(vars);
 
   TermId s = kWildcardId, p = kWildcardId, o = kWildcardId;
-  if (tp.s.is_const() && !ResolveConst(tp.s, *dict_, &s)) return out;
-  if (tp.p.is_const() && !ResolveConst(tp.p, *dict_, &p)) return out;
-  if (tp.o.is_const() && !ResolveConst(tp.o, *dict_, &o)) return out;
+  if (tp.s.is_const() && !ResolveConst(tp.s, dacc_, &s)) return out;
+  if (tp.p.is_const() && !ResolveConst(tp.p, dacc_, &p)) return out;
+  if (tp.o.is_const() && !ResolveConst(tp.o, dacc_, &o)) return out;
 
   int s_col = tp.s.is_var() ? out.VarIndex(tp.s.name) : -1;
   int p_col = tp.p.is_var() ? out.VarIndex(tp.p.name) : -1;
@@ -446,7 +446,7 @@ Result<BindingTable> Executor::ExecIndexJoin(const SelectQuery& query,
       BindingTable outer_table, ExecNode(query, outer, filter_done, stats));
   const TriplePattern& tp = query.patterns[inner_scan.pattern_index];
   RDFPARAMS_ASSIGN_OR_RETURN(IndexJoinPlan plan,
-                             PrepareIndexJoin(tp, outer_table.vars(), *dict_));
+                             PrepareIndexJoin(tp, outer_table.vars(), dacc_));
   BindingTable out(plan.out_vars);
   stats->scan_rows += RunIndexJoin(
       store_, plan, outer_table,
@@ -497,8 +497,8 @@ bool Executor::EvalFilter(const sparql::FilterCondition& f, TermId lhs,
   if (lhs == rdf::kInvalidTermId || rhs == rdf::kInvalidTermId) {
     return f.op == CompareOp::kNe;
   }
-  const rdf::Term& a = dict_->term(lhs);
-  const rdf::Term& b = dict_->term(rhs);
+  const rdf::Term& a = dacc_.term(lhs);
+  const rdf::Term& b = dacc_.term(rhs);
   int cmp = a.Compare(b);
   switch (f.op) {
     case CompareOp::kEq: return cmp == 0;
@@ -526,7 +526,7 @@ Status Executor::ApplyFilters(const SelectQuery& query,
       if (rhs_col < 0) continue;  // not yet available
     } else if (f.rhs.is_const()) {
       // Intern so comparisons against fresh constants work numerically.
-      rhs_const = dict_->Intern(f.rhs.term);
+      rhs_const = dacc_.Intern(f.rhs.term);
     } else {
       return Status::InvalidArgument("filter still has an unbound %parameter");
     }
@@ -568,7 +568,7 @@ Status Executor::SortRows(const SelectQuery& query, BindingTable* table) {
     auto it = decoded.find(id);
     if (it != decoded.end()) return;
     DecodedKey key;
-    const rdf::Term& term = dict_->term(id);
+    const rdf::Term& term = dacc_.term(id);
     if (term.is_numeric()) {
       auto v = term.AsDouble();
       if (v) {
@@ -594,7 +594,7 @@ Status Executor::SortRows(const SelectQuery& query, BindingTable* table) {
       if (ka.numeric && kb.numeric) {
         cmp = ka.value < kb.value ? -1 : (ka.value > kb.value ? 1 : 0);
       } else {
-        cmp = dict_->term(va).Compare(dict_->term(vb));
+        cmp = dacc_.term(va).Compare(dacc_.term(vb));
       }
       if (cmp == 0) continue;
       return desc[k] ? cmp > 0 : cmp < 0;
@@ -655,9 +655,9 @@ Result<BindingTable> Executor::ApplyModifiers(const SelectQuery& query,
     GroupAccumulator acc;
     RDFPARAMS_RETURN_NOT_OK(acc.Init(query, table.vars()));
     for (size_t r = 0; r < table.num_rows(); ++r) {
-      acc.AddRow(table.row(r), *dict_);
+      acc.AddRow(table.row(r), dacc_);
     }
-    RDFPARAMS_ASSIGN_OR_RETURN(table, acc.Finish(dict_));
+    RDFPARAMS_ASSIGN_OR_RETURN(table, acc.Finish(&dacc_));
   }
   return FinishModifiers(query, std::move(table));
 }
@@ -759,7 +759,7 @@ Result<BindingTable> Executor::ExecuteStreamingAggregate(
             "filter still has an unbound %parameter");
       }
       if (f.rhs.is_const()) {
-        cf.rhs_const = dict_->Intern(f.rhs.term);
+        cf.rhs_const = dacc_.Intern(f.rhs.term);
       }
       (*filter_done)[fi] = 1;
       filters.push_back(cf);
@@ -776,10 +776,10 @@ Result<BindingTable> Executor::ExecuteStreamingAggregate(
                                      : cf.rhs_const;
         if (!EvalFilter(*cf.f, lhs, rhs)) return;
       }
-      acc.AddRow(row, *dict_);
+      acc.AddRow(row, dacc_);
     });
     stats->intermediate_rows += rows;
-    RDFPARAMS_ASSIGN_OR_RETURN(BindingTable grouped, acc.Finish(dict_));
+    RDFPARAMS_ASSIGN_OR_RETURN(BindingTable grouped, acc.Finish(&dacc_));
     return FinishModifiers(query, std::move(grouped));
   };
 
@@ -792,7 +792,7 @@ Result<BindingTable> Executor::ExecuteStreamingAggregate(
         BindingTable outer_table, ExecNode(query, outer, filter_done, stats));
     const TriplePattern& tp = query.patterns[inner.pattern_index];
     RDFPARAMS_ASSIGN_OR_RETURN(
-        IndexJoinPlan plan, PrepareIndexJoin(tp, outer_table.vars(), *dict_));
+        IndexJoinPlan plan, PrepareIndexJoin(tp, outer_table.vars(), dacc_));
     return stream(plan.out_vars, [&](auto&& sink) {
       stats->scan_rows += RunIndexJoin(store_, plan, outer_table, sink);
     });
@@ -842,7 +842,7 @@ Result<BindingTable> Executor::Run(const SelectQuery& query,
                                    ExecutionStats* stats,
                                    const opt::OptimizeOptions& options) {
   RDFPARAMS_ASSIGN_OR_RETURN(opt::OptimizedPlan plan,
-                             opt::Optimize(query, store_, *dict_, options));
+                             opt::Optimize(query, store_, base_dict(), options));
   return Execute(query, *plan.root, stats);
 }
 

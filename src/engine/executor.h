@@ -6,6 +6,7 @@
 #define RDFPARAMS_ENGINE_EXECUTOR_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "engine/binding_table.h"
 #include "optimizer/optimizer.h"
@@ -25,12 +26,51 @@ struct ExecutionStats {
   uint64_t result_rows = 0;
 };
 
+/// Uniform accessor over either a mutable Dictionary or a read-only base
+/// dictionary fronted by a private ScratchDictionary overlay. Lets the
+/// executor's operators intern scratch terms (filter constants, aggregate
+/// outputs) without caring which mode they run in.
+class DictAccess {
+ public:
+  explicit DictAccess(rdf::Dictionary* mut) : mut_(mut) {}
+  explicit DictAccess(rdf::ScratchDictionary* scratch) : scratch_(scratch) {}
+
+  const rdf::Term& term(rdf::TermId id) const {
+    return mut_ != nullptr ? mut_->term(id) : scratch_->term(id);
+  }
+  std::optional<rdf::TermId> Find(const rdf::Term& t) const {
+    return mut_ != nullptr ? mut_->Find(t) : scratch_->Find(t);
+  }
+  rdf::TermId Intern(const rdf::Term& t) {
+    return mut_ != nullptr ? mut_->Intern(t) : scratch_->Intern(t);
+  }
+
+ private:
+  rdf::Dictionary* mut_ = nullptr;
+  rdf::ScratchDictionary* scratch_ = nullptr;
+};
+
 class Executor {
  public:
-  /// `dict` is mutable because aggregation may intern freshly computed
-  /// literals (averages, counts).
+  /// Mutable-dictionary mode: aggregation interns freshly computed
+  /// literals (averages, counts) directly into `dict`, so callers can
+  /// decode every id in the result table through it.
   Executor(const rdf::TripleStore& store, rdf::Dictionary* dict)
-      : store_(store), dict_(dict) {}
+      : store_(store), dict_(dict), dacc_(dict) {}
+
+  /// Read-only mode: `dict` is never mutated. Terms the execution has to
+  /// intern (filter constants, aggregate output literals) go into a
+  /// private ScratchDictionary overlay, which makes one base dictionary
+  /// safely shareable across concurrently running executors. Result ids
+  /// >= dict.size() (only produced by aggregate queries) resolve through
+  /// scratch_dict().
+  Executor(const rdf::TripleStore& store, const rdf::Dictionary& dict)
+      : store_(store), scratch_(std::in_place, dict), dacc_(&*scratch_) {}
+
+  /// The overlay in read-only mode; nullptr in mutable-dictionary mode.
+  const rdf::ScratchDictionary* scratch_dict() const {
+    return scratch_ ? &*scratch_ : nullptr;
+  }
 
   /// Executes a pre-optimized plan for `query`.
   Result<BindingTable> Execute(const sparql::SelectQuery& query,
@@ -96,8 +136,15 @@ class Executor {
   bool EvalFilter(const sparql::FilterCondition& f, rdf::TermId lhs,
                   rdf::TermId rhs) const;
 
+  /// Base dictionary for the optimizer (const either way).
+  const rdf::Dictionary& base_dict() const {
+    return dict_ != nullptr ? *dict_ : scratch_->base();
+  }
+
   const rdf::TripleStore& store_;
-  rdf::Dictionary* dict_;
+  rdf::Dictionary* dict_ = nullptr;                  // mutable mode
+  std::optional<rdf::ScratchDictionary> scratch_;    // read-only mode
+  DictAccess dacc_;
 };
 
 /// Reference evaluator: executes the BGP by naive left-to-right nested

@@ -34,6 +34,15 @@ bool ResolveSlot(const Slot& slot, const rdf::Dictionary& dict, TermId* out,
 
 }  // namespace
 
+uint64_t CardinalityEstimator::CachedCount(rdf::TermId s, rdf::TermId p,
+                                           rdf::TermId o) const {
+  if (cache_ == nullptr) return store_.CountPattern(s, p, o);
+  if (auto hit = cache_->LookupCount(s, p, o)) return *hit;
+  uint64_t count = store_.CountPattern(s, p, o);
+  cache_->InsertCount(s, p, o, count);
+  return count;
+}
+
 double FilterSelectivity(sparql::CompareOp op, double distinct_values) {
   double d = std::max(distinct_values, 1.0);
   switch (op) {
@@ -75,8 +84,8 @@ Result<RelationInfo> CardinalityEstimator::EstimatePattern(
     return info;
   }
 
-  // Exact match count through the covering index.
-  double card = static_cast<double>(store_.CountPattern(s, p, o));
+  // Exact match count through the covering index (memoized).
+  double card = static_cast<double>(CachedCount(s, p, o));
 
   // Repeated variable inside one pattern (e.g. ?x :p ?x): the index range
   // over-counts; apply an equality selectivity between the two positions.
@@ -219,9 +228,30 @@ std::optional<double> CardinalityEstimator::ExactPairJoinCount(
   if (!ResolvePattern(ta, dict_, &sa, &pa, &oa)) return 0.0;
   if (!ResolvePattern(tb, dict_, &sb, &pb, &ob)) return 0.0;
 
-  uint64_t size_a = store_.CountPattern(sa, pa, oa);
-  uint64_t size_b = store_.CountPattern(sb, pb, ob);
-  if (size_a == 0 || size_b == 0) return 0.0;
+  // The whole result is a deterministic function of the resolved patterns
+  // and join positions, so it can be memoized across candidate bindings.
+  // Only the default work budget is cached: the budget changes which
+  // inputs are declined, so differently-budgeted calls must not alias.
+  const bool cacheable =
+      cache_ != nullptr && max_work == kDefaultPairJoinMaxWork;
+  const std::array<rdf::TermId, 6> pair_key = {sa, pa, oa, sb, pb, ob};
+  const auto pos_key_a = static_cast<uint8_t>(pos_a);
+  const auto pos_key_b = static_cast<uint8_t>(pos_b);
+  if (cacheable) {
+    if (auto hit = cache_->LookupPairJoin(pair_key, pos_key_a, pos_key_b)) {
+      return *hit;
+    }
+  }
+  auto memoize = [&](std::optional<double> result) {
+    if (cacheable) {
+      cache_->InsertPairJoin(pair_key, pos_key_a, pos_key_b, result);
+    }
+    return result;
+  };
+
+  uint64_t size_a = CachedCount(sa, pa, oa);
+  uint64_t size_b = CachedCount(sb, pb, ob);
+  if (size_a == 0 || size_b == 0) return memoize(0.0);
 
   // Iterate the smaller side.
   bool a_smaller = size_a <= size_b;
@@ -248,10 +278,10 @@ std::optional<double> CardinalityEstimator::ExactPairJoinCount(
       BindPosition(big_pos, v, &qs, &qp, &qo);
       total += static_cast<double>(store_.CountPattern(qs, qp, qo));
     }
-    return total;
+    return memoize(total);
   }
 
-  if (small_size + big_size > max_work) return std::nullopt;
+  if (small_size + big_size > max_work) return memoize(std::nullopt);
 
   // Hash-count pass: value -> multiplicity from the small side, then sum
   // products over the big side.
@@ -271,7 +301,7 @@ std::optional<double> CardinalityEstimator::ExactPairJoinCount(
       if (it != counts.end()) total += static_cast<double>(it->second);
     }
   }
-  return total;
+  return memoize(total);
 }
 
 std::vector<std::string> CardinalityEstimator::SharedVars(

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "optimizer/cardinality_cache.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple_store.h"
 #include "sparql/algebra.h"
@@ -29,9 +30,14 @@ struct RelationInfo {
 
 class CardinalityEstimator {
  public:
+  /// `cache` (optional, may be nullptr) memoizes pattern counts and exact
+  /// pair-join counts across estimator instances; it may be shared between
+  /// threads. Cached values are exact, so estimates are identical with and
+  /// without a cache.
   CardinalityEstimator(const rdf::TripleStore& store,
-                       const rdf::Dictionary& dict)
-      : store_(store), dict_(dict) {}
+                       const rdf::Dictionary& dict,
+                       CardinalityCache* cache = nullptr)
+      : store_(store), dict_(dict), cache_(cache) {}
 
   /// Estimates one ground triple pattern (no %params). Filters from `query`
   /// whose lhs variable is bound by this pattern and whose rhs is constant
@@ -53,9 +59,12 @@ class CardinalityEstimator {
   ///     variables, repeated variables inside one pattern).
   /// This mirrors the pairwise join statistics real RDF optimizers keep and
   /// is what lets correlated parameters flip plans (paper E4).
-  std::optional<double> ExactPairJoinCount(const sparql::SelectQuery& query,
-                                           size_t pattern_a, size_t pattern_b,
-                                           uint64_t max_work = 1u << 20) const;
+  /// Results are cached (when a cache is attached) only for the default
+  /// work budget, since the budget changes which inputs are declined.
+  static constexpr uint64_t kDefaultPairJoinMaxWork = 1u << 20;
+  std::optional<double> ExactPairJoinCount(
+      const sparql::SelectQuery& query, size_t pattern_a, size_t pattern_b,
+      uint64_t max_work = kDefaultPairJoinMaxWork) const;
 
   /// Shared variables of two infos (ascending by name).
   static std::vector<std::string> SharedVars(const RelationInfo& a,
@@ -63,10 +72,15 @@ class CardinalityEstimator {
 
   const rdf::TripleStore& store() const { return store_; }
   const rdf::Dictionary& dict() const { return dict_; }
+  CardinalityCache* cache() const { return cache_; }
 
  private:
+  /// CountPattern through the shared cache (when one is attached).
+  uint64_t CachedCount(rdf::TermId s, rdf::TermId p, rdf::TermId o) const;
+
   const rdf::TripleStore& store_;
   const rdf::Dictionary& dict_;
+  CardinalityCache* cache_ = nullptr;
 };
 
 /// Heuristic selectivity of a filter op (used when the rhs is constant).

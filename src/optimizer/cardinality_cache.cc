@@ -1,0 +1,103 @@
+#include "optimizer/cardinality_cache.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/hash.h"
+
+namespace rdfparams::opt {
+
+namespace {
+// Sentinel for a cached "ExactPairJoinCount declined" result. NaN never
+// collides with a real count (counts are finite and non-negative).
+constexpr double kDeclined = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+CardinalityCache::CardinalityCache(size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+size_t CardinalityCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = util::Hash64((uint64_t{k.kind} << 16) |
+                            (uint64_t{k.pos_a} << 8) | k.pos_b);
+  for (rdf::TermId id : k.ids) h = util::HashCombine(h, id);
+  return static_cast<size_t>(h);
+}
+
+CardinalityCache::Shard& CardinalityCache::ShardFor(const Key& key) const {
+  return shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::optional<double> CardinalityCache::LookupRaw(const Key& key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void CardinalityCache::InsertRaw(const Key& key, double value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(key, value);
+}
+
+std::optional<uint64_t> CardinalityCache::LookupCount(rdf::TermId s,
+                                                      rdf::TermId p,
+                                                      rdf::TermId o) const {
+  Key key{0, 0, 0, {s, p, o, 0, 0, 0}};
+  std::optional<double> v = LookupRaw(key);
+  if (!v) return std::nullopt;
+  return static_cast<uint64_t>(*v);
+}
+
+void CardinalityCache::InsertCount(rdf::TermId s, rdf::TermId p,
+                                   rdf::TermId o, uint64_t count) {
+  Key key{0, 0, 0, {s, p, o, 0, 0, 0}};
+  InsertRaw(key, static_cast<double>(count));
+}
+
+std::optional<std::optional<double>> CardinalityCache::LookupPairJoin(
+    const std::array<rdf::TermId, 6>& pattern_ids, uint8_t pos_a,
+    uint8_t pos_b) const {
+  Key key{1, pos_a, pos_b, pattern_ids};
+  std::optional<double> v = LookupRaw(key);
+  if (!v) return std::nullopt;
+  if (std::isnan(*v)) return std::optional<double>(std::nullopt);
+  return std::optional<double>(*v);
+}
+
+void CardinalityCache::InsertPairJoin(
+    const std::array<rdf::TermId, 6>& pattern_ids, uint8_t pos_a,
+    uint8_t pos_b, std::optional<double> count) {
+  Key key{1, pos_a, pos_b, pattern_ids};
+  InsertRaw(key, count.has_value() ? *count : kDeclined);
+}
+
+double CardinalityCache::HitRate() const {
+  uint64_t h = hits(), m = misses();
+  return h + m == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+size_t CardinalityCache::size() const {
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void CardinalityCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rdfparams::opt

@@ -1,0 +1,91 @@
+// Shared cardinality cache for the curation pipeline.
+//
+// Candidate bindings of one template share most triple patterns and differ
+// only in the parameter slots, so the optimizer re-issues the same
+// CountPattern lookups and exact pairwise join counts over and over — once
+// per candidate. This cache memoizes both, keyed on the *resolved* (s,p,o)
+// TermId patterns after binding substitution, which makes entries valid
+// across candidates, templates, and threads (the underlying store is
+// immutable after Finalize()).
+//
+// Thread model: sharded unordered maps, each behind its own mutex; the
+// workload is read-mostly once the per-template working set is warm.
+// Values are exact (CountPattern) or deterministic functions of the store
+// (ExactPairJoinCount with a fixed work budget), so cache hits can never
+// change an optimization result — only its latency.
+#ifndef RDFPARAMS_OPTIMIZER_CARDINALITY_CACHE_H_
+#define RDFPARAMS_OPTIMIZER_CARDINALITY_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+
+namespace rdfparams::opt {
+
+class CardinalityCache {
+ public:
+  explicit CardinalityCache(size_t num_shards = 16);
+
+  /// Exact triple-pattern count, keyed on (s, p, o) with wildcards.
+  std::optional<uint64_t> LookupCount(rdf::TermId s, rdf::TermId p,
+                                      rdf::TermId o) const;
+  void InsertCount(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                   uint64_t count);
+
+  /// Exact pairwise join count, keyed on both resolved patterns plus the
+  /// join positions. The cached value may itself be "not computable within
+  /// budget" (nullopt), which is worth remembering too.
+  /// Lookup returns nullopt on miss; on hit, the stored optional<double>.
+  std::optional<std::optional<double>> LookupPairJoin(
+      const std::array<rdf::TermId, 6>& pattern_ids, uint8_t pos_a,
+      uint8_t pos_b) const;
+  void InsertPairJoin(const std::array<rdf::TermId, 6>& pattern_ids,
+                      uint8_t pos_a, uint8_t pos_b,
+                      std::optional<double> count);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  double HitRate() const;
+
+  /// Total entries across both kinds of keys.
+  size_t size() const;
+  void Clear();
+
+ private:
+  // One key type for both kinds: kind tag + up to 6 ids + positions.
+  struct Key {
+    uint8_t kind;  // 0 = count, 1 = pair join
+    uint8_t pos_a = 0;
+    uint8_t pos_b = 0;
+    std::array<rdf::TermId, 6> ids;
+    bool operator==(const Key& other) const {
+      return kind == other.kind && pos_a == other.pos_a &&
+             pos_b == other.pos_b && ids == other.ids;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, double, KeyHash> map;
+  };
+
+  Shard& ShardFor(const Key& key) const;
+  std::optional<double> LookupRaw(const Key& key) const;
+  void InsertRaw(const Key& key, double value);
+
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace rdfparams::opt
+
+#endif  // RDFPARAMS_OPTIMIZER_CARDINALITY_CACHE_H_

@@ -278,7 +278,7 @@ Result<OptimizedPlan> Optimize(const SelectQuery& query,
     return Status::InvalidArgument(
         "query still contains unbound %parameters; bind the template first");
   }
-  CardinalityEstimator est(store, dict);
+  CardinalityEstimator est(store, dict, options.cardinality_cache);
   DpOptimizer dp(query, est, options);
   return dp.Run();
 }

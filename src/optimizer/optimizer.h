@@ -24,6 +24,10 @@ struct OptimizeOptions {
   size_t dp_max_patterns = 13;
   /// Permit cross products when the query graph is disconnected.
   bool allow_cross_products = true;
+  /// Optional shared cardinality cache (not owned; may be used from many
+  /// threads concurrently). Hits never change the chosen plan, only the
+  /// time it takes to find it.
+  CardinalityCache* cardinality_cache = nullptr;
 };
 
 /// Optimizes a ground query (no unbound %parameters). Returns the

@@ -30,4 +30,33 @@ std::string Dictionary::ToString(TermId id) const {
   return terms_[id].ToNTriples();
 }
 
+TermId ScratchDictionary::Intern(const Term& term) {
+  if (auto base_id = base_.Find(term)) {
+    // Ids past the snapshot would collide with overlay ids.
+    RDFPARAMS_DCHECK(*base_id < base_size_);
+    return *base_id;
+  }
+  std::string key = term.ToNTriples();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(base_size_ + local_.size());
+  RDFPARAMS_DCHECK(id != kInvalidTermId);
+  local_.push_back(term);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<TermId> ScratchDictionary::Find(const Term& term) const {
+  if (auto base_id = base_.Find(term)) return base_id;
+  auto it = index_.find(term.ToNTriples());
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Term& ScratchDictionary::term(TermId id) const {
+  if (id < base_size_) return base_.term(id);
+  RDFPARAMS_DCHECK(id - base_size_ < local_.size());
+  return local_[id - base_size_];
+}
+
 }  // namespace rdfparams::rdf

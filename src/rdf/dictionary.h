@@ -59,6 +59,43 @@ class Dictionary {
   std::unordered_map<std::string, TermId> index_;
 };
 
+/// Copy-on-write overlay over an immutable base dictionary.
+///
+/// Interning resolves against the base first; terms absent from the base
+/// are assigned ids past the base's snapshot size and stored locally. This
+/// lets many workers "intern" scratch terms (filter constants, aggregate
+/// outputs) concurrently against one shared base without synchronization —
+/// each worker owns its overlay, and base ids stay globally consistent.
+/// The base must not grow while overlays onto it are alive.
+class ScratchDictionary {
+ public:
+  explicit ScratchDictionary(const Dictionary& base)
+      : base_(base), base_size_(base.size()) {}
+  ScratchDictionary(const ScratchDictionary&) = delete;
+  ScratchDictionary& operator=(const ScratchDictionary&) = delete;
+
+  /// Returns the base id when the term exists there, else a local id
+  /// >= base_size() (interning into the overlay on first sight).
+  TermId Intern(const Term& term);
+
+  /// Lookup across base + overlay without interning.
+  std::optional<TermId> Find(const Term& term) const;
+
+  /// Resolves either a base id or an overlay id.
+  const Term& term(TermId id) const;
+
+  size_t size() const { return base_size_ + local_.size(); }
+  size_t base_size() const { return base_size_; }
+  size_t num_scratch() const { return local_.size(); }
+  const Dictionary& base() const { return base_; }
+
+ private:
+  const Dictionary& base_;
+  size_t base_size_;
+  std::vector<Term> local_;
+  std::unordered_map<std::string, TermId> index_;
+};
+
 }  // namespace rdfparams::rdf
 
 #endif  // RDFPARAMS_RDF_DICTIONARY_H_

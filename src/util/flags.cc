@@ -30,8 +30,18 @@ void FlagParser::AddString(const std::string& name, std::string* target,
 }
 
 FlagParser::Flag* FlagParser::Find(const std::string& name) {
+  // '-' and '_' are interchangeable: --max-candidates == --max_candidates.
+  auto matches = [](const std::string& a, const std::string& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      char ca = a[i] == '-' ? '_' : a[i];
+      char cb = b[i] == '-' ? '_' : b[i];
+      if (ca != cb) return false;
+    }
+    return true;
+  };
   for (auto& f : flags_) {
-    if (f.name == name) return &f;
+    if (matches(f.name, name)) return &f;
   }
   return nullptr;
 }

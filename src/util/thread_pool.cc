@@ -1,0 +1,129 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace rdfparams::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  try {
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  } catch (...) {
+    // std::thread can throw on resource exhaustion; join what was spawned
+    // so the half-built pool fails with an exception, not std::terminate.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end,
+    const std::function<void(uint64_t, uint64_t)>& body, uint64_t chunk) {
+  if (end <= begin) return;
+  uint64_t n = end - begin;
+  size_t participants = size() + 1;
+  if (size() == 0 || n == 1) {
+    body(begin, end);
+    return;
+  }
+  if (chunk == 0) {
+    chunk = std::max<uint64_t>(1, n / (8 * participants));
+  }
+
+  // Shared cursor; every participant pulls the next chunk until exhausted.
+  // Exceptions escaping the body are captured (first one wins), the cursor
+  // is pushed past the end so remaining chunks are abandoned, and the
+  // exception is rethrown on the calling thread once every worker has
+  // stopped — matching what a serial loop would do.
+  struct SharedState {
+    std::atomic<uint64_t> cursor;
+    std::mutex err_mu;
+    std::exception_ptr err;
+    explicit SharedState(uint64_t begin) : cursor(begin) {}
+  };
+  auto state = std::make_shared<SharedState>(begin);
+  auto drain = [state, end, chunk, &body] {
+    try {
+      for (;;) {
+        uint64_t lo = state->cursor.fetch_add(chunk,
+                                              std::memory_order_relaxed);
+        if (lo >= end) return;
+        body(lo, std::min(end, lo + chunk));
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->err_mu);
+      if (!state->err) state->err = std::current_exception();
+      state->cursor.store(end, std::memory_order_relaxed);
+    }
+  };
+  for (size_t i = 0; i < size(); ++i) Submit(drain);
+  drain();  // the calling thread pulls chunks too; never throws
+  Wait();
+  if (state->err) std::rethrow_exception(state->err);
+}
+
+size_t ThreadPool::ResolveThreads(int requested) {
+  if (requested >= 1) {
+    return std::min<size_t>(static_cast<size_t>(requested), kMaxThreads);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<size_t>(hw, kMaxThreads);
+}
+
+}  // namespace rdfparams::util

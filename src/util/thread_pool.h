@@ -1,0 +1,110 @@
+// Fixed-size worker pool used by the parallel curation pipeline.
+//
+// Two usage modes:
+//   * Submit(fn) + Wait(): fire-and-forget tasks with a completion barrier.
+//   * ParallelFor(begin, end, body): blocks until body has covered the whole
+//     index range. Work is handed out in contiguous chunks through a shared
+//     atomic cursor, so scheduling is dynamic but every index is processed
+//     exactly once; callers that write to disjoint, index-addressed slots
+//     get results that are independent of thread count and interleaving.
+//
+// The calling thread participates in ParallelFor, so a pool of size N uses
+// N+1 CPUs during a loop and `ThreadPool(0)` degrades to serial execution
+// without special-casing at the call sites.
+#ifndef RDFPARAMS_UTIL_THREAD_POOL_H_
+#define RDFPARAMS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdfparams::util {
+
+/// Tracks the lowest failed index of a ParallelFor over [0, n).
+///
+/// Workers call ShouldSkip(i) before processing and Record(i) on failure;
+/// indices above the current minimum are abandoned (their results would be
+/// discarded anyway), while indices below it are never skipped — so the
+/// minimum failing index is always processed and the reported error is
+/// exactly the one a serial loop would have hit first.
+class FirstFailureTracker {
+ public:
+  /// `none` is the "no failure" sentinel; use the loop bound n.
+  explicit FirstFailureTracker(uint64_t none) : first_(none), none_(none) {}
+
+  bool ShouldSkip(uint64_t i) const {
+    return i > first_.load(std::memory_order_relaxed);
+  }
+
+  void Record(uint64_t i) {
+    uint64_t cur = first_.load(std::memory_order_relaxed);
+    while (i < cur && !first_.compare_exchange_weak(cur, i)) {
+    }
+  }
+
+  bool any() const { return first() != none_; }
+  uint64_t first() const { return first_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> first_;
+  uint64_t none_;
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. 0 is valid: all work runs on the
+  /// calling thread.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Runs inline when the pool has no workers.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs body(lo, hi) over chunked sub-ranges of [begin, end) across the
+  /// workers and the calling thread; returns when the range is exhausted.
+  /// `chunk` 0 picks a size that yields ~8 chunks per participant.
+  /// If the body throws, remaining chunks are abandoned and the first
+  /// exception is rethrown here after all workers have stopped.
+  void ParallelFor(uint64_t begin, uint64_t end,
+                   const std::function<void(uint64_t, uint64_t)>& body,
+                   uint64_t chunk = 0);
+
+  /// Resolves a thread-count request: n >= 1 is taken as-is (clamped to
+  /// kMaxThreads so a typo'd --threads cannot exhaust OS threads), n <= 0
+  /// means "use the hardware concurrency". Always returns >= 1 (callers
+  /// rely on this to size a pool as `ResolveThreads(n) - 1` workers +
+  /// themselves).
+  static size_t ResolveThreads(int requested);
+
+  /// Upper bound on resolved thread counts. Deliberate oversubscription
+  /// (e.g. determinism tests running 8 threads on 1 core) stays possible.
+  static constexpr size_t kMaxThreads = 512;
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: queue or stop
+  std::condition_variable idle_cv_;   // signals Wait(): everything drained
+  size_t in_flight_ = 0;              // dequeued but not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace rdfparams::util
+
+#endif  // RDFPARAMS_UTIL_THREAD_POOL_H_

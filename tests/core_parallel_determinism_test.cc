@@ -1,0 +1,134 @@
+// Determinism contract of the parallel curation pipeline: every thread
+// count must produce byte-identical classifications (class order, members,
+// representatives) and identical workload observations (modulo the
+// wall-clock `seconds` field, which is a measurement, not a value).
+#include <gtest/gtest.h>
+
+#include "bsbm/generator.h"
+#include "bsbm/queries.h"
+#include "core/plan_classifier.h"
+#include "core/workload.h"
+
+namespace rdfparams::core {
+namespace {
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bsbm::GeneratorConfig config;
+    config.num_products = 400;
+    config.type_depth = 3;
+    config.type_branching = 3;
+    config.seed = 23;
+    ds_ = new bsbm::Dataset(bsbm::Generate(config));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+  static bsbm::Dataset* ds_;
+};
+
+bsbm::Dataset* ParallelDeterminismTest::ds_ = nullptr;
+
+Classification ClassifyWithThreads(bsbm::Dataset* ds, int threads) {
+  auto q4 = bsbm::MakeQ4(*ds);
+  ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(*ds));
+  ClassifyOptions options;
+  options.threads = threads;
+  auto result = ClassifyParameters(q4, domain, ds->store, ds->dict, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST_F(ParallelDeterminismTest, ClassificationIdenticalAcrossThreadCounts) {
+  Classification serial = ClassifyWithThreads(ds_, 1);
+  for (int threads : {2, 8}) {
+    Classification parallel = ClassifyWithThreads(ds_, threads);
+    ASSERT_EQ(serial.num_candidates, parallel.num_candidates);
+    ASSERT_EQ(serial.classes.size(), parallel.classes.size())
+        << "threads=" << threads;
+    EXPECT_EQ(serial.class_of_candidate, parallel.class_of_candidate);
+    for (size_t i = 0; i < serial.classes.size(); ++i) {
+      const PlanClass& a = serial.classes[i];
+      const PlanClass& b = parallel.classes[i];
+      EXPECT_EQ(a.fingerprint, b.fingerprint) << "class " << i;
+      EXPECT_EQ(a.cost_bucket, b.cost_bucket) << "class " << i;
+      EXPECT_DOUBLE_EQ(a.min_cout, b.min_cout) << "class " << i;
+      EXPECT_DOUBLE_EQ(a.max_cout, b.max_cout) << "class " << i;
+      EXPECT_DOUBLE_EQ(a.fraction, b.fraction) << "class " << i;
+      EXPECT_EQ(a.members, b.members) << "class " << i;
+      EXPECT_EQ(a.representative, b.representative) << "class " << i;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, WorkloadObservationsIdenticalAcrossThreads) {
+  auto q4 = bsbm::MakeQ4(*ds_);
+  std::vector<sparql::ParameterBinding> bindings;
+  for (rdf::TermId type : bsbm::TypeDomain(*ds_)) {
+    bindings.push_back(sparql::ParameterBinding{{type}});
+    if (bindings.size() == 40) break;
+  }
+
+  // Read-only runner: the shared dictionary must never be mutated.
+  size_t dict_size_before = ds_->dict.size();
+  WorkloadRunner runner(ds_->store, static_cast<const rdf::Dictionary&>(
+                                        ds_->dict));
+
+  WorkloadOptions serial_options;
+  serial_options.threads = 1;
+  auto serial = runner.RunAll(q4, bindings, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  WorkloadOptions parallel_options;
+  parallel_options.threads = 8;
+  auto parallel = runner.RunAll(q4, bindings, parallel_options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  EXPECT_EQ(ds_->dict.size(), dict_size_before);
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    const RunObservation& a = (*serial)[i];
+    const RunObservation& b = (*parallel)[i];
+    EXPECT_EQ(a.binding, b.binding) << "binding " << i;
+    EXPECT_EQ(a.observed_cout, b.observed_cout) << "binding " << i;
+    EXPECT_DOUBLE_EQ(a.est_cout, b.est_cout) << "binding " << i;
+    EXPECT_DOUBLE_EQ(a.est_cardinality, b.est_cardinality) << "binding " << i;
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << "binding " << i;
+    EXPECT_EQ(a.result_rows, b.result_rows) << "binding " << i;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, ParallelMatchesLegacySerialRunner) {
+  // The mutable-dictionary RunOnce path and the scratch-overlay RunAll
+  // path must agree on every deterministic observation field.
+  auto q4 = bsbm::MakeQ4(*ds_);
+  std::vector<sparql::ParameterBinding> bindings;
+  for (rdf::TermId type : bsbm::TypeDomain(*ds_)) {
+    bindings.push_back(sparql::ParameterBinding{{type}});
+    if (bindings.size() == 10) break;
+  }
+
+  rdf::Dictionary* mut_dict = &ds_->dict;
+  WorkloadRunner legacy(ds_->store, mut_dict);
+  WorkloadOptions parallel_options;
+  parallel_options.threads = 4;
+  auto parallel = legacy.RunAll(q4, bindings, parallel_options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    auto one = legacy.RunOnce(q4, bindings[i]);
+    ASSERT_TRUE(one.ok()) << one.status().ToString();
+    const RunObservation& a = *one;
+    const RunObservation& b = (*parallel)[i];
+    EXPECT_EQ(a.observed_cout, b.observed_cout) << "binding " << i;
+    EXPECT_DOUBLE_EQ(a.est_cout, b.est_cout) << "binding " << i;
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << "binding " << i;
+    EXPECT_EQ(a.result_rows, b.result_rows) << "binding " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rdfparams::core

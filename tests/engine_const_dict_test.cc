@@ -1,0 +1,122 @@
+// Read-only execution mode: an Executor over a const Dictionary must never
+// mutate it, yet produce the same results as the mutable-dictionary mode.
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "rdf/turtle.h"
+#include "sparql/parser.h"
+
+namespace rdfparams::engine {
+namespace {
+
+class ConstDictTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string doc = "@prefix x: <http://x/> .\n";
+    for (int i = 0; i < 30; ++i) {
+      doc += "x:item" + std::to_string(i) + " x:type x:T" +
+             std::to_string(i % 3) + " .\n";
+      doc += "x:item" + std::to_string(i) + " x:score " +
+             std::to_string(i % 7) + " .\n";
+    }
+    ASSERT_TRUE(rdf::LoadTurtle(doc, &dict_, &store_).ok());
+    store_.Finalize();
+  }
+
+  sparql::SelectQuery Parse(const std::string& text) {
+    auto q = sparql::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  rdf::Dictionary dict_;
+  rdf::TripleStore store_;
+};
+
+TEST_F(ConstDictTest, ReadOnlyQueryLeavesDictionaryUntouched) {
+  sparql::SelectQuery q = Parse(R"(
+SELECT ?i ?s WHERE {
+  ?i <http://x/type> <http://x/T1> .
+  ?i <http://x/score> ?s .
+})");
+  size_t before = dict_.size();
+
+  const rdf::Dictionary& const_dict = dict_;
+  Executor exec(store_, const_dict);
+  ExecutionStats stats;
+  auto result = exec.Run(q, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 10u);
+  EXPECT_EQ(dict_.size(), before);
+  ASSERT_NE(exec.scratch_dict(), nullptr);
+  EXPECT_EQ(exec.scratch_dict()->num_scratch(), 0u);
+
+  // Same rows as the mutable-dictionary mode.
+  Executor mut_exec(store_, &dict_);
+  auto expected = mut_exec.Run(q, &stats);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(result->num_rows(), expected->num_rows());
+  for (size_t r = 0; r < result->num_rows(); ++r) {
+    auto a = result->row(r);
+    auto b = expected->row(r);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST_F(ConstDictTest, FilterConstantsGoToScratchOverlay) {
+  // "5"^^int literals exist in the data, but a filter against a fresh
+  // constant (here 4.5, absent from the dictionary) must not intern into
+  // the shared base.
+  sparql::SelectQuery q = Parse(R"(
+SELECT ?i WHERE {
+  ?i <http://x/score> ?s .
+  FILTER(?s > 4.5)
+})");
+  size_t before = dict_.size();
+  const rdf::Dictionary& const_dict = dict_;
+  Executor exec(store_, const_dict);
+  ExecutionStats stats;
+  auto result = exec.Run(q, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(dict_.size(), before);
+  ASSERT_NE(exec.scratch_dict(), nullptr);
+  EXPECT_GE(exec.scratch_dict()->num_scratch(), 1u);
+
+  Executor mut_exec(store_, &dict_);
+  auto expected = mut_exec.Run(q, &stats);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(result->num_rows(), expected->num_rows());
+  EXPECT_GT(dict_.size(), before);  // legacy mode interned the constant
+}
+
+TEST_F(ConstDictTest, AggregateOutputsResolveThroughScratch) {
+  sparql::SelectQuery q = Parse(R"(
+SELECT ?t (COUNT(*) AS ?n) WHERE {
+  ?i <http://x/type> ?t .
+  ?i <http://x/score> ?s .
+} GROUP BY ?t ORDER BY ?t)");
+  size_t before = dict_.size();
+  const rdf::Dictionary& const_dict = dict_;
+  Executor exec(store_, const_dict);
+  ExecutionStats stats;
+  auto result = exec.Run(q, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(dict_.size(), before);
+  EXPECT_EQ(result->num_rows(), 3u);  // three types
+
+  // The aggregate column ids live past the base snapshot; they decode
+  // through the executor's scratch overlay.
+  const rdf::ScratchDictionary* scratch = exec.scratch_dict();
+  ASSERT_NE(scratch, nullptr);
+  int n_col = result->VarIndex("n");
+  ASSERT_GE(n_col, 0);
+  for (size_t r = 0; r < result->num_rows(); ++r) {
+    rdf::TermId id = result->at(r, static_cast<size_t>(n_col));
+    auto v = scratch->term(id).AsDouble();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(*v, 10.0);  // 30 items over 3 types
+  }
+}
+
+}  // namespace
+}  // namespace rdfparams::engine

@@ -1,0 +1,128 @@
+#include "optimizer/cardinality_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/cardinality.h"
+#include "rdf/turtle.h"
+#include "sparql/parser.h"
+
+namespace rdfparams::opt {
+namespace {
+
+class CardinalityCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* doc = R"(
+@prefix sn: <http://sn/> .
+@prefix c: <http://c/> .
+sn:p1 sn:firstName "Li" ; sn:livesIn c:China .
+sn:p2 sn:firstName "Li" ; sn:livesIn c:China .
+sn:p3 sn:firstName "Li" ; sn:livesIn c:China .
+sn:p4 sn:firstName "John" ; sn:livesIn c:China .
+sn:p5 sn:firstName "John" ; sn:livesIn c:USA .
+sn:p6 sn:firstName "John" ; sn:livesIn c:USA .
+)";
+    ASSERT_TRUE(rdf::LoadTurtle(doc, &dict_, &store_).ok());
+    store_.Finalize();
+  }
+
+  sparql::SelectQuery Parse(const std::string& text) {
+    auto q = sparql::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  rdf::Dictionary dict_;
+  rdf::TripleStore store_;
+};
+
+TEST_F(CardinalityCacheTest, CountHitAndMissAccounting) {
+  CardinalityCache cache;
+  rdf::TermId p = *dict_.FindIri("http://sn/livesIn");
+
+  EXPECT_FALSE(cache.LookupCount(rdf::kWildcardId, p, rdf::kWildcardId));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.InsertCount(rdf::kWildcardId, p, rdf::kWildcardId, 6);
+  auto hit = cache.LookupCount(rdf::kWildcardId, p, rdf::kWildcardId);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 6u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST_F(CardinalityCacheTest, PairJoinRemembersDeclinedResults) {
+  CardinalityCache cache;
+  std::array<rdf::TermId, 6> key = {1, 2, rdf::kWildcardId, 4, 5, 6};
+
+  EXPECT_FALSE(cache.LookupPairJoin(key, 0, 2).has_value());
+
+  cache.InsertPairJoin(key, 0, 2, 42.0);
+  auto hit = cache.LookupPairJoin(key, 0, 2);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit->has_value());
+  EXPECT_DOUBLE_EQ(**hit, 42.0);
+
+  // Different join positions are a different key.
+  EXPECT_FALSE(cache.LookupPairJoin(key, 2, 0).has_value());
+
+  // A "declined" (nullopt) result is itself cacheable and distinguishable
+  // from a miss.
+  cache.InsertPairJoin(key, 2, 0, std::nullopt);
+  auto declined = cache.LookupPairJoin(key, 2, 0);
+  ASSERT_TRUE(declined.has_value());
+  EXPECT_FALSE(declined->has_value());
+}
+
+TEST_F(CardinalityCacheTest, CachedEstimatorMatchesUncached) {
+  sparql::SelectQuery q = Parse(R"(
+SELECT ?p WHERE {
+  ?p <http://sn/firstName> "John" .
+  ?p <http://sn/livesIn> <http://c/USA> .
+})");
+
+  CardinalityEstimator plain(store_, dict_);
+  CardinalityCache cache;
+  CardinalityEstimator cached(store_, dict_, &cache);
+
+  for (size_t i = 0; i < q.patterns.size(); ++i) {
+    auto a = plain.EstimatePattern(q, i);
+    auto b = cached.EstimatePattern(q, i);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_DOUBLE_EQ(a->cardinality, b->cardinality) << "pattern " << i;
+    EXPECT_EQ(a->var_distinct, b->var_distinct) << "pattern " << i;
+  }
+
+  auto exact_plain = plain.ExactPairJoinCount(q, 0, 1);
+  auto exact_cached = cached.ExactPairJoinCount(q, 0, 1);
+  ASSERT_TRUE(exact_plain.has_value());
+  ASSERT_TRUE(exact_cached.has_value());
+  EXPECT_DOUBLE_EQ(*exact_plain, *exact_cached);
+  EXPECT_DOUBLE_EQ(*exact_plain, 2.0);  // two Johns in the USA
+
+  // Same estimates again: now served from the cache, values unchanged.
+  uint64_t hits_before = cache.hits();
+  auto again = cached.ExactPairJoinCount(q, 0, 1);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_DOUBLE_EQ(*again, 2.0);
+  EXPECT_GT(cache.hits(), hits_before);
+
+  // Verify the raw count path agrees with the store.
+  rdf::TermId p = *dict_.FindIri("http://sn/livesIn");
+  EXPECT_EQ(store_.CountPattern(rdf::kWildcardId, p, rdf::kWildcardId), 6u);
+  auto count_hit = cache.LookupCount(rdf::kWildcardId, p, rdf::kWildcardId);
+  if (count_hit.has_value()) {
+    EXPECT_EQ(*count_hit,
+              store_.CountPattern(rdf::kWildcardId, p, rdf::kWildcardId));
+  }
+}
+
+}  // namespace
+}  // namespace rdfparams::opt

@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rdfparams::util {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  int x = 0;
+  pool.Submit([&x] { x = 7; });  // runs synchronously
+  EXPECT_EQ(x, 7);
+  pool.Wait();  // nothing pending; must not hang
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t workers : {0u, 1u, 3u, 7u}) {
+    ThreadPool pool(workers);
+    constexpr uint64_t kN = 10000;
+    std::vector<std::atomic<uint32_t>> hits(kN);
+    pool.ParallelFor(0, kN, [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (uint64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "index " << i << " with " << workers
+                                    << " workers";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingleRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](uint64_t, uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(41, 42, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 41u);
+}
+
+TEST(ThreadPoolTest, ParallelForSlotWritesAreDeterministic) {
+  // Writing f(i) into slot i must give the same vector for any thread
+  // count — this is the property the curation pipeline relies on.
+  auto run = [](size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<uint64_t> out(5000);
+    pool.ParallelFor(0, out.size(), [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t i = lo; i < hi; ++i) out[i] = i * i + 1;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(0), run(7));
+}
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(5), 5u);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);   // hardware concurrency
+  EXPECT_GE(ThreadPool::ResolveThreads(-3), 1u);
+}
+
+}  // namespace
+}  // namespace rdfparams::util

@@ -39,6 +39,8 @@
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 using namespace rdfparams;
 
@@ -52,6 +54,7 @@ struct Options {
   int64_t seed = 42;
   int64_t n = 100;
   int64_t max_candidates = 2000;
+  int64_t threads = 1;
   double bucket_width = 1.0;
   std::string mode = "uniform";  // uniform | step | class | class:K
   std::string out;
@@ -197,14 +200,27 @@ int CmdClassify(const Options& opt) {
   core::ClassifyOptions options;
   options.cost_bucket_log2_width = opt.bucket_width;
   options.max_candidates = static_cast<uint64_t>(opt.max_candidates);
+  options.threads = static_cast<int>(opt.threads);
+  ::rdfparams::opt::CardinalityCache cache;
+  options.optimizer.cardinality_cache = &cache;
+  util::WallTimer timer;
   auto classes = core::ClassifyParameters(**tmpl, *domain, *ctx->store(),
                                           *ctx->dict(), options);
   if (!classes.ok()) return Fail(classes.status());
+  double elapsed = timer.ElapsedSeconds();
 
-  std::printf("%s: %llu candidates -> %zu classes\n\n",
+  std::printf("%s: %llu candidates -> %zu classes\n",
               (*tmpl)->name().c_str(),
               static_cast<unsigned long long>(classes->num_candidates),
               classes->classes.size());
+  std::printf(
+      "(%.2fs at threads=%zu; cardinality cache: %llu hits / %llu misses, "
+      "%.1f%% hit rate)\n\n",
+      elapsed,
+      util::ThreadPool::ResolveThreads(static_cast<int>(opt.threads)),
+      static_cast<unsigned long long>(cache.hits()),
+      static_cast<unsigned long long>(cache.misses()),
+      cache.HitRate() * 100);
   util::TablePrinter table(
       {"class", "size", "share", "cost bucket", "est C_out range", "plan"});
   for (size_t i = 0; i < classes->classes.size(); ++i) {
@@ -254,6 +270,7 @@ int CmdSample(const Options& opt) {
     core::ClassifyOptions options;
     options.cost_bucket_log2_width = opt.bucket_width;
     options.max_candidates = static_cast<uint64_t>(opt.max_candidates);
+    options.threads = static_cast<int>(opt.threads);
     auto classes = core::ClassifyParameters(**tmpl, *domain, *ctx->store(),
                                             *ctx->dict(), options);
     if (!classes.ok()) return Fail(classes.status());
@@ -305,7 +322,9 @@ int CmdRun(const Options& opt) {
   }
 
   core::WorkloadRunner runner(*ctx->store(), ctx->dict());
-  auto obs = runner.RunAll(**tmpl, bindings);
+  core::WorkloadOptions run_options;
+  run_options.threads = static_cast<int>(opt.threads);
+  auto obs = runner.RunAll(**tmpl, bindings, run_options);
   if (!obs.ok()) return Fail(obs.status());
 
   core::ClassQuality quality = core::AnalyzeClass(*obs);
@@ -329,9 +348,11 @@ int CmdHelp(const char* prog) {
       "  --workload=bsbm|snb     which generator/templates (default bsbm)\n"
       "  --query=N               template number within the workload\n"
       "  --products=N --persons=N --seed=N    dataset shape (deterministic)\n"
+      "  --threads=N             curation worker threads (0 = all cores;\n"
+      "                          results are identical for every N)\n"
       "subcommand flags:\n"
       "  generate: --out=FILE.nt\n"
-      "  classify: --bucket_width=W --max_candidates=N\n"
+      "  classify: --bucket_width=W --max-candidates=N\n"
       "  sample:   --mode=uniform|step|class|class:K --n=N --out=FILE.tsv\n"
       "  run:      --bindings=FILE.tsv | --n=N (uniform fallback)\n",
       prog);
@@ -355,6 +376,8 @@ int main(int argc, char** argv) {
   flags.AddInt64("n", &opt.n, "number of bindings");
   flags.AddInt64("max_candidates", &opt.max_candidates,
                  "classification candidate budget");
+  flags.AddInt64("threads", &opt.threads,
+                 "worker threads for classify/run (0 = all cores)");
   flags.AddDouble("bucket_width", &opt.bucket_width,
                   "log2 C_out bucket width (condition b)");
   flags.AddString("mode", &opt.mode, "uniform | step | class | class:K");
