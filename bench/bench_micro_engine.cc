@@ -94,6 +94,25 @@ void BM_ExecuteQ4Root(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecuteQ4Root);
 
+void BM_ExecuteQ4RootThreads(benchmark::State& state) {
+  // Intra-query parallelism axis: same query/plan as BM_ExecuteQ4Root,
+  // executed with N exec-threads (morsel scans + partitioned hash joins).
+  auto& f = Fixture::Get();
+  auto q4 = bsbm::MakeQ4(f.ds);
+  sparql::ParameterBinding b{{f.ds.types[0].id}};
+  auto q = q4.Bind(b, f.ds.dict);
+  auto plan = opt::Optimize(*q, f.ds.store, f.ds.dict);
+  engine::Executor exec(f.ds.store, &f.ds.dict);
+  engine::ExecOptions exec_options;
+  exec_options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    engine::ExecutionStats stats;
+    auto result = exec.Execute(*q, *plan->root, &stats, exec_options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ExecuteQ4RootThreads)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_WorkloadRunOnce(benchmark::State& state) {
   auto& f = Fixture::Get();
   auto q2 = bsbm::MakeQ2(f.ds);
@@ -123,5 +142,35 @@ void BM_HashJoinTwoScans(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HashJoinTwoScans);
+
+void BM_PartitionedHashJoinThreads(benchmark::State& state) {
+  // Forces the (partitioned) hash join: the root joins two materialized
+  // two-pattern components, so neither input is a scan and ExecJoin cannot
+  // fall back to the index nested-loop path.
+  auto& f = Fixture::Get();
+  const char* vocab = "http://rdfparams.org/bsbm/vocabulary#";
+  auto q = sparql::ParseQuery(
+      "SELECT * WHERE { ?offer <" + std::string(vocab) + "product> ?p . "
+      "?offer <" + vocab + "price> ?price . "
+      "?p <" + vocab + "productFeature> ?f . "
+      "?p <" + vocab + "producer> ?maker . }");
+  auto offers = opt::PlanNode::MakeJoin(
+      opt::PlanNode::MakeScan(0, rdf::IndexOrder::kPOS),
+      opt::PlanNode::MakeScan(1, rdf::IndexOrder::kPOS), {"offer"});
+  auto products = opt::PlanNode::MakeJoin(
+      opt::PlanNode::MakeScan(2, rdf::IndexOrder::kPOS),
+      opt::PlanNode::MakeScan(3, rdf::IndexOrder::kPOS), {"p"});
+  auto root = opt::PlanNode::MakeJoin(std::move(offers), std::move(products),
+                                      {"p"});
+  engine::Executor exec(f.ds.store, &f.ds.dict);
+  engine::ExecOptions exec_options;
+  exec_options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    engine::ExecutionStats stats;
+    auto result = exec.Execute(*q, *root, &stats, exec_options);
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+}
+BENCHMARK(BM_PartitionedHashJoinThreads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace

@@ -39,6 +39,10 @@ struct ClassifyOptions {
   /// enumeration order, so the result is byte-identical for every thread
   /// count.
   int threads = 1;
+  /// Note: there is deliberately no engine::ExecOptions here —
+  /// classification only runs the optimizer, never the executor, so
+  /// intra-query execution knobs cannot affect it. The measurement stage
+  /// (WorkloadOptions::exec) is where they apply.
   opt::OptimizeOptions optimizer;
 };
 

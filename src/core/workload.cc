@@ -28,7 +28,8 @@ Result<RunObservation> WorkloadRunner::RunWith(
   for (int r = 0; r < reps; ++r) {
     engine::ExecutionStats stats;
     RDFPARAMS_ASSIGN_OR_RETURN(engine::BindingTable result,
-                               exec->Execute(q, *plan.root, &stats));
+                               exec->Execute(q, *plan.root, &stats,
+                                             options.exec));
     obs.seconds = std::min(obs.seconds, stats.wall_seconds);
     obs.observed_cout = stats.intermediate_rows;
     obs.result_rows = stats.result_rows;
@@ -67,6 +68,15 @@ Result<std::vector<RunObservation>> WorkloadRunner::RunAll(
   size_t threads = util::ThreadPool::ResolveThreads(options.threads);
   util::ThreadPool pool(threads - 1);
   util::FirstFailureTracker tracker(n);
+  // Chunk size: dynamic by default; with intra-query parallelism on, each
+  // chunk's executor lazily spins up its own inner worker pool, so hand
+  // every outer participant one contiguous chunk to create that pool once
+  // per worker instead of once per chunk. (Results are slot-addressed and
+  // thus independent of the chunking either way.)
+  uint64_t chunk = 0;
+  if (util::ThreadPool::ResolveThreads(options.exec.threads) > 1 && n > 0) {
+    chunk = (n + threads - 1) / threads;
+  }
   pool.ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
     // Per-chunk executor state: a read-only view of the shared dictionary
     // plus a private scratch overlay for aggregate interning. The overlay
@@ -83,7 +93,7 @@ Result<std::vector<RunObservation>> WorkloadRunner::RunAll(
         tracker.Record(i);
       }
     }
-  });
+  }, chunk);
   // Report the first failure in binding order (deterministic).
   if (tracker.any()) return failures[tracker.first()];
   return out;

@@ -36,6 +36,13 @@ struct WorkloadOptions {
   /// wall-clock `seconds` field, which is a measurement, not a value —
   /// it is non-deterministic even when run serially.
   int threads = 1;
+  /// Intra-query parallelism for each individual execution (morsel scans,
+  /// partitioned hash joins). Orthogonal to `threads`: `threads` spreads
+  /// bindings across workers, `exec.threads` spreads one query's probe
+  /// work. Both preserve byte-identical observations; when measuring
+  /// runtimes for the paper's statistics, prefer one axis at a time so
+  /// the per-query `seconds` stay comparable.
+  engine::ExecOptions exec;
   opt::OptimizeOptions optimizer;
 };
 

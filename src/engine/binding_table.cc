@@ -23,6 +23,11 @@ void BindingTable::AppendRow(std::initializer_list<rdf::TermId> values) {
   AppendRow(std::span<const rdf::TermId>(values.begin(), values.size()));
 }
 
+void BindingTable::Append(const BindingTable& other) {
+  RDFPARAMS_DCHECK(other.vars_.size() == vars_.size());
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+}
+
 std::string BindingTable::ToString(const rdf::Dictionary& dict,
                                    size_t max_rows) const {
   std::string out;

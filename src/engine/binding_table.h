@@ -37,6 +37,16 @@ class BindingTable {
   void AppendRow(std::span<const rdf::TermId> values);
   void AppendRow(std::initializer_list<rdf::TermId> values);
 
+  /// Appends all rows of `other` (same column count required, one memcpy).
+  /// Used to merge per-worker output slices in slice order.
+  void Append(const BindingTable& other);
+
+  /// Structural equality: same column names in the same order, same rows
+  /// in the same order (one flat vector compare).
+  bool operator==(const BindingTable& other) const {
+    return vars_ == other.vars_ && data_ == other.data_;
+  }
+
   void Reserve(size_t rows) { data_.reserve(rows * vars_.size()); }
   void Clear() { data_.clear(); }
 

@@ -1,0 +1,32 @@
+// Intra-query parallel execution knobs, separated from the optimizer's
+// OptimizeOptions so layers that never execute queries (optimizer, plan
+// classifier) can still carry one options bundle through the pipeline.
+#ifndef RDFPARAMS_ENGINE_EXEC_OPTIONS_H_
+#define RDFPARAMS_ENGINE_EXEC_OPTIONS_H_
+
+#include <cstdint>
+
+namespace rdfparams::engine {
+
+/// Options for one Executor::Execute call.
+///
+/// Determinism contract: the result table and every ExecutionStats counter
+/// (intermediate_rows, scan_rows, result_rows) are byte-identical for every
+/// combination of `threads` and `morsel_size` — only the measured
+/// wall_seconds varies. Workers probe disjoint input slices into private
+/// output tables that are merged in slice order, and per-slice counters are
+/// integers, so the reduction is order-independent.
+struct ExecOptions {
+  /// Intra-query worker threads: 1 = serial, 0 = hardware concurrency.
+  /// Independent of the curation pipeline's across-binding `threads`
+  /// option; when both are set, the total is roughly their product.
+  int threads = 1;
+  /// Rows of the probe-side input handed to one worker at a time
+  /// (morsel-style scheduling). Smaller morsels balance skewed probe costs
+  /// at slightly higher merge overhead. Values < 1 are treated as 1.
+  uint64_t morsel_size = 1024;
+};
+
+}  // namespace rdfparams::engine
+
+#endif  // RDFPARAMS_ENGINE_EXEC_OPTIONS_H_

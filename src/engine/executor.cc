@@ -117,15 +117,18 @@ Result<IndexJoinPlan> PrepareIndexJoin(const TriplePattern& tp,
   return plan;
 }
 
-/// Streams the join of `outer_table` with the plan's pattern; calls
-/// emit(row_span) per result row. Returns the number of probed base rows.
+/// Streams the join of rows [row_begin, row_end) of `outer_table` with the
+/// plan's pattern; calls emit(row_span) per result row in outer-row order.
+/// Returns the number of probed base rows. The range form is what the
+/// morsel-parallel driver slices over.
 template <typename Emit>
 uint64_t RunIndexJoin(const rdf::TripleStore& store, const IndexJoinPlan& plan,
-                      const BindingTable& outer_table, Emit&& emit) {
+                      const BindingTable& outer_table, size_t row_begin,
+                      size_t row_end, Emit&& emit) {
   if (plan.absent_const) return 0;
   std::vector<TermId> row(plan.out_vars.size());
   uint64_t probed = 0;
-  for (size_t r = 0; r < outer_table.num_rows(); ++r) {
+  for (size_t r = row_begin; r < row_end; ++r) {
     auto orow = outer_table.row(r);
     TermId s = plan.cs, p = plan.cp, o = plan.co;
     for (const auto& vs : plan.var_slots) {
@@ -207,23 +210,57 @@ HashJoinPlan PrepareHashJoin(const std::vector<std::string>& build_vars,
   return plan;
 }
 
+/// Cross-product kernel over build rows [row_begin, row_end), emitting in
+/// (build row, probe row) order — the range form is what both the serial
+/// join and the morsel-parallel driver call.
+template <typename Emit>
+void CrossJoinRange(const HashJoinPlan& plan, const BindingTable& build,
+                    const BindingTable& probe, size_t row_begin,
+                    size_t row_end, Emit&& emit) {
+  std::vector<TermId> row(plan.out_vars.size());
+  for (size_t i = row_begin; i < row_end; ++i) {
+    auto brow = build.row(i);
+    for (size_t j = 0; j < probe.num_rows(); ++j) {
+      size_t k = 0;
+      for (TermId v : brow) row[k++] = v;
+      auto prow = probe.row(j);
+      for (int c : plan.probe_extra) row[k++] = prow[static_cast<size_t>(c)];
+      emit(std::span<const TermId>(row));
+    }
+  }
+}
+
+/// Keyed-probe kernel over probe rows [row_begin, row_end).
+/// `lookup(hash)` returns the bucket of ascending build row ids for a key
+/// hash (nullptr on no match) — a single hash table for the serial join, a
+/// per-partition table for the parallel one; the emitted sequence is the
+/// same either way, which is what makes the parallel join byte-identical.
+template <typename Lookup, typename Emit>
+void ProbeHashRange(const HashJoinPlan& plan, const BindingTable& build,
+                    const BindingTable& probe, size_t row_begin,
+                    size_t row_end, Lookup&& lookup, Emit&& emit) {
+  std::vector<TermId> row(plan.out_vars.size());
+  for (size_t j = row_begin; j < row_end; ++j) {
+    auto prow = probe.row(j);
+    const std::vector<uint32_t>* bucket =
+        lookup(KeyHash(prow, plan.probe_key));
+    if (bucket == nullptr) continue;
+    for (uint32_t i : *bucket) {
+      auto brow = build.row(i);
+      if (!KeyEquals(brow, plan.build_key, prow, plan.probe_key)) continue;
+      size_t k = 0;
+      for (TermId v : brow) row[k++] = v;
+      for (int c : plan.probe_extra) row[k++] = prow[static_cast<size_t>(c)];
+      emit(std::span<const TermId>(row));
+    }
+  }
+}
+
 template <typename Emit>
 void RunHashJoin(const HashJoinPlan& plan, const BindingTable& build,
                  const BindingTable& probe, Emit&& emit) {
-  std::vector<TermId> row(plan.out_vars.size());
-  auto emit_pair = [&](std::span<const TermId> brow,
-                       std::span<const TermId> prow) {
-    size_t k = 0;
-    for (TermId v : brow) row[k++] = v;
-    for (int j : plan.probe_extra) row[k++] = prow[static_cast<size_t>(j)];
-    emit(std::span<const TermId>(row));
-  };
   if (plan.build_key.empty()) {
-    for (size_t i = 0; i < build.num_rows(); ++i) {
-      for (size_t j = 0; j < probe.num_rows(); ++j) {
-        emit_pair(build.row(i), probe.row(j));
-      }
-    }
+    CrossJoinRange(plan, build, probe, 0, build.num_rows(), emit);
     return;
   }
   std::unordered_map<uint64_t, std::vector<uint32_t>> table;
@@ -232,16 +269,164 @@ void RunHashJoin(const HashJoinPlan& plan, const BindingTable& build,
     table[KeyHash(build.row(i), plan.build_key)].push_back(
         static_cast<uint32_t>(i));
   }
-  for (size_t j = 0; j < probe.num_rows(); ++j) {
-    auto it = table.find(KeyHash(probe.row(j), plan.probe_key));
-    if (it == table.end()) continue;
-    for (uint32_t i : it->second) {
-      if (KeyEquals(build.row(i), plan.build_key, probe.row(j),
-                    plan.probe_key)) {
-        emit_pair(build.row(i), probe.row(j));
-      }
-    }
+  ProbeHashRange(plan, build, probe, 0, probe.num_rows(),
+                 [&](uint64_t h) -> const std::vector<uint32_t>* {
+                   auto it = table.find(h);
+                   return it == table.end() ? nullptr : &it->second;
+                 },
+                 emit);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel drivers
+//
+// Both drivers share one determinism recipe: the probe-side input is cut
+// into fixed `morsel_size`-row slices, slice m writes only into its own
+// output table and counter slot, and the slices are concatenated in slice
+// order afterwards. Because the serial kernels emit in input-row order,
+// the merged table is byte-identical to a serial run for every thread
+// count, morsel size, and scheduling interleaving; the counters are
+// integers, so their reduction is order-independent too. Workers touch
+// only read-only state (store, materialized inputs) — never the
+// dictionary, which interns lazily on the calling thread.
+// ---------------------------------------------------------------------------
+
+/// The shared morsel scaffold: cuts [0, n) into `morsel_size`-row slices,
+/// runs kernel(row_lo, row_hi, &slice) per slice on the pool (one slice =
+/// one scheduling unit), merges the private slice tables into `out` in
+/// slice order, and returns the sum of the kernels' counter results.
+template <typename Kernel>
+uint64_t ForEachMorselSlice(util::ThreadPool* pool, uint64_t n,
+                            uint64_t morsel_size,
+                            const std::vector<std::string>& out_vars,
+                            BindingTable* out, Kernel&& kernel) {
+  const uint64_t num_morsels = (n + morsel_size - 1) / morsel_size;
+  std::vector<BindingTable> slices(num_morsels, BindingTable(out_vars));
+  std::vector<uint64_t> counters(num_morsels, 0);
+  pool->ParallelFor(
+      0, num_morsels,
+      [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t m = lo; m < hi; ++m) {
+          size_t row_lo = static_cast<size_t>(m * morsel_size);
+          size_t row_hi = static_cast<size_t>(
+              std::min<uint64_t>(n, row_lo + morsel_size));
+          counters[m] = kernel(row_lo, row_hi, &slices[m]);
+        }
+      },
+      /*chunk=*/1);
+  size_t total_rows = 0;
+  for (const BindingTable& s : slices) total_rows += s.num_rows();
+  out->Reserve(total_rows);
+  uint64_t total_counter = 0;
+  for (uint64_t m = 0; m < num_morsels; ++m) {
+    out->Append(slices[m]);
+    total_counter += counters[m];
   }
+  return total_counter;
+}
+
+/// Morsel-parallel index nested-loop join over the outer table. Returns
+/// the probed base-row count.
+uint64_t RunIndexJoinParallel(const rdf::TripleStore& store,
+                              const IndexJoinPlan& plan,
+                              const BindingTable& outer_table,
+                              util::ThreadPool* pool, uint64_t morsel_size,
+                              BindingTable* out) {
+  return ForEachMorselSlice(
+      pool, outer_table.num_rows(), morsel_size, plan.out_vars, out,
+      [&](size_t row_lo, size_t row_hi, BindingTable* slice) {
+        return RunIndexJoin(
+            store, plan, outer_table, row_lo, row_hi,
+            [&](std::span<const TermId> row) { slice->AppendRow(row); });
+      });
+}
+
+/// Build-side hash table partitioned by join-key hash. Partition p holds
+/// exactly the build rows whose key hash routes to p, bucketed by the full
+/// hash with ascending row ids — the same rows, in the same order, a
+/// single-table build would store for those keys, so probe results are
+/// independent of the partition count.
+struct PartitionedHashTable {
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> parts;
+};
+
+PartitionedHashTable BuildPartitioned(const HashJoinPlan& plan,
+                                      const BindingTable& build,
+                                      size_t num_partitions,
+                                      util::ThreadPool* pool) {
+  PartitionedHashTable table;
+  table.parts.resize(num_partitions);
+  const size_t n = build.num_rows();
+  // Pass 1: key hashes, computed once in parallel.
+  std::vector<uint64_t> hashes(n);
+  pool->ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) {
+      hashes[i] = KeyHash(build.row(i), plan.build_key);
+    }
+  });
+  // Pass 2: bucket ascending row ids per partition. A single serial pass:
+  // trivially order-preserving and O(n) appends — cheap next to hashing
+  // and map construction.
+  std::vector<std::vector<uint32_t>> rows_of(num_partitions);
+  for (size_t i = 0; i < n; ++i) {
+    rows_of[hashes[i] % num_partitions].push_back(static_cast<uint32_t>(i));
+  }
+  // Pass 3: per-partition map construction in parallel; each builder only
+  // touches its own rows, and ascending insertion preserves the bucket
+  // order a single-table build would produce.
+  pool->ParallelFor(
+      0, num_partitions,
+      [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t p = lo; p < hi; ++p) {
+          auto& part = table.parts[p];
+          part.reserve(rows_of[p].size() * 2);
+          for (uint32_t i : rows_of[p]) {
+            part[hashes[i]].push_back(i);
+          }
+        }
+      },
+      /*chunk=*/1);
+  return table;
+}
+
+/// Partitioned parallel hash join: probe workers take probe-row morsels
+/// and route each row to its partition's table. Falls back to a morsel
+/// cross product when there is no join key.
+void RunHashJoinParallel(const HashJoinPlan& plan, const BindingTable& build,
+                         const BindingTable& probe, util::ThreadPool* pool,
+                         uint64_t morsel_size, size_t num_partitions,
+                         BindingTable* out) {
+  if (plan.build_key.empty()) {
+    // Cross product: morsels over the build side (the serial outer loop),
+    // through the same kernel the serial join uses.
+    ForEachMorselSlice(
+        pool, build.num_rows(), morsel_size, plan.out_vars, out,
+        [&](size_t row_lo, size_t row_hi, BindingTable* slice) {
+          CrossJoinRange(plan, build, probe, row_lo, row_hi,
+                         [&](std::span<const TermId> row) {
+                           slice->AppendRow(row);
+                         });
+          return uint64_t{0};
+        });
+    return;
+  }
+
+  PartitionedHashTable table =
+      BuildPartitioned(plan, build, num_partitions, pool);
+  auto lookup = [&](uint64_t h) -> const std::vector<uint32_t>* {
+    const auto& part = table.parts[h % num_partitions];
+    auto it = part.find(h);
+    return it == part.end() ? nullptr : &it->second;
+  };
+  ForEachMorselSlice(
+      pool, probe.num_rows(), morsel_size, plan.out_vars, out,
+      [&](size_t row_lo, size_t row_hi, BindingTable* slice) {
+        ProbeHashRange(plan, build, probe, row_lo, row_hi, lookup,
+                       [&](std::span<const TermId> row) {
+                         slice->AppendRow(row);
+                       });
+        return uint64_t{0};
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -448,9 +633,14 @@ Result<BindingTable> Executor::ExecIndexJoin(const SelectQuery& query,
   RDFPARAMS_ASSIGN_OR_RETURN(IndexJoinPlan plan,
                              PrepareIndexJoin(tp, outer_table.vars(), dacc_));
   BindingTable out(plan.out_vars);
-  stats->scan_rows += RunIndexJoin(
-      store_, plan, outer_table,
-      [&](std::span<const TermId> row) { out.AppendRow(row); });
+  if (exec_threads_ > 1 && outer_table.num_rows() > morsel_size_) {
+    stats->scan_rows += RunIndexJoinParallel(store_, plan, outer_table,
+                                             EnsurePool(), morsel_size_, &out);
+  } else {
+    stats->scan_rows += RunIndexJoin(
+        store_, plan, outer_table, 0, outer_table.num_rows(),
+        [&](std::span<const TermId> row) { out.AppendRow(row); });
+  }
   stats->intermediate_rows += out.num_rows();
   RDFPARAMS_RETURN_NOT_OK(ApplyFilters(query, filter_done, &out));
   return out;
@@ -474,8 +664,21 @@ Result<BindingTable> Executor::ExecJoin(const SelectQuery& query,
       BindingTable probe, ExecNode(query, *node.right, filter_done, stats));
   HashJoinPlan plan = PrepareHashJoin(build.vars(), probe.vars());
   BindingTable out(plan.out_vars);
-  RunHashJoin(plan, build, probe,
-              [&](std::span<const TermId> row) { out.AppendRow(row); });
+  if (exec_threads_ > 1 &&
+      build.num_rows() + probe.num_rows() > morsel_size_) {
+    // The optimizer's hint is a floor, not a ceiling: when the estimate
+    // undershoots the actual build size, resize from the materialized row
+    // count (both inputs are thread-count-independent, so the partition
+    // count — which never affects results anyway — stays deterministic).
+    size_t partitions = std::max<size_t>(
+        node.partition_hint,
+        opt::HashJoinPartitionHint(static_cast<double>(build.num_rows())));
+    RunHashJoinParallel(plan, build, probe, EnsurePool(), morsel_size_,
+                        partitions, &out);
+  } else {
+    RunHashJoin(plan, build, probe,
+                [&](std::span<const TermId> row) { out.AppendRow(row); });
+  }
   stats->intermediate_rows += out.num_rows();
   RDFPARAMS_RETURN_NOT_OK(ApplyFilters(query, filter_done, &out));
   return out;
@@ -793,8 +996,13 @@ Result<BindingTable> Executor::ExecuteStreamingAggregate(
     const TriplePattern& tp = query.patterns[inner.pattern_index];
     RDFPARAMS_ASSIGN_OR_RETURN(
         IndexJoinPlan plan, PrepareIndexJoin(tp, outer_table.vars(), dacc_));
+    // The sink feeds the group accumulator, whose floating-point sums are
+    // order-sensitive — so the root probe stays serial (byte-identical to
+    // a serial run by construction); child nodes above already ran with
+    // the parallel operators.
     return stream(plan.out_vars, [&](auto&& sink) {
-      stats->scan_rows += RunIndexJoin(store_, plan, outer_table, sink);
+      stats->scan_rows += RunIndexJoin(store_, plan, outer_table, 0,
+                                       outer_table.num_rows(), sink);
     });
   }
   RDFPARAMS_ASSIGN_OR_RETURN(
@@ -809,7 +1017,13 @@ Result<BindingTable> Executor::ExecuteStreamingAggregate(
 
 Result<BindingTable> Executor::Execute(const SelectQuery& query,
                                        const opt::PlanNode& plan,
-                                       ExecutionStats* stats) {
+                                       ExecutionStats* stats,
+                                       const ExecOptions& options) {
+  // Resolve the intra-query parallel state for this call; the worker pool
+  // itself is created lazily by the first operator that goes parallel.
+  exec_threads_ = util::ThreadPool::ResolveThreads(options.threads);
+  morsel_size_ = std::max<uint64_t>(1, options.morsel_size);
+
   ExecutionStats local;
   util::WallTimer timer;
   std::vector<char> filter_done(query.filters.size(), 0);
@@ -838,12 +1052,21 @@ Result<BindingTable> Executor::Execute(const SelectQuery& query,
   return table;
 }
 
-Result<BindingTable> Executor::Run(const SelectQuery& query,
-                                   ExecutionStats* stats,
-                                   const opt::OptimizeOptions& options) {
-  RDFPARAMS_ASSIGN_OR_RETURN(opt::OptimizedPlan plan,
-                             opt::Optimize(query, store_, base_dict(), options));
-  return Execute(query, *plan.root, stats);
+util::ThreadPool* Executor::EnsurePool() {
+  if (owned_pool_ == nullptr || owned_pool_->size() != exec_threads_ - 1) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(exec_threads_ - 1);
+  }
+  return owned_pool_.get();
+}
+
+Result<BindingTable> Executor::OptimizeAndExecute(
+    const SelectQuery& query, ExecutionStats* stats,
+    const opt::OptimizeOptions& optimize_options,
+    const ExecOptions& exec_options) {
+  RDFPARAMS_ASSIGN_OR_RETURN(
+      opt::OptimizedPlan plan,
+      opt::Optimize(query, store_, base_dict(), optimize_options));
+  return Execute(query, *plan.root, stats, exec_options);
 }
 
 Result<BindingTable> ExecuteNaive(const SelectQuery& query,

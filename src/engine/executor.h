@@ -6,14 +6,17 @@
 #define RDFPARAMS_ENGINE_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "engine/binding_table.h"
+#include "engine/exec_options.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan.h"
 #include "rdf/triple_store.h"
 #include "sparql/algebra.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace rdfparams::engine {
 
@@ -72,15 +75,27 @@ class Executor {
     return scratch_ ? &*scratch_ : nullptr;
   }
 
-  /// Executes a pre-optimized plan for `query`.
+  /// Executes a pre-optimized plan for `query`. With options.threads > 1
+  /// the index-join probe loop runs as morsels over the outer input and
+  /// hash joins build/probe partitioned tables in parallel; results and
+  /// stats counters are byte-identical to the serial run (see ExecOptions).
   Result<BindingTable> Execute(const sparql::SelectQuery& query,
                                const opt::PlanNode& plan,
-                               ExecutionStats* stats);
+                               ExecutionStats* stats,
+                               const ExecOptions& options = {});
 
   /// Optimizes (C_out DP) and executes in one call.
+  Result<BindingTable> OptimizeAndExecute(
+      const sparql::SelectQuery& query, ExecutionStats* stats,
+      const opt::OptimizeOptions& optimize_options = {},
+      const ExecOptions& exec_options = {});
+
+  /// Legacy alias for OptimizeAndExecute with serial execution.
   Result<BindingTable> Run(const sparql::SelectQuery& query,
                            ExecutionStats* stats,
-                           const opt::OptimizeOptions& options = {});
+                           const opt::OptimizeOptions& options = {}) {
+    return OptimizeAndExecute(query, stats, options);
+  }
 
  private:
   Result<BindingTable> ExecNode(const sparql::SelectQuery& query,
@@ -145,6 +160,19 @@ class Executor {
   rdf::Dictionary* dict_ = nullptr;                  // mutable mode
   std::optional<rdf::ScratchDictionary> scratch_;    // read-only mode
   DictAccess dacc_;
+
+  // --- intra-query parallel state (set per Execute call) ---
+  /// Resolved exec-thread count for the current Execute call (1 = serial).
+  /// Workers only ever touch read-only state (store, base dictionary,
+  /// materialized inputs): the scratch interning and modifier phases
+  /// always run on the calling thread.
+  size_t exec_threads_ = 1;
+  uint64_t morsel_size_ = 1024;
+  /// Returns the worker pool sized to exec_threads_, creating it lazily at
+  /// the first operator that actually goes parallel (small inputs never
+  /// pay for thread spawns) and reusing it across Execute calls.
+  util::ThreadPool* EnsurePool();
+  std::unique_ptr<util::ThreadPool> owned_pool_;
 };
 
 /// Reference evaluator: executes the BGP by naive left-to-right nested

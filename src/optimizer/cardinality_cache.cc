@@ -13,8 +13,10 @@ namespace {
 constexpr double kDeclined = std::numeric_limits<double>::quiet_NaN();
 }  // namespace
 
-CardinalityCache::CardinalityCache(size_t num_shards)
-    : shards_(num_shards == 0 ? 1 : num_shards) {}
+CardinalityCache::CardinalityCache(size_t num_shards,
+                                   size_t max_entries_per_shard)
+    : shards_(num_shards == 0 ? 1 : num_shards),
+      max_entries_per_shard_(max_entries_per_shard) {}
 
 size_t CardinalityCache::KeyHash::operator()(const Key& k) const {
   uint64_t h = util::Hash64((uint64_t{k.kind} << 16) |
@@ -30,19 +32,44 @@ CardinalityCache::Shard& CardinalityCache::ShardFor(const Key& key) const {
 std::optional<double> CardinalityCache::LookupRaw(const Key& key) const {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  Entry& entry = shard.slots[it->second];
+  entry.referenced = true;  // second chance against the sweeping hand
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  return entry.value;
 }
 
 void CardinalityCache::InsertRaw(const Key& key, double value) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map.emplace(key, value);
+  if (shard.index.count(key) != 0) return;  // first write wins (exact value)
+  if (max_entries_per_shard_ == 0 ||
+      shard.slots.size() < max_entries_per_shard_) {
+    shard.index.emplace(key, static_cast<uint32_t>(shard.slots.size()));
+    shard.slots.push_back(Entry{key, value, false});
+    return;
+  }
+  // Clock sweep: clear reference bits until an unreferenced victim turns
+  // up. Terminates within one full revolution plus one step, because the
+  // first pass clears every bit it crosses.
+  for (;;) {
+    Entry& candidate = shard.slots[shard.clock_hand];
+    if (candidate.referenced) {
+      candidate.referenced = false;
+      shard.clock_hand = (shard.clock_hand + 1) % shard.slots.size();
+      continue;
+    }
+    shard.index.erase(candidate.key);
+    shard.index.emplace(key, static_cast<uint32_t>(shard.clock_hand));
+    candidate = Entry{key, value, false};
+    shard.clock_hand = (shard.clock_hand + 1) % shard.slots.size();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
 }
 
 std::optional<uint64_t> CardinalityCache::LookupCount(rdf::TermId s,
@@ -86,7 +113,7 @@ size_t CardinalityCache::size() const {
   size_t total = 0;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    total += shard.map.size();
+    total += shard.slots.size();
   }
   return total;
 }
@@ -94,10 +121,13 @@ size_t CardinalityCache::size() const {
 void CardinalityCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.map.clear();
+    shard.index.clear();
+    shard.slots.clear();
+    shard.clock_hand = 0;
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rdfparams::opt

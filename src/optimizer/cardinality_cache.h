@@ -8,11 +8,20 @@
 // across candidates, templates, and threads (the underlying store is
 // immutable after Finalize()).
 //
-// Thread model: sharded unordered maps, each behind its own mutex; the
-// workload is read-mostly once the per-template working set is warm.
-// Values are exact (CountPattern) or deterministic functions of the store
-// (ExactPairJoinCount with a fixed work budget), so cache hits can never
-// change an optimization result — only its latency.
+// Thread model: sharded slot arrays + index maps, each shard behind its
+// own mutex; the workload is read-mostly once the per-template working set
+// is warm. Values are exact (CountPattern) or deterministic functions of
+// the store (ExactPairJoinCount with a fixed work budget), so cache hits
+// can never change an optimization result — only its latency.
+//
+// Bounding (for long-lived services): an optional per-shard entry cap with
+// clock (second-chance) eviction. Lookups set a reference bit; when a full
+// shard inserts, the clock hand sweeps slots, clearing reference bits,
+// and evicts the first unreferenced entry. Eviction order under
+// concurrency is scheduling-dependent, but since every cached value is an
+// exact function of the immutable store, eviction can only cause
+// recomputation — never a different plan. Default is unbounded, which is
+// fine per-template; bound it when one cache outlives many templates.
 #ifndef RDFPARAMS_OPTIMIZER_CARDINALITY_CACHE_H_
 #define RDFPARAMS_OPTIMIZER_CARDINALITY_CACHE_H_
 
@@ -30,7 +39,10 @@ namespace rdfparams::opt {
 
 class CardinalityCache {
  public:
-  explicit CardinalityCache(size_t num_shards = 16);
+  /// `max_entries_per_shard` 0 (default) = unbounded; otherwise each shard
+  /// holds at most that many entries and evicts with the clock policy.
+  explicit CardinalityCache(size_t num_shards = 16,
+                            size_t max_entries_per_shard = 0);
 
   /// Exact triple-pattern count, keyed on (s, p, o) with wildcards.
   std::optional<uint64_t> LookupCount(rdf::TermId s, rdf::TermId p,
@@ -51,7 +63,12 @@ class CardinalityCache {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   double HitRate() const;
+
+  size_t max_entries_per_shard() const { return max_entries_per_shard_; }
 
   /// Total entries across both kinds of keys.
   size_t size() const;
@@ -72,9 +89,17 @@ class CardinalityCache {
   struct KeyHash {
     size_t operator()(const Key& k) const;
   };
+  /// One cached entry: the slot array is the clock's circular buffer.
+  struct Entry {
+    Key key;
+    double value = 0;
+    bool referenced = false;  // set on hit, cleared by the sweeping hand
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<Key, double, KeyHash> map;
+    std::unordered_map<Key, uint32_t, KeyHash> index;  // key -> slot
+    std::vector<Entry> slots;
+    size_t clock_hand = 0;
   };
 
   Shard& ShardFor(const Key& key) const;
@@ -82,8 +107,10 @@ class CardinalityCache {
   void InsertRaw(const Key& key, double value);
 
   mutable std::vector<Shard> shards_;
+  size_t max_entries_per_shard_ = 0;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace rdfparams::opt

@@ -136,6 +136,8 @@ class DpOptimizer {
     out.plan = MakeCanonicalJoin(&a, &b, std::move(vars));
     out.plan->est_cardinality = out.info.cardinality;
     out.plan->est_cout = out.cout;
+    out.plan->partition_hint =
+        HashJoinPartitionHint(out.plan->left->est_cardinality);
     return out;
   }
 

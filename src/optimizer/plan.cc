@@ -36,6 +36,7 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   node->join_vars = join_vars;
   node->est_cardinality = est_cardinality;
   node->est_cout = est_cout;
+  node->partition_hint = partition_hint;
   node->pattern_set = pattern_set;
   if (left) node->left = left->Clone();
   if (right) node->right = right->Clone();
@@ -47,6 +48,14 @@ std::string PlanNode::Fingerprint() const {
     return "S" + std::to_string(pattern_index);
   }
   return "J(" + left->Fingerprint() + "," + right->Fingerprint() + ")";
+}
+
+uint32_t HashJoinPartitionHint(double build_cardinality) {
+  uint32_t p = 1;
+  while (p < 64 && build_cardinality > 4096.0 * static_cast<double>(p)) {
+    p *= 2;
+  }
+  return p;
 }
 
 size_t PlanNode::NumJoins() const {
@@ -71,8 +80,13 @@ void PlanNode::ExplainRec(const sparql::SelectQuery& query, int depth,
     vars += "?" + join_vars[i];
   }
   if (join_vars.empty()) vars = "<cross>";
-  out->append(util::StringPrintf("HashJoin[%s]  (est_card=%.3g, cout=%.3g)\n",
-                                 vars.c_str(), est_cardinality, est_cout));
+  std::string parts;
+  if (partition_hint > 1) {
+    parts = util::StringPrintf(", partitions=%u", partition_hint);
+  }
+  out->append(util::StringPrintf("HashJoin[%s]  (est_card=%.3g, cout=%.3g%s)\n",
+                                 vars.c_str(), est_cardinality, est_cout,
+                                 parts.c_str()));
   left->ExplainRec(query, depth + 1, out);
   right->ExplainRec(query, depth + 1, out);
 }

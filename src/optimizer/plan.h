@@ -34,6 +34,15 @@ struct PlanNode {
   double est_cardinality = 0;  ///< estimated output rows of this node
   double est_cout = 0;         ///< C_out of the subtree rooted here
 
+  /// Suggested hash-join partition count for parallel execution, derived
+  /// from the estimated build-side cardinality. The executor treats it as
+  /// a floor, raising it from the actual (materialized) build row count
+  /// when the estimate undershoots; 0 = no hint. A pure function of
+  /// estimates and row counts, never of the thread count, so the
+  /// partitioning — which cannot affect results either way — stays
+  /// identical across execution configurations.
+  uint32_t partition_hint = 0;
+
   /// Bitmask of pattern indices covered by this subtree.
   uint64_t pattern_set = 0;
 
@@ -65,6 +74,11 @@ struct PlanNode {
   void ExplainRec(const sparql::SelectQuery& query, int depth,
                   std::string* out) const;
 };
+
+/// Partition count for a hash join with `build_cardinality` build rows:
+/// ~4k rows per partition, power of two, capped at 64. Deterministic, so
+/// the same plan always carries the same hint.
+uint32_t HashJoinPartitionHint(double build_cardinality);
 
 /// Result of optimization: the plan plus template-level metadata.
 struct OptimizedPlan {

@@ -4,10 +4,10 @@
 // wall-clock `seconds` field, which is a measurement, not a value).
 #include <gtest/gtest.h>
 
-#include "bsbm/generator.h"
 #include "bsbm/queries.h"
 #include "core/plan_classifier.h"
 #include "core/workload.h"
+#include "test_store.h"
 
 namespace rdfparams::core {
 namespace {
@@ -15,12 +15,7 @@ namespace {
 class ParallelDeterminismTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    bsbm::GeneratorConfig config;
-    config.num_products = 400;
-    config.type_depth = 3;
-    config.type_branching = 3;
-    config.seed = 23;
-    ds_ = new bsbm::Dataset(bsbm::Generate(config));
+    ds_ = new bsbm::Dataset(test::MakeMiniBsbm());
   }
   static void TearDownTestSuite() {
     delete ds_;
@@ -96,6 +91,42 @@ TEST_F(ParallelDeterminismTest, WorkloadObservationsIdenticalAcrossThreads) {
     EXPECT_EQ(a.observed_cout, b.observed_cout) << "binding " << i;
     EXPECT_DOUBLE_EQ(a.est_cout, b.est_cout) << "binding " << i;
     EXPECT_DOUBLE_EQ(a.est_cardinality, b.est_cardinality) << "binding " << i;
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << "binding " << i;
+    EXPECT_EQ(a.result_rows, b.result_rows) << "binding " << i;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, IntraQueryParallelismPreservesObservations) {
+  // Both parallel axes at once: bindings spread across RunAll workers AND
+  // each query executed with intra-query exec-threads. Observations must
+  // still match the fully serial run byte for byte.
+  auto q4 = bsbm::MakeQ4(*ds_);
+  std::vector<sparql::ParameterBinding> bindings;
+  for (rdf::TermId type : bsbm::TypeDomain(*ds_)) {
+    bindings.push_back(sparql::ParameterBinding{{type}});
+    if (bindings.size() == 20) break;
+  }
+  WorkloadRunner runner(ds_->store, static_cast<const rdf::Dictionary&>(
+                                        ds_->dict));
+
+  WorkloadOptions serial_options;  // threads = 1, exec.threads = 1
+  auto serial = runner.RunAll(q4, bindings, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  WorkloadOptions combined_options;
+  combined_options.threads = 2;
+  combined_options.exec.threads = 4;
+  combined_options.exec.morsel_size = 64;
+  auto combined = runner.RunAll(q4, bindings, combined_options);
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+
+  ASSERT_EQ(serial->size(), combined->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    const RunObservation& a = (*serial)[i];
+    const RunObservation& b = (*combined)[i];
+    EXPECT_EQ(a.binding, b.binding) << "binding " << i;
+    EXPECT_EQ(a.observed_cout, b.observed_cout) << "binding " << i;
+    EXPECT_DOUBLE_EQ(a.est_cout, b.est_cout) << "binding " << i;
     EXPECT_EQ(a.fingerprint, b.fingerprint) << "binding " << i;
     EXPECT_EQ(a.result_rows, b.result_rows) << "binding " << i;
   }

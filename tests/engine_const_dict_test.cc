@@ -3,34 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "engine/executor.h"
-#include "rdf/turtle.h"
-#include "sparql/parser.h"
+#include "test_store.h"
 
 namespace rdfparams::engine {
 namespace {
 
-class ConstDictTest : public ::testing::Test {
+class ConstDictTest : public test::TurtleStoreTest {
  protected:
-  void SetUp() override {
-    std::string doc = "@prefix x: <http://x/> .\n";
-    for (int i = 0; i < 30; ++i) {
-      doc += "x:item" + std::to_string(i) + " x:type x:T" +
-             std::to_string(i % 3) + " .\n";
-      doc += "x:item" + std::to_string(i) + " x:score " +
-             std::to_string(i % 7) + " .\n";
-    }
-    ASSERT_TRUE(rdf::LoadTurtle(doc, &dict_, &store_).ok());
-    store_.Finalize();
-  }
-
-  sparql::SelectQuery Parse(const std::string& text) {
-    auto q = sparql::ParseQuery(text);
-    EXPECT_TRUE(q.ok()) << q.status().ToString();
-    return std::move(q).value();
-  }
-
-  rdf::Dictionary dict_;
-  rdf::TripleStore store_;
+  void SetUp() override { Load(test::ItemScoreTurtle()); }
 };
 
 TEST_F(ConstDictTest, ReadOnlyQueryLeavesDictionaryUntouched) {

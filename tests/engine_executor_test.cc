@@ -5,32 +5,14 @@
 
 #include <gtest/gtest.h>
 
-#include "rdf/turtle.h"
-#include "sparql/parser.h"
+#include "test_store.h"
 
 namespace rdfparams::engine {
 namespace {
 
-class ExecutorTest : public ::testing::Test {
+class ExecutorTest : public test::TurtleStoreTest {
  protected:
-  void SetUp() override {
-    const char* doc = R"(
-@prefix x: <http://x/> .
-x:alice x:knows x:bob ; x:age 30 ; x:name "Alice" .
-x:bob x:knows x:carol ; x:age 25 ; x:name "Bob" .
-x:carol x:knows x:alice ; x:age 35 ; x:name "Carol" .
-x:dave x:age 25 ; x:name "Dave" .
-x:alice x:knows x:carol .
-)";
-    ASSERT_TRUE(rdf::LoadTurtle(doc, &dict_, &store_).ok());
-    store_.Finalize();
-  }
-
-  sparql::SelectQuery Parse(const std::string& text) {
-    auto q = sparql::ParseQuery(text);
-    EXPECT_TRUE(q.ok()) << q.status().ToString();
-    return std::move(q).value();
-  }
+  void SetUp() override { Load(test::kSocialGraphTurtle); }
 
   BindingTable Run(const std::string& text, ExecutionStats* stats = nullptr) {
     auto q = Parse(text);
@@ -46,9 +28,6 @@ x:alice x:knows x:carol .
     EXPECT_GE(col, 0);
     return dict_.term(t.at(row, static_cast<size_t>(col))).lexical;
   }
-
-  rdf::Dictionary dict_;
-  rdf::TripleStore store_;
 };
 
 TEST_F(ExecutorTest, SingleScanAllRows) {

@@ -81,6 +81,99 @@ TEST_F(CardinalityCacheTest, PairJoinRemembersDeclinedResults) {
   EXPECT_FALSE(declined->has_value());
 }
 
+TEST_F(CardinalityCacheTest, UnboundedByDefault) {
+  CardinalityCache cache(/*num_shards=*/1);
+  for (rdf::TermId id = 1; id <= 500; ++id) {
+    cache.InsertCount(id, rdf::kWildcardId, rdf::kWildcardId, id);
+  }
+  EXPECT_EQ(cache.size(), 500u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST_F(CardinalityCacheTest, BoundedShardEvictsAtCapacity) {
+  // One shard bounded at 4 entries: the 5th insert must evict exactly one
+  // entry — with no reference bits set, the clock takes the oldest slot.
+  CardinalityCache cache(/*num_shards=*/1, /*max_entries_per_shard=*/4);
+  for (rdf::TermId id = 1; id <= 4; ++id) {
+    cache.InsertCount(id, rdf::kWildcardId, rdf::kWildcardId, id);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+
+  cache.InsertCount(5, rdf::kWildcardId, rdf::kWildcardId, 5);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.LookupCount(1, rdf::kWildcardId, rdf::kWildcardId));
+  for (rdf::TermId id = 2; id <= 5; ++id) {
+    auto hit = cache.LookupCount(id, rdf::kWildcardId, rdf::kWildcardId);
+    ASSERT_TRUE(hit.has_value()) << "id " << id;
+    EXPECT_EQ(*hit, id);
+  }
+}
+
+TEST_F(CardinalityCacheTest, ClockGivesReferencedEntriesASecondChance) {
+  CardinalityCache cache(/*num_shards=*/1, /*max_entries_per_shard=*/4);
+  for (rdf::TermId id = 1; id <= 4; ++id) {
+    cache.InsertCount(id, rdf::kWildcardId, rdf::kWildcardId, id);
+  }
+  // Touch entry 1: its reference bit protects it for one revolution, so
+  // the hand sweeps past it and evicts entry 2 instead.
+  ASSERT_TRUE(cache.LookupCount(1, rdf::kWildcardId, rdf::kWildcardId));
+  cache.InsertCount(5, rdf::kWildcardId, rdf::kWildcardId, 5);
+
+  EXPECT_TRUE(cache.LookupCount(1, rdf::kWildcardId, rdf::kWildcardId));
+  EXPECT_FALSE(cache.LookupCount(2, rdf::kWildcardId, rdf::kWildcardId));
+  EXPECT_TRUE(cache.LookupCount(5, rdf::kWildcardId, rdf::kWildcardId));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST_F(CardinalityCacheTest, EvictionKeepsHitStatAccountingConsistent) {
+  CardinalityCache cache(/*num_shards=*/1, /*max_entries_per_shard=*/2);
+  cache.InsertCount(1, rdf::kWildcardId, rdf::kWildcardId, 10);
+  cache.InsertCount(2, rdf::kWildcardId, rdf::kWildcardId, 20);
+  cache.InsertCount(3, rdf::kWildcardId, rdf::kWildcardId, 30);  // evicts 1
+
+  EXPECT_FALSE(cache.LookupCount(1, rdf::kWildcardId, rdf::kWildcardId));
+  EXPECT_TRUE(cache.LookupCount(2, rdf::kWildcardId, rdf::kWildcardId));
+  EXPECT_TRUE(cache.LookupCount(3, rdf::kWildcardId, rdf::kWildcardId));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 2.0 / 3.0);
+
+  // Re-inserting an evicted key is a normal insert (another eviction at
+  // capacity), and Clear resets every counter including evictions.
+  cache.InsertCount(1, rdf::kWildcardId, rdf::kWildcardId, 10);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST_F(CardinalityCacheTest, BoundedCacheStillServesExactValues) {
+  // A tightly bounded cache thrashes but never changes estimator output.
+  sparql::SelectQuery q = Parse(R"(
+SELECT ?p WHERE {
+  ?p <http://sn/firstName> "John" .
+  ?p <http://sn/livesIn> <http://c/USA> .
+})");
+  CardinalityEstimator plain(store_, dict_);
+  CardinalityCache cache(/*num_shards=*/2, /*max_entries_per_shard=*/1);
+  CardinalityEstimator cached(store_, dict_, &cache);
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < q.patterns.size(); ++i) {
+      auto a = plain.EstimatePattern(q, i);
+      auto b = cached.EstimatePattern(q, i);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_DOUBLE_EQ(a->cardinality, b->cardinality) << "pattern " << i;
+    }
+    auto exact_plain = plain.ExactPairJoinCount(q, 0, 1);
+    auto exact_cached = cached.ExactPairJoinCount(q, 0, 1);
+    ASSERT_TRUE(exact_plain.has_value() && exact_cached.has_value());
+    EXPECT_DOUBLE_EQ(*exact_plain, *exact_cached);
+  }
+}
+
 TEST_F(CardinalityCacheTest, CachedEstimatorMatchesUncached) {
   sparql::SelectQuery q = Parse(R"(
 SELECT ?p WHERE {

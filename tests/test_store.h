@@ -1,0 +1,86 @@
+// Shared in-memory mini-store / query fixtures for engine and core tests.
+//
+// Header-only on purpose: every tests/*_test.cc builds into its own binary,
+// so helpers live here as inline functions / fixture base classes instead
+// of a separate library.
+#ifndef RDFPARAMS_TESTS_TEST_STORE_H_
+#define RDFPARAMS_TESTS_TEST_STORE_H_
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bsbm/generator.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "rdf/turtle.h"
+#include "sparql/parser.h"
+
+namespace rdfparams::test {
+
+/// Parses a query, failing the current test (but not aborting) on errors.
+inline sparql::SelectQuery ParseQueryOrFail(const std::string& text) {
+  auto q = sparql::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  if (!q.ok()) return sparql::SelectQuery{};
+  return std::move(q).value();
+}
+
+/// Fixture base for tests that query a small Turtle-defined store: call
+/// Load(doc) from SetUp(), then use dict_ / store_ / Parse().
+class TurtleStoreTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& turtle_doc) {
+    auto st = rdf::LoadTurtle(turtle_doc, &dict_, &store_);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    store_.Finalize();
+  }
+
+  sparql::SelectQuery Parse(const std::string& text) {
+    return ParseQueryOrFail(text);
+  }
+
+  rdf::Dictionary dict_;
+  rdf::TripleStore store_;
+};
+
+/// The social micro-graph shared by the executor-facing tests: 4 people,
+/// `knows` edges (two out-edges from alice), numeric ages, string names.
+inline const char* kSocialGraphTurtle = R"(
+@prefix x: <http://x/> .
+x:alice x:knows x:bob ; x:age 30 ; x:name "Alice" .
+x:bob x:knows x:carol ; x:age 25 ; x:name "Bob" .
+x:carol x:knows x:alice ; x:age 35 ; x:name "Carol" .
+x:dave x:age 25 ; x:name "Dave" .
+x:alice x:knows x:carol .
+)";
+
+/// An items/type/score store with 30 items over 3 types and integer
+/// scores 0..6 — enough rows to exercise joins, filters, and aggregates.
+inline std::string ItemScoreTurtle(int num_items = 30) {
+  std::string doc = "@prefix x: <http://x/> .\n";
+  for (int i = 0; i < num_items; ++i) {
+    doc += "x:item" + std::to_string(i) + " x:type x:T" +
+           std::to_string(i % 3) + " .\n";
+    doc += "x:item" + std::to_string(i) + " x:score " +
+           std::to_string(i % 7) + " .\n";
+  }
+  return doc;
+}
+
+/// Small deterministic BSBM dataset for suite-level sharing (the scale the
+/// parallel-determinism tests use: deep enough for distinct plan classes,
+/// small enough to generate in well under a second).
+inline bsbm::Dataset MakeMiniBsbm(uint64_t products = 400,
+                                  uint64_t seed = 23) {
+  bsbm::GeneratorConfig config;
+  config.num_products = products;
+  config.type_depth = 3;
+  config.type_branching = 3;
+  config.seed = seed;
+  return bsbm::Generate(config);
+}
+
+}  // namespace rdfparams::test
+
+#endif  // RDFPARAMS_TESTS_TEST_STORE_H_

@@ -55,6 +55,8 @@ struct Options {
   int64_t n = 100;
   int64_t max_candidates = 2000;
   int64_t threads = 1;
+  int64_t exec_threads = 1;
+  int64_t morsel_size = 1024;
   double bucket_width = 1.0;
   std::string mode = "uniform";  // uniform | step | class | class:K
   std::string out;
@@ -324,6 +326,8 @@ int CmdRun(const Options& opt) {
   core::WorkloadRunner runner(*ctx->store(), ctx->dict());
   core::WorkloadOptions run_options;
   run_options.threads = static_cast<int>(opt.threads);
+  run_options.exec.threads = static_cast<int>(opt.exec_threads);
+  run_options.exec.morsel_size = static_cast<uint64_t>(opt.morsel_size);
   auto obs = runner.RunAll(**tmpl, bindings, run_options);
   if (!obs.ok()) return Fail(obs.status());
 
@@ -350,6 +354,10 @@ int CmdHelp(const char* prog) {
       "  --products=N --persons=N --seed=N    dataset shape (deterministic)\n"
       "  --threads=N             curation worker threads (0 = all cores;\n"
       "                          results are identical for every N)\n"
+      "  --exec-threads=N        intra-query worker threads for `run`\n"
+      "                          (morsel scans + partitioned hash joins;\n"
+      "                          0 = all cores; results identical for all N)\n"
+      "  --morsel-size=N         probe rows per intra-query morsel\n"
       "subcommand flags:\n"
       "  generate: --out=FILE.nt\n"
       "  classify: --bucket_width=W --max-candidates=N\n"
@@ -378,6 +386,10 @@ int main(int argc, char** argv) {
                  "classification candidate budget");
   flags.AddInt64("threads", &opt.threads,
                  "worker threads for classify/run (0 = all cores)");
+  flags.AddInt64("exec_threads", &opt.exec_threads,
+                 "intra-query worker threads (0 = all cores)");
+  flags.AddInt64("morsel_size", &opt.morsel_size,
+                 "probe rows per intra-query morsel");
   flags.AddDouble("bucket_width", &opt.bucket_width,
                   "log2 C_out bucket width (condition b)");
   flags.AddString("mode", &opt.mode, "uniform | step | class | class:K");
