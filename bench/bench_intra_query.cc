@@ -1,5 +1,6 @@
 // Intra-query parallel execution harness: measures per-query wall time of
-// the morsel-parallel index join and the partitioned hash join at
+// the morsel-parallel index join, the partitioned hash join, the group-by
+// slice-merge reduction, and the ORDER BY parallel merge sort at
 // increasing exec-thread counts against the serial baseline, and verifies
 // that every configuration returns a byte-identical result table and
 // identical ExecutionStats counters.
@@ -178,13 +179,49 @@ int main(int argc, char** argv) {
     cases.push_back(std::move(c));
   }
 
-  // Streaming aggregate (BSBM Q4 at the root type): the root's group-by
-  // accumulation is serial by design (floating-point sums are
-  // order-sensitive), so only the child joins parallelize — reported here
-  // to keep that bound honest.
+  // Group-by-heavy: AVG/COUNT of every offer price per product — ~one
+  // group per product, streamed through the canonical slice-merge
+  // reduction (the root probe stays serial; slice partials reduce on the
+  // pool).
   {
     Case c;
-    c.name = "streaming aggregate (BSBM Q4, root type; serial root)";
+    c.name = "group-by reduction (avg/count offer price per product)";
+    auto q = sparql::ParseQuery(
+        "SELECT ?p (AVG(?price) AS ?avg) (COUNT(?price) AS ?n) WHERE { "
+        "?offer <" + std::string(vocab) + "product> ?p . "
+        "?offer <" + vocab + "price> ?price . } GROUP BY ?p");
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    c.query = std::move(q).value();
+    cases.push_back(std::move(c));
+  }
+
+  // ORDER-BY-heavy: materialize every (offer, price) pair and sort it
+  // descending by price — the parallel merge sort dominates the profile.
+  {
+    Case c;
+    c.name = "order-by merge sort (all offers by price desc)";
+    auto q = sparql::ParseQuery(
+        "SELECT * WHERE { "
+        "?offer <" + std::string(vocab) + "product> ?p . "
+        "?offer <" + vocab + "price> ?price . } "
+        "ORDER BY DESC(?price) ?offer");
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    c.query = std::move(q).value();
+    cases.push_back(std::move(c));
+  }
+
+  // Streaming aggregate (BSBM Q4 at the root type): the root probe is
+  // serial (it anchors the floating-point accumulation order), but its
+  // output slices reduce on the pool and the child joins parallelize.
+  {
+    Case c;
+    c.name = "streaming aggregate (BSBM Q4, root type; serial root probe)";
     auto q4 = bsbm::MakeQ4(ds);
     auto q = q4.Bind(sparql::ParameterBinding{{ds.types[0].id}}, ds.dict);
     if (!q.ok()) {

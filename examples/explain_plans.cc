@@ -3,6 +3,7 @@
 // switches join orders (the paper's condition (c) boundaries).
 //
 //   ./explain_plans [--workload=bsbm|snb] [--query=4] [--max=12]
+//                   [--exec-threads=N]   (annotate parallel operators)
 #include <cstdio>
 #include <iostream>
 
@@ -14,6 +15,7 @@
 #include "snb/queries.h"
 #include "util/flags.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 using namespace rdfparams;
 
@@ -22,7 +24,7 @@ namespace {
 void ExplainSweep(const sparql::QueryTemplate& tmpl,
                   const core::ParameterDomain& domain,
                   const rdf::TripleStore& store, rdf::Dictionary& dict,
-                  size_t max_shown) {
+                  size_t max_shown, int exec_threads) {
   std::printf("template %s, parameters:", tmpl.name().c_str());
   for (const auto& p : tmpl.parameter_names()) std::printf(" %%%s", p.c_str());
   std::printf("\n%s\n\n", tmpl.query().ToString().c_str());
@@ -44,7 +46,7 @@ void ExplainSweep(const sparql::QueryTemplate& tmpl,
     std::printf("   plan %s   est C_out %.4g\n", plan->fingerprint.c_str(),
                 plan->est_cout);
     if (flipped) {
-      std::printf("%s", plan->root->Explain(*q).c_str());
+      std::printf("%s", plan->root->Explain(*q, exec_threads).c_str());
       last_fingerprint = plan->fingerprint;
     }
   }
@@ -57,15 +59,21 @@ int main(int argc, char** argv) {
   std::string workload = "bsbm";
   int64_t query = 4;
   int64_t max_shown = 12;
+  int64_t exec_threads = 1;
   util::FlagParser flags;
   flags.AddString("workload", &workload, "bsbm or snb");
   flags.AddInt64("query", &query, "query number within the workload");
   flags.AddInt64("max", &max_shown, "max bindings to explain");
+  flags.AddInt64("exec_threads", &exec_threads,
+                 "annotate operators the executor parallelizes at N threads");
   Status st = flags.Parse(argc, argv);
   if (!st.ok() || flags.help_requested()) {
     std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
     return flags.help_requested() ? 0 : 1;
   }
+  // 0 / negative mean "all cores", exactly as ExecOptions::threads does.
+  exec_threads = static_cast<int64_t>(
+      util::ThreadPool::ResolveThreads(static_cast<int>(exec_threads)));
 
   if (workload == "bsbm") {
     bsbm::GeneratorConfig config;
@@ -88,7 +96,7 @@ int main(int argc, char** argv) {
       }
     }
     ExplainSweep(tmpl, domain, ds.store, ds.dict,
-                 static_cast<size_t>(max_shown));
+                 static_cast<size_t>(max_shown), static_cast<int>(exec_threads));
     return 0;
   }
   if (workload == "snb") {
@@ -116,7 +124,7 @@ int main(int argc, char** argv) {
       }
     }
     ExplainSweep(tmpl, domain, ds.store, ds.dict,
-                 static_cast<size_t>(max_shown));
+                 static_cast<size_t>(max_shown), static_cast<int>(exec_threads));
     return 0;
   }
   std::cerr << "unknown workload '" << workload << "'\n";

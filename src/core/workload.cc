@@ -69,7 +69,8 @@ Result<std::vector<RunObservation>> WorkloadRunner::RunAll(
   util::ThreadPool pool(threads - 1);
   util::FirstFailureTracker tracker(n);
   // Chunk size: dynamic by default; with intra-query parallelism on, each
-  // chunk's executor lazily spins up its own inner worker pool, so hand
+  // chunk's executor lazily spins up its own inner worker pool (shared by
+  // its morsel joins, group-by reduction, and parallel sort), so hand
   // every outer participant one contiguous chunk to create that pool once
   // per worker instead of once per chunk. (Results are slot-addressed and
   // thus independent of the chunking either way.)

@@ -37,11 +37,13 @@ struct WorkloadOptions {
   /// it is non-deterministic even when run serially.
   int threads = 1;
   /// Intra-query parallelism for each individual execution (morsel scans,
-  /// partitioned hash joins). Orthogonal to `threads`: `threads` spreads
-  /// bindings across workers, `exec.threads` spreads one query's probe
-  /// work. Both preserve byte-identical observations; when measuring
-  /// runtimes for the paper's statistics, prefer one axis at a time so
-  /// the per-query `seconds` stay comparable.
+  /// partitioned hash joins, the group-by slice-merge reduction, and the
+  /// ORDER BY parallel merge sort — see docs/ARCHITECTURE.md). Orthogonal
+  /// to `threads`: `threads` spreads bindings across workers,
+  /// `exec.threads` spreads one query's own operator work. Both preserve
+  /// byte-identical observations; when measuring runtimes for the paper's
+  /// statistics, prefer one axis at a time so the per-query `seconds`
+  /// stay comparable.
   engine::ExecOptions exec;
   opt::OptimizeOptions optimizer;
 };

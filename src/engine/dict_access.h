@@ -1,0 +1,51 @@
+// Uniform dictionary accessor shared by the executor's operators.
+//
+// Split out of executor.h so lower-level operator modules (group_merge,
+// parallel_sort) can decode terms without pulling in the whole executor.
+#ifndef RDFPARAMS_ENGINE_DICT_ACCESS_H_
+#define RDFPARAMS_ENGINE_DICT_ACCESS_H_
+
+#include <optional>
+
+#include "rdf/dictionary.h"
+
+namespace rdfparams::engine {
+
+/// Uniform accessor over either a mutable Dictionary or a read-only base
+/// dictionary fronted by a private ScratchDictionary overlay. Lets the
+/// executor's operators intern scratch terms (filter constants, aggregate
+/// outputs) without caring which mode they run in.
+///
+/// Thread model: term() and Find() are safe to call from parallel workers
+/// as long as no thread calls Intern() concurrently. The executor upholds
+/// this by interning only on the calling thread, and only outside the
+/// windows in which workers hold a DictAccess (see executor.cc).
+class DictAccess {
+ public:
+  /// Wraps a mutable dictionary (legacy mode): Intern() writes into it.
+  explicit DictAccess(rdf::Dictionary* mut) : mut_(mut) {}
+  /// Wraps a scratch overlay (read-only mode): Intern() writes only into
+  /// the overlay, never the shared base dictionary.
+  explicit DictAccess(rdf::ScratchDictionary* scratch) : scratch_(scratch) {}
+
+  /// Decodes `id` through whichever dictionary this accessor wraps.
+  const rdf::Term& term(rdf::TermId id) const {
+    return mut_ != nullptr ? mut_->term(id) : scratch_->term(id);
+  }
+  /// Reverse lookup without interning; nullopt when `t` is unknown.
+  std::optional<rdf::TermId> Find(const rdf::Term& t) const {
+    return mut_ != nullptr ? mut_->Find(t) : scratch_->Find(t);
+  }
+  /// Interns `t`, returning its (possibly fresh) id. Calling-thread only.
+  rdf::TermId Intern(const rdf::Term& t) {
+    return mut_ != nullptr ? mut_->Intern(t) : scratch_->Intern(t);
+  }
+
+ private:
+  rdf::Dictionary* mut_ = nullptr;
+  rdf::ScratchDictionary* scratch_ = nullptr;
+};
+
+}  // namespace rdfparams::engine
+
+#endif  // RDFPARAMS_ENGINE_DICT_ACCESS_H_

@@ -12,19 +12,44 @@ namespace rdfparams::engine {
 ///
 /// Determinism contract: the result table and every ExecutionStats counter
 /// (intermediate_rows, scan_rows, result_rows) are byte-identical for every
-/// combination of `threads` and `morsel_size` — only the measured
-/// wall_seconds varies. Workers probe disjoint input slices into private
-/// output tables that are merged in slice order, and per-slice counters are
-/// integers, so the reduction is order-independent.
+/// combination of the fields below — only the measured wall_seconds varies.
+/// How each parallel operator upholds the contract:
+///   * morsel joins — workers probe disjoint input slices into private
+///     output tables merged in slice order; per-slice counters are
+///     integers, so their reduction is order-independent;
+///   * group-by — per-slice partial aggregate tables are folded in a
+///     canonical order fixed by the input alone (see group_merge.h), so
+///     even floating-point sums are bit-stable;
+///   * ORDER BY — a row-index tie-break makes the sort order total, so the
+///     parallel merge sort reproduces the serial stable sort exactly (see
+///     parallel_sort.h).
+/// docs/ARCHITECTURE.md spells out the full contract.
 struct ExecOptions {
   /// Intra-query worker threads: 1 = serial, 0 = hardware concurrency.
   /// Independent of the curation pipeline's across-binding `threads`
   /// option; when both are set, the total is roughly their product.
   int threads = 1;
+
   /// Rows of the probe-side input handed to one worker at a time
   /// (morsel-style scheduling). Smaller morsels balance skewed probe costs
   /// at slightly higher merge overhead. Values < 1 are treated as 1.
+  /// Also the run length for the parallel ORDER BY's local sorts. Never
+  /// affects results; the group-by reduction deliberately ignores it (its
+  /// slice width is the fixed kAggSliceRows, see group_merge.h).
   uint64_t morsel_size = 1024;
+
+  /// Run GROUP BY through the parallel partial-table reduction when
+  /// threads > 1 (group_merge.h). Purely a performance switch: the serial
+  /// and parallel group-by compute the identical canonical fold, so
+  /// flipping this can never change a result. Off = accumulate on the
+  /// calling thread only.
+  bool parallel_group_by = true;
+
+  /// Run ORDER BY through the parallel merge sort when threads > 1
+  /// (parallel_sort.h). Purely a performance switch, like
+  /// parallel_group_by: both paths yield the exact stable-sort
+  /// permutation. Off = serial std::stable_sort.
+  bool parallel_sort = true;
 };
 
 }  // namespace rdfparams::engine

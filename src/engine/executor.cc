@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <unordered_map>
 
+#include "engine/group_merge.h"
+#include "engine/parallel_sort.h"
 #include "util/hash.h"
 #include "util/timer.h"
 
@@ -430,144 +434,149 @@ void RunHashJoinParallel(const HashJoinPlan& plan, const BindingTable& build,
 }
 
 // ---------------------------------------------------------------------------
-// Group-by accumulator (shared by materialized and streaming aggregation)
+// Streaming group-by driver
+//
+// Feeds the canonical sliced reduction of group_merge.h from a row stream
+// with bounded memory. Rows buffer into kAggSliceRows-row slices on the
+// calling thread; each full slice becomes one PartialAggTable. With a pool,
+// slice partials are computed as Submit() tasks while the stream keeps
+// producing, and the calling thread folds finished partials in ascending
+// slice order as soon as they complete — at most `max_pending` slices are
+// buffered-or-unfolded at any time, so a cross-product stream never
+// materializes. Without a pool the same slices are computed and folded
+// inline. Both modes evaluate the identical reduction tree (fixed by the
+// stream order and kAggSliceRows alone), so results are byte-identical.
 // ---------------------------------------------------------------------------
 
-class GroupAccumulator {
+class SliceGroupStream {
  public:
-  Status Init(const SelectQuery& query, const std::vector<std::string>& vars) {
-    query_ = &query;
-    for (const std::string& v : query.group_by) {
-      int c = -1;
-      for (size_t i = 0; i < vars.size(); ++i) {
-        if (vars[i] == v) c = static_cast<int>(i);
-      }
-      if (c < 0) {
-        return Status::InvalidArgument("GROUP BY variable ?" + v +
-                                       " not bound by the pattern");
-      }
-      group_cols_.push_back(c);
-    }
-    n_agg_ = query.aggregates.size();
-    agg_cols_.assign(n_agg_, -1);
-    needs_value_.assign(n_agg_, false);
-    for (size_t a = 0; a < n_agg_; ++a) {
-      needs_value_[a] =
-          query.aggregates[a].kind != sparql::AggregateKind::kCount;
-      if (query.aggregates[a].var.empty()) continue;  // COUNT(*)
-      for (size_t i = 0; i < vars.size(); ++i) {
-        if (vars[i] == query.aggregates[a].var) {
-          agg_cols_[a] = static_cast<int>(i);
-        }
-      }
-      if (agg_cols_[a] < 0) {
-        return Status::InvalidArgument("aggregate variable ?" +
-                                       query.aggregates[a].var +
-                                       " not bound by the pattern");
-      }
-    }
-    scratch_key_.resize(group_cols_.size());
-    return Status::OK();
+  /// `width` is the input schema width (columns per row).
+  SliceGroupStream(const GroupBySpec* spec, const DictAccess& dict,
+                   size_t width, util::ThreadPool* pool, size_t max_pending)
+      : spec_(spec),
+        dict_(dict),
+        width_(std::max<size_t>(1, width)),
+        pool_(pool),
+        max_pending_(std::max<size_t>(2, max_pending)),
+        sliced_(MergeableAggregates(*spec->query)),
+        merged_(spec) {}
+
+  /// Outstanding slice tasks capture `this` and raw partial pointers, so
+  /// unwinding past the stream (an exception between Add and Finish) must
+  /// drain them before the members die.
+  ~SliceGroupStream() {
+    if (pool_ == nullptr) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return running_ == 0; });
   }
 
-  void AddRow(std::span<const TermId> row, const DictAccess& dict) {
-    uint64_t h = 0xabcdef;
-    for (size_t k = 0; k < group_cols_.size(); ++k) {
-      scratch_key_[k] = row[static_cast<size_t>(group_cols_[k])];
-      h = util::HashCombine(h, scratch_key_[k]);
+  void Add(std::span<const TermId> row) {
+    if (!sliced_) {  // serial fallback: one streaming accumulator
+      merged_.AddRow(row, dict_);
+      return;
     }
-    std::vector<Acc>& bucket = groups_[h];
-    Acc* acc = nullptr;
-    for (Acc& candidate : bucket) {
-      if (candidate.key == scratch_key_) {
-        acc = &candidate;
-        break;
-      }
-    }
-    if (acc == nullptr) {
-      bucket.push_back(Acc{});
-      acc = &bucket.back();
-      acc->key = scratch_key_;
-      acc->sum.assign(n_agg_, 0.0);
-      acc->min.assign(n_agg_, std::numeric_limits<double>::infinity());
-      acc->max.assign(n_agg_, -std::numeric_limits<double>::infinity());
-      acc->count.assign(n_agg_, 0);
-    }
-    for (size_t a = 0; a < n_agg_; ++a) {
-      ++acc->count[a];
-      if (agg_cols_[a] < 0 || !needs_value_[a]) continue;  // COUNT
-      TermId v = row[static_cast<size_t>(agg_cols_[a])];
-      double x = 0;
-      auto it = numeric_cache_.find(v);
-      if (it != numeric_cache_.end()) {
-        x = it->second;
-      } else {
-        x = dict.term(v).AsDouble().value_or(0.0);
-        numeric_cache_.emplace(v, x);
-      }
-      acc->sum[a] += x;
-      acc->min[a] = std::min(acc->min[a], x);
-      acc->max[a] = std::max(acc->max[a], x);
-    }
+    buffer_.insert(buffer_.end(), row.begin(), row.end());
+    if (++buffered_rows_ == kAggSliceRows) Flush();
   }
 
-  /// Produces the grouped table: group keys followed by aggregate outputs.
+  /// Flushes the trailing partial slice, waits for outstanding slice
+  /// tasks, folds everything in slice order, and emits the grouped table.
   Result<BindingTable> Finish(DictAccess* dict) {
-    std::vector<std::string> out_vars = query_->group_by;
-    for (const sparql::Aggregate& a : query_->aggregates) {
-      out_vars.push_back(a.as_name);
+    Flush();
+    if (pool_ != nullptr) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return running_ == 0; });
     }
-    BindingTable out(out_vars);
-    std::vector<TermId> row(out_vars.size());
-    for (auto& [h, bucket] : groups_) {
-      (void)h;
-      for (Acc& acc : bucket) {
-        size_t k = 0;
-        for (TermId id : acc.key) row[k++] = id;
-        for (size_t a = 0; a < n_agg_; ++a) {
-          const sparql::Aggregate& agg = query_->aggregates[a];
-          double value = 0;
-          switch (agg.kind) {
-            case sparql::AggregateKind::kCount:
-              value = static_cast<double>(acc.count[a]);
-              break;
-            case sparql::AggregateKind::kSum: value = acc.sum[a]; break;
-            case sparql::AggregateKind::kAvg:
-              value = acc.count[a] > 0
-                          ? acc.sum[a] / static_cast<double>(acc.count[a])
-                          : 0.0;
-              break;
-            case sparql::AggregateKind::kMin:
-              value = acc.count[a] > 0 ? acc.min[a] : 0.0;
-              break;
-            case sparql::AggregateKind::kMax:
-              value = acc.count[a] > 0 ? acc.max[a] : 0.0;
-              break;
-          }
-          row[k++] = dict->Intern(rdf::Term::Double(value));
-        }
-        out.AppendRow(row);
-      }
-    }
-    return out;
+    FoldReadyPrefix(/*block=*/true);
+    return merged_.Finish(dict);
   }
 
  private:
-  struct Acc {
-    std::vector<TermId> key;
-    std::vector<double> sum;
-    std::vector<double> min;
-    std::vector<double> max;
-    std::vector<uint64_t> count;
-  };
-  const SelectQuery* query_ = nullptr;
-  std::vector<int> group_cols_;
-  std::vector<int> agg_cols_;
-  std::vector<bool> needs_value_;
-  size_t n_agg_ = 0;
-  std::vector<TermId> scratch_key_;
-  std::unordered_map<uint64_t, std::vector<Acc>> groups_;
-  std::unordered_map<TermId, double> numeric_cache_;
+  void Flush() {
+    if (buffered_rows_ == 0) return;
+    auto rows = std::make_shared<std::vector<TermId>>(std::move(buffer_));
+    buffer_ = {};
+    const size_t nrows = buffered_rows_;
+    buffered_rows_ = 0;
+
+    // Bound memory before adding another slice: fold the oldest unfolded
+    // slices (blocking on their tasks when necessary).
+    while (partials_.size() - next_fold_ >= max_pending_) {
+      FoldOne(/*block=*/true);
+    }
+
+    partials_.push_back(std::make_unique<PartialAggTable>(spec_));
+    PartialAggTable* partial = partials_.back().get();
+    const size_t slice = partials_.size() - 1;
+    if (pool_ == nullptr) {
+      FillPartial(partial, *rows, nrows);
+      FoldReadyPrefix(/*block=*/false);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_.push_back(0);
+      ++running_;
+    }
+    pool_->Submit([this, partial, rows, nrows, slice] {
+      FillPartial(partial, *rows, nrows);
+      std::lock_guard<std::mutex> lock(mu_);
+      done_[slice] = 1;
+      --running_;
+      cv_.notify_all();
+    });
+    FoldReadyPrefix(/*block=*/false);
+  }
+
+  void FillPartial(PartialAggTable* partial,
+                   const std::vector<TermId>& rows, size_t nrows) const {
+    for (size_t r = 0; r < nrows; ++r) {
+      partial->AddRow(
+          std::span<const TermId>(rows.data() + r * width_, width_), dict_);
+    }
+  }
+
+  /// Folds slice `next_fold_`; with block=true waits for its task first.
+  void FoldOne(bool block) {
+    if (pool_ != nullptr) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!block && !done_[next_fold_]) return;
+      cv_.wait(lock, [&] { return done_[next_fold_] != 0; });
+    }
+    merged_.MergeFrom(*partials_[next_fold_]);
+    partials_[next_fold_].reset();
+    ++next_fold_;
+  }
+
+  /// Folds every already-finished slice at the front of the queue (always
+  /// in ascending slice order — the fold order is the determinism anchor).
+  void FoldReadyPrefix(bool block) {
+    while (next_fold_ < partials_.size()) {
+      if (pool_ != nullptr && !block) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!done_[next_fold_]) return;
+      }
+      FoldOne(block);
+    }
+  }
+
+  const GroupBySpec* spec_;
+  const DictAccess& dict_;
+  size_t width_;
+  util::ThreadPool* pool_;
+  const size_t max_pending_;
+  const bool sliced_;
+
+  std::vector<TermId> buffer_;
+  size_t buffered_rows_ = 0;
+  std::vector<std::unique_ptr<PartialAggTable>> partials_;
+  size_t next_fold_ = 0;
+  PartialAggTable merged_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<char> done_;  // per-slice completion flags (guarded by mu_)
+  size_t running_ = 0;      // submitted but unfinished tasks (guarded by mu_)
 };
 
 /// Filter compiled against a concrete schema for per-row evaluation.
@@ -760,10 +769,17 @@ Status Executor::SortRows(const SelectQuery& query, BindingTable* table) {
     key_cols.push_back(c);
     desc.push_back(k.descending);
   }
-  // Decode each distinct key term once (numeric value when applicable) so
-  // the comparator never re-parses lexical forms.
+  // Decode each distinct key term once into a totally-ranked sort key so
+  // the comparator never re-parses lexical forms. Rank: blanks < IRIs <
+  // numeric literals < other literals, numerics by value with NaN after
+  // every number. Separating numeric from non-numeric literals by rank
+  // (instead of comparing them lexicographically as Term::Compare would)
+  // keeps the comparator a strict weak ordering — mixing numeric and
+  // lexicographic comparisons in one column is not transitive, and the
+  // parallel merge (like std::stable_sort itself) requires strictness.
   struct DecodedKey {
-    bool numeric = false;
+    uint8_t rank = 3;
+    bool is_nan = false;
     double value = 0;
   };
   std::unordered_map<TermId, DecodedKey> decoded;
@@ -772,10 +788,14 @@ Status Executor::SortRows(const SelectQuery& query, BindingTable* table) {
     if (it != decoded.end()) return;
     DecodedKey key;
     const rdf::Term& term = dacc_.term(id);
-    if (term.is_numeric()) {
-      auto v = term.AsDouble();
-      if (v) {
-        key.numeric = true;
+    if (term.is_blank()) {
+      key.rank = 0;
+    } else if (term.is_iri()) {
+      key.rank = 1;
+    } else if (term.is_numeric()) {
+      if (auto v = term.AsDouble()) {
+        key.rank = 2;
+        key.is_nan = std::isnan(*v);
         key.value = *v;
       }
     }
@@ -784,29 +804,40 @@ Status Executor::SortRows(const SelectQuery& query, BindingTable* table) {
   for (size_t r = 0; r < table->num_rows(); ++r) {
     for (int c : key_cols) decode(table->at(r, static_cast<size_t>(c)));
   }
-  std::vector<size_t> order(table->num_rows());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+  auto cmp_ids = [&](TermId va, TermId vb) -> int {
+    if (va == vb) return 0;
+    const DecodedKey& ka = decoded.find(va)->second;
+    const DecodedKey& kb = decoded.find(vb)->second;
+    if (ka.rank != kb.rank) return ka.rank < kb.rank ? -1 : 1;
+    if (ka.rank == 2) {
+      if (ka.is_nan || kb.is_nan) {
+        if (ka.is_nan == kb.is_nan) return 0;  // NaN ties with NaN only
+        return kb.is_nan ? -1 : 1;             // numbers before NaN
+      }
+      return ka.value < kb.value ? -1 : (ka.value > kb.value ? 1 : 0);
+    }
+    return dacc_.term(va).Compare(dacc_.term(vb));
+  };
+  auto less = [&](uint32_t a, uint32_t b) {
     for (size_t k = 0; k < key_cols.size(); ++k) {
       TermId va = table->at(a, static_cast<size_t>(key_cols[k]));
       TermId vb = table->at(b, static_cast<size_t>(key_cols[k]));
-      if (va == vb) continue;
-      const DecodedKey& ka = decoded.find(va)->second;
-      const DecodedKey& kb = decoded.find(vb)->second;
-      int cmp;
-      if (ka.numeric && kb.numeric) {
-        cmp = ka.value < kb.value ? -1 : (ka.value > kb.value ? 1 : 0);
-      } else {
-        cmp = dacc_.term(va).Compare(dacc_.term(vb));
-      }
+      int cmp = cmp_ids(va, vb);
       if (cmp == 0) continue;
       return desc[k] ? cmp > 0 : cmp < 0;
     }
     return false;
-  });
+  };
+  // Identical permutation with or without the pool (see parallel_sort.h);
+  // the pool only buys wall time on large inputs.
+  const bool parallel = exec_threads_ > 1 && parallel_sort_ &&
+                        table->num_rows() > morsel_size_;
+  std::vector<uint32_t> order =
+      StableSortPermutation(table->num_rows(), less,
+                            parallel ? EnsurePool() : nullptr, morsel_size_);
   BindingTable sorted(table->vars());
   sorted.Reserve(table->num_rows());
-  for (size_t r : order) sorted.AppendRow(table->row(r));
+  for (uint32_t r : order) sorted.AppendRow(table->row(r));
   *table = std::move(sorted);
   return Status::OK();
 }
@@ -853,14 +884,15 @@ void Executor::ApplyLimitOffset(const SelectQuery& query,
 
 Result<BindingTable> Executor::ApplyModifiers(const SelectQuery& query,
                                               BindingTable table) {
-  // 1. GROUP BY + aggregates (when not already done by the streaming path).
+  // 1. GROUP BY + aggregates (when not already done by the streaming
+  // path): the canonical sliced reduction of group_merge.h, on the pool
+  // when the options allow it — same result either way.
   if (!query.aggregates.empty()) {
-    GroupAccumulator acc;
-    RDFPARAMS_RETURN_NOT_OK(acc.Init(query, table.vars()));
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      acc.AddRow(table.row(r), dacc_);
-    }
-    RDFPARAMS_ASSIGN_OR_RETURN(table, acc.Finish(&dacc_));
+    const bool parallel = exec_threads_ > 1 && parallel_group_by_ &&
+                          table.num_rows() > kAggSliceRows;
+    RDFPARAMS_ASSIGN_OR_RETURN(
+        table, GroupByAggregate(query, table, &dacc_,
+                                parallel ? EnsurePool() : nullptr));
   }
   return FinishModifiers(query, std::move(table));
 }
@@ -968,8 +1000,15 @@ Result<BindingTable> Executor::ExecuteStreamingAggregate(
       filters.push_back(cf);
     }
 
-    GroupAccumulator acc;
-    RDFPARAMS_RETURN_NOT_OK(acc.Init(query, schema));
+    RDFPARAMS_ASSIGN_OR_RETURN(GroupBySpec spec,
+                               GroupBySpec::Compile(query, schema));
+    // The root probe stays on the calling thread (it feeds this sink in a
+    // fixed stream order), but full canonical slices of its output are
+    // reduced on the pool while the stream keeps producing.
+    const bool parallel = exec_threads_ > 1 && parallel_group_by_;
+    SliceGroupStream acc(&spec, dacc_, schema.size(),
+                         parallel ? EnsurePool() : nullptr,
+                         /*max_pending=*/exec_threads_ * 2);
     uint64_t rows = 0;
     produce([&](std::span<const TermId> row) {
       ++rows;
@@ -979,7 +1018,7 @@ Result<BindingTable> Executor::ExecuteStreamingAggregate(
                                      : cf.rhs_const;
         if (!EvalFilter(*cf.f, lhs, rhs)) return;
       }
-      acc.AddRow(row, dacc_);
+      acc.Add(row);
     });
     stats->intermediate_rows += rows;
     RDFPARAMS_ASSIGN_OR_RETURN(BindingTable grouped, acc.Finish(&dacc_));
@@ -996,10 +1035,10 @@ Result<BindingTable> Executor::ExecuteStreamingAggregate(
     const TriplePattern& tp = query.patterns[inner.pattern_index];
     RDFPARAMS_ASSIGN_OR_RETURN(
         IndexJoinPlan plan, PrepareIndexJoin(tp, outer_table.vars(), dacc_));
-    // The sink feeds the group accumulator, whose floating-point sums are
-    // order-sensitive — so the root probe stays serial (byte-identical to
-    // a serial run by construction); child nodes above already ran with
-    // the parallel operators.
+    // The root probe runs serially so the sink sees one fixed stream
+    // order (the determinism anchor for floating-point sums); the sink
+    // itself reduces full slices on the pool, and child nodes above
+    // already ran with the parallel operators.
     return stream(plan.out_vars, [&](auto&& sink) {
       stats->scan_rows += RunIndexJoin(store_, plan, outer_table, 0,
                                        outer_table.num_rows(), sink);
@@ -1023,6 +1062,8 @@ Result<BindingTable> Executor::Execute(const SelectQuery& query,
   // itself is created lazily by the first operator that goes parallel.
   exec_threads_ = util::ThreadPool::ResolveThreads(options.threads);
   morsel_size_ = std::max<uint64_t>(1, options.morsel_size);
+  parallel_group_by_ = options.parallel_group_by;
+  parallel_sort_ = options.parallel_sort;
 
   ExecutionStats local;
   util::WallTimer timer;

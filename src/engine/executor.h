@@ -2,6 +2,12 @@
 // query's solution modifiers (FILTER / GROUP BY / DISTINCT / ORDER BY /
 // LIMIT). Records wall time and the *observed* C_out (the summed sizes of
 // all join outputs), which the paper correlates with runtime (Section III).
+//
+// With ExecOptions::threads > 1 the executor parallelizes inside a single
+// query — morsel-driven index-join probes, partitioned hash joins, the
+// group-by reduction, and the ORDER BY merge sort — while guaranteeing
+// results byte-identical to a serial run (see exec_options.h and
+// docs/ARCHITECTURE.md for the determinism contract).
 #ifndef RDFPARAMS_ENGINE_EXECUTOR_H_
 #define RDFPARAMS_ENGINE_EXECUTOR_H_
 
@@ -10,6 +16,7 @@
 #include <optional>
 
 #include "engine/binding_table.h"
+#include "engine/dict_access.h"
 #include "engine/exec_options.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan.h"
@@ -20,37 +27,19 @@
 
 namespace rdfparams::engine {
 
+/// Counters recorded by one Execute call. All fields except wall_seconds
+/// are part of the determinism contract: identical at every thread count
+/// and morsel size.
 struct ExecutionStats {
+  /// Measured wall time of the Execute call (a measurement, not a value —
+  /// excluded from the byte-identical guarantee).
   double wall_seconds = 0;
   /// Observed C_out: total rows emitted by join operators (incl. the root).
   uint64_t intermediate_rows = 0;
   /// Rows produced by index scans (not part of C_out; diagnostic only).
   uint64_t scan_rows = 0;
+  /// Rows in the final result table (after all solution modifiers).
   uint64_t result_rows = 0;
-};
-
-/// Uniform accessor over either a mutable Dictionary or a read-only base
-/// dictionary fronted by a private ScratchDictionary overlay. Lets the
-/// executor's operators intern scratch terms (filter constants, aggregate
-/// outputs) without caring which mode they run in.
-class DictAccess {
- public:
-  explicit DictAccess(rdf::Dictionary* mut) : mut_(mut) {}
-  explicit DictAccess(rdf::ScratchDictionary* scratch) : scratch_(scratch) {}
-
-  const rdf::Term& term(rdf::TermId id) const {
-    return mut_ != nullptr ? mut_->term(id) : scratch_->term(id);
-  }
-  std::optional<rdf::TermId> Find(const rdf::Term& t) const {
-    return mut_ != nullptr ? mut_->Find(t) : scratch_->Find(t);
-  }
-  rdf::TermId Intern(const rdf::Term& t) {
-    return mut_ != nullptr ? mut_->Intern(t) : scratch_->Intern(t);
-  }
-
- private:
-  rdf::Dictionary* mut_ = nullptr;
-  rdf::ScratchDictionary* scratch_ = nullptr;
 };
 
 class Executor {
@@ -76,9 +65,11 @@ class Executor {
   }
 
   /// Executes a pre-optimized plan for `query`. With options.threads > 1
-  /// the index-join probe loop runs as morsels over the outer input and
-  /// hash joins build/probe partitioned tables in parallel; results and
-  /// stats counters are byte-identical to the serial run (see ExecOptions).
+  /// the index-join probe loop runs as morsels over the outer input, hash
+  /// joins build/probe partitioned tables in parallel, group-by reduces
+  /// through per-slice partial tables, and ORDER BY runs a parallel merge
+  /// sort; results and stats counters are byte-identical to the serial
+  /// run (see ExecOptions).
   Result<BindingTable> Execute(const sparql::SelectQuery& query,
                                const opt::PlanNode& plan,
                                ExecutionStats* stats,
@@ -126,9 +117,12 @@ class Executor {
   Status ApplyFilters(const sparql::SelectQuery& query,
                       std::vector<char>* filter_done, BindingTable* table);
 
-  /// Streams the root join's rows directly into the group-by accumulator
-  /// (no materialization of the root output). Used for aggregate queries;
-  /// essential when the root is a voluminous cross product.
+  /// Streams the root join's rows into the group-by reduction without
+  /// materializing the root output. Used for aggregate queries; essential
+  /// when the root is a voluminous cross product. The root probe itself
+  /// stays on the calling thread, but full canonical slices of its output
+  /// are handed to the worker pool as they fill (see SliceGroupStream in
+  /// executor.cc).
   Result<BindingTable> ExecuteStreamingAggregate(
       const sparql::SelectQuery& query, const opt::PlanNode& root,
       std::vector<char>* filter_done, ExecutionStats* stats);
@@ -140,7 +134,10 @@ class Executor {
   Result<BindingTable> FinishModifiers(const sparql::SelectQuery& query,
                                        BindingTable table);
 
-  /// Stable-sorts rows by the query's ORDER BY keys (numeric-aware).
+  /// Stable-sorts rows by the query's ORDER BY keys (numeric-aware, with a
+  /// total-ordering rank so NaN and mixed numeric/lexicographic keys stay
+  /// well-defined). Runs the parallel merge sort when the current
+  /// ExecOptions allow it — same permutation either way.
   Status SortRows(const sparql::SelectQuery& query, BindingTable* table);
 
   /// Removes duplicate rows, keeping first occurrences.
@@ -164,10 +161,13 @@ class Executor {
   // --- intra-query parallel state (set per Execute call) ---
   /// Resolved exec-thread count for the current Execute call (1 = serial).
   /// Workers only ever touch read-only state (store, base dictionary,
-  /// materialized inputs): the scratch interning and modifier phases
-  /// always run on the calling thread.
+  /// materialized inputs): scratch interning always runs on the calling
+  /// thread, and never while workers hold a DictAccess.
   size_t exec_threads_ = 1;
   uint64_t morsel_size_ = 1024;
+  /// Per-call copies of the operator switches (see ExecOptions).
+  bool parallel_group_by_ = true;
+  bool parallel_sort_ = true;
   /// Returns the worker pool sized to exec_threads_, creating it lazily at
   /// the first operator that actually goes parallel (small inputs never
   /// pay for thread spawns) and reusing it across Execute calls.

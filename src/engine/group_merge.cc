@@ -1,0 +1,215 @@
+#include "engine/group_merge.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace rdfparams::engine {
+
+using rdf::TermId;
+
+bool MergeableAggregates(const sparql::SelectQuery& query) {
+  for (const sparql::Aggregate& a : query.aggregates) {
+    switch (a.kind) {
+      case sparql::AggregateKind::kCount:
+      case sparql::AggregateKind::kSum:
+      case sparql::AggregateKind::kAvg:
+      case sparql::AggregateKind::kMin:
+      case sparql::AggregateKind::kMax:
+        continue;
+      // No default: adding an aggregate kind trips -Wswitch here, forcing
+      // it to be classified before the parallel merge may touch it;
+      // unclassified kinds fall through to the serial single-partial path.
+    }
+    return false;
+  }
+  return true;
+}
+
+Result<GroupBySpec> GroupBySpec::Compile(const sparql::SelectQuery& query,
+                                         const std::vector<std::string>& vars) {
+  GroupBySpec spec;
+  spec.query = &query;
+  for (const std::string& v : query.group_by) {
+    int c = -1;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == v) c = static_cast<int>(i);
+    }
+    if (c < 0) {
+      return Status::InvalidArgument("GROUP BY variable ?" + v +
+                                     " not bound by the pattern");
+    }
+    spec.group_cols.push_back(c);
+  }
+  spec.n_agg = query.aggregates.size();
+  spec.agg_cols.assign(spec.n_agg, -1);
+  spec.needs_value.assign(spec.n_agg, 0);
+  for (size_t a = 0; a < spec.n_agg; ++a) {
+    spec.needs_value[a] =
+        query.aggregates[a].kind != sparql::AggregateKind::kCount ? 1 : 0;
+    if (query.aggregates[a].var.empty()) continue;  // COUNT(*)
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == query.aggregates[a].var) {
+        spec.agg_cols[a] = static_cast<int>(i);
+      }
+    }
+    if (spec.agg_cols[a] < 0) {
+      return Status::InvalidArgument("aggregate variable ?" +
+                                     query.aggregates[a].var +
+                                     " not bound by the pattern");
+    }
+  }
+  return spec;
+}
+
+PartialAggTable::Acc* PartialAggTable::FindOrCreate(uint64_t hash) {
+  std::vector<uint32_t>& bucket = index_[hash];
+  for (uint32_t i : bucket) {
+    if (accs_[i].key == scratch_key_) return &accs_[i];
+  }
+  bucket.push_back(static_cast<uint32_t>(accs_.size()));
+  accs_.push_back(Acc{});
+  Acc* acc = &accs_.back();
+  acc->key = scratch_key_;
+  acc->sum.assign(spec_->n_agg, 0.0);
+  acc->min.assign(spec_->n_agg, std::numeric_limits<double>::infinity());
+  acc->max.assign(spec_->n_agg, -std::numeric_limits<double>::infinity());
+  acc->count.assign(spec_->n_agg, 0);
+  return acc;
+}
+
+void PartialAggTable::AddRow(std::span<const TermId> row,
+                             const DictAccess& dict) {
+  scratch_key_.resize(spec_->group_cols.size());
+  uint64_t h = 0xabcdef;
+  for (size_t k = 0; k < spec_->group_cols.size(); ++k) {
+    scratch_key_[k] = row[static_cast<size_t>(spec_->group_cols[k])];
+    h = util::HashCombine(h, scratch_key_[k]);
+  }
+  Acc* acc = FindOrCreate(h);
+  for (size_t a = 0; a < spec_->n_agg; ++a) {
+    ++acc->count[a];
+    if (spec_->agg_cols[a] < 0 || !spec_->needs_value[a]) continue;  // COUNT
+    TermId v = row[static_cast<size_t>(spec_->agg_cols[a])];
+    double x = 0;
+    auto it = numeric_cache_.find(v);
+    if (it != numeric_cache_.end()) {
+      x = it->second;
+    } else {
+      x = dict.term(v).AsDouble().value_or(0.0);
+      numeric_cache_.emplace(v, x);
+    }
+    acc->sum[a] += x;
+    acc->min[a] = std::min(acc->min[a], x);
+    acc->max[a] = std::max(acc->max[a], x);
+  }
+}
+
+void PartialAggTable::MergeFrom(const PartialAggTable& other) {
+  for (const Acc& src : other.accs_) {
+    scratch_key_ = src.key;
+    uint64_t h = 0xabcdef;
+    for (TermId id : src.key) h = util::HashCombine(h, id);
+    Acc* dst = FindOrCreate(h);
+    for (size_t a = 0; a < spec_->n_agg; ++a) {
+      dst->count[a] += src.count[a];
+      dst->sum[a] += src.sum[a];
+      dst->min[a] = std::min(dst->min[a], src.min[a]);
+      dst->max[a] = std::max(dst->max[a], src.max[a]);
+    }
+  }
+}
+
+Result<BindingTable> PartialAggTable::Finish(DictAccess* dict) const {
+  const sparql::SelectQuery& query = *spec_->query;
+  std::vector<std::string> out_vars = query.group_by;
+  for (const sparql::Aggregate& a : query.aggregates) {
+    out_vars.push_back(a.as_name);
+  }
+
+  // Ascending group-key order: independent of hash iteration order, slice
+  // width, and thread count. Keys are unique, so std::sort suffices.
+  std::vector<uint32_t> order(accs_.size());
+  std::iota(order.begin(), order.end(), uint32_t{0});
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return accs_[a].key < accs_[b].key;
+  });
+
+  BindingTable out(out_vars);
+  out.Reserve(accs_.size());
+  std::vector<TermId> row(out_vars.size());
+  for (uint32_t i : order) {
+    const Acc& acc = accs_[i];
+    size_t k = 0;
+    for (TermId id : acc.key) row[k++] = id;
+    for (size_t a = 0; a < spec_->n_agg; ++a) {
+      const sparql::Aggregate& agg = query.aggregates[a];
+      double value = 0;
+      switch (agg.kind) {
+        case sparql::AggregateKind::kCount:
+          value = static_cast<double>(acc.count[a]);
+          break;
+        case sparql::AggregateKind::kSum: value = acc.sum[a]; break;
+        case sparql::AggregateKind::kAvg:
+          value = acc.count[a] > 0
+                      ? acc.sum[a] / static_cast<double>(acc.count[a])
+                      : 0.0;
+          break;
+        case sparql::AggregateKind::kMin:
+          value = acc.count[a] > 0 ? acc.min[a] : 0.0;
+          break;
+        case sparql::AggregateKind::kMax:
+          value = acc.count[a] > 0 ? acc.max[a] : 0.0;
+          break;
+      }
+      row[k++] = dict->Intern(rdf::Term::Double(value));
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Result<BindingTable> GroupByAggregate(const sparql::SelectQuery& query,
+                                      const BindingTable& input,
+                                      DictAccess* dict,
+                                      util::ThreadPool* pool) {
+  RDFPARAMS_ASSIGN_OR_RETURN(GroupBySpec spec,
+                             GroupBySpec::Compile(query, input.vars()));
+  const uint64_t n = input.num_rows();
+  // Unmergeable aggregates: one serial partial covering every row — the
+  // canonical tree degenerates to the old streaming accumulation order.
+  const uint64_t slice_rows =
+      MergeableAggregates(query) ? kAggSliceRows : std::max<uint64_t>(n, 1);
+  const uint64_t num_slices = (n + slice_rows - 1) / slice_rows;
+
+  std::vector<PartialAggTable> partials(num_slices, PartialAggTable(&spec));
+  const DictAccess& read_dict = *dict;
+  auto fill_slice = [&](uint64_t m) {
+    size_t lo = static_cast<size_t>(m * slice_rows);
+    size_t hi =
+        static_cast<size_t>(std::min<uint64_t>(n, lo + slice_rows));
+    for (size_t r = lo; r < hi; ++r) {
+      partials[m].AddRow(input.row(r), read_dict);
+    }
+  };
+  if (pool != nullptr && num_slices > 1) {
+    pool->ParallelFor(
+        0, num_slices,
+        [&](uint64_t lo, uint64_t hi) {
+          for (uint64_t m = lo; m < hi; ++m) fill_slice(m);
+        },
+        /*chunk=*/1);
+  } else {
+    for (uint64_t m = 0; m < num_slices; ++m) fill_slice(m);
+  }
+
+  // Fold in ascending slice order: the one fixed merge tree.
+  PartialAggTable merged(&spec);
+  for (const PartialAggTable& p : partials) merged.MergeFrom(p);
+  return merged.Finish(dict);
+}
+
+}  // namespace rdfparams::engine

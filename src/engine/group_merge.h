@@ -1,0 +1,134 @@
+// Parallel group-by reduction with a deterministic merge.
+//
+// The classic way to parallelize GROUP BY — thread-local hash tables merged
+// at the end — is unusable here, because the executor promises results that
+// are byte-identical to a serial run at every thread count and morsel size,
+// and floating-point aggregate sums depend on their accumulation order.
+//
+// The fix is to make the reduction tree *canonical* instead of schedule-
+// shaped. Input rows are cut into fixed kAggSliceRows-row slices (a
+// constant, deliberately independent of ExecOptions::morsel_size); each
+// slice accumulates its rows, in row order, into a private PartialAggTable;
+// the partials are then folded left-to-right in ascending slice order:
+//
+//     merged = ((((empty + p0) + p1) + p2) + ...)
+//
+// Every floating-point addition in that tree is fixed by the input row
+// order alone, so computing the slice partials serially or on any number of
+// worker threads yields bit-identical sums. Serial execution runs the same
+// tree — it IS the reference, not a separate code path. COUNT/MIN/MAX merge
+// exactly (order-insensitive); SUM/AVG merge deterministically because the
+// fold order is fixed.
+//
+// Output order is part of the contract too: Finish() emits groups in
+// ascending group-key order (lexicographic over the key TermId tuples),
+// which is independent of hash-table iteration order, thread count, and
+// slice width. Aggregate output literals are interned by the calling
+// thread in that same order, so scratch-dictionary ids are stable across
+// execution configurations as well.
+#ifndef RDFPARAMS_ENGINE_GROUP_MERGE_H_
+#define RDFPARAMS_ENGINE_GROUP_MERGE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/binding_table.h"
+#include "engine/dict_access.h"
+#include "sparql/algebra.h"
+#include "util/status.h"
+
+namespace rdfparams::util {
+class ThreadPool;
+}
+
+namespace rdfparams::engine {
+
+/// Canonical slice width (input rows) for group-by partials. A fixed
+/// constant — NOT ExecOptions::morsel_size — so the floating-point
+/// reduction tree, and therefore the result, is identical at every thread
+/// count and morsel size. Only scheduling varies with the exec options.
+inline constexpr uint64_t kAggSliceRows = 2048;
+
+/// True when every aggregate in `query` can be merged across slice
+/// partials without changing its value relative to the canonical fold
+/// (COUNT/MIN/MAX exactly; SUM/AVG via the fixed slice-order fold).
+/// Aggregate kinds this module does not know how to merge make the
+/// executor fall back to a single serial partial covering all rows.
+bool MergeableAggregates(const sparql::SelectQuery& query);
+
+/// Compiled grouping wiring: column positions of the GROUP BY keys and of
+/// each aggregate's input within a concrete schema.
+struct GroupBySpec {
+  /// Input columns holding the GROUP BY variables, in GROUP BY order.
+  std::vector<int> group_cols;
+  /// Per aggregate: input column of its argument, or -1 for COUNT(*).
+  std::vector<int> agg_cols;
+  /// Per aggregate: whether the numeric value is needed (false for COUNT).
+  std::vector<char> needs_value;
+  /// Number of aggregates (== query->aggregates.size()).
+  size_t n_agg = 0;
+  /// The query this spec was compiled from (not owned).
+  const sparql::SelectQuery* query = nullptr;
+
+  /// Resolves `query`'s GROUP BY and aggregate variables against the input
+  /// schema `vars`; errors on variables the pattern does not bind.
+  static Result<GroupBySpec> Compile(const sparql::SelectQuery& query,
+                                     const std::vector<std::string>& vars);
+};
+
+/// Partial aggregate table for one slice of input rows (or for a merge of
+/// consecutive slices). Accumulates per-group COUNT/SUM/MIN/MAX state.
+class PartialAggTable {
+ public:
+  explicit PartialAggTable(const GroupBySpec* spec) : spec_(spec) {}
+
+  /// Folds one input row into its group (creating the group on first
+  /// sight). Reads — never writes — the dictionary, so disjoint
+  /// PartialAggTables are safe to fill from parallel workers.
+  void AddRow(std::span<const rdf::TermId> row, const DictAccess& dict);
+
+  /// Merges `other` into this table. Deterministic as long as callers
+  /// always fold partials in ascending slice order: for each group,
+  /// exactly one `sum += other.sum` per slice, in slice order.
+  void MergeFrom(const PartialAggTable& other);
+
+  /// Emits the grouped output — group-key columns followed by aggregate
+  /// outputs — with groups in ascending group-key order. Interns aggregate
+  /// literals through `dict` (calling-thread only).
+  Result<BindingTable> Finish(DictAccess* dict) const;
+
+  size_t num_groups() const { return accs_.size(); }
+
+ private:
+  /// One group's accumulator state (per-aggregate slots).
+  struct Acc {
+    std::vector<rdf::TermId> key;
+    std::vector<double> sum;
+    std::vector<double> min;
+    std::vector<double> max;
+    std::vector<uint64_t> count;
+  };
+
+  Acc* FindOrCreate(uint64_t hash);
+
+  const GroupBySpec* spec_;
+  std::vector<Acc> accs_;                                 // first-seen order
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index_;  // hash -> accs
+  std::unordered_map<rdf::TermId, double> numeric_cache_;
+  std::vector<rdf::TermId> scratch_key_;
+};
+
+/// Group-by driver for a materialized input table: slices `input` into
+/// kAggSliceRows partials (computed on `pool` when non-null, inline
+/// otherwise — same result either way), folds them in slice order, and
+/// returns the grouped table in ascending group-key order.
+Result<BindingTable> GroupByAggregate(const sparql::SelectQuery& query,
+                                      const BindingTable& input,
+                                      DictAccess* dict,
+                                      util::ThreadPool* pool);
+
+}  // namespace rdfparams::engine
+
+#endif  // RDFPARAMS_ENGINE_GROUP_MERGE_H_

@@ -1,0 +1,25 @@
+#include "engine/parallel_sort.h"
+
+namespace rdfparams::engine::internal {
+
+std::vector<size_t> InitialRunBounds(size_t n, uint64_t morsel_size) {
+  const uint64_t num_runs = (n + morsel_size - 1) / morsel_size;
+  std::vector<size_t> bounds;
+  bounds.reserve(static_cast<size_t>(num_runs) + 1);
+  for (uint64_t run = 0; run < num_runs; ++run) {
+    bounds.push_back(static_cast<size_t>(run * morsel_size));
+  }
+  bounds.push_back(n);
+  return bounds;
+}
+
+std::vector<size_t> NextRoundBounds(const std::vector<size_t>& bounds,
+                                    size_t n) {
+  std::vector<size_t> next;
+  next.reserve(bounds.size() / 2 + 2);
+  for (size_t i = 0; i < bounds.size(); i += 2) next.push_back(bounds[i]);
+  if (next.back() != n) next.push_back(n);
+  return next;
+}
+
+}  // namespace rdfparams::engine::internal

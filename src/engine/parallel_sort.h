@@ -1,0 +1,124 @@
+// Parallel merge sort for ORDER BY, byte-identical to std::stable_sort.
+//
+// The trick that makes the parallel sort deterministic is strictness: the
+// caller's comparator (a strict weak ordering, possibly with many ties) is
+// extended with a final row-index tie-break, turning it into a strict
+// TOTAL order. Under a total order there is exactly one sorted permutation,
+// and it is precisely the one std::stable_sort produces for the original
+// comparator — so morsel-local sorts followed by pairwise merges in slice
+// order reproduce the serial result exactly, for every thread count,
+// morsel size, and scheduling interleaving. Unlike the group-by reduction
+// (see group_merge.h), no canonical slice width is needed: any slicing of
+// a total order merges to the same permutation.
+//
+// StableSortPermutation is a template over the comparator so the hot
+// per-comparison call inlines into std::sort / std::merge (a type-erased
+// std::function here would tax every one of the O(n log n) comparisons);
+// the run-boundary bookkeeping lives in parallel_sort.cc.
+#ifndef RDFPARAMS_ENGINE_PARALLEL_SORT_H_
+#define RDFPARAMS_ENGINE_PARALLEL_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace rdfparams::engine {
+
+namespace internal {
+
+/// Run boundaries [bounds[i], bounds[i+1]) for morsel_size-row runs of
+/// [0, n); always ends with n.
+std::vector<size_t> InitialRunBounds(size_t n, uint64_t morsel_size);
+
+/// Boundaries after one pairwise merge round (runs 2i and 2i+1 merged, an
+/// odd trailing run carried); always ends with n.
+std::vector<size_t> NextRoundBounds(const std::vector<size_t>& bounds,
+                                    size_t n);
+
+}  // namespace internal
+
+/// Returns the permutation that stable-sorts row indices [0, n) under
+/// `less`, a strict weak ordering over row indices (ties allowed; do NOT
+/// pre-break them — stability is this function's job).
+///
+/// With a null `pool` (or n <= morsel_size) this is std::stable_sort.
+/// Otherwise: morsel_size-row runs are sorted on the pool (one run per
+/// scheduling unit), then merged pairwise in slice order until one run
+/// remains. The result is identical in both modes — callers pick the pool
+/// purely on performance grounds.
+template <typename Less>
+std::vector<uint32_t> StableSortPermutation(size_t n, Less&& less,
+                                            util::ThreadPool* pool = nullptr,
+                                            uint64_t morsel_size = 1024) {
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), uint32_t{0});
+  morsel_size = std::max<uint64_t>(1, morsel_size);
+  if (pool == nullptr || n <= morsel_size) {
+    std::stable_sort(order.begin(), order.end(), less);
+    return order;
+  }
+
+  // Index tie-break => strict total order => sortedness has a unique
+  // witness, shared with the serial stable sort above.
+  auto strict = [&less](uint32_t a, uint32_t b) {
+    if (less(a, b)) return true;
+    if (less(b, a)) return false;
+    return a < b;
+  };
+
+  // Phase 1: sort each morsel-sized run on the pool (one run = one
+  // scheduling unit; runs are disjoint index ranges of `order`).
+  std::vector<size_t> bounds = internal::InitialRunBounds(n, morsel_size);
+  pool->ParallelFor(
+      0, bounds.size() - 1,
+      [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t run = lo; run < hi; ++run) {
+          std::sort(order.begin() + static_cast<ptrdiff_t>(bounds[run]),
+                    order.begin() + static_cast<ptrdiff_t>(bounds[run + 1]),
+                    strict);
+        }
+      },
+      /*chunk=*/1);
+
+  // Phase 2: pairwise merge rounds in slice order, ping-ponging between
+  // two buffers. Each merge touches one disjoint output range, so rounds
+  // parallelize over the pairs.
+  std::vector<uint32_t> other(n);
+  std::vector<uint32_t>* src = &order;
+  std::vector<uint32_t>* dst = &other;
+  while (bounds.size() > 2) {
+    const size_t num_pairs = (bounds.size() - 1) / 2;
+    pool->ParallelFor(
+        0, num_pairs,
+        [&](uint64_t lo, uint64_t hi) {
+          for (uint64_t p = lo; p < hi; ++p) {
+            size_t a = bounds[2 * p], mid = bounds[2 * p + 1],
+                   b = bounds[2 * p + 2];
+            std::merge(src->begin() + static_cast<ptrdiff_t>(a),
+                       src->begin() + static_cast<ptrdiff_t>(mid),
+                       src->begin() + static_cast<ptrdiff_t>(mid),
+                       src->begin() + static_cast<ptrdiff_t>(b),
+                       dst->begin() + static_cast<ptrdiff_t>(a), strict);
+          }
+        },
+        /*chunk=*/1);
+    if ((bounds.size() - 1) % 2 != 0) {  // odd trailing run: carry over
+      size_t a = bounds[bounds.size() - 2], b = bounds.back();
+      std::copy(src->begin() + static_cast<ptrdiff_t>(a),
+                src->begin() + static_cast<ptrdiff_t>(b),
+                dst->begin() + static_cast<ptrdiff_t>(a));
+    }
+    bounds = internal::NextRoundBounds(bounds, n);
+    std::swap(src, dst);
+  }
+  if (src != &order) order = std::move(*src);
+  return order;
+}
+
+}  // namespace rdfparams::engine
+
+#endif  // RDFPARAMS_ENGINE_PARALLEL_SORT_H_

@@ -45,8 +45,10 @@ class CardinalityCache {
                             size_t max_entries_per_shard = 0);
 
   /// Exact triple-pattern count, keyed on (s, p, o) with wildcards.
+  /// Returns nullopt on a cache miss.
   std::optional<uint64_t> LookupCount(rdf::TermId s, rdf::TermId p,
                                       rdf::TermId o) const;
+  /// Stores a triple-pattern count under its (s, p, o) key.
   void InsertCount(rdf::TermId s, rdf::TermId p, rdf::TermId o,
                    uint64_t count);
 
@@ -57,21 +59,32 @@ class CardinalityCache {
   std::optional<std::optional<double>> LookupPairJoin(
       const std::array<rdf::TermId, 6>& pattern_ids, uint8_t pos_a,
       uint8_t pos_b) const;
+  /// Stores a pair-join count (or the "not computable within budget"
+  /// nullopt marker) under its resolved-pattern key.
   void InsertPairJoin(const std::array<rdf::TermId, 6>& pattern_ids,
                       uint8_t pos_a, uint8_t pos_b,
                       std::optional<double> count);
 
+  /// Number of lookups answered from the cache since construction.
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Number of lookups that missed (and presumably caused a computation).
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Number of entries evicted by the clock policy (0 when unbounded).
   uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  /// hits / (hits + misses); 0 when no lookups have happened yet.
   double HitRate() const;
 
+  /// The per-shard entry cap this cache was constructed with (0 =
+  /// unbounded).
   size_t max_entries_per_shard() const { return max_entries_per_shard_; }
 
   /// Total entries across both kinds of keys.
   size_t size() const;
+  /// Drops every entry and resets the hit/miss/eviction counters.
+  /// Thread-safe (locks each shard in turn), though clearing mid-workload
+  /// naturally costs recomputation.
   void Clear();
 
  private:

@@ -64,7 +64,7 @@ size_t PlanNode::NumJoins() const {
 }
 
 void PlanNode::ExplainRec(const sparql::SelectQuery& query, int depth,
-                          std::string* out) const {
+                          int exec_threads, std::string* out) const {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   if (is_scan()) {
     const sparql::TriplePattern& tp = query.patterns[pattern_index];
@@ -84,16 +84,45 @@ void PlanNode::ExplainRec(const sparql::SelectQuery& query, int depth,
   if (partition_hint > 1) {
     parts = util::StringPrintf(", partitions=%u", partition_hint);
   }
-  out->append(util::StringPrintf("HashJoin[%s]  (est_card=%.3g, cout=%.3g%s)\n",
-                                 vars.c_str(), est_cardinality, est_cout,
-                                 parts.c_str()));
-  left->ExplainRec(query, depth + 1, out);
-  right->ExplainRec(query, depth + 1, out);
+  // Mirror the executor's operator choice (see engine::Executor::ExecJoin):
+  // a scan input turns the join into an index nested-loop probe; otherwise
+  // both sides materialize into a (possibly partitioned) hash join.
+  std::string par;
+  if (exec_threads > 1) {
+    if (left->is_scan() || right->is_scan()) {
+      par = ", par=morsel-probe";
+    } else if (join_vars.empty()) {
+      par = ", par=morsel-cross";
+    } else {
+      par = ", par=partitioned";
+    }
+  }
+  out->append(util::StringPrintf(
+      "HashJoin[%s]  (est_card=%.3g, cout=%.3g%s%s)\n", vars.c_str(),
+      est_cardinality, est_cout, parts.c_str(), par.c_str()));
+  left->ExplainRec(query, depth + 1, exec_threads, out);
+  right->ExplainRec(query, depth + 1, exec_threads, out);
 }
 
-std::string PlanNode::Explain(const sparql::SelectQuery& query) const {
+std::string PlanNode::Explain(const sparql::SelectQuery& query,
+                              int exec_threads) const {
   std::string out;
-  ExplainRec(query, 0, &out);
+  ExplainRec(query, 0, exec_threads, &out);
+  // Solution-modifier operators are not plan nodes, but they are real
+  // operators with real parallel strategies — show them so an EXPLAIN at
+  // exec_threads > 1 names everything that will run on the pool.
+  if (!query.aggregates.empty()) {
+    out.append(util::StringPrintf(
+        "GroupBy[%zu key(s), %zu aggregate(s)]  (%s)\n",
+        query.group_by.size(), query.aggregates.size(),
+        exec_threads > 1 ? "par=slice-merge, ascending-key emit"
+                         : "slice-merge, ascending-key emit"));
+  }
+  if (!query.order_by.empty()) {
+    out.append(util::StringPrintf(
+        "OrderBy[%zu key(s)]  (%s)\n", query.order_by.size(),
+        exec_threads > 1 ? "par=merge-sort, stable" : "stable sort"));
+  }
   return out;
 }
 

@@ -67,12 +67,20 @@ struct PlanNode {
   size_t NumJoins() const;
 
   /// Human-readable EXPLAIN rendering with estimates; `query` supplies the
-  /// pattern texts.
-  std::string Explain(const sparql::SelectQuery& query) const;
+  /// pattern texts. With `exec_threads` > 1, every operator the executor
+  /// would parallelize at that thread count is annotated with its strategy
+  /// — joins with a scan input probe as outer-row morsels ("par=morsel-
+  /// probe"), materialized joins build and probe partitioned hash tables
+  /// ("par=partitioned"), keyless joins morsel over the build side
+  /// ("par=morsel-cross") — and trailing GroupBy / OrderBy lines show the
+  /// solution-modifier operators (parallel slice-merge reduction and
+  /// parallel merge sort; see engine/group_merge.h, engine/parallel_sort.h).
+  std::string Explain(const sparql::SelectQuery& query,
+                      int exec_threads = 1) const;
 
  private:
   void ExplainRec(const sparql::SelectQuery& query, int depth,
-                  std::string* out) const;
+                  int exec_threads, std::string* out) const;
 };
 
 /// Partition count for a hash join with `build_cardinality` build rows:

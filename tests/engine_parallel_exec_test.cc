@@ -11,8 +11,12 @@
 //   * directed: hand-built plans that force the partitioned hash join and
 //     the cross-product path, plus morsel sizes down to 1 row.
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -112,6 +116,17 @@ void RunDifferential(const rdf::TripleStore& store,
     ExpectIdentical(serial, run(options),
                     label + " threads=4 morsel=" + std::to_string(morsel));
   }
+  // The operator switches are pure perf knobs: flipping them off (alone
+  // and together) at high thread counts must not change a byte either.
+  for (int mask = 1; mask <= 3; ++mask) {
+    ExecOptions options;
+    options.threads = 8;
+    options.morsel_size = 2;
+    options.parallel_sort = (mask & 1) == 0;
+    options.parallel_group_by = (mask & 2) == 0;
+    ExpectIdentical(serial, run(options),
+                    label + " knobs mask=" + std::to_string(mask));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -182,19 +197,31 @@ std::string RandomQueryText(util::Rng* rng) {
              std::to_string(rng->Uniform(40)) + ") ";
   }
 
-  // Aggregate form: group by the first variable.
+  // Aggregate form: group by the first variable. Half the time there is
+  // no ORDER BY, exercising the group-by's own ascending-key output
+  // order; otherwise sort by the key or by the aggregate output.
   if (!numeric_var.empty() && rng->Bernoulli(0.3)) {
     const char* aggs[] = {"COUNT", "SUM", "MIN", "MAX", "AVG"};
     std::string agg = aggs[rng->Uniform(5)];
-    return "SELECT ?v0 (" + agg + "(?" + numeric_var +
-           ") AS ?out) WHERE { " + where + "} GROUP BY ?v0 ORDER BY ?v0";
+    std::string text = "SELECT ?v0 (" + agg + "(?" + numeric_var +
+                       ") AS ?out) WHERE { " + where + "} GROUP BY ?v0";
+    switch (rng->Uniform(4)) {
+      case 0: break;  // no ORDER BY: ascending-key emit is the order
+      case 1: text += " ORDER BY ?v0"; break;
+      case 2: text += " ORDER BY DESC(?out)"; break;
+      default: text += " ORDER BY ?out ?v0"; break;
+    }
+    return text;
   }
 
   std::string select = rng->Bernoulli(0.3) ? "SELECT DISTINCT *" : "SELECT *";
   std::string text = select + " WHERE { " + where + "}";
-  if (rng->Bernoulli(0.4)) {
-    std::string dir = rng->Bernoulli(0.5) ? "?v1" : "DESC(?v1)";
-    text += " ORDER BY " + dir;
+  if (rng->Bernoulli(0.5)) {
+    // ?v0 repeats heavily (star subjects), so sorting by it stresses the
+    // stable tie-break; two-key and DESC variants stress the comparator.
+    const char* orders[] = {"?v1", "DESC(?v1)", "?v0", "?v0 DESC(?v1)",
+                            "DESC(?v0) ?v1"};
+    text += " ORDER BY " + std::string(orders[rng->Uniform(5)]);
     if (rng->Bernoulli(0.5)) {
       text += " LIMIT " + std::to_string(1 + rng->Uniform(10));
     }
@@ -315,6 +342,206 @@ TEST_F(ParallelExecDirectedTest, EmptyInputsAndSingleRows) {
         "?i <http://x/score> ?s . } LIMIT 1",
         "SELECT * WHERE { ?i <http://x/score> ?s . FILTER(?s > 100) }"}) {
     RunDifferential(store_, dict_, Parse(text), nullptr, text);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directed tests for the parallel ORDER BY merge sort
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelExecDirectedTest, OrderByDuplicateKeysIsStable) {
+  // ?t has only 3 distinct values over 100 items: almost every comparison
+  // is a tie, so the parallel merge lives or dies on the row-index
+  // tie-break. RunDifferential pins it to the serial stable sort.
+  auto q = Parse(
+      "SELECT * WHERE { ?i <http://x/type> ?t . ?i <http://x/score> ?s . } "
+      "ORDER BY ?t");
+  RunDifferential(store_, dict_, q, nullptr, "order-by duplicate keys");
+
+  // And explicitly: ties must keep their pre-sort (input) order. With the
+  // secondary column untouched by the sort, every ?t run must preserve
+  // the relative order the join emitted.
+  Executor exec(store_, dict_);
+  ExecutionStats stats;
+  ExecOptions options;
+  options.threads = 8;
+  options.morsel_size = 1;
+  auto unsorted = exec.OptimizeAndExecute(
+      Parse("SELECT * WHERE { ?i <http://x/type> ?t . "
+            "?i <http://x/score> ?s . }"),
+      &stats, {}, options);
+  auto sorted = exec.OptimizeAndExecute(q, &stats, {}, options);
+  ASSERT_TRUE(unsorted.ok() && sorted.ok());
+  int t_col = sorted->VarIndex("t");
+  int i_col = sorted->VarIndex("i");
+  ASSERT_GE(t_col, 0);
+  ASSERT_GE(i_col, 0);
+  // Build the per-key input sequence, then check the sorted table walks
+  // each key's sequence in order.
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> expect_seq;
+  int ut_col = unsorted->VarIndex("t");
+  int ui_col = unsorted->VarIndex("i");
+  for (size_t r = 0; r < unsorted->num_rows(); ++r) {
+    expect_seq[unsorted->at(r, static_cast<size_t>(ut_col))].push_back(
+        unsorted->at(r, static_cast<size_t>(ui_col)));
+  }
+  std::unordered_map<rdf::TermId, size_t> cursor;
+  for (size_t r = 0; r < sorted->num_rows(); ++r) {
+    rdf::TermId t = sorted->at(r, static_cast<size_t>(t_col));
+    size_t& c = cursor[t];
+    ASSERT_LT(c, expect_seq[t].size());
+    EXPECT_EQ(sorted->at(r, static_cast<size_t>(i_col)), expect_seq[t][c])
+        << "tie order broken at sorted row " << r;
+    ++c;
+  }
+}
+
+TEST(ParallelSortEdgeTest, NanInfAndMixedRankKeys) {
+  // One object column mixing NaN, +/-inf, finite numerics, plain string
+  // literals, and IRIs. The comparator must stay a strict weak ordering
+  // (ranked classes; NaN after every number) or the sort — serial or
+  // parallel — would be undefined. Identity across configs is checked by
+  // RunDifferential; the rank layout is asserted directly.
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  rdf::TermId pred = dict.InternIri("http://x/val");
+  std::vector<rdf::TermId> objects;
+  objects.push_back(dict.Intern(
+      rdf::Term::TypedLiteral("nan", std::string(rdf::kXsdDouble))));
+  objects.push_back(dict.Intern(
+      rdf::Term::TypedLiteral("inf", std::string(rdf::kXsdDouble))));
+  objects.push_back(dict.Intern(
+      rdf::Term::TypedLiteral("-inf", std::string(rdf::kXsdDouble))));
+  for (int v : {5, -3, 12, 0, 5, 7, -3}) {
+    objects.push_back(dict.InternInteger(v));
+  }
+  objects.push_back(dict.InternDouble(2.5));
+  objects.push_back(dict.Intern(rdf::Term::Literal("apple")));
+  objects.push_back(dict.Intern(rdf::Term::Literal("10")));  // lexicographic
+  objects.push_back(dict.InternIri("http://x/zzz"));
+  for (size_t i = 0; i < 40; ++i) {
+    store.Add(dict.InternIri("http://x/s" + std::to_string(i)), pred,
+              objects[i % objects.size()]);
+  }
+  store.Finalize();
+
+  auto q = test::ParseQueryOrFail(
+      "SELECT * WHERE { ?s <http://x/val> ?v . } ORDER BY ?v");
+  RunDifferential(store, dict, q, nullptr, "NaN/mixed-rank ORDER BY");
+
+  Executor exec(store, dict);
+  ExecutionStats stats;
+  ExecOptions options;
+  options.threads = 4;
+  options.morsel_size = 1;
+  auto result = exec.OptimizeAndExecute(q, &stats, {}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  int v_col = result->VarIndex("v");
+  ASSERT_GE(v_col, 0);
+  // Expected class layout: IRIs, then numerics ascending with NaN last
+  // among them, then non-numeric literals.
+  int phase = 0;  // 0=iri, 1=finite numeric, 2=nan, 3=other literal
+  double last_value = -std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < result->num_rows(); ++r) {
+    const rdf::Term& term = dict.term(result->at(r, static_cast<size_t>(v_col)));
+    int cls;
+    std::optional<double> num;
+    if (term.is_numeric()) num = term.AsDouble();
+    if (term.is_iri()) {
+      cls = 0;
+    } else if (num && !std::isnan(*num)) {
+      cls = 1;
+    } else if (num) {
+      cls = 2;
+    } else {
+      cls = 3;
+    }
+    ASSERT_GE(cls, phase) << "rank order violated at row " << r;
+    if (cls == 1) {
+      if (phase == 1) EXPECT_LE(last_value, *num) << "row " << r;
+      last_value = *num;
+    }
+    phase = cls;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directed tests for the parallel group-by reduction
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelExecDirectedTest, GroupByMatchesManualAggregates) {
+  // SUM/AVG/MIN/MAX/COUNT per type, computed by hand from the store, at
+  // an aggressive parallel config (join root => streaming reduction).
+  auto q = Parse(
+      "SELECT ?t (SUM(?s) AS ?sum) (AVG(?s) AS ?avg) (MIN(?s) AS ?lo) "
+      "(MAX(?s) AS ?hi) (COUNT(?s) AS ?n) WHERE { ?i <http://x/type> ?t . "
+      "?i <http://x/score> ?s . } GROUP BY ?t ORDER BY ?t");
+  RunDifferential(store_, dict_, q, nullptr, "group-by manual aggregates");
+
+  // Mutable-dictionary mode so the aggregate output literals decode
+  // through dict_ directly.
+  Executor exec(store_, &dict_);
+  ExecutionStats stats;
+  ExecOptions options;
+  options.threads = 8;
+  options.morsel_size = 1;
+  auto result = exec.OptimizeAndExecute(q, &stats, {}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 3u);  // T0, T1, T2
+
+  // Manual aggregation straight off the generator formula in
+  // ItemScoreTurtle(100): item i has type T(i%3) and score i%7.
+  for (size_t r = 0; r < result->num_rows(); ++r) {
+    std::string type =
+        dict_.term(result->at(r, static_cast<size_t>(result->VarIndex("t"))))
+            .lexical;
+    int t = type.back() - '0';
+    double sum = 0, lo = 1e9, hi = -1e9, n = 0;
+    for (int i = 0; i < 100; ++i) {
+      if (i % 3 != t) continue;
+      double s = i % 7;
+      sum += s;
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+      n += 1;
+    }
+    auto num_at = [&](const char* var) {
+      return dict_
+          .term(result->at(r, static_cast<size_t>(result->VarIndex(var))))
+          .AsDouble()
+          .value_or(-1);
+    };
+    EXPECT_DOUBLE_EQ(num_at("sum"), sum) << type;
+    EXPECT_DOUBLE_EQ(num_at("avg"), sum / n) << type;
+    EXPECT_DOUBLE_EQ(num_at("lo"), lo) << type;
+    EXPECT_DOUBLE_EQ(num_at("hi"), hi) << type;
+    EXPECT_DOUBLE_EQ(num_at("n"), n) << type;
+  }
+}
+
+TEST_F(ParallelExecDirectedTest, GroupByWithoutOrderByEmitsAscendingKeys) {
+  // No ORDER BY: the group-by's own output order — ascending group-key
+  // tuples — is the contract, at every config.
+  auto q = Parse(
+      "SELECT ?t (COUNT(?s) AS ?n) WHERE { ?i <http://x/type> ?t . "
+      "?i <http://x/score> ?s . } GROUP BY ?t");
+  RunDifferential(store_, dict_, q, nullptr, "group-by ascending-key emit");
+
+  for (int threads : {1, 8}) {
+    Executor exec(store_, dict_);
+    ExecutionStats stats;
+    ExecOptions options;
+    options.threads = threads;
+    options.morsel_size = 1;
+    auto result = exec.OptimizeAndExecute(q, &stats, {}, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    int t_col = result->VarIndex("t");
+    ASSERT_GE(t_col, 0);
+    for (size_t r = 1; r < result->num_rows(); ++r) {
+      EXPECT_LT(result->at(r - 1, static_cast<size_t>(t_col)),
+                result->at(r, static_cast<size_t>(t_col)))
+          << "threads=" << threads;
+    }
   }
 }
 

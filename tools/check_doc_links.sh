@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Verifies that every relative markdown link target in README.md and
+# docs/*.md exists, so the docs cannot silently rot as files move.
+# Registered as the `docs_link_check` ctest test and run by CI.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in README.md docs/*.md; do
+  [ -e "$f" ] || continue
+  dir=$(dirname "$f")
+  # Extract (target) parts of [text](target) links, one per line.
+  while IFS= read -r link; do
+    # Strip an optional markdown title and <> wrapping: (path "Title").
+    link=$(printf '%s' "$link" | sed -E 's/[[:space:]]+"[^"]*"$//')
+    link="${link#<}"; link="${link%>}"
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"           # drop an in-page anchor
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK in $f: ($link)"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "doc links OK"
+fi
+exit "$fail"

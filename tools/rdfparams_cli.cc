@@ -57,6 +57,8 @@ struct Options {
   int64_t threads = 1;
   int64_t exec_threads = 1;
   int64_t morsel_size = 1024;
+  bool parallel_group_by = true;
+  bool parallel_sort = true;
   double bucket_width = 1.0;
   std::string mode = "uniform";  // uniform | step | class | class:K
   std::string out;
@@ -328,6 +330,8 @@ int CmdRun(const Options& opt) {
   run_options.threads = static_cast<int>(opt.threads);
   run_options.exec.threads = static_cast<int>(opt.exec_threads);
   run_options.exec.morsel_size = static_cast<uint64_t>(opt.morsel_size);
+  run_options.exec.parallel_group_by = opt.parallel_group_by;
+  run_options.exec.parallel_sort = opt.parallel_sort;
   auto obs = runner.RunAll(**tmpl, bindings, run_options);
   if (!obs.ok()) return Fail(obs.status());
 
@@ -355,9 +359,14 @@ int CmdHelp(const char* prog) {
       "  --threads=N             curation worker threads (0 = all cores;\n"
       "                          results are identical for every N)\n"
       "  --exec-threads=N        intra-query worker threads for `run`\n"
-      "                          (morsel scans + partitioned hash joins;\n"
+      "                          (morsel scans, partitioned hash joins,\n"
+      "                          group-by reduction, ORDER BY merge sort;\n"
       "                          0 = all cores; results identical for all N)\n"
       "  --morsel-size=N         probe rows per intra-query morsel\n"
+      "  --parallel-group-by=B   group-by slice-merge reduction on the pool\n"
+      "                          (default true; purely a perf switch)\n"
+      "  --parallel-sort=B       ORDER BY parallel merge sort on the pool\n"
+      "                          (default true; purely a perf switch)\n"
       "subcommand flags:\n"
       "  generate: --out=FILE.nt\n"
       "  classify: --bucket_width=W --max-candidates=N\n"
@@ -390,6 +399,10 @@ int main(int argc, char** argv) {
                  "intra-query worker threads (0 = all cores)");
   flags.AddInt64("morsel_size", &opt.morsel_size,
                  "probe rows per intra-query morsel");
+  flags.AddBool("parallel_group_by", &opt.parallel_group_by,
+                "run group-by through the parallel slice-merge reduction");
+  flags.AddBool("parallel_sort", &opt.parallel_sort,
+                "run ORDER BY through the parallel merge sort");
   flags.AddDouble("bucket_width", &opt.bucket_width,
                   "log2 C_out bucket width (condition b)");
   flags.AddString("mode", &opt.mode, "uniform | step | class | class:K");
