@@ -1,0 +1,159 @@
+// bench_load — systems harness for the sharded N-Triples load pipeline.
+//
+// Measures cold-start: serial streaming load vs the sharded loader at
+// 1/2/4/…/--max_threads load threads, and serial vs pool-parallel index
+// finalize, on a generated BSBM dataset serialized to N-Triples. Every
+// parallel configuration is checked byte-identical to the serial baseline
+// (dictionary id -> term mapping and the finalized SPO image); any
+// mismatch fails the process, so CI can gate on the exit code. Like the
+// other scaling harnesses, wall-time speedups are machine-limited to ~1x
+// on 1-core containers — the identity columns are the part that always
+// bites (see docs/BENCHMARKS.md).
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bsbm/generator.h"
+#include "rdf/ntriples.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace rdfparams;
+
+namespace {
+
+struct Baseline {
+  std::string dict_image;   // every term in id order, newline-joined
+  std::string store_image;  // finalized SPO serialization
+  size_t triples = 0;
+  size_t terms = 0;
+};
+
+std::string DictImage(const rdf::Dictionary& dict) {
+  std::string out;
+  for (rdf::TermId id = 0; id < dict.size(); ++id) {
+    out += dict.term(id).ToNTriples();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string StoreImage(const rdf::Dictionary& dict,
+                       const rdf::TripleStore& store) {
+  std::ostringstream os;
+  Status st = rdf::WriteNTriples(dict, store, os);
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t products = 3000;
+  int64_t max_threads = 8;
+  int64_t seed = 42;
+  util::FlagParser flags;
+  flags.AddInt64("products", &products, "BSBM products for the dataset");
+  flags.AddInt64("max_threads", &max_threads, "highest load-thread count");
+  flags.AddInt64("seed", &seed, "generator seed");
+  Status st = flags.Parse(argc - 1, argv + 1);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintHeader(
+      "bench_load — sharded N-Triples load + parallel index finalize",
+      "loading must not be the bottleneck of parameter curation; the "
+      "sharded loader keeps cold-start proportional to cores while "
+      "staying byte-identical to serial loading");
+
+  // Build the input document in memory (no disk noise in the numbers).
+  auto config = bench::DefaultBsbmConfig(static_cast<uint64_t>(products),
+                                         static_cast<uint64_t>(seed));
+  bsbm::Dataset dataset = bsbm::Generate(config);
+  std::ostringstream nt;
+  if (!rdf::WriteNTriples(dataset.dict, dataset.store, nt).ok()) {
+    std::fprintf(stderr, "FATAL: cannot serialize dataset\n");
+    return 1;
+  }
+  const std::string document = nt.str();
+  const double mb = static_cast<double>(document.size()) / (1024.0 * 1024.0);
+  std::printf("input: %.1f MB of N-Triples (%s triples)\n\n", mb,
+              util::FormatCount(dataset.store.size()).c_str());
+
+  // Serial baseline: streaming parse + serial finalize.
+  Baseline base;
+  double serial_parse, serial_finalize;
+  {
+    rdf::Dictionary dict;
+    rdf::TripleStore store;
+    util::WallTimer parse_timer;
+    if (!rdf::LoadNTriples(document, &dict, &store).ok()) {
+      std::fprintf(stderr, "FATAL: serial load failed\n");
+      return 1;
+    }
+    serial_parse = parse_timer.ElapsedSeconds();
+    util::WallTimer finalize_timer;
+    store.Finalize();
+    serial_finalize = finalize_timer.ElapsedSeconds();
+    base.dict_image = DictImage(dict);
+    base.store_image = StoreImage(dict, store);
+    base.triples = store.size();
+    base.terms = dict.size();
+  }
+  std::printf("serial baseline: parse %s (%.1f MB/s), finalize %s\n\n",
+              bench::Dur(serial_parse).c_str(),
+              serial_parse > 0 ? mb / serial_parse : 0.0,
+              bench::Dur(serial_finalize).c_str());
+
+  std::printf("%-14s %-12s %-10s %-12s %-10s %s\n", "load-threads", "parse",
+              "speedup", "finalize", "speedup", "identical");
+  bool all_identical = true;
+  for (int64_t t = 1; t <= max_threads; t *= 2) {
+    rdf::Dictionary dict;
+    rdf::TripleStore store;
+    util::ThreadPool pool(static_cast<size_t>(t) - 1);
+    rdf::LoadOptions options;
+    options.pool = &pool;
+    options.min_chunk_bytes = 64 * 1024;
+    util::WallTimer parse_timer;
+    if (!rdf::LoadNTriples(document, &dict, &store, options).ok()) {
+      std::fprintf(stderr, "FATAL: sharded load failed at threads=%lld\n",
+                   static_cast<long long>(t));
+      return 1;
+    }
+    double parse = parse_timer.ElapsedSeconds();
+    util::WallTimer finalize_timer;
+    store.Finalize(&pool);
+    double finalize = finalize_timer.ElapsedSeconds();
+
+    bool identical = store.size() == base.triples &&
+                     dict.size() == base.terms &&
+                     DictImage(dict) == base.dict_image &&
+                     StoreImage(dict, store) == base.store_image;
+    all_identical = all_identical && identical;
+    std::printf("%-14lld %-12s %-10.2f %-12s %-10.2f %s\n",
+                static_cast<long long>(t), bench::Dur(parse).c_str(),
+                parse > 0 ? serial_parse / parse : 0.0,
+                bench::Dur(finalize).c_str(),
+                finalize > 0 ? serial_finalize / finalize : 0.0,
+                identical ? "yes" : "NO (BUG)");
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "\nFAIL: a sharded load diverged from the serial result\n");
+    return 1;
+  }
+  std::printf("\nall load-thread counts byte-identical to serial: OK\n");
+  return 0;
+}

@@ -30,6 +30,17 @@ std::string Dictionary::ToString(TermId id) const {
   return terms_[id].ToNTriples();
 }
 
+std::vector<TermId> Dictionary::FoldScratch(const ScratchDictionary& overlay) {
+  RDFPARAMS_DCHECK(&overlay.base() == this);
+  RDFPARAMS_DCHECK(overlay.base_size() <= terms_.size());
+  std::vector<TermId> map;
+  map.reserve(overlay.num_scratch());
+  for (size_t i = 0; i < overlay.num_scratch(); ++i) {
+    map.push_back(Intern(overlay.scratch_term(i)));
+  }
+  return map;
+}
+
 TermId ScratchDictionary::Intern(const Term& term) {
   if (auto base_id = base_.Find(term)) {
     // Ids past the snapshot would collide with overlay ids.

@@ -17,6 +17,8 @@ namespace rdfparams::rdf {
 using TermId = uint32_t;
 inline constexpr TermId kInvalidTermId = 0xFFFFFFFFu;
 
+class ScratchDictionary;
+
 /// Append-only term dictionary. Ids are dense and start at 0.
 /// Not thread-safe for writes; concurrent reads after loading are fine.
 class Dictionary {
@@ -53,6 +55,17 @@ class Dictionary {
   /// N-Triples rendering of an id (convenience for EXPLAIN / debugging).
   std::string ToString(TermId id) const;
 
+  /// Folds an overlay built on *this* dictionary into it: every scratch
+  /// term is interned in overlay id order, and result[i] is the global id
+  /// of overlay scratch term i (i.e. of overlay id base_size() + i).
+  ///
+  /// This is the merge step of the sharded loader: folding per-chunk
+  /// overlays in chunk order reproduces the serial first-appearance id
+  /// assignment exactly — chunk 0 is a document prefix, so its scratch
+  /// terms fold in document order; a term seen in several chunks gets its
+  /// id from the earliest chunk; later folds find it already present.
+  std::vector<TermId> FoldScratch(const ScratchDictionary& overlay);
+
  private:
   std::vector<Term> terms_;
   // Key: canonical N-Triples form, which is unique per term.
@@ -88,6 +101,10 @@ class ScratchDictionary {
   size_t base_size() const { return base_size_; }
   size_t num_scratch() const { return local_.size(); }
   const Dictionary& base() const { return base_; }
+
+  /// The i-th scratch term, in interning order (i < num_scratch()).
+  /// Used by Dictionary::FoldScratch to replay this overlay's interning.
+  const Term& scratch_term(size_t i) const { return local_[i]; }
 
  private:
   const Dictionary& base_;

@@ -1,10 +1,11 @@
 #include "rdf/ntriples.h"
 
-#include <fstream>
+#include <algorithm>
+#include <memory>
 #include <ostream>
-#include <sstream>
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace rdfparams::rdf {
 
@@ -14,9 +15,14 @@ void SkipWs(std::string_view s, size_t* pos) {
   while (*pos < s.size() && (s[*pos] == ' ' || s[*pos] == '\t')) ++*pos;
 }
 
+bool IsAsciiAlpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+bool IsAsciiAlnum(char c) { return IsAsciiAlpha(c) || (c >= '0' && c <= '9'); }
+
 bool IsPnChar(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+  return IsAsciiAlnum(c) || c == '_' || c == '-' || c == '.';
 }
 
 }  // namespace
@@ -44,6 +50,10 @@ Result<Term> ParseNTriplesTerm(std::string_view line, size_t* pos) {
     size_t start = *pos + 2;
     size_t end = start;
     while (end < line.size() && IsPnChar(line[end])) ++end;
+    // BLANK_NODE_LABEL cannot end with '.': a trailing dot (or run of
+    // dots) belongs to the statement, not the label, so "_:o." is the
+    // label "o" followed by the terminating '.'.
+    while (end > start && line[end - 1] == '.') --end;
     if (end == start) return Status::ParseError("empty blank node label");
     std::string label(line.substr(start, end - start));
     *pos = end;
@@ -70,13 +80,21 @@ Result<Term> ParseNTriplesTerm(std::string_view line, size_t* pos) {
     *pos = i + 1;
     // Optional language tag or datatype.
     if (*pos < line.size() && line[*pos] == '@') {
+      // LANGTAG = '@' [a-zA-Z]+ ('-' [a-zA-Z0-9]+)*  — notably neither
+      // '_' nor '.' is allowed, so "@en" in "@en." stops before the
+      // statement terminator.
       size_t start = *pos + 1;
       size_t end = start;
-      while (end < line.size() &&
-             (IsPnChar(line[end]) || line[end] == '-')) {
-        ++end;
-      }
+      while (end < line.size() && IsAsciiAlpha(line[end])) ++end;
       if (end == start) return Status::ParseError("empty language tag");
+      while (end < line.size() && line[end] == '-') {
+        size_t seg = end + 1;
+        while (seg < line.size() && IsAsciiAlnum(line[seg])) ++seg;
+        if (seg == end + 1) {
+          return Status::ParseError("empty language subtag");
+        }
+        end = seg;
+      }
       std::string lang(line.substr(start, end - start));
       *pos = end;
       return Term::LangLiteral(std::move(lexical), std::move(lang));
@@ -103,8 +121,9 @@ Result<Term> ParseNTriplesTerm(std::string_view line, size_t* pos) {
 Status ParseNTriples(
     std::string_view document,
     const std::function<void(const Term& s, const Term& p, const Term& o)>&
-        sink) {
-  size_t line_no = 0;
+        sink,
+    size_t first_line) {
+  size_t line_no = first_line - 1;
   size_t offset = 0;
   while (offset <= document.size()) {
     size_t nl = document.find('\n', offset);
@@ -148,22 +167,144 @@ Status ParseNTriples(
   return Status::OK();
 }
 
+std::vector<std::string_view> SplitLineChunks(std::string_view document,
+                                              size_t target_chunks) {
+  std::vector<std::string_view> chunks;
+  if (document.empty()) return chunks;
+  if (target_chunks < 1) target_chunks = 1;
+  size_t approx = document.size() / target_chunks;
+  if (approx == 0) approx = document.size();
+  size_t begin = 0;
+  while (begin < document.size()) {
+    size_t end = begin + approx;
+    if (end >= document.size()) {
+      end = document.size();
+    } else {
+      size_t nl = document.find('\n', end);
+      end = nl == std::string_view::npos ? document.size() : nl + 1;
+    }
+    chunks.push_back(document.substr(begin, end - begin));
+    begin = end;
+  }
+  return chunks;
+}
+
 Status LoadNTriples(std::string_view document, Dictionary* dict,
                     TripleStore* store) {
   return ParseNTriples(document,
                        [&](const Term& s, const Term& p, const Term& o) {
-                         store->Add(dict->Intern(s), dict->Intern(p),
-                                    dict->Intern(o));
+                         // Sequence the interns explicitly: the sharded
+                         // merge replays first-appearance order, which
+                         // must not hinge on argument evaluation order.
+                         TermId si = dict->Intern(s);
+                         TermId pi = dict->Intern(p);
+                         TermId oi = dict->Intern(o);
+                         store->Add(si, pi, oi);
                        });
+}
+
+namespace {
+
+/// The sharded load pipeline (see the header comment for the contract).
+Status LoadNTriplesSharded(std::string_view document, Dictionary* dict,
+                           TripleStore* store, util::ThreadPool* pool,
+                           size_t num_chunks) {
+  std::vector<std::string_view> chunks = SplitLineChunks(document, num_chunks);
+
+  struct ChunkState {
+    std::unique_ptr<ScratchDictionary> overlay;
+    std::vector<Triple> triples;
+  };
+  std::vector<ChunkState> states(chunks.size());
+  util::FirstFailureTracker failed(chunks.size());
+
+  // Parse phase: workers only read the (frozen) global dictionary through
+  // their overlays; all writes go to per-chunk state.
+  pool->ParallelFor(
+      0, chunks.size(),
+      [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t i = lo; i < hi; ++i) {
+          if (failed.ShouldSkip(i)) continue;
+          ChunkState& cs = states[i];
+          cs.overlay = std::make_unique<ScratchDictionary>(*dict);
+          Status st = ParseNTriples(
+              chunks[i], [&](const Term& s, const Term& p, const Term& o) {
+                TermId si = cs.overlay->Intern(s);
+                TermId pi = cs.overlay->Intern(p);
+                TermId oi = cs.overlay->Intern(o);
+                cs.triples.emplace_back(si, pi, oi);
+              });
+          if (!st.ok()) failed.Record(i);
+        }
+      },
+      1);
+
+  if (failed.any()) {
+    // Reproduce the exact serial error (message + document-global line
+    // number) by re-parsing just the first failing chunk. The error path
+    // may re-scan the prefix for newlines; correctness of the message
+    // beats speed here. Nothing has been merged: dict/store are untouched.
+    size_t bad = static_cast<size_t>(failed.first());
+    size_t chunk_offset =
+        static_cast<size_t>(chunks[bad].data() - document.data());
+    size_t lines_before = static_cast<size_t>(std::count(
+        document.begin(),
+        document.begin() + static_cast<int64_t>(chunk_offset), '\n'));
+    Status st = ParseNTriples(
+        chunks[bad], [](const Term&, const Term&, const Term&) {},
+        lines_before + 1);
+    RDFPARAMS_DCHECK(!st.ok());
+    return st;
+  }
+
+  // Merge phase, single-threaded in chunk order: fold each overlay into
+  // the global dictionary (assigning ids exactly as the serial pass
+  // would), then append the chunk's triples remapped to global ids.
+  for (ChunkState& cs : states) {
+    const size_t base = cs.overlay->base_size();
+    const std::vector<TermId> map = dict->FoldScratch(*cs.overlay);
+    auto remap = [&](TermId id) {
+      return id < base ? id : map[id - base];
+    };
+    for (const Triple& t : cs.triples) {
+      store->Add(remap(t.s), remap(t.p), remap(t.o));
+    }
+    cs.overlay.reset();
+    std::vector<Triple>().swap(cs.triples);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LoadNTriples(std::string_view document, Dictionary* dict,
+                    TripleStore* store, const LoadOptions& options) {
+  const size_t threads =
+      options.pool ? options.pool->size() + 1
+                   : util::ThreadPool::ResolveThreads(options.threads);
+  const size_t min_chunk = std::max<size_t>(1, options.min_chunk_bytes);
+  const size_t num_chunks = std::min<size_t>(
+      threads, std::max<size_t>(1, document.size() / min_chunk));
+  // Inputs too small to shard still go through the buffered merge path
+  // (as one chunk, parsed inline): the options overload is atomic on
+  // error for EVERY input, not just the ones worth parallelizing.
+  if (options.pool != nullptr) {
+    return LoadNTriplesSharded(document, dict, store, options.pool,
+                               num_chunks);
+  }
+  util::ThreadPool local(num_chunks <= 1 ? 0 : threads - 1);
+  return LoadNTriplesSharded(document, dict, store, &local, num_chunks);
 }
 
 Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
                         TripleStore* store) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  Status st = LoadNTriples(buf.str(), dict, store);
+  return LoadNTriplesFile(path, dict, store, LoadOptions{});
+}
+
+Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
+                        TripleStore* store, const LoadOptions& options) {
+  RDFPARAMS_ASSIGN_OR_RETURN(std::string data, util::ReadFileToString(path));
+  Status st = LoadNTriples(data, dict, store, options);
   if (!st.ok()) {
     return Status::ParseError(path + ": " + st.message());
   }

@@ -2,7 +2,21 @@
 //
 // Implements the line-based W3C N-Triples grammar: IRIs in angle brackets,
 // blank nodes, literals with language tags or datatypes, #-comments, and
-// \-escapes. Parsing reports precise line numbers on error.
+// \-escapes. Parsing reports precise line numbers on error. CRLF line
+// endings are accepted (the '\r' is treated as trailing whitespace).
+//
+// Loading comes in two flavors:
+//   * the streaming path (LoadNTriples without options): parse lines in
+//     order on the calling thread, interning as it goes;
+//   * the sharded path (LoadOptions{threads > 1}): the document is split
+//     into byte-range chunks aligned to line boundaries, each chunk is
+//     parsed on a util::ThreadPool worker into a private triple buffer
+//     keyed by a ScratchDictionary overlay, and the per-chunk results are
+//     merged deterministically — overlays fold into the global Dictionary
+//     in chunk order (reproducing the serial first-appearance TermId
+//     assignment byte-for-byte) and triple buffers append in chunk order
+//     (reproducing the serial Add() sequence). The result is identical to
+//     the streaming path for every thread count and chunking.
 #ifndef RDFPARAMS_RDF_NTRIPLES_H_
 #define RDFPARAMS_RDF_NTRIPLES_H_
 
@@ -10,11 +24,16 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/term.h"
 #include "rdf/triple_store.h"
 #include "util/status.h"
+
+namespace rdfparams::util {
+class ThreadPool;
+}  // namespace rdfparams::util
 
 namespace rdfparams::rdf {
 
@@ -23,19 +42,59 @@ namespace rdfparams::rdf {
 Result<Term> ParseNTriplesTerm(std::string_view line, size_t* pos);
 
 /// Streaming parser: invokes `sink` for every triple. Stops at the first
-/// malformed line and reports its 1-based number.
+/// malformed line and reports its number (1-based, offset by `first_line`
+/// - 1 so chunk parses can report document-global numbers).
 Status ParseNTriples(
     std::string_view document,
     const std::function<void(const Term& s, const Term& p, const Term& o)>&
-        sink);
+        sink,
+    size_t first_line = 1);
+
+/// Splits `document` into roughly `target_chunks` contiguous chunks whose
+/// boundaries fall immediately after a '\n', so no N-Triples statement
+/// straddles two chunks. The chunks concatenate back to the document.
+/// Deterministic in (document, target_chunks). Exposed for tests and for
+/// other line-based formats.
+std::vector<std::string_view> SplitLineChunks(std::string_view document,
+                                              size_t target_chunks);
+
+/// Options for the sharded load path.
+struct LoadOptions {
+  /// Worker threads for parsing: 1 = serial streaming path, <= 0 = all
+  /// hardware cores. Results are byte-identical for every value.
+  int threads = 1;
+  /// Optional external pool; when set it is used instead of spawning one
+  /// and the effective thread count is pool->size() + 1. The pool must be
+  /// otherwise idle for the duration of the load.
+  util::ThreadPool* pool = nullptr;
+  /// Never split the document into chunks smaller than this; inputs too
+  /// small to shard run through the same buffered merge path as a single
+  /// chunk (keeping the atomic-on-error guarantee). Tests lower it to
+  /// force many chunks on tiny documents.
+  size_t min_chunk_bytes = 256 * 1024;
+};
 
 /// Parses a whole document into a dictionary + store (store not finalized).
 Status LoadNTriples(std::string_view document, Dictionary* dict,
                     TripleStore* store);
 
-/// Reads the file at `path` and loads it. Errors include the path.
+/// Sharded variant. Identical output to the streaming path at every
+/// thread count; unlike it, on a parse error the dictionary and store are
+/// left untouched (the streaming path has already interned the triples
+/// preceding the bad line). The atomic-on-error guarantee holds for every
+/// input — documents too small to shard run through the same buffered
+/// merge path as a single chunk.
+Status LoadNTriples(std::string_view document, Dictionary* dict,
+                    TripleStore* store, const LoadOptions& options);
+
+/// Reads the file at `path` (one buffer, no double-copy) and loads it.
+/// Errors include the path.
 Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
                         TripleStore* store);
+
+/// Sharded variant of LoadNTriplesFile.
+Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
+                        TripleStore* store, const LoadOptions& options);
 
 /// Serializes one triple as an N-Triples line (no trailing newline).
 std::string ToNTriplesLine(const Term& s, const Term& p, const Term& o);

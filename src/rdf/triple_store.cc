@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace rdfparams::rdf {
 
@@ -58,36 +59,53 @@ void TripleStore::SortIndex(IndexOrder order, std::vector<Triple>* v) const {
   std::sort(v->begin(), v->end(), PermutedLess{IndexPermutation(order)});
 }
 
-void TripleStore::Finalize() {
-  if (finalized_) return;
-  SortIndex(IndexOrder::kSPO, &spo_);
-  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
-  pos_ = spo_;
-  SortIndex(IndexOrder::kPOS, &pos_);
-  osp_ = spo_;
-  SortIndex(IndexOrder::kOSP, &osp_);
-  if (all_indexes_) {
-    sop_ = spo_;
-    SortIndex(IndexOrder::kSOP, &sop_);
-    pso_ = spo_;
-    SortIndex(IndexOrder::kPSO, &pso_);
-    ops_ = spo_;
-    SortIndex(IndexOrder::kOPS, &ops_);
+void TripleStore::BuildSortedCopies(
+    util::ThreadPool* pool,
+    const std::vector<std::pair<IndexOrder, std::vector<Triple>*>>& targets) {
+  // One task per index (on the pool when it has workers, inline
+  // otherwise). Tasks touch disjoint index vectors, so they need no
+  // synchronization beyond the pool's completion barrier; they must not
+  // use the pool themselves (a nested ParallelFor from a Submit task
+  // would deadlock in Wait), so each copy sorts serially within its task.
+  auto build = [this](IndexOrder order, std::vector<Triple>* v) {
+    *v = spo_;
+    SortIndex(order, v);
+  };
+  if (pool != nullptr && pool->size() > 0) {
+    for (const auto& [order, v] : targets) {
+      pool->Submit([build, order = order, v = v] { build(order, v); });
+    }
+    pool->Wait();
+  } else {
+    for (const auto& [order, v] : targets) build(order, v);
   }
+}
+
+std::vector<std::pair<IndexOrder, std::vector<Triple>*>>
+TripleStore::ExtraIndexTargets() {
+  return {{IndexOrder::kSOP, &sop_},
+          {IndexOrder::kPSO, &pso_},
+          {IndexOrder::kOPS, &ops_}};
+}
+
+void TripleStore::Finalize(util::ThreadPool* pool) {
+  if (finalized_) return;
+  util::PoolSort(pool, spo_.begin(), spo_.end(),
+                 PermutedLess{IndexPermutation(IndexOrder::kSPO)});
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  std::vector<std::pair<IndexOrder, std::vector<Triple>*>> targets = {
+      {IndexOrder::kPOS, &pos_}, {IndexOrder::kOSP, &osp_}};
+  if (all_indexes_) {
+    for (auto target : ExtraIndexTargets()) targets.push_back(target);
+  }
+  BuildSortedCopies(pool, targets);
   ComputePredicateStats();
   finalized_ = true;
 }
 
-void TripleStore::BuildAllIndexes() {
+void TripleStore::BuildAllIndexes(util::ThreadPool* pool) {
   all_indexes_ = true;
-  if (finalized_) {
-    sop_ = spo_;
-    SortIndex(IndexOrder::kSOP, &sop_);
-    pso_ = spo_;
-    SortIndex(IndexOrder::kPSO, &pso_);
-    ops_ = spo_;
-    SortIndex(IndexOrder::kOPS, &ops_);
-  }
+  if (finalized_) BuildSortedCopies(pool, ExtraIndexTargets());
 }
 
 void TripleStore::ComputePredicateStats() {

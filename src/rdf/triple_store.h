@@ -14,10 +14,15 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
+
+namespace rdfparams::util {
+class ThreadPool;
+}  // namespace rdfparams::util
 
 namespace rdfparams::rdf {
 
@@ -55,10 +60,17 @@ class TripleStore {
 
   /// Sorts, deduplicates, and builds the default indexes (SPO, POS, OSP).
   /// Idempotent; adding after Finalize() requires Finalize() again.
-  void Finalize();
+  ///
+  /// With a pool, the primary SPO sort runs as a parallel merge sort
+  /// (util::PoolSort) and the secondary indexes build as one pool task
+  /// each. Triples are plain value tuples, so every sorted index is
+  /// byte-identical to the serial build at any thread count. The pool
+  /// must be otherwise idle for the duration of the call.
+  void Finalize(util::ThreadPool* pool = nullptr);
 
-  /// Additionally builds SOP, PSO, OPS (for ordered access on any position).
-  void BuildAllIndexes();
+  /// Additionally builds SOP, PSO, OPS (for ordered access on any
+  /// position), one pool task per index when a pool is given.
+  void BuildAllIndexes(util::ThreadPool* pool = nullptr);
 
   bool finalized() const { return finalized_; }
   size_t size() const { return spo_.size(); }
@@ -105,6 +117,16 @@ class TripleStore {
   const std::vector<Triple>& IndexVector(IndexOrder order) const;
   void SortIndex(IndexOrder order, std::vector<Triple>* v) const;
   void ComputePredicateStats();
+  /// Copies spo_ into each target and sorts it in the target's order,
+  /// one pool task per target (inline without a pool).
+  void BuildSortedCopies(
+      util::ThreadPool* pool,
+      const std::vector<std::pair<IndexOrder, std::vector<Triple>*>>&
+          targets);
+  /// The three on-request permutations, shared by Finalize and
+  /// BuildAllIndexes so the lists cannot drift apart.
+  std::vector<std::pair<IndexOrder, std::vector<Triple>*>>
+  ExtraIndexTargets();
 
   std::vector<Triple> spo_;
   std::vector<Triple> pos_;

@@ -290,9 +290,23 @@ Status LoadTurtle(std::string_view document, Dictionary* dict,
                   TripleStore* store) {
   return ParseTurtle(document,
                      [&](const Term& s, const Term& p, const Term& o) {
-                       store->Add(dict->Intern(s), dict->Intern(p),
-                                  dict->Intern(o));
+                       // Sequenced like the N-Triples loader so id
+                       // assignment never hinges on evaluation order.
+                       TermId si = dict->Intern(s);
+                       TermId pi = dict->Intern(p);
+                       TermId oi = dict->Intern(o);
+                       store->Add(si, pi, oi);
                      });
+}
+
+Status LoadTurtleFile(const std::string& path, Dictionary* dict,
+                      TripleStore* store) {
+  RDFPARAMS_ASSIGN_OR_RETURN(std::string data, util::ReadFileToString(path));
+  Status st = LoadTurtle(data, dict, store);
+  if (!st.ok()) {
+    return Status::ParseError(path + ": " + st.message());
+  }
+  return Status::OK();
 }
 
 }  // namespace rdfparams::rdf

@@ -32,6 +32,14 @@ Status ParseTurtle(
 Status LoadTurtle(std::string_view document, Dictionary* dict,
                   TripleStore* store);
 
+/// Reads the file at `path` through the same single-buffer reader the
+/// N-Triples loader uses and parses it. Turtle deliberately has no
+/// sharded variant: statements span lines (';' / ',' continuations) and
+/// @prefix/@base are document-global state, so byte-range chunks cannot
+/// be parsed independently. Convert to N-Triples for parallel loading.
+Status LoadTurtleFile(const std::string& path, Dictionary* dict,
+                      TripleStore* store);
+
 }  // namespace rdfparams::rdf
 
 #endif  // RDFPARAMS_RDF_TURTLE_H_

@@ -3,8 +3,36 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <fstream>
 
 namespace rdfparams::util {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string data;
+  in.seekg(0, std::ios::end);
+  std::streampos size = in.tellg();
+  if (size > 0) {
+    // Regular file: one resize, one read.
+    data.resize(static_cast<size_t>(size));
+    in.seekg(0, std::ios::beg);
+    in.read(data.data(), size);
+    if (!in) return Status::IOError("short read on " + path);
+    return data;
+  }
+  // Non-seekable input (pipe, process substitution) or a file whose
+  // reported size is 0 despite having content (/proc): stream in blocks.
+  in.clear();
+  in.seekg(0, std::ios::beg);
+  in.clear();
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    data.append(buf, static_cast<size_t>(in.gcount()));
+  }
+  if (in.bad()) return Status::IOError("read failed on " + path);
+  return data;
+}
 
 std::vector<std::string> Split(std::string_view s, char sep) {
   std::vector<std::string> out;

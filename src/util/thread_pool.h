@@ -14,6 +14,7 @@
 #ifndef RDFPARAMS_UTIL_THREAD_POOL_H_
 #define RDFPARAMS_UTIL_THREAD_POOL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -104,6 +105,66 @@ class ThreadPool {
   size_t in_flight_ = 0;              // dequeued but not yet finished
   bool stop_ = false;
 };
+
+/// Parallel sort over [begin, end) on `pool`: fixed chunk boundaries,
+/// chunk-local std::sort, then log2(chunks) rounds of pairwise
+/// std::inplace_merge. The chunk boundaries depend only on the input size
+/// (never on scheduling), so for comparators under which equal elements
+/// are indistinguishable — e.g. sorting plain value triples — the result
+/// is byte-identical to a serial std::sort at every thread count.
+///
+/// Must be called from the pool's owner thread with no other work
+/// outstanding (it runs ParallelFor rounds; calling it from inside a
+/// Submit() task would deadlock in Wait()). `pool == nullptr` or an
+/// empty pool degrades to std::sort.
+template <typename RandomIt, typename Compare>
+void PoolSort(ThreadPool* pool, RandomIt begin, RandomIt end, Compare comp) {
+  const uint64_t n = static_cast<uint64_t>(end - begin);
+  // Below this many elements per chunk the merge rounds cost more than
+  // they save; fall through to the serial sort.
+  constexpr uint64_t kMinChunk = 8 * 1024;
+  if (pool == nullptr || pool->size() == 0 || n < 2 * kMinChunk) {
+    std::sort(begin, end, comp);
+    return;
+  }
+  // Power-of-two chunk count so every merge round pairs whole chunks.
+  const uint64_t participants = static_cast<uint64_t>(pool->size()) + 1;
+  uint64_t chunks = 1;
+  while (chunks < 2 * participants && n / (2 * chunks) >= kMinChunk) {
+    chunks *= 2;
+  }
+  if (chunks == 1) {
+    std::sort(begin, end, comp);
+    return;
+  }
+  std::vector<uint64_t> bounds(chunks + 1);
+  for (uint64_t i = 0; i <= chunks; ++i) bounds[i] = n / chunks * i;
+  bounds[chunks] = n;
+  pool->ParallelFor(
+      0, chunks,
+      [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t i = lo; i < hi; ++i) {
+          std::sort(begin + static_cast<int64_t>(bounds[i]),
+                    begin + static_cast<int64_t>(bounds[i + 1]), comp);
+        }
+      },
+      1);
+  for (uint64_t width = 1; width < chunks; width *= 2) {
+    const uint64_t pairs = chunks / (2 * width);
+    pool->ParallelFor(
+        0, pairs,
+        [&](uint64_t lo, uint64_t hi) {
+          for (uint64_t p = lo; p < hi; ++p) {
+            const uint64_t b = p * 2 * width;
+            std::inplace_merge(
+                begin + static_cast<int64_t>(bounds[b]),
+                begin + static_cast<int64_t>(bounds[b + width]),
+                begin + static_cast<int64_t>(bounds[b + 2 * width]), comp);
+          }
+        },
+        1);
+  }
+}
 
 }  // namespace rdfparams::util
 

@@ -1,0 +1,269 @@
+// Differential harness for the sharded N-Triples load pipeline and the
+// parallel index finalize.
+//
+// The contract under test: for any document, LoadNTriples with
+// LoadOptions{threads = N} produces a Dictionary whose id -> term mapping
+// is byte-identical to the serial streaming load, and a TripleStore whose
+// Add() sequence (hence every finalized index) is identical too — for
+// every N, every chunking, and with chunk boundaries forced down to a few
+// bytes. Likewise Finalize(pool)/BuildAllIndexes(pool) must reproduce the
+// serial index contents exactly.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rdf/ntriples.h"
+#include "rdf/triple_store.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace rdfparams::rdf {
+namespace {
+
+/// A synthetic document with heavy term reuse across chunk boundaries,
+/// blank nodes, typed/lang literals, comments, blank lines, and a mix of
+/// LF and CRLF endings — everything the chunker has to not trip over.
+std::string MakeDocument(size_t lines, uint64_t seed) {
+  util::Rng rng(seed);
+  std::ostringstream os;
+  for (size_t i = 0; i < lines; ++i) {
+    if (i % 37 == 0) os << "# comment " << i << "\n";
+    if (i % 53 == 0) os << "\n";
+    const char* eol = (i % 5 == 0) ? "\r\n" : "\n";
+    uint64_t s = rng.Next64() % (lines / 4 + 1);
+    uint64_t p = rng.Next64() % 13;
+    uint64_t o = rng.Next64() % (lines / 2 + 1);
+    switch (rng.Next64() % 4) {
+      case 0:
+        os << "<http://x/s" << s << "> <http://x/p" << p << "> <http://x/o"
+           << o << "> ." << eol;
+        break;
+      case 1:
+        os << "_:b" << s << " <http://x/p" << p << "> \"lit \\\"" << o
+           << "\\\"\" ." << eol;
+        break;
+      case 2:
+        os << "<http://x/s" << s << "> <http://x/p" << p << "> \"" << o
+           << "\"^^<http://www.w3.org/2001/XMLSchema#integer> ." << eol;
+        break;
+      default:
+        // Blank-node object flush against the terminating dot (the
+        // PR's parser regression) plus a lang literal on every other.
+        if (o % 2 == 0) {
+          os << "_:s" << s << " <http://x/p" << p << "> _:o" << o << "."
+             << eol;
+        } else {
+          os << "<http://x/s" << s << "> <http://x/p" << p << "> \"v" << o
+             << "\"@en-US ." << eol;
+        }
+    }
+  }
+  return os.str();
+}
+
+std::string StoreImage(const Dictionary& dict, const TripleStore& store) {
+  std::ostringstream os;
+  EXPECT_TRUE(WriteNTriples(dict, store, os).ok());
+  return os.str();
+}
+
+void ExpectIdenticalDictionaries(const Dictionary& a, const Dictionary& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (TermId id = 0; id < a.size(); ++id) {
+    ASSERT_EQ(a.term(id), b.term(id)) << "TermId " << id << " diverged";
+  }
+}
+
+TEST(SplitLineChunksTest, ChunksCoverDocumentAndEndOnNewlines) {
+  std::string doc = MakeDocument(400, 3);
+  for (size_t target : {1u, 2u, 3u, 7u, 64u, 10000u}) {
+    auto chunks = SplitLineChunks(doc, target);
+    ASSERT_FALSE(chunks.empty());
+    std::string joined;
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      joined.append(chunks[i]);
+      if (i + 1 < chunks.size()) {
+        EXPECT_EQ(chunks[i].back(), '\n')
+            << "chunk " << i << " of target " << target;
+      }
+    }
+    EXPECT_EQ(joined, doc) << "target " << target;
+  }
+  EXPECT_TRUE(SplitLineChunks("", 4).empty());
+  auto no_newline = SplitLineChunks("just one line no newline", 4);
+  ASSERT_EQ(no_newline.size(), 1u);
+}
+
+TEST(ParallelLoadTest, ShardedLoadIsByteIdenticalToSerial) {
+  const std::string doc = MakeDocument(3000, 17);
+
+  Dictionary serial_dict;
+  TripleStore serial_store;
+  ASSERT_TRUE(LoadNTriples(doc, &serial_dict, &serial_store).ok());
+  serial_store.BuildAllIndexes();
+  serial_store.Finalize();
+  const std::string serial_image = StoreImage(serial_dict, serial_store);
+
+  for (int threads : {1, 2, 4, 8}) {
+    for (size_t min_chunk : {size_t{1}, size_t{64}, size_t{1} << 20}) {
+      Dictionary dict;
+      TripleStore store;
+      LoadOptions options;
+      options.threads = threads;
+      options.min_chunk_bytes = min_chunk;
+      ASSERT_TRUE(LoadNTriples(doc, &dict, &store, options).ok())
+          << "threads=" << threads << " min_chunk=" << min_chunk;
+      ExpectIdenticalDictionaries(serial_dict, dict);
+      util::ThreadPool pool(static_cast<size_t>(threads) - 1);
+      store.BuildAllIndexes(&pool);
+      store.Finalize(&pool);
+      EXPECT_EQ(store.size(), serial_store.size());
+      EXPECT_EQ(StoreImage(dict, store), serial_image)
+          << "threads=" << threads << " min_chunk=" << min_chunk;
+      // Spot-check a secondary index range against the serial store.
+      auto serial_range = serial_store.Range(IndexOrder::kPOS, kWildcardId,
+                                             kWildcardId, kWildcardId);
+      auto range =
+          store.Range(IndexOrder::kPOS, kWildcardId, kWildcardId, kWildcardId);
+      ASSERT_EQ(range.size(), serial_range.size());
+      for (size_t i = 0; i < range.size(); ++i) {
+        ASSERT_TRUE(range[i] == serial_range[i]) << "POS row " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelLoadTest, ExternalPoolAndAppendToNonEmptyDictionary) {
+  const std::string doc_a = MakeDocument(600, 5);
+  const std::string doc_b = MakeDocument(600, 6);
+
+  Dictionary serial_dict;
+  TripleStore serial_store;
+  ASSERT_TRUE(LoadNTriples(doc_a, &serial_dict, &serial_store).ok());
+  ASSERT_TRUE(LoadNTriples(doc_b, &serial_dict, &serial_store).ok());
+  serial_store.Finalize();
+
+  util::ThreadPool pool(3);
+  Dictionary dict;
+  TripleStore store;
+  LoadOptions options;
+  options.pool = &pool;
+  options.min_chunk_bytes = 1;
+  // Second load appends into a dictionary already holding doc_a's terms;
+  // overlays must resolve them to their existing ids.
+  ASSERT_TRUE(LoadNTriples(doc_a, &dict, &store, options).ok());
+  ASSERT_TRUE(LoadNTriples(doc_b, &dict, &store, options).ok());
+  ExpectIdenticalDictionaries(serial_dict, dict);
+  store.Finalize(&pool);
+  EXPECT_EQ(StoreImage(dict, store), StoreImage(serial_dict, serial_store));
+}
+
+TEST(ParallelLoadTest, ErrorMatchesSerialAndLeavesOutputsUntouched) {
+  std::string doc = MakeDocument(500, 9);
+  doc += "<http://x/good> <http://x/p> <http://x/o> .\n";
+  doc += "this is not a triple\n";
+  doc += "<http://x/after> <http://x/p> <http://x/o> .\n";
+
+  Dictionary serial_dict;
+  TripleStore serial_store;
+  Status serial_status = LoadNTriples(doc, &serial_dict, &serial_store);
+  ASSERT_FALSE(serial_status.ok());
+
+  for (int threads : {2, 4}) {
+    // min_chunk 1 shards for real; 1 MB forces the single-chunk fallback,
+    // which must be just as atomic as the sharded path.
+    for (size_t min_chunk : {size_t{1}, size_t{1} << 20}) {
+      Dictionary dict;
+      TripleStore store;
+      LoadOptions options;
+      options.threads = threads;
+      options.min_chunk_bytes = min_chunk;
+      Status st = LoadNTriples(doc, &dict, &store, options);
+      ASSERT_FALSE(st.ok());
+      // Same message, same document-global line number as serial.
+      EXPECT_EQ(st.message(), serial_status.message())
+          << "threads=" << threads << " min_chunk=" << min_chunk;
+      // Unlike the streaming path, the options overload is atomic on
+      // error: nothing may have been interned or added.
+      EXPECT_EQ(dict.size(), 0u);
+      EXPECT_EQ(store.size(), 0u);
+    }
+  }
+}
+
+TEST(ParallelLoadTest, FileLoadShardedMatchesSerial) {
+  const std::string doc = MakeDocument(800, 21);
+  const std::string path = ::testing::TempDir() + "/rdfparams_sharded.nt";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << doc;
+    ASSERT_TRUE(os.good());
+  }
+  Dictionary serial_dict, dict;
+  TripleStore serial_store, store;
+  ASSERT_TRUE(LoadNTriplesFile(path, &serial_dict, &serial_store).ok());
+  LoadOptions options;
+  options.threads = 4;
+  options.min_chunk_bytes = 1;
+  ASSERT_TRUE(LoadNTriplesFile(path, &dict, &store, options).ok());
+  ExpectIdenticalDictionaries(serial_dict, dict);
+  serial_store.Finalize();
+  store.Finalize();
+  EXPECT_EQ(StoreImage(dict, store), StoreImage(serial_dict, serial_store));
+  std::remove(path.c_str());
+}
+
+TEST(ParallelFinalizeTest, PoolFinalizeMatchesSerialOnAllSixIndexes) {
+  util::Rng rng(99);
+  TripleStore serial_store, pooled_store;
+  Dictionary dict;
+  for (int i = 0; i < 20000; ++i) {
+    TermId s = static_cast<TermId>(rng.Next64() % 500);
+    TermId p = static_cast<TermId>(rng.Next64() % 20);
+    TermId o = static_cast<TermId>(rng.Next64() % 800);
+    serial_store.Add(s, p, o);
+    pooled_store.Add(s, p, o);
+  }
+  serial_store.BuildAllIndexes();
+  serial_store.Finalize();
+
+  util::ThreadPool pool(3);
+  pooled_store.BuildAllIndexes(&pool);
+  pooled_store.Finalize(&pool);
+
+  ASSERT_EQ(serial_store.size(), pooled_store.size());
+  for (IndexOrder order :
+       {IndexOrder::kSPO, IndexOrder::kPOS, IndexOrder::kOSP,
+        IndexOrder::kSOP, IndexOrder::kPSO, IndexOrder::kOPS}) {
+    auto a = serial_store.Range(order, kWildcardId, kWildcardId, kWildcardId);
+    auto b = pooled_store.Range(order, kWildcardId, kWildcardId, kWildcardId);
+    ASSERT_EQ(a.size(), b.size()) << IndexOrderName(order);
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_TRUE(a[i] == b[i]) << IndexOrderName(order) << " row " << i;
+    }
+  }
+  EXPECT_EQ(serial_store.NumDistinctSubjects(),
+            pooled_store.NumDistinctSubjects());
+  EXPECT_EQ(serial_store.NumDistinctPredicates(),
+            pooled_store.NumDistinctPredicates());
+  EXPECT_EQ(serial_store.NumDistinctObjects(),
+            pooled_store.NumDistinctObjects());
+}
+
+TEST(ParallelFinalizeTest, BuildAllIndexesAfterFinalizeOnPool) {
+  TripleStore store;
+  for (TermId i = 0; i < 300; ++i) store.Add(i % 7, i % 3, i % 11);
+  store.Finalize();
+  util::ThreadPool pool(2);
+  store.BuildAllIndexes(&pool);
+  auto sop = store.Range(IndexOrder::kSOP, kWildcardId, kWildcardId,
+                         kWildcardId);
+  EXPECT_EQ(sop.size(), store.size());
+}
+
+}  // namespace
+}  // namespace rdfparams::rdf

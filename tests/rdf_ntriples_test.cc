@@ -1,8 +1,12 @@
 #include "rdf/ntriples.h"
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
+
+#include "util/string_util.h"
 
 namespace rdfparams::rdf {
 namespace {
@@ -54,6 +58,54 @@ TEST(NTriplesParseTermTest, EscapedQuoteInsideLiteral) {
   EXPECT_EQ(t->lexical, "say \"hi\" now");
 }
 
+// Regression: IsPnChar allows '.', but a BLANK_NODE_LABEL cannot end with
+// one — the trailing dot terminates the statement ("_:s <p> _:o." used to
+// fail with "expected '.' after object").
+TEST(NTriplesParseTermTest, BlankNodeLabelStopsBeforeTrailingDot) {
+  size_t pos = 0;
+  auto t = ParseNTriplesTerm("_:o.", &pos);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->lexical, "o");
+  EXPECT_EQ(pos, 3u);  // the '.' is left for the statement parser
+
+  pos = 0;
+  t = ParseNTriplesTerm("_:a.b rest", &pos);  // interior dots are legal
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->lexical, "a.b");
+
+  pos = 0;
+  t = ParseNTriplesTerm("_:a...", &pos);  // a label cannot end in dots
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->lexical, "a");
+  EXPECT_EQ(pos, 3u);
+}
+
+// Regression: language tags are LANGTAG = '@'[a-zA-Z]+('-'[a-zA-Z0-9]+)*;
+// '_' and '.' (previously accepted via IsPnChar) must not be consumed.
+TEST(NTriplesParseTermTest, LangTagRestrictedCharset) {
+  size_t pos = 0;
+  auto t = ParseNTriplesTerm("\"x\"@en_US", &pos);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->lang, "en");  // stops at '_'
+  EXPECT_EQ(pos, 6u);
+
+  pos = 0;
+  t = ParseNTriplesTerm("\"x\"@en.", &pos);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->lang, "en");  // the '.' terminates the statement
+  EXPECT_EQ(pos, 6u);
+
+  pos = 0;
+  t = ParseNTriplesTerm("\"x\"@fr-CA-1994 .", &pos);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->lang, "fr-CA-1994");
+
+  pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("\"x\"@", &pos).ok());
+  pos = 0;
+  EXPECT_FALSE(ParseNTriplesTerm("\"x\"@en- ", &pos).ok());
+}
+
 TEST(NTriplesParseTermTest, Malformed) {
   size_t pos = 0;
   EXPECT_FALSE(ParseNTriplesTerm("<unterminated", &pos).ok());
@@ -82,6 +134,96 @@ _:b <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
   ASSERT_TRUE(st.ok()) << st.ToString();
   ASSERT_EQ(triples.size(), 3u);
   EXPECT_EQ(triples[0], "<http://x/s> <http://x/p> <http://x/o> .");
+}
+
+// Regression for the statement-level view of the two term fixes: a valid
+// line whose blank-node object touches the terminating '.' must parse,
+// and a lang tag containing '_' must be rejected at the line level.
+TEST(NTriplesDocTest, BlankNodeObjectTouchingDot) {
+  std::vector<std::string> triples;
+  Status st = ParseNTriples(
+      "_:s <http://x/p> _:o.\n",
+      [&](const Term& s, const Term& p, const Term& o) {
+        triples.push_back(ToNTriplesLine(s, p, o));
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_EQ(triples[0], "_:s <http://x/p> _:o .");
+}
+
+TEST(NTriplesDocTest, LangTagTouchingDot) {
+  size_t count = 0;
+  Status st = ParseNTriples(
+      "<http://x/s> <http://x/p> \"chat\"@fr.\n",
+      [&](const Term&, const Term&, const Term& o) {
+        EXPECT_EQ(o.lang, "fr");
+        ++count;
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(NTriplesDocTest, RejectsUnderscoreLangTagLine) {
+  Status st = ParseNTriples("<http://x/s> <http://x/p> \"x\"@en_US .\n",
+                            [](const Term&, const Term&, const Term&) {});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(NTriplesDocTest, CrlfLineEndings) {
+  const char* doc =
+      "<http://x/a> <http://x/p> <http://x/b> .\r\n"
+      "# comment\r\n"
+      "\r\n"
+      "_:c <http://x/p> \"v\"@en .\r\n";
+  std::vector<std::string> triples;
+  Status st = ParseNTriples(doc, [&](const Term& s, const Term& p,
+                                     const Term& o) {
+    triples.push_back(ToNTriplesLine(s, p, o));
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(triples.size(), 2u);
+  // No '\r' may leak into any lexical form.
+  for (const std::string& t : triples) {
+    EXPECT_EQ(t.find('\r'), std::string::npos) << t;
+  }
+  EXPECT_EQ(triples[1], "_:c <http://x/p> \"v\"@en .");
+}
+
+TEST(NTriplesDocTest, FirstLineOffsetShiftsReportedNumbers) {
+  Status st = ParseNTriples("ok-is-not-a-term\n",
+                            [](const Term&, const Term&, const Term&) {},
+                            /*first_line=*/41);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 41"), std::string::npos) << st.message();
+}
+
+// Property test: canonical serialization must survive a parse round trip
+// for adversarial lexical forms (escapes, CRLF bytes, unicode, controls).
+TEST(NTriplesDocTest, TermRoundTripsThroughParser) {
+  const std::vector<std::string> nasty = {
+      "plain", "with \"quotes\"", "back\\slash", "tab\tand\nnewline",
+      "cr\rlf", "héllo 世界", std::string("ctrl\x01\x1f"),
+      "trailing backslash \\\\", "", "dot.end.", "a . b",
+  };
+  std::vector<Term> terms;
+  for (const std::string& s : nasty) {
+    terms.push_back(Term::Literal(s));
+    terms.push_back(Term::LangLiteral(s, "en-US"));
+    terms.push_back(Term::TypedLiteral(s, "http://x/dt"));
+  }
+  terms.push_back(Term::Iri("http://x/iri"));
+  terms.push_back(Term::Blank("b.with.dots"));
+  terms.push_back(Term::Integer(-7));
+  terms.push_back(Term::Double(2.5));
+  terms.push_back(Term::Boolean(true));
+  for (const Term& term : terms) {
+    std::string encoded = term.ToNTriples();
+    size_t pos = 0;
+    auto parsed = ParseNTriplesTerm(encoded, &pos);
+    ASSERT_TRUE(parsed.ok()) << encoded << ": " << parsed.status().ToString();
+    EXPECT_EQ(pos, encoded.size()) << encoded;
+    EXPECT_EQ(*parsed, term) << encoded;
+  }
 }
 
 TEST(NTriplesDocTest, ErrorsCarryLineNumbers) {
@@ -162,6 +304,38 @@ TEST(NTriplesWriteTest, RequiresFinalizedStore) {
             dict.InternIri("http://c"));
   std::ostringstream out;
   EXPECT_FALSE(WriteNTriples(dict, store, out).ok());
+}
+
+// The file loader reads through util::ReadFileToString — one buffer, no
+// stringstream double-copy — and must be byte-faithful (CRLF included).
+TEST(NTriplesFileTest, SingleBufferFileLoadMatchesInMemoryLoad) {
+  const std::string doc =
+      "<http://x/a> <http://x/p> \"v1\" .\r\n"
+      "<http://x/a> <http://x/q> <http://x/b> .\n"
+      "_:n <http://x/p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+  const std::string path =
+      ::testing::TempDir() + "/rdfparams_single_buffer_test.nt";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << doc;
+    ASSERT_TRUE(os.good());
+  }
+  auto bytes = util::ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, doc);  // exact bytes, '\r' preserved
+
+  Dictionary file_dict, mem_dict;
+  TripleStore file_store, mem_store;
+  ASSERT_TRUE(LoadNTriplesFile(path, &file_dict, &file_store).ok());
+  ASSERT_TRUE(LoadNTriples(doc, &mem_dict, &mem_store).ok());
+  ASSERT_EQ(file_dict.size(), mem_dict.size());
+  for (TermId id = 0; id < file_dict.size(); ++id) {
+    EXPECT_EQ(file_dict.term(id), mem_dict.term(id));
+  }
+  file_store.Finalize();
+  mem_store.Finalize();
+  EXPECT_EQ(file_store.size(), mem_store.size());
+  std::remove(path.c_str());
 }
 
 TEST(NTriplesFileTest, MissingFileFails) {

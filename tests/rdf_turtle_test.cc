@@ -1,5 +1,8 @@
 #include "rdf/turtle.h"
 
+#include <cstdio>
+#include <fstream>
+
 #include <gtest/gtest.h>
 
 #include "rdf/ntriples.h"
@@ -160,6 +163,31 @@ TEST(TurtleTest, SemicolonBeforeDotIsLegal) {
       &st);
   ASSERT_TRUE(st.ok()) << st.ToString();
   EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(TurtleTest, LoadTurtleFileMatchesInMemoryLoad) {
+  const std::string doc =
+      "@prefix ex: <http://x/> .\n"
+      "ex:a ex:p ex:b ; ex:q \"v\"@en .\n";
+  const std::string path = ::testing::TempDir() + "/rdfparams_turtle.ttl";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << doc;
+    ASSERT_TRUE(os.good());
+  }
+  Dictionary file_dict, mem_dict;
+  TripleStore file_store, mem_store;
+  ASSERT_TRUE(LoadTurtleFile(path, &file_dict, &file_store).ok());
+  ASSERT_TRUE(LoadTurtle(doc, &mem_dict, &mem_store).ok());
+  ASSERT_EQ(file_dict.size(), mem_dict.size());
+  for (TermId id = 0; id < file_dict.size(); ++id) {
+    EXPECT_EQ(file_dict.term(id), mem_dict.term(id));
+  }
+  EXPECT_EQ(file_store.size(), mem_store.size());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(
+      LoadTurtleFile("/nonexistent/x.ttl", &file_dict, &file_store).ok());
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include "util/string_util.h"
 
+#include <cstdio>
+#include <fstream>
+
 #include <gtest/gtest.h>
 
 namespace rdfparams::util {
@@ -64,6 +67,31 @@ TEST(FormatCountTest, InsertsSeparators) {
 TEST(FormatSigTest, SignificantDigits) {
   EXPECT_EQ(FormatSig(1234.5678, 3), "1.23e+03");
   EXPECT_EQ(FormatSig(0.000123456, 2), "0.00012");
+}
+
+TEST(ReadFileToStringTest, RegularFileMissingFileAndZeroSizeFallback) {
+  const std::string path = ::testing::TempDir() + "/rdfparams_readfile.bin";
+  const std::string content("bytes\0with\r\nnul", 15);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << content;
+    ASSERT_TRUE(os.good());
+  }
+  auto data = ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, content);  // byte-exact, embedded NUL and CRLF intact
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(ReadFileToString("/nonexistent/rdfparams.nt").ok());
+
+  // Files that report size 0 but have content (/proc) must stream, not
+  // come back empty. Skip silently where /proc is unavailable.
+  std::ifstream proc("/proc/self/status");
+  if (proc.good()) {
+    auto status_file = ReadFileToString("/proc/self/status");
+    ASSERT_TRUE(status_file.ok());
+    EXPECT_FALSE(status_file->empty());
+  }
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
 #include <numeric>
 #include <vector>
 
@@ -68,6 +70,45 @@ TEST(ThreadPoolTest, ParallelForSlotWritesAreDeterministic) {
     return out;
   };
   EXPECT_EQ(run(0), run(7));
+}
+
+TEST(PoolSortTest, MatchesStdSortAcrossSizesAndThreadCounts) {
+  // Sizes straddle the serial-fallback threshold and the power-of-two
+  // chunk boundaries; values repeat heavily so the merges see equal keys.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{1000}, size_t{50000},
+                   size_t{65536}, size_t{70001}}) {
+    std::vector<uint32_t> reference(n);
+    uint64_t state = 12345;
+    for (size_t i = 0; i < n; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      reference[i] = static_cast<uint32_t>(state >> 33) % 997;
+    }
+    std::vector<uint32_t> expected = reference;
+    std::sort(expected.begin(), expected.end());
+    for (size_t workers : {size_t{0}, size_t{1}, size_t{3}, size_t{8}}) {
+      ThreadPool pool(workers);
+      std::vector<uint32_t> v = reference;
+      PoolSort(&pool, v.begin(), v.end(), std::less<uint32_t>());
+      EXPECT_EQ(v, expected) << "n=" << n << " workers=" << workers;
+    }
+    // Null pool degrades to std::sort.
+    std::vector<uint32_t> v = reference;
+    PoolSort(static_cast<ThreadPool*>(nullptr), v.begin(), v.end(),
+             std::less<uint32_t>());
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(PoolSortTest, CustomComparator) {
+  ThreadPool pool(3);
+  std::vector<int> v(40000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<int>((i * 2654435761u) % 1000);
+  }
+  std::vector<int> expected = v;
+  std::sort(expected.begin(), expected.end(), std::greater<int>());
+  PoolSort(&pool, v.begin(), v.end(), std::greater<int>());
+  EXPECT_EQ(v, expected);
 }
 
 TEST(ThreadPoolTest, ResolveThreads) {

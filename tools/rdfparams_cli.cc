@@ -17,6 +17,10 @@
 //       Execute the workload from a bindings file and report the
 //       aggregate runtimes (q10 / median / q90 / average, P1-P3 checks).
 //
+//   rdfparams load --input=data.nt --load-threads=0
+//       Load an N-Triples file through the sharded parallel loader,
+//       finalize the indexes on the same pool, and report throughput.
+//
 // Every subcommand regenerates the dataset deterministically from
 // --seed/--products/--persons, so binding files remain valid across runs.
 #include <cstdio>
@@ -57,12 +61,15 @@ struct Options {
   int64_t threads = 1;
   int64_t exec_threads = 1;
   int64_t morsel_size = 1024;
+  int64_t load_threads = 0;
   bool parallel_group_by = true;
   bool parallel_sort = true;
+  bool all_indexes = false;
   double bucket_width = 1.0;
   std::string mode = "uniform";  // uniform | step | class | class:K
   std::string out;
   std::string bindings;
+  std::string input;
 };
 
 /// A workload context: dataset + templates + per-template domains.
@@ -180,6 +187,47 @@ int CmdGenerate(const Options& opt) {
   Status st = rdf::WriteNTriples(*ctx->dict(), *ctx->store(), os);
   if (!st.ok()) return Fail(st);
   std::printf("wrote %s\n", opt.out.c_str());
+  return 0;
+}
+
+int CmdLoad(const Options& opt) {
+  if (opt.input.empty()) {
+    return Fail(Status::InvalidArgument("load requires --input=FILE.nt"));
+  }
+  size_t threads =
+      util::ThreadPool::ResolveThreads(static_cast<int>(opt.load_threads));
+  util::ThreadPool pool(threads - 1);
+
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  rdf::LoadOptions load_options;
+  load_options.pool = &pool;
+
+  util::WallTimer parse_timer;
+  auto data = util::ReadFileToString(opt.input);
+  if (!data.ok()) return Fail(data.status());
+  double mb = static_cast<double>(data->size()) / (1024.0 * 1024.0);
+  Status st = rdf::LoadNTriples(*data, &dict, &store, load_options);
+  if (!st.ok()) {
+    return Fail(Status::ParseError(opt.input + ": " + st.message()));
+  }
+  std::string().swap(*data);  // the loader is done with the raw bytes
+  double parse_seconds = parse_timer.ElapsedSeconds();
+
+  util::WallTimer finalize_timer;
+  if (opt.all_indexes) store.BuildAllIndexes();
+  store.Finalize(&pool);
+  double finalize_seconds = finalize_timer.ElapsedSeconds();
+
+  std::printf("loaded %s: %s triples, %zu terms at load-threads=%zu\n",
+              opt.input.c_str(), util::FormatCount(store.size()).c_str(),
+              dict.size(), threads);
+  std::printf("  read+parse+merge: %s (%.1f MB/s)\n",
+              util::FormatDuration(parse_seconds).c_str(),
+              parse_seconds > 0 ? mb / parse_seconds : 0.0);
+  std::printf("  finalize (%s indexes): %s\n",
+              opt.all_indexes ? "6" : "3",
+              util::FormatDuration(finalize_seconds).c_str());
   return 0;
 }
 
@@ -351,7 +399,7 @@ int CmdRun(const Options& opt) {
 
 int CmdHelp(const char* prog) {
   std::printf(
-      "usage: %s <generate|describe|classify|sample|run> [flags]\n\n"
+      "usage: %s <generate|load|describe|classify|sample|run> [flags]\n\n"
       "common flags:\n"
       "  --workload=bsbm|snb     which generator/templates (default bsbm)\n"
       "  --query=N               template number within the workload\n"
@@ -367,11 +415,15 @@ int CmdHelp(const char* prog) {
       "                          (default true; purely a perf switch)\n"
       "  --parallel-sort=B       ORDER BY parallel merge sort on the pool\n"
       "                          (default true; purely a perf switch)\n"
+      "  --load-threads=N        sharded N-Triples load + parallel index\n"
+      "                          finalize for `load` (0 = all cores;\n"
+      "                          identical store/dictionary for every N)\n"
       "subcommand flags:\n"
       "  generate: --out=FILE.nt\n"
       "  classify: --bucket_width=W --max-candidates=N\n"
       "  sample:   --mode=uniform|step|class|class:K --n=N --out=FILE.tsv\n"
-      "  run:      --bindings=FILE.tsv | --n=N (uniform fallback)\n",
+      "  run:      --bindings=FILE.tsv | --n=N (uniform fallback)\n"
+      "  load:     --input=FILE.nt --all-indexes=B\n",
       prog);
   return 0;
 }
@@ -399,6 +451,10 @@ int main(int argc, char** argv) {
                  "intra-query worker threads (0 = all cores)");
   flags.AddInt64("morsel_size", &opt.morsel_size,
                  "probe rows per intra-query morsel");
+  flags.AddInt64("load_threads", &opt.load_threads,
+                 "worker threads for the sharded loader (0 = all cores)");
+  flags.AddBool("all_indexes", &opt.all_indexes,
+                "build all six permutation indexes in `load`");
   flags.AddBool("parallel_group_by", &opt.parallel_group_by,
                 "run group-by through the parallel slice-merge reduction");
   flags.AddBool("parallel_sort", &opt.parallel_sort,
@@ -408,11 +464,13 @@ int main(int argc, char** argv) {
   flags.AddString("mode", &opt.mode, "uniform | step | class | class:K");
   flags.AddString("out", &opt.out, "output file");
   flags.AddString("bindings", &opt.bindings, "bindings file to run");
+  flags.AddString("input", &opt.input, "N-Triples file for `load`");
   Status st = flags.Parse(argc - 1, argv + 1);
   if (!st.ok()) return Fail(st);
   if (flags.help_requested()) return CmdHelp(argv[0]);
 
   if (cmd == "generate") return CmdGenerate(opt);
+  if (cmd == "load") return CmdLoad(opt);
   if (cmd == "describe") return CmdDescribe(opt);
   if (cmd == "classify") return CmdClassify(opt);
   if (cmd == "sample") return CmdSample(opt);
