@@ -128,6 +128,11 @@ int main(int argc, char** argv) {
     core::ClassifyOptions options;
     options.max_candidates = static_cast<uint64_t>(candidates);
     options.threads = threads;
+    // This harness gates the *per-candidate* DP's thread scaling (its PR 1
+    // reason to exist); the signature-deduped default leaves too few DP
+    // runs for thread counts to mean anything. bench_classify measures
+    // the batched strategy.
+    options.strategy = core::ClassifyStrategy::kPerCandidate;
     options.optimizer.cardinality_cache = &cache;
     util::WallTimer timer;
     auto result =

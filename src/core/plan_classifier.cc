@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/classification_session.h"
 #include "optimizer/cardinality_cache.h"
 #include "util/thread_pool.h"
 
@@ -12,29 +13,46 @@ namespace rdfparams::core {
 
 int64_t CostBucket(double cout, double log2_width) {
   if (log2_width <= 0 || !std::isfinite(log2_width)) return 0;
-  // C_out of 0 (e.g. plans whose joins are all empty) gets its own bucket.
-  if (cout <= 0) return std::numeric_limits<int64_t>::min();
-  return static_cast<int64_t>(std::floor(std::log2(cout) / log2_width));
+  // C_out of 0 (e.g. plans whose joins are all empty) gets its own bucket;
+  // NaN (no meaningful cost) lands there too rather than in UB.
+  if (!(cout > 0)) return std::numeric_limits<int64_t>::min();
+  // +infinity (overflowed cross-product estimates) caps at the top bucket
+  // instead of an undefined float->int conversion.
+  if (!std::isfinite(cout)) return std::numeric_limits<int64_t>::max();
+  // A tiny width can push the quotient past the int64 range (e.g.
+  // --bucket_width=1e-18); clamp before the cast, which would otherwise be
+  // UB. The bottom clamp stays one above the cout<=0 sentinel so extreme
+  // real costs can never alias it.
+  const double bucket = std::floor(std::log2(cout) / log2_width);
+  if (bucket >=
+      static_cast<double>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  if (bucket <=
+      static_cast<double>(std::numeric_limits<int64_t>::min())) {
+    return std::numeric_limits<int64_t>::min() + 1;
+  }
+  return static_cast<int64_t>(bucket);
 }
 
-Result<Classification> ClassifyParameters(const sparql::QueryTemplate& tmpl,
-                                          const ParameterDomain& domain,
-                                          const rdf::TripleStore& store,
-                                          const rdf::Dictionary& dict,
-                                          const ClassifyOptions& options) {
-  RDFPARAMS_RETURN_NOT_OK(domain.Validate(tmpl));
-  std::vector<sparql::ParameterBinding> candidates =
-      domain.Enumerate(options.max_candidates);
-  if (candidates.empty()) {
-    return Status::InvalidArgument("parameter domain is empty");
-  }
+double ClassifyStats::CacheHitRate() const {
+  const uint64_t total = cache_hits + cache_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(cache_hits) /
+                          static_cast<double>(total);
+}
 
+Classification BuildClassification(
+    const std::vector<sparql::ParameterBinding>& candidates,
+    const std::vector<double>& couts,
+    const std::vector<uint32_t>& fingerprint_ids,
+    const std::vector<std::string>& fingerprints,
+    double cost_bucket_log2_width) {
   struct Key {
-    std::string fingerprint;
+    uint32_t fp;  // index into `fingerprints`; equal ids iff equal strings
     int64_t bucket;
     bool operator<(const Key& other) const {
-      if (fingerprint != other.fingerprint)
-        return fingerprint < other.fingerprint;
+      if (fp != other.fp) return fp < other.fp;
       return bucket < other.bucket;
     }
   };
@@ -43,85 +61,50 @@ Result<Classification> ClassifyParameters(const sparql::QueryTemplate& tmpl,
     std::vector<double> couts;
   };
 
-  // Stage 1 — run the C_out-optimal join-ordering DP once per candidate.
-  // This is the hot loop of the whole pipeline: candidates are partitioned
-  // across workers (each Optimize() call builds its own optimizer state)
-  // over a shared read-mostly cardinality cache. Results land in
-  // per-candidate slots, so the outcome does not depend on scheduling.
+  // Serial merge in enumeration order: byte-identical for every thread
+  // count. Interned ids make this pure integer work — no fingerprint
+  // copies, no string comparisons in the map.
   const size_t n = candidates.size();
-  std::vector<double> all_couts(n, 0.0);
-  std::vector<std::string> fingerprints(n);
-  std::vector<Status> failures(n);
-
-  opt::CardinalityCache local_cache;
-  opt::OptimizeOptions optimizer_options = options.optimizer;
-  if (optimizer_options.cardinality_cache == nullptr) {
-    optimizer_options.cardinality_cache = &local_cache;
-  }
-
-  size_t threads = util::ThreadPool::ResolveThreads(options.threads);
-  util::ThreadPool pool(threads - 1);
-  util::FirstFailureTracker tracker(n);
-  pool.ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
-    for (uint64_t i = lo; i < hi; ++i) {
-      if (tracker.ShouldSkip(i)) continue;
-      auto bound = tmpl.Bind(candidates[i], dict);
-      if (!bound.ok()) {
-        failures[i] = bound.status();
-        tracker.Record(i);
-        continue;
-      }
-      auto plan = opt::Optimize(*bound, store, dict, optimizer_options);
-      if (!plan.ok()) {
-        failures[i] = plan.status();
-        tracker.Record(i);
-        continue;
-      }
-      all_couts[i] = plan->est_cout;
-      fingerprints[i] = std::move(plan->fingerprint);
-    }
-  });
-  // First failure in enumeration order, so errors are deterministic too.
-  if (tracker.any()) return failures[tracker.first()];
-
-  // Stage 2 — serial merge in enumeration order: byte-identical for every
-  // thread count.
   std::map<Key, Entry> buckets;
   std::vector<Key> candidate_key(n);
   for (size_t i = 0; i < n; ++i) {
-    Key key{fingerprints[i],
-            CostBucket(all_couts[i], options.cost_bucket_log2_width)};
+    Key key{fingerprint_ids[i], CostBucket(couts[i], cost_bucket_log2_width)};
     Entry& e = buckets[key];
     e.member_idx.push_back(i);
-    e.couts.push_back(all_couts[i]);
+    e.couts.push_back(couts[i]);
     candidate_key[i] = key;
   }
 
   Classification out;
-  out.num_candidates = candidates.size();
-  out.class_of_candidate.assign(candidates.size(), 0);
+  out.num_candidates = n;
+  out.class_of_candidate.assign(n, 0);
 
-  // Build classes, largest first (deterministic tie-break on the key).
+  // Build classes, largest first. The tie-break compares the fingerprint
+  // *strings* (not the intern ids, whose order is an implementation
+  // detail), so the class order matches grouping on raw strings exactly.
   std::vector<std::pair<Key, Entry*>> ordered;
   ordered.reserve(buckets.size());
   for (auto& [key, entry] : buckets) ordered.push_back({key, &entry});
   std::sort(ordered.begin(), ordered.end(),
-            [](const auto& a, const auto& b) {
+            [&](const auto& a, const auto& b) {
               if (a.second->member_idx.size() != b.second->member_idx.size())
                 return a.second->member_idx.size() >
                        b.second->member_idx.size();
-              return a.first < b.first;
+              const std::string& fa = fingerprints[a.first.fp];
+              const std::string& fb = fingerprints[b.first.fp];
+              if (fa != fb) return fa < fb;
+              return a.first.bucket < b.first.bucket;
             });
 
   std::map<Key, uint32_t> class_index;
   for (const auto& [key, entry] : ordered) {
     PlanClass cls;
-    cls.fingerprint = key.fingerprint;
+    cls.fingerprint = fingerprints[key.fp];
     cls.cost_bucket = key.bucket;
     cls.min_cout = *std::min_element(entry->couts.begin(), entry->couts.end());
     cls.max_cout = *std::max_element(entry->couts.begin(), entry->couts.end());
     cls.fraction = static_cast<double>(entry->member_idx.size()) /
-                   static_cast<double>(candidates.size());
+                   static_cast<double>(n);
     for (size_t idx : entry->member_idx) {
       cls.members.push_back(candidates[idx]);
     }
@@ -135,10 +118,120 @@ Result<Classification> ClassifyParameters(const sparql::QueryTemplate& tmpl,
     class_index[key] = static_cast<uint32_t>(out.classes.size());
     out.classes.push_back(std::move(cls));
   }
-  for (size_t i = 0; i < candidates.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     out.class_of_candidate[i] = class_index[candidate_key[i]];
   }
   return out;
+}
+
+namespace {
+
+/// Reference stage 1: one full join-ordering DP per candidate. Kept
+/// verbatim as the differential baseline for the batched path.
+Result<Classification> ClassifyPerCandidate(const sparql::QueryTemplate& tmpl,
+                                            const ParameterDomain& domain,
+                                            const rdf::TripleStore& store,
+                                            const rdf::Dictionary& dict,
+                                            const ClassifyOptions& options) {
+  // Reset up front so even the early-validation exits leave zeroed stats
+  // (matching the session's behavior) instead of a stale earlier call's.
+  if (options.stats != nullptr) *options.stats = ClassifyStats{};
+  RDFPARAMS_RETURN_NOT_OK(domain.Validate(tmpl));
+  std::vector<sparql::ParameterBinding> candidates =
+      domain.Enumerate(options.max_candidates);
+  if (candidates.empty()) {
+    return Status::InvalidArgument("parameter domain is empty");
+  }
+
+  // Stage 1 — run the C_out-optimal join-ordering DP once per candidate.
+  // Candidates are partitioned across workers (each Optimize() call builds
+  // its own optimizer state) over a shared read-mostly cardinality cache.
+  // Results land in per-candidate slots, so the outcome does not depend on
+  // scheduling.
+  const size_t n = candidates.size();
+  std::vector<double> all_couts(n, 0.0);
+  std::vector<std::string> raw_fingerprints(n);
+  std::vector<Status> failures(n);
+
+  opt::CardinalityCache local_cache;
+  opt::OptimizeOptions optimizer_options = options.optimizer;
+  if (optimizer_options.cardinality_cache == nullptr) {
+    optimizer_options.cardinality_cache = &local_cache;
+  }
+  const opt::CardinalityCache* cache = optimizer_options.cardinality_cache;
+  const uint64_t cache_hits_before = cache->hits();
+  const uint64_t cache_misses_before = cache->misses();
+
+  size_t threads = util::ThreadPool::ResolveThreads(options.threads);
+  util::ThreadPool pool(threads - 1);
+  util::FirstFailureTracker tracker(n);
+  // DP invocations actually made: n on success; on failure the workers
+  // skip past the first recorded error, so the count is what truly ran.
+  std::atomic<uint64_t> dp_attempts{0};
+  pool.ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) {
+      if (tracker.ShouldSkip(i)) continue;
+      auto bound = tmpl.Bind(candidates[i], dict);
+      if (!bound.ok()) {
+        failures[i] = bound.status();
+        tracker.Record(i);
+        continue;
+      }
+      dp_attempts.fetch_add(1, std::memory_order_relaxed);
+      auto plan = opt::Optimize(*bound, store, dict, optimizer_options);
+      if (!plan.ok()) {
+        failures[i] = plan.status();
+        tracker.Record(i);
+        continue;
+      }
+      all_couts[i] = plan->est_cout;
+      raw_fingerprints[i] = std::move(plan->fingerprint);
+    }
+  });
+  // Stats sync on every exit, like the batched path: a failed call still
+  // reports the candidates and cache traffic of the attempt.
+  if (options.stats != nullptr) {
+    ClassifyStats stats;
+    stats.num_candidates = n;
+    stats.dp_runs = dp_attempts.load(std::memory_order_relaxed);
+    stats.cache_hits = cache->hits() - cache_hits_before;
+    stats.cache_misses = cache->misses() - cache_misses_before;
+    *options.stats = stats;
+  }
+  // First failure in enumeration order, so errors are deterministic too.
+  if (tracker.any()) return failures[tracker.first()];
+
+  // Intern fingerprints (serial, enumeration order) so the grouping stage
+  // works on ids instead of copying strings per candidate.
+  std::vector<std::string> fingerprints;
+  std::map<std::string, uint32_t> fingerprint_ids;
+  std::vector<uint32_t> candidate_fp(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto [it, inserted] = fingerprint_ids.emplace(
+        std::move(raw_fingerprints[i]),
+        static_cast<uint32_t>(fingerprints.size()));
+    if (inserted) fingerprints.push_back(it->first);
+    candidate_fp[i] = it->second;
+  }
+
+  return BuildClassification(candidates, all_couts, candidate_fp,
+                             fingerprints, options.cost_bucket_log2_width);
+}
+
+}  // namespace
+
+Result<Classification> ClassifyParameters(const sparql::QueryTemplate& tmpl,
+                                          const ParameterDomain& domain,
+                                          const rdf::TripleStore& store,
+                                          const rdf::Dictionary& dict,
+                                          const ClassifyOptions& options) {
+  if (options.strategy == ClassifyStrategy::kBatched) {
+    // The batched pipeline is the single-call case of a session: prefill
+    // the cache, dedup by signature, run the DP once per distinct input.
+    ClassificationSession session(tmpl, store, dict, options);
+    return session.Classify(domain, options.max_candidates);
+  }
+  return ClassifyPerCandidate(tmpl, domain, store, dict, options);
 }
 
 std::vector<sparql::ParameterBinding> SampleFromClass(const PlanClass& cls,

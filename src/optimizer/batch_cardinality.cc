@@ -1,0 +1,121 @@
+#include "optimizer/batch_cardinality.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "rdf/triple.h"
+
+namespace rdfparams::opt {
+
+BatchCardinality::BatchCardinality(const sparql::QueryTemplate& tmpl,
+                                   const rdf::TripleStore& store,
+                                   const rdf::Dictionary& dict,
+                                   CardinalityCache* cache)
+    : tmpl_(tmpl), store_(store), dict_(dict), cache_(cache) {
+  RDFPARAMS_DCHECK(cache_ != nullptr);
+}
+
+BatchPrefillStats BatchCardinality::PrefillLeafCounts(
+    const std::vector<sparql::ParameterBinding>& candidates,
+    std::span<const size_t> which) {
+  BatchPrefillStats stats;
+  const sparql::SelectQuery& query = tmpl_.query();
+  const std::vector<std::string>& names = tmpl_.parameter_names();
+
+  for (const sparql::TriplePattern& tp : query.patterns) {
+    // Resolve the pattern the way EstimatePattern will after binding:
+    // constants through the dictionary, variables to wildcards, and the
+    // parameter slot (if any) marked as the varying position.
+    int param_count = 0;
+    rdf::TriplePos param_pos = rdf::TriplePos::kS;
+    size_t param_index = 0;
+    bool resolvable = true;
+    rdf::Triple fixed(rdf::kWildcardId, rdf::kWildcardId, rdf::kWildcardId);
+    const sparql::Slot* slots[3] = {&tp.s, &tp.p, &tp.o};
+    for (int k = 0; k < 3; ++k) {
+      const sparql::Slot& slot = *slots[k];
+      if (slot.is_param()) {
+        ++param_count;
+        param_pos = static_cast<rdf::TriplePos>(k);
+        auto it = std::find(names.begin(), names.end(), slot.name);
+        RDFPARAMS_DCHECK(it != names.end());
+        param_index = static_cast<size_t>(it - names.begin());
+      } else if (slot.is_const()) {
+        auto id = dict_.Find(slot.term);
+        if (!id.has_value()) {
+          // A constant absent from the data: EstimatePattern short-circuits
+          // to cardinality 0 without ever counting, so there is nothing to
+          // prefill for this pattern.
+          resolvable = false;
+          break;
+        }
+        rdf::SetPos(&fixed, static_cast<rdf::TriplePos>(k), *id);
+      }
+    }
+    if (!resolvable || param_count != 1) {
+      // Parameter-free patterns cost one probe total (the first worker
+      // caches it); multi-parameter patterns fall back to on-demand
+      // cached probes inside the estimator.
+      ++stats.unbatched_patterns;
+      continue;
+    }
+
+    // The candidate column for this parameter, ascending and deduplicated
+    // (binding values are dictionary ids, i.e. already resolved).
+    std::vector<rdf::TermId> values;
+    values.reserve(which.size());
+    for (size_t i : which) {
+      const sparql::ParameterBinding& c = candidates[i];
+      RDFPARAMS_DCHECK(param_index < c.values.size());
+      values.push_back(c.values[param_index]);
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+
+    std::vector<uint64_t> counts = store_.CountPatternBatch(
+        param_pos, fixed.s, fixed.p, fixed.o, values);
+    for (size_t i = 0; i < values.size(); ++i) {
+      rdf::Triple key = fixed;
+      rdf::SetPos(&key, param_pos, values[i]);
+      cache_->InsertCount(key.s, key.p, key.o, counts[i]);
+    }
+    stats.batched_counts += values.size();
+  }
+  return stats;
+}
+
+Result<CardinalitySignature> BatchCardinality::Signature(
+    const sparql::SelectQuery& bound) const {
+  CardinalityEstimator est(store_, dict_, cache_);
+  const size_t n = bound.patterns.size();
+  CardinalitySignature sig;
+  sig.reserve(n * 4 + n * n);
+
+  // (a) Leaf RelationInfos. The var_distinct keys are the template's
+  // variables — identical for every candidate — so encoding the values in
+  // map order keeps positions aligned across candidates.
+  for (size_t i = 0; i < n; ++i) {
+    RDFPARAMS_ASSIGN_OR_RETURN(RelationInfo info, est.EstimatePattern(bound, i));
+    sig.push_back(std::bit_cast<uint64_t>(info.cardinality));
+    for (const auto& [var, distinct] : info.var_distinct) {
+      (void)var;
+      sig.push_back(std::bit_cast<uint64_t>(distinct));
+    }
+  }
+
+  // (b) Exact pair-join counts for every pattern pair. Pairs the DP never
+  // overrides with an exact count (no single shared variable) return
+  // nullopt from the cheap static checks, encoded as a presence flag so
+  // "not computable" can never alias a real count. The computed values
+  // land in the shared cache, where the deduped DP run finds them again.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      std::optional<double> count = est.ExactPairJoinCount(bound, i, j);
+      sig.push_back(count.has_value() ? 1u : 0u);
+      sig.push_back(count.has_value() ? std::bit_cast<uint64_t>(*count) : 0u);
+    }
+  }
+  return sig;
+}
+
+}  // namespace rdfparams::opt

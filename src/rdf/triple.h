@@ -35,6 +35,14 @@ inline TermId GetPos(const Triple& t, TriplePos pos) {
   return kInvalidTermId;
 }
 
+inline void SetPos(Triple* t, TriplePos pos, TermId value) {
+  switch (pos) {
+    case TriplePos::kS: t->s = value; break;
+    case TriplePos::kP: t->p = value; break;
+    case TriplePos::kO: t->o = value; break;
+  }
+}
+
 }  // namespace rdfparams::rdf
 
 #endif  // RDFPARAMS_RDF_TRIPLE_H_

@@ -223,6 +223,143 @@ uint64_t TripleStore::CountPattern(TermId s, TermId p, TermId o) const {
   return Range(order, s, p, o).size();
 }
 
+namespace {
+
+/// First triple in [first, last) whose `pos` slot is >= value: exponential
+/// probing from `first`, then a binary search inside the final window. The
+/// probe makes a sweep over ascending values O(k·log(n/k) + k) instead of
+/// k full-range binary searches.
+const Triple* GallopLowerBound(const Triple* first, const Triple* last,
+                               TriplePos pos, TermId value) {
+  const size_t n = static_cast<size_t>(last - first);
+  size_t prev = 0;
+  size_t step = 1;
+  while (prev + step <= n && GetPos(first[prev + step - 1], pos) < value) {
+    prev += step;
+    step *= 2;
+  }
+  return std::lower_bound(
+      first + prev, first + std::min(prev + step, n), value,
+      [pos](const Triple& t, TermId v) { return GetPos(t, pos) < v; });
+}
+
+/// First triple in [first, last) whose `pos` slot is > value (same scheme).
+const Triple* GallopUpperBound(const Triple* first, const Triple* last,
+                               TriplePos pos, TermId value) {
+  const size_t n = static_cast<size_t>(last - first);
+  size_t prev = 0;
+  size_t step = 1;
+  while (prev + step <= n && GetPos(first[prev + step - 1], pos) <= value) {
+    prev += step;
+    step *= 2;
+  }
+  return std::upper_bound(
+      first + prev, first + std::min(prev + step, n), value,
+      [pos](TermId v, const Triple& t) { return v < GetPos(t, pos); });
+}
+
+}  // namespace
+
+std::vector<uint64_t> TripleStore::CountPatternBatch(
+    TriplePos var_pos, TermId s, TermId p, TermId o,
+    std::span<const TermId> candidates) const {
+  RDFPARAMS_DCHECK(finalized_);
+  std::vector<uint64_t> counts(candidates.size(), 0);
+  if (candidates.empty()) return counts;
+
+  Triple fixed(s, p, o);
+  SetPos(&fixed, var_pos, kWildcardId);  // whatever was at var_pos is ignored
+  const bool fixed_bound[3] = {fixed.s != kWildcardId, fixed.p != kWildcardId,
+                               fixed.o != kWildcardId};
+  const size_t nf = static_cast<size_t>(fixed_bound[0]) +
+                    static_cast<size_t>(fixed_bound[1]) +
+                    static_cast<size_t>(fixed_bound[2]);
+
+  // Pick the available index whose sort prefix of length nf+1 is exactly
+  // the fixed slots plus var_pos, preferring the one sorting the var slot
+  // latest: slots before it are pinned by one equal_range, slots after it
+  // are counted per run, and a later var position leaves fewer of those.
+  std::vector<IndexOrder> available = {IndexOrder::kSPO, IndexOrder::kPOS,
+                                       IndexOrder::kOSP};
+  if (all_indexes_) {
+    available.insert(available.end(), {IndexOrder::kSOP, IndexOrder::kPSO,
+                                       IndexOrder::kOPS});
+  }
+  int best_k = -1;
+  IndexOrder best_order = IndexOrder::kSPO;
+  std::array<TriplePos, 3> perm{};
+  for (IndexOrder order : available) {
+    auto candidate_perm = IndexPermutation(order);
+    int k = -1;
+    bool usable = true;
+    for (size_t i = 0; i <= nf; ++i) {
+      if (candidate_perm[i] == var_pos) {
+        k = static_cast<int>(i);
+      } else if (!fixed_bound[static_cast<size_t>(candidate_perm[i])]) {
+        usable = false;
+        break;
+      }
+    }
+    if (usable && k > best_k) {
+      best_k = k;
+      best_order = order;
+      perm = candidate_perm;
+    }
+  }
+  if (best_k < 0) {
+    // No covering sort prefix among the built indexes (cannot happen with
+    // the three defaults, but stays correct for any index configuration).
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      Triple q = fixed;
+      SetPos(&q, var_pos, candidates[i]);
+      counts[i] = CountPattern(q.s, q.p, q.o);
+    }
+    return counts;
+  }
+
+  // One equal_range over the fixed slots sorted before the var slot gives
+  // the sweep region; inside it, triples are ordered by the var slot next.
+  Triple region_pattern(kWildcardId, kWildcardId, kWildcardId);
+  for (int i = 0; i < best_k; ++i) {
+    SetPos(&region_pattern, perm[static_cast<size_t>(i)],
+           GetPos(fixed, perm[static_cast<size_t>(i)]));
+  }
+  std::span<const Triple> region = Range(best_order, region_pattern.s,
+                                         region_pattern.p, region_pattern.o);
+  if (region.empty()) return counts;
+
+  // Fixed slots sorted *after* the var slot (present when the var is not
+  // the last prefix position) restrict each run via a bounded equal_range.
+  const size_t tail_begin = static_cast<size_t>(best_k) + 1;
+  const bool has_tail = tail_begin <= nf;
+  auto tail_less = [&](const Triple& a, const Triple& b) {
+    for (size_t i = tail_begin; i <= nf; ++i) {
+      TermId va = GetPos(a, perm[i]);
+      TermId vb = GetPos(b, perm[i]);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  };
+
+  const Triple* cur = region.data();
+  const Triple* end = region.data() + region.size();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    RDFPARAMS_DCHECK(i == 0 || candidates[i - 1] <= candidates[i]);
+    const TermId c = candidates[i];
+    const Triple* lo = GallopLowerBound(cur, end, var_pos, c);
+    cur = lo;  // not past the run: duplicate candidates re-find it
+    if (lo == end || GetPos(*lo, var_pos) != c) continue;  // id absent: 0
+    const Triple* hi = GallopUpperBound(lo, end, var_pos, c);
+    if (has_tail) {
+      auto run = std::equal_range(lo, hi, fixed, tail_less);
+      counts[i] = static_cast<uint64_t>(run.second - run.first);
+    } else {
+      counts[i] = static_cast<uint64_t>(hi - lo);
+    }
+  }
+  return counts;
+}
+
 void TripleStore::ScanPattern(
     TermId s, TermId p, TermId o,
     const std::function<void(const Triple&)>& fn) const {

@@ -78,6 +78,23 @@ class TripleStore {
   /// Exact number of triples matching the pattern (wildcards allowed).
   uint64_t CountPattern(TermId s, TermId p, TermId o) const;
 
+  /// Batched CountPattern over patterns that differ only in one slot:
+  /// result[i] == CountPattern(pattern with candidates[i] substituted at
+  /// var_pos). The slot at var_pos in (s, p, o) is ignored; the remaining
+  /// slots may be bound or wildcard. `candidates` must be ascending
+  /// (duplicates allowed; ids absent from the data count 0).
+  ///
+  /// Instead of candidates.size() independent equal_range probes, this
+  /// runs one co-sequential sweep over the covering index: the bound
+  /// slots plus var_pos always form a sort prefix of one of the default
+  /// permutations, so ascending candidates map to monotonically advancing
+  /// positions and each run is located by galloping (exponential probe +
+  /// bounded binary search) from the previous one — O(k·log(n/k) + k)
+  /// total instead of O(k·log n), and one cache-resident cursor.
+  std::vector<uint64_t> CountPatternBatch(
+      TriplePos var_pos, TermId s, TermId p, TermId o,
+      std::span<const TermId> candidates) const;
+
   /// Invokes fn(const Triple&) for every match of the pattern.
   void ScanPattern(TermId s, TermId p, TermId o,
                    const std::function<void(const Triple&)>& fn) const;

@@ -26,9 +26,11 @@ class FlagParser {
   void AddString(const std::string& name, std::string* target,
                  const std::string& help);
 
-  /// Parses argv; unknown flags produce an error. `--help` sets
-  /// help_requested() and is not an error. Positional arguments are
-  /// collected into positional().
+  /// Parses argv, skipping argv[0] (the program name) — pass argc/argv
+  /// straight through; offsetting them drops the first real argument.
+  /// Unknown flags produce an error. `--help` sets help_requested() and
+  /// is not an error. Positional arguments are collected into
+  /// positional().
   Status Parse(int argc, char** argv);
 
   bool help_requested() const { return help_requested_; }

@@ -1,5 +1,6 @@
 #include "core/plan_classifier.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <set>
@@ -43,6 +44,46 @@ TEST(CostBucketTest, LogBuckets) {
   EXPECT_EQ(CostBucket(1e9, std::numeric_limits<double>::infinity()), 0);
   // Zero cost gets its own sentinel bucket.
   EXPECT_EQ(CostBucket(0.0, 1.0), std::numeric_limits<int64_t>::min());
+}
+
+TEST(CostBucketTest, DegenerateWidthsCollapseToOneBucket) {
+  // Any width that cannot define a log scale means "fingerprint-only
+  // clustering": everything in bucket 0, including the cout <= 0 cases.
+  for (double width : {0.0, -1.0, -std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_EQ(CostBucket(1e12, width), 0) << "width=" << width;
+    EXPECT_EQ(CostBucket(0.0, width), 0) << "width=" << width;
+    EXPECT_EQ(CostBucket(-5.0, width), 0) << "width=" << width;
+  }
+}
+
+TEST(CostBucketTest, NonPositiveAndNonFiniteCosts) {
+  constexpr int64_t kSentinel = std::numeric_limits<int64_t>::min();
+  // The sentinel bucket catches every "no meaningful cost" value: zero,
+  // negative, and NaN (which must not fall through into the log2 path).
+  EXPECT_EQ(CostBucket(0.0, 1.0), kSentinel);
+  EXPECT_EQ(CostBucket(-0.0, 1.0), kSentinel);
+  EXPECT_EQ(CostBucket(-123.5, 1.0), kSentinel);
+  EXPECT_EQ(CostBucket(-std::numeric_limits<double>::infinity(), 1.0),
+            kSentinel);
+  EXPECT_EQ(CostBucket(std::numeric_limits<double>::quiet_NaN(), 1.0),
+            kSentinel);
+  // Overflowed estimates cap at the top bucket instead of UB.
+  EXPECT_EQ(CostBucket(std::numeric_limits<double>::infinity(), 1.0),
+            std::numeric_limits<int64_t>::max());
+  // Subnormal-but-positive costs still bucket finitely.
+  EXPECT_LT(CostBucket(std::numeric_limits<double>::denorm_min(), 1.0), 0);
+}
+
+TEST(CostBucketTest, TinyWidthClampsInsteadOfOverflowing) {
+  // log2(cout)/1e-18 is far outside int64: the cast must clamp, not UB,
+  // and the bottom clamp must not collide with the cout<=0 sentinel.
+  EXPECT_EQ(CostBucket(std::pow(2.0, 40), 1e-18),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(CostBucket(std::pow(2.0, -40), 1e-18),
+            std::numeric_limits<int64_t>::min() + 1);
+  EXPECT_NE(CostBucket(std::pow(2.0, -40), 1e-18), CostBucket(0.0, 1e-18));
 }
 
 TEST_F(ClassifierTest, ClassifiesQ4TypeDomain) {
@@ -192,6 +233,36 @@ TEST_F(ClassifierTest, SampleFromClassDistinctWhenPossible) {
   // Oversampling falls back to replacement.
   auto big = SampleFromClass(cls, 50, &rng);
   EXPECT_EQ(big.size(), 50u);
+}
+
+TEST_F(ClassifierTest, SampleFromClassOversamplingDeterministic) {
+  PlanClass cls;
+  for (rdf::TermId i = 0; i < 7; ++i) {
+    sparql::ParameterBinding b;
+    b.values = {i};
+    cls.members.push_back(b);
+  }
+  // n > members.size(): the with-replacement path must be a pure function
+  // of the rng state — two equally-seeded rngs produce identical draws,
+  // and every draw is a member.
+  util::Rng rng_a(99);
+  util::Rng rng_b(99);
+  auto sample_a = SampleFromClass(cls, 40, &rng_a);
+  auto sample_b = SampleFromClass(cls, 40, &rng_b);
+  ASSERT_EQ(sample_a.size(), 40u);
+  EXPECT_EQ(sample_a, sample_b);
+  for (const auto& s : sample_a) {
+    EXPECT_TRUE(std::find(cls.members.begin(), cls.members.end(), s) !=
+                cls.members.end());
+  }
+  // A different seed draws a different (still member-only) sequence.
+  util::Rng rng_c(100);
+  auto sample_c = SampleFromClass(cls, 40, &rng_c);
+  EXPECT_NE(sample_a, sample_c);
+
+  // Empty class: nothing to draw from, regardless of n.
+  PlanClass empty;
+  EXPECT_TRUE(SampleFromClass(empty, 5, &rng_a).empty());
 }
 
 }  // namespace

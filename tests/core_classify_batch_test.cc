@@ -1,0 +1,282 @@
+// Differential harness for the batched classification pipeline: the
+// signature-deduped strategy and the incremental ClassificationSession
+// must be byte-identical — classes, fractions, representatives,
+// class_of_candidate — to the per-candidate reference at 1/2/4/8 threads,
+// including the grow-the-budget path, while actually saving DP runs on
+// skewed domains.
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bsbm/queries.h"
+#include "core/classification_session.h"
+#include "core/plan_classifier.h"
+#include "sparql/query_template.h"
+#include "test_store.h"
+
+namespace rdfparams::core {
+namespace {
+
+/// Exact equality on every field of the result (doubles compared bitwise
+/// through ==; the determinism contract promises identical bits).
+void ExpectIdentical(const Classification& a, const Classification& b,
+                     const std::string& label) {
+  ASSERT_EQ(a.num_candidates, b.num_candidates) << label;
+  ASSERT_EQ(a.classes.size(), b.classes.size()) << label;
+  EXPECT_EQ(a.class_of_candidate, b.class_of_candidate) << label;
+  for (size_t i = 0; i < a.classes.size(); ++i) {
+    const PlanClass& x = a.classes[i];
+    const PlanClass& y = b.classes[i];
+    EXPECT_EQ(x.fingerprint, y.fingerprint) << label << " class " << i;
+    EXPECT_EQ(x.cost_bucket, y.cost_bucket) << label << " class " << i;
+    EXPECT_EQ(x.min_cout, y.min_cout) << label << " class " << i;
+    EXPECT_EQ(x.max_cout, y.max_cout) << label << " class " << i;
+    EXPECT_EQ(x.fraction, y.fraction) << label << " class " << i;
+    EXPECT_EQ(x.members, y.members) << label << " class " << i;
+    EXPECT_EQ(x.representative, y.representative) << label << " class " << i;
+  }
+}
+
+class ClassifyBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new bsbm::Dataset(test::MakeMiniBsbm());
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+  static bsbm::Dataset* ds_;
+};
+
+bsbm::Dataset* ClassifyBatchTest::ds_ = nullptr;
+
+ClassifyOptions Opt(ClassifyStrategy strategy, int threads,
+                    uint64_t max_candidates = 2000) {
+  ClassifyOptions options;
+  options.strategy = strategy;
+  options.threads = threads;
+  options.max_candidates = max_candidates;
+  return options;
+}
+
+TEST_F(ClassifyBatchTest, BatchedIdenticalToPerCandidateAcrossThreads) {
+  auto q4 = bsbm::MakeQ4(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(*ds_));
+
+  auto reference = ClassifyParameters(
+      q4, domain, ds_->store, ds_->dict,
+      Opt(ClassifyStrategy::kPerCandidate, 1));
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (int threads : {1, 2, 4, 8}) {
+    ClassifyStats stats;
+    ClassifyOptions options = Opt(ClassifyStrategy::kBatched, threads);
+    options.stats = &stats;
+    auto batched = ClassifyParameters(q4, domain, ds_->store, ds_->dict,
+                                      options);
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    ExpectIdentical(*reference, *batched,
+                    "threads=" + std::to_string(threads));
+    EXPECT_EQ(stats.num_candidates, reference->num_candidates);
+    EXPECT_EQ(stats.dp_runs + stats.dp_runs_saved, stats.num_candidates);
+    EXPECT_EQ(stats.dp_runs, stats.distinct_signatures);
+    EXPECT_GT(stats.batched_counts, 0u);
+  }
+}
+
+TEST_F(ClassifyBatchTest, TwoParameterTemplateIdentical) {
+  // Q1 binds %type and %feature in different patterns: the domain is a
+  // cross product and both patterns are batch-counted independently.
+  auto q1 = bsbm::MakeQ1(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("type", bsbm::TypeDomain(*ds_));
+  std::vector<rdf::TermId> features = bsbm::FeatureDomain(*ds_);
+  features.resize(std::min<size_t>(features.size(), 12));
+  domain.AddSingle("feature", features);
+
+  auto reference = ClassifyParameters(
+      q1, domain, ds_->store, ds_->dict,
+      Opt(ClassifyStrategy::kPerCandidate, 1, 500));
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (int threads : {1, 4}) {
+    auto batched =
+        ClassifyParameters(q1, domain, ds_->store, ds_->dict,
+                           Opt(ClassifyStrategy::kBatched, threads, 500));
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    ExpectIdentical(*reference, *batched,
+                    "q1 threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ClassifyBatchFallbackTest, TwoParametersInOnePatternIdentical) {
+  // Both slots of one pattern vary per candidate: the prefill cannot
+  // batch that pattern (it falls back to on-demand cached probes), but
+  // the signature dedup must still be byte-identical.
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  std::string doc = "@prefix x: <http://x/> .\n";
+  for (int i = 0; i < 12; ++i) {
+    doc += "x:p" + std::to_string(i) + " x:knows x:p" +
+           std::to_string((i + 1) % 12) + " .\n";
+    doc += "x:p" + std::to_string(i) + " x:age " + std::to_string(20 + i % 3) +
+           " .\n";
+  }
+  ASSERT_TRUE(rdf::LoadTurtle(doc, &dict, &store).ok());
+  store.Finalize();
+
+  auto tmpl = sparql::QueryTemplate::Parse("pair", R"(
+PREFIX x: <http://x/>
+SELECT ?a WHERE {
+  %a x:knows %b .
+  %a x:age ?a .
+}
+)");
+  ASSERT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+
+  std::vector<std::vector<rdf::TermId>> tuples;
+  for (int i = 0; i < 12; ++i) {
+    auto a = dict.FindIri("http://x/p" + std::to_string(i));
+    auto b = dict.FindIri("http://x/p" + std::to_string((i + 1) % 12));
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    tuples.push_back({*a, *b});
+  }
+  ParameterDomain domain;
+  domain.AddTuples({"a", "b"}, tuples);
+
+  auto reference =
+      ClassifyParameters(*tmpl, domain, store, dict,
+                         Opt(ClassifyStrategy::kPerCandidate, 1));
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ClassifyStats stats;
+  ClassifyOptions options = Opt(ClassifyStrategy::kBatched, 2);
+  options.stats = &stats;
+  auto batched = ClassifyParameters(*tmpl, domain, store, dict, options);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ExpectIdentical(*reference, *batched, "two-params-one-pattern");
+  // Every candidate ring position is structurally identical: the dedup
+  // must collapse them to few signatures.
+  EXPECT_LT(stats.dp_runs, stats.num_candidates);
+  EXPECT_GT(stats.dp_runs_saved, 0u);
+}
+
+TEST(ClassifyBatchDedupTest, SkewedDomainCollapsesToOneSignature) {
+  // Three types with exactly 10 members each: identical leaf counts and
+  // pair-join counts => one signature, one DP run, two saved.
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::LoadTurtle(test::ItemScoreTurtle(30), &dict, &store).ok());
+  store.Finalize();
+
+  auto tmpl = sparql::QueryTemplate::Parse("skew", R"(
+PREFIX x: <http://x/>
+SELECT ?i WHERE {
+  ?i x:type %t .
+  ?i x:score ?s .
+}
+)");
+  ASSERT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+  ParameterDomain domain;
+  std::vector<rdf::TermId> types;
+  for (int t = 0; t < 3; ++t) {
+    auto id = dict.FindIri("http://x/T" + std::to_string(t));
+    ASSERT_TRUE(id.has_value());
+    types.push_back(*id);
+  }
+  domain.AddSingle("t", types);
+
+  ClassifyStats stats;
+  ClassifyOptions options = Opt(ClassifyStrategy::kBatched, 1);
+  options.stats = &stats;
+  auto batched = ClassifyParameters(*tmpl, domain, store, dict, options);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  EXPECT_EQ(stats.num_candidates, 3u);
+  EXPECT_EQ(stats.distinct_signatures, 1u);
+  EXPECT_EQ(stats.dp_runs, 1u);
+  EXPECT_EQ(stats.dp_runs_saved, 2u);
+
+  auto reference = ClassifyParameters(
+      *tmpl, domain, store, dict, Opt(ClassifyStrategy::kPerCandidate, 1));
+  ASSERT_TRUE(reference.ok());
+  ExpectIdentical(*reference, *batched, "skewed");
+}
+
+TEST_F(ClassifyBatchTest, SessionGrowingBudgetIdenticalToFreshRuns) {
+  // The ROADMAP case: grow max_candidates across one session; every
+  // intermediate result must equal a fresh per-candidate classification
+  // with the same budget, and the growth must reuse earlier work.
+  auto q4 = bsbm::MakeQ4(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(*ds_));
+  const uint64_t full = bsbm::TypeDomain(*ds_).size();
+
+  for (int threads : {1, 4}) {
+    ClassificationSession session(q4, ds_->store, ds_->dict,
+                                  Opt(ClassifyStrategy::kBatched, threads));
+    uint64_t previous_memo = 0;
+    for (uint64_t budget : {full / 4, full / 2, full, full + 100}) {
+      if (budget == 0) continue;
+      auto incremental = session.Classify(domain, budget);
+      ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
+      auto reference = ClassifyParameters(
+          q4, domain, ds_->store, ds_->dict,
+          Opt(ClassifyStrategy::kPerCandidate, 1, budget));
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      ExpectIdentical(*reference, *incremental,
+                      "budget=" + std::to_string(budget) +
+                          " threads=" + std::to_string(threads));
+      EXPECT_GE(session.memoized_bindings(), previous_memo);
+      previous_memo = session.memoized_bindings();
+    }
+    // Growing to the full domain twice: the second call is pure reuse.
+    auto again = session.Classify(domain, full + 100);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(session.last_stats().reused_candidates, full);
+    EXPECT_EQ(session.last_stats().dp_runs, 0u);
+    EXPECT_EQ(session.last_stats().dp_runs_saved, full);
+  }
+}
+
+TEST_F(ClassifyBatchTest, SessionPartialOverlapBudgets) {
+  // Budgets below the domain size enumerate uniformly spaced subsets that
+  // only partially overlap; the binding-keyed memo must still reproduce
+  // fresh results exactly while reusing the overlap.
+  auto q4 = bsbm::MakeQ4(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("ProductType", bsbm::TypeDomain(*ds_));
+  const uint64_t full = bsbm::TypeDomain(*ds_).size();
+  ASSERT_GT(full, 8u);
+
+  ClassificationSession session(q4, ds_->store, ds_->dict,
+                                Opt(ClassifyStrategy::kBatched, 2));
+  for (uint64_t budget : {full / 5, full / 3, full / 2}) {
+    auto incremental = session.Classify(domain, budget);
+    ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
+    auto reference = ClassifyParameters(
+        q4, domain, ds_->store, ds_->dict,
+        Opt(ClassifyStrategy::kPerCandidate, 1, budget));
+    ASSERT_TRUE(reference.ok());
+    ExpectIdentical(*reference, *incremental,
+                    "overlap budget=" + std::to_string(budget));
+  }
+}
+
+TEST_F(ClassifyBatchTest, ErrorParityOnMismatchedDomain) {
+  auto q4 = bsbm::MakeQ4(*ds_);
+  ParameterDomain domain;
+  domain.AddSingle("WrongName", bsbm::TypeDomain(*ds_));
+  auto per_candidate = ClassifyParameters(
+      q4, domain, ds_->store, ds_->dict,
+      Opt(ClassifyStrategy::kPerCandidate, 1));
+  auto batched = ClassifyParameters(q4, domain, ds_->store, ds_->dict,
+                                    Opt(ClassifyStrategy::kBatched, 1));
+  ASSERT_FALSE(per_candidate.ok());
+  ASSERT_FALSE(batched.ok());
+  EXPECT_EQ(per_candidate.status().ToString(), batched.status().ToString());
+}
+
+}  // namespace
+}  // namespace rdfparams::core

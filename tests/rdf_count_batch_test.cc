@@ -1,0 +1,137 @@
+// Property tests for TripleStore::CountPatternBatch: on random stores,
+// the batched galloping sweep must agree with per-candidate CountPattern
+// for every var position, every fixed-slot combination, every index
+// configuration, and candidate lists containing absent ids and duplicates.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rdf/triple_store.h"
+#include "util/rng.h"
+
+namespace rdfparams::rdf {
+namespace {
+
+/// A random store over small id spaces, so values repeat and runs form.
+TripleStore MakeRandomStore(util::Rng* rng, size_t triples, TermId s_space,
+                            TermId p_space, TermId o_space,
+                            bool all_indexes) {
+  TripleStore store;
+  for (size_t i = 0; i < triples; ++i) {
+    store.Add(static_cast<TermId>(rng->Uniform(s_space)),
+              static_cast<TermId>(rng->Uniform(p_space)),
+              static_cast<TermId>(rng->Uniform(o_space)));
+  }
+  if (all_indexes) store.BuildAllIndexes();
+  store.Finalize();
+  return store;
+}
+
+/// Sorted candidate list mixing present ids, absent ids (>= id space) and
+/// duplicates.
+std::vector<TermId> MakeCandidates(util::Rng* rng, size_t n, TermId space) {
+  std::vector<TermId> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // ~20% of draws land beyond the id space (guaranteed count 0).
+    out.push_back(static_cast<TermId>(rng->Uniform(space + space / 4 + 1)));
+    if (i > 0 && rng->Bernoulli(0.2)) out.back() = out[out.size() - 2];
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TriplePos AllPositions[] = {TriplePos::kS, TriplePos::kP, TriplePos::kO};
+
+/// Exhaustively checks one store: every var position x every combination
+/// of bound/wildcard fixed slots, batched vs per-candidate.
+void CheckStore(const TripleStore& store, util::Rng* rng, TermId s_space,
+                TermId p_space, TermId o_space) {
+  const TermId spaces[3] = {s_space, p_space, o_space};
+  for (TriplePos var_pos : AllPositions) {
+    const TermId var_space = spaces[static_cast<size_t>(var_pos)];
+    for (int mask = 0; mask < 8; ++mask) {
+      if ((mask >> static_cast<int>(var_pos)) & 1) continue;  // var slot
+      Triple fixed(kWildcardId, kWildcardId, kWildcardId);
+      for (TriplePos pos : AllPositions) {
+        if ((mask >> static_cast<int>(pos)) & 1) {
+          SetPos(&fixed, pos,
+                 static_cast<TermId>(
+                     rng->Uniform(spaces[static_cast<size_t>(pos)] + 2)));
+        }
+      }
+      std::vector<TermId> candidates = MakeCandidates(rng, 40, var_space);
+      std::vector<uint64_t> batched = store.CountPatternBatch(
+          var_pos, fixed.s, fixed.p, fixed.o, candidates);
+      ASSERT_EQ(batched.size(), candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        Triple q = fixed;
+        SetPos(&q, var_pos, candidates[i]);
+        EXPECT_EQ(batched[i], store.CountPattern(q.s, q.p, q.o))
+            << "var_pos=" << static_cast<int>(var_pos) << " mask=" << mask
+            << " candidate=" << candidates[i];
+      }
+    }
+  }
+}
+
+TEST(CountPatternBatchTest, MatchesPerCandidateOnRandomStores) {
+  util::Rng rng(991);
+  for (int round = 0; round < 6; ++round) {
+    TermId s_space = static_cast<TermId>(2 + rng.Uniform(40));
+    TermId p_space = static_cast<TermId>(1 + rng.Uniform(8));
+    TermId o_space = static_cast<TermId>(2 + rng.Uniform(60));
+    size_t triples = 50 + static_cast<size_t>(rng.Uniform(3000));
+    bool all_indexes = (round % 2) == 1;
+    TripleStore store = MakeRandomStore(&rng, triples, s_space, p_space,
+                                        o_space, all_indexes);
+    CheckStore(store, &rng, s_space, p_space, o_space);
+  }
+}
+
+TEST(CountPatternBatchTest, EmptyCandidatesAndEmptyStore) {
+  util::Rng rng(5);
+  TripleStore store = MakeRandomStore(&rng, 100, 10, 3, 10, false);
+  EXPECT_TRUE(
+      store.CountPatternBatch(TriplePos::kO, 1, 2, kWildcardId, {}).empty());
+
+  TripleStore empty;
+  empty.Finalize();
+  std::vector<TermId> candidates = {0, 1, 2};
+  std::vector<uint64_t> counts = empty.CountPatternBatch(
+      TriplePos::kS, kWildcardId, kWildcardId, kWildcardId, candidates);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{0, 0, 0}));
+}
+
+TEST(CountPatternBatchTest, IgnoresValueAtVarSlot) {
+  // The caller may pass anything at var_pos — it must not affect counts.
+  util::Rng rng(7);
+  TripleStore store = MakeRandomStore(&rng, 500, 12, 4, 16, false);
+  std::vector<TermId> candidates = {0, 1, 1, 3, 7, 15, 99};
+  std::vector<uint64_t> with_wildcard = store.CountPatternBatch(
+      TriplePos::kO, kWildcardId, 2, kWildcardId, candidates);
+  std::vector<uint64_t> with_junk =
+      store.CountPatternBatch(TriplePos::kO, kWildcardId, 2, 12345,
+                              candidates);
+  EXPECT_EQ(with_wildcard, with_junk);
+}
+
+TEST(CountPatternBatchTest, LongRunsAndSingleValue) {
+  // One predicate dominating the store: the sweep's galloping must cross
+  // a run much longer than the candidate spacing.
+  TripleStore store;
+  for (TermId i = 0; i < 5000; ++i) store.Add(i % 7, 0, i % 11);
+  for (TermId i = 0; i < 50; ++i) store.Add(i % 7, 1, i % 5);
+  store.Finalize();
+  std::vector<TermId> candidates = {0, 1, 2, 3};
+  std::vector<uint64_t> batched = store.CountPatternBatch(
+      TriplePos::kP, kWildcardId, kWildcardId, kWildcardId, candidates);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(batched[i],
+              store.CountPattern(kWildcardId, candidates[i], kWildcardId));
+  }
+}
+
+}  // namespace
+}  // namespace rdfparams::rdf

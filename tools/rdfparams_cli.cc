@@ -65,7 +65,9 @@ struct Options {
   bool parallel_group_by = true;
   bool parallel_sort = true;
   bool all_indexes = false;
+  bool stats = false;
   double bucket_width = 1.0;
+  std::string strategy = "batched";  // batched | per-candidate
   std::string mode = "uniform";  // uniform | step | class | class:K
   std::string out;
   std::string bindings;
@@ -241,6 +243,15 @@ int CmdDescribe(const Options& opt) {
   return 0;
 }
 
+Result<core::ClassifyStrategy> ParseStrategy(const std::string& name) {
+  if (name == "batched") return core::ClassifyStrategy::kBatched;
+  if (name == "per-candidate" || name == "per_candidate") {
+    return core::ClassifyStrategy::kPerCandidate;
+  }
+  return Status::InvalidArgument(
+      "unknown --strategy '" + name + "' (use batched or per-candidate)");
+}
+
 int CmdClassify(const Options& opt) {
   auto ctx = MakeContext(opt);
   if (!ctx.ok()) return Fail(ctx.status());
@@ -248,11 +259,16 @@ int CmdClassify(const Options& opt) {
   if (!tmpl.ok()) return Fail(tmpl.status());
   auto domain = MakeDomain(&ctx.value(), **tmpl);
   if (!domain.ok()) return Fail(domain.status());
+  auto strategy = ParseStrategy(opt.strategy);
+  if (!strategy.ok()) return Fail(strategy.status());
 
   core::ClassifyOptions options;
   options.cost_bucket_log2_width = opt.bucket_width;
   options.max_candidates = static_cast<uint64_t>(opt.max_candidates);
   options.threads = static_cast<int>(opt.threads);
+  options.strategy = *strategy;
+  core::ClassifyStats stats;
+  options.stats = &stats;
   ::rdfparams::opt::CardinalityCache cache;
   options.optimizer.cardinality_cache = &cache;
   util::WallTimer timer;
@@ -266,13 +282,33 @@ int CmdClassify(const Options& opt) {
               static_cast<unsigned long long>(classes->num_candidates),
               classes->classes.size());
   std::printf(
-      "(%.2fs at threads=%zu; cardinality cache: %llu hits / %llu misses, "
-      "%.1f%% hit rate)\n\n",
+      "(%.2fs at threads=%zu, strategy=%s; cardinality cache: %llu hits / "
+      "%llu misses, %.1f%% hit rate)\n\n",
       elapsed,
       util::ThreadPool::ResolveThreads(static_cast<int>(opt.threads)),
+      opt.strategy.c_str(),
       static_cast<unsigned long long>(cache.hits()),
       static_cast<unsigned long long>(cache.misses()),
       cache.HitRate() * 100);
+  if (opt.stats) {
+    util::TablePrinter stat_table({"stat", "value"});
+    auto row = [&](const char* name, uint64_t value) {
+      stat_table.AddRow({name, std::to_string(value)});
+    };
+    row("candidates", stats.num_candidates);
+    row("distinct signatures", stats.distinct_signatures);
+    row("dp runs", stats.dp_runs);
+    row("dp runs saved", stats.dp_runs_saved);
+    row("batch-swept leaf counts", stats.batched_counts);
+    row("unbatched patterns", stats.unbatched_patterns);
+    stat_table.AddRow(
+        {"cache hit rate",
+         util::StringPrintf("%.1f%% (%llu / %llu)", stats.CacheHitRate() * 100,
+                            static_cast<unsigned long long>(stats.cache_hits),
+                            static_cast<unsigned long long>(
+                                stats.cache_hits + stats.cache_misses))});
+    std::printf("%s\n", stat_table.ToText().c_str());
+  }
   util::TablePrinter table(
       {"class", "size", "share", "cost bucket", "est C_out range", "plan"});
   for (size_t i = 0; i < classes->classes.size(); ++i) {
@@ -420,7 +456,9 @@ int CmdHelp(const char* prog) {
       "                          identical store/dictionary for every N)\n"
       "subcommand flags:\n"
       "  generate: --out=FILE.nt\n"
-      "  classify: --bucket_width=W --max-candidates=N\n"
+      "  classify: --bucket_width=W --max-candidates=N --stats\n"
+      "            --strategy=batched|per-candidate (identical results;\n"
+      "            batched dedups the optimizer DP by cardinality signature)\n"
       "  sample:   --mode=uniform|step|class|class:K --n=N --out=FILE.tsv\n"
       "  run:      --bindings=FILE.tsv | --n=N (uniform fallback)\n"
       "  load:     --input=FILE.nt --all-indexes=B\n",
@@ -455,6 +493,11 @@ int main(int argc, char** argv) {
                  "worker threads for the sharded loader (0 = all cores)");
   flags.AddBool("all_indexes", &opt.all_indexes,
                 "build all six permutation indexes in `load`");
+  flags.AddBool("stats", &opt.stats,
+                "print classification statistics (signature dedup, DP runs "
+                "saved, cache hit rate)");
+  flags.AddString("strategy", &opt.strategy,
+                  "classification stage-1 strategy: batched | per-candidate");
   flags.AddBool("parallel_group_by", &opt.parallel_group_by,
                 "run group-by through the parallel slice-merge reduction");
   flags.AddBool("parallel_sort", &opt.parallel_sort,
