@@ -5,7 +5,7 @@
 namespace rdfparams::engine {
 
 BindingTable::BindingTable(std::vector<std::string> vars)
-    : vars_(std::move(vars)) {}
+    : vars_(std::move(vars)), cols_(vars_.size()) {}
 
 int BindingTable::VarIndex(const std::string& var) const {
   for (size_t i = 0; i < vars_.size(); ++i) {
@@ -16,7 +16,7 @@ int BindingTable::VarIndex(const std::string& var) const {
 
 void BindingTable::AppendRow(std::span<const rdf::TermId> values) {
   RDFPARAMS_DCHECK(values.size() == vars_.size());
-  data_.insert(data_.end(), values.begin(), values.end());
+  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(values[c]);
 }
 
 void BindingTable::AppendRow(std::initializer_list<rdf::TermId> values) {
@@ -25,7 +25,41 @@ void BindingTable::AppendRow(std::initializer_list<rdf::TermId> values) {
 
 void BindingTable::Append(const BindingTable& other) {
   RDFPARAMS_DCHECK(other.vars_.size() == vars_.size());
-  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  other.CheckAligned();
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    cols_[c].insert(cols_[c].end(), other.cols_[c].begin(),
+                    other.cols_[c].end());
+  }
+}
+
+void BindingTable::AppendRange(const BindingTable& src, size_t begin,
+                               size_t end) {
+  RDFPARAMS_DCHECK(src.vars_.size() == vars_.size());
+  RDFPARAMS_DCHECK(begin <= end && end <= src.num_rows());
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    const auto& s = src.cols_[c];
+    cols_[c].insert(cols_[c].end(), s.begin() + static_cast<long>(begin),
+                    s.begin() + static_cast<long>(end));
+  }
+}
+
+void BindingTable::AppendGather(const BindingTable& src,
+                                std::span<const uint32_t> rows) {
+  RDFPARAMS_DCHECK(src.vars_.size() == vars_.size());
+  src.CheckAligned();
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    const rdf::TermId* s = src.cols_[c].data();
+    auto& dst = cols_[c];
+    dst.reserve(dst.size() + rows.size());
+    for (uint32_t r : rows) dst.push_back(s[r]);
+  }
+}
+
+void BindingTable::CheckAligned() const {
+  for (size_t c = 1; c < cols_.size(); ++c) {
+    RDFPARAMS_DCHECK(cols_[c].size() == cols_[0].size() &&
+                     "ragged BindingTable columns");
+  }
 }
 
 std::string BindingTable::ToString(const rdf::Dictionary& dict,

@@ -1,7 +1,16 @@
-// Row-major materialized table of variable bindings (TermIds).
+// Columnar materialized table of variable bindings (TermIds).
+//
+// Storage is one contiguous TermId vector per variable (column-major), the
+// layout the vectorized operators in executor.cc want: a filter touches only
+// the columns it compares, a hash probe hashes a whole key column slice, and
+// ORDER BY / DISTINCT / projection materialize through column-wise gathers.
+// Row order is still the table's logical order — every append/gather
+// preserves it, which is what keeps results byte-identical across chunk
+// sizes (see docs/ARCHITECTURE.md, "Columnar execution").
 #ifndef RDFPARAMS_ENGINE_BINDING_TABLE_H_
 #define RDFPARAMS_ENGINE_BINDING_TABLE_H_
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,36 +28,61 @@ class BindingTable {
 
   const std::vector<std::string>& vars() const { return vars_; }
   size_t num_vars() const { return vars_.size(); }
-  size_t num_rows() const {
-    return vars_.empty() ? 0 : data_.size() / vars_.size();
-  }
+  /// All columns are kept equal-length (checked), so any one is the row
+  /// count. A zero-variable table has no columns and reports zero rows —
+  /// appends to it are no-ops, matching the historical row-major behavior
+  /// the executor's empty-schema paths rely on.
+  size_t num_rows() const { return cols_.empty() ? 0 : cols_[0].size(); }
 
   /// Column position of `var`, or -1.
   int VarIndex(const std::string& var) const;
 
-  std::span<const rdf::TermId> row(size_t i) const {
-    return {data_.data() + i * vars_.size(), vars_.size()};
+  /// Contiguous column `c` — the vectorized operators' read path.
+  std::span<const rdf::TermId> col(size_t c) const {
+    return {cols_[c].data(), cols_[c].size()};
   }
-  rdf::TermId at(size_t row, size_t col) const {
-    return data_[row * vars_.size() + col];
-  }
+  rdf::TermId at(size_t row, size_t col) const { return cols_[col][row]; }
 
   /// Appends a row; `values.size()` must equal num_vars().
   void AppendRow(std::span<const rdf::TermId> values);
   void AppendRow(std::initializer_list<rdf::TermId> values);
 
-  /// Appends all rows of `other` (same column count required, one memcpy).
-  /// Used to merge per-worker output slices in slice order.
+  /// Appends all rows of `other` (same column count required, one
+  /// column-wise memcpy each). Used to merge per-worker output slices in
+  /// slice order.
   void Append(const BindingTable& other);
 
+  /// Appends src rows [begin, end) in order (same column count required).
+  void AppendRange(const BindingTable& src, size_t begin, size_t end);
+
+  /// Appends src rows selected by `rows`, in selection order — the
+  /// materialization step for filter selection vectors, ORDER BY
+  /// permutations, and DISTINCT survivors. Column-wise: one pass per
+  /// column over the selection. `src` must have the same column count.
+  void AppendGather(const BindingTable& src, std::span<const uint32_t> rows);
+
+  /// Direct mutable access to column `c` for bulk kernel writes (chunked
+  /// join materialization). Callers must leave every column equal-length
+  /// again before the table is read — CheckAligned() asserts exactly that.
+  std::vector<rdf::TermId>& MutableCol(size_t c) { return cols_[c]; }
+
+  /// Debug-asserts that all columns have equal length (the columnar
+  /// analog of the old row-major `data_.size() % vars_.size() == 0`
+  /// invariant; catches ragged appends early). Compiled out in release.
+  void CheckAligned() const;
+
   /// Structural equality: same column names in the same order, same rows
-  /// in the same order (one flat vector compare).
+  /// in the same order (one flat vector compare per column).
   bool operator==(const BindingTable& other) const {
-    return vars_ == other.vars_ && data_ == other.data_;
+    return vars_ == other.vars_ && cols_ == other.cols_;
   }
 
-  void Reserve(size_t rows) { data_.reserve(rows * vars_.size()); }
-  void Clear() { data_.clear(); }
+  void Reserve(size_t rows) {
+    for (auto& c : cols_) c.reserve(rows);
+  }
+  void Clear() {
+    for (auto& c : cols_) c.clear();
+  }
 
   /// Renders up to `max_rows` rows through the dictionary (debug/examples).
   std::string ToString(const rdf::Dictionary& dict,
@@ -56,7 +90,7 @@ class BindingTable {
 
  private:
   std::vector<std::string> vars_;
-  std::vector<rdf::TermId> data_;
+  std::vector<std::vector<rdf::TermId>> cols_;  // cols_[c][r]; equal lengths
 };
 
 }  // namespace rdfparams::engine

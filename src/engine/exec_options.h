@@ -22,7 +22,12 @@ namespace rdfparams::engine {
 ///     even floating-point sums are bit-stable;
 ///   * ORDER BY — a row-index tie-break makes the sort order total, so the
 ///     parallel merge sort reproduces the serial stable sort exactly (see
-///     parallel_sort.h).
+///     parallel_sort.h);
+///   * chunked (vectorized) operators — chunk boundaries only batch work;
+///     every kernel emits rows in input order and filter/merge-join
+///     short-cuts are pure functions of the row values, so chunk_rows and
+///     enable_merge_join are schedule knobs like morsel_size, never result
+///     knobs (see docs/ARCHITECTURE.md, "Columnar execution").
 /// docs/ARCHITECTURE.md spells out the full contract.
 struct ExecOptions {
   /// Intra-query worker threads: 1 = serial, 0 = hardware concurrency.
@@ -50,6 +55,22 @@ struct ExecOptions {
   /// parallel_group_by: both paths yield the exact stable-sort
   /// permutation. Off = serial std::stable_sort.
   bool parallel_sort = true;
+
+  /// Rows per vectorized execution chunk: scans, FILTERs, and join probes
+  /// process the input in chunk_rows-row windows (selection vectors for
+  /// filters, batched probe/materialize for joins). 0 = the row-at-a-time
+  /// reference kernels (the pre-vectorization executor, kept as a
+  /// runtime-selectable baseline for differential tests and benchmarks).
+  /// Like morsel_size this is a schedule knob: every chunk size, including
+  /// 0, yields byte-identical results and stats counters.
+  uint64_t chunk_rows = 1024;
+
+  /// Allow index joins to run as a merge join over the covering sorted
+  /// index run when the optimizer hints it, the pattern is eligible, and
+  /// the outer join-key column is observed sorted (executor.cc,
+  /// RunIndexJoin*). Purely a performance switch: the sweep visits exactly
+  /// the triples the per-row index probes would, in the same order.
+  bool enable_merge_join = true;
 };
 
 }  // namespace rdfparams::engine

@@ -6,6 +6,7 @@
 #include <limits>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <unordered_map>
 
 #include "engine/group_merge.h"
@@ -32,19 +33,39 @@ bool ResolveConst(const Slot& slot, const DictAccess& dict, TermId* out) {
   return true;
 }
 
-/// Hash of a join key (a subset of row columns).
-uint64_t KeyHash(std::span<const TermId> row, const std::vector<int>& cols) {
+/// Hash of one row's join key (a subset of its columns).
+uint64_t KeyHashAt(const BindingTable& t, size_t row,
+                   const std::vector<int>& cols) {
   uint64_t h = 0x12345678abcdef01ULL;
   for (int c : cols) {
-    h = util::HashCombine(h, row[static_cast<size_t>(c)]);
+    h = util::HashCombine(h, t.at(row, static_cast<size_t>(c)));
   }
   return h;
 }
 
-bool KeyEquals(std::span<const TermId> a, const std::vector<int>& acols,
-               std::span<const TermId> b, const std::vector<int>& bcols) {
+/// Key hashes of rows [row_begin, row_end), computed column-wise into
+/// `out` (length row_end - row_begin). Combines columns in the same order
+/// as KeyHashAt, so the values are identical — this is purely the
+/// cache-friendly batched form the vectorized probe and the partitioned
+/// build use.
+void ComputeKeyHashes(const BindingTable& t, const std::vector<int>& cols,
+                      size_t row_begin, size_t row_end, uint64_t* out) {
+  const size_t n = row_end - row_begin;
+  std::fill(out, out + n, 0x12345678abcdef01ULL);
+  for (int c : cols) {
+    std::span<const TermId> col = t.col(static_cast<size_t>(c));
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = util::HashCombine(out[i], col[row_begin + i]);
+    }
+  }
+}
+
+bool KeyEqualsAt(const BindingTable& a, size_t ra,
+                 const std::vector<int>& acols, const BindingTable& b,
+                 size_t rb, const std::vector<int>& bcols) {
   for (size_t i = 0; i < acols.size(); ++i) {
-    if (a[static_cast<size_t>(acols[i])] != b[static_cast<size_t>(bcols[i])]) {
+    if (a.at(ra, static_cast<size_t>(acols[i])) !=
+        b.at(rb, static_cast<size_t>(bcols[i]))) {
       return false;
     }
   }
@@ -52,7 +73,7 @@ bool KeyEquals(std::span<const TermId> a, const std::vector<int>& acols,
 }
 
 // ---------------------------------------------------------------------------
-// Index nested-loop join kernel
+// Index join kernels (per-row probe, merge sweep, chunked materialization)
 // ---------------------------------------------------------------------------
 
 /// Precomputed wiring for probing one triple pattern per outer row.
@@ -66,6 +87,16 @@ struct IndexJoinPlan {
   std::vector<VarSlot> var_slots;
   TermId cs = kWildcardId, cp = kWildcardId, co = kWildcardId;
   bool absent_const = false;  // a constant term absent from the data
+  /// A free variable repeated across slots (e.g. ?x p ?x): the per-triple
+  /// equality check only exists in the row kernel, so the chunked
+  /// materializer must not be used.
+  bool repeated_free = false;
+  /// Index into var_slots of the single outer-bound slot, or -1 when zero
+  /// or several slots bind from the outer row. A valid key_slot with
+  /// var_slots.size() <= 2 leaves at most one free slot, which is what
+  /// makes the merge sweep's run order index-independent (see
+  /// rdf::PatternSweep) — the static half of merge-join eligibility.
+  int key_slot = -1;
   std::vector<std::string> out_vars;
   size_t outer_width = 0;
 };
@@ -116,28 +147,42 @@ Result<IndexJoinPlan> PrepareIndexJoin(const TriplePattern& tp,
     if (!seen) {
       vs.out_col = static_cast<int>(plan.out_vars.size());
       plan.out_vars.push_back(vs.name);
+    } else {
+      plan.repeated_free = true;
     }
   }
+  int bound_slots = 0;
+  for (size_t i = 0; i < plan.var_slots.size(); ++i) {
+    if (plan.var_slots[i].outer_col >= 0) {
+      ++bound_slots;
+      plan.key_slot = static_cast<int>(i);
+    }
+  }
+  if (bound_slots != 1 || plan.var_slots.size() > 2) plan.key_slot = -1;
   return plan;
 }
 
 /// Streams the join of rows [row_begin, row_end) of `outer_table` with the
 /// plan's pattern; calls emit(row_span) per result row in outer-row order.
-/// Returns the number of probed base rows. The range form is what the
-/// morsel-parallel driver slices over.
-template <typename Emit>
-uint64_t RunIndexJoin(const rdf::TripleStore& store, const IndexJoinPlan& plan,
-                      const BindingTable& outer_table, size_t row_begin,
-                      size_t row_end, Emit&& emit) {
+/// `range_for(s, p, o)` supplies the matching triples for one resolved
+/// pattern — the store's per-row index probe, or a PatternSweep run for
+/// the merge join (identical contents and order when the sweep is
+/// eligible, so the two parameterizations emit identical rows). Returns
+/// the number of probed base rows. The range form is what the
+/// morsel-parallel driver slices over; this row-at-a-time body is also the
+/// chunk_rows = 0 reference kernel.
+template <typename RangeFor, typename Emit>
+uint64_t RunIndexJoinRows(const IndexJoinPlan& plan,
+                          const BindingTable& outer_table, size_t row_begin,
+                          size_t row_end, RangeFor&& range_for, Emit&& emit) {
   if (plan.absent_const) return 0;
   std::vector<TermId> row(plan.out_vars.size());
   uint64_t probed = 0;
   for (size_t r = row_begin; r < row_end; ++r) {
-    auto orow = outer_table.row(r);
     TermId s = plan.cs, p = plan.cp, o = plan.co;
     for (const auto& vs : plan.var_slots) {
       if (vs.outer_col >= 0) {
-        TermId v = orow[static_cast<size_t>(vs.outer_col)];
+        TermId v = outer_table.at(r, static_cast<size_t>(vs.outer_col));
         switch (vs.pos) {
           case rdf::TriplePos::kS: s = v; break;
           case rdf::TriplePos::kP: p = v; break;
@@ -145,12 +190,13 @@ uint64_t RunIndexJoin(const rdf::TripleStore& store, const IndexJoinPlan& plan,
         }
       }
     }
-    auto range = store.Range(store.ChooseIndex(s, p, o), s, p, o);
+    std::span<const rdf::Triple> range = range_for(s, p, o);
     probed += range.size();
     for (const rdf::Triple& t : range) {
       bool ok = true;
-      size_t k = 0;
-      for (TermId v : orow) row[k++] = v;
+      for (size_t c = 0; c < plan.outer_width; ++c) {
+        row[c] = outer_table.at(r, c);
+      }
       for (size_t i = plan.outer_width; i < plan.out_vars.size(); ++i) {
         row[i] = kWildcardId;
       }
@@ -170,8 +216,102 @@ uint64_t RunIndexJoin(const rdf::TripleStore& store, const IndexJoinPlan& plan,
   return probed;
 }
 
+/// Chunked materializing form of RunIndexJoinRows for patterns without
+/// repeated free variables: per chunk_rows-row window of the outer input,
+/// collect the (outer row, matching triple) pairs, then fill the output
+/// column-by-column — outer columns as gathers, each free variable's
+/// column straight from the matched triples. Match order is (outer row
+/// ascending, triples in range order), exactly the row kernel's emission
+/// order, so the output table is byte-identical for every chunk size.
+template <typename RangeFor>
+uint64_t RunIndexJoinChunked(const IndexJoinPlan& plan,
+                             const BindingTable& outer_table,
+                             size_t row_begin, size_t row_end,
+                             uint64_t chunk_rows, RangeFor&& range_for,
+                             BindingTable* out) {
+  RDFPARAMS_DCHECK(!plan.repeated_free);
+  if (plan.absent_const) return 0;
+  uint64_t probed = 0;
+  std::vector<uint32_t> match_rows;
+  std::vector<const rdf::Triple*> match_triples;
+  for (size_t lo = row_begin; lo < row_end;
+       lo += static_cast<size_t>(chunk_rows)) {
+    const size_t hi =
+        std::min(row_end, lo + static_cast<size_t>(chunk_rows));
+    match_rows.clear();
+    match_triples.clear();
+    for (size_t r = lo; r < hi; ++r) {
+      TermId s = plan.cs, p = plan.cp, o = plan.co;
+      for (const auto& vs : plan.var_slots) {
+        if (vs.outer_col >= 0) {
+          TermId v = outer_table.at(r, static_cast<size_t>(vs.outer_col));
+          switch (vs.pos) {
+            case rdf::TriplePos::kS: s = v; break;
+            case rdf::TriplePos::kP: p = v; break;
+            case rdf::TriplePos::kO: o = v; break;
+          }
+        }
+      }
+      std::span<const rdf::Triple> range = range_for(s, p, o);
+      probed += range.size();
+      for (const rdf::Triple& t : range) {
+        match_rows.push_back(static_cast<uint32_t>(r));
+        match_triples.push_back(&t);
+      }
+    }
+    for (size_t c = 0; c < plan.outer_width; ++c) {
+      const TermId* src = outer_table.col(c).data();
+      auto& dst = out->MutableCol(c);
+      dst.reserve(dst.size() + match_rows.size());
+      for (uint32_t r : match_rows) dst.push_back(src[r]);
+    }
+    // Without repeated frees, every output column beyond the outer width
+    // belongs to exactly one free slot.
+    for (const auto& vs : plan.var_slots) {
+      if (vs.outer_col >= 0) continue;
+      auto& dst = out->MutableCol(static_cast<size_t>(vs.out_col));
+      dst.reserve(dst.size() + match_triples.size());
+      for (const rdf::Triple* t : match_triples) {
+        dst.push_back(GetPos(*t, vs.pos));
+      }
+    }
+  }
+  out->CheckAligned();
+  return probed;
+}
+
+/// Runtime half of the merge-join decision (the static half is
+/// IndexJoinPlan::key_slot): the optimizer hinted it, the options allow
+/// it, a covering sorted index run exists, and the outer key column is
+/// observed non-decreasing — checked, never assumed, because re-sorting
+/// would change the emission order the determinism contract fixes.
+/// Depends only on plan, options, and materialized input, so the choice
+/// is identical at every thread count, morsel size, and chunk size.
+struct MergeJoinChoice {
+  bool use = false;
+  rdf::TriplePos key_pos = rdf::TriplePos::kS;
+};
+
+MergeJoinChoice ChooseMergeJoin(const rdf::TripleStore& store,
+                                const IndexJoinPlan& plan,
+                                const BindingTable& outer_table, bool hint,
+                                bool enabled) {
+  MergeJoinChoice choice;
+  if (!enabled || !hint || plan.key_slot < 0 || plan.absent_const) {
+    return choice;
+  }
+  const auto& key = plan.var_slots[static_cast<size_t>(plan.key_slot)];
+  choice.key_pos = key.pos;
+  rdf::PatternSweep sweep(store, key.pos, plan.cs, plan.cp, plan.co);
+  if (!sweep.valid()) return choice;
+  std::span<const TermId> col =
+      outer_table.col(static_cast<size_t>(key.outer_col));
+  choice.use = std::is_sorted(col.begin(), col.end());
+  return choice;
+}
+
 // ---------------------------------------------------------------------------
-// Hash join kernel
+// Hash join kernels
 // ---------------------------------------------------------------------------
 
 struct HashJoinPlan {
@@ -223,12 +363,12 @@ void CrossJoinRange(const HashJoinPlan& plan, const BindingTable& build,
                     size_t row_end, Emit&& emit) {
   std::vector<TermId> row(plan.out_vars.size());
   for (size_t i = row_begin; i < row_end; ++i) {
-    auto brow = build.row(i);
     for (size_t j = 0; j < probe.num_rows(); ++j) {
       size_t k = 0;
-      for (TermId v : brow) row[k++] = v;
-      auto prow = probe.row(j);
-      for (int c : plan.probe_extra) row[k++] = prow[static_cast<size_t>(c)];
+      for (size_t c = 0; c < build.num_vars(); ++c) row[k++] = build.at(i, c);
+      for (int c : plan.probe_extra) {
+        row[k++] = probe.at(j, static_cast<size_t>(c));
+      }
       emit(std::span<const TermId>(row));
     }
   }
@@ -239,27 +379,83 @@ void CrossJoinRange(const HashJoinPlan& plan, const BindingTable& build,
 /// hash (nullptr on no match) — a single hash table for the serial join, a
 /// per-partition table for the parallel one; the emitted sequence is the
 /// same either way, which is what makes the parallel join byte-identical.
+/// This row-at-a-time body is the chunk_rows = 0 reference kernel.
 template <typename Lookup, typename Emit>
 void ProbeHashRange(const HashJoinPlan& plan, const BindingTable& build,
                     const BindingTable& probe, size_t row_begin,
                     size_t row_end, Lookup&& lookup, Emit&& emit) {
   std::vector<TermId> row(plan.out_vars.size());
   for (size_t j = row_begin; j < row_end; ++j) {
-    auto prow = probe.row(j);
     const std::vector<uint32_t>* bucket =
-        lookup(KeyHash(prow, plan.probe_key));
+        lookup(KeyHashAt(probe, j, plan.probe_key));
     if (bucket == nullptr) continue;
     for (uint32_t i : *bucket) {
-      auto brow = build.row(i);
-      if (!KeyEquals(brow, plan.build_key, prow, plan.probe_key)) continue;
+      if (!KeyEqualsAt(build, i, plan.build_key, probe, j, plan.probe_key)) {
+        continue;
+      }
       size_t k = 0;
-      for (TermId v : brow) row[k++] = v;
-      for (int c : plan.probe_extra) row[k++] = prow[static_cast<size_t>(c)];
+      for (size_t c = 0; c < build.num_vars(); ++c) row[k++] = build.at(i, c);
+      for (int c : plan.probe_extra) {
+        row[k++] = probe.at(j, static_cast<size_t>(c));
+      }
       emit(std::span<const TermId>(row));
     }
   }
 }
 
+/// Chunked materializing form of ProbeHashRange: per chunk_rows-row window
+/// of the probe input, compute key hashes column-wise, collect the
+/// (build row, probe row) match pairs in (probe row ascending, bucket
+/// order), then fill the output column-by-column — build columns and
+/// probe-extra columns as gathers. Same match sequence as the row kernel,
+/// so the output is byte-identical for every chunk size.
+template <typename Lookup>
+void ProbeHashChunked(const HashJoinPlan& plan, const BindingTable& build,
+                      const BindingTable& probe, size_t row_begin,
+                      size_t row_end, uint64_t chunk_rows, Lookup&& lookup,
+                      BindingTable* out) {
+  std::vector<uint64_t> hashes;
+  std::vector<uint32_t> match_build;
+  std::vector<uint32_t> match_probe;
+  const size_t build_width = build.num_vars();
+  for (size_t lo = row_begin; lo < row_end;
+       lo += static_cast<size_t>(chunk_rows)) {
+    const size_t hi =
+        std::min(row_end, lo + static_cast<size_t>(chunk_rows));
+    hashes.resize(hi - lo);
+    ComputeKeyHashes(probe, plan.probe_key, lo, hi, hashes.data());
+    match_build.clear();
+    match_probe.clear();
+    for (size_t j = lo; j < hi; ++j) {
+      const std::vector<uint32_t>* bucket = lookup(hashes[j - lo]);
+      if (bucket == nullptr) continue;
+      for (uint32_t i : *bucket) {
+        if (KeyEqualsAt(build, i, plan.build_key, probe, j,
+                        plan.probe_key)) {
+          match_build.push_back(i);
+          match_probe.push_back(static_cast<uint32_t>(j));
+        }
+      }
+    }
+    for (size_t c = 0; c < build_width; ++c) {
+      const TermId* src = build.col(c).data();
+      auto& dst = out->MutableCol(c);
+      dst.reserve(dst.size() + match_build.size());
+      for (uint32_t i : match_build) dst.push_back(src[i]);
+    }
+    for (size_t e = 0; e < plan.probe_extra.size(); ++e) {
+      const TermId* src =
+          probe.col(static_cast<size_t>(plan.probe_extra[e])).data();
+      auto& dst = out->MutableCol(build_width + e);
+      dst.reserve(dst.size() + match_probe.size());
+      for (uint32_t j : match_probe) dst.push_back(src[j]);
+    }
+  }
+  out->CheckAligned();
+}
+
+/// Serial hash join, streaming row emission (the streaming-aggregate sink
+/// consumes rows, so this stays row-at-a-time regardless of chunk_rows).
 template <typename Emit>
 void RunHashJoin(const HashJoinPlan& plan, const BindingTable& build,
                  const BindingTable& probe, Emit&& emit) {
@@ -269,9 +465,10 @@ void RunHashJoin(const HashJoinPlan& plan, const BindingTable& build,
   }
   std::unordered_map<uint64_t, std::vector<uint32_t>> table;
   table.reserve(build.num_rows() * 2);
+  std::vector<uint64_t> hashes(build.num_rows());
+  ComputeKeyHashes(build, plan.build_key, 0, build.num_rows(), hashes.data());
   for (size_t i = 0; i < build.num_rows(); ++i) {
-    table[KeyHash(build.row(i), plan.build_key)].push_back(
-        static_cast<uint32_t>(i));
+    table[hashes[i]].push_back(static_cast<uint32_t>(i));
   }
   ProbeHashRange(plan, build, probe, 0, probe.num_rows(),
                  [&](uint64_t h) -> const std::vector<uint32_t>* {
@@ -329,22 +526,6 @@ uint64_t ForEachMorselSlice(util::ThreadPool* pool, uint64_t n,
   return total_counter;
 }
 
-/// Morsel-parallel index nested-loop join over the outer table. Returns
-/// the probed base-row count.
-uint64_t RunIndexJoinParallel(const rdf::TripleStore& store,
-                              const IndexJoinPlan& plan,
-                              const BindingTable& outer_table,
-                              util::ThreadPool* pool, uint64_t morsel_size,
-                              BindingTable* out) {
-  return ForEachMorselSlice(
-      pool, outer_table.num_rows(), morsel_size, plan.out_vars, out,
-      [&](size_t row_lo, size_t row_hi, BindingTable* slice) {
-        return RunIndexJoin(
-            store, plan, outer_table, row_lo, row_hi,
-            [&](std::span<const TermId> row) { slice->AppendRow(row); });
-      });
-}
-
 /// Build-side hash table partitioned by join-key hash. Partition p holds
 /// exactly the build rows whose key hash routes to p, bucketed by the full
 /// hash with ascending row ids — the same rows, in the same order, a
@@ -361,12 +542,11 @@ PartitionedHashTable BuildPartitioned(const HashJoinPlan& plan,
   PartitionedHashTable table;
   table.parts.resize(num_partitions);
   const size_t n = build.num_rows();
-  // Pass 1: key hashes, computed once in parallel.
+  // Pass 1: key hashes, computed column-wise in parallel.
   std::vector<uint64_t> hashes(n);
   pool->ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
-    for (uint64_t i = lo; i < hi; ++i) {
-      hashes[i] = KeyHash(build.row(i), plan.build_key);
-    }
+    ComputeKeyHashes(build, plan.build_key, static_cast<size_t>(lo),
+                     static_cast<size_t>(hi), hashes.data() + lo);
   });
   // Pass 2: bucket ascending row ids per partition. A single serial pass:
   // trivially order-preserving and O(n) appends — cheap next to hashing
@@ -391,46 +571,6 @@ PartitionedHashTable BuildPartitioned(const HashJoinPlan& plan,
       },
       /*chunk=*/1);
   return table;
-}
-
-/// Partitioned parallel hash join: probe workers take probe-row morsels
-/// and route each row to its partition's table. Falls back to a morsel
-/// cross product when there is no join key.
-void RunHashJoinParallel(const HashJoinPlan& plan, const BindingTable& build,
-                         const BindingTable& probe, util::ThreadPool* pool,
-                         uint64_t morsel_size, size_t num_partitions,
-                         BindingTable* out) {
-  if (plan.build_key.empty()) {
-    // Cross product: morsels over the build side (the serial outer loop),
-    // through the same kernel the serial join uses.
-    ForEachMorselSlice(
-        pool, build.num_rows(), morsel_size, plan.out_vars, out,
-        [&](size_t row_lo, size_t row_hi, BindingTable* slice) {
-          CrossJoinRange(plan, build, probe, row_lo, row_hi,
-                         [&](std::span<const TermId> row) {
-                           slice->AppendRow(row);
-                         });
-          return uint64_t{0};
-        });
-    return;
-  }
-
-  PartitionedHashTable table =
-      BuildPartitioned(plan, build, num_partitions, pool);
-  auto lookup = [&](uint64_t h) -> const std::vector<uint32_t>* {
-    const auto& part = table.parts[h % num_partitions];
-    auto it = part.find(h);
-    return it == part.end() ? nullptr : &it->second;
-  };
-  ForEachMorselSlice(
-      pool, probe.num_rows(), morsel_size, plan.out_vars, out,
-      [&](size_t row_lo, size_t row_hi, BindingTable* slice) {
-        ProbeHashRange(plan, build, probe, row_lo, row_hi, lookup,
-                       [&](std::span<const TermId> row) {
-                         slice->AppendRow(row);
-                       });
-        return uint64_t{0};
-      });
 }
 
 // ---------------------------------------------------------------------------
@@ -587,6 +727,76 @@ struct CompiledFilter {
   TermId rhs_const = rdf::kInvalidTermId;
 };
 
+/// Constant-rhs filter evaluator for the vectorized path: an exact
+/// transcription of Executor::EvalFilter + rdf::Term::Compare with every
+/// rhs-only quantity — kind rank, numeric decode (one strtod instead of
+/// one per row) — hoisted out of the loop. Decision-for-decision identical
+/// to the reference kernel by construction; the chunk-size differential
+/// tests pin it to EvalFilter (the chunk_rows = 0 path).
+struct ConstRhsFilter {
+  const sparql::FilterCondition* f = nullptr;
+  TermId rhs = rdf::kInvalidTermId;
+  const rdf::Term* b = nullptr;  // null when rhs is kInvalidTermId
+  int rank_b = 0;
+  bool b_numeric = false;
+  std::optional<double> b_num;
+
+  static int Rank(const rdf::Term& t) {
+    if (t.is_blank()) return 0;
+    if (t.is_iri()) return 1;
+    return 2;  // literal
+  }
+
+  void Prepare(const sparql::FilterCondition& filter, TermId rhs_const,
+               const DictAccess& dict) {
+    f = &filter;
+    rhs = rhs_const;
+    if (rhs == rdf::kInvalidTermId) return;
+    b = &dict.term(rhs);
+    rank_b = Rank(*b);
+    b_numeric = b->is_numeric();
+    if (b_numeric) b_num = b->AsDouble();
+  }
+
+  bool Eval(TermId lhs, const DictAccess& dict) const {
+    using sparql::CompareOp;
+    if (f->op == CompareOp::kEq && lhs == rhs) return true;
+    if (f->op == CompareOp::kNe && lhs == rhs) return false;
+    if (lhs == rdf::kInvalidTermId || rhs == rdf::kInvalidTermId) {
+      return f->op == CompareOp::kNe;
+    }
+    const rdf::Term& a = dict.term(lhs);
+    int cmp;
+    int rank_a = Rank(a);
+    if (rank_a != rank_b) {
+      cmp = rank_a < rank_b ? -1 : 1;
+    } else {
+      cmp = 2;  // sentinel: not decided yet
+      if (a.is_literal() && a.is_numeric() && b_numeric) {
+        auto a_num = a.AsDouble();
+        if (a_num && b_num) {
+          cmp = *a_num < *b_num ? -1 : (*a_num > *b_num ? 1 : 0);
+        }
+      }
+      if (cmp == 2) {
+        int c = a.lexical.compare(b->lexical);
+        if (c == 0) c = a.datatype.compare(b->datatype);
+        if (c == 0) c = a.lang.compare(b->lang);
+        cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      }
+    }
+    switch (f->op) {
+      case CompareOp::kEq: return cmp == 0;
+      case CompareOp::kNe: return cmp != 0;
+      case CompareOp::kLt: return cmp < 0;
+      case CompareOp::kLe: return cmp <= 0;
+      case CompareOp::kGt: return cmp > 0;
+      case CompareOp::kGe: return cmp >= 0;
+    }
+    return false;
+  }
+};
+
 }  // namespace
 
 Result<BindingTable> Executor::ExecScan(const SelectQuery& query,
@@ -614,17 +824,37 @@ Result<BindingTable> Executor::ExecScan(const SelectQuery& query,
   bool s_eq_o = tp.s.is_var() && tp.o.is_var() && tp.s.name == tp.o.name;
   bool p_eq_o = tp.p.is_var() && tp.o.is_var() && tp.p.name == tp.o.name;
 
-  std::vector<TermId> row(vars.size());
   auto range = store_.Range(store_.ChooseIndex(s, p, o), s, p, o);
-  out.Reserve(range.size());
-  for (const rdf::Triple& t : range) {
-    if (s_eq_p && t.s != t.p) continue;
-    if (s_eq_o && t.s != t.o) continue;
-    if (p_eq_o && t.p != t.o) continue;
-    if (s_col >= 0) row[static_cast<size_t>(s_col)] = t.s;
-    if (p_col >= 0) row[static_cast<size_t>(p_col)] = t.p;
-    if (o_col >= 0) row[static_cast<size_t>(o_col)] = t.o;
-    out.AppendRow(row);
+  if (chunk_rows_ > 0 && !s_eq_p && !s_eq_o && !p_eq_o) {
+    // Columnar fill: without repeated-variable constraints every matching
+    // triple survives and each variable owns one column, so the output is
+    // one strided pass per bound column over the contiguous index run.
+    out.Reserve(range.size());
+    if (s_col >= 0) {
+      auto& dst = out.MutableCol(static_cast<size_t>(s_col));
+      for (const rdf::Triple& t : range) dst.push_back(t.s);
+    }
+    if (p_col >= 0) {
+      auto& dst = out.MutableCol(static_cast<size_t>(p_col));
+      for (const rdf::Triple& t : range) dst.push_back(t.p);
+    }
+    if (o_col >= 0) {
+      auto& dst = out.MutableCol(static_cast<size_t>(o_col));
+      for (const rdf::Triple& t : range) dst.push_back(t.o);
+    }
+    out.CheckAligned();
+  } else {
+    std::vector<TermId> row(vars.size());
+    out.Reserve(range.size());
+    for (const rdf::Triple& t : range) {
+      if (s_eq_p && t.s != t.p) continue;
+      if (s_eq_o && t.s != t.o) continue;
+      if (p_eq_o && t.p != t.o) continue;
+      if (s_col >= 0) row[static_cast<size_t>(s_col)] = t.s;
+      if (p_col >= 0) row[static_cast<size_t>(p_col)] = t.p;
+      if (o_col >= 0) row[static_cast<size_t>(o_col)] = t.o;
+      out.AppendRow(row);
+    }
   }
   stats->scan_rows += out.num_rows();
   RDFPARAMS_RETURN_NOT_OK(ApplyFilters(query, filter_done, &out));
@@ -634,6 +864,7 @@ Result<BindingTable> Executor::ExecScan(const SelectQuery& query,
 Result<BindingTable> Executor::ExecIndexJoin(const SelectQuery& query,
                                              const opt::PlanNode& outer,
                                              const opt::PlanNode& inner_scan,
+                                             bool merge_hint,
                                              std::vector<char>* filter_done,
                                              ExecutionStats* stats) {
   RDFPARAMS_ASSIGN_OR_RETURN(
@@ -642,13 +873,46 @@ Result<BindingTable> Executor::ExecIndexJoin(const SelectQuery& query,
   RDFPARAMS_ASSIGN_OR_RETURN(IndexJoinPlan plan,
                              PrepareIndexJoin(tp, outer_table.vars(), dacc_));
   BindingTable out(plan.out_vars);
+
+  const MergeJoinChoice merge = ChooseMergeJoin(
+      store_, plan, outer_table, merge_hint, enable_merge_join_);
+  const bool chunked = chunk_rows_ > 0 && !plan.repeated_free;
+
+  // One outer-row slice, through whichever kernel pair the options chose.
+  // Each slice gets a private sweep cursor: within a slice of a globally
+  // sorted key column the keys are still non-decreasing, so the morsel
+  // driver composes with the merge join unchanged.
+  auto run_slice = [&](size_t row_lo, size_t row_hi,
+                       BindingTable* slice) -> uint64_t {
+    auto probe_range = [&](TermId s, TermId p, TermId o) {
+      return store_.Range(store_.ChooseIndex(s, p, o), s, p, o);
+    };
+    auto row_emit = [&](std::span<const TermId> row) {
+      slice->AppendRow(row);
+    };
+    if (merge.use) {
+      rdf::PatternSweep sweep(store_, merge.key_pos, plan.cs, plan.cp,
+                              plan.co);
+      auto sweep_range = [&](TermId s, TermId p, TermId o) {
+        return sweep.Next(GetPos(rdf::Triple(s, p, o), merge.key_pos));
+      };
+      return chunked ? RunIndexJoinChunked(plan, outer_table, row_lo, row_hi,
+                                           chunk_rows_, sweep_range, slice)
+                     : RunIndexJoinRows(plan, outer_table, row_lo, row_hi,
+                                        sweep_range, row_emit);
+    }
+    return chunked ? RunIndexJoinChunked(plan, outer_table, row_lo, row_hi,
+                                         chunk_rows_, probe_range, slice)
+                   : RunIndexJoinRows(plan, outer_table, row_lo, row_hi,
+                                      probe_range, row_emit);
+  };
+
   if (exec_threads_ > 1 && outer_table.num_rows() > morsel_size_) {
-    stats->scan_rows += RunIndexJoinParallel(store_, plan, outer_table,
-                                             EnsurePool(), morsel_size_, &out);
+    stats->scan_rows +=
+        ForEachMorselSlice(EnsurePool(), outer_table.num_rows(), morsel_size_,
+                           plan.out_vars, &out, run_slice);
   } else {
-    stats->scan_rows += RunIndexJoin(
-        store_, plan, outer_table, 0, outer_table.num_rows(),
-        [&](std::span<const TermId> row) { out.AppendRow(row); });
+    stats->scan_rows += run_slice(0, outer_table.num_rows(), &out);
   }
   stats->intermediate_rows += out.num_rows();
   RDFPARAMS_RETURN_NOT_OK(ApplyFilters(query, filter_done, &out));
@@ -662,10 +926,12 @@ Result<BindingTable> Executor::ExecJoin(const SelectQuery& query,
   // Prefer an index nested-loop join when either input is a bare scan: the
   // scan side is probed through the store's indexes, never materialized.
   if (node.right->is_scan()) {
-    return ExecIndexJoin(query, *node.left, *node.right, filter_done, stats);
+    return ExecIndexJoin(query, *node.left, *node.right,
+                         node.merge_join_hint, filter_done, stats);
   }
   if (node.left->is_scan()) {
-    return ExecIndexJoin(query, *node.right, *node.left, filter_done, stats);
+    return ExecIndexJoin(query, *node.right, *node.left,
+                         node.merge_join_hint, filter_done, stats);
   }
   RDFPARAMS_ASSIGN_OR_RETURN(
       BindingTable build, ExecNode(query, *node.left, filter_done, stats));
@@ -682,8 +948,56 @@ Result<BindingTable> Executor::ExecJoin(const SelectQuery& query,
     size_t partitions = std::max<size_t>(
         node.partition_hint,
         opt::HashJoinPartitionHint(static_cast<double>(build.num_rows())));
-    RunHashJoinParallel(plan, build, probe, EnsurePool(), morsel_size_,
-                        partitions, &out);
+    if (plan.build_key.empty()) {
+      // Cross product: morsels over the build side (the serial outer
+      // loop), through the same kernel the serial join uses.
+      ForEachMorselSlice(
+          EnsurePool(), build.num_rows(), morsel_size_, plan.out_vars, &out,
+          [&](size_t row_lo, size_t row_hi, BindingTable* slice) {
+            CrossJoinRange(plan, build, probe, row_lo, row_hi,
+                           [&](std::span<const TermId> row) {
+                             slice->AppendRow(row);
+                           });
+            return uint64_t{0};
+          });
+    } else {
+      PartitionedHashTable table =
+          BuildPartitioned(plan, build, partitions, EnsurePool());
+      auto lookup = [&](uint64_t h) -> const std::vector<uint32_t>* {
+        const auto& part = table.parts[h % partitions];
+        auto it = part.find(h);
+        return it == part.end() ? nullptr : &it->second;
+      };
+      ForEachMorselSlice(
+          EnsurePool(), probe.num_rows(), morsel_size_, plan.out_vars, &out,
+          [&](size_t row_lo, size_t row_hi, BindingTable* slice) {
+            if (chunk_rows_ > 0) {
+              ProbeHashChunked(plan, build, probe, row_lo, row_hi,
+                               chunk_rows_, lookup, slice);
+            } else {
+              ProbeHashRange(plan, build, probe, row_lo, row_hi, lookup,
+                             [&](std::span<const TermId> row) {
+                               slice->AppendRow(row);
+                             });
+            }
+            return uint64_t{0};
+          });
+    }
+  } else if (chunk_rows_ > 0 && !plan.build_key.empty()) {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> table;
+    table.reserve(build.num_rows() * 2);
+    std::vector<uint64_t> hashes(build.num_rows());
+    ComputeKeyHashes(build, plan.build_key, 0, build.num_rows(),
+                     hashes.data());
+    for (size_t i = 0; i < build.num_rows(); ++i) {
+      table[hashes[i]].push_back(static_cast<uint32_t>(i));
+    }
+    ProbeHashChunked(plan, build, probe, 0, probe.num_rows(), chunk_rows_,
+                     [&](uint64_t h) -> const std::vector<uint32_t>* {
+                       auto it = table.find(h);
+                       return it == table.end() ? nullptr : &it->second;
+                     },
+                     &out);
   } else {
     RunHashJoin(plan, build, probe,
                 [&](std::span<const TermId> row) { out.AppendRow(row); });
@@ -745,11 +1059,52 @@ Status Executor::ApplyFilters(const SelectQuery& query,
     (*filter_done)[fi] = 1;
 
     BindingTable kept(table->vars());
-    for (size_t r = 0; r < table->num_rows(); ++r) {
-      TermId lhs = table->at(r, static_cast<size_t>(lhs_col));
-      TermId rhs = rhs_col >= 0 ? table->at(r, static_cast<size_t>(rhs_col))
-                                : rhs_const;
-      if (EvalFilter(f, lhs, rhs)) kept.AppendRow(table->row(r));
+    const size_t n = table->num_rows();
+    if (chunk_rows_ == 0) {
+      // Row-at-a-time reference path: evaluate and copy row by row.
+      std::vector<TermId> row(table->num_vars());
+      for (size_t r = 0; r < n; ++r) {
+        TermId lhs = table->at(r, static_cast<size_t>(lhs_col));
+        TermId rhs = rhs_col >= 0 ? table->at(r, static_cast<size_t>(rhs_col))
+                                  : rhs_const;
+        if (!EvalFilter(f, lhs, rhs)) continue;
+        for (size_t c = 0; c < row.size(); ++c) row[c] = table->at(r, c);
+        kept.AppendRow(row);
+      }
+    } else {
+      // Vectorized path: evaluate over the lhs/rhs columns only, build a
+      // per-chunk selection vector, gather survivors column-wise. With a
+      // constant rhs, everything about the rhs term — kind rank, numeric
+      // decode — is hoisted out of the loop (see ConstRhsFilter), where the
+      // reference kernel re-derives it per row inside Term::Compare.
+      std::span<const TermId> lhs_vals =
+          table->col(static_cast<size_t>(lhs_col));
+      std::span<const TermId> rhs_vals;
+      if (rhs_col >= 0) rhs_vals = table->col(static_cast<size_t>(rhs_col));
+      ConstRhsFilter const_eval;
+      if (rhs_col < 0) const_eval.Prepare(f, rhs_const, dacc_);
+      std::vector<uint32_t> sel;
+      sel.reserve(static_cast<size_t>(
+          std::min<uint64_t>(chunk_rows_, static_cast<uint64_t>(n))));
+      for (size_t lo = 0; lo < n; lo += static_cast<size_t>(chunk_rows_)) {
+        const size_t hi =
+            std::min(n, lo + static_cast<size_t>(chunk_rows_));
+        sel.clear();
+        if (rhs_col >= 0) {
+          for (size_t r = lo; r < hi; ++r) {
+            if (EvalFilter(f, lhs_vals[r], rhs_vals[r])) {
+              sel.push_back(static_cast<uint32_t>(r));
+            }
+          }
+        } else {
+          for (size_t r = lo; r < hi; ++r) {
+            if (const_eval.Eval(lhs_vals[r], dacc_)) {
+              sel.push_back(static_cast<uint32_t>(r));
+            }
+          }
+        }
+        kept.AppendGather(*table, sel);
+      }
     }
     *table = std::move(kept);
   }
@@ -801,8 +1156,12 @@ Status Executor::SortRows(const SelectQuery& query, BindingTable* table) {
     }
     decoded.emplace(id, key);
   };
-  for (size_t r = 0; r < table->num_rows(); ++r) {
-    for (int c : key_cols) decode(table->at(r, static_cast<size_t>(c)));
+  // One contiguous pass per key column (the column-major layout's natural
+  // decode order; the memo makes visit order irrelevant to the values).
+  std::vector<std::span<const TermId>> key_vals;
+  for (int c : key_cols) {
+    key_vals.push_back(table->col(static_cast<size_t>(c)));
+    for (TermId id : key_vals.back()) decode(id);
   }
   auto cmp_ids = [&](TermId va, TermId vb) -> int {
     if (va == vb) return 0;
@@ -820,9 +1179,7 @@ Status Executor::SortRows(const SelectQuery& query, BindingTable* table) {
   };
   auto less = [&](uint32_t a, uint32_t b) {
     for (size_t k = 0; k < key_cols.size(); ++k) {
-      TermId va = table->at(a, static_cast<size_t>(key_cols[k]));
-      TermId vb = table->at(b, static_cast<size_t>(key_cols[k]));
-      int cmp = cmp_ids(va, vb);
+      int cmp = cmp_ids(key_vals[k][a], key_vals[k][b]);
       if (cmp == 0) continue;
       return desc[k] ? cmp > 0 : cmp < 0;
     }
@@ -836,33 +1193,46 @@ Status Executor::SortRows(const SelectQuery& query, BindingTable* table) {
       StableSortPermutation(table->num_rows(), less,
                             parallel ? EnsurePool() : nullptr, morsel_size_);
   BindingTable sorted(table->vars());
-  sorted.Reserve(table->num_rows());
-  for (uint32_t r : order) sorted.AppendRow(table->row(r));
+  sorted.AppendGather(*table, order);
   *table = std::move(sorted);
   return Status::OK();
 }
 
 void Executor::DeduplicatePreservingOrder(BindingTable* table) {
+  const size_t n = table->num_rows();
+  // Row hashes computed column-wise; the combine order (column 0, 1, ...)
+  // matches the old row-major loop, so the hashes are identical.
+  std::vector<uint64_t> hashes(n, 0x9e3779b9);
+  for (size_t c = 0; c < table->num_vars(); ++c) {
+    std::span<const TermId> col = table->col(c);
+    for (size_t r = 0; r < n; ++r) {
+      hashes[r] = util::HashCombine(hashes[r], col[r]);
+    }
+  }
+  auto rows_equal = [&](size_t a, size_t b) {
+    for (size_t c = 0; c < table->num_vars(); ++c) {
+      if (table->at(a, c) != table->at(b, c)) return false;
+    }
+    return true;
+  };
   std::unordered_map<uint64_t, std::vector<uint32_t>> seen;
-  BindingTable out(table->vars());
-  for (size_t r = 0; r < table->num_rows(); ++r) {
-    auto row = table->row(r);
-    uint64_t h = 0x9e3779b9;
-    for (TermId id : row) h = util::HashCombine(h, id);
-    std::vector<uint32_t>& bucket = seen[h];
+  std::vector<uint32_t> keep;
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<uint32_t>& bucket = seen[hashes[r]];
     bool dup = false;
     for (uint32_t prev : bucket) {
-      auto prow = out.row(prev);
-      if (std::equal(row.begin(), row.end(), prow.begin())) {
+      if (rows_equal(prev, r)) {
         dup = true;
         break;
       }
     }
     if (!dup) {
-      bucket.push_back(static_cast<uint32_t>(out.num_rows()));
-      out.AppendRow(row);
+      bucket.push_back(static_cast<uint32_t>(r));
+      keep.push_back(static_cast<uint32_t>(r));
     }
   }
+  BindingTable out(table->vars());
+  out.AppendGather(*table, keep);
   *table = std::move(out);
 }
 
@@ -877,8 +1247,7 @@ void Executor::ApplyLimitOffset(const SelectQuery& query,
     end = std::min(end, begin + static_cast<size_t>(query.limit));
   }
   BindingTable out(table->vars());
-  out.Reserve(end - begin);
-  for (size_t r = begin; r < end; ++r) out.AppendRow(table->row(r));
+  out.AppendRange(*table, begin, end);
   *table = std::move(out);
 }
 
@@ -932,15 +1301,15 @@ Result<BindingTable> Executor::FinishModifiers(const SelectQuery& query,
     if (!keys_survive) {
       RDFPARAMS_RETURN_NOT_OK(SortRows(query, &table));
     }
+    // Projection is a column permutation (with possible duplicates): one
+    // whole-column copy per projected column, no per-row loop.
     BindingTable out(proj);
-    out.Reserve(table.num_rows());
-    std::vector<TermId> row(cols.size());
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      for (size_t k = 0; k < cols.size(); ++k) {
-        row[k] = table.at(r, static_cast<size_t>(cols[k]));
-      }
-      out.AppendRow(row);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      std::span<const TermId> src =
+          table.col(static_cast<size_t>(cols[k]));
+      out.MutableCol(k).assign(src.begin(), src.end());
     }
+    out.CheckAligned();
     if (!keys_survive) {
       table = std::move(out);
       if (query.distinct) DeduplicatePreservingOrder(&table);
@@ -1038,10 +1407,29 @@ Result<BindingTable> Executor::ExecuteStreamingAggregate(
     // The root probe runs serially so the sink sees one fixed stream
     // order (the determinism anchor for floating-point sums); the sink
     // itself reduces full slices on the pool, and child nodes above
-    // already ran with the parallel operators.
+    // already ran with the parallel operators. The merge sweep slots in
+    // when chosen — it feeds the sink the identical row sequence.
+    const MergeJoinChoice merge =
+        ChooseMergeJoin(store_, plan, outer_table, root.merge_join_hint,
+                        enable_merge_join_);
     return stream(plan.out_vars, [&](auto&& sink) {
-      stats->scan_rows += RunIndexJoin(store_, plan, outer_table, 0,
-                                       outer_table.num_rows(), sink);
+      if (merge.use) {
+        rdf::PatternSweep sweep(store_, merge.key_pos, plan.cs, plan.cp,
+                                plan.co);
+        stats->scan_rows += RunIndexJoinRows(
+            plan, outer_table, 0, outer_table.num_rows(),
+            [&](TermId s, TermId p, TermId o) {
+              return sweep.Next(GetPos(rdf::Triple(s, p, o), merge.key_pos));
+            },
+            sink);
+      } else {
+        stats->scan_rows += RunIndexJoinRows(
+            plan, outer_table, 0, outer_table.num_rows(),
+            [&](TermId s, TermId p, TermId o) {
+              return store_.Range(store_.ChooseIndex(s, p, o), s, p, o);
+            },
+            sink);
+      }
     });
   }
   RDFPARAMS_ASSIGN_OR_RETURN(
@@ -1064,6 +1452,8 @@ Result<BindingTable> Executor::Execute(const SelectQuery& query,
   morsel_size_ = std::max<uint64_t>(1, options.morsel_size);
   parallel_group_by_ = options.parallel_group_by;
   parallel_sort_ = options.parallel_sort;
+  chunk_rows_ = options.chunk_rows;
+  enable_merge_join_ = options.enable_merge_join;
 
   ExecutionStats local;
   util::WallTimer timer;

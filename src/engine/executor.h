@@ -8,6 +8,15 @@
 // group-by reduction, and the ORDER BY merge sort — while guaranteeing
 // results byte-identical to a serial run (see exec_options.h and
 // docs/ARCHITECTURE.md for the determinism contract).
+//
+// Independently of threading, the hot operators process the columnar
+// BindingTable in ExecOptions::chunk_rows-row chunks (vectorized filters
+// with selection vectors, batched hash computation, gather-based
+// materialization) and an index join whose outer key column is sorted can
+// run as a merge join over the covering sorted index run instead of
+// per-row index probes (ExecOptions::enable_merge_join, hinted by the
+// optimizer). Both are schedule knobs: results stay byte-identical at
+// every chunk size and with the merge join on or off.
 #ifndef RDFPARAMS_ENGINE_EXECUTOR_H_
 #define RDFPARAMS_ENGINE_EXECUTOR_H_
 
@@ -106,10 +115,14 @@ class Executor {
   /// directly for each outer row through the `inner` scan node's pattern
   /// (no materialization of the inner side). Chosen whenever one join
   /// input is a scan — this is what makes selective parameters genuinely
-  /// cheap, as in real RDF engines.
+  /// cheap, as in real RDF engines. With `merge_hint` (the join node's
+  /// merge_join_hint) and a runtime-verified sorted outer key column, the
+  /// per-row probes become one co-sequential merge sweep over the covering
+  /// sorted index run — identical output either way.
   Result<BindingTable> ExecIndexJoin(const sparql::SelectQuery& query,
                                      const opt::PlanNode& outer,
                                      const opt::PlanNode& inner_scan,
+                                     bool merge_hint,
                                      std::vector<char>* filter_done,
                                      ExecutionStats* stats);
 
@@ -168,6 +181,10 @@ class Executor {
   /// Per-call copies of the operator switches (see ExecOptions).
   bool parallel_group_by_ = true;
   bool parallel_sort_ = true;
+  /// Vectorization chunk width; 0 selects the row-at-a-time reference
+  /// kernels (see ExecOptions::chunk_rows).
+  uint64_t chunk_rows_ = 1024;
+  bool enable_merge_join_ = true;
   /// Returns the worker pool sized to exec_threads_, creating it lazily at
   /// the first operator that actually goes parallel (small inputs never
   /// pay for thread spawns) and reusing it across Execute calls.

@@ -108,6 +108,50 @@ void PartialAggTable::AddRow(std::span<const TermId> row,
   }
 }
 
+void PartialAggTable::AddRows(const BindingTable& input, size_t lo,
+                              size_t hi, const DictAccess& dict) {
+  // Hoist the column spans once per slice; the per-row body then performs
+  // the exact accumulation sequence of AddRow (same hash, same
+  // FindOrCreate order, same floating-point adds), just without the
+  // per-row column resolution.
+  std::vector<std::span<const TermId>> group_vals;
+  group_vals.reserve(spec_->group_cols.size());
+  for (int c : spec_->group_cols) {
+    group_vals.push_back(input.col(static_cast<size_t>(c)));
+  }
+  std::vector<std::span<const TermId>> agg_vals(spec_->n_agg);
+  for (size_t a = 0; a < spec_->n_agg; ++a) {
+    if (spec_->agg_cols[a] >= 0 && spec_->needs_value[a]) {
+      agg_vals[a] = input.col(static_cast<size_t>(spec_->agg_cols[a]));
+    }
+  }
+  scratch_key_.resize(spec_->group_cols.size());
+  for (size_t r = lo; r < hi; ++r) {
+    uint64_t h = 0xabcdef;
+    for (size_t k = 0; k < group_vals.size(); ++k) {
+      scratch_key_[k] = group_vals[k][r];
+      h = util::HashCombine(h, scratch_key_[k]);
+    }
+    Acc* acc = FindOrCreate(h);
+    for (size_t a = 0; a < spec_->n_agg; ++a) {
+      ++acc->count[a];
+      if (agg_vals[a].empty()) continue;  // COUNT — no value needed
+      TermId v = agg_vals[a][r];
+      double x = 0;
+      auto it = numeric_cache_.find(v);
+      if (it != numeric_cache_.end()) {
+        x = it->second;
+      } else {
+        x = dict.term(v).AsDouble().value_or(0.0);
+        numeric_cache_.emplace(v, x);
+      }
+      acc->sum[a] += x;
+      acc->min[a] = std::min(acc->min[a], x);
+      acc->max[a] = std::max(acc->max[a], x);
+    }
+  }
+}
+
 void PartialAggTable::MergeFrom(const PartialAggTable& other) {
   for (const Acc& src : other.accs_) {
     scratch_key_ = src.key;
@@ -191,9 +235,7 @@ Result<BindingTable> GroupByAggregate(const sparql::SelectQuery& query,
     size_t lo = static_cast<size_t>(m * slice_rows);
     size_t hi =
         static_cast<size_t>(std::min<uint64_t>(n, lo + slice_rows));
-    for (size_t r = lo; r < hi; ++r) {
-      partials[m].AddRow(input.row(r), read_dict);
-    }
+    partials[m].AddRows(input, lo, hi, read_dict);
   };
   if (pool != nullptr && num_slices > 1) {
     pool->ParallelFor(

@@ -89,6 +89,12 @@ class PartialAggTable {
   /// PartialAggTables are safe to fill from parallel workers.
   void AddRow(std::span<const rdf::TermId> row, const DictAccess& dict);
 
+  /// Folds rows [lo, hi) of a columnar table, in row order — equivalent to
+  /// hi-lo AddRow calls, but with the group/aggregate column spans hoisted
+  /// out of the per-row loop instead of re-resolved per row.
+  void AddRows(const BindingTable& input, size_t lo, size_t hi,
+               const DictAccess& dict);
+
   /// Merges `other` into this table. Deterministic as long as callers
   /// always fold partials in ascending slice order: for each group,
   /// exactly one `sum += other.sum` per slice, in slice order.

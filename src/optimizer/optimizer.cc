@@ -138,6 +138,7 @@ class DpOptimizer {
     out.plan->est_cout = out.cout;
     out.plan->partition_hint =
         HashJoinPartitionHint(out.plan->left->est_cardinality);
+    out.plan->merge_join_hint = MergeJoinHint(*out.plan);
     return out;
   }
 

@@ -37,6 +37,7 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   node->est_cardinality = est_cardinality;
   node->est_cout = est_cout;
   node->partition_hint = partition_hint;
+  node->merge_join_hint = merge_join_hint;
   node->pattern_set = pattern_set;
   if (left) node->left = left->Clone();
   if (right) node->right = right->Clone();
@@ -56,6 +57,20 @@ uint32_t HashJoinPartitionHint(double build_cardinality) {
     p *= 2;
   }
   return p;
+}
+
+bool MergeJoinHint(const PlanNode& join) {
+  if (!join.is_join() || join.join_vars.size() != 1) return false;
+  // Mirror ExecJoin's outer choice: the non-scan side drives the probe
+  // loop (left when both inputs are scans, matching the right-first test).
+  const PlanNode* outer = nullptr;
+  if (join.right->is_scan()) {
+    outer = join.left.get();
+  } else if (join.left->is_scan()) {
+    outer = join.right.get();
+  }
+  if (outer == nullptr) return false;  // hash join, no index to sweep
+  return outer->est_cardinality >= kMergeJoinMinOuterRows;
 }
 
 size_t PlanNode::NumJoins() const {
@@ -83,6 +98,13 @@ void PlanNode::ExplainRec(const sparql::SelectQuery& query, int depth,
   std::string parts;
   if (partition_hint > 1) {
     parts = util::StringPrintf(", partitions=%u", partition_hint);
+  }
+  // Index joins name the probe strategy the optimizer chose: a merge
+  // sweep over the covering sorted index run vs per-row index probes
+  // (the executor still falls back to probes when the outer key column
+  // turns out unsorted at run time).
+  if (left->is_scan() || right->is_scan()) {
+    parts += merge_join_hint ? ", join=merge-sweep" : ", join=index-probe";
   }
   // Mirror the executor's operator choice (see engine::Executor::ExecJoin):
   // a scan input turns the join into an index nested-loop probe; otherwise

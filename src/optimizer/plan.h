@@ -43,6 +43,16 @@ struct PlanNode {
   /// identical across execution configurations.
   uint32_t partition_hint = 0;
 
+  /// For index joins (one input a scan): prefer the merge join over the
+  /// covering sorted index run to per-row index probes. Set by the
+  /// optimizer from RelationInfo cardinalities (see MergeJoinHint); the
+  /// executor additionally verifies at run time that the pattern is
+  /// sweep-eligible and the outer key column is actually sorted, falling
+  /// back to probes otherwise. Like partition_hint, a pure function of
+  /// estimates — never of execution configuration — and purely a
+  /// performance switch: both operators emit identical rows.
+  bool merge_join_hint = false;
+
   /// Bitmask of pattern indices covered by this subtree.
   uint64_t pattern_set = 0;
 
@@ -87,6 +97,16 @@ struct PlanNode {
 /// ~4k rows per partition, power of two, capped at 64. Deterministic, so
 /// the same plan always carries the same hint.
 uint32_t HashJoinPartitionHint(double build_cardinality);
+
+/// Outer-row floor below which the merge join's setup (sortedness scan +
+/// sweep-region equal_range) is not worth amortizing over per-row probes.
+inline constexpr double kMergeJoinMinOuterRows = 32.0;
+
+/// True when `join` should carry merge_join_hint: it will execute as an
+/// index join (one input a scan), joins on exactly one variable (the
+/// sweep has a single key slot), and the estimated outer cardinality
+/// clears kMergeJoinMinOuterRows.
+bool MergeJoinHint(const PlanNode& join);
 
 /// Result of optimization: the plan plus template-level metadata.
 struct OptimizedPlan {

@@ -260,6 +260,95 @@ const Triple* GallopUpperBound(const Triple* first, const Triple* last,
 
 }  // namespace
 
+PatternSweep::PatternSweep(const TripleStore& store, TriplePos key_pos,
+                           TermId s, TermId p, TermId o)
+    : key_pos_(key_pos), fixed_(s, p, o) {
+  RDFPARAMS_DCHECK(store.finalized());
+  SetPos(&fixed_, key_pos, kWildcardId);  // whatever was at key_pos is ignored
+  const bool fixed_bound[3] = {fixed_.s != kWildcardId,
+                               fixed_.p != kWildcardId,
+                               fixed_.o != kWildcardId};
+  nf_ = static_cast<size_t>(fixed_bound[0]) +
+        static_cast<size_t>(fixed_bound[1]) +
+        static_cast<size_t>(fixed_bound[2]);
+
+  // Pick the available index whose sort prefix of length nf+1 is exactly
+  // the fixed slots plus key_pos, preferring the one sorting the key slot
+  // latest: slots before it are pinned by one equal_range, slots after it
+  // restrict each run, and a later key position leaves fewer of those.
+  IndexOrder best_order = IndexOrder::kSPO;
+  for (IndexOrder order : store.BuiltIndexes()) {
+    auto candidate_perm = IndexPermutation(order);
+    int k = -1;
+    bool usable = true;
+    for (size_t i = 0; i <= nf_; ++i) {
+      if (candidate_perm[i] == key_pos) {
+        k = static_cast<int>(i);
+      } else if (!fixed_bound[static_cast<size_t>(candidate_perm[i])]) {
+        usable = false;
+        break;
+      }
+    }
+    if (usable && k > best_k_) {
+      best_k_ = k;
+      best_order = order;
+      perm_ = candidate_perm;
+    }
+  }
+  if (best_k_ < 0) return;
+
+  // One equal_range over the fixed slots sorted before the key slot gives
+  // the sweep region; inside it, triples are ordered by the key slot next.
+  Triple region_pattern(kWildcardId, kWildcardId, kWildcardId);
+  for (int i = 0; i < best_k_; ++i) {
+    SetPos(&region_pattern, perm_[static_cast<size_t>(i)],
+           GetPos(fixed_, perm_[static_cast<size_t>(i)]));
+  }
+  std::span<const Triple> region = store.Range(
+      best_order, region_pattern.s, region_pattern.p, region_pattern.o);
+  cur_ = region.data();
+  end_ = region.data() + region.size();
+
+  // Fixed slots sorted *after* the key slot (present when the key is not
+  // the last prefix position) restrict each run via a bounded equal_range.
+  has_tail_ = static_cast<size_t>(best_k_) + 1 <= nf_;
+}
+
+std::span<const Triple> PatternSweep::Next(TermId key) {
+  RDFPARAMS_DCHECK(valid());
+  RDFPARAMS_DCHECK((first_ || last_key_ <= key) &&
+                   "PatternSweep keys must be non-decreasing");
+  first_ = false;
+  last_key_ = key;
+  if (cur_ == end_) return {};
+  const Triple* lo = GallopLowerBound(cur_, end_, key_pos_, key);
+  cur_ = lo;  // not past the run: repeated keys re-find it
+  if (lo == end_ || GetPos(*lo, key_pos_) != key) return {};  // key absent
+  const Triple* hi = GallopUpperBound(lo, end_, key_pos_, key);
+  if (!has_tail_) return {lo, static_cast<size_t>(hi - lo)};
+  const size_t tail_begin = static_cast<size_t>(best_k_) + 1;
+  auto tail_less = [&](const Triple& a, const Triple& b) {
+    for (size_t i = tail_begin; i <= nf_; ++i) {
+      TermId va = GetPos(a, perm_[i]);
+      TermId vb = GetPos(b, perm_[i]);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  };
+  auto run = std::equal_range(lo, hi, fixed_, tail_less);
+  return {run.first, static_cast<size_t>(run.second - run.first)};
+}
+
+std::vector<IndexOrder> TripleStore::BuiltIndexes() const {
+  std::vector<IndexOrder> available = {IndexOrder::kSPO, IndexOrder::kPOS,
+                                       IndexOrder::kOSP};
+  if (all_indexes_) {
+    available.insert(available.end(), {IndexOrder::kSOP, IndexOrder::kPSO,
+                                       IndexOrder::kOPS});
+  }
+  return available;
+}
+
 std::vector<uint64_t> TripleStore::CountPatternBatch(
     TriplePos var_pos, TermId s, TermId p, TermId o,
     std::span<const TermId> candidates) const {
@@ -267,48 +356,12 @@ std::vector<uint64_t> TripleStore::CountPatternBatch(
   std::vector<uint64_t> counts(candidates.size(), 0);
   if (candidates.empty()) return counts;
 
-  Triple fixed(s, p, o);
-  SetPos(&fixed, var_pos, kWildcardId);  // whatever was at var_pos is ignored
-  const bool fixed_bound[3] = {fixed.s != kWildcardId, fixed.p != kWildcardId,
-                               fixed.o != kWildcardId};
-  const size_t nf = static_cast<size_t>(fixed_bound[0]) +
-                    static_cast<size_t>(fixed_bound[1]) +
-                    static_cast<size_t>(fixed_bound[2]);
-
-  // Pick the available index whose sort prefix of length nf+1 is exactly
-  // the fixed slots plus var_pos, preferring the one sorting the var slot
-  // latest: slots before it are pinned by one equal_range, slots after it
-  // are counted per run, and a later var position leaves fewer of those.
-  std::vector<IndexOrder> available = {IndexOrder::kSPO, IndexOrder::kPOS,
-                                       IndexOrder::kOSP};
-  if (all_indexes_) {
-    available.insert(available.end(), {IndexOrder::kSOP, IndexOrder::kPSO,
-                                       IndexOrder::kOPS});
-  }
-  int best_k = -1;
-  IndexOrder best_order = IndexOrder::kSPO;
-  std::array<TriplePos, 3> perm{};
-  for (IndexOrder order : available) {
-    auto candidate_perm = IndexPermutation(order);
-    int k = -1;
-    bool usable = true;
-    for (size_t i = 0; i <= nf; ++i) {
-      if (candidate_perm[i] == var_pos) {
-        k = static_cast<int>(i);
-      } else if (!fixed_bound[static_cast<size_t>(candidate_perm[i])]) {
-        usable = false;
-        break;
-      }
-    }
-    if (usable && k > best_k) {
-      best_k = k;
-      best_order = order;
-      perm = candidate_perm;
-    }
-  }
-  if (best_k < 0) {
+  PatternSweep sweep(*this, var_pos, s, p, o);
+  if (!sweep.valid()) {
     // No covering sort prefix among the built indexes (cannot happen with
     // the three defaults, but stays correct for any index configuration).
+    Triple fixed(s, p, o);
+    SetPos(&fixed, var_pos, kWildcardId);
     for (size_t i = 0; i < candidates.size(); ++i) {
       Triple q = fixed;
       SetPos(&q, var_pos, candidates[i]);
@@ -317,45 +370,9 @@ std::vector<uint64_t> TripleStore::CountPatternBatch(
     return counts;
   }
 
-  // One equal_range over the fixed slots sorted before the var slot gives
-  // the sweep region; inside it, triples are ordered by the var slot next.
-  Triple region_pattern(kWildcardId, kWildcardId, kWildcardId);
-  for (int i = 0; i < best_k; ++i) {
-    SetPos(&region_pattern, perm[static_cast<size_t>(i)],
-           GetPos(fixed, perm[static_cast<size_t>(i)]));
-  }
-  std::span<const Triple> region = Range(best_order, region_pattern.s,
-                                         region_pattern.p, region_pattern.o);
-  if (region.empty()) return counts;
-
-  // Fixed slots sorted *after* the var slot (present when the var is not
-  // the last prefix position) restrict each run via a bounded equal_range.
-  const size_t tail_begin = static_cast<size_t>(best_k) + 1;
-  const bool has_tail = tail_begin <= nf;
-  auto tail_less = [&](const Triple& a, const Triple& b) {
-    for (size_t i = tail_begin; i <= nf; ++i) {
-      TermId va = GetPos(a, perm[i]);
-      TermId vb = GetPos(b, perm[i]);
-      if (va != vb) return va < vb;
-    }
-    return false;
-  };
-
-  const Triple* cur = region.data();
-  const Triple* end = region.data() + region.size();
   for (size_t i = 0; i < candidates.size(); ++i) {
     RDFPARAMS_DCHECK(i == 0 || candidates[i - 1] <= candidates[i]);
-    const TermId c = candidates[i];
-    const Triple* lo = GallopLowerBound(cur, end, var_pos, c);
-    cur = lo;  // not past the run: duplicate candidates re-find it
-    if (lo == end || GetPos(*lo, var_pos) != c) continue;  // id absent: 0
-    const Triple* hi = GallopUpperBound(lo, end, var_pos, c);
-    if (has_tail) {
-      auto run = std::equal_range(lo, hi, fixed, tail_less);
-      counts[i] = static_cast<uint64_t>(run.second - run.first);
-    } else {
-      counts[i] = static_cast<uint64_t>(hi - lo);
-    }
+    counts[i] = sweep.Next(candidates[i]).size();
   }
   return counts;
 }

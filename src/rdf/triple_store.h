@@ -90,7 +90,8 @@ class TripleStore {
   /// permutations, so ascending candidates map to monotonically advancing
   /// positions and each run is located by galloping (exponential probe +
   /// bounded binary search) from the previous one — O(k·log(n/k) + k)
-  /// total instead of O(k·log n), and one cache-resident cursor.
+  /// total instead of O(k·log n), and one cache-resident cursor. The
+  /// cursor logic is PatternSweep (below); this method just takes sizes.
   std::vector<uint64_t> CountPatternBatch(
       TriplePos var_pos, TermId s, TermId p, TermId o,
       std::span<const TermId> candidates) const;
@@ -108,6 +109,10 @@ class TripleStore {
   /// Picks the most selective available index whose prefix covers the
   /// pattern's bound slots.
   IndexOrder ChooseIndex(TermId s, TermId p, TermId o) const;
+
+  /// The currently built index orders (the three defaults, plus the three
+  /// extras after BuildAllIndexes). Used by PatternSweep's index choice.
+  std::vector<IndexOrder> BuiltIndexes() const;
 
   /// Number of distinct values in a position (computed at Finalize).
   uint64_t NumDistinctSubjects() const { return distinct_s_; }
@@ -163,6 +168,58 @@ class TripleStore {
   std::vector<uint64_t> pred_count_;
   std::vector<uint64_t> pred_distinct_s_;
   std::vector<uint64_t> pred_distinct_o_;
+};
+
+/// Co-sequential cursor over the sorted index run covering a pattern with
+/// exactly one varying ("key") slot: the generalization of the galloping
+/// sweep CountPatternBatch introduced, reusable by any consumer that feeds
+/// ascending keys — CountPatternBatch itself (run sizes) and the executor's
+/// merge join (run contents).
+///
+/// Construction picks the built index whose sort prefix covers the fixed
+/// bound slots plus `key_pos` (preferring the one sorting the key slot
+/// latest) and pins the fixed slots sorted before the key with one
+/// equal_range. Each Next(key) then gallops forward from the previous run
+/// (exponential probe + bounded binary search) and restricts by the fixed
+/// slots sorted after the key — O(k·log(n/k) + k) over k ascending keys
+/// instead of k full-range binary searches, with one cache-resident cursor.
+///
+/// The returned run is exactly the triples matching the fully-bound
+/// pattern (fixed slots + key), in the chosen index's order. When at least
+/// one slot besides the key is bound, at most one slot is free, so the run
+/// order is the free slot's ascending order — identical for every covering
+/// index, which is what lets the executor swap the sweep in for per-key
+/// Range() probes without changing emitted row order.
+class PatternSweep {
+ public:
+  /// The slot at `key_pos` in (s, p, o) is ignored; the remaining slots
+  /// may be bound or wildcard and must stay fixed across Next() calls.
+  /// The store must be finalized and must outlive the sweep.
+  PatternSweep(const TripleStore& store, TriplePos key_pos, TermId s,
+               TermId p, TermId o);
+
+  /// False when no built index has a sort prefix covering the fixed slots
+  /// plus key_pos (callers fall back to per-key Range probes; cannot
+  /// happen with the three default indexes).
+  bool valid() const { return best_k_ >= 0; }
+
+  /// Sorted run of triples matching the pattern with `key` substituted at
+  /// key_pos; empty if the key is absent. Keys must be non-decreasing
+  /// across calls (checked in debug builds); repeated keys re-find the
+  /// same run. Only valid when valid().
+  std::span<const Triple> Next(TermId key);
+
+ private:
+  TriplePos key_pos_;
+  Triple fixed_{kWildcardId, kWildcardId, kWildcardId};
+  std::array<TriplePos, 3> perm_{};
+  int best_k_ = -1;
+  size_t nf_ = 0;
+  bool has_tail_ = false;
+  const Triple* cur_ = nullptr;
+  const Triple* end_ = nullptr;
+  TermId last_key_ = 0;
+  bool first_ = true;
 };
 
 }  // namespace rdfparams::rdf

@@ -22,8 +22,57 @@ TEST(BindingTableTest, AppendAndAccess) {
   EXPECT_EQ(t.at(0, 0), 1u);
   EXPECT_EQ(t.at(0, 1), 2u);
   EXPECT_EQ(t.at(1, 0), 3u);
-  auto row = t.row(1);
-  EXPECT_EQ(row[1], 4u);
+  EXPECT_EQ(t.at(1, 1), 4u);
+}
+
+TEST(BindingTableTest, ColumnsAreContiguousPerVariable) {
+  BindingTable t({"x", "y"});
+  t.AppendRow({1, 10});
+  t.AppendRow({2, 20});
+  t.AppendRow({3, 30});
+  std::span<const rdf::TermId> x = t.col(0);
+  std::span<const rdf::TermId> y = t.col(1);
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_EQ(x[0], 1u);
+  EXPECT_EQ(x[2], 3u);
+  EXPECT_EQ(y[1], 20u);
+}
+
+TEST(BindingTableTest, AppendRangeAndGatherPreserveSelectionOrder) {
+  BindingTable src({"x", "y"});
+  for (rdf::TermId i = 0; i < 6; ++i) src.AppendRow({i, i + 100});
+
+  BindingTable range({"x", "y"});
+  range.AppendRange(src, 2, 5);
+  ASSERT_EQ(range.num_rows(), 3u);
+  EXPECT_EQ(range.at(0, 0), 2u);
+  EXPECT_EQ(range.at(2, 1), 104u);
+
+  // Gather in non-monotonic selection order, with a repeat.
+  BindingTable gathered({"x", "y"});
+  std::vector<uint32_t> sel{5, 0, 5, 3};
+  gathered.AppendGather(src, sel);
+  ASSERT_EQ(gathered.num_rows(), 4u);
+  EXPECT_EQ(gathered.at(0, 0), 5u);
+  EXPECT_EQ(gathered.at(1, 0), 0u);
+  EXPECT_EQ(gathered.at(2, 1), 105u);
+  EXPECT_EQ(gathered.at(3, 0), 3u);
+  gathered.CheckAligned();
+}
+
+TEST(BindingTableTest, MutableColBulkWritesStayAligned) {
+  BindingTable t({"a", "b"});
+  t.MutableCol(0).assign({1, 2, 3});
+  t.MutableCol(1).assign({4, 5, 6});
+  t.CheckAligned();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.at(2, 1), 6u);
+
+  BindingTable same({"a", "b"});
+  same.AppendRow({1, 4});
+  same.AppendRow({2, 5});
+  same.AppendRow({3, 6});
+  EXPECT_TRUE(t == same);
 }
 
 TEST(BindingTableTest, AppendSpan) {

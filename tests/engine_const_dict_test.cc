@@ -37,9 +37,9 @@ SELECT ?i ?s WHERE {
   ASSERT_TRUE(expected.ok());
   ASSERT_EQ(result->num_rows(), expected->num_rows());
   for (size_t r = 0; r < result->num_rows(); ++r) {
-    auto a = result->row(r);
-    auto b = expected->row(r);
-    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    for (size_t c = 0; c < result->num_vars(); ++c) {
+      EXPECT_EQ(result->at(r, c), expected->at(r, c)) << "row " << r;
+    }
   }
 }
 

@@ -1,15 +1,19 @@
 // Differential / property test harness for intra-query parallel execution.
 //
 // The contract under test (see engine/exec_options.h): for ANY query and
-// ANY store, executing with N exec-threads and any morsel size returns a
-// result table and ExecutionStats counters byte-identical to the serial
-// run. We check it two ways:
+// ANY store, executing with N exec-threads, any morsel size, any
+// vectorization chunk size (including 0 = the row-at-a-time reference
+// kernels), and the merge join on or off returns a result table and
+// ExecutionStats counters byte-identical to the serial default run. We
+// check it two ways:
 //   * property-style: seeded util::Rng generates randomized small stores
 //     and randomized BGP / FILTER / ORDER BY / aggregate queries, each
 //     executed at 1/2/4/8 exec-threads (oversubscribed on small machines
-//     on purpose — scheduling interleavings are part of the property);
+//     on purpose — scheduling interleavings are part of the property) and
+//     across the chunk-size sweep;
 //   * directed: hand-built plans that force the partitioned hash join and
-//     the cross-product path, plus morsel sizes down to 1 row.
+//     the cross-product path, morsel sizes down to 1 row, and merge-join
+//     vs index-probe identity on sorted / unsorted / duplicate-key outers.
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -46,10 +50,10 @@ void ExpectIdentical(const ExecOutcome& serial, const ExecOutcome& other,
   ASSERT_EQ(serial.table.num_rows(), other.table.num_rows()) << label;
   if (!(serial.table == other.table)) {
     for (size_t r = 0; r < serial.table.num_rows(); ++r) {
-      auto a = serial.table.row(r);
-      auto b = other.table.row(r);
-      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
-          << label << ": first differing row " << r;
+      for (size_t c = 0; c < serial.table.num_vars(); ++c) {
+        ASSERT_EQ(serial.table.at(r, c), other.table.at(r, c))
+            << label << ": first differing row " << r << " col " << c;
+      }
     }
   }
   EXPECT_EQ(serial.stats.intermediate_rows, other.stats.intermediate_rows)
@@ -116,14 +120,29 @@ void RunDifferential(const rdf::TripleStore& store,
     ExpectIdentical(serial, run(options),
                     label + " threads=4 morsel=" + std::to_string(morsel));
   }
+  // Chunk size is a schedule knob like morsel size: every chunk width —
+  // including 0, the row-at-a-time reference kernels — must reproduce the
+  // serial default run at every thread count.
+  for (uint64_t chunk :
+       {uint64_t{0}, uint64_t{1}, uint64_t{3}, uint64_t{64}, uint64_t{4096}}) {
+    for (int threads : {1, 2, 4, 8}) {
+      ExecOptions options;
+      options.threads = threads;
+      options.chunk_rows = chunk;
+      ExpectIdentical(serial, run(options),
+                      label + " chunk=" + std::to_string(chunk) +
+                          " threads=" + std::to_string(threads));
+    }
+  }
   // The operator switches are pure perf knobs: flipping them off (alone
   // and together) at high thread counts must not change a byte either.
-  for (int mask = 1; mask <= 3; ++mask) {
+  for (int mask = 1; mask <= 7; ++mask) {
     ExecOptions options;
     options.threads = 8;
     options.morsel_size = 2;
     options.parallel_sort = (mask & 1) == 0;
     options.parallel_group_by = (mask & 2) == 0;
+    options.enable_merge_join = (mask & 4) == 0;
     ExpectIdentical(serial, run(options),
                     label + " knobs mask=" + std::to_string(mask));
   }
@@ -458,7 +477,9 @@ TEST(ParallelSortEdgeTest, NanInfAndMixedRankKeys) {
     }
     ASSERT_GE(cls, phase) << "rank order violated at row " << r;
     if (cls == 1) {
-      if (phase == 1) EXPECT_LE(last_value, *num) << "row " << r;
+      if (phase == 1) {
+        EXPECT_LE(last_value, *num) << "row " << r;
+      }
       last_value = *num;
     }
     phase = cls;
@@ -543,6 +564,78 @@ TEST_F(ParallelExecDirectedTest, GroupByWithoutOrderByEmitsAscendingKeys) {
           << "threads=" << threads;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Directed tests for the merge join over sorted index runs
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelExecDirectedTest, MergeJoinSortedOuterMatchesProbes) {
+  // Outer scan `?i <type> <T1>` reads a POS region: the ?i column is the
+  // index's tertiary sort key, so it comes out globally ascending and the
+  // hinted merge sweep engages. RunDifferential pins every config —
+  // including enable_merge_join=false — to the serial (merge-on) run.
+  auto q = Parse(
+      "SELECT * WHERE { ?i <http://x/type> <http://x/T1> . "
+      "?i <http://x/score> ?s . }");
+  auto root = opt::PlanNode::MakeJoin(
+      opt::PlanNode::MakeScan(0, rdf::IndexOrder::kPOS),
+      opt::PlanNode::MakeScan(1, rdf::IndexOrder::kSPO), {"i"});
+  root->merge_join_hint = true;
+  EXPECT_NE(root->Explain(q).find("join=merge-sweep"), std::string::npos);
+  RunDifferential(store_, dict_, q, root.get(), "merge join sorted outer");
+
+  // And with the hint off: same plan, per-row probes, same bytes.
+  root->merge_join_hint = false;
+  EXPECT_NE(root->Explain(q).find("join=index-probe"), std::string::npos);
+  RunDifferential(store_, dict_, q, root.get(), "index probes sorted outer");
+}
+
+TEST_F(ParallelExecDirectedTest, MergeJoinUnsortedOuterFallsBackToProbes) {
+  // Outer scan `?i <type> ?t` emits ?i sorted only within each type run —
+  // globally unsorted — so the runtime sortedness check must reject the
+  // hint and fall back to per-row probes, at every config.
+  auto q = Parse(
+      "SELECT * WHERE { ?i <http://x/type> ?t . ?i <http://x/score> ?s . }");
+  auto root = opt::PlanNode::MakeJoin(
+      opt::PlanNode::MakeScan(0, rdf::IndexOrder::kPOS),
+      opt::PlanNode::MakeScan(1, rdf::IndexOrder::kSPO), {"i"});
+  root->merge_join_hint = true;
+  RunDifferential(store_, dict_, q, root.get(), "merge join unsorted outer");
+}
+
+TEST(MergeJoinDuplicateKeyTest, RepeatedOuterKeysMatchProbes) {
+  // Each item carries two scores, so the outer (type ⋈ score) emits every
+  // ?i twice, back to back and ascending: the sweep must re-find runs on
+  // repeated keys. Items 0 and 7 have no label (empty runs mid-sweep),
+  // and the hinted root joins the duplicate-key outer to the label scan.
+  std::string doc = "@prefix x: <http://x/> .\n";
+  for (int i = 0; i < 20; ++i) {
+    std::string item = "x:item" + std::to_string(i);
+    doc += item + " x:type x:T .\n";
+    doc += item + " x:score " + std::to_string(i % 5) + " .\n";
+    doc += item + " x:score " + std::to_string(10 + i % 3) + " .\n";
+    if (i != 0 && i != 7) {
+      doc += item + " x:label \"L" + std::to_string(i % 4) + "\" .\n";
+    }
+  }
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::LoadTurtle(doc, &dict, &store).ok());
+  store.Finalize();
+
+  auto q = test::ParseQueryOrFail(
+      "SELECT * WHERE { ?i <http://x/type> <http://x/T> . "
+      "?i <http://x/score> ?s . ?i <http://x/label> ?l . }");
+  auto outer = opt::PlanNode::MakeJoin(
+      opt::PlanNode::MakeScan(0, rdf::IndexOrder::kPOS),
+      opt::PlanNode::MakeScan(1, rdf::IndexOrder::kSPO), {"i"});
+  outer->merge_join_hint = true;
+  auto root = opt::PlanNode::MakeJoin(
+      std::move(outer), opt::PlanNode::MakeScan(2, rdf::IndexOrder::kSPO),
+      {"i"});
+  root->merge_join_hint = true;
+  RunDifferential(store, dict, q, root.get(), "merge join duplicate keys");
 }
 
 TEST_F(ParallelExecDirectedTest, ReadOnlyModeStaysReadOnly) {

@@ -61,9 +61,11 @@ struct Options {
   int64_t threads = 1;
   int64_t exec_threads = 1;
   int64_t morsel_size = 1024;
+  int64_t chunk_rows = 1024;
   int64_t load_threads = 0;
   bool parallel_group_by = true;
   bool parallel_sort = true;
+  bool merge_join = true;
   bool all_indexes = false;
   bool stats = false;
   double bucket_width = 1.0;
@@ -416,6 +418,8 @@ int CmdRun(const Options& opt) {
   run_options.exec.morsel_size = static_cast<uint64_t>(opt.morsel_size);
   run_options.exec.parallel_group_by = opt.parallel_group_by;
   run_options.exec.parallel_sort = opt.parallel_sort;
+  run_options.exec.chunk_rows = static_cast<uint64_t>(opt.chunk_rows);
+  run_options.exec.enable_merge_join = opt.merge_join;
   auto obs = runner.RunAll(**tmpl, bindings, run_options);
   if (!obs.ok()) return Fail(obs.status());
 
@@ -447,6 +451,12 @@ int CmdHelp(const char* prog) {
       "                          group-by reduction, ORDER BY merge sort;\n"
       "                          0 = all cores; results identical for all N)\n"
       "  --morsel-size=N         probe rows per intra-query morsel\n"
+      "  --chunk-rows=N          vectorization chunk width for the columnar\n"
+      "                          operators (0 = row-at-a-time reference\n"
+      "                          kernels; results identical for every N)\n"
+      "  --merge-join=B          merge join over sorted index runs when the\n"
+      "                          optimizer hints it (default true; purely a\n"
+      "                          perf switch)\n"
       "  --parallel-group-by=B   group-by slice-merge reduction on the pool\n"
       "                          (default true; purely a perf switch)\n"
       "  --parallel-sort=B       ORDER BY parallel merge sort on the pool\n"
@@ -489,6 +499,10 @@ int main(int argc, char** argv) {
                  "intra-query worker threads (0 = all cores)");
   flags.AddInt64("morsel_size", &opt.morsel_size,
                  "probe rows per intra-query morsel");
+  flags.AddInt64("chunk_rows", &opt.chunk_rows,
+                 "vectorization chunk width (0 = row-at-a-time kernels)");
+  flags.AddBool("merge_join", &opt.merge_join,
+                "merge join over sorted index runs when hinted");
   flags.AddInt64("load_threads", &opt.load_threads,
                  "worker threads for the sharded loader (0 = all cores)");
   flags.AddBool("all_indexes", &opt.all_indexes,
