@@ -1,0 +1,228 @@
+// bench_server — throughput/latency harness for the workload daemon.
+//
+// Starts a loopback server on an ephemeral port, then drives mixed
+// classify + run traffic from --clients concurrent connections, sweeping
+// the server worker count 1/2/4/…/--max_threads. Reports QPS and p50/p99
+// per-request latency per configuration. Every response is checked
+// byte-identical to the in-process result rendered with the shared
+// protocol formatters; any divergence fails the process, so CI can gate
+// on the exit code (bench_server_identity) exactly like the other
+// harnesses. Wall-clock speedups are machine-limited on small containers;
+// the identity columns are the part that always bites.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/plan_classifier.h"
+#include "core/workload.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "server/workbench.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace rdfparams;
+
+namespace {
+
+constexpr int64_t kQuery = 4;
+constexpr int64_t kClassifyBudget = 200;
+constexpr int64_t kRunBindings = 10;
+constexpr int64_t kRunSeed = 7;
+
+struct TrafficResult {
+  std::vector<double> latencies;  // seconds, one per request
+  uint64_t mismatches = 0;
+  uint64_t errors = 0;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+/// One client connection issuing `requests` alternating classify / run
+/// calls, timing each round trip and checking the bytes.
+void DriveClient(uint16_t port, int64_t requests,
+                 const std::string& classify_want,
+                 const std::string& run_want, TrafficResult* out) {
+  server::Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    out->errors += static_cast<uint64_t>(requests);
+    return;
+  }
+  std::string classify_payload =
+      "query=" + std::to_string(kQuery) +
+      "\nmax_candidates=" + std::to_string(kClassifyBudget);
+  std::string run_payload = "query=" + std::to_string(kQuery) +
+                            "\nn=" + std::to_string(kRunBindings) +
+                            "\nseed=" + std::to_string(kRunSeed);
+  for (int64_t i = 0; i < requests; ++i) {
+    bool classify = (i % 2) == 0;
+    util::WallTimer timer;
+    auto frame = client.Call(
+        classify ? server::Opcode::kClassify : server::Opcode::kRun,
+        classify ? classify_payload : run_payload);
+    double elapsed = timer.ElapsedSeconds();
+    if (!frame.ok() ||
+        frame->opcode != static_cast<uint8_t>(server::Opcode::kOk)) {
+      ++out->errors;
+      continue;
+    }
+    if (frame->payload != (classify ? classify_want : run_want)) {
+      ++out->mismatches;
+      continue;
+    }
+    out->latencies.push_back(elapsed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t products = 3000;
+  int64_t seed = 42;
+  int64_t max_threads = 8;
+  int64_t clients = 8;
+  int64_t requests = 50;
+  util::FlagParser flags;
+  flags.AddInt64("products", &products, "BSBM products for the dataset");
+  flags.AddInt64("seed", &seed, "generator seed");
+  flags.AddInt64("max_threads", &max_threads,
+                 "highest server worker count in the sweep");
+  flags.AddInt64("clients", &clients, "concurrent client connections");
+  flags.AddInt64("requests", &requests, "requests per client per config");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintHeader(
+      "bench_server — workload daemon QPS / latency under mixed traffic",
+      "curation as a service must add transport, not answers: every wire "
+      "response is byte-checked against the in-process pipeline while "
+      "measuring throughput and tail latency");
+
+  server::WorkbenchConfig wb_config;
+  wb_config.products = static_cast<uint64_t>(products);
+  wb_config.seed = static_cast<uint64_t>(seed);
+  auto wb = server::BuildWorkbench(wb_config);
+  if (!wb.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", wb.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset: bsbm products=%lld (%zu triples)\n",
+              static_cast<long long>(products), wb->store().size());
+
+  // In-process ground truth at the server's pinned options.
+  auto tmpl = server::PickTemplate(*wb, kQuery);
+  auto domain = server::MakeDomain(*wb, **tmpl);
+  if (!tmpl.ok() || !domain.ok()) {
+    std::fprintf(stderr, "FATAL: template/domain setup failed\n");
+    return 1;
+  }
+  core::ClassifyOptions classify_options;
+  classify_options.max_candidates = kClassifyBudget;
+  classify_options.threads = 1;
+  auto classification = core::ClassifyParameters(
+      **tmpl, *domain, wb->store(), wb->dict(), classify_options);
+  if (!classification.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n",
+                 classification.status().ToString().c_str());
+    return 1;
+  }
+  std::string classify_want =
+      server::FormatClassification(**tmpl, *classification, wb->dict());
+
+  util::Rng rng(static_cast<uint64_t>(kRunSeed) + 1000);
+  auto bindings = domain->SampleN(&rng, kRunBindings);
+  core::WorkloadRunner runner(wb->store(), wb->dict());
+  core::WorkloadOptions run_options;
+  run_options.threads = 1;
+  auto obs = runner.RunAll(**tmpl, bindings, run_options);
+  if (!obs.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", obs.status().ToString().c_str());
+    return 1;
+  }
+  std::string run_want = server::FormatObservations(**tmpl, *obs, wb->dict());
+
+  std::printf(
+      "\ntraffic: %lld clients x %lld requests, alternating classify "
+      "(budget %lld) / run (%lld bindings)\n\n",
+      static_cast<long long>(clients), static_cast<long long>(requests),
+      static_cast<long long>(kClassifyBudget),
+      static_cast<long long>(kRunBindings));
+  std::printf("%8s %10s %12s %12s %10s %10s\n", "threads", "QPS", "p50",
+              "p99", "identity", "errors");
+
+  bool all_identical = true;
+  for (int64_t threads = 1; threads <= max_threads; threads *= 2) {
+    server::Service service(*wb);
+    server::ServerConfig config;
+    config.port = 0;
+    config.threads = static_cast<int>(threads);
+    config.max_conns = static_cast<int>(clients) + 8;
+    config.queue_depth = static_cast<int>(clients) + 8;
+    server::Server srv(&service, config);
+    Status start = srv.Start();
+    if (!start.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", start.ToString().c_str());
+      return 1;
+    }
+
+    std::vector<TrafficResult> results(static_cast<size_t>(clients));
+    util::WallTimer wall;
+    std::vector<std::thread> threads_vec;
+    for (int64_t c = 0; c < clients; ++c) {
+      threads_vec.emplace_back(DriveClient, srv.port(), requests,
+                               std::cref(classify_want), std::cref(run_want),
+                               &results[static_cast<size_t>(c)]);
+    }
+    for (auto& t : threads_vec) t.join();
+    double elapsed = wall.ElapsedSeconds();
+    srv.Stop();
+
+    std::vector<double> latencies;
+    uint64_t mismatches = 0;
+    uint64_t errors = 0;
+    for (const TrafficResult& r : results) {
+      latencies.insert(latencies.end(), r.latencies.begin(),
+                       r.latencies.end());
+      mismatches += r.mismatches;
+      errors += r.errors;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    double qps = elapsed > 0
+                     ? static_cast<double>(latencies.size()) / elapsed
+                     : 0.0;
+    bool identical = mismatches == 0 && errors == 0 &&
+                     latencies.size() == static_cast<size_t>(
+                                             clients * requests);
+    all_identical = all_identical && identical;
+    std::printf("%8lld %10.0f %12s %12s %10s %10llu\n",
+                static_cast<long long>(threads), qps,
+                bench::Dur(Percentile(latencies, 0.50)).c_str(),
+                bench::Dur(Percentile(latencies, 0.99)).c_str(),
+                identical ? "ok" : "DIVERGED",
+                static_cast<unsigned long long>(errors));
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "\nFAIL: wire responses diverged from the in-process "
+                 "pipeline\n");
+    return 1;
+  }
+  std::printf("\nall wire responses byte-identical to in-process results\n");
+  return 0;
+}

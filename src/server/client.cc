@@ -1,0 +1,64 @@
+#include "server/client.h"
+
+namespace rdfparams::server {
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  util::IgnoreSigpipe();  // a dying server must not kill the client either
+  RDFPARAMS_ASSIGN_OR_RETURN(fd_, util::ConnectTcp(host, port));
+  decoder_ = FrameDecoder();
+  return Status::OK();
+}
+
+Status Client::Send(Opcode opcode, std::string_view payload) {
+  return SendRaw(EncodeFrame(opcode, payload));
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (!fd_.valid()) return Status::Internal("client is not connected");
+  return util::WriteFull(fd_.get(), bytes.data(), bytes.size());
+}
+
+Result<Frame> Client::ReadFrame() {
+  if (!fd_.valid()) return Status::Internal("client is not connected");
+  char buf[64 * 1024];
+  for (;;) {
+    if (auto frame = decoder_.Next()) return *frame;
+    RDFPARAMS_ASSIGN_OR_RETURN(size_t got,
+                               util::ReadSome(fd_.get(), buf, sizeof(buf)));
+    if (got == 0) {
+      return Status::IOError("server closed the connection" +
+                             (decoder_.buffered() > 0
+                                  ? " mid-frame (" +
+                                        std::to_string(decoder_.buffered()) +
+                                        " bytes buffered)"
+                                  : std::string()));
+    }
+    RDFPARAMS_RETURN_NOT_OK(decoder_.Feed(std::string_view(buf, got)));
+  }
+}
+
+Result<Frame> Client::Call(Opcode opcode, std::string_view payload) {
+  RDFPARAMS_RETURN_NOT_OK(Send(opcode, payload));
+  return ReadFrame();
+}
+
+void Client::CloseWrite() {
+  if (fd_.valid()) util::ShutdownWrite(fd_.get());
+}
+
+Result<std::string> CallOnce(const std::string& host, uint16_t port,
+                             Opcode opcode, std::string_view payload) {
+  Client client;
+  RDFPARAMS_RETURN_NOT_OK(client.Connect(host, port));
+  RDFPARAMS_ASSIGN_OR_RETURN(Frame frame, client.Call(opcode, payload));
+  if (frame.opcode == static_cast<uint8_t>(Opcode::kError)) {
+    return DecodeErrorPayload(frame.payload);
+  }
+  if (frame.opcode != static_cast<uint8_t>(Opcode::kOk)) {
+    return Status::ParseError("unexpected response opcode " +
+                              std::to_string(frame.opcode));
+  }
+  return std::move(frame.payload);
+}
+
+}  // namespace rdfparams::server

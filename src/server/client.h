@@ -1,0 +1,56 @@
+// Blocking client for the workload server: one TCP connection, one
+// request-response exchange per Call(). Used by the CLI's `client`
+// subcommand, bench/bench_server.cc, and the wire-level tests.
+#ifndef RDFPARAMS_SERVER_CLIENT_H_
+#define RDFPARAMS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/wire.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace rdfparams::server {
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connects; fails if the server is not reachable. A server at
+  /// capacity still accepts — its rejection arrives as the first frame
+  /// (surface it by sending any request, or via ReadFrame()).
+  Status Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_.valid(); }
+
+  /// Sends one request frame and blocks for the next response frame.
+  /// Transport failures are IOError; a kError response is returned as a
+  /// Frame (decode its payload with DecodeErrorPayload).
+  Result<Frame> Call(Opcode opcode, std::string_view payload);
+
+  /// Lower-level pieces, for tests that interleave or half-close.
+  Status Send(Opcode opcode, std::string_view payload);
+  Status SendRaw(std::string_view bytes);  ///< malformed-frame injection
+  Result<Frame> ReadFrame();
+
+  /// Half-closes the write side (the server sees EOF after the frames
+  /// already sent); responses can still be read.
+  void CloseWrite();
+  void Close() { fd_.reset(); }
+  int fd() const { return fd_.get(); }
+
+ private:
+  util::UniqueFd fd_;
+  FrameDecoder decoder_;
+};
+
+/// Convenience for one-shot exchanges: connect, send, read one response,
+/// close. A kError response comes back as the decoded carried Status.
+Result<std::string> CallOnce(const std::string& host, uint16_t port,
+                             Opcode opcode, std::string_view payload);
+
+}  // namespace rdfparams::server
+
+#endif  // RDFPARAMS_SERVER_CLIENT_H_

@@ -1,0 +1,181 @@
+#include "server/protocol.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace rdfparams::server {
+
+namespace {
+
+/// Round-trip-exact float rendering shared by every formatter.
+std::string Fmt(double v) { return util::StringPrintf("%.17g", v); }
+
+/// Binding terms in N-Triples syntax, tab-separated (workload_io order).
+std::string FmtBinding(const sparql::ParameterBinding& binding,
+                       const rdf::Dictionary& dict) {
+  std::string out;
+  for (size_t i = 0; i < binding.values.size(); ++i) {
+    if (i > 0) out += "\t";
+    out += dict.term(binding.values[i]).ToNTriples();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<int64_t> Request::GetInt64(const std::string& key,
+                                  int64_t fallback) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("field '" + key + "': bad integer '" +
+                                   it->second + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> Request::GetDouble(const std::string& key,
+                                  double fallback) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("field '" + key + "': bad number '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+std::string Request::GetString(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+Status Request::CheckAllowedKeys(
+    const std::vector<std::string>& allowed) const {
+  for (const auto& [key, value] : fields) {
+    bool known = false;
+    for (const std::string& a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown request field '" + key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string out;
+  for (const auto& [key, value] : request.fields) {
+    out += key;
+    out += "=";
+    out += value;
+    out += "\n";
+  }
+  if (!request.body.empty()) {
+    out += "\n";
+    out += request.body;
+  }
+  return out;
+}
+
+Result<Request> ParseRequest(std::string_view payload) {
+  Request request;
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    size_t eol = payload.find('\n', pos);
+    std::string_view line = payload.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                          : eol - pos);
+    size_t next = eol == std::string_view::npos ? payload.size() : eol + 1;
+    if (util::Trim(line).empty()) {
+      // Blank line: the rest is the body, verbatim.
+      request.body.assign(payload.substr(next));
+      return request;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("request header line without '=': '" +
+                                std::string(line) + "'");
+    }
+    request.fields[std::string(line.substr(0, eq))] =
+        std::string(line.substr(eq + 1));
+    pos = next;
+  }
+  return request;
+}
+
+std::string FormatClassification(const sparql::QueryTemplate& tmpl,
+                                 const core::Classification& classification,
+                                 const rdf::Dictionary& dict) {
+  std::string out;
+  out += "template=" + tmpl.name() + "\n";
+  out += "candidates=" + std::to_string(classification.num_candidates) + "\n";
+  out += "classes=" + std::to_string(classification.classes.size()) + "\n";
+  for (size_t i = 0; i < classification.classes.size(); ++i) {
+    const core::PlanClass& cls = classification.classes[i];
+    out += "S" + std::to_string(i);
+    out += "\tsize=" + std::to_string(cls.members.size());
+    out += "\tshare=" + Fmt(cls.fraction);
+    out += "\tbucket=" + std::to_string(cls.cost_bucket);
+    out += "\tcout=[" + Fmt(cls.min_cout) + "," + Fmt(cls.max_cout) + "]";
+    out += "\tplan=" + cls.fingerprint;
+    out += "\trep=" + FmtBinding(cls.representative, dict);
+    out += "\n";
+  }
+  out += "classmap=";
+  for (size_t i = 0; i < classification.class_of_candidate.size(); ++i) {
+    if (i > 0) out += " ";
+    out += std::to_string(classification.class_of_candidate[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+std::string FormatObservations(const sparql::QueryTemplate& tmpl,
+                               const std::vector<core::RunObservation>& obs,
+                               const rdf::Dictionary& dict) {
+  std::string out;
+  out += "template=" + tmpl.name() + "\n";
+  out += "observations=" + std::to_string(obs.size()) + "\n";
+  for (size_t i = 0; i < obs.size(); ++i) {
+    const core::RunObservation& o = obs[i];
+    out += std::to_string(i);
+    out += "\trows=" + std::to_string(o.result_rows);
+    out += "\tcout=" + std::to_string(o.observed_cout);
+    out += "\test_cout=" + Fmt(o.est_cout);
+    out += "\test_card=" + Fmt(o.est_cardinality);
+    out += "\tplan=" + o.fingerprint;
+    out += "\tbinding=" + FmtBinding(o.binding, dict);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FormatExplain(const sparql::QueryTemplate& tmpl,
+                          const sparql::SelectQuery& bound_query,
+                          const sparql::ParameterBinding& binding,
+                          const opt::OptimizedPlan& plan,
+                          const rdf::Dictionary& dict) {
+  std::string out;
+  out += "template=" + tmpl.name() + "\n";
+  out += "binding=" + FmtBinding(binding, dict) + "\n";
+  out += "plan=" + plan.fingerprint + "\n";
+  out += "est_cout=" + Fmt(plan.est_cout) + "\n";
+  out += "est_cardinality=" + Fmt(plan.est_cardinality) + "\n";
+  out += plan.root->Explain(bound_query);
+  return out;
+}
+
+}  // namespace rdfparams::server

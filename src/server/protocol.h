@@ -1,0 +1,83 @@
+// Request payloads and response formatting for the workload server.
+//
+// Requests are text: `key=value` lines, optionally followed by one blank
+// line and a free-form body (e.g. inline parameter bindings in the
+// workload_io TSV format). Text keeps the protocol greppable on the wire
+// while the framing (server/wire.h) stays binary.
+//
+// Responses are produced by the Format* functions below. They are the
+// determinism anchor of the whole server: the differential harness
+// (tests/server_differential_test.cc) computes the same classification /
+// observations / plan *in process* and formats them with these same
+// functions — the bytes coming back over the socket must match exactly,
+// at every server thread count and client concurrency. Every float is
+// rendered with "%.17g" (round-trip exact), and the non-deterministic
+// wall-clock field of RunObservation is deliberately excluded.
+#ifndef RDFPARAMS_SERVER_PROTOCOL_H_
+#define RDFPARAMS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/plan_classifier.h"
+#include "core/workload.h"
+#include "optimizer/plan.h"
+#include "sparql/query_template.h"
+#include "util/status.h"
+
+namespace rdfparams::server {
+
+/// A parsed request payload: header fields plus an optional body (the
+/// text after the first blank line, verbatim).
+struct Request {
+  std::map<std::string, std::string> fields;
+  std::string body;
+
+  /// Typed field access with defaults; malformed values are errors.
+  Result<int64_t> GetInt64(const std::string& key, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// Fails if any field key is not in `allowed` — typos in a request
+  /// must produce an error frame, not a silently ignored knob.
+  Status CheckAllowedKeys(const std::vector<std::string>& allowed) const;
+};
+
+/// Serializes fields (sorted by key) and the optional body.
+std::string EncodeRequest(const Request& request);
+
+/// Parses a payload. Fails on lines without '=' in the header section.
+Result<Request> ParseRequest(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Response formatters (shared by the server and the differential tests).
+// ---------------------------------------------------------------------------
+
+/// Classification result: header, one line per class (size, share, cost
+/// bucket, C_out range, fingerprint, representative binding), and the
+/// full candidate->class map.
+std::string FormatClassification(const sparql::QueryTemplate& tmpl,
+                                 const core::Classification& classification,
+                                 const rdf::Dictionary& dict);
+
+/// Run observations, one line per binding, excluding the wall-clock
+/// `seconds` field (a measurement, not a value).
+std::string FormatObservations(const sparql::QueryTemplate& tmpl,
+                               const std::vector<core::RunObservation>& obs,
+                               const rdf::Dictionary& dict);
+
+/// Optimizer verdict for one bound query: fingerprint, estimates, and the
+/// EXPLAIN rendering.
+std::string FormatExplain(const sparql::QueryTemplate& tmpl,
+                          const sparql::SelectQuery& bound_query,
+                          const sparql::ParameterBinding& binding,
+                          const opt::OptimizedPlan& plan,
+                          const rdf::Dictionary& dict);
+
+}  // namespace rdfparams::server
+
+#endif  // RDFPARAMS_SERVER_PROTOCOL_H_

@@ -1,0 +1,141 @@
+// Long-lived TCP daemon serving classify / run / explain over the wire
+// protocol (server/wire.h), built on the existing util::ThreadPool.
+//
+// Threading model:
+//   * One accept thread owns the listening socket and performs admission
+//     control. It never executes requests.
+//   * Admitted connections become pool tasks; each task serves its whole
+//     connection (read frames -> dispatch -> respond, strictly in order)
+//     on one worker. With `threads` workers, at most `threads` sessions
+//     make progress at a time; further admitted sessions wait in the pool
+//     queue — that queue is the backpressure buffer.
+//
+// Admission control (checked on the accept thread, before any request
+// bytes are read):
+//   * at most `max_conns` admitted (queued + serving) sessions;
+//   * at most `queue_depth` of them waiting for a worker.
+// A connection over either limit receives a single kError frame carrying
+// StatusCode::kUnavailable with a deterministic message, then the socket
+// closes. Clients can retry; the daemon never silently drops a connection
+// it accepted, and it never blocks the accept loop on a saturated pool.
+//
+// Shutdown: RequestStop() (also triggered by a kShutdown frame) stops
+// admission and wakes AwaitShutdown(); Stop() then half-closes every live
+// session socket, drains the pool, and joins. A request already being
+// served finishes and its response is written before the session closes.
+//
+// Testability: `port` 0 binds an ephemeral port, reported by port() and
+// printed by the CLI. Start() ignores SIGPIPE process-wide — a client
+// vanishing mid-response must surface as a write error on that session,
+// not kill the daemon.
+#ifndef RDFPARAMS_SERVER_SERVER_H_
+#define RDFPARAMS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "server/service.h"
+#include "server/wire.h"
+#include "util/socket.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace rdfparams::server {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 = ephemeral (read the result from port()).
+  uint16_t port = 0;
+  /// Connection-handler workers; <= 0 = hardware concurrency.
+  int threads = 0;
+  /// Max admitted (queued + serving) sessions; above it: rejection frame.
+  int max_conns = 64;
+  /// Max admitted sessions waiting for a worker; above it: rejection frame.
+  int queue_depth = 64;
+  /// listen(2) backlog (pre-admission kernel queue).
+  int backlog = 128;
+};
+
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(Service* service, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens, spawns the worker pool and the accept thread.
+  Status Start();
+
+  /// The actually bound port (valid after Start(); the point of port 0).
+  uint16_t port() const { return port_; }
+
+  /// Blocks until RequestStop() — e.g. a client's kShutdown frame.
+  void AwaitShutdown();
+
+  /// Stops admission and wakes AwaitShutdown(). Safe from any thread,
+  /// including connection handlers; does not join (call Stop() for that).
+  void RequestStop();
+
+  /// Full teardown: RequestStop + half-close live sessions + drain the
+  /// pool + join everything. Idempotent.
+  void Stop();
+
+  // Lifetime counters (for tests and the bench harness).
+  uint64_t accepted_connections() const { return accepted_.load(); }
+  uint64_t rejected_connections() const { return rejected_.load(); }
+  uint64_t served_requests() const { return served_requests_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd, uint64_t id);
+
+  /// Writes one frame; returns false when the client is gone (EPIPE et
+  /// al. — with SIGPIPE ignored these are plain errors).
+  static bool WriteFrame(int fd, Opcode opcode, std::string_view payload);
+
+  Service* service_;
+  ServerConfig config_;
+  uint16_t port_ = 0;
+
+  /// Guards listen_fd_ against the RequestStop (wake accept) vs Stop
+  /// (close) race; the accept thread itself reads the fd only while it
+  /// is guaranteed open (Stop joins it before resetting).
+  std::mutex listen_mu_;
+  util::UniqueFd listen_fd_;
+  std::thread accept_thread_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  // guarded by stop_mu_: Stop() ran to completion
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+
+  // Admission accounting. admitted_ is only incremented on the accept
+  // thread, so the max_conns cap is strict; queued_ decrements happen on
+  // workers, so the queue_depth check is conservative (never under-counts
+  // waiting sessions).
+  std::atomic<int> admitted_{0};
+  std::atomic<int> queued_{0};
+
+  // Live session sockets, so Stop() can unblock handlers parked in
+  // read(). Handlers deregister before closing; ids are never reused.
+  std::mutex conns_mu_;
+  std::map<uint64_t, int> conns_;
+  uint64_t next_conn_id_ = 0;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> served_requests_{0};
+};
+
+}  // namespace rdfparams::server
+
+#endif  // RDFPARAMS_SERVER_SERVER_H_

@@ -1,0 +1,269 @@
+#include "server/service.h"
+
+#include <bit>
+#include <utility>
+
+#include "core/workload.h"
+#include "optimizer/optimizer.h"
+#include "rdf/ntriples.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace rdfparams::server {
+
+namespace {
+
+// Per-request work caps: one request must never be able to park a worker
+// on an effectively unbounded computation. Violations get a clean
+// InvalidArgument frame, the connection stays usable.
+constexpr int64_t kMaxRunBindings = 65536;
+constexpr int64_t kMaxClassifyCandidates = 1 << 20;
+
+// Bound on the shared cache so a long-lived daemon cannot grow it without
+// limit under parameter churn (16 shards; ~1M entries total).
+constexpr size_t kCacheShards = 16;
+constexpr size_t kCacheEntriesPerShard = 64 * 1024;
+
+Result<int64_t> GetBounded(const Request& request, const std::string& key,
+                           int64_t fallback, int64_t lo, int64_t hi) {
+  RDFPARAMS_ASSIGN_OR_RETURN(int64_t v, request.GetInt64(key, fallback));
+  if (v < lo || v > hi) {
+    return Status::InvalidArgument(
+        "field '" + key + "': " + std::to_string(v) + " out of range [" +
+        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+}  // namespace
+
+Service::Service(const Workbench& wb)
+    : wb_(wb), cache_(kCacheShards, kCacheEntriesPerShard) {
+  domains_.resize(wb.templates.size());
+  domain_errors_.resize(wb.templates.size());
+  for (size_t i = 0; i < wb.templates.size(); ++i) {
+    auto domain = MakeDomain(wb, wb.templates[i]);
+    if (domain.ok()) {
+      domains_[i].emplace(std::move(domain).value());
+    } else {
+      domain_errors_[i] = domain.status();
+    }
+  }
+}
+
+Result<std::string> Service::Handle(uint8_t opcode,
+                                    const std::string& payload,
+                                    Session* session) {
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kPing:
+      return payload;  // echo, zero-length payloads included
+    case Opcode::kClassify:
+    case Opcode::kRun:
+    case Opcode::kExplain: {
+      RDFPARAMS_ASSIGN_OR_RETURN(Request request, ParseRequest(payload));
+      if (opcode == static_cast<uint8_t>(Opcode::kClassify)) {
+        return HandleClassify(request, session);
+      }
+      if (opcode == static_cast<uint8_t>(Opcode::kRun)) {
+        return HandleRun(request, session);
+      }
+      return HandleExplain(request, session);
+    }
+    case Opcode::kShutdown:
+      // Lifecycle events are the server's job; reaching here is a wiring
+      // bug, not a client error.
+      return Status::Internal("shutdown must be handled by the server");
+    default:
+      return Status::InvalidArgument("unknown opcode " +
+                                     std::to_string(opcode));
+  }
+}
+
+Result<std::pair<const sparql::QueryTemplate*, const core::ParameterDomain*>>
+Service::PickQuery(const Request& request) {
+  RDFPARAMS_ASSIGN_OR_RETURN(int64_t query, request.GetInt64("query", 1));
+  RDFPARAMS_ASSIGN_OR_RETURN(const sparql::QueryTemplate* tmpl,
+                             PickTemplate(wb_, query));
+  size_t index = static_cast<size_t>(query - 1);
+  if (!domains_[index].has_value()) return domain_errors_[index];
+  return std::pair<const sparql::QueryTemplate*, const core::ParameterDomain*>(
+      tmpl, &*domains_[index]);
+}
+
+Result<std::vector<sparql::ParameterBinding>> Service::ParseInlineBindings(
+    const sparql::QueryTemplate& tmpl, const std::string& body,
+    Session* session) {
+  // Same grammar as core::ReadBindings, but interning goes through the
+  // session's scratch overlay: the shared dictionary must stay frozen
+  // under concurrent sessions. Terms that land in the overlay (id >=
+  // base size) do not exist in the store — downstream layers would have
+  // no data for them — so they are rejected per-request instead of being
+  // silently folded into shared state.
+  std::vector<sparql::ParameterBinding> out;
+  size_t line_no = 0;
+  for (const std::string& raw : util::Split(body, '\n')) {
+    ++line_no;
+    std::string_view line = util::Trim(raw);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      constexpr std::string_view kTemplateTag = "# template: ";
+      if (util::StartsWith(line, kTemplateTag) &&
+          line.substr(kTemplateTag.size()) != tmpl.name()) {
+        return Status::InvalidArgument(
+            "bindings are for template '" +
+            std::string(line.substr(kTemplateTag.size())) + "', expected '" +
+            tmpl.name() + "'");
+      }
+      continue;
+    }
+    std::vector<std::string> fields = util::Split(line, '\t');
+    if (fields.size() != tmpl.arity()) {
+      return Status::ParseError(
+          "bindings line " + std::to_string(line_no) + ": expected " +
+          std::to_string(tmpl.arity()) + " terms, got " +
+          std::to_string(fields.size()));
+    }
+    sparql::ParameterBinding binding;
+    binding.values.reserve(fields.size());
+    for (const std::string& field : fields) {
+      size_t pos = 0;
+      auto term = rdf::ParseNTriplesTerm(util::Trim(field), &pos);
+      if (!term.ok()) {
+        return Status::ParseError("bindings line " + std::to_string(line_no) +
+                                  ": " + term.status().message());
+      }
+      rdf::TermId id = session->scratch_.Intern(*term);
+      if (id >= session->scratch_.base_size()) {
+        return Status::NotFound("bindings line " + std::to_string(line_no) +
+                                ": term " + term->ToNTriples() +
+                                " is not in the store dictionary");
+      }
+      binding.values.push_back(id);
+    }
+    out.push_back(std::move(binding));
+  }
+  return out;
+}
+
+Result<std::string> Service::HandleClassify(const Request& request,
+                                            Session* session) {
+  RDFPARAMS_RETURN_NOT_OK(request.CheckAllowedKeys(
+      {"query", "max_candidates", "bucket_width", "strategy"}));
+  auto picked = PickQuery(request);
+  if (!picked.ok()) return picked.status();
+  const auto [tmpl, domain] = *picked;
+
+  RDFPARAMS_ASSIGN_OR_RETURN(
+      int64_t max_candidates,
+      GetBounded(request, "max_candidates", 2000, 1, kMaxClassifyCandidates));
+  RDFPARAMS_ASSIGN_OR_RETURN(double bucket_width,
+                             request.GetDouble("bucket_width", 1.0));
+  std::string strategy_name = request.GetString("strategy", "batched");
+  core::ClassifyStrategy strategy;
+  if (strategy_name == "batched") {
+    strategy = core::ClassifyStrategy::kBatched;
+  } else if (strategy_name == "per-candidate") {
+    strategy = core::ClassifyStrategy::kPerCandidate;
+  } else {
+    return Status::InvalidArgument("unknown strategy '" + strategy_name +
+                                   "' (use batched or per-candidate)");
+  }
+
+  // One incremental session per distinct classify configuration on this
+  // connection: repeated calls (e.g. a growing-budget sweep) only pay for
+  // the fresh suffix, and the session contract keeps every response
+  // byte-identical to a fresh one-shot call.
+  RDFPARAMS_ASSIGN_OR_RETURN(int64_t query, request.GetInt64("query", 1));
+  auto key = std::make_tuple(query, std::bit_cast<uint64_t>(bucket_width),
+                             static_cast<int>(strategy));
+  auto it = session->classify_sessions_.find(key);
+  if (it == session->classify_sessions_.end()) {
+    core::ClassifyOptions options;
+    options.cost_bucket_log2_width = bucket_width;
+    options.strategy = strategy;
+    options.threads = 1;  // concurrency comes from sessions, not requests
+    options.optimizer.cardinality_cache = &cache_;
+    it = session->classify_sessions_
+             .emplace(key, std::make_unique<core::ClassificationSession>(
+                               *tmpl, wb_.store(), wb_.dict(), options))
+             .first;
+  }
+  RDFPARAMS_ASSIGN_OR_RETURN(
+      core::Classification classification,
+      it->second->Classify(*domain, static_cast<uint64_t>(max_candidates)));
+  return FormatClassification(*tmpl, classification, wb_.dict());
+}
+
+Result<std::string> Service::HandleRun(const Request& request,
+                                       Session* session) {
+  RDFPARAMS_RETURN_NOT_OK(request.CheckAllowedKeys({"query", "n", "seed"}));
+  auto picked = PickQuery(request);
+  if (!picked.ok()) return picked.status();
+  const auto [tmpl, domain] = *picked;
+
+  std::vector<sparql::ParameterBinding> bindings;
+  if (!request.body.empty()) {
+    RDFPARAMS_ASSIGN_OR_RETURN(
+        bindings, ParseInlineBindings(*tmpl, request.body, session));
+    if (static_cast<int64_t>(bindings.size()) > kMaxRunBindings) {
+      return Status::InvalidArgument(
+          std::to_string(bindings.size()) + " inline bindings exceed the " +
+          std::to_string(kMaxRunBindings) + "-binding request cap");
+    }
+  } else {
+    RDFPARAMS_ASSIGN_OR_RETURN(
+        int64_t n, GetBounded(request, "n", 100, 1, kMaxRunBindings));
+    RDFPARAMS_ASSIGN_OR_RETURN(int64_t seed, request.GetInt64("seed", 42));
+    // Same stream the CLI's sample/run fallback uses: seed + 1000.
+    util::Rng rng(static_cast<uint64_t>(seed) + 1000);
+    bindings = domain->SampleN(&rng, static_cast<size_t>(n));
+  }
+
+  // Read-only runner: executors intern into private overlays, the shared
+  // dictionary is never written. Exec options stay at the serial
+  // defaults — any value is byte-identical anyway (the repo's determinism
+  // contract), serial just avoids nested pools under many sessions.
+  core::WorkloadRunner runner(wb_.store(), wb_.dict());
+  core::WorkloadOptions options;
+  options.threads = 1;
+  options.optimizer.cardinality_cache = &cache_;
+  RDFPARAMS_ASSIGN_OR_RETURN(std::vector<core::RunObservation> obs,
+                             runner.RunAll(*tmpl, bindings, options));
+  return FormatObservations(*tmpl, obs, wb_.dict());
+}
+
+Result<std::string> Service::HandleExplain(const Request& request,
+                                           Session* session) {
+  RDFPARAMS_RETURN_NOT_OK(request.CheckAllowedKeys({"query", "seed"}));
+  auto picked = PickQuery(request);
+  if (!picked.ok()) return picked.status();
+  const auto [tmpl, domain] = *picked;
+
+  sparql::ParameterBinding binding;
+  if (!request.body.empty()) {
+    RDFPARAMS_ASSIGN_OR_RETURN(
+        std::vector<sparql::ParameterBinding> bindings,
+        ParseInlineBindings(*tmpl, request.body, session));
+    if (bindings.size() != 1) {
+      return Status::InvalidArgument(
+          "explain takes exactly one inline binding, got " +
+          std::to_string(bindings.size()));
+    }
+    binding = std::move(bindings[0]);
+  } else {
+    RDFPARAMS_ASSIGN_OR_RETURN(int64_t seed, request.GetInt64("seed", 42));
+    util::Rng rng(static_cast<uint64_t>(seed) + 1000);
+    binding = domain->Sample(&rng);
+  }
+
+  RDFPARAMS_ASSIGN_OR_RETURN(sparql::SelectQuery bound,
+                             tmpl->Bind(binding, wb_.dict()));
+  opt::OptimizeOptions options;
+  options.cardinality_cache = &cache_;
+  RDFPARAMS_ASSIGN_OR_RETURN(
+      opt::OptimizedPlan plan,
+      opt::Optimize(bound, wb_.store(), wb_.dict(), options));
+  return FormatExplain(*tmpl, bound, binding, plan, wb_.dict());
+}
+
+}  // namespace rdfparams::server

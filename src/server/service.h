@@ -1,0 +1,126 @@
+// Request dispatch for the workload server: maps a decoded frame onto the
+// existing pipeline — core::ClassificationSession for classify,
+// core::WorkloadRunner (read-only mode) for run, opt::Optimize for
+// explain — and renders the response payload with the protocol formatters.
+//
+// Isolation model (the reason thousands of concurrent sessions can share
+// one store):
+//   * The Workbench (store, dictionary, templates, domains) is immutable
+//     after startup. Handlers only read it.
+//   * Each connection owns a Service::Session. Terms a request interns —
+//     parsing inline bindings — go into the session's private
+//     rdf::ScratchDictionary overlay, never into the shared dictionary;
+//     executors additionally run in read-only mode with their own
+//     overlays (engine::Executor read-only constructor). A session can
+//     therefore never contaminate the shared store, and two sessions can
+//     never observe each other.
+//   * Execution rejects bindings whose terms live only in a session
+//     overlay (they do not exist in the store, so downstream layers have
+//     no ids for them) with a clean error frame.
+//   * The only shared mutable state is the opt::CardinalityCache, which
+//     is sharded, thread-safe, and value-stable: hits never change any
+//     result, only the time it takes to compute (the property the
+//     differential harness leans on).
+//
+// Every per-request option that could change result bytes (optimizer
+// thread count, exec knobs) is pinned to the serial defaults: concurrency
+// comes from serving many sessions at once, and responses stay
+// byte-identical to in-process serial calls by construction.
+#ifndef RDFPARAMS_SERVER_SERVICE_H_
+#define RDFPARAMS_SERVER_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/classification_session.h"
+#include "core/plan_classifier.h"
+#include "optimizer/cardinality_cache.h"
+#include "server/protocol.h"
+#include "server/wire.h"
+#include "server/workbench.h"
+#include "util/status.h"
+
+namespace rdfparams::server {
+
+class Service {
+ public:
+  /// Per-connection state. Created by the server when a connection is
+  /// admitted, destroyed when it closes; only ever touched by the one
+  /// handler task serving that connection.
+  class Session {
+   public:
+    explicit Session(const rdf::Dictionary& base_dict)
+        : scratch_(base_dict) {}
+
+   private:
+    friend class Service;
+    /// Absorbs request-side interning (inline binding terms unknown to
+    /// the store) so the shared dictionary stays frozen.
+    rdf::ScratchDictionary scratch_;
+    /// Incremental classification state, one per distinct classify
+    /// configuration seen on this connection. Repeated classify requests
+    /// (e.g. a growing max_candidates sweep) pay only for the fresh
+    /// suffix; the session contract guarantees responses byte-identical
+    /// to fresh one-shot calls regardless.
+    std::map<std::tuple<int64_t, uint64_t, int>,
+             std::unique_ptr<core::ClassificationSession>>
+        classify_sessions_;
+  };
+
+  /// `wb` must outlive the service and stay frozen.
+  explicit Service(const Workbench& wb);
+
+  /// Handles one request frame; returns the kOk response payload or the
+  /// Status to encode into a kError frame. kShutdown is not handled here
+  /// (the server intercepts it — it is a lifecycle event, not a query).
+  Result<std::string> Handle(uint8_t opcode, const std::string& payload,
+                             Session* session);
+
+  /// The shared cardinality cache (exposed for bench/stat reporting).
+  const opt::CardinalityCache& cache() const { return cache_; }
+
+  /// The frozen base dictionary sessions overlay (the server constructs
+  /// one Session per admitted connection).
+  const rdf::Dictionary& base_dict() const { return wb_.dict(); }
+
+ private:
+  Result<std::string> HandleClassify(const Request& request,
+                                     Session* session);
+  Result<std::string> HandleRun(const Request& request, Session* session);
+  Result<std::string> HandleExplain(const Request& request,
+                                    Session* session);
+
+  /// Template + its startup-built default domain for a request's `query`
+  /// field (1-based). Templates whose domain construction failed at
+  /// startup yield that error per-request.
+  Result<std::pair<const sparql::QueryTemplate*,
+                   const core::ParameterDomain*>>
+  PickQuery(const Request& request);
+
+  /// Parses the request body as workload_io bindings TSV through the
+  /// session's scratch overlay; fails cleanly if any term is absent from
+  /// the shared store dictionary.
+  Result<std::vector<sparql::ParameterBinding>> ParseInlineBindings(
+      const sparql::QueryTemplate& tmpl, const std::string& body,
+      Session* session);
+
+  const Workbench& wb_;
+  /// Default domain per template, built once at startup (index = template
+  /// position). Domains are deterministic functions of the dataset, so
+  /// building them per request would only add latency, not freshness.
+  std::vector<std::optional<core::ParameterDomain>> domains_;
+  std::vector<Status> domain_errors_;
+  /// Shared across sessions; sharded + thread-safe. Bounded so that a
+  /// long-lived daemon under adversarial parameter churn cannot grow it
+  /// without limit.
+  opt::CardinalityCache cache_;
+};
+
+}  // namespace rdfparams::server
+
+#endif  // RDFPARAMS_SERVER_SERVICE_H_

@@ -1,0 +1,95 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace rdfparams::server {
+
+namespace {
+
+uint32_t LoadLe32(const char* p) {
+  // Bytewise load: independent of host endianness and alignment.
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+void AppendLe32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+}  // namespace
+
+std::string EncodeFrame(Opcode opcode, std::string_view payload) {
+  RDFPARAMS_DCHECK(payload.size() < kMaxFrameBytes);
+  std::string out;
+  out.reserve(5 + payload.size());
+  AppendLe32(static_cast<uint32_t>(1 + payload.size()), &out);
+  out.push_back(static_cast<char>(opcode));
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  std::string out;
+  out.push_back(static_cast<char>(status.code()));
+  out.append(status.message());
+  return out;
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::ParseError("error payload missing the status byte");
+  }
+  return Status(static_cast<StatusCode>(static_cast<uint8_t>(payload[0])),
+                std::string(payload.substr(1)));
+}
+
+Status FrameDecoder::Feed(std::string_view bytes) {
+  if (!error_.ok()) return error_;
+  buf_.append(bytes);
+  // Validate every fully buffered length prefix eagerly, so a hostile
+  // length is rejected as soon as it arrives — not once 64 MiB of
+  // never-coming payload "times out".
+  size_t probe = pos_;
+  while (buf_.size() - probe >= 4) {
+    uint32_t length = LoadLe32(buf_.data() + probe);
+    if (length == 0) {
+      error_ = Status::ParseError("frame length 0 (no room for the opcode)");
+      return error_;
+    }
+    if (length > kMaxFrameBytes) {
+      error_ = Status::ParseError(
+          "frame length " + std::to_string(length) + " exceeds the " +
+          std::to_string(kMaxFrameBytes) + "-byte limit");
+      return error_;
+    }
+    if (buf_.size() - probe - 4 < length) break;  // frame still incomplete
+    probe += 4 + length;
+  }
+  return Status::OK();
+}
+
+std::optional<Frame> FrameDecoder::Next() {
+  if (!error_.ok()) return std::nullopt;
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  uint32_t length = LoadLe32(buf_.data() + pos_);
+  // Feed() already vetted the prefix; a valid one may still be waiting for
+  // its payload.
+  if (buf_.size() - pos_ - 4 < length) return std::nullopt;
+  Frame frame;
+  frame.opcode = static_cast<uint8_t>(buf_[pos_ + 4]);
+  frame.payload.assign(buf_, pos_ + 5, length - 1);
+  pos_ += 4 + length;
+  // Reclaim consumed bytes once they dominate the buffer.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return frame;
+}
+
+}  // namespace rdfparams::server

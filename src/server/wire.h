@@ -1,0 +1,85 @@
+// The workload server's wire protocol: length-prefixed binary frames.
+//
+//   frame   := u32 length (little-endian) | u8 opcode | payload
+//   length  := 1 + |payload|   (counts the opcode byte, not itself)
+//
+// Requests carry a request opcode; every request is answered by exactly
+// one response frame — kOk with an opcode-specific payload, or kError
+// with `u8 StatusCode + utf-8 message`. The protocol is deliberately
+// dumb: no negotiation, no versioning handshake, no pipelined response
+// reordering — requests on one connection are answered strictly in order,
+// which is what makes the differential harness's byte-for-byte comparison
+// against in-process calls meaningful.
+//
+// FrameDecoder is a pure incremental parser (no I/O): feed it whatever
+// byte slices the transport produces — frames split across reads, many
+// frames in one read — and pop complete frames. Malformed input (a length
+// of 0, which cannot hold the opcode, or a length beyond kMaxFrameBytes)
+// puts the decoder into a sticky error state; the server answers with one
+// error frame and closes, it never crashes or hangs.
+#ifndef RDFPARAMS_SERVER_WIRE_H_
+#define RDFPARAMS_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace rdfparams::server {
+
+enum class Opcode : uint8_t {
+  // Requests.
+  kPing = 1,      ///< payload echoed back verbatim in the kOk response
+  kClassify = 2,  ///< key=value request; response: FormatClassification
+  kRun = 3,       ///< key=value [+ inline bindings]; FormatObservations
+  kExplain = 4,   ///< key=value [+ inline binding]; FormatExplain
+  kShutdown = 5,  ///< asks the daemon to stop; answered before teardown
+  // Responses.
+  kOk = 0x80,
+  kError = 0x81,
+};
+
+/// Hard cap on the length prefix. A frame claiming more is treated as
+/// malformed immediately — the decoder never buffers toward an absurd
+/// length a hostile client will not deliver.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+struct Frame {
+  uint8_t opcode = 0;
+  std::string payload;
+};
+
+/// Serializes one frame (length prefix + opcode + payload).
+std::string EncodeFrame(Opcode opcode, std::string_view payload);
+
+/// kError payload: u8 StatusCode + message bytes.
+std::string EncodeErrorPayload(const Status& status);
+
+/// Decodes a kError payload back into the carried Status; an empty
+/// payload (no status byte) decodes as a ParseError about itself.
+Status DecodeErrorPayload(std::string_view payload);
+
+/// Incremental frame parser. Feed() appends transport bytes and validates
+/// every length prefix as soon as its 4 bytes are buffered; Next() pops
+/// the earliest complete frame. After Feed() returns an error the decoder
+/// stays in that error state (Feed keeps returning it, Next returns
+/// nothing) — the connection is beyond salvage by then.
+class FrameDecoder {
+ public:
+  Status Feed(std::string_view bytes);
+  std::optional<Frame> Next();
+
+  /// Bytes buffered but not yet returned by Next().
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  Status error_ = Status::OK();
+};
+
+}  // namespace rdfparams::server
+
+#endif  // RDFPARAMS_SERVER_WIRE_H_

@@ -1,0 +1,83 @@
+#include "server/workbench.h"
+
+#include "bsbm/queries.h"
+#include "snb/queries.h"
+
+namespace rdfparams::server {
+
+Result<Workbench> BuildWorkbench(const WorkbenchConfig& config) {
+  Workbench wb;
+  if (config.workload == "bsbm") {
+    bsbm::GeneratorConfig gen;
+    gen.num_products = config.products;
+    gen.offers_per_product = 3.0;
+    gen.seed = config.seed;
+    wb.bsbm_ds = std::make_unique<bsbm::Dataset>(bsbm::Generate(gen));
+    wb.templates = bsbm::AllTemplates(*wb.bsbm_ds);
+    return wb;
+  }
+  if (config.workload == "snb") {
+    snb::GeneratorConfig gen;
+    gen.num_persons = config.persons;
+    gen.seed = config.seed;
+    wb.snb_ds = std::make_unique<snb::Dataset>(snb::Generate(gen));
+    wb.templates = snb::AllTemplates(*wb.snb_ds);
+    return wb;
+  }
+  return Status::InvalidArgument("unknown workload '" + config.workload +
+                                 "' (use bsbm or snb)");
+}
+
+Result<const sparql::QueryTemplate*> PickTemplate(const Workbench& wb,
+                                                  int64_t query) {
+  if (query < 1 || static_cast<size_t>(query) > wb.templates.size()) {
+    return Status::InvalidArgument(
+        "query must be 1.." + std::to_string(wb.templates.size()));
+  }
+  return &wb.templates[static_cast<size_t>(query - 1)];
+}
+
+Result<core::ParameterDomain> MakeDomain(const Workbench& wb,
+                                         const sparql::QueryTemplate& tmpl) {
+  core::ParameterDomain domain;
+  for (const std::string& p : tmpl.parameter_names()) {
+    if (wb.bsbm_ds) {
+      const bsbm::Dataset& ds = *wb.bsbm_ds;
+      if (p == "type" || p == "ProductType") {
+        domain.AddSingle(p, bsbm::TypeDomain(ds));
+      } else if (p == "product") {
+        domain.AddSingle(p, bsbm::ProductDomain(ds));
+      } else if (p == "feature") {
+        domain.AddSingle(p, bsbm::FeatureDomain(ds));
+      } else {
+        return Status::Unsupported("no default domain for %" + p);
+      }
+    } else {
+      const snb::Dataset& ds = *wb.snb_ds;
+      if (p == "person") {
+        domain.AddSingle(p, snb::PersonDomain(ds));
+      } else if (p == "name") {
+        domain.AddSingle(p, snb::NameDomain(ds));
+      } else if (p == "country") {
+        domain.AddSingle(p, snb::CountryDomain(ds));
+      } else if (p == "tag") {
+        domain.AddSingle(p, snb::TagDomain(ds));
+      } else if (p == "countryX") {
+        // countryX/countryY are grouped as correlated pairs.
+        std::vector<std::vector<rdf::TermId>> pairs;
+        for (const auto& b : snb::CountryPairDomain(ds)) {
+          pairs.push_back(b.values);
+        }
+        domain.AddTuples({"countryX", "countryY"}, std::move(pairs));
+      } else if (p == "countryY") {
+        continue;  // consumed by the countryX group
+      } else {
+        return Status::Unsupported("no default domain for %" + p);
+      }
+    }
+  }
+  RDFPARAMS_RETURN_NOT_OK(domain.Validate(tmpl));
+  return domain;
+}
+
+}  // namespace rdfparams::server

@@ -1,0 +1,64 @@
+// A Workbench is the read-only world a server (or CLI invocation) serves:
+// one deterministic dataset, its query templates, and the default
+// parameter domain of each template. Built once at startup; immutable
+// afterwards, which is what makes it safely shareable across every
+// connection-handler thread.
+//
+// This used to live as anonymous-namespace helpers inside the CLI; the
+// daemon needs the same context, so it is a library now and the CLI is a
+// client of it.
+#ifndef RDFPARAMS_SERVER_WORKBENCH_H_
+#define RDFPARAMS_SERVER_WORKBENCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bsbm/generator.h"
+#include "core/parameter_domain.h"
+#include "snb/generator.h"
+#include "sparql/query_template.h"
+#include "util/status.h"
+
+namespace rdfparams::server {
+
+struct WorkbenchConfig {
+  std::string workload = "bsbm";  ///< "bsbm" or "snb"
+  uint64_t products = 6000;       ///< BSBM scale
+  uint64_t persons = 8000;        ///< SNB scale
+  uint64_t seed = 42;
+};
+
+/// Dataset + templates + per-template default domains.
+struct Workbench {
+  std::unique_ptr<bsbm::Dataset> bsbm_ds;
+  std::unique_ptr<snb::Dataset> snb_ds;
+  std::vector<sparql::QueryTemplate> templates;
+
+  rdf::Dictionary* mutable_dict() {
+    return bsbm_ds ? &bsbm_ds->dict : &snb_ds->dict;
+  }
+  const rdf::Dictionary& dict() const {
+    return bsbm_ds ? bsbm_ds->dict : snb_ds->dict;
+  }
+  const rdf::TripleStore& store() const {
+    return bsbm_ds ? bsbm_ds->store : snb_ds->store;
+  }
+};
+
+/// Generates the dataset deterministically from the config and wraps it
+/// with its workload's templates.
+Result<Workbench> BuildWorkbench(const WorkbenchConfig& config);
+
+/// Template `query` (1-based, the CLI/wire numbering).
+Result<const sparql::QueryTemplate*> PickTemplate(const Workbench& wb,
+                                                  int64_t query);
+
+/// Default parameter domain for a built-in template (validated).
+Result<core::ParameterDomain> MakeDomain(const Workbench& wb,
+                                         const sparql::QueryTemplate& tmpl);
+
+}  // namespace rdfparams::server
+
+#endif  // RDFPARAMS_SERVER_WORKBENCH_H_

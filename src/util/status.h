@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kUnsupported = 5,
   kInternal = 6,
   kIOError = 7,
+  kUnavailable = 8,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "ParseError", ...).
@@ -37,6 +38,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kIOError: return "IOError";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }
@@ -69,6 +71,10 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Admission-control rejections (server at capacity); retryable.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,270 @@
+// Differential proof for the workload daemon: the bytes a loopback server
+// returns for classify / run / explain must be identical to direct
+// in-process calls formatted with the same protocol formatters — swept
+// over server thread counts {1, 2, 4, 8} and client concurrency {1, 8}.
+// This is the server's determinism contract: serving adds transport and
+// scheduling, never different answers.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bsbm/queries.h"
+#include "core/plan_classifier.h"
+#include "core/workload.h"
+#include "optimizer/optimizer.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "server/workbench.h"
+#include "util/rng.h"
+
+namespace rdfparams::server {
+namespace {
+
+constexpr int64_t kQueries[] = {1, 2, 4};
+constexpr int64_t kMaxCandidates = 120;
+constexpr int64_t kRunN = 12;
+constexpr int64_t kSeed = 7;
+
+struct Expected {
+  std::string classify;
+  std::string run;
+  std::string explain;
+};
+
+class ServerDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.products = 300;
+    auto wb = BuildWorkbench(config);
+    ASSERT_TRUE(wb.ok()) << wb.status().ToString();
+    wb_ = new Workbench(std::move(wb).value());
+    expected_ = new std::map<int64_t, Expected>();
+    for (int64_t query : kQueries) {
+      (*expected_)[query] = ComputeExpected(query);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete expected_;
+    delete wb_;
+    expected_ = nullptr;
+    wb_ = nullptr;
+  }
+
+  /// The in-process half of the differential: one-shot pipeline calls at
+  /// the server's pinned options, rendered with the shared formatters.
+  static Expected ComputeExpected(int64_t query) {
+    Expected out;
+    auto tmpl = PickTemplate(*wb_, query);
+    EXPECT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+    auto domain = MakeDomain(*wb_, **tmpl);
+    EXPECT_TRUE(domain.ok()) << domain.status().ToString();
+
+    core::ClassifyOptions classify_options;
+    classify_options.max_candidates = kMaxCandidates;
+    classify_options.threads = 1;
+    auto classification = core::ClassifyParameters(
+        **tmpl, *domain, wb_->store(), wb_->dict(), classify_options);
+    EXPECT_TRUE(classification.ok()) << classification.status().ToString();
+    out.classify = FormatClassification(**tmpl, *classification, wb_->dict());
+
+    util::Rng run_rng(static_cast<uint64_t>(kSeed) + 1000);
+    auto bindings = domain->SampleN(&run_rng, kRunN);
+    core::WorkloadRunner runner(wb_->store(), wb_->dict());
+    core::WorkloadOptions run_options;
+    run_options.threads = 1;
+    auto obs = runner.RunAll(**tmpl, bindings, run_options);
+    EXPECT_TRUE(obs.ok()) << obs.status().ToString();
+    out.run = FormatObservations(**tmpl, *obs, wb_->dict());
+
+    util::Rng explain_rng(static_cast<uint64_t>(kSeed) + 1000);
+    auto binding = domain->Sample(&explain_rng);
+    auto bound = (*tmpl)->Bind(binding, wb_->dict());
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    auto plan = opt::Optimize(*bound, wb_->store(), wb_->dict(), {});
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    out.explain = FormatExplain(**tmpl, *bound, binding, *plan, wb_->dict());
+    return out;
+  }
+
+  /// One client session: every query's classify + run + explain over one
+  /// connection, each response compared byte-for-byte to the in-process
+  /// expectation. Runs concurrently with other clients in the sweep.
+  static void RunClientSession(uint16_t port, int client_id,
+                               std::vector<std::string>* failures) {
+    Client client;
+    Status st = client.Connect("127.0.0.1", port);
+    if (!st.ok()) {
+      failures->push_back("connect: " + st.ToString());
+      return;
+    }
+    auto check = [&](Opcode opcode, const std::string& payload,
+                     const std::string& want, const char* what,
+                     int64_t query) {
+      auto frame = client.Call(opcode, payload);
+      if (!frame.ok()) {
+        failures->push_back(std::string(what) + " q" +
+                            std::to_string(query) + ": " +
+                            frame.status().ToString());
+        return;
+      }
+      if (frame->opcode != static_cast<uint8_t>(Opcode::kOk)) {
+        failures->push_back(std::string(what) + " q" +
+                            std::to_string(query) + ": error frame " +
+                            DecodeErrorPayload(frame->payload).ToString());
+        return;
+      }
+      if (frame->payload != want) {
+        failures->push_back(std::string(what) + " q" +
+                            std::to_string(query) + ": response bytes "
+                            "diverge from the in-process result (client " +
+                            std::to_string(client_id) + ")");
+      }
+    };
+    for (int64_t query : kQueries) {
+      const Expected& want = (*expected_)[query];
+      std::string q = std::to_string(query);
+      check(Opcode::kClassify,
+            "query=" + q + "\nmax_candidates=" +
+                std::to_string(kMaxCandidates),
+            want.classify, "classify", query);
+      check(Opcode::kRun,
+            "query=" + q + "\nn=" + std::to_string(kRunN) +
+                "\nseed=" + std::to_string(kSeed),
+            want.run, "run", query);
+      check(Opcode::kExplain, "query=" + q + "\nseed=" + std::to_string(kSeed),
+            want.explain, "explain", query);
+    }
+  }
+
+  /// The full sweep cell: a fresh server at `server_threads`, hit by
+  /// `num_clients` concurrent sessions.
+  static void SweepCell(int server_threads, int num_clients) {
+    SCOPED_TRACE("server_threads=" + std::to_string(server_threads) +
+                 " clients=" + std::to_string(num_clients));
+    Service service(*wb_);
+    ServerConfig config;
+    config.port = 0;
+    config.threads = server_threads;
+    Server server(&service, config);
+    ASSERT_TRUE(server.Start().ok());
+
+    std::vector<std::vector<std::string>> failures(
+        static_cast<size_t>(num_clients));
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(num_clients));
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back(RunClientSession, server.port(), c,
+                           &failures[static_cast<size_t>(c)]);
+    }
+    for (auto& t : clients) t.join();
+    server.Stop();
+
+    for (const auto& per_client : failures) {
+      for (const std::string& failure : per_client) {
+        ADD_FAILURE() << failure;
+      }
+    }
+  }
+
+  static Workbench* wb_;
+  static std::map<int64_t, Expected>* expected_;
+};
+
+Workbench* ServerDifferentialTest::wb_ = nullptr;
+std::map<int64_t, Expected>* ServerDifferentialTest::expected_ = nullptr;
+
+TEST_F(ServerDifferentialTest, Threads1Clients1) { SweepCell(1, 1); }
+TEST_F(ServerDifferentialTest, Threads1Clients8) { SweepCell(1, 8); }
+TEST_F(ServerDifferentialTest, Threads2Clients1) { SweepCell(2, 1); }
+TEST_F(ServerDifferentialTest, Threads2Clients8) { SweepCell(2, 8); }
+TEST_F(ServerDifferentialTest, Threads4Clients1) { SweepCell(4, 1); }
+TEST_F(ServerDifferentialTest, Threads4Clients8) { SweepCell(4, 8); }
+TEST_F(ServerDifferentialTest, Threads8Clients1) { SweepCell(8, 1); }
+TEST_F(ServerDifferentialTest, Threads8Clients8) { SweepCell(8, 8); }
+
+// Repeated classify on one connection exercises the incremental
+// ClassificationSession reuse path; every repetition must return the
+// exact same bytes as the first (and as the one-shot in-process call).
+TEST_F(ServerDifferentialTest, RepeatedClassifyOnOneConnectionIsStable) {
+  Service service(*wb_);
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 2;
+  Server server(&service, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  std::string payload =
+      "query=4\nmax_candidates=" + std::to_string(kMaxCandidates);
+  const std::string& want = (*expected_)[4].classify;
+  for (int i = 0; i < 3; ++i) {
+    auto frame = client.Call(Opcode::kClassify, payload);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->opcode, static_cast<uint8_t>(Opcode::kOk));
+    EXPECT_EQ(frame->payload, want) << "repetition " << i;
+  }
+
+  // A growing-budget sweep reuses the same session incrementally; its
+  // final answer must still match a fresh full-budget classification.
+  for (int64_t budget : {int64_t{40}, int64_t{80}, kMaxCandidates}) {
+    auto frame = client.Call(
+        Opcode::kClassify, "query=4\nmax_candidates=" + std::to_string(budget));
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->opcode, static_cast<uint8_t>(Opcode::kOk));
+  }
+  auto final_frame = client.Call(Opcode::kClassify, payload);
+  ASSERT_TRUE(final_frame.ok());
+  EXPECT_EQ(final_frame->payload, want);
+  server.Stop();
+}
+
+// Inline bindings shipped in the request body must produce the same
+// observations as running those bindings in process.
+TEST_F(ServerDifferentialTest, InlineBindingsMatchInProcessRun) {
+  auto tmpl = PickTemplate(*wb_, 4);
+  ASSERT_TRUE(tmpl.ok());
+  auto domain = MakeDomain(*wb_, **tmpl);
+  ASSERT_TRUE(domain.ok());
+  util::Rng rng(99);
+  auto bindings = domain->SampleN(&rng, 5);
+
+  // Render the bindings the way `rdfparams sample --out=...` would.
+  std::string body;
+  for (const auto& binding : bindings) {
+    for (size_t i = 0; i < binding.values.size(); ++i) {
+      if (i > 0) body += '\t';
+      body += wb_->dict().term(binding.values[i]).ToNTriples();
+    }
+    body += '\n';
+  }
+
+  core::WorkloadRunner runner(wb_->store(), wb_->dict());
+  core::WorkloadOptions run_options;
+  run_options.threads = 1;
+  auto obs = runner.RunAll(**tmpl, bindings, run_options);
+  ASSERT_TRUE(obs.ok()) << obs.status().ToString();
+  std::string want = FormatObservations(**tmpl, *obs, wb_->dict());
+
+  Service service(*wb_);
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 2;
+  Server server(&service, config);
+  ASSERT_TRUE(server.Start().ok());
+  auto response = CallOnce("127.0.0.1", server.port(), Opcode::kRun,
+                           "query=4\n\n" + body);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(*response, want);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace rdfparams::server

@@ -21,6 +21,15 @@
 //       Load an N-Triples file through the sharded parallel loader,
 //       finalize the indexes on the same pool, and report throughput.
 //
+//   rdfparams serve --port=0 --threads=0 --max-conns=64 --queue-depth=64
+//       Start the workload daemon: classify/run/explain served over the
+//       length-prefixed wire protocol until a client sends shutdown.
+//       The chosen port (the point of --port=0) is printed on stdout.
+//
+//   rdfparams client --port=N --op=classify --query=4
+//       One request against a running daemon; prints the response
+//       payload (byte-identical to the equivalent in-process call).
+//
 // Every subcommand regenerates the dataset deterministically from
 // --seed/--products/--persons, so binding files remain valid across runs.
 #include <cstdio>
@@ -38,6 +47,10 @@
 #include "core/workload_io.h"
 #include "rdf/describe.h"
 #include "rdf/ntriples.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "server/workbench.h"
 #include "snb/generator.h"
 #include "snb/queries.h"
 #include "util/flags.h"
@@ -74,96 +87,28 @@ struct Options {
   std::string out;
   std::string bindings;
   std::string input;
+  // serve / client
+  std::string host = "127.0.0.1";
+  int64_t port = 0;
+  int64_t max_conns = 64;
+  int64_t queue_depth = 64;
+  std::string op = "ping";  // ping | classify | run | explain | shutdown
 };
 
-/// A workload context: dataset + templates + per-template domains.
-struct Context {
-  std::unique_ptr<bsbm::Dataset> bsbm_ds;
-  std::unique_ptr<snb::Dataset> snb_ds;
-  std::vector<sparql::QueryTemplate> templates;
-
-  rdf::Dictionary* dict() {
-    return bsbm_ds ? &bsbm_ds->dict : &snb_ds->dict;
-  }
-  const rdf::TripleStore* store() const {
-    return bsbm_ds ? &bsbm_ds->store : &snb_ds->store;
-  }
-};
+// The workbench (dataset + templates + domains) moved into src/server/ so
+// the daemon and the CLI build the exact same world; these aliases keep
+// the subcommand bodies reading as before.
+using Context = server::Workbench;
+using server::MakeDomain;
+using server::PickTemplate;
 
 Result<Context> MakeContext(const Options& opt) {
-  Context ctx;
-  if (opt.workload == "bsbm") {
-    bsbm::GeneratorConfig config;
-    config.num_products = static_cast<uint64_t>(opt.products);
-    config.offers_per_product = 3.0;
-    config.seed = static_cast<uint64_t>(opt.seed);
-    ctx.bsbm_ds = std::make_unique<bsbm::Dataset>(bsbm::Generate(config));
-    ctx.templates = bsbm::AllTemplates(*ctx.bsbm_ds);
-    return ctx;
-  }
-  if (opt.workload == "snb") {
-    snb::GeneratorConfig config;
-    config.num_persons = static_cast<uint64_t>(opt.persons);
-    config.seed = static_cast<uint64_t>(opt.seed);
-    ctx.snb_ds = std::make_unique<snb::Dataset>(snb::Generate(config));
-    ctx.templates = snb::AllTemplates(*ctx.snb_ds);
-    return ctx;
-  }
-  return Status::InvalidArgument("unknown workload '" + opt.workload +
-                                 "' (use bsbm or snb)");
-}
-
-Result<const sparql::QueryTemplate*> PickTemplate(const Context& ctx,
-                                                  int64_t query) {
-  if (query < 1 || static_cast<size_t>(query) > ctx.templates.size()) {
-    return Status::InvalidArgument(
-        "query must be 1.." + std::to_string(ctx.templates.size()));
-  }
-  return &ctx.templates[static_cast<size_t>(query - 1)];
-}
-
-/// Default parameter domain for each built-in template.
-Result<core::ParameterDomain> MakeDomain(Context* ctx,
-                                         const sparql::QueryTemplate& tmpl) {
-  core::ParameterDomain domain;
-  for (const std::string& p : tmpl.parameter_names()) {
-    if (ctx->bsbm_ds) {
-      const bsbm::Dataset& ds = *ctx->bsbm_ds;
-      if (p == "type" || p == "ProductType") {
-        domain.AddSingle(p, bsbm::TypeDomain(ds));
-      } else if (p == "product") {
-        domain.AddSingle(p, bsbm::ProductDomain(ds));
-      } else if (p == "feature") {
-        domain.AddSingle(p, bsbm::FeatureDomain(ds));
-      } else {
-        return Status::Unsupported("no default domain for %" + p);
-      }
-    } else {
-      const snb::Dataset& ds = *ctx->snb_ds;
-      if (p == "person") {
-        domain.AddSingle(p, snb::PersonDomain(ds));
-      } else if (p == "name") {
-        domain.AddSingle(p, snb::NameDomain(ds));
-      } else if (p == "country") {
-        domain.AddSingle(p, snb::CountryDomain(ds));
-      } else if (p == "tag") {
-        domain.AddSingle(p, snb::TagDomain(ds));
-      } else if (p == "countryX") {
-        // countryX/countryY are grouped as correlated pairs.
-        std::vector<std::vector<rdf::TermId>> pairs;
-        for (const auto& b : snb::CountryPairDomain(ds)) {
-          pairs.push_back(b.values);
-        }
-        domain.AddTuples({"countryX", "countryY"}, std::move(pairs));
-      } else if (p == "countryY") {
-        continue;  // consumed by the countryX group
-      } else {
-        return Status::Unsupported("no default domain for %" + p);
-      }
-    }
-  }
-  RDFPARAMS_RETURN_NOT_OK(domain.Validate(tmpl));
-  return domain;
+  server::WorkbenchConfig config;
+  config.workload = opt.workload;
+  config.products = static_cast<uint64_t>(opt.products);
+  config.persons = static_cast<uint64_t>(opt.persons);
+  config.seed = static_cast<uint64_t>(opt.seed);
+  return server::BuildWorkbench(config);
 }
 
 int Fail(const Status& st) {
@@ -180,15 +125,15 @@ int CmdGenerate(const Options& opt) {
   if (!ctx.ok()) return Fail(ctx.status());
   std::printf("generated %s dataset: %s triples, %zu terms\n",
               opt.workload.c_str(),
-              util::FormatCount(ctx->store()->size()).c_str(),
-              ctx->dict()->size());
+              util::FormatCount(ctx->store().size()).c_str(),
+              ctx->dict().size());
   if (opt.out.empty()) {
     std::printf("(no --out given; dataset not written)\n");
     return 0;
   }
   std::ofstream os(opt.out, std::ios::trunc);
   if (!os) return Fail(Status::IOError("cannot open " + opt.out));
-  Status st = rdf::WriteNTriples(*ctx->dict(), *ctx->store(), os);
+  Status st = rdf::WriteNTriples(ctx->dict(), ctx->store(), os);
   if (!st.ok()) return Fail(st);
   std::printf("wrote %s\n", opt.out.c_str());
   return 0;
@@ -240,7 +185,7 @@ int CmdDescribe(const Options& opt) {
   if (!ctx.ok()) return Fail(ctx.status());
   rdf::DescribeOptions options;
   options.max_predicates = 30;
-  std::printf("%s", rdf::DescribeStore(*ctx->store(), *ctx->dict(),
+  std::printf("%s", rdf::DescribeStore(ctx->store(), ctx->dict(),
                                        options).c_str());
   return 0;
 }
@@ -259,7 +204,7 @@ int CmdClassify(const Options& opt) {
   if (!ctx.ok()) return Fail(ctx.status());
   auto tmpl = PickTemplate(*ctx, opt.query);
   if (!tmpl.ok()) return Fail(tmpl.status());
-  auto domain = MakeDomain(&ctx.value(), **tmpl);
+  auto domain = MakeDomain(*ctx, **tmpl);
   if (!domain.ok()) return Fail(domain.status());
   auto strategy = ParseStrategy(opt.strategy);
   if (!strategy.ok()) return Fail(strategy.status());
@@ -274,8 +219,8 @@ int CmdClassify(const Options& opt) {
   ::rdfparams::opt::CardinalityCache cache;
   options.optimizer.cardinality_cache = &cache;
   util::WallTimer timer;
-  auto classes = core::ClassifyParameters(**tmpl, *domain, *ctx->store(),
-                                          *ctx->dict(), options);
+  auto classes = core::ClassifyParameters(**tmpl, *domain, ctx->store(),
+                                          ctx->dict(), options);
   if (!classes.ok()) return Fail(classes.status());
   double elapsed = timer.ElapsedSeconds();
 
@@ -336,7 +281,7 @@ int CmdSample(const Options& opt) {
   if (!ctx.ok()) return Fail(ctx.status());
   auto tmpl = PickTemplate(*ctx, opt.query);
   if (!tmpl.ok()) return Fail(tmpl.status());
-  auto domain = MakeDomain(&ctx.value(), **tmpl);
+  auto domain = MakeDomain(*ctx, **tmpl);
   if (!domain.ok()) return Fail(domain.status());
 
   util::Rng rng(static_cast<uint64_t>(opt.seed) + 1000);
@@ -361,8 +306,8 @@ int CmdSample(const Options& opt) {
     options.cost_bucket_log2_width = opt.bucket_width;
     options.max_candidates = static_cast<uint64_t>(opt.max_candidates);
     options.threads = static_cast<int>(opt.threads);
-    auto classes = core::ClassifyParameters(**tmpl, *domain, *ctx->store(),
-                                            *ctx->dict(), options);
+    auto classes = core::ClassifyParameters(**tmpl, *domain, ctx->store(),
+                                            ctx->dict(), options);
     if (!classes.ok()) return Fail(classes.status());
     if (which >= classes->classes.size()) {
       return Fail(Status::InvalidArgument(
@@ -379,12 +324,12 @@ int CmdSample(const Options& opt) {
   }
 
   if (opt.out.empty()) {
-    Status st = core::WriteBindings(**tmpl, bindings, *ctx->dict(),
+    Status st = core::WriteBindings(**tmpl, bindings, ctx->dict(),
                                     std::cout);
     return st.ok() ? 0 : Fail(st);
   }
   Status st =
-      core::WriteBindingsFile(**tmpl, bindings, *ctx->dict(), opt.out);
+      core::WriteBindingsFile(**tmpl, bindings, ctx->dict(), opt.out);
   if (!st.ok()) return Fail(st);
   std::printf("wrote %zu bindings to %s\n", bindings.size(),
               opt.out.c_str());
@@ -399,11 +344,12 @@ int CmdRun(const Options& opt) {
 
   std::vector<sparql::ParameterBinding> bindings;
   if (!opt.bindings.empty()) {
-    auto read = core::ReadBindingsFile(**tmpl, ctx->dict(), opt.bindings);
+    auto read =
+        core::ReadBindingsFile(**tmpl, ctx->mutable_dict(), opt.bindings);
     if (!read.ok()) return Fail(read.status());
     bindings = std::move(read).value();
   } else {
-    auto domain = MakeDomain(&ctx.value(), **tmpl);
+    auto domain = MakeDomain(*ctx, **tmpl);
     if (!domain.ok()) return Fail(domain.status());
     util::Rng rng(static_cast<uint64_t>(opt.seed) + 1000);
     bindings = domain->SampleN(&rng, static_cast<size_t>(opt.n));
@@ -411,7 +357,7 @@ int CmdRun(const Options& opt) {
                 bindings.size());
   }
 
-  core::WorkloadRunner runner(*ctx->store(), ctx->dict());
+  core::WorkloadRunner runner(ctx->store(), ctx->mutable_dict());
   core::WorkloadOptions run_options;
   run_options.threads = static_cast<int>(opt.threads);
   run_options.exec.threads = static_cast<int>(opt.exec_threads);
@@ -437,9 +383,87 @@ int CmdRun(const Options& opt) {
   return 0;
 }
 
+int CmdServe(const Options& opt) {
+  auto ctx = MakeContext(opt);
+  if (!ctx.ok()) return Fail(ctx.status());
+  std::printf("serving %s dataset: %s triples, %zu terms, %zu templates\n",
+              opt.workload.c_str(),
+              util::FormatCount(ctx->store().size()).c_str(),
+              ctx->dict().size(), ctx->templates.size());
+
+  server::Service service(*ctx);
+  server::ServerConfig config;
+  config.host = opt.host;
+  config.port = static_cast<uint16_t>(opt.port);
+  config.threads = static_cast<int>(opt.threads);
+  config.max_conns = static_cast<int>(opt.max_conns);
+  config.queue_depth = static_cast<int>(opt.queue_depth);
+  server::Server srv(&service, config);
+  Status st = srv.Start();
+  if (!st.ok()) return Fail(st);
+
+  // Scripts (and the CI smoke test) wait for this exact line to learn the
+  // ephemeral port, so flush it immediately.
+  std::printf("listening on %s:%u\n", opt.host.c_str(), srv.port());
+  std::fflush(stdout);
+
+  srv.AwaitShutdown();  // until a client sends kShutdown (or Stop below)
+  srv.Stop();
+  std::printf("served %llu requests over %llu connections (%llu rejected)\n",
+              static_cast<unsigned long long>(srv.served_requests()),
+              static_cast<unsigned long long>(srv.accepted_connections()),
+              static_cast<unsigned long long>(srv.rejected_connections()));
+  return 0;
+}
+
+int CmdClient(const Options& opt) {
+  server::Opcode opcode;
+  server::Request request;
+  if (opt.op == "ping") {
+    opcode = server::Opcode::kPing;
+  } else if (opt.op == "shutdown") {
+    opcode = server::Opcode::kShutdown;
+  } else if (opt.op == "classify" || opt.op == "run" || opt.op == "explain") {
+    opcode = opt.op == "classify" ? server::Opcode::kClassify
+             : opt.op == "run"    ? server::Opcode::kRun
+                                  : server::Opcode::kExplain;
+    request.fields["query"] = std::to_string(opt.query);
+    if (opt.op == "classify") {
+      request.fields["max_candidates"] = std::to_string(opt.max_candidates);
+      request.fields["bucket_width"] = util::StringPrintf("%.17g",
+                                                          opt.bucket_width);
+      request.fields["strategy"] = opt.strategy;
+    } else {
+      request.fields["seed"] = std::to_string(opt.seed);
+      if (opt.op == "run") request.fields["n"] = std::to_string(opt.n);
+      if (!opt.bindings.empty()) {
+        auto body = util::ReadFileToString(opt.bindings);
+        if (!body.ok()) return Fail(body.status());
+        request.body = std::move(body).value();
+      }
+    }
+  } else {
+    return Fail(Status::InvalidArgument(
+        "unknown --op '" + opt.op +
+        "' (use ping, classify, run, explain, or shutdown)"));
+  }
+
+  std::string payload = opcode == server::Opcode::kPing
+                            ? std::string("ping")
+                            : server::EncodeRequest(request);
+  if (opcode == server::Opcode::kShutdown) payload.clear();
+  auto response = server::CallOnce(
+      opt.host, static_cast<uint16_t>(opt.port), opcode, payload);
+  if (!response.ok()) return Fail(response.status());
+  std::fwrite(response->data(), 1, response->size(), stdout);
+  if (!response->empty() && response->back() != '\n') std::printf("\n");
+  return 0;
+}
+
 int CmdHelp(const char* prog) {
   std::printf(
-      "usage: %s <generate|load|describe|classify|sample|run> [flags]\n\n"
+      "usage: %s <generate|load|describe|classify|sample|run|serve|client>"
+      " [flags]\n\n"
       "common flags:\n"
       "  --workload=bsbm|snb     which generator/templates (default bsbm)\n"
       "  --query=N               template number within the workload\n"
@@ -471,7 +495,13 @@ int CmdHelp(const char* prog) {
       "            batched dedups the optimizer DP by cardinality signature)\n"
       "  sample:   --mode=uniform|step|class|class:K --n=N --out=FILE.tsv\n"
       "  run:      --bindings=FILE.tsv | --n=N (uniform fallback)\n"
-      "  load:     --input=FILE.nt --all-indexes=B\n",
+      "  load:     --input=FILE.nt --all-indexes=B\n"
+      "  serve:    --host=H --port=N (0 = ephemeral, printed on stdout)\n"
+      "            --threads=N --max-conns=N --queue-depth=N\n"
+      "  client:   --host=H --port=N --op=ping|classify|run|explain|shutdown\n"
+      "            plus the matching request flags (--query, --n, --seed,\n"
+      "            --max-candidates, --bucket_width, --strategy,\n"
+      "            --bindings=FILE.tsv for inline run/explain bindings)\n",
       prog);
   return 0;
 }
@@ -522,6 +552,16 @@ int main(int argc, char** argv) {
   flags.AddString("out", &opt.out, "output file");
   flags.AddString("bindings", &opt.bindings, "bindings file to run");
   flags.AddString("input", &opt.input, "N-Triples file for `load`");
+  flags.AddString("host", &opt.host, "bind/connect address for serve/client");
+  flags.AddInt64("port", &opt.port,
+                 "TCP port for serve/client (0 = ephemeral for serve)");
+  flags.AddInt64("max_conns", &opt.max_conns,
+                 "serve: max admitted (queued + serving) connections");
+  flags.AddInt64("queue_depth", &opt.queue_depth,
+                 "serve: max connections waiting for a worker");
+  flags.AddString("op", &opt.op,
+                  "client request: ping | classify | run | explain | "
+                  "shutdown");
   Status st = flags.Parse(argc - 1, argv + 1);
   if (!st.ok()) return Fail(st);
   if (flags.help_requested()) return CmdHelp(argv[0]);
@@ -532,6 +572,8 @@ int main(int argc, char** argv) {
   if (cmd == "classify") return CmdClassify(opt);
   if (cmd == "sample") return CmdSample(opt);
   if (cmd == "run") return CmdRun(opt);
+  if (cmd == "serve") return CmdServe(opt);
+  if (cmd == "client") return CmdClient(opt);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   CmdHelp(argv[0]);
   return 1;
