@@ -193,11 +193,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("skew_items", &f.skew_items,
                  "items per value in the synthetic skewed domain");
   flags.AddInt64("seed", &f.seed, "generator seed");
-  Status st = flags.Parse(argc, argv);
-  if (!st.ok()) {
-    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-    return 1;
-  }
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
 
   bench::PrintHeader(
       "bench_classify — batched candidate classification",

@@ -38,6 +38,29 @@ inline snb::GeneratorConfig DefaultSnbConfig(uint64_t persons = 8000,
   return config;
 }
 
+/// Shared argv handling for every bench, replacing a zoo of hand-rolled
+/// copies that had drifted (swallowed parse errors, printed "OK" before
+/// usage on --help, returned success for `--help --bogus`). Note that
+/// FlagParser::Parse skips argv[0] itself — passing argc-1/argv+1 here is
+/// the off-by-one that once made bench_load silently drop its first flag.
+///
+/// Returns -1 to continue, 0 to exit success (--help), 1 to exit failure;
+/// i.e. `if (int rc = ParseBenchArgs(argc, argv, &flags); rc >= 0)
+/// return rc;`. Covered by tests/bench_args_test.cc.
+inline int ParseBenchArgs(int argc, char** argv, util::FlagParser* flags) {
+  Status st = flags->Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", st.ToString().c_str(),
+                 flags->Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags->help_requested()) {
+    std::printf("%s", flags->Usage(argv[0]).c_str());
+    return 0;
+  }
+  return -1;
+}
+
 inline void PrintHeader(const char* experiment, const char* paper_claim) {
   std::printf("==============================================================\n");
   std::printf("%s\n", experiment);

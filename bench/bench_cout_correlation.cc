@@ -64,11 +64,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("persons", &persons, "SNB persons");
   flags.AddInt64("bindings", &bindings, "bindings per template");
   flags.AddInt64("seed", &seed, "seed");
-  if (Status st = flags.Parse(argc, argv); !st.ok() || flags.help_requested()) {
-    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
-                 flags.Usage(argv[0]).c_str());
-    return flags.help_requested() ? 0 : 1;
-  }
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
 
   bench::PrintHeader(
       "Section III: C_out vs runtime correlation",

@@ -27,11 +27,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("products", &products, "BSBM products");
   flags.AddInt64("bindings", &bindings, "bindings per workload");
   flags.AddInt64("seed", &seed, "seed");
-  if (Status st = flags.Parse(argc, argv); !st.ok() || flags.help_requested()) {
-    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
-                 flags.Usage(argv[0]).c_str());
-    return flags.help_requested() ? 0 : 1;
-  }
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
 
   bench::PrintHeader(
       "E1: runtime variance under uniform parameter sampling (BSBM-BI)",

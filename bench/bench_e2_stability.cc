@@ -74,11 +74,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("per_group", &per_group, "bindings per group");
   flags.AddInt64("groups", &groups, "number of independent groups");
   flags.AddInt64("seed", &seed, "seed");
-  if (Status st = flags.Parse(argc, argv); !st.ok() || flags.help_requested()) {
-    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
-                 flags.Usage(argv[0]).c_str());
-    return flags.help_requested() ? 0 : 1;
-  }
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
 
   bench::PrintHeader(
       "E2: different uniform samples give different aggregate runtimes",

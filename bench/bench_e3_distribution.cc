@@ -29,11 +29,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("products", &products, "BSBM products");
   flags.AddInt64("bindings", &bindings, "uniform bindings");
   flags.AddInt64("seed", &seed, "seed");
-  if (Status st = flags.Parse(argc, argv); !st.ok() || flags.help_requested()) {
-    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
-                 flags.Usage(argv[0]).c_str());
-    return flags.help_requested() ? 0 : 1;
-  }
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
 
   bench::PrintHeader(
       "E3: the average runtime corresponds to no actual query (BSBM Q4)",

@@ -28,11 +28,7 @@ int main(int argc, char** argv) {
   util::FlagParser flags;
   flags.AddInt64("persons", &persons, "SNB persons");
   flags.AddInt64("seed", &seed, "seed");
-  if (Status st = flags.Parse(argc, argv); !st.ok() || flags.help_requested()) {
-    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
-                 flags.Usage(argv[0]).c_str());
-    return flags.help_requested() ? 0 : 1;
-  }
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
 
   bench::PrintHeader(
       "E4: the optimal plan flips with the parameter binding (LDBC Q3)",

@@ -110,10 +110,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("max_threads", &max_threads, "highest exec-thread count");
   flags.AddInt64("morsel_size", &morsel_size, "probe rows per morsel");
   flags.AddInt64("reps", &reps, "repetitions per config (min wall time kept)");
-  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
-    std::printf("%s", flags.Usage(argv[0]).c_str());
-    return flags.help_requested() ? 0 : 1;
-  }
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
 
   std::printf("generating BSBM dataset (%lld products)...\n",
               static_cast<long long>(products));

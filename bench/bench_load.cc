@@ -64,13 +64,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("products", &products, "BSBM products for the dataset");
   flags.AddInt64("max_threads", &max_threads, "highest load-thread count");
   flags.AddInt64("seed", &seed, "generator seed");
-  // Parse skips argv[0] itself; offsetting argv here (as this bench once
-  // did) silently drops the first flag.
-  Status st = flags.Parse(argc, argv);
-  if (!st.ok()) {
-    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-    return 1;
-  }
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
 
   bench::PrintHeader(
       "bench_load — sharded N-Triples load + parallel index finalize",

@@ -70,10 +70,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("candidates", &candidates, "classification budget");
   flags.AddInt64("run_bindings", &run_bindings, "workload bindings");
   flags.AddInt64("max_threads", &max_threads, "highest thread count");
-  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
-    std::printf("%s", flags.Usage(argv[0]).c_str());
-    return flags.help_requested() ? 0 : 1;
-  }
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
 
   std::printf("generating BSBM dataset (%lld products)...\n",
               static_cast<long long>(products));

@@ -104,11 +104,7 @@ int main(int argc, char** argv) {
   flags.AddInt64("per_class", &per_class, "bindings sampled per class");
   flags.AddInt64("seed", &seed, "seed");
   flags.AddBool("ablations", &ablations, "run design-choice ablations");
-  if (Status st = flags.Parse(argc, argv); !st.ok() || flags.help_requested()) {
-    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
-                 flags.Usage(argv[0]).c_str());
-    return flags.help_requested() ? 0 : 1;
-  }
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
 
   bench::PrintHeader(
       "Section III: parameter classes restore P1-P3",

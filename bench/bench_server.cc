@@ -101,11 +101,7 @@ int main(int argc, char** argv) {
                  "highest server worker count in the sweep");
   flags.AddInt64("clients", &clients, "concurrent client connections");
   flags.AddInt64("requests", &requests, "requests per client per config");
-  Status st = flags.Parse(argc, argv);
-  if (!st.ok()) {
-    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-    return 1;
-  }
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
 
   bench::PrintHeader(
       "bench_server — workload daemon QPS / latency under mixed traffic",

@@ -1,0 +1,164 @@
+// bench_snapshot — cold-start cost of opening a saved snapshot vs
+// re-parsing the same dataset from N-Triples.
+//
+// The point of the paged snapshot format is that a curation server should
+// pay the text-parse + sort cost once, not on every start. This bench
+// measures both paths from the same bytes and, like the other identity
+// benches, gates on the restored store being *byte-identical* to the
+// fresh load: same TermIds, same terms, same index runs, same distinct
+// counts. Any divergence exits non-zero, so the small ctest run
+// (bench_snapshot_identity) doubles as a differential test.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "bench_common.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple_store.h"
+#include "storage/snapshot.h"
+#include "util/file_io.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace rdfparams;
+
+namespace {
+
+bool StoresIdentical(const rdf::Dictionary& dict_a,
+                     const rdf::TripleStore& store_a,
+                     const rdf::Dictionary& dict_b,
+                     const rdf::TripleStore& store_b) {
+  if (dict_a.size() != dict_b.size()) {
+    std::fprintf(stderr, "IDENTITY FAIL: %zu vs %zu terms\n", dict_a.size(),
+                 dict_b.size());
+    return false;
+  }
+  for (size_t i = 0; i < dict_a.size(); ++i) {
+    if (dict_a.term(static_cast<rdf::TermId>(i)) !=
+        dict_b.term(static_cast<rdf::TermId>(i))) {
+      std::fprintf(stderr, "IDENTITY FAIL: term %zu differs\n", i);
+      return false;
+    }
+  }
+  if (store_a.all_indexes_built() != store_b.all_indexes_built()) {
+    std::fprintf(stderr, "IDENTITY FAIL: index set differs\n");
+    return false;
+  }
+  for (rdf::IndexOrder order : store_a.BuiltIndexes()) {
+    auto run_a = store_a.IndexRun(order);
+    auto run_b = store_b.IndexRun(order);
+    if (run_a.size() != run_b.size() ||
+        !std::equal(run_a.begin(), run_a.end(), run_b.begin())) {
+      std::fprintf(stderr, "IDENTITY FAIL: %s run differs\n",
+                   rdf::IndexOrderName(order));
+      return false;
+    }
+  }
+  if (store_a.NumDistinctSubjects() != store_b.NumDistinctSubjects() ||
+      store_a.NumDistinctPredicates() != store_b.NumDistinctPredicates() ||
+      store_a.NumDistinctObjects() != store_b.NumDistinctObjects()) {
+    std::fprintf(stderr, "IDENTITY FAIL: distinct counts differ\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t products = 6000;
+  int64_t seed = 42;
+  int64_t page_size = storage::kDefaultPageSize;
+  util::FlagParser flags;
+  flags.AddInt64("products", &products, "BSBM products");
+  flags.AddInt64("seed", &seed, "generator seed");
+  flags.AddInt64("page_size", &page_size, "snapshot page size in bytes");
+  if (int rc = bench::ParseBenchArgs(argc, argv, &flags); rc >= 0) return rc;
+
+  bench::PrintHeader(
+      "bench_snapshot — open-from-snapshot vs N-Triples re-parse cold start",
+      "a snapshot open must reproduce the fresh load byte-for-byte while "
+      "skipping the parse and the sorts (target: >= 5x faster; the floor "
+      "is re-interning the dictionary, which both paths share)");
+
+  // Setup (untimed): generate once, serialize as N-Triples text.
+  const std::string nt_path = "bench_snapshot.tmp.nt";
+  const std::string snap_path = "bench_snapshot.tmp.snap";
+  {
+    bsbm::Dataset ds = bsbm::Generate(
+        bench::DefaultBsbmConfig(static_cast<uint64_t>(products),
+                                 static_cast<uint64_t>(seed)));
+    std::ofstream os(nt_path, std::ios::trunc);
+    Status st = rdf::WriteNTriples(ds.dict, ds.store, os);
+    if (!st.ok() || !os) {
+      std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Cold path 1: fresh N-Triples load (read + parse + finalize). This is
+  // the dataset every comparison is against — ids are assigned by first
+  // appearance in the text, exactly what a user re-parsing would get.
+  rdf::Dictionary fresh_dict;
+  rdf::TripleStore fresh_store;
+  util::WallTimer load_timer;
+  {
+    auto data = util::ReadFileToString(nt_path);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    Status st = rdf::LoadNTriples(*data, &fresh_dict, &fresh_store, {});
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    fresh_store.Finalize();
+  }
+  double load_seconds = load_timer.ElapsedSeconds();
+
+  // Save (timed for information; not part of the comparison).
+  storage::SaveOptions save_options;
+  save_options.page_size = static_cast<uint32_t>(page_size);
+  util::WallTimer save_timer;
+  Status st = storage::Snapshot::Save(fresh_dict, fresh_store, {}, snap_path,
+                                      save_options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  double save_seconds = save_timer.ElapsedSeconds();
+
+  // Cold path 2: open the snapshot (checksum verify + restore).
+  util::WallTimer open_timer;
+  auto snap = storage::Snapshot::Open(snap_path);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "%s\n", snap.status().ToString().c_str());
+    return 1;
+  }
+  double open_seconds = open_timer.ElapsedSeconds();
+
+  bool identical = StoresIdentical(fresh_dict, fresh_store, snap->dict,
+                                   snap->store);
+  std::remove(nt_path.c_str());
+  std::remove(snap_path.c_str());
+
+  double speedup = open_seconds > 0 ? load_seconds / open_seconds : 0.0;
+  std::printf("\n%s triples, %zu terms (page size %lld)\n",
+              util::FormatCount(fresh_store.size()).c_str(),
+              fresh_dict.size(), static_cast<long long>(page_size));
+  std::printf("  n-triples load (parse+finalize): %s\n",
+              bench::Dur(load_seconds).c_str());
+  std::printf("  snapshot save:                   %s\n",
+              bench::Dur(save_seconds).c_str());
+  std::printf("  snapshot open (verify+restore):  %s\n",
+              bench::Dur(open_seconds).c_str());
+  std::printf("  cold-start speedup: %.1fx %s\n", speedup,
+              speedup >= 5.0 ? "(>= 5x target met)"
+                             : "(below 5x target)");
+  std::printf("identity: %s\n", identical ? "OK (byte-identical restore)"
+                                          : "FAILED");
+  return identical ? 0 : 1;
+}

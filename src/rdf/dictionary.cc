@@ -13,6 +13,22 @@ TermId Dictionary::Intern(const Term& term) {
   return id;
 }
 
+TermId Dictionary::Intern(Term&& term) {
+  std::string key = term.ToNTriples();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  RDFPARAMS_DCHECK(id != kInvalidTermId);
+  terms_.push_back(std::move(term));
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+void Dictionary::Reserve(size_t n) {
+  terms_.reserve(n);
+  index_.reserve(n);
+}
+
 std::optional<TermId> Dictionary::Find(const Term& term) const {
   auto it = index_.find(term.ToNTriples());
   if (it == index_.end()) return std::nullopt;

@@ -31,6 +31,11 @@ class Dictionary {
 
   /// Interns a term, returning its id (existing or freshly assigned).
   TermId Intern(const Term& term);
+  TermId Intern(Term&& term);
+
+  /// Pre-sizes the id vector and the key map for `n` terms — worth calling
+  /// before a bulk restore (e.g. a snapshot open) to avoid rehash churn.
+  void Reserve(size_t n);
 
   /// Convenience interners.
   TermId InternIri(std::string iri) { return Intern(Term::Iri(std::move(iri))); }

@@ -108,6 +108,59 @@ void TripleStore::BuildAllIndexes(util::ThreadPool* pool) {
   if (finalized_) BuildSortedCopies(pool, ExtraIndexTargets());
 }
 
+Status TripleStore::AdoptSortedRuns(std::vector<Triple> spo,
+                                    std::vector<Triple> pos,
+                                    std::vector<Triple> osp,
+                                    std::vector<Triple> sop,
+                                    std::vector<Triple> pso,
+                                    std::vector<Triple> ops,
+                                    bool all_indexes) {
+  struct Run {
+    IndexOrder order;
+    std::vector<Triple>* v;
+    bool strict;  // SPO is deduplicated, so it must be strictly ascending
+  };
+  Run runs[] = {{IndexOrder::kSPO, &spo, true},
+                {IndexOrder::kPOS, &pos, false},
+                {IndexOrder::kOSP, &osp, false},
+                {IndexOrder::kSOP, &sop, false},
+                {IndexOrder::kPSO, &pso, false},
+                {IndexOrder::kOPS, &ops, false}};
+  for (const Run& run : runs) {
+    bool extra = run.order == IndexOrder::kSOP ||
+                 run.order == IndexOrder::kPSO ||
+                 run.order == IndexOrder::kOPS;
+    size_t expected = extra && !all_indexes ? 0 : spo.size();
+    if (run.v->size() != expected) {
+      return Status::InvalidArgument(
+          std::string("index run ") + IndexOrderName(run.order) + " has " +
+          std::to_string(run.v->size()) + " triples, expected " +
+          std::to_string(expected));
+    }
+    PermutedLess less{IndexPermutation(run.order)};
+    for (size_t i = 1; i < run.v->size(); ++i) {
+      const Triple& a = (*run.v)[i - 1];
+      const Triple& b = (*run.v)[i];
+      bool ok = run.strict ? less(a, b) : !less(b, a);
+      if (!ok) {
+        return Status::InvalidArgument(
+            std::string("index run ") + IndexOrderName(run.order) +
+            " is not sorted at position " + std::to_string(i));
+      }
+    }
+  }
+  spo_ = std::move(spo);
+  pos_ = std::move(pos);
+  osp_ = std::move(osp);
+  sop_ = std::move(sop);
+  pso_ = std::move(pso);
+  ops_ = std::move(ops);
+  all_indexes_ = all_indexes;
+  ComputePredicateStats();
+  finalized_ = true;
+  return Status::OK();
+}
+
 void TripleStore::ComputePredicateStats() {
   distinct_s_ = 0;
   distinct_p_ = 0;

@@ -19,6 +19,7 @@
 
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
+#include "util/status.h"
 
 namespace rdfparams::util {
 class ThreadPool;
@@ -74,6 +75,28 @@ class TripleStore {
 
   bool finalized() const { return finalized_; }
   size_t size() const { return spo_.size(); }
+  /// True once the three extra permutations (SOP, PSO, OPS) are built.
+  bool all_indexes_built() const { return all_indexes_; }
+
+  /// The full sorted run of one index, in its permutation order. Only the
+  /// default three are valid unless all_indexes_built(). This is the
+  /// byte-exact image the storage layer serializes: restoring these runs
+  /// verbatim (AdoptSortedRuns) reproduces every Range/Count/Scan result
+  /// without re-sorting.
+  std::span<const Triple> IndexRun(IndexOrder order) const {
+    return IndexVector(order);
+  }
+
+  /// Installs pre-sorted index runs, bypassing Finalize(): the snapshot
+  /// restore path. `spo` must be strictly ascending in SPO order (sorted,
+  /// deduplicated); each other run must be a permutation-sorted copy of
+  /// the same triples. When `all_indexes` is false the extra runs must be
+  /// empty. Validates order and sizes (InvalidArgument on violation),
+  /// recomputes predicate stats, and leaves the store finalized.
+  Status AdoptSortedRuns(std::vector<Triple> spo, std::vector<Triple> pos,
+                         std::vector<Triple> osp, std::vector<Triple> sop,
+                         std::vector<Triple> pso, std::vector<Triple> ops,
+                         bool all_indexes);
 
   /// Exact number of triples matching the pattern (wildcards allowed).
   uint64_t CountPattern(TermId s, TermId p, TermId o) const;

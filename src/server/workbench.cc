@@ -1,7 +1,10 @@
 #include "server/workbench.h"
 
+#include <utility>
+
 #include "bsbm/queries.h"
 #include "snb/queries.h"
+#include "util/coding.h"
 
 namespace rdfparams::server {
 
@@ -78,6 +81,197 @@ Result<core::ParameterDomain> MakeDomain(const Workbench& wb,
   }
   RDFPARAMS_RETURN_NOT_OK(domain.Validate(tmpl));
   return domain;
+}
+
+namespace {
+
+// Workbench meta blob: u8 version, u8 workload (1 = bsbm, 2 = snb),
+// then the workload's entity lists. Both generators always build their
+// vocabulary from Vocabulary::Default(), so the vocab needs no bytes.
+constexpr uint8_t kMetaVersion = 1;
+constexpr uint8_t kMetaBsbm = 1;
+constexpr uint8_t kMetaSnb = 2;
+
+void AppendIdVector(std::string* out, const std::vector<rdf::TermId>& ids) {
+  util::AppendU64(out, ids.size());
+  for (rdf::TermId id : ids) util::AppendU32(out, id);
+}
+
+Result<std::vector<rdf::TermId>> ReadIdVector(util::Decoder* dec,
+                                              size_t dict_size) {
+  RDFPARAMS_ASSIGN_OR_RETURN(uint64_t n, dec->ReadU64());
+  if (n > dec->remaining() / 4) {
+    return Status::ParseError("workbench meta id list longer than blob");
+  }
+  std::vector<rdf::TermId> ids;
+  ids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    RDFPARAMS_ASSIGN_OR_RETURN(rdf::TermId id, dec->ReadU32());
+    if (id >= dict_size) {
+      return Status::ParseError("workbench meta id beyond dictionary");
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::string EncodeWorkbenchMeta(const Workbench& wb) {
+  std::string out;
+  util::AppendU8(&out, kMetaVersion);
+  if (wb.bsbm_ds) {
+    const bsbm::Dataset& ds = *wb.bsbm_ds;
+    util::AppendU8(&out, kMetaBsbm);
+    util::AppendU64(&out, ds.types.size());
+    for (const bsbm::TypeNode& t : ds.types) {
+      util::AppendU32(&out, t.id);
+      util::AppendU32(&out, t.level);
+      util::AppendU64(&out, static_cast<uint64_t>(
+                                static_cast<int64_t>(t.parent)));
+      util::AppendU64(&out, t.num_products);
+      util::AppendU64(&out, t.feature_pool.size());
+      for (uint32_t f : t.feature_pool) util::AppendU32(&out, f);
+    }
+    AppendIdVector(&out, ds.products);
+    AppendIdVector(&out, ds.features);
+    AppendIdVector(&out, ds.producers);
+    AppendIdVector(&out, ds.vendors);
+    AppendIdVector(&out, ds.reviewers);
+  } else {
+    const snb::Dataset& ds = *wb.snb_ds;
+    util::AppendU8(&out, kMetaSnb);
+    AppendIdVector(&out, ds.persons);
+    AppendIdVector(&out, ds.countries);
+    AppendIdVector(&out, ds.tags);
+    AppendIdVector(&out, ds.posts);
+    AppendIdVector(&out, ds.first_names);
+    util::AppendU64(&out, ds.home_country.size());
+    for (uint32_t c : ds.home_country) util::AppendU32(&out, c);
+  }
+  return out;
+}
+
+Result<Workbench> WorkbenchFromSnapshotParts(rdf::Dictionary dict,
+                                             rdf::TripleStore store,
+                                             std::string_view meta) {
+  const size_t dict_size = dict.size();
+  util::Decoder dec(meta);
+  RDFPARAMS_ASSIGN_OR_RETURN(uint8_t version, dec.ReadU8());
+  if (version != kMetaVersion) {
+    return Status::ParseError("unsupported workbench meta version " +
+                              std::to_string(version));
+  }
+  RDFPARAMS_ASSIGN_OR_RETURN(uint8_t workload, dec.ReadU8());
+
+  Workbench wb;
+  if (workload == kMetaBsbm) {
+    auto ds = std::make_unique<bsbm::Dataset>();
+    ds->vocab = bsbm::Vocabulary::Default();
+    RDFPARAMS_ASSIGN_OR_RETURN(uint64_t num_types, dec.ReadU64());
+    if (num_types > meta.size()) {
+      return Status::ParseError("workbench meta type list longer than blob");
+    }
+    ds->types.reserve(num_types);
+    for (uint64_t i = 0; i < num_types; ++i) {
+      bsbm::TypeNode t;
+      RDFPARAMS_ASSIGN_OR_RETURN(t.id, dec.ReadU32());
+      if (t.id >= dict_size) {
+        return Status::ParseError("workbench meta id beyond dictionary");
+      }
+      RDFPARAMS_ASSIGN_OR_RETURN(t.level, dec.ReadU32());
+      RDFPARAMS_ASSIGN_OR_RETURN(uint64_t parent_bits, dec.ReadU64());
+      int64_t parent = static_cast<int64_t>(parent_bits);
+      // Parents precede children (the tree is stored in BFS order).
+      if (parent < -1 || parent >= static_cast<int64_t>(i)) {
+        return Status::ParseError("workbench meta type parent out of order");
+      }
+      t.parent = static_cast<int>(parent);
+      RDFPARAMS_ASSIGN_OR_RETURN(t.num_products, dec.ReadU64());
+      RDFPARAMS_ASSIGN_OR_RETURN(uint64_t pool, dec.ReadU64());
+      if (pool > dec.remaining() / 4) {
+        return Status::ParseError("workbench meta feature pool truncated");
+      }
+      t.feature_pool.reserve(pool);
+      for (uint64_t k = 0; k < pool; ++k) {
+        RDFPARAMS_ASSIGN_OR_RETURN(uint32_t f, dec.ReadU32());
+        t.feature_pool.push_back(f);
+      }
+      ds->types.push_back(std::move(t));
+    }
+    RDFPARAMS_ASSIGN_OR_RETURN(ds->products, ReadIdVector(&dec, dict_size));
+    RDFPARAMS_ASSIGN_OR_RETURN(ds->features, ReadIdVector(&dec, dict_size));
+    RDFPARAMS_ASSIGN_OR_RETURN(ds->producers, ReadIdVector(&dec, dict_size));
+    RDFPARAMS_ASSIGN_OR_RETURN(ds->vendors, ReadIdVector(&dec, dict_size));
+    RDFPARAMS_ASSIGN_OR_RETURN(ds->reviewers, ReadIdVector(&dec, dict_size));
+    for (const bsbm::TypeNode& t : ds->types) {
+      for (uint32_t f : t.feature_pool) {
+        if (f >= ds->features.size()) {
+          return Status::ParseError("workbench meta feature index beyond "
+                                    "feature list");
+        }
+      }
+    }
+    if (!dec.done()) {
+      return Status::ParseError("workbench meta has trailing bytes");
+    }
+    ds->dict = std::move(dict);
+    ds->store = std::move(store);
+    wb.bsbm_ds = std::move(ds);
+    wb.templates = bsbm::AllTemplates(*wb.bsbm_ds);
+    return wb;
+  }
+  if (workload == kMetaSnb) {
+    auto ds = std::make_unique<snb::Dataset>();
+    ds->vocab = snb::Vocabulary::Default();
+    RDFPARAMS_ASSIGN_OR_RETURN(ds->persons, ReadIdVector(&dec, dict_size));
+    RDFPARAMS_ASSIGN_OR_RETURN(ds->countries, ReadIdVector(&dec, dict_size));
+    RDFPARAMS_ASSIGN_OR_RETURN(ds->tags, ReadIdVector(&dec, dict_size));
+    RDFPARAMS_ASSIGN_OR_RETURN(ds->posts, ReadIdVector(&dec, dict_size));
+    RDFPARAMS_ASSIGN_OR_RETURN(ds->first_names, ReadIdVector(&dec, dict_size));
+    RDFPARAMS_ASSIGN_OR_RETURN(uint64_t nh, dec.ReadU64());
+    if (nh != ds->persons.size()) {
+      return Status::ParseError("workbench meta home_country size mismatch");
+    }
+    ds->home_country.reserve(nh);
+    for (uint64_t i = 0; i < nh; ++i) {
+      RDFPARAMS_ASSIGN_OR_RETURN(uint32_t c, dec.ReadU32());
+      if (c >= ds->countries.size()) {
+        return Status::ParseError("workbench meta home country index beyond "
+                                  "country list");
+      }
+      ds->home_country.push_back(c);
+    }
+    if (!dec.done()) {
+      return Status::ParseError("workbench meta has trailing bytes");
+    }
+    ds->dict = std::move(dict);
+    ds->store = std::move(store);
+    wb.snb_ds = std::move(ds);
+    wb.templates = snb::AllTemplates(*wb.snb_ds);
+    return wb;
+  }
+  return Status::ParseError("unknown workbench meta workload " +
+                            std::to_string(workload));
+}
+
+Status SaveWorkbenchSnapshot(const Workbench& wb, const std::string& path,
+                             const storage::SaveOptions& options) {
+  return storage::Snapshot::Save(wb.dict(), wb.store(),
+                                 EncodeWorkbenchMeta(wb), path, options);
+}
+
+Result<Workbench> OpenWorkbenchSnapshot(const std::string& path,
+                                        const storage::OpenOptions& options) {
+  RDFPARAMS_ASSIGN_OR_RETURN(storage::OpenedSnapshot snap,
+                             storage::Snapshot::Open(path, options));
+  if (!snap.has_app_meta) {
+    return Status::InvalidArgument(
+        path + ": snapshot has no workload metadata (saved from a raw "
+        "N-Triples load?); it cannot serve workload templates");
+  }
+  return WorkbenchFromSnapshotParts(std::move(snap.dict),
+                                    std::move(snap.store), snap.app_meta);
 }
 
 }  // namespace rdfparams::server

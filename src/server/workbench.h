@@ -19,6 +19,7 @@
 #include "core/parameter_domain.h"
 #include "snb/generator.h"
 #include "sparql/query_template.h"
+#include "storage/snapshot.h"
 #include "util/status.h"
 
 namespace rdfparams::server {
@@ -58,6 +59,31 @@ Result<const sparql::QueryTemplate*> PickTemplate(const Workbench& wb,
 /// Default parameter domain for a built-in template (validated).
 Result<core::ParameterDomain> MakeDomain(const Workbench& wb,
                                          const sparql::QueryTemplate& tmpl);
+
+/// Serializes the workload identity and generator entity lists (the parts
+/// of a Dataset that are not derivable from dict + store) as the
+/// snapshot's opaque app-meta blob. The storage layer round-trips it
+/// untouched; only this module interprets it.
+std::string EncodeWorkbenchMeta(const Workbench& wb);
+
+/// Rebuilds a Workbench from restored snapshot parts: moves dict + store
+/// into the right Dataset shape, decodes the entity lists from `meta`
+/// (validating every id against the dictionary), and reattaches the
+/// workload's templates. The result is indistinguishable from the
+/// BuildWorkbench that produced the snapshot.
+Result<Workbench> WorkbenchFromSnapshotParts(rdf::Dictionary dict,
+                                             rdf::TripleStore store,
+                                             std::string_view meta);
+
+/// Saves a workbench (dataset + workload metadata) as one snapshot file.
+Status SaveWorkbenchSnapshot(const Workbench& wb, const std::string& path,
+                             const storage::SaveOptions& options = {});
+
+/// Opens a workbench snapshot saved by SaveWorkbenchSnapshot. Fails with
+/// InvalidArgument on a bare snapshot (one saved without workload
+/// metadata, e.g. from `save --input=FILE.nt`).
+Result<Workbench> OpenWorkbenchSnapshot(const std::string& path,
+                                        const storage::OpenOptions& options = {});
 
 }  // namespace rdfparams::server
 

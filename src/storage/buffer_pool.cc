@@ -1,0 +1,103 @@
+#include "storage/buffer_pool.h"
+
+namespace rdfparams::storage {
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    payload_ = other.payload_;
+    other.pool_ = nullptr;
+    other.payload_ = {};
+  }
+  return *this;
+}
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    payload_ = {};
+  }
+}
+
+BufferPool::BufferPool(const SnapshotFile* file, size_t capacity)
+    : file_(file), frames_(capacity == 0 ? 1 : capacity) {
+  for (Frame& f : frames_) f.data.resize(file_->page_size());
+}
+
+Result<PageRef> BufferPool::Fetch(uint64_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frame_of_page_.find(page_id);
+  if (it != frame_of_page_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    f.referenced = true;
+    ++stats_.hits;
+    return PageRef(this, it->second, page_id,
+                   std::span<const uint8_t>(f.data).subspan(kPageCrcBytes));
+  }
+  ++stats_.misses;
+
+  // Clock sweep: two full revolutions are enough — the first clears every
+  // reference bit, so the second must find any unpinned frame.
+  size_t victim = frames_.size();
+  for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+    Frame& f = frames_[hand_];
+    if (f.pins == 0) {
+      if (f.referenced) {
+        f.referenced = false;
+      } else {
+        victim = hand_;
+        hand_ = (hand_ + 1) % frames_.size();
+        break;
+      }
+    }
+    hand_ = (hand_ + 1) % frames_.size();
+  }
+  if (victim == frames_.size()) {
+    return Status::Unavailable(
+        "buffer pool exhausted: all " + std::to_string(frames_.size()) +
+        " frames pinned");
+  }
+
+  Frame& f = frames_[victim];
+  if (f.valid) {
+    frame_of_page_.erase(f.page_id);
+    f.valid = false;
+    ++stats_.evictions;
+  }
+  // Load under the lock: concurrent readers of cached pages only pay the
+  // map probe; concurrent misses serialize (see header).
+  RDFPARAMS_RETURN_NOT_OK(file_->ReadPage(page_id, f.data));
+  f.page_id = page_id;
+  f.pins = 1;
+  f.referenced = true;
+  f.valid = true;
+  frame_of_page_[page_id] = victim;
+  return PageRef(this, victim, page_id,
+                 std::span<const uint8_t>(f.data).subspan(kPageCrcBytes));
+}
+
+void BufferPool::Unpin(size_t frame_idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = frames_[frame_idx];
+  RDFPARAMS_DCHECK(f.pins > 0);
+  --f.pins;
+}
+
+size_t BufferPool::pinned_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Frame& f : frames_) n += f.pins > 0 ? 1 : 0;
+  return n;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace rdfparams::storage

@@ -1,0 +1,114 @@
+// BufferPool: a fixed set of page frames over one SnapshotFile.
+//
+// Fetch(page) returns a pinned PageRef; while any ref to a frame is alive
+// the frame cannot be evicted, so the returned payload span stays valid.
+// Capacity misses pick a victim with the classic clock (second-chance)
+// sweep: every frame has a reference bit set on use; the hand clears set
+// bits and evicts the first unpinned frame whose bit is already clear.
+// Given the same operation sequence the eviction order is deterministic —
+// asserted by tests/storage_buffer_pool_test.cc.
+//
+// Thread-safe for concurrent readers: one mutex guards the frame table,
+// and page loads happen under it (reads serialize on a miss; hits only
+// hold the lock for the map probe). This is the simple-and-correct
+// baseline the TSan CI job locks in; sharding the map is future work.
+//
+// The pool is what bounds memory to capacity * page_size regardless of
+// snapshot size: the snapshot opener streams dictionary bytes and index
+// runs through it, and the paged accessors (paged_reader.h) let scans
+// touch arbitrarily large runs with a handful of resident pages.
+#ifndef RDFPARAMS_STORAGE_BUFFER_POOL_H_
+#define RDFPARAMS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/snapshot_file.h"
+#include "util/status.h"
+
+namespace rdfparams::storage {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+class BufferPool;
+
+/// RAII pin on one cached page. Movable, not copyable; releasing the last
+/// ref makes the frame evictable again (the cached bytes stay until the
+/// clock actually reuses the frame).
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  uint64_t page_id() const { return page_id_; }
+  /// Payload bytes (the page minus its CRC field).
+  std::span<const uint8_t> payload() const { return payload_; }
+
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, size_t frame, uint64_t page_id,
+          std::span<const uint8_t> payload)
+      : pool_(pool), frame_(frame), page_id_(page_id), payload_(payload) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  uint64_t page_id_ = 0;
+  std::span<const uint8_t> payload_;
+};
+
+class BufferPool {
+ public:
+  /// `file` must outlive the pool. `capacity` is in pages (>= 1).
+  BufferPool(const SnapshotFile* file, size_t capacity);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pinned ref to the page, loading (and CRC-verifying) it on a
+  /// miss. Fails with kUnavailable when every frame is pinned, and with
+  /// the underlying DataLoss/IOError when the page cannot be loaded.
+  Result<PageRef> Fetch(uint64_t page_id);
+
+  size_t capacity() const { return frames_.size(); }
+  uint32_t page_size() const { return file_->page_size(); }
+  /// Number of frames with at least one live pin.
+  size_t pinned_frames() const;
+  BufferPoolStats stats() const;
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    uint64_t page_id = 0;
+    uint32_t pins = 0;
+    bool referenced = false;
+    bool valid = false;
+    std::vector<uint8_t> data;
+  };
+
+  void Unpin(size_t frame_idx);
+
+  const SnapshotFile* file_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, size_t> frame_of_page_;
+  size_t hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace rdfparams::storage
+
+#endif  // RDFPARAMS_STORAGE_BUFFER_POOL_H_

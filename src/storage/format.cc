@@ -1,0 +1,179 @@
+#include "storage/format.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace rdfparams::storage {
+
+bool ValidPageSize(uint32_t page_size) {
+  return page_size >= kMinPageSize && page_size <= kMaxPageSize &&
+         (page_size & (page_size - 1)) == 0;
+}
+
+const SectionInfo* SnapshotHeader::FindSection(uint32_t kind) const {
+  for (const SectionInfo& s : sections) {
+    if (s.kind == kind) return &s;
+  }
+  return nullptr;
+}
+
+void SealPage(uint64_t page_id, std::span<uint8_t> page) {
+  RDFPARAMS_DCHECK(page.size() > kPageCrcBytes);
+  uint32_t crc = util::Crc32Seeded(page_id, page.data() + kPageCrcBytes,
+                                   page.size() - kPageCrcBytes);
+  util::StoreU32(page.data(), crc);
+}
+
+Status VerifyPage(uint64_t page_id, std::span<const uint8_t> page) {
+  RDFPARAMS_DCHECK(page.size() > kPageCrcBytes);
+  uint32_t stored = util::LoadU32(page.data());
+  uint32_t actual = util::Crc32Seeded(page_id, page.data() + kPageCrcBytes,
+                                      page.size() - kPageCrcBytes);
+  if (stored != actual) {
+    return Status::DataLoss("page " + std::to_string(page_id) +
+                            " checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Result<std::string> EncodeHeaderPayload(const SnapshotHeader& header) {
+  std::string out;
+  out.append(kHeaderMagic, sizeof(kHeaderMagic));
+  util::AppendU32(&out, header.version);
+  util::AppendU32(&out, header.page_size);
+  util::AppendU64(&out, header.page_count);
+  util::AppendU32(&out, header.flags);
+  util::AppendU32(&out, static_cast<uint32_t>(header.sections.size()));
+  for (const SectionInfo& s : header.sections) {
+    util::AppendU32(&out, s.kind);
+    util::AppendU64(&out, s.first_page);
+    util::AppendU64(&out, s.page_count);
+    util::AppendU64(&out, s.byte_length);
+    util::AppendU64(&out, s.item_count);
+  }
+  if (out.size() > PayloadSize(header.page_size)) {
+    return Status::Internal("snapshot header does not fit one page");
+  }
+  return out;
+}
+
+Result<SnapshotHeader> DecodeHeaderPayload(std::span<const uint8_t> payload,
+                                           uint64_t file_size) {
+  if (payload.size() < sizeof(kHeaderMagic) ||
+      std::memcmp(payload.data(), kHeaderMagic, sizeof(kHeaderMagic)) != 0) {
+    return Status::ParseError("not a rdfparams snapshot (bad magic)");
+  }
+  util::Decoder dec(std::string_view(
+      reinterpret_cast<const char*>(payload.data()) + sizeof(kHeaderMagic),
+      payload.size() - sizeof(kHeaderMagic)));
+
+  SnapshotHeader header;
+  RDFPARAMS_ASSIGN_OR_RETURN(header.version, dec.ReadU32());
+  if (header.version != kFormatVersion) {
+    return Status::ParseError("unsupported snapshot version " +
+                              std::to_string(header.version));
+  }
+  RDFPARAMS_ASSIGN_OR_RETURN(header.page_size, dec.ReadU32());
+  if (!ValidPageSize(header.page_size)) {
+    return Status::ParseError("invalid snapshot page size " +
+                              std::to_string(header.page_size));
+  }
+  RDFPARAMS_ASSIGN_OR_RETURN(header.page_count, dec.ReadU64());
+  if (header.page_count < 2 ||
+      header.page_count != file_size / header.page_size ||
+      file_size % header.page_size != 0) {
+    return Status::ParseError("snapshot page count does not match file size");
+  }
+  RDFPARAMS_ASSIGN_OR_RETURN(header.flags, dec.ReadU32());
+  if ((header.flags & ~kFlagAllIndexes) != 0) {
+    return Status::ParseError("unknown snapshot flags");
+  }
+  uint32_t section_count = 0;
+  RDFPARAMS_ASSIGN_OR_RETURN(section_count, dec.ReadU32());
+  // The table must fit the header page, which bounds section_count tightly.
+  if (section_count > PayloadSize(header.page_size) / 36) {
+    return Status::ParseError("snapshot section table too large");
+  }
+  uint64_t next_free_page = 1;  // pages 0 (header) and N-1 (footer) are fixed
+  for (uint32_t i = 0; i < section_count; ++i) {
+    SectionInfo s;
+    RDFPARAMS_ASSIGN_OR_RETURN(s.kind, dec.ReadU32());
+    RDFPARAMS_ASSIGN_OR_RETURN(s.first_page, dec.ReadU64());
+    RDFPARAMS_ASSIGN_OR_RETURN(s.page_count, dec.ReadU64());
+    RDFPARAMS_ASSIGN_OR_RETURN(s.byte_length, dec.ReadU64());
+    RDFPARAMS_ASSIGN_OR_RETURN(s.item_count, dec.ReadU64());
+    bool known = s.kind == kSectionDictionary || s.kind == kSectionAppMeta ||
+                 (s.kind >= kSectionIndexBase && s.kind < kSectionIndexBase + 6);
+    if (!known) {
+      return Status::ParseError("unknown snapshot section kind " +
+                                std::to_string(s.kind));
+    }
+    if (header.FindSection(s.kind) != nullptr) {
+      return Status::ParseError("duplicate snapshot section kind " +
+                                std::to_string(s.kind));
+    }
+    // Lengths are bounded by the file itself (every item/byte occupies at
+    // least one file byte), which also rules out overflow below.
+    if (s.byte_length > file_size || s.item_count > file_size) {
+      return Status::ParseError("snapshot section length inconsistent");
+    }
+    // The exact page count is implied by the packing discipline.
+    uint64_t payload = PayloadSize(header.page_size);
+    uint64_t expected_pages;
+    if (s.kind >= kSectionIndexBase && s.kind < kSectionIndexBase + 6) {
+      uint64_t per_page = TriplesPerPage(header.page_size);
+      if (s.byte_length != s.item_count * kTripleBytes) {
+        return Status::ParseError("snapshot section length inconsistent");
+      }
+      expected_pages = (s.item_count + per_page - 1) / per_page;
+    } else {
+      expected_pages = (s.byte_length + payload - 1) / payload;
+    }
+    if (s.page_count != expected_pages) {
+      return Status::ParseError("snapshot section length inconsistent");
+    }
+    if (s.page_count == 0) {
+      if (s.first_page != 0) {
+        return Status::ParseError("empty snapshot section with payload");
+      }
+    } else {
+      // Sections are laid out in table order, densely, between the header
+      // and the footer.
+      if (s.first_page != next_free_page ||
+          s.first_page + s.page_count > header.page_count - 1) {
+        return Status::ParseError("snapshot section out of bounds");
+      }
+      next_free_page = s.first_page + s.page_count;
+    }
+    header.sections.push_back(s);
+  }
+  if (next_free_page != header.page_count - 1) {
+    return Status::ParseError("snapshot sections do not cover the file");
+  }
+  return header;
+}
+
+std::string EncodeFooterPayload(uint64_t page_count, uint32_t file_crc) {
+  std::string out;
+  out.append(kFooterMagic, sizeof(kFooterMagic));
+  util::AppendU64(&out, page_count);
+  util::AppendU32(&out, file_crc);
+  return out;
+}
+
+Result<uint32_t> DecodeFooterPayload(std::span<const uint8_t> payload,
+                                     uint64_t expected_page_count) {
+  if (payload.size() < sizeof(kFooterMagic) + 12 ||
+      std::memcmp(payload.data(), kFooterMagic, sizeof(kFooterMagic)) != 0) {
+    return Status::ParseError("snapshot footer magic missing");
+  }
+  uint64_t page_count = util::LoadU64(payload.data() + sizeof(kFooterMagic));
+  if (page_count != expected_page_count) {
+    return Status::ParseError("snapshot footer page count mismatch");
+  }
+  return util::LoadU32(payload.data() + sizeof(kFooterMagic) + 8);
+}
+
+}  // namespace rdfparams::storage

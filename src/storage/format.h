@@ -1,0 +1,127 @@
+// On-disk snapshot format: a single file of fixed-size checksummed pages.
+//
+//   page 0            header: magic, version, page size, section table
+//   pages 1..N-2      section payloads (dictionary, index runs, app meta)
+//   page N-1          footer: magic, page count, whole-file CRC32
+//
+// Every page is `page_size` bytes: a u32 CRC32 of the payload (seeded with
+// the page number, so a page copied to the wrong offset fails even when
+// its bytes are internally intact) followed by `page_size - 4` payload
+// bytes. The footer's file CRC covers every byte before the footer page —
+// including the other pages' CRC fields and padding — so any single bit
+// flip anywhere in the file is caught either by a page CRC or by the file
+// CRC, and always as a clean Status, never as a wrong answer.
+//
+// Sections start on a fresh page. Two packing disciplines:
+//   * byte-stream sections (dictionary, app meta): payload areas of the
+//     section's pages concatenate into one byte stream; records straddle
+//     page boundaries freely.
+//   * record sections (index runs): fixed 12-byte triples that never
+//     straddle a page — floor(payload / 12) triples per page, the rest
+//     zero padding — so triple i is addressable as (page, offset) without
+//     reading its neighbours. This is what makes the paged accessors and
+//     larger-than-memory scans O(1) per step.
+#ifndef RDFPARAMS_STORAGE_FORMAT_H_
+#define RDFPARAMS_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace rdfparams::storage {
+
+inline constexpr char kHeaderMagic[8] = {'R', 'D', 'F', 'P',
+                                         'S', 'N', 'P', '1'};
+inline constexpr char kFooterMagic[8] = {'R', 'D', 'F', 'P',
+                                         'F', 'T', 'R', '1'};
+inline constexpr uint32_t kFormatVersion = 1;
+
+inline constexpr uint32_t kMinPageSize = 512;
+inline constexpr uint32_t kMaxPageSize = 1u << 20;
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+/// CRC field at the front of every page.
+inline constexpr size_t kPageCrcBytes = 4;
+
+/// Serialized triple record width (3 x u32 little-endian).
+inline constexpr size_t kTripleBytes = 12;
+
+/// True iff `page_size` is a power of two within the supported range.
+bool ValidPageSize(uint32_t page_size);
+
+inline size_t PayloadSize(uint32_t page_size) {
+  return page_size - kPageCrcBytes;
+}
+
+inline uint64_t TriplesPerPage(uint32_t page_size) {
+  return PayloadSize(page_size) / kTripleBytes;
+}
+
+enum SectionKind : uint32_t {
+  kSectionDictionary = 1,
+  // Index runs: kSectionIndexBase + static_cast<uint32_t>(IndexOrder).
+  kSectionIndexBase = 2,
+  kSectionAppMeta = 8,
+};
+
+inline uint32_t SectionKindForIndex(rdf::IndexOrder order) {
+  return kSectionIndexBase + static_cast<uint32_t>(order);
+}
+
+/// Header flag bits.
+inline constexpr uint32_t kFlagAllIndexes = 1u << 0;
+
+/// One entry of the header's section table.
+struct SectionInfo {
+  uint32_t kind = 0;
+  uint64_t first_page = 0;   ///< 0 for empty sections
+  uint64_t page_count = 0;
+  uint64_t byte_length = 0;  ///< meaningful payload bytes, excluding padding
+  uint64_t item_count = 0;   ///< terms / triples; 0 for byte-only sections
+};
+
+/// Decoded header page.
+struct SnapshotHeader {
+  uint32_t version = kFormatVersion;
+  uint32_t page_size = kDefaultPageSize;
+  uint64_t page_count = 0;  ///< total pages, including header and footer
+  uint32_t flags = 0;
+  std::vector<SectionInfo> sections;
+
+  bool all_indexes() const { return (flags & kFlagAllIndexes) != 0; }
+  const SectionInfo* FindSection(uint32_t kind) const;
+};
+
+/// Seals a page in place: computes the payload CRC (seeded with `page_id`)
+/// and stores it in the page's first four bytes. `page` must be the full
+/// page_size bytes.
+void SealPage(uint64_t page_id, std::span<uint8_t> page);
+
+/// Verifies a sealed page's CRC. DataLoss on mismatch.
+Status VerifyPage(uint64_t page_id, std::span<const uint8_t> page);
+
+/// Encodes the header payload (magic .. section table). Fails if the
+/// encoding does not fit one page payload.
+Result<std::string> EncodeHeaderPayload(const SnapshotHeader& header);
+
+/// Decodes and validates a header payload: magic, version, page size,
+/// section table sanity (pages in range, no overlap with header/footer).
+/// `file_size` bounds the page table. ParseError on any format violation.
+Result<SnapshotHeader> DecodeHeaderPayload(std::span<const uint8_t> payload,
+                                           uint64_t file_size);
+
+/// Encodes the footer payload (magic, page count, whole-file CRC).
+std::string EncodeFooterPayload(uint64_t page_count, uint32_t file_crc);
+
+/// Decodes a footer payload; checks the magic and that `page_count`
+/// matches the header's. Returns the stored whole-file CRC.
+Result<uint32_t> DecodeFooterPayload(std::span<const uint8_t> payload,
+                                     uint64_t expected_page_count);
+
+}  // namespace rdfparams::storage
+
+#endif  // RDFPARAMS_STORAGE_FORMAT_H_

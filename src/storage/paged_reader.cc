@@ -1,0 +1,84 @@
+#include "storage/paged_reader.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace rdfparams::storage {
+
+PagedByteReader::PagedByteReader(BufferPool* pool, const SectionInfo& section)
+    : pool_(pool),
+      section_(section),
+      payload_size_(PayloadSize(pool->page_size())) {}
+
+Status PagedByteReader::Read(void* out, size_t n) {
+  if (n > remaining()) {
+    return Status::ParseError("snapshot section truncated: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(remaining()));
+  }
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (n > 0) {
+    uint64_t page_index = pos_ / payload_size_;
+    uint64_t offset = pos_ % payload_size_;
+    uint64_t page_id = section_.first_page + page_index;
+    if (!current_.valid() || current_.page_id() != page_id) {
+      current_.Release();
+      RDFPARAMS_ASSIGN_OR_RETURN(current_, pool_->Fetch(page_id));
+    }
+    size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(n, payload_size_ - offset));
+    std::memcpy(dst, current_.payload().data() + offset, chunk);
+    dst += chunk;
+    pos_ += chunk;
+    n -= chunk;
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> PagedByteReader::ReadU8() {
+  uint8_t v = 0;
+  RDFPARAMS_RETURN_NOT_OK(Read(&v, 1));
+  return v;
+}
+
+Result<uint32_t> PagedByteReader::ReadU32() {
+  uint8_t buf[4];
+  RDFPARAMS_RETURN_NOT_OK(Read(buf, 4));
+  return util::LoadU32(buf);
+}
+
+Result<std::string> PagedByteReader::ReadLengthPrefixed() {
+  RDFPARAMS_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  if (len > remaining()) {
+    return Status::ParseError("snapshot string length " + std::to_string(len) +
+                              " exceeds section remainder");
+  }
+  std::string s(len, '\0');
+  RDFPARAMS_RETURN_NOT_OK(Read(s.data(), len));
+  return s;
+}
+
+PagedTripleCursor::PagedTripleCursor(BufferPool* pool,
+                                     const SectionInfo& section)
+    : pool_(pool),
+      section_(section),
+      per_page_(TriplesPerPage(pool->page_size())) {}
+
+Result<rdf::Triple> PagedTripleCursor::At(uint64_t i) {
+  if (i >= section_.item_count) {
+    return Status::OutOfRange("triple index beyond index run");
+  }
+  uint64_t page_id = section_.first_page + i / per_page_;
+  if (!current_.valid() || current_.page_id() != page_id) {
+    current_.Release();
+    RDFPARAMS_ASSIGN_OR_RETURN(current_, pool_->Fetch(page_id));
+  }
+  size_t offset = static_cast<size_t>((i % per_page_) * kTripleBytes);
+  const uint8_t* p = current_.payload().data() + offset;
+  return rdf::Triple(util::LoadU32(p), util::LoadU32(p + 4),
+                     util::LoadU32(p + 8));
+}
+
+}  // namespace rdfparams::storage

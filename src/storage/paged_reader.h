@@ -1,0 +1,74 @@
+// Paged accessors over snapshot sections, reading through a BufferPool.
+//
+// PagedByteReader treats a byte-stream section (dictionary, app meta) as
+// one sequential stream: records may straddle pages, and exactly one page
+// is pinned at a time — memory stays bounded no matter how large the
+// section is.
+//
+// PagedTripleCursor addresses a record section (an index run): triples
+// never straddle pages (format.h), so At(i) is a page fetch plus a fixed
+// offset. Sequential scans keep the current page pinned and hit the pool
+// map once per TriplesPerPage() triples. This is the accessor that makes
+// larger-than-memory index runs scannable: the working set is the pool
+// capacity, not the run length.
+#ifndef RDFPARAMS_STORAGE_PAGED_READER_H_
+#define RDFPARAMS_STORAGE_PAGED_READER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/triple.h"
+#include "storage/buffer_pool.h"
+#include "storage/format.h"
+#include "util/status.h"
+
+namespace rdfparams::storage {
+
+/// Sequential reader over a byte-stream section.
+class PagedByteReader {
+ public:
+  /// `pool` must outlive the reader; `section` must describe a byte-stream
+  /// section of the pool's snapshot.
+  PagedByteReader(BufferPool* pool, const SectionInfo& section);
+
+  uint64_t remaining() const { return section_.byte_length - pos_; }
+
+  /// Reads exactly `n` bytes; fails (ParseError) when fewer remain —
+  /// a truncated record is a format error, not an EOF.
+  Status Read(void* out, size_t n);
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  /// u32 length prefix + bytes; the prefix is validated against
+  /// remaining() before any allocation.
+  Result<std::string> ReadLengthPrefixed();
+
+ private:
+  BufferPool* pool_;
+  SectionInfo section_;
+  uint64_t payload_size_;
+  uint64_t pos_ = 0;
+  PageRef current_;  ///< pinned page containing pos_, when loaded
+};
+
+/// Random/sequential access over an index-run section.
+class PagedTripleCursor {
+ public:
+  PagedTripleCursor(BufferPool* pool, const SectionInfo& section);
+
+  uint64_t count() const { return section_.item_count; }
+
+  /// Triple `i` (i < count()). Sequential calls on ascending `i` reuse the
+  /// pinned page.
+  Result<rdf::Triple> At(uint64_t i);
+
+ private:
+  BufferPool* pool_;
+  SectionInfo section_;
+  uint64_t per_page_;
+  PageRef current_;
+};
+
+}  // namespace rdfparams::storage
+
+#endif  // RDFPARAMS_STORAGE_PAGED_READER_H_

@@ -1,0 +1,79 @@
+// Snapshot: save/open an entire dictionary + triple store as one
+// checksummed paged file (format.h).
+//
+// The contract is byte-identity: a store opened from a snapshot is
+// indistinguishable from the fresh load that produced it — same TermIds
+// (terms are re-interned in id order), same index runs (adopted verbatim,
+// never re-sorted), same derived statistics (recomputed by the same code
+// path Finalize uses). tests/storage_snapshot_test.cc enforces this
+// differentially, down to classify/run/explain output bytes.
+//
+// `app_meta` is an opaque blob the storage layer round-trips untouched;
+// the server layer uses it for workload metadata (generator entity lists)
+// so `serve --snapshot` can rebuild templates without re-generating.
+#ifndef RDFPARAMS_STORAGE_SNAPSHOT_H_
+#define RDFPARAMS_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "storage/format.h"
+#include "util/status.h"
+
+namespace rdfparams::storage {
+
+struct SaveOptions {
+  uint32_t page_size = kDefaultPageSize;
+};
+
+struct OpenOptions {
+  /// Buffer pool capacity in pages while restoring.
+  size_t pool_pages = 256;
+  /// Verify the footer's whole-file CRC with a streaming pass before
+  /// decoding anything. Catches flips in padding and page CRC fields that
+  /// per-page checks cannot see; costs one sequential read of the file.
+  bool verify_file_checksum = true;
+};
+
+/// Everything a snapshot restores.
+struct OpenedSnapshot {
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  std::string app_meta;       ///< empty when has_app_meta is false
+  bool has_app_meta = false;  ///< whether the file carried an app-meta section
+};
+
+/// Decoded header plus file facts, for the CLI `open` (inspect) verb.
+struct SnapshotInfo {
+  SnapshotHeader header;
+  uint64_t file_size = 0;
+};
+
+class Snapshot {
+ public:
+  /// Writes `dict` + `store` (+ optional `app_meta`, skipped when empty) to
+  /// `path` atomically (temp file + rename). The store must be finalized;
+  /// all built index runs are serialized, and the all-indexes flag records
+  /// which set. Fails without touching `path` on any error.
+  static Status Save(const rdf::Dictionary& dict,
+                     const rdf::TripleStore& store, std::string_view app_meta,
+                     const std::string& path, const SaveOptions& options = {});
+
+  /// Opens a snapshot: verifies checksums, re-interns the dictionary in id
+  /// order, adopts the index runs verbatim, and returns the restored parts.
+  /// Any corruption or format violation is a clean DataLoss / ParseError —
+  /// never a crash or a silently wrong store.
+  static Result<OpenedSnapshot> Open(const std::string& path,
+                                     const OpenOptions& options = {});
+
+  /// Validates checksums and returns the decoded header without restoring
+  /// the store (the cheap integrity check behind the CLI `open` verb).
+  static Result<SnapshotInfo> Inspect(const std::string& path);
+};
+
+}  // namespace rdfparams::storage
+
+#endif  // RDFPARAMS_STORAGE_SNAPSHOT_H_

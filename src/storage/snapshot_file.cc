@@ -1,0 +1,104 @@
+#include "storage/snapshot_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace rdfparams::storage {
+
+Result<std::unique_ptr<SnapshotFile>> SnapshotFile::Open(
+    const std::string& path) {
+  RDFPARAMS_ASSIGN_OR_RETURN(auto file, util::RandomAccessFile::Open(path));
+  const uint64_t size = file->size();
+  if (size == 0) {
+    return Status::ParseError(path + ": empty file is not a snapshot");
+  }
+  if (size < kMinPageSize) {
+    return Status::ParseError(path + ": file smaller than a snapshot page");
+  }
+
+  // Bootstrap: magic / version / page_size live at fixed offsets right
+  // after the header page's CRC, so they can be read before the page size
+  // (and hence the CRC span) is known.
+  uint8_t prologue[kPageCrcBytes + sizeof(kHeaderMagic) + 8];
+  RDFPARAMS_RETURN_NOT_OK(
+      file->ReadExact(0, std::span<uint8_t>(prologue, sizeof(prologue))));
+  if (std::memcmp(prologue + kPageCrcBytes, kHeaderMagic,
+                  sizeof(kHeaderMagic)) != 0) {
+    return Status::ParseError(path + ": not a rdfparams snapshot (bad magic)");
+  }
+  uint32_t version =
+      util::LoadU32(prologue + kPageCrcBytes + sizeof(kHeaderMagic));
+  if (version != kFormatVersion) {
+    return Status::ParseError(path + ": unsupported snapshot version " +
+                              std::to_string(version));
+  }
+  uint32_t page_size =
+      util::LoadU32(prologue + kPageCrcBytes + sizeof(kHeaderMagic) + 4);
+  if (!ValidPageSize(page_size)) {
+    return Status::ParseError(path + ": invalid snapshot page size " +
+                              std::to_string(page_size));
+  }
+  if (size % page_size != 0 || size / page_size < 2) {
+    return Status::ParseError(path + ": truncated snapshot (size " +
+                              std::to_string(size) + " is not a whole number "
+                              "of pages with a header and a footer)");
+  }
+
+  // Full header page: CRC, then the complete decode.
+  std::vector<uint8_t> page(page_size);
+  RDFPARAMS_RETURN_NOT_OK(file->ReadExact(0, page));
+  RDFPARAMS_RETURN_NOT_OK(VerifyPage(0, page));
+  RDFPARAMS_ASSIGN_OR_RETURN(
+      SnapshotHeader header,
+      DecodeHeaderPayload(std::span<const uint8_t>(page).subspan(kPageCrcBytes),
+                          size));
+
+  // Footer page: CRC, magic, page-count agreement; remember the file CRC.
+  uint64_t footer_id = header.page_count - 1;
+  RDFPARAMS_RETURN_NOT_OK(file->ReadExact(footer_id * page_size, page));
+  RDFPARAMS_RETURN_NOT_OK(VerifyPage(footer_id, page));
+  RDFPARAMS_ASSIGN_OR_RETURN(
+      uint32_t footer_crc,
+      DecodeFooterPayload(std::span<const uint8_t>(page).subspan(kPageCrcBytes),
+                          header.page_count));
+
+  return std::unique_ptr<SnapshotFile>(new SnapshotFile(
+      std::move(file), std::move(header), footer_crc, path));
+}
+
+Status SnapshotFile::ReadPage(uint64_t page_id, std::span<uint8_t> out) const {
+  RDFPARAMS_DCHECK(out.size() == page_size());
+  if (page_id >= page_count()) {
+    return Status::OutOfRange("page " + std::to_string(page_id) +
+                              " beyond snapshot end");
+  }
+  RDFPARAMS_RETURN_NOT_OK(
+      file_->ReadExact(page_id * static_cast<uint64_t>(page_size()), out));
+  return VerifyPage(page_id, out);
+}
+
+Status SnapshotFile::VerifyFileChecksum() const {
+  const uint64_t covered =
+      (page_count() - 1) * static_cast<uint64_t>(page_size());
+  std::vector<uint8_t> chunk(1 << 20);
+  uint32_t crc = 0;
+  uint64_t offset = 0;
+  while (offset < covered) {
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(chunk.size(), covered - offset));
+    RDFPARAMS_RETURN_NOT_OK(
+        file_->ReadExact(offset, std::span<uint8_t>(chunk.data(), n)));
+    crc = util::Crc32Extend(crc, chunk.data(), n);
+    offset += n;
+  }
+  if (crc != footer_file_crc_) {
+    return Status::DataLoss(path_ + ": whole-file checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace rdfparams::storage

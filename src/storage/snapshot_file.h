@@ -1,0 +1,61 @@
+// SnapshotFile: a validated, read-only handle on one snapshot file.
+//
+// Open() performs the cheap structural checks (size, header page CRC,
+// header decode, footer page CRC, footer/header agreement) so every
+// consumer — the BufferPool, the snapshot opener, the CLI inspector —
+// starts from a file whose geometry is known good. Page payloads are only
+// checked as they are read (ReadPage verifies the per-page CRC);
+// VerifyFileChecksum() streams the whole file against the footer CRC for
+// the paranoid full check the snapshot opener runs by default.
+#ifndef RDFPARAMS_STORAGE_SNAPSHOT_FILE_H_
+#define RDFPARAMS_STORAGE_SNAPSHOT_FILE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "storage/format.h"
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace rdfparams::storage {
+
+class SnapshotFile {
+ public:
+  /// Opens and structurally validates a snapshot. Fails with a clean
+  /// ParseError / DataLoss / IOError on anything malformed: zero-length
+  /// or truncated files, wrong magic/version/page size, header or footer
+  /// corruption.
+  static Result<std::unique_ptr<SnapshotFile>> Open(const std::string& path);
+
+  const SnapshotHeader& header() const { return header_; }
+  uint32_t page_size() const { return header_.page_size; }
+  uint64_t page_count() const { return header_.page_count; }
+  const std::string& path() const { return path_; }
+
+  /// Reads page `page_id` (full page bytes, CRC verified) into `out`,
+  /// which must be exactly page_size() bytes.
+  Status ReadPage(uint64_t page_id, std::span<uint8_t> out) const;
+
+  /// Streams the entire file and compares against the footer's whole-file
+  /// CRC. Catches flips in padding or CRC fields that no payload read
+  /// would ever touch.
+  Status VerifyFileChecksum() const;
+
+ private:
+  SnapshotFile(std::unique_ptr<util::RandomAccessFile> file,
+               SnapshotHeader header, uint32_t footer_crc, std::string path)
+      : file_(std::move(file)),
+        header_(std::move(header)),
+        footer_file_crc_(footer_crc),
+        path_(std::move(path)) {}
+
+  std::unique_ptr<util::RandomAccessFile> file_;
+  SnapshotHeader header_;
+  uint32_t footer_file_crc_;
+  std::string path_;
+};
+
+}  // namespace rdfparams::storage
+
+#endif  // RDFPARAMS_STORAGE_SNAPSHOT_FILE_H_

@@ -1,0 +1,107 @@
+// Little-endian binary coding helpers shared by the snapshot format and
+// the workbench metadata blob. Append* grows a std::string; the Decoder
+// consumes a byte view with explicit bounds checking (a truncated or
+// corrupt stream yields a Status, never UB).
+#ifndef RDFPARAMS_UTIL_CODING_H_
+#define RDFPARAMS_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace rdfparams::util {
+
+inline void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->append(buf, 4);
+}
+
+inline void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->append(buf, 8);
+}
+
+/// u32 length prefix + raw bytes.
+inline void AppendLengthPrefixed(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+inline uint32_t LoadU32(const void* p) {
+  const uint8_t* b = static_cast<const uint8_t*>(p);
+  return static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+         static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
+}
+
+inline uint64_t LoadU64(const void* p) {
+  const uint8_t* b = static_cast<const uint8_t*>(p);
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+inline void StoreU32(void* p, uint32_t v) {
+  uint8_t* b = static_cast<uint8_t*>(p);
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+/// Bounds-checked sequential reader over a byte view.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> ReadU8() {
+    RDFPARAMS_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() {
+    RDFPARAMS_RETURN_NOT_OK(Need(4));
+    uint32_t v = LoadU32(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    RDFPARAMS_RETURN_NOT_OK(Need(8));
+    uint64_t v = LoadU64(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+
+  /// Reads a u32 length prefix followed by that many raw bytes.
+  Result<std::string> ReadLengthPrefixed() {
+    RDFPARAMS_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    RDFPARAMS_RETURN_NOT_OK(Need(len));
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  Status Need(size_t n) {
+    if (data_.size() - pos_ < n) {
+      return Status::OutOfRange("decode past end of buffer");
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rdfparams::util
+
+#endif  // RDFPARAMS_UTIL_CODING_H_

@@ -1,0 +1,73 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace rdfparams::util {
+
+namespace {
+
+// Eight tables: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte through k extra zero bytes, which is what lets the hot
+// loop fold 8 input bytes per iteration.
+struct Crc32Tables {
+  uint32_t t[8][256];
+};
+
+constexpr uint32_t kPoly = 0xEDB88320u;
+
+Crc32Tables BuildTables() {
+  Crc32Tables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      crc = tables.t[0][crc & 0xFFu] ^ (crc >> 8);
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables tables = BuildTables();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t n) {
+  const auto& t = Tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n >= 8) {
+    uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                         static_cast<uint32_t>(p[1]) << 8 |
+                         static_cast<uint32_t>(p[2]) << 16 |
+                         static_cast<uint32_t>(p[3]) << 24);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^
+          t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32Seeded(uint64_t seed, const void* data, size_t n) {
+  uint8_t seed_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    seed_bytes[i] = static_cast<uint8_t>(seed >> (8 * i));
+  }
+  return Crc32Extend(Crc32Extend(0, seed_bytes, sizeof(seed_bytes)), data, n);
+}
+
+}  // namespace rdfparams::util

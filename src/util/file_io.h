@@ -1,0 +1,80 @@
+// Positional file I/O for the storage layer.
+//
+// RandomAccessFile wraps an O_RDONLY descriptor with EINTR-safe pread —
+// many BufferPool readers can share one instance because pread carries its
+// own offset (no shared file cursor). SequentialFileWriter appends through
+// a user-space buffer and supports an atomic finish: content is written to
+// `path + ".tmp"` and renamed into place, so a crashed save never leaves a
+// half-written snapshot under the final name.
+#ifndef RDFPARAMS_UTIL_FILE_IO_H_
+#define RDFPARAMS_UTIL_FILE_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace rdfparams::util {
+
+/// Read-only random-access file. Thread-safe: pread has no shared cursor.
+class RandomAccessFile {
+ public:
+  static Result<std::unique_ptr<RandomAccessFile>> Open(
+      const std::string& path);
+  ~RandomAccessFile();
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Reads exactly out.size() bytes at `offset`; fails (kIOError) on EOF
+  /// short reads — the storage layer always knows the exact length.
+  Status ReadExact(uint64_t offset, std::span<uint8_t> out) const;
+
+ private:
+  RandomAccessFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+
+  int fd_;
+  uint64_t size_;
+  std::string path_;
+};
+
+/// Buffered append-only writer with write-to-temp + rename-on-finish.
+class SequentialFileWriter {
+ public:
+  /// Opens `path + ".tmp"` for writing (truncating any leftover).
+  static Result<std::unique_ptr<SequentialFileWriter>> Create(
+      const std::string& path);
+  ~SequentialFileWriter();
+  SequentialFileWriter(const SequentialFileWriter&) = delete;
+  SequentialFileWriter& operator=(const SequentialFileWriter&) = delete;
+
+  Status Append(const void* data, size_t n);
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Flushes, fsyncs, closes, and renames the temp file onto the final
+  /// path. No further Append is allowed. Without Finish, the destructor
+  /// discards the temp file.
+  Status Finish();
+
+ private:
+  SequentialFileWriter(int fd, std::string path, std::string tmp_path)
+      : fd_(fd), path_(std::move(path)), tmp_path_(std::move(tmp_path)) {}
+
+  Status FlushBuffer();
+
+  int fd_;
+  std::string path_;
+  std::string tmp_path_;
+  std::string buffer_;
+  uint64_t bytes_written_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace rdfparams::util
+
+#endif  // RDFPARAMS_UTIL_FILE_IO_H_

@@ -25,6 +25,7 @@ enum class StatusCode : uint8_t {
   kInternal = 6,
   kIOError = 7,
   kUnavailable = 8,
+  kDataLoss = 9,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "ParseError", ...).
@@ -39,6 +40,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kDataLoss: return "DataLoss";
   }
   return "Unknown";
 }
@@ -75,6 +77,10 @@ class Status {
   /// Admission-control rejections (server at capacity); retryable.
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Checksum mismatches and corrupt on-disk images (storage layer).
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,101 @@
+// Regression tests for bench::ParseBenchArgs, the shared argv handling
+// for every bench harness. The hand-rolled copies it replaced had
+// drifted: one passed argc-1/argv+1 to FlagParser::Parse (which already
+// skips argv[0]) and silently dropped the first flag; others swallowed
+// parse errors or returned success for `--help --bogus`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_common.h"
+#include "util/flags.h"
+
+namespace rdfparams {
+namespace {
+
+/// Owns mutable argv storage for one ParseBenchArgs call.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    for (std::string& s : strings_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(BenchArgsTest, FirstFlagIsNotDropped) {
+  // The historical bug: Parse already skips argv[0], so an extra +1
+  // offset made the flag right after the program name vanish.
+  int64_t products = 6000;
+  util::FlagParser flags;
+  flags.AddInt64("products", &products, "scale");
+  Argv a({"bench_x", "--products=123"});
+  EXPECT_EQ(bench::ParseBenchArgs(a.argc(), a.argv(), &flags), -1);
+  EXPECT_EQ(products, 123);
+}
+
+TEST(BenchArgsTest, SpaceSeparatedValueForm) {
+  int64_t seed = 42;
+  util::FlagParser flags;
+  flags.AddInt64("seed", &seed, "seed");
+  Argv a({"bench_x", "--seed", "7"});
+  EXPECT_EQ(bench::ParseBenchArgs(a.argc(), a.argv(), &flags), -1);
+  EXPECT_EQ(seed, 7);
+}
+
+TEST(BenchArgsTest, AllFlagsParsedTogether) {
+  int64_t products = 6000;
+  int64_t seed = 42;
+  util::FlagParser flags;
+  flags.AddInt64("products", &products, "scale");
+  flags.AddInt64("seed", &seed, "seed");
+  Argv a({"bench_x", "--products=10", "--seed=11"});
+  EXPECT_EQ(bench::ParseBenchArgs(a.argc(), a.argv(), &flags), -1);
+  EXPECT_EQ(products, 10);
+  EXPECT_EQ(seed, 11);
+}
+
+TEST(BenchArgsTest, NoArgsContinues) {
+  util::FlagParser flags;
+  Argv a({"bench_x"});
+  EXPECT_EQ(bench::ParseBenchArgs(a.argc(), a.argv(), &flags), -1);
+}
+
+TEST(BenchArgsTest, HelpExitsSuccess) {
+  int64_t products = 6000;
+  util::FlagParser flags;
+  flags.AddInt64("products", &products, "scale");
+  Argv a({"bench_x", "--help"});
+  EXPECT_EQ(bench::ParseBenchArgs(a.argc(), a.argv(), &flags), 0);
+}
+
+TEST(BenchArgsTest, UnknownFlagExitsFailure) {
+  util::FlagParser flags;
+  Argv a({"bench_x", "--bogus=1"});
+  EXPECT_EQ(bench::ParseBenchArgs(a.argc(), a.argv(), &flags), 1);
+}
+
+TEST(BenchArgsTest, BadValueExitsFailure) {
+  int64_t products = 6000;
+  util::FlagParser flags;
+  flags.AddInt64("products", &products, "scale");
+  Argv a({"bench_x", "--products=lots"});
+  EXPECT_EQ(bench::ParseBenchArgs(a.argc(), a.argv(), &flags), 1);
+}
+
+TEST(BenchArgsTest, ErrorWinsOverHelp) {
+  // `--help --bogus` used to exit 0 in the drifted copies; a parse error
+  // must dominate so CI scripts never mistake a typo for success.
+  util::FlagParser flags;
+  Argv a({"bench_x", "--help", "--bogus"});
+  EXPECT_EQ(bench::ParseBenchArgs(a.argc(), a.argv(), &flags), 1);
+}
+
+}  // namespace
+}  // namespace rdfparams

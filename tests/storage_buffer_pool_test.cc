@@ -1,0 +1,232 @@
+// BufferPool unit tests: pin/unpin accounting, deterministic
+// second-chance eviction, capacity-1 thrash correctness, exhaustion, and
+// a concurrent-reader stress that the CI TSan job runs (the storage_.*
+// test regex) to lock in the one-mutex thread-safety claim.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/snapshot.h"
+#include "storage/snapshot_file.h"
+#include "util/rng.h"
+
+namespace rdfparams::storage {
+namespace {
+
+constexpr uint32_t kPageSize = 512;
+
+class StorageBufferPoolTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::Rng rng(4242);
+    rdf::Dictionary dict;
+    std::vector<rdf::TermId> ids;
+    for (size_t i = 0; i < 40; ++i) {
+      ids.push_back(
+          dict.InternIri("http://example.org/pool/e" + std::to_string(i)));
+    }
+    rdf::TripleStore store;
+    for (size_t i = 0; i < 300; ++i) {
+      store.Add(ids[rng.Uniform(ids.size())], ids[rng.Uniform(ids.size())],
+                ids[rng.Uniform(ids.size())]);
+    }
+    store.Finalize();
+
+    path_ = new std::string(::testing::TempDir() + "rdfparams_pool.snap");
+    SaveOptions options;
+    options.page_size = kPageSize;
+    ASSERT_TRUE(Snapshot::Save(dict, store, {}, *path_, options).ok());
+
+    auto file = SnapshotFile::Open(*path_);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    file_ = file->release();
+    ASSERT_GE(file_->page_count(), 8u) << "fixture too small for the tests";
+
+    // Ground truth for every payload comparison below.
+    expected_ = new std::vector<std::vector<uint8_t>>(file_->page_count());
+    for (uint64_t p = 0; p < file_->page_count(); ++p) {
+      (*expected_)[p].resize(kPageSize);
+      ASSERT_TRUE(file_->ReadPage(p, (*expected_)[p]).ok());
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete file_;
+    delete expected_;
+    std::remove(path_->c_str());
+    delete path_;
+    file_ = nullptr;
+    expected_ = nullptr;
+    path_ = nullptr;
+  }
+
+  /// True iff `ref` holds the payload (page minus CRC field) of `page`.
+  static bool PayloadMatches(const PageRef& ref, uint64_t page) {
+    auto payload = ref.payload();
+    const std::vector<uint8_t>& want = (*expected_)[page];
+    return payload.size() == want.size() - kPageCrcBytes &&
+           std::equal(payload.begin(), payload.end(),
+                      want.begin() + kPageCrcBytes);
+  }
+
+  static std::string* path_;
+  static SnapshotFile* file_;
+  static std::vector<std::vector<uint8_t>>* expected_;
+};
+
+std::string* StorageBufferPoolTest::path_ = nullptr;
+SnapshotFile* StorageBufferPoolTest::file_ = nullptr;
+std::vector<std::vector<uint8_t>>* StorageBufferPoolTest::expected_ = nullptr;
+
+TEST_F(StorageBufferPoolTest, PinAccounting) {
+  BufferPool pool(file_, 4);
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  {
+    auto a = pool.Fetch(0);
+    ASSERT_TRUE(a.ok());
+    auto b = pool.Fetch(1);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(pool.pinned_frames(), 2u);
+
+    // A second ref to a cached page pins the same frame, not a new one.
+    auto a2 = pool.Fetch(0);
+    ASSERT_TRUE(a2.ok());
+    EXPECT_EQ(pool.pinned_frames(), 2u);
+    a2->Release();
+    EXPECT_EQ(pool.pinned_frames(), 2u);  // first ref still holds the pin
+    a->Release();
+    EXPECT_EQ(pool.pinned_frames(), 1u);
+
+    // Moving a ref transfers the pin; the moved-from ref is inert.
+    PageRef moved = std::move(*b);
+    EXPECT_FALSE(b->valid());
+    EXPECT_TRUE(moved.valid());
+    EXPECT_EQ(pool.pinned_frames(), 1u);
+  }
+  EXPECT_EQ(pool.pinned_frames(), 0u);  // all refs out of scope
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST_F(StorageBufferPoolTest, ClockEvictionOrderIsDeterministic) {
+  BufferPool pool(file_, 3);
+  for (uint64_t p = 0; p < 3; ++p) {
+    auto ref = pool.Fetch(p);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_TRUE(PayloadMatches(*ref, p));
+  }
+  EXPECT_EQ(pool.stats().misses, 3u);
+  EXPECT_EQ(pool.stats().evictions, 0u);
+
+  // All three frames have their reference bit set; the sweep for page 3
+  // clears them in order and the second revolution evicts frame 0 (page
+  // 0) — the least-recently-granted-second-chance victim.
+  ASSERT_TRUE(pool.Fetch(3).ok());
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.Fetch(1)->page_id(), 1u);  // still cached
+  EXPECT_EQ(pool.Fetch(2)->page_id(), 2u);  // still cached
+  EXPECT_EQ(pool.stats().hits, 2u);
+
+  // Pages 1 and 2 were just re-referenced, page 3 was not touched since
+  // its load; the next miss must evict page 1's frame all the same — the
+  // hand parked after frame 0, so frame 1 loses its second chance first.
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(pool.stats().evictions, 2u);
+  BufferPoolStats before = pool.stats();
+  EXPECT_EQ(pool.Fetch(2)->page_id(), 2u);   // hit: frame 2 survived
+  EXPECT_EQ(pool.Fetch(3)->page_id(), 3u);   // hit: frame 0 survived
+  EXPECT_EQ(pool.stats().hits, before.hits + 2);
+  ASSERT_TRUE(pool.Fetch(1).ok());           // miss: page 1 was the victim
+  EXPECT_EQ(pool.stats().misses, before.misses + 1);
+}
+
+TEST_F(StorageBufferPoolTest, CapacityOneThrashStaysCorrect) {
+  BufferPool pool(file_, 1);
+  const uint64_t pages = file_->page_count();
+  uint64_t fetches = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t p = 0; p < pages; ++p, ++fetches) {
+      auto ref = pool.Fetch(p);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      EXPECT_TRUE(PayloadMatches(*ref, p)) << "page " << p;
+    }
+  }
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, fetches);  // every fetch misses: no reuse at cap 1
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.evictions, fetches - 1);  // first load fills an empty frame
+}
+
+TEST_F(StorageBufferPoolTest, AllFramesPinnedIsUnavailable) {
+  BufferPool pool(file_, 2);
+  auto a = pool.Fetch(0);
+  auto b = pool.Fetch(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  auto c = pool.Fetch(2);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kUnavailable);
+  // A pinned page can still be re-fetched — exhaustion only blocks misses.
+  EXPECT_TRUE(pool.Fetch(1).ok());
+
+  b->Release();
+  auto c2 = pool.Fetch(2);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_TRUE(PayloadMatches(*c2, 2));
+}
+
+TEST_F(StorageBufferPoolTest, ConcurrentReadersSeeConsistentPages) {
+  // Small pool + many threads = constant eviction churn; every payload a
+  // thread observes while holding its pin must match the file. Run under
+  // TSan in CI.
+  BufferPool pool(file_, 2);
+  const uint64_t pages = file_->page_count();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> unavailable{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kIters; ++i) {
+        uint64_t page = rng.Uniform(pages);
+        auto ref = pool.Fetch(page);
+        if (!ref.ok()) {
+          // 4 threads can transiently pin both frames; that is the
+          // documented kUnavailable case, not a bug.
+          if (ref.status().code() == StatusCode::kUnavailable) {
+            ++unavailable;
+            continue;
+          }
+          ++mismatches;
+          continue;
+        }
+        if (!PayloadMatches(*ref, page)) ++mismatches;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Every Fetch is counted exactly once (Unavailable attempts count as
+  // misses — the lookup happened before the sweep came up empty).
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace rdfparams::storage

@@ -1,0 +1,223 @@
+// Fault injection for the snapshot format: every corruption must surface
+// as a clean checksum / format Status — never a crash, a hang, or a
+// silently wrong store. Covers a bit flip in every page (header,
+// dictionary, index runs, app meta, footer; CRC fields, payload, and
+// padding alike), truncation at every page boundary and mid-page, wrong
+// magic / version / page size, and zero-length / sub-page files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "storage/format.h"
+#include "storage/snapshot.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace rdfparams::storage {
+namespace {
+
+constexpr uint32_t kPageSize = 512;  // small pages -> every class present
+
+class StorageCorruptionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // A small mixed store with an app-meta blob: at 512-byte pages the
+    // file has a header, several dictionary pages, three index runs, a
+    // meta page, and a footer — every page class the format defines.
+    util::Rng rng(99);
+    rdf::Dictionary dict;
+    std::vector<rdf::TermId> ids;
+    for (size_t i = 0; i < 40; ++i) {
+      ids.push_back(dict.InternIri("http://example.org/corrupt/e" +
+                                   std::to_string(i)));
+    }
+    rdf::TripleStore store;
+    for (size_t i = 0; i < 300; ++i) {
+      store.Add(ids[rng.Uniform(ids.size())], ids[rng.Uniform(ids.size())],
+                ids[rng.Uniform(ids.size())]);
+    }
+    store.Finalize();
+
+    path_ = new std::string(::testing::TempDir() + "rdfparams_corrupt.snap");
+    SaveOptions options;
+    options.page_size = kPageSize;
+    ASSERT_TRUE(
+        Snapshot::Save(dict, store, "meta-blob", *path_, options).ok());
+    auto bytes = util::ReadFileToString(*path_);
+    ASSERT_TRUE(bytes.ok());
+    image_ = new std::string(std::move(bytes).value());
+    ASSERT_EQ(image_->size() % kPageSize, 0u);
+
+    // The pristine image must open cleanly — otherwise every "corruption
+    // detected" assertion below would be vacuous.
+    auto opened = Snapshot::Open(*path_);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(path_->c_str());
+    delete path_;
+    delete image_;
+    path_ = nullptr;
+    image_ = nullptr;
+  }
+
+  /// Writes `bytes` to a scratch file and returns its path.
+  static std::string WriteScratch(const std::string& bytes) {
+    std::string path = ::testing::TempDir() + "rdfparams_corrupt_case.snap";
+    std::ofstream os(path, std::ios::trunc | std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.close();
+    return path;
+  }
+
+  /// Opening `bytes` as a snapshot must fail cleanly (DataLoss for
+  /// checksum damage, ParseError for format damage — never OK).
+  static void ExpectOpenFails(const std::string& bytes, const char* what,
+                              bool verify_file_checksum = true) {
+    std::string path = WriteScratch(bytes);
+    OpenOptions options;
+    options.verify_file_checksum = verify_file_checksum;
+    auto opened = Snapshot::Open(path, options);
+    EXPECT_FALSE(opened.ok()) << what << ": corruption not detected";
+    if (!opened.ok()) {
+      StatusCode code = opened.status().code();
+      EXPECT_TRUE(code == StatusCode::kDataLoss ||
+                  code == StatusCode::kParseError ||
+                  code == StatusCode::kInvalidArgument)
+          << what << ": unexpected status " << opened.status().ToString();
+    }
+    std::remove(path.c_str());
+  }
+
+  static std::string* path_;
+  static std::string* image_;  ///< pristine snapshot bytes
+};
+
+std::string* StorageCorruptionTest::path_ = nullptr;
+std::string* StorageCorruptionTest::image_ = nullptr;
+
+TEST_F(StorageCorruptionTest, BitFlipInEveryPageIsDetected) {
+  const size_t pages = image_->size() / kPageSize;
+  for (size_t page = 0; page < pages; ++page) {
+    // Vary the offset across pages so CRC fields, early payload, and tail
+    // padding all get hit somewhere in the sweep.
+    size_t offset = page * kPageSize + (page * 131) % kPageSize;
+    std::string corrupt = *image_;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x10);
+    ExpectOpenFails(corrupt,
+                    ("bit flip in page " + std::to_string(page)).c_str());
+  }
+}
+
+TEST_F(StorageCorruptionTest, PayloadFlipCaughtWithoutWholeFilePass) {
+  // Per-page CRCs alone (verify_file_checksum=false) must still catch
+  // payload damage in pages the restore actually reads.
+  const size_t pages = image_->size() / kPageSize;
+  for (size_t page = 0; page < pages; ++page) {
+    std::string corrupt = *image_;
+    size_t offset = page * kPageSize + kPageCrcBytes + 7;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x01);
+    ExpectOpenFails(corrupt,
+                    ("payload flip, page " + std::to_string(page)).c_str(),
+                    /*verify_file_checksum=*/false);
+  }
+}
+
+TEST_F(StorageCorruptionTest, TruncationAtEveryPageBoundaryIsDetected) {
+  const size_t pages = image_->size() / kPageSize;
+  for (size_t keep = 0; keep < pages; ++keep) {
+    ExpectOpenFails(image_->substr(0, keep * kPageSize),
+                    ("truncated to " + std::to_string(keep) + " pages").c_str());
+  }
+}
+
+TEST_F(StorageCorruptionTest, MidPageTruncationIsDetected) {
+  const size_t pages = image_->size() / kPageSize;
+  for (size_t keep = 0; keep < pages; ++keep) {
+    ExpectOpenFails(
+        image_->substr(0, keep * kPageSize + kPageSize / 2),
+        ("truncated mid-page " + std::to_string(keep)).c_str());
+  }
+}
+
+TEST_F(StorageCorruptionTest, ZeroLengthFileIsRejected) {
+  std::string path = WriteScratch("");
+  auto opened = Snapshot::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kParseError);
+  EXPECT_NE(opened.status().message().find("empty"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(StorageCorruptionTest, SubPageFileIsRejected) {
+  ExpectOpenFails(std::string(100, 'x'), "100-byte file");
+}
+
+TEST_F(StorageCorruptionTest, WrongMagicIsRejected) {
+  std::string corrupt = *image_;
+  corrupt[kPageCrcBytes] = 'X';  // first magic byte
+  std::string path = WriteScratch(corrupt);
+  auto opened = Snapshot::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kParseError);
+  EXPECT_NE(opened.status().message().find("magic"), std::string::npos)
+      << opened.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(StorageCorruptionTest, WrongVersionIsRejected) {
+  std::string corrupt = *image_;
+  corrupt[kPageCrcBytes + sizeof(kHeaderMagic)] = 99;  // version u32 LSB
+  std::string path = WriteScratch(corrupt);
+  auto opened = Snapshot::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kParseError);
+  EXPECT_NE(opened.status().message().find("version"), std::string::npos)
+      << opened.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(StorageCorruptionTest, WrongPageSizeIsRejected) {
+  std::string corrupt = *image_;
+  // page_size u32 follows magic + version; 513 is not a power of two.
+  size_t off = kPageCrcBytes + sizeof(kHeaderMagic) + 4;
+  corrupt[off] = 1;
+  corrupt[off + 1] = 2;
+  std::string path = WriteScratch(corrupt);
+  auto opened = Snapshot::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kParseError);
+  EXPECT_NE(opened.status().message().find("page size"), std::string::npos)
+      << opened.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(StorageCorruptionTest, SwappedPagesAreDetected) {
+  // Two intact pages exchanged: every byte is valid somewhere, but the
+  // page-number seed in the CRC makes position part of the checksum.
+  const size_t pages = image_->size() / kPageSize;
+  ASSERT_GE(pages, 4u);
+  std::string corrupt = *image_;
+  std::string tmp = corrupt.substr(1 * kPageSize, kPageSize);
+  corrupt.replace(1 * kPageSize, kPageSize, corrupt, 2 * kPageSize, kPageSize);
+  corrupt.replace(2 * kPageSize, kPageSize, tmp);
+  ExpectOpenFails(corrupt, "swapped pages 1 and 2");
+}
+
+TEST_F(StorageCorruptionTest, InspectRejectsCorruptionToo) {
+  std::string corrupt = *image_;
+  size_t mid = corrupt.size() / 2;
+  corrupt[mid] = static_cast<char>(corrupt[mid] ^ 0x40);
+  std::string path = WriteScratch(corrupt);
+  auto info = Snapshot::Inspect(path);
+  EXPECT_FALSE(info.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rdfparams::storage

@@ -21,6 +21,14 @@
 //       Load an N-Triples file through the sharded parallel loader,
 //       finalize the indexes on the same pool, and report throughput.
 //
+//   rdfparams save --workload=bsbm --products=10000 --out=data.snap
+//       Generate (or load, with --input=FILE.nt) a dataset and write it
+//       as one checksummed paged snapshot file; opening it restores the
+//       byte-identical store without re-parsing or re-sorting.
+//
+//   rdfparams open --input=data.snap
+//       Verify a snapshot's checksums and print its layout and contents.
+//
 //   rdfparams serve --port=0 --threads=0 --max-conns=64 --queue-depth=64
 //       Start the workload daemon: classify/run/explain served over the
 //       length-prefixed wire protocol until a client sends shutdown.
@@ -31,7 +39,9 @@
 //       payload (byte-identical to the equivalent in-process call).
 //
 // Every subcommand regenerates the dataset deterministically from
-// --seed/--products/--persons, so binding files remain valid across runs.
+// --seed/--products/--persons, so binding files remain valid across runs;
+// --snapshot=FILE.snap skips the regeneration and opens a saved snapshot
+// instead (same store, same ids, same output bytes).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -53,6 +63,7 @@
 #include "server/workbench.h"
 #include "snb/generator.h"
 #include "snb/queries.h"
+#include "storage/snapshot.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -87,6 +98,8 @@ struct Options {
   std::string out;
   std::string bindings;
   std::string input;
+  std::string snapshot;
+  int64_t page_size = storage::kDefaultPageSize;
   // serve / client
   std::string host = "127.0.0.1";
   int64_t port = 0;
@@ -103,6 +116,12 @@ using server::MakeDomain;
 using server::PickTemplate;
 
 Result<Context> MakeContext(const Options& opt) {
+  if (!opt.snapshot.empty()) {
+    // Fast path: restore the saved world instead of regenerating it. The
+    // restored workbench is byte-identical to the generated one, so every
+    // downstream subcommand produces the same output either way.
+    return server::OpenWorkbenchSnapshot(opt.snapshot);
+  }
   server::WorkbenchConfig config;
   config.workload = opt.workload;
   config.products = static_cast<uint64_t>(opt.products);
@@ -177,6 +196,90 @@ int CmdLoad(const Options& opt) {
   std::printf("  finalize (%s indexes): %s\n",
               opt.all_indexes ? "6" : "3",
               util::FormatDuration(finalize_seconds).c_str());
+  return 0;
+}
+
+int CmdSave(const Options& opt) {
+  if (opt.out.empty()) {
+    return Fail(Status::InvalidArgument("save requires --out=FILE.snap"));
+  }
+  storage::SaveOptions options;
+  options.page_size = static_cast<uint32_t>(opt.page_size);
+
+  if (!opt.input.empty()) {
+    // Raw N-Triples load -> bare snapshot (store + dictionary, no workload
+    // metadata). `classify`/`serve` need a workload snapshot; this one is
+    // for load-once-open-often pipelines over arbitrary data.
+    size_t threads =
+        util::ThreadPool::ResolveThreads(static_cast<int>(opt.load_threads));
+    util::ThreadPool pool(threads - 1);
+    rdf::Dictionary dict;
+    rdf::TripleStore store;
+    rdf::LoadOptions load_options;
+    load_options.pool = &pool;
+    auto data = util::ReadFileToString(opt.input);
+    if (!data.ok()) return Fail(data.status());
+    Status st = rdf::LoadNTriples(*data, &dict, &store, load_options);
+    if (!st.ok()) {
+      return Fail(Status::ParseError(opt.input + ": " + st.message()));
+    }
+    std::string().swap(*data);
+    if (opt.all_indexes) store.BuildAllIndexes();
+    store.Finalize(&pool);
+    st = storage::Snapshot::Save(dict, store, {}, opt.out, options);
+    if (!st.ok()) return Fail(st);
+    std::printf("saved %s: %s triples, %zu terms (no workload metadata)\n",
+                opt.out.c_str(), util::FormatCount(store.size()).c_str(),
+                dict.size());
+    return 0;
+  }
+
+  auto ctx = MakeContext(opt);  // --snapshot here re-saves an opened one
+  if (!ctx.ok()) return Fail(ctx.status());
+  Status st = server::SaveWorkbenchSnapshot(*ctx, opt.out, options);
+  if (!st.ok()) return Fail(st);
+  std::printf("saved %s: %s triples, %zu terms, %zu templates\n",
+              opt.out.c_str(), util::FormatCount(ctx->store().size()).c_str(),
+              ctx->dict().size(), ctx->templates.size());
+  return 0;
+}
+
+int CmdOpen(const Options& opt) {
+  std::string path = !opt.input.empty() ? opt.input : opt.snapshot;
+  if (path.empty()) {
+    return Fail(Status::InvalidArgument("open requires --input=FILE.snap"));
+  }
+  auto info = storage::Snapshot::Inspect(path);
+  if (!info.ok()) return Fail(info.status());
+  std::printf("%s: %llu pages of %u bytes (%s), checksums OK\n", path.c_str(),
+              static_cast<unsigned long long>(info->header.page_count),
+              info->header.page_size,
+              util::FormatCount(info->file_size).c_str());
+  util::TablePrinter table({"section", "pages", "bytes", "items"});
+  for (const storage::SectionInfo& s : info->header.sections) {
+    std::string name;
+    if (s.kind == storage::kSectionDictionary) {
+      name = "dictionary";
+    } else if (s.kind == storage::kSectionAppMeta) {
+      name = "app meta";
+    } else {
+      name = std::string("index ") +
+             rdf::IndexOrderName(static_cast<rdf::IndexOrder>(
+                 s.kind - storage::kSectionIndexBase));
+    }
+    table.AddRow({name, std::to_string(s.page_count),
+                  std::to_string(s.byte_length), std::to_string(s.item_count)});
+  }
+  std::printf("%s", table.ToText().c_str());
+
+  auto snap = storage::Snapshot::Open(path);
+  if (!snap.ok()) return Fail(snap.status());
+  std::printf("restored: %s triples, %zu terms, %s indexes, %s\n",
+              util::FormatCount(snap->store.size()).c_str(),
+              snap->dict.size(),
+              snap->store.all_indexes_built() ? "6" : "3",
+              snap->has_app_meta ? "workload metadata present"
+                                 : "no workload metadata");
   return 0;
 }
 
@@ -387,7 +490,7 @@ int CmdServe(const Options& opt) {
   auto ctx = MakeContext(opt);
   if (!ctx.ok()) return Fail(ctx.status());
   std::printf("serving %s dataset: %s triples, %zu terms, %zu templates\n",
-              opt.workload.c_str(),
+              ctx->bsbm_ds ? "bsbm" : "snb",
               util::FormatCount(ctx->store().size()).c_str(),
               ctx->dict().size(), ctx->templates.size());
 
@@ -462,10 +565,13 @@ int CmdClient(const Options& opt) {
 
 int CmdHelp(const char* prog) {
   std::printf(
-      "usage: %s <generate|load|describe|classify|sample|run|serve|client>"
-      " [flags]\n\n"
+      "usage: %s <generate|load|save|open|describe|classify|sample|run|"
+      "serve|client> [flags]\n\n"
       "common flags:\n"
       "  --workload=bsbm|snb     which generator/templates (default bsbm)\n"
+      "  --snapshot=FILE.snap    open a saved snapshot instead of\n"
+      "                          regenerating (classify/sample/run/serve/\n"
+      "                          describe; byte-identical results)\n"
       "  --query=N               template number within the workload\n"
       "  --products=N --persons=N --seed=N    dataset shape (deterministic)\n"
       "  --threads=N             curation worker threads (0 = all cores;\n"
@@ -496,6 +602,10 @@ int CmdHelp(const char* prog) {
       "  sample:   --mode=uniform|step|class|class:K --n=N --out=FILE.tsv\n"
       "  run:      --bindings=FILE.tsv | --n=N (uniform fallback)\n"
       "  load:     --input=FILE.nt --all-indexes=B\n"
+      "  save:     --out=FILE.snap --page-size=N, plus either the dataset\n"
+      "            flags (workload snapshot) or --input=FILE.nt (bare\n"
+      "            store, no workload metadata)\n"
+      "  open:     --input=FILE.snap (verify checksums, print layout)\n"
       "  serve:    --host=H --port=N (0 = ephemeral, printed on stdout)\n"
       "            --threads=N --max-conns=N --queue-depth=N\n"
       "  client:   --host=H --port=N --op=ping|classify|run|explain|shutdown\n"
@@ -551,7 +661,13 @@ int main(int argc, char** argv) {
   flags.AddString("mode", &opt.mode, "uniform | step | class | class:K");
   flags.AddString("out", &opt.out, "output file");
   flags.AddString("bindings", &opt.bindings, "bindings file to run");
-  flags.AddString("input", &opt.input, "N-Triples file for `load`");
+  flags.AddString("input", &opt.input,
+                  "input file: N-Triples for load/save, snapshot for open");
+  flags.AddString("snapshot", &opt.snapshot,
+                  "open this snapshot instead of regenerating the dataset");
+  flags.AddInt64("page_size", &opt.page_size,
+                 "snapshot page size in bytes for `save` (power of two, "
+                 "512..1M)");
   flags.AddString("host", &opt.host, "bind/connect address for serve/client");
   flags.AddInt64("port", &opt.port,
                  "TCP port for serve/client (0 = ephemeral for serve)");
@@ -568,6 +684,8 @@ int main(int argc, char** argv) {
 
   if (cmd == "generate") return CmdGenerate(opt);
   if (cmd == "load") return CmdLoad(opt);
+  if (cmd == "save") return CmdSave(opt);
+  if (cmd == "open") return CmdOpen(opt);
   if (cmd == "describe") return CmdDescribe(opt);
   if (cmd == "classify") return CmdClassify(opt);
   if (cmd == "sample") return CmdSample(opt);
