@@ -15,6 +15,7 @@
 #include "core/plan_classifier.h"
 #include "core/workload.h"
 #include "optimizer/cardinality_cache.h"
+#include "util/status.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -98,8 +99,9 @@ int main(int argc, char** argv) {
       for (const sparql::ParameterBinding& b : probe) {
         auto q = q4.Bind(b, ds.dict);
         if (!q.ok()) continue;
-        auto plan = ::rdfparams::opt::Optimize(*q, ds.store, ds.dict, options);
-        (void)plan;
+        util::IgnoreStatus(
+            ::rdfparams::opt::Optimize(*q, ds.store, ds.dict, options),
+            "timing harness only measures optimizer wall time");
       }
       return timer.ElapsedSeconds();
     };

@@ -1,0 +1,108 @@
+// Fuzz harness for the wire FrameDecoder (untrusted-input surface #2).
+//
+// The decoder's contract (server/wire.h): pure incremental parser, any
+// split of the byte stream yields the same frame sequence and the same
+// sticky error state; malformed prefixes error without crashing or
+// hanging. This harness decodes each input under three feeding schedules
+// (whole buffer, two halves, byte-at-a-time for small inputs) and aborts
+// on any divergence; every decoded frame is re-encoded and must re-decode
+// to itself.
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace {
+
+using rdfparams::Status;
+using rdfparams::server::Frame;
+using rdfparams::server::FrameDecoder;
+using rdfparams::server::Opcode;
+
+struct DecodeRun {
+  std::vector<Frame> frames;
+  bool errored = false;
+  Status error = Status::OK();
+};
+
+// Feeds `bytes` in chunks of `step` (0 = all at once), draining completed
+// frames after every feed like the server's connection loop does.
+DecodeRun Decode(std::string_view bytes, size_t step) {
+  DecodeRun run;
+  FrameDecoder decoder;
+  size_t pos = 0;
+  while (pos < bytes.size() || pos == 0) {
+    size_t n = step == 0 ? bytes.size() : std::min(step, bytes.size() - pos);
+    Status st = decoder.Feed(bytes.substr(pos, n));
+    pos += n;
+    if (!st.ok()) {
+      run.errored = true;
+      run.error = st;
+      break;
+    }
+    while (std::optional<Frame> f = decoder.Next()) {
+      run.frames.push_back(std::move(*f));
+    }
+    if (pos >= bytes.size()) break;
+  }
+  return run;
+}
+
+void ExpectSameRuns(const DecodeRun& a, const DecodeRun& b) {
+  if (a.errored != b.errored) std::abort();
+  if (a.errored && !(a.error == b.error)) std::abort();
+  // An errored run may have drained fewer frames (the error can arrive in
+  // the same feed as earlier complete frames under coarse chunking), but
+  // the frames it did produce must be a prefix match.
+  const std::vector<Frame>& small =
+      a.frames.size() <= b.frames.size() ? a.frames : b.frames;
+  const std::vector<Frame>& big =
+      a.frames.size() <= b.frames.size() ? b.frames : a.frames;
+  if (!a.errored && small.size() != big.size()) std::abort();
+  for (size_t i = 0; i < small.size(); ++i) {
+    if (small[i].opcode != big[i].opcode) std::abort();
+    if (small[i].payload != big[i].payload) std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  DecodeRun whole = Decode(bytes, 0);
+  DecodeRun halves = Decode(bytes, size / 2 + 1);
+  ExpectSameRuns(whole, halves);
+  if (size <= 4096) {
+    DecodeRun dribble = Decode(bytes, 1);
+    ExpectSameRuns(whole, dribble);
+  }
+
+  for (const Frame& frame : whole.frames) {
+    // Round trip: every decoded frame re-encodes to bytes that decode back
+    // to exactly that frame.
+    std::string encoded = rdfparams::server::EncodeFrame(
+        static_cast<Opcode>(frame.opcode), frame.payload);
+    FrameDecoder decoder;
+    Status st = decoder.Feed(encoded);
+    if (!st.ok()) std::abort();
+    std::optional<Frame> back = decoder.Next();
+    if (!back.has_value()) std::abort();
+    if (back->opcode != frame.opcode || back->payload != frame.payload) {
+      std::abort();
+    }
+    if (decoder.Next().has_value()) std::abort();
+
+    // Error payload decoding must terminate cleanly on arbitrary payloads.
+    Status decoded = rdfparams::server::DecodeErrorPayload(frame.payload);
+    rdfparams::util::IgnoreStatus(decoded,
+                                  "fuzz probe: only checking for crashes");
+  }
+  return 0;
+}

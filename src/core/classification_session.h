@@ -59,7 +59,7 @@ class ClassificationSession {
   /// Classifies domain.Enumerate(max_candidates). See the header comment
   /// for the reuse and determinism guarantees. On error the session state
   /// is unchanged (no partial memoization).
-  Result<Classification> Classify(const ParameterDomain& domain,
+  [[nodiscard]] Result<Classification> Classify(const ParameterDomain& domain,
                                   uint64_t max_candidates);
 
   /// Statistics of the most recent Classify call (also copied to

@@ -32,7 +32,7 @@ class ParameterDomain {
                  std::vector<std::vector<rdf::TermId>> tuples);
 
   /// Checks group/parameter alignment against the template.
-  Status Validate(const sparql::QueryTemplate& tmpl) const;
+  [[nodiscard]] Status Validate(const sparql::QueryTemplate& tmpl) const;
 
   /// Total number of distinct full bindings (product of group sizes).
   uint64_t NumCombinations() const;

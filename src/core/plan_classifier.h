@@ -122,7 +122,7 @@ struct Classification {
 
 /// Runs the optimizer for every candidate binding and clusters by
 /// (fingerprint, cost bucket). Deterministic.
-Result<Classification> ClassifyParameters(const sparql::QueryTemplate& tmpl,
+[[nodiscard]] Result<Classification> ClassifyParameters(const sparql::QueryTemplate& tmpl,
                                           const ParameterDomain& domain,
                                           const rdf::TripleStore& store,
                                           const rdf::Dictionary& dict,

@@ -27,7 +27,7 @@ class StepSampler {
   /// `step_weights[i]` is the probability mass of the i-th of k equal-width
   /// steps over [0, domain.NumCombinations()). Weights need not be
   /// normalized; all-equal weights reduce to uniform sampling.
-  static Result<StepSampler> Create(const ParameterDomain* domain,
+  [[nodiscard]] static Result<StepSampler> Create(const ParameterDomain* domain,
                                     std::vector<double> step_weights);
 
   sparql::ParameterBinding Sample(util::Rng* rng) const;

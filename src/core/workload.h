@@ -64,7 +64,7 @@ class WorkloadRunner {
       : store_(store), dict_(&dict) {}
 
   /// Optimizes + executes the template under one binding.
-  Result<RunObservation> RunOnce(const sparql::QueryTemplate& tmpl,
+  [[nodiscard]] Result<RunObservation> RunOnce(const sparql::QueryTemplate& tmpl,
                                  const sparql::ParameterBinding& binding,
                                  const WorkloadOptions& options = {});
 
@@ -72,14 +72,14 @@ class WorkloadRunner {
   /// regardless of options.threads. Worker executors never mutate the
   /// shared dictionary (per-worker scratch overlays absorb aggregate
   /// interning), so the parallel mode is safe in both constructor modes.
-  Result<std::vector<RunObservation>> RunAll(
+  [[nodiscard]] Result<std::vector<RunObservation>> RunAll(
       const sparql::QueryTemplate& tmpl,
       const std::vector<sparql::ParameterBinding>& bindings,
       const WorkloadOptions& options = {});
 
  private:
   /// Optimize + execute one binding through a caller-provided executor.
-  Result<RunObservation> RunWith(engine::Executor* exec,
+  [[nodiscard]] Result<RunObservation> RunWith(engine::Executor* exec,
                                  const sparql::QueryTemplate& tmpl,
                                  const sparql::ParameterBinding& binding,
                                  const WorkloadOptions& options);

@@ -24,23 +24,23 @@
 namespace rdfparams::core {
 
 /// Writes bindings for `tmpl` to a stream.
-Status WriteBindings(const sparql::QueryTemplate& tmpl,
+[[nodiscard]] Status WriteBindings(const sparql::QueryTemplate& tmpl,
                      const std::vector<sparql::ParameterBinding>& bindings,
                      const rdf::Dictionary& dict, std::ostream& os);
 
 /// Writes to a file (overwrites).
-Status WriteBindingsFile(const sparql::QueryTemplate& tmpl,
+[[nodiscard]] Status WriteBindingsFile(const sparql::QueryTemplate& tmpl,
                          const std::vector<sparql::ParameterBinding>& bindings,
                          const rdf::Dictionary& dict,
                          const std::string& path);
 
 /// Reads bindings; terms are interned into `dict`. If the stream carries a
 /// "# template:" header naming a different template, reading fails.
-Result<std::vector<sparql::ParameterBinding>> ReadBindings(
+[[nodiscard]] Result<std::vector<sparql::ParameterBinding>> ReadBindings(
     const sparql::QueryTemplate& tmpl, rdf::Dictionary* dict,
     std::istream& is);
 
-Result<std::vector<sparql::ParameterBinding>> ReadBindingsFile(
+[[nodiscard]] Result<std::vector<sparql::ParameterBinding>> ReadBindingsFile(
     const sparql::QueryTemplate& tmpl, rdf::Dictionary* dict,
     const std::string& path);
 

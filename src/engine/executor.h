@@ -79,34 +79,34 @@ class Executor {
   /// through per-slice partial tables, and ORDER BY runs a parallel merge
   /// sort; results and stats counters are byte-identical to the serial
   /// run (see ExecOptions).
-  Result<BindingTable> Execute(const sparql::SelectQuery& query,
+  [[nodiscard]] Result<BindingTable> Execute(const sparql::SelectQuery& query,
                                const opt::PlanNode& plan,
                                ExecutionStats* stats,
                                const ExecOptions& options = {});
 
   /// Optimizes (C_out DP) and executes in one call.
-  Result<BindingTable> OptimizeAndExecute(
+  [[nodiscard]] Result<BindingTable> OptimizeAndExecute(
       const sparql::SelectQuery& query, ExecutionStats* stats,
       const opt::OptimizeOptions& optimize_options = {},
       const ExecOptions& exec_options = {});
 
   /// Legacy alias for OptimizeAndExecute with serial execution.
-  Result<BindingTable> Run(const sparql::SelectQuery& query,
+  [[nodiscard]] Result<BindingTable> Run(const sparql::SelectQuery& query,
                            ExecutionStats* stats,
                            const opt::OptimizeOptions& options = {}) {
     return OptimizeAndExecute(query, stats, options);
   }
 
  private:
-  Result<BindingTable> ExecNode(const sparql::SelectQuery& query,
+  [[nodiscard]] Result<BindingTable> ExecNode(const sparql::SelectQuery& query,
                                 const opt::PlanNode& node,
                                 std::vector<char>* filter_done,
                                 ExecutionStats* stats);
-  Result<BindingTable> ExecScan(const sparql::SelectQuery& query,
+  [[nodiscard]] Result<BindingTable> ExecScan(const sparql::SelectQuery& query,
                                 const opt::PlanNode& node,
                                 std::vector<char>* filter_done,
                                 ExecutionStats* stats);
-  Result<BindingTable> ExecJoin(const sparql::SelectQuery& query,
+  [[nodiscard]] Result<BindingTable> ExecJoin(const sparql::SelectQuery& query,
                                 const opt::PlanNode& node,
                                 std::vector<char>* filter_done,
                                 ExecutionStats* stats);
@@ -119,7 +119,7 @@ class Executor {
   /// merge_join_hint) and a runtime-verified sorted outer key column, the
   /// per-row probes become one co-sequential merge sweep over the covering
   /// sorted index run — identical output either way.
-  Result<BindingTable> ExecIndexJoin(const sparql::SelectQuery& query,
+  [[nodiscard]] Result<BindingTable> ExecIndexJoin(const sparql::SelectQuery& query,
                                      const opt::PlanNode& outer,
                                      const opt::PlanNode& inner_scan,
                                      bool merge_hint,
@@ -127,7 +127,7 @@ class Executor {
                                      ExecutionStats* stats);
 
   /// Applies all not-yet-applied filters whose variables are available.
-  Status ApplyFilters(const sparql::SelectQuery& query,
+  [[nodiscard]] Status ApplyFilters(const sparql::SelectQuery& query,
                       std::vector<char>* filter_done, BindingTable* table);
 
   /// Streams the root join's rows into the group-by reduction without
@@ -136,22 +136,22 @@ class Executor {
   /// stays on the calling thread, but full canonical slices of its output
   /// are handed to the worker pool as they fill (see SliceGroupStream in
   /// executor.cc).
-  Result<BindingTable> ExecuteStreamingAggregate(
+  [[nodiscard]] Result<BindingTable> ExecuteStreamingAggregate(
       const sparql::SelectQuery& query, const opt::PlanNode& root,
       std::vector<char>* filter_done, ExecutionStats* stats);
 
-  Result<BindingTable> ApplyModifiers(const sparql::SelectQuery& query,
+  [[nodiscard]] Result<BindingTable> ApplyModifiers(const sparql::SelectQuery& query,
                                       BindingTable table);
 
   /// Projection / DISTINCT / ORDER BY / LIMIT (everything after grouping).
-  Result<BindingTable> FinishModifiers(const sparql::SelectQuery& query,
+  [[nodiscard]] Result<BindingTable> FinishModifiers(const sparql::SelectQuery& query,
                                        BindingTable table);
 
   /// Stable-sorts rows by the query's ORDER BY keys (numeric-aware, with a
   /// total-ordering rank so NaN and mixed numeric/lexicographic keys stay
   /// well-defined). Runs the parallel merge sort when the current
   /// ExecOptions allow it — same permutation either way.
-  Status SortRows(const sparql::SelectQuery& query, BindingTable* table);
+  [[nodiscard]] Status SortRows(const sparql::SelectQuery& query, BindingTable* table);
 
   /// Removes duplicate rows, keeping first occurrences.
   void DeduplicatePreservingOrder(BindingTable* table);
@@ -195,7 +195,7 @@ class Executor {
 /// Reference evaluator: executes the BGP by naive left-to-right nested
 /// loops without any optimizer involvement. Used by tests to validate the
 /// executor/optimizer pair (results must match for every plan).
-Result<BindingTable> ExecuteNaive(const sparql::SelectQuery& query,
+[[nodiscard]] Result<BindingTable> ExecuteNaive(const sparql::SelectQuery& query,
                                   const rdf::TripleStore& store,
                                   rdf::Dictionary* dict);
 

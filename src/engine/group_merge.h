@@ -74,7 +74,7 @@ struct GroupBySpec {
 
   /// Resolves `query`'s GROUP BY and aggregate variables against the input
   /// schema `vars`; errors on variables the pattern does not bind.
-  static Result<GroupBySpec> Compile(const sparql::SelectQuery& query,
+  [[nodiscard]] static Result<GroupBySpec> Compile(const sparql::SelectQuery& query,
                                      const std::vector<std::string>& vars);
 };
 
@@ -103,7 +103,7 @@ class PartialAggTable {
   /// Emits the grouped output — group-key columns followed by aggregate
   /// outputs — with groups in ascending group-key order. Interns aggregate
   /// literals through `dict` (calling-thread only).
-  Result<BindingTable> Finish(DictAccess* dict) const;
+  [[nodiscard]] Result<BindingTable> Finish(DictAccess* dict) const;
 
   size_t num_groups() const { return accs_.size(); }
 
@@ -130,7 +130,7 @@ class PartialAggTable {
 /// kAggSliceRows partials (computed on `pool` when non-null, inline
 /// otherwise — same result either way), folds them in slice order, and
 /// returns the grouped table in ascending group-key order.
-Result<BindingTable> GroupByAggregate(const sparql::SelectQuery& query,
+[[nodiscard]] Result<BindingTable> GroupByAggregate(const sparql::SelectQuery& query,
                                       const BindingTable& input,
                                       DictAccess* dict,
                                       util::ThreadPool* pool);

@@ -77,7 +77,7 @@ class BatchCardinality {
 
   /// Cardinality signature of one bound candidate query (`bound` must be
   /// tmpl.Bind(candidate) for this object's template). Thread-safe.
-  Result<CardinalitySignature> Signature(const sparql::SelectQuery& bound)
+  [[nodiscard]] Result<CardinalitySignature> Signature(const sparql::SelectQuery& bound)
       const;
 
  private:

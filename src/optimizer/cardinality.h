@@ -42,7 +42,7 @@ class CardinalityEstimator {
   /// Estimates one ground triple pattern (no %params). Filters from `query`
   /// whose lhs variable is bound by this pattern and whose rhs is constant
   /// are folded in with heuristic selectivities.
-  Result<RelationInfo> EstimatePattern(const sparql::SelectQuery& query,
+  [[nodiscard]] Result<RelationInfo> EstimatePattern(const sparql::SelectQuery& query,
                                        size_t pattern_index) const;
 
   /// Combines two relation infos through an equi-join on their shared

@@ -32,13 +32,13 @@ struct OptimizeOptions {
 
 /// Optimizes a ground query (no unbound %parameters). Returns the
 /// C_out-optimal join tree with estimates annotated on every node.
-Result<OptimizedPlan> Optimize(const sparql::SelectQuery& query,
+[[nodiscard]] Result<OptimizedPlan> Optimize(const sparql::SelectQuery& query,
                                const rdf::TripleStore& store,
                                const rdf::Dictionary& dict,
                                const OptimizeOptions& options = {});
 
 /// Baseline for tests and ablations: left-deep greedy ordering only.
-Result<OptimizedPlan> OptimizeGreedy(const sparql::SelectQuery& query,
+[[nodiscard]] Result<OptimizedPlan> OptimizeGreedy(const sparql::SelectQuery& query,
                                      const rdf::TripleStore& store,
                                      const rdf::Dictionary& dict);
 

@@ -84,9 +84,10 @@ void PlanNode::ExplainRec(const sparql::SelectQuery& query, int depth,
   if (is_scan()) {
     const sparql::TriplePattern& tp = query.patterns[pattern_index];
     out->append(util::StringPrintf(
-        "IndexScan[%s] #%zu  %s  (est_card=%.3g)\n",
+        "IndexScan[%s] #%zu  %s  (est_card=%s)\n",
         rdf::IndexOrderName(index_order), pattern_index,
-        tp.ToString().c_str(), est_cardinality));
+        tp.ToString().c_str(),
+        util::FormatSig(est_cardinality, 3).c_str()));
     return;
   }
   std::string vars;
@@ -120,8 +121,9 @@ void PlanNode::ExplainRec(const sparql::SelectQuery& query, int depth,
     }
   }
   out->append(util::StringPrintf(
-      "HashJoin[%s]  (est_card=%.3g, cout=%.3g%s%s)\n", vars.c_str(),
-      est_cardinality, est_cout, parts.c_str(), par.c_str()));
+      "HashJoin[%s]  (est_card=%s, cout=%s%s%s)\n", vars.c_str(),
+      util::FormatSig(est_cardinality, 3).c_str(),
+      util::FormatSig(est_cout, 3).c_str(), parts.c_str(), par.c_str()));
   left->ExplainRec(query, depth + 1, exec_threads, out);
   right->ExplainRec(query, depth + 1, exec_threads, out);
 }

@@ -39,12 +39,12 @@ namespace rdfparams::rdf {
 
 /// Parses a single N-Triples term starting at *pos in `line`; advances *pos
 /// past the term. Exposed for reuse by the Turtle parser and for tests.
-Result<Term> ParseNTriplesTerm(std::string_view line, size_t* pos);
+[[nodiscard]] Result<Term> ParseNTriplesTerm(std::string_view line, size_t* pos);
 
 /// Streaming parser: invokes `sink` for every triple. Stops at the first
 /// malformed line and reports its number (1-based, offset by `first_line`
 /// - 1 so chunk parses can report document-global numbers).
-Status ParseNTriples(
+[[nodiscard]] Status ParseNTriples(
     std::string_view document,
     const std::function<void(const Term& s, const Term& p, const Term& o)>&
         sink,
@@ -75,7 +75,7 @@ struct LoadOptions {
 };
 
 /// Parses a whole document into a dictionary + store (store not finalized).
-Status LoadNTriples(std::string_view document, Dictionary* dict,
+[[nodiscard]] Status LoadNTriples(std::string_view document, Dictionary* dict,
                     TripleStore* store);
 
 /// Sharded variant. Identical output to the streaming path at every
@@ -84,23 +84,23 @@ Status LoadNTriples(std::string_view document, Dictionary* dict,
 /// preceding the bad line). The atomic-on-error guarantee holds for every
 /// input — documents too small to shard run through the same buffered
 /// merge path as a single chunk.
-Status LoadNTriples(std::string_view document, Dictionary* dict,
+[[nodiscard]] Status LoadNTriples(std::string_view document, Dictionary* dict,
                     TripleStore* store, const LoadOptions& options);
 
 /// Reads the file at `path` (one buffer, no double-copy) and loads it.
 /// Errors include the path.
-Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
+[[nodiscard]] Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
                         TripleStore* store);
 
 /// Sharded variant of LoadNTriplesFile.
-Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
+[[nodiscard]] Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
                         TripleStore* store, const LoadOptions& options);
 
 /// Serializes one triple as an N-Triples line (no trailing newline).
 std::string ToNTriplesLine(const Term& s, const Term& p, const Term& o);
 
 /// Writes the whole store in SPO order.
-Status WriteNTriples(const Dictionary& dict, const TripleStore& store,
+[[nodiscard]] Status WriteNTriples(const Dictionary& dict, const TripleStore& store,
                      std::ostream& os);
 
 }  // namespace rdfparams::rdf

@@ -87,7 +87,7 @@ struct Term {
 std::string EscapeNTriplesString(std::string_view s);
 
 /// Reverses EscapeNTriplesString; fails on malformed escapes.
-Result<std::string> UnescapeNTriplesString(std::string_view s);
+[[nodiscard]] Result<std::string> UnescapeNTriplesString(std::string_view s);
 
 }  // namespace rdfparams::rdf
 

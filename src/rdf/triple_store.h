@@ -93,7 +93,7 @@ class TripleStore {
   /// the same triples. When `all_indexes` is false the extra runs must be
   /// empty. Validates order and sizes (InvalidArgument on violation),
   /// recomputes predicate stats, and leaves the store finalized.
-  Status AdoptSortedRuns(std::vector<Triple> spo, std::vector<Triple> pos,
+  [[nodiscard]] Status AdoptSortedRuns(std::vector<Triple> spo, std::vector<Triple> pos,
                          std::vector<Triple> osp, std::vector<Triple> sop,
                          std::vector<Triple> pso, std::vector<Triple> ops,
                          bool all_indexes);

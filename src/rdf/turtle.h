@@ -23,13 +23,13 @@
 namespace rdfparams::rdf {
 
 /// Streaming Turtle parsing; `sink` receives each triple.
-Status ParseTurtle(
+[[nodiscard]] Status ParseTurtle(
     std::string_view document,
     const std::function<void(const Term& s, const Term& p, const Term& o)>&
         sink);
 
 /// Parses into a dictionary + store (store left unfinalized).
-Status LoadTurtle(std::string_view document, Dictionary* dict,
+[[nodiscard]] Status LoadTurtle(std::string_view document, Dictionary* dict,
                   TripleStore* store);
 
 /// Reads the file at `path` through the same single-buffer reader the
@@ -37,7 +37,7 @@ Status LoadTurtle(std::string_view document, Dictionary* dict,
 /// sharded variant: statements span lines (';' / ',' continuations) and
 /// @prefix/@base are document-global state, so byte-range chunks cannot
 /// be parsed independently. Convert to N-Triples for parallel loading.
-Status LoadTurtleFile(const std::string& path, Dictionary* dict,
+[[nodiscard]] Status LoadTurtleFile(const std::string& path, Dictionary* dict,
                       TripleStore* store);
 
 }  // namespace rdfparams::rdf

@@ -21,19 +21,19 @@ class Client {
   /// Connects; fails if the server is not reachable. A server at
   /// capacity still accepts — its rejection arrives as the first frame
   /// (surface it by sending any request, or via ReadFrame()).
-  Status Connect(const std::string& host, uint16_t port);
+  [[nodiscard]] Status Connect(const std::string& host, uint16_t port);
 
   bool connected() const { return fd_.valid(); }
 
   /// Sends one request frame and blocks for the next response frame.
   /// Transport failures are IOError; a kError response is returned as a
   /// Frame (decode its payload with DecodeErrorPayload).
-  Result<Frame> Call(Opcode opcode, std::string_view payload);
+  [[nodiscard]] Result<Frame> Call(Opcode opcode, std::string_view payload);
 
   /// Lower-level pieces, for tests that interleave or half-close.
-  Status Send(Opcode opcode, std::string_view payload);
-  Status SendRaw(std::string_view bytes);  ///< malformed-frame injection
-  Result<Frame> ReadFrame();
+  [[nodiscard]] Status Send(Opcode opcode, std::string_view payload);
+  [[nodiscard]] Status SendRaw(std::string_view bytes);  ///< malformed-frame injection
+  [[nodiscard]] Result<Frame> ReadFrame();
 
   /// Half-closes the write side (the server sees EOF after the frames
   /// already sent); responses can still be read.
@@ -48,7 +48,7 @@ class Client {
 
 /// Convenience for one-shot exchanges: connect, send, read one response,
 /// close. A kError response comes back as the decoded carried Status.
-Result<std::string> CallOnce(const std::string& host, uint16_t port,
+[[nodiscard]] Result<std::string> CallOnce(const std::string& host, uint16_t port,
                              Opcode opcode, std::string_view payload);
 
 }  // namespace rdfparams::server

@@ -37,21 +37,21 @@ struct Request {
   std::string body;
 
   /// Typed field access with defaults; malformed values are errors.
-  Result<int64_t> GetInt64(const std::string& key, int64_t fallback) const;
-  Result<double> GetDouble(const std::string& key, double fallback) const;
+  [[nodiscard]] Result<int64_t> GetInt64(const std::string& key, int64_t fallback) const;
+  [[nodiscard]] Result<double> GetDouble(const std::string& key, double fallback) const;
   std::string GetString(const std::string& key,
                         const std::string& fallback) const;
 
   /// Fails if any field key is not in `allowed` — typos in a request
   /// must produce an error frame, not a silently ignored knob.
-  Status CheckAllowedKeys(const std::vector<std::string>& allowed) const;
+  [[nodiscard]] Status CheckAllowedKeys(const std::vector<std::string>& allowed) const;
 };
 
 /// Serializes fields (sorted by key) and the optional body.
 std::string EncodeRequest(const Request& request);
 
 /// Parses a payload. Fails on lines without '=' in the header section.
-Result<Request> ParseRequest(std::string_view payload);
+[[nodiscard]] Result<Request> ParseRequest(std::string_view payload);
 
 // ---------------------------------------------------------------------------
 // Response formatters (shared by the server and the differential tests).

@@ -72,7 +72,7 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Binds + listens, spawns the worker pool and the accept thread.
-  Status Start();
+  [[nodiscard]] Status Start();
 
   /// The actually bound port (valid after Start(); the point of port 0).
   uint16_t port() const { return port_; }

@@ -78,7 +78,7 @@ class Service {
   /// Handles one request frame; returns the kOk response payload or the
   /// Status to encode into a kError frame. kShutdown is not handled here
   /// (the server intercepts it — it is a lifecycle event, not a query).
-  Result<std::string> Handle(uint8_t opcode, const std::string& payload,
+  [[nodiscard]] Result<std::string> Handle(uint8_t opcode, const std::string& payload,
                              Session* session);
 
   /// The shared cardinality cache (exposed for bench/stat reporting).
@@ -89,23 +89,23 @@ class Service {
   const rdf::Dictionary& base_dict() const { return wb_.dict(); }
 
  private:
-  Result<std::string> HandleClassify(const Request& request,
+  [[nodiscard]] Result<std::string> HandleClassify(const Request& request,
                                      Session* session);
-  Result<std::string> HandleRun(const Request& request, Session* session);
-  Result<std::string> HandleExplain(const Request& request,
+  [[nodiscard]] Result<std::string> HandleRun(const Request& request, Session* session);
+  [[nodiscard]] Result<std::string> HandleExplain(const Request& request,
                                     Session* session);
 
   /// Template + its startup-built default domain for a request's `query`
   /// field (1-based). Templates whose domain construction failed at
   /// startup yield that error per-request.
-  Result<std::pair<const sparql::QueryTemplate*,
-                   const core::ParameterDomain*>>
+  [[nodiscard]] Result<std::pair<const sparql::QueryTemplate*,
+                                 const core::ParameterDomain*>>
   PickQuery(const Request& request);
 
   /// Parses the request body as workload_io bindings TSV through the
   /// session's scratch overlay; fails cleanly if any term is absent from
   /// the shared store dictionary.
-  Result<std::vector<sparql::ParameterBinding>> ParseInlineBindings(
+  [[nodiscard]] Result<std::vector<sparql::ParameterBinding>> ParseInlineBindings(
       const sparql::QueryTemplate& tmpl, const std::string& body,
       Session* session);
 

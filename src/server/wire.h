@@ -59,7 +59,7 @@ std::string EncodeErrorPayload(const Status& status);
 
 /// Decodes a kError payload back into the carried Status; an empty
 /// payload (no status byte) decodes as a ParseError about itself.
-Status DecodeErrorPayload(std::string_view payload);
+[[nodiscard]] Status DecodeErrorPayload(std::string_view payload);
 
 /// Incremental frame parser. Feed() appends transport bytes and validates
 /// every length prefix as soon as its 4 bytes are buffered; Next() pops
@@ -68,7 +68,7 @@ Status DecodeErrorPayload(std::string_view payload);
 /// nothing) — the connection is beyond salvage by then.
 class FrameDecoder {
  public:
-  Status Feed(std::string_view bytes);
+  [[nodiscard]] Status Feed(std::string_view bytes);
   std::optional<Frame> Next();
 
   /// Bytes buffered but not yet returned by Next().

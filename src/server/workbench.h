@@ -50,14 +50,14 @@ struct Workbench {
 
 /// Generates the dataset deterministically from the config and wraps it
 /// with its workload's templates.
-Result<Workbench> BuildWorkbench(const WorkbenchConfig& config);
+[[nodiscard]] Result<Workbench> BuildWorkbench(const WorkbenchConfig& config);
 
 /// Template `query` (1-based, the CLI/wire numbering).
-Result<const sparql::QueryTemplate*> PickTemplate(const Workbench& wb,
+[[nodiscard]] Result<const sparql::QueryTemplate*> PickTemplate(const Workbench& wb,
                                                   int64_t query);
 
 /// Default parameter domain for a built-in template (validated).
-Result<core::ParameterDomain> MakeDomain(const Workbench& wb,
+[[nodiscard]] Result<core::ParameterDomain> MakeDomain(const Workbench& wb,
                                          const sparql::QueryTemplate& tmpl);
 
 /// Serializes the workload identity and generator entity lists (the parts
@@ -71,18 +71,18 @@ std::string EncodeWorkbenchMeta(const Workbench& wb);
 /// (validating every id against the dictionary), and reattaches the
 /// workload's templates. The result is indistinguishable from the
 /// BuildWorkbench that produced the snapshot.
-Result<Workbench> WorkbenchFromSnapshotParts(rdf::Dictionary dict,
+[[nodiscard]] Result<Workbench> WorkbenchFromSnapshotParts(rdf::Dictionary dict,
                                              rdf::TripleStore store,
                                              std::string_view meta);
 
 /// Saves a workbench (dataset + workload metadata) as one snapshot file.
-Status SaveWorkbenchSnapshot(const Workbench& wb, const std::string& path,
+[[nodiscard]] Status SaveWorkbenchSnapshot(const Workbench& wb, const std::string& path,
                              const storage::SaveOptions& options = {});
 
 /// Opens a workbench snapshot saved by SaveWorkbenchSnapshot. Fails with
 /// InvalidArgument on a bare snapshot (one saved without workload
 /// metadata, e.g. from `save --input=FILE.nt`).
-Result<Workbench> OpenWorkbenchSnapshot(const std::string& path,
+[[nodiscard]] Result<Workbench> OpenWorkbenchSnapshot(const std::string& path,
                                         const storage::OpenOptions& options = {});
 
 }  // namespace rdfparams::server

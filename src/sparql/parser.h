@@ -18,7 +18,7 @@ namespace rdfparams::sparql {
 
 /// Parses a query text into a SelectQuery. Error messages carry 1-based
 /// line numbers.
-Result<SelectQuery> ParseQuery(std::string_view text);
+[[nodiscard]] Result<SelectQuery> ParseQuery(std::string_view text);
 
 }  // namespace rdfparams::sparql
 

@@ -34,7 +34,7 @@ class QueryTemplate {
   QueryTemplate(std::string name, SelectQuery query);
 
   /// Parses the text and wraps it. Fails if the text is malformed.
-  static Result<QueryTemplate> Parse(std::string name, std::string_view text);
+  [[nodiscard]] static Result<QueryTemplate> Parse(std::string name, std::string_view text);
 
   const std::string& name() const { return name_; }
   const SelectQuery& query() const { return query_; }
@@ -47,11 +47,11 @@ class QueryTemplate {
 
   /// Substitutes the binding (positional, aligned with parameter_names())
   /// and returns a ground query. Fails on arity mismatch.
-  Result<SelectQuery> Bind(const ParameterBinding& binding,
+  [[nodiscard]] Result<SelectQuery> Bind(const ParameterBinding& binding,
                            const rdf::Dictionary& dict) const;
 
   /// Substitutes by name; every parameter must be present.
-  Result<SelectQuery> BindNamed(
+  [[nodiscard]] Result<SelectQuery> BindNamed(
       const std::map<std::string, rdf::Term>& values) const;
 
  private:

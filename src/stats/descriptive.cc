@@ -101,12 +101,12 @@ double RelativeSpread(const std::vector<double>& group_values) {
 
 std::string ToString(const Summary& s) {
   return util::StringPrintf(
-      "n=%zu min=%s q10=%s median=%s mean=%s q90=%s q95=%s max=%s var=%.4g",
+      "n=%zu min=%s q10=%s median=%s mean=%s q90=%s q95=%s max=%s var=%s",
       s.count, util::FormatSig(s.min, 4).c_str(),
       util::FormatSig(s.q10, 4).c_str(), util::FormatSig(s.median, 4).c_str(),
       util::FormatSig(s.mean, 4).c_str(), util::FormatSig(s.q90, 4).c_str(),
       util::FormatSig(s.q95, 4).c_str(), util::FormatSig(s.max, 4).c_str(),
-      s.variance);
+      util::FormatSig(s.variance, 4).c_str());
 }
 
 }  // namespace rdfparams::stats

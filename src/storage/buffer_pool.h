@@ -80,7 +80,7 @@ class BufferPool {
   /// Returns a pinned ref to the page, loading (and CRC-verifying) it on a
   /// miss. Fails with kUnavailable when every frame is pinned, and with
   /// the underlying DataLoss/IOError when the page cannot be loaded.
-  Result<PageRef> Fetch(uint64_t page_id);
+  [[nodiscard]] Result<PageRef> Fetch(uint64_t page_id);
 
   size_t capacity() const { return frames_.size(); }
   uint32_t page_size() const { return file_->page_size(); }

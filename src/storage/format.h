@@ -102,16 +102,16 @@ struct SnapshotHeader {
 void SealPage(uint64_t page_id, std::span<uint8_t> page);
 
 /// Verifies a sealed page's CRC. DataLoss on mismatch.
-Status VerifyPage(uint64_t page_id, std::span<const uint8_t> page);
+[[nodiscard]] Status VerifyPage(uint64_t page_id, std::span<const uint8_t> page);
 
 /// Encodes the header payload (magic .. section table). Fails if the
 /// encoding does not fit one page payload.
-Result<std::string> EncodeHeaderPayload(const SnapshotHeader& header);
+[[nodiscard]] Result<std::string> EncodeHeaderPayload(const SnapshotHeader& header);
 
 /// Decodes and validates a header payload: magic, version, page size,
 /// section table sanity (pages in range, no overlap with header/footer).
 /// `file_size` bounds the page table. ParseError on any format violation.
-Result<SnapshotHeader> DecodeHeaderPayload(std::span<const uint8_t> payload,
+[[nodiscard]] Result<SnapshotHeader> DecodeHeaderPayload(std::span<const uint8_t> payload,
                                            uint64_t file_size);
 
 /// Encodes the footer payload (magic, page count, whole-file CRC).
@@ -119,7 +119,7 @@ std::string EncodeFooterPayload(uint64_t page_count, uint32_t file_crc);
 
 /// Decodes a footer payload; checks the magic and that `page_count`
 /// matches the header's. Returns the stored whole-file CRC.
-Result<uint32_t> DecodeFooterPayload(std::span<const uint8_t> payload,
+[[nodiscard]] Result<uint32_t> DecodeFooterPayload(std::span<const uint8_t> payload,
                                      uint64_t expected_page_count);
 
 }  // namespace rdfparams::storage

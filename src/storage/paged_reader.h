@@ -35,13 +35,13 @@ class PagedByteReader {
 
   /// Reads exactly `n` bytes; fails (ParseError) when fewer remain —
   /// a truncated record is a format error, not an EOF.
-  Status Read(void* out, size_t n);
+  [[nodiscard]] Status Read(void* out, size_t n);
 
-  Result<uint8_t> ReadU8();
-  Result<uint32_t> ReadU32();
+  [[nodiscard]] Result<uint8_t> ReadU8();
+  [[nodiscard]] Result<uint32_t> ReadU32();
   /// u32 length prefix + bytes; the prefix is validated against
   /// remaining() before any allocation.
-  Result<std::string> ReadLengthPrefixed();
+  [[nodiscard]] Result<std::string> ReadLengthPrefixed();
 
  private:
   BufferPool* pool_;
@@ -60,7 +60,7 @@ class PagedTripleCursor {
 
   /// Triple `i` (i < count()). Sequential calls on ascending `i` reuse the
   /// pinned page.
-  Result<rdf::Triple> At(uint64_t i);
+  [[nodiscard]] Result<rdf::Triple> At(uint64_t i);
 
  private:
   BufferPool* pool_;

@@ -58,7 +58,7 @@ class Snapshot {
   /// `path` atomically (temp file + rename). The store must be finalized;
   /// all built index runs are serialized, and the all-indexes flag records
   /// which set. Fails without touching `path` on any error.
-  static Status Save(const rdf::Dictionary& dict,
+  [[nodiscard]] static Status Save(const rdf::Dictionary& dict,
                      const rdf::TripleStore& store, std::string_view app_meta,
                      const std::string& path, const SaveOptions& options = {});
 
@@ -66,12 +66,12 @@ class Snapshot {
   /// order, adopts the index runs verbatim, and returns the restored parts.
   /// Any corruption or format violation is a clean DataLoss / ParseError —
   /// never a crash or a silently wrong store.
-  static Result<OpenedSnapshot> Open(const std::string& path,
+  [[nodiscard]] static Result<OpenedSnapshot> Open(const std::string& path,
                                      const OpenOptions& options = {});
 
   /// Validates checksums and returns the decoded header without restoring
   /// the store (the cheap integrity check behind the CLI `open` verb).
-  static Result<SnapshotInfo> Inspect(const std::string& path);
+  [[nodiscard]] static Result<SnapshotInfo> Inspect(const std::string& path);
 };
 
 }  // namespace rdfparams::storage

@@ -26,7 +26,7 @@ class SnapshotFile {
   /// ParseError / DataLoss / IOError on anything malformed: zero-length
   /// or truncated files, wrong magic/version/page size, header or footer
   /// corruption.
-  static Result<std::unique_ptr<SnapshotFile>> Open(const std::string& path);
+  [[nodiscard]] static Result<std::unique_ptr<SnapshotFile>> Open(const std::string& path);
 
   const SnapshotHeader& header() const { return header_; }
   uint32_t page_size() const { return header_.page_size; }
@@ -35,12 +35,12 @@ class SnapshotFile {
 
   /// Reads page `page_id` (full page bytes, CRC verified) into `out`,
   /// which must be exactly page_size() bytes.
-  Status ReadPage(uint64_t page_id, std::span<uint8_t> out) const;
+  [[nodiscard]] Status ReadPage(uint64_t page_id, std::span<uint8_t> out) const;
 
   /// Streams the entire file and compares against the footer's whole-file
   /// CRC. Catches flips in padding or CRC fields that no payload read
   /// would ever touch.
-  Status VerifyFileChecksum() const;
+  [[nodiscard]] Status VerifyFileChecksum() const;
 
  private:
   SnapshotFile(std::unique_ptr<util::RandomAccessFile> file,

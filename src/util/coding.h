@@ -62,19 +62,19 @@ class Decoder {
   size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }
 
-  Result<uint8_t> ReadU8() {
+  [[nodiscard]] Result<uint8_t> ReadU8() {
     RDFPARAMS_RETURN_NOT_OK(Need(1));
     return static_cast<uint8_t>(data_[pos_++]);
   }
 
-  Result<uint32_t> ReadU32() {
+  [[nodiscard]] Result<uint32_t> ReadU32() {
     RDFPARAMS_RETURN_NOT_OK(Need(4));
     uint32_t v = LoadU32(data_.data() + pos_);
     pos_ += 4;
     return v;
   }
 
-  Result<uint64_t> ReadU64() {
+  [[nodiscard]] Result<uint64_t> ReadU64() {
     RDFPARAMS_RETURN_NOT_OK(Need(8));
     uint64_t v = LoadU64(data_.data() + pos_);
     pos_ += 8;
@@ -82,7 +82,7 @@ class Decoder {
   }
 
   /// Reads a u32 length prefix followed by that many raw bytes.
-  Result<std::string> ReadLengthPrefixed() {
+  [[nodiscard]] Result<std::string> ReadLengthPrefixed() {
     RDFPARAMS_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
     RDFPARAMS_RETURN_NOT_OK(Need(len));
     std::string s(data_.substr(pos_, len));
@@ -91,7 +91,7 @@ class Decoder {
   }
 
  private:
-  Status Need(size_t n) {
+  [[nodiscard]] Status Need(size_t n) {
     if (data_.size() - pos_ < n) {
       return Status::OutOfRange("decode past end of buffer");
     }

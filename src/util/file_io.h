@@ -21,7 +21,7 @@ namespace rdfparams::util {
 /// Read-only random-access file. Thread-safe: pread has no shared cursor.
 class RandomAccessFile {
  public:
-  static Result<std::unique_ptr<RandomAccessFile>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<RandomAccessFile>> Open(
       const std::string& path);
   ~RandomAccessFile();
   RandomAccessFile(const RandomAccessFile&) = delete;
@@ -32,7 +32,7 @@ class RandomAccessFile {
 
   /// Reads exactly out.size() bytes at `offset`; fails (kIOError) on EOF
   /// short reads — the storage layer always knows the exact length.
-  Status ReadExact(uint64_t offset, std::span<uint8_t> out) const;
+  [[nodiscard]] Status ReadExact(uint64_t offset, std::span<uint8_t> out) const;
 
  private:
   RandomAccessFile(int fd, uint64_t size, std::string path)
@@ -47,25 +47,25 @@ class RandomAccessFile {
 class SequentialFileWriter {
  public:
   /// Opens `path + ".tmp"` for writing (truncating any leftover).
-  static Result<std::unique_ptr<SequentialFileWriter>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<SequentialFileWriter>> Create(
       const std::string& path);
   ~SequentialFileWriter();
   SequentialFileWriter(const SequentialFileWriter&) = delete;
   SequentialFileWriter& operator=(const SequentialFileWriter&) = delete;
 
-  Status Append(const void* data, size_t n);
+  [[nodiscard]] Status Append(const void* data, size_t n);
   uint64_t bytes_written() const { return bytes_written_; }
 
   /// Flushes, fsyncs, closes, and renames the temp file onto the final
   /// path. No further Append is allowed. Without Finish, the destructor
   /// discards the temp file.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
  private:
   SequentialFileWriter(int fd, std::string path, std::string tmp_path)
       : fd_(fd), path_(std::move(path)), tmp_path_(std::move(tmp_path)) {}
 
-  Status FlushBuffer();
+  [[nodiscard]] Status FlushBuffer();
 
   int fd_;
   std::string path_;

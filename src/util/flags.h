@@ -31,7 +31,7 @@ class FlagParser {
   /// Unknown flags produce an error. `--help` sets help_requested() and
   /// is not an error. Positional arguments are collected into
   /// positional().
-  Status Parse(int argc, char** argv);
+  [[nodiscard]] Status Parse(int argc, char** argv);
 
   bool help_requested() const { return help_requested_; }
   const std::vector<std::string>& positional() const { return positional_; }
@@ -49,7 +49,7 @@ class FlagParser {
     std::string default_value;
   };
 
-  Status SetValue(Flag* flag, const std::string& value);
+  [[nodiscard]] Status SetValue(Flag* flag, const std::string& value);
   Flag* Find(const std::string& name);
 
   std::vector<Flag> flags_;

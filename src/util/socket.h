@@ -57,23 +57,23 @@ void IgnoreSigpipe();
 /// Creates a listening TCP socket bound to `host`:`port` (IPv4 dotted
 /// quad, e.g. "127.0.0.1"). `port` 0 asks the kernel for an ephemeral
 /// port; the actually bound port is written to `*bound_port` either way.
-Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+[[nodiscard]] Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
                            int backlog, uint16_t* bound_port);
 
 /// Blocking connect to `host`:`port`.
-Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+[[nodiscard]] Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
 
 /// Reads up to `n` bytes, retrying on EINTR. Returns the byte count;
 /// 0 means orderly EOF.
-Result<size_t> ReadSome(int fd, void* buf, size_t n);
+[[nodiscard]] Result<size_t> ReadSome(int fd, void* buf, size_t n);
 
 /// Writes exactly `n` bytes, retrying on EINTR and short writes. With
 /// SIGPIPE ignored, a vanished peer surfaces as an IOError (EPIPE /
 /// ECONNRESET) instead of a signal.
-Status WriteFull(int fd, const void* data, size_t n);
+[[nodiscard]] Status WriteFull(int fd, const void* data, size_t n);
 
 /// Reads exactly `n` bytes; IOError on EOF before `n` bytes arrived.
-Status ReadFull(int fd, void* buf, size_t n);
+[[nodiscard]] Status ReadFull(int fd, void* buf, size_t n);
 
 /// Half-close helpers (shutdown(2)); used for graceful teardown and the
 /// half-closed-socket tests. Ignore errors on already-dead sockets.

@@ -13,6 +13,16 @@
 #include <string>
 #include <utility>
 
+// Debug-only invariant check. The project convention (enforced by
+// tools/lint_invariants.py) is that library code never calls raw assert();
+// every programming-error check goes through this macro so debug and release
+// builds differ in exactly one documented way.
+#ifndef NDEBUG
+#define RDFPARAMS_DCHECK(cond) assert(cond)
+#else
+#define RDFPARAMS_DCHECK(cond) ((void)0)
+#endif
+
 namespace rdfparams {
 
 enum class StatusCode : uint8_t {
@@ -46,40 +56,44 @@ inline const char* StatusCodeName(StatusCode code) {
 }
 
 /// Lightweight success/error carrier. Copyable; the OK status stores nothing.
-class Status {
+///
+/// [[nodiscard]] at class level: any call that returns a Status and ignores
+/// it is a compile error (-Werror=unused-result). Intentional discards must
+/// go through util::IgnoreStatus(status, "reason") so they stay greppable.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
   static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status Unsupported(std::string msg) {
+  [[nodiscard]] static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
   /// Admission-control rejections (server at capacity); retryable.
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
   /// Checksum mismatches and corrupt on-disk images (storage layer).
-  static Status DataLoss(std::string msg) {
+  [[nodiscard]] static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
@@ -108,12 +122,16 @@ class Status {
 };
 
 /// Either a value of T or an error Status. Modeled after arrow::Result.
+///
+/// [[nodiscard]] at class level, like Status: dropping a Result silently
+/// drops the error it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}        // NOLINT implicit
   Result(Status status) : status_(std::move(status)) { // NOLINT implicit
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    RDFPARAMS_DCHECK(!status_.ok() &&
+                     "Result constructed from OK status without value");
   }
 
   bool ok() const { return value_.has_value(); }
@@ -121,21 +139,30 @@ class Result {
 
   /// Access the value; undefined behaviour if !ok() (asserts in debug).
   const T& value() const& {
-    assert(ok());
+    RDFPARAMS_DCHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    RDFPARAMS_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    RDFPARAMS_DCHECK(ok());
     return std::move(*value_);
   }
 
-  /// Returns the value or `fallback` when this holds an error.
-  T value_or(T fallback) const {
-    return ok() ? *value_ : std::move(fallback);
+  /// Returns a copy of the value, or `fallback` when this holds an error.
+  /// Each branch returns its own local/member directly, so the success path
+  /// copies exactly once and the fallback path moves.
+  T value_or(T fallback) const& {
+    if (ok()) return *value_;
+    return fallback;
+  }
+  /// Rvalue overload: moves the value out of the optional on the success
+  /// path instead of copying it (std::move(res).value_or(...)).
+  T value_or(T fallback) && {
+    if (ok()) return std::move(*value_);
+    return fallback;
   }
 
   const T& operator*() const& { return value(); }
@@ -167,11 +194,25 @@ class Result {
   RDFPARAMS_ASSIGN_OR_RETURN_IMPL(                                           \
       RDFPARAMS_CONCAT(_result_, __LINE__), lhs, rexpr)
 
-#ifndef NDEBUG
-#define RDFPARAMS_DCHECK(cond) assert(cond)
-#else
-#define RDFPARAMS_DCHECK(cond) ((void)0)
-#endif
+namespace util {
+
+/// The one sanctioned way to drop a Status on the floor. Every intentional
+/// discard routes through here with a human-readable reason, so
+/// `grep -rn IgnoreStatus` enumerates the complete audit trail and the
+/// [[nodiscard]] build stays warning-clean without ad-hoc (void) casts.
+inline void IgnoreStatus(const Status& status, const char* reason) {
+  (void)status;
+  (void)reason;
+}
+
+/// Result<T> counterpart: discards the value and any error it carries.
+template <typename T>
+inline void IgnoreStatus(const Result<T>& result, const char* reason) {
+  (void)result;
+  (void)reason;
+}
+
+}  // namespace util
 
 }  // namespace rdfparams
 

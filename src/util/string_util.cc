@@ -107,10 +107,12 @@ std::string StringPrintf(const char* fmt, ...) {
 std::string FormatDuration(double seconds) {
   if (!(seconds == seconds)) return "nan";
   double abs = std::fabs(seconds);
-  if (abs >= 1.0) return StringPrintf("%.2f s", seconds);
-  if (abs >= 1e-3) return StringPrintf("%.2f ms", seconds * 1e3);
-  if (abs >= 1e-6) return StringPrintf("%.2f us", seconds * 1e6);
-  return StringPrintf("%.0f ns", seconds * 1e9);
+  // lint:allow(float-format): FormatDuration is the sanctioned wall-clock
+  // diagnostic formatter; durations are excluded from byte-identity.
+  if (abs >= 1.0) return StringPrintf("%.2f s", seconds);  // lint:allow(float-format): see above
+  if (abs >= 1e-3) return StringPrintf("%.2f ms", seconds * 1e3);  // lint:allow(float-format): see above
+  if (abs >= 1e-6) return StringPrintf("%.2f us", seconds * 1e6);  // lint:allow(float-format): see above
+  return StringPrintf("%.0f ns", seconds * 1e9);  // lint:allow(float-format): see above
 }
 
 std::string FormatCount(uint64_t n) {
@@ -127,7 +129,9 @@ std::string FormatCount(uint64_t n) {
 }
 
 std::string FormatSig(double v, int digits) {
-  return StringPrintf("%.*g", digits, v);
+  // lint:allow(float-format): FormatSig is the sanctioned significant-digit
+  // diagnostic formatter the lint points callers at.
+  return StringPrintf("%.*g", digits, v);  // lint:allow(float-format): see above
 }
 
 }  // namespace rdfparams::util

@@ -14,7 +14,7 @@ namespace rdfparams::util {
 /// Reads a whole file into one string (single buffer, no intermediate
 /// stream copy — the file is stat'ed, the string resized once, and the
 /// bytes read directly into it). Binary-safe; used by the RDF loaders.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 /// Split on a single separator character; keeps empty fields.
 std::vector<std::string> Split(std::string_view s, char sep);

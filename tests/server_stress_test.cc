@@ -16,6 +16,7 @@
 #include "server/server.h"
 #include "server/service.h"
 #include "server/wire.h"
+#include "util/status.h"
 #include "server/workbench.h"
 #include "util/status.h"
 
@@ -170,7 +171,9 @@ TEST_F(ServerStressTest, SoakBeyondCapacityLosesNoAcceptedRequests) {
                           std::to_string(round);
       // The ping may race a rejection frame already in flight; either a
       // correct echo or a well-formed capacity rejection is legal.
-      (void)client.Send(Opcode::kPing, token);
+      util::IgnoreStatus(client.Send(Opcode::kPing, token),
+                         "racing a capacity-rejection frame; the read below "
+                         "classifies the outcome");
       auto frame = client.ReadFrame();
       if (!frame.ok()) {
         // Writing the ping into a socket the server already rejected and

@@ -55,6 +55,97 @@ TEST(ResultTest, MoveOutValue) {
   EXPECT_EQ(s, "hello");
 }
 
+// A value type that counts copies vs moves, to pin down value_or semantics.
+struct CopyCounter {
+  int copies = 0;
+  int moves = 0;
+  CopyCounter() = default;
+  CopyCounter(const CopyCounter& o) : copies(o.copies + 1), moves(o.moves) {}
+  CopyCounter(CopyCounter&& o) noexcept
+      : copies(o.copies), moves(o.moves + 1) {}
+  CopyCounter& operator=(const CopyCounter&) = default;
+  CopyCounter& operator=(CopyCounter&&) = default;
+};
+
+TEST(ResultTest, ValueOrLvalueCopiesValueExactlyOnce) {
+  Result<CopyCounter> r{CopyCounter{}};
+  int baseline_copies = r.value().copies;
+  CopyCounter out = r.value_or(CopyCounter{});
+  EXPECT_EQ(out.copies, baseline_copies + 1);
+  // The result still holds its value after a const& value_or.
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ResultTest, ValueOrRvalueMovesValueOutOfOptional) {
+  Result<CopyCounter> r{CopyCounter{}};
+  int baseline_copies = r.value().copies;
+  CopyCounter out = std::move(r).value_or(CopyCounter{});
+  // Success path of the && overload must move, never copy.
+  EXPECT_EQ(out.copies, baseline_copies);
+  EXPECT_GT(out.moves, 0);
+}
+
+TEST(ResultTest, ValueOrErrorPathMovesFallback) {
+  Result<CopyCounter> r{Status::NotFound("gone")};
+  CopyCounter out = r.value_or(CopyCounter{});
+  EXPECT_EQ(out.copies, 0);  // fallback is moved through, not copied
+  CopyCounter out2 = std::move(r).value_or(CopyCounter{});
+  EXPECT_EQ(out2.copies, 0);
+}
+
+TEST(ResultTest, ValueOrRvalueMovesStringContents) {
+  Result<std::string> r{std::string(64, 'x')};  // beyond SSO
+  const char* data_before = r.value().data();
+  std::string s = std::move(r).value_or("fallback");
+  EXPECT_EQ(s, std::string(64, 'x'));
+  // Moved out of the optional: the buffer is stolen, not duplicated.
+  EXPECT_EQ(s.data(), data_before);
+}
+
+TEST(ResultTest, StatusConsistencyAfterValueMovedOut) {
+  Result<std::string> r{std::string("hello")};
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+  // Moving the *value* out leaves the Result engaged (the optional keeps
+  // has_value()), so ok() stays true and status() stays OK. The contained
+  // string is in a valid-but-unspecified state; status() must not lie about
+  // an error that never happened.
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOk);
+}
+
+TEST(ResultTest, StatusConsistencyAfterWholeResultMovedFrom) {
+  Result<std::string> source{std::string("payload")};
+  Result<std::string> dest = std::move(source);
+  ASSERT_TRUE(dest.ok());
+  EXPECT_EQ(dest.value(), "payload");
+  // A moved-from Result keeps the engaged/disengaged shape of its optional:
+  // ok() still answers consistently and status() still returns a valid
+  // Status object (OK here, since no error was ever stored).
+  EXPECT_TRUE(source.ok());  // NOLINT(bugprone-use-after-move) documented
+  EXPECT_TRUE(source.status().ok());
+}
+
+TEST(ResultTest, ErrorResultMovedFromKeepsErrorShape) {
+  Result<int> source{Status::Internal("boom")};
+  Result<int> dest = std::move(source);
+  ASSERT_FALSE(dest.ok());
+  EXPECT_EQ(dest.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(dest.status().message(), "boom");
+  // The moved-from error Result still reports !ok(); its status code
+  // survives the move (only the message string may be pilfered).
+  EXPECT_FALSE(source.ok());  // NOLINT(bugprone-use-after-move) documented
+  EXPECT_FALSE(source.status().ok());
+}
+
+TEST(StatusTest, IgnoreStatusCompilesForStatusAndResult) {
+  // The audit helper must accept both carriers; behaviourally a no-op.
+  util::IgnoreStatus(Status::Internal("dropped"), "unit test");
+  util::IgnoreStatus(Result<int>(7), "unit test");
+  util::IgnoreStatus(Result<int>(Status::NotFound("x")), "unit test");
+}
+
 Result<int> Half(int x) {
   if (x % 2 != 0) return Status::InvalidArgument("odd");
   return x / 2;

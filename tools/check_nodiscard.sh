@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Negative compile test for the [[nodiscard]] Status/Result contract.
+#
+# Proves the enforcement actually fires: compiles known-bad snippets that
+# silently drop a Status / Result<T> with the same -Werror=unused-result the
+# build uses, and FAILS if any of them compile. Also compiles a known-good
+# snippet (util::IgnoreStatus + handled paths) and fails if that one does
+# NOT compile. Registered as the `check_nodiscard` ctest target.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+CXX="${CXX:-c++}"
+FLAGS=(-std=c++20 -fsyntax-only -Werror=unused-result -I"$ROOT/src")
+
+TMPDIR="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR"' EXIT
+
+fail=0
+
+expect_compile_error() {
+  local name="$1" src="$2"
+  printf '%s\n' "$src" > "$TMPDIR/$name.cc"
+  if "$CXX" "${FLAGS[@]}" "$TMPDIR/$name.cc" 2> "$TMPDIR/$name.err"; then
+    echo "FAIL: $name compiled, but must be rejected (discarded nodiscard)" >&2
+    fail=1
+  elif ! grep -q "unused-result\|nodiscard" "$TMPDIR/$name.err"; then
+    echo "FAIL: $name was rejected, but not by the nodiscard check:" >&2
+    cat "$TMPDIR/$name.err" >&2
+    fail=1
+  else
+    echo "ok: $name rejected by -Werror=unused-result"
+  fi
+}
+
+expect_compile_ok() {
+  local name="$1" src="$2"
+  printf '%s\n' "$src" > "$TMPDIR/$name.cc"
+  if ! "$CXX" "${FLAGS[@]}" "$TMPDIR/$name.cc" 2> "$TMPDIR/$name.err"; then
+    echo "FAIL: $name must compile but was rejected:" >&2
+    cat "$TMPDIR/$name.err" >&2
+    fail=1
+  else
+    echo "ok: $name compiles"
+  fi
+}
+
+expect_compile_error dropped_status '
+#include "util/status.h"
+using rdfparams::Status;
+Status Work() { return Status::Internal("boom"); }
+void Caller() {
+  Work();  // BAD: Status dropped on the floor
+}'
+
+expect_compile_error dropped_result '
+#include "util/status.h"
+using rdfparams::Result;
+using rdfparams::Status;
+Result<int> Work() { return Status::Internal("boom"); }
+void Caller() {
+  Work();  // BAD: Result dropped on the floor
+}'
+
+expect_compile_error dropped_factory '
+#include "util/status.h"
+void Caller() {
+  rdfparams::Status::InvalidArgument("x");  // BAD: constructed and dropped
+}'
+
+expect_compile_error dropped_api_call '
+#include "util/coding.h"
+void Caller(rdfparams::util::Decoder* d) {
+  d->ReadU32();  // BAD: Result<uint32_t> from a real API dropped
+}'
+
+expect_compile_ok audited_discard '
+#include "util/status.h"
+using rdfparams::Status;
+Status Work() { return Status::Internal("boom"); }
+void Caller() {
+  rdfparams::util::IgnoreStatus(Work(), "negative-compile fixture");
+  Status st = Work();
+  if (!st.ok()) return;
+}'
+
+exit "$fail"

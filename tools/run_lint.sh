@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs the project invariant lint (tools/lint_invariants.py) against the repo.
+# Registered as the `invariant_lint` ctest target and run in CI, so a local
+# `ctest` reproduces exactly what CI enforces. Exit 0 clean, 1 violations.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+PYTHON="${PYTHON:-python3}"
+if ! command -v "$PYTHON" >/dev/null 2>&1; then
+  echo "run_lint.sh: python3 not found; cannot run the invariant lint" >&2
+  exit 1
+fi
+
+exec "$PYTHON" "$ROOT/tools/lint_invariants.py" --root "$ROOT" "$@"
