@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
       g.example_plan = plan->root->Clone();
       g.example_query = *q;
       auto name = [&](rdf::TermId c) {
-        std::string iri = ds.dict.term(c).lexical;
+        std::string iri(ds.dict.term(c).lexical);
         return iri.substr(iri.rfind('_') + 1);
       };
       g.example_pair = name(pair.values[0]) + "+" + name(pair.values[1]);

@@ -124,7 +124,7 @@ int main(int argc, char** argv) {
   for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
 
   const std::string root_type =
-      "<" + ds.dict.term(ds.types[0].id).lexical + ">";
+      "<" + std::string(ds.dict.term(ds.types[0].id).lexical) + ">";
   const char* vocab = "http://rdfparams.org/bsbm/vocabulary#";
 
   std::vector<Case> cases;

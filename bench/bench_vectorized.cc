@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
   configs[1].options.enable_merge_join = true;
 
   const std::string root_type =
-      "<" + ds.dict.term(ds.types[0].id).lexical + ">";
+      "<" + std::string(ds.dict.term(ds.types[0].id).lexical) + ">";
   const char* vocab = "http://rdfparams.org/bsbm/vocabulary#";
 
   std::vector<Case> cases;

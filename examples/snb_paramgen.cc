@@ -70,10 +70,10 @@ int main(int argc, char** argv) {
     const auto& rep = cls.representative;
     // rep.values = {person, countryX, countryY}
     std::string example =
-        ds.dict.term(rep.values[1]).lexical.substr(
+        std::string(ds.dict.term(rep.values[1]).lexical).substr(
             std::string("http://rdfparams.org/snb/instances/Country_").size()) +
         " + " +
-        ds.dict.term(rep.values[2]).lexical.substr(
+        std::string(ds.dict.term(rep.values[2]).lexical).substr(
             std::string("http://rdfparams.org/snb/instances/Country_").size());
     table.AddRow({"S" + std::to_string(idx++),
                   util::StringPrintf("%.1f%%", cls.fraction * 100),

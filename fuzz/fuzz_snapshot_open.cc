@@ -5,7 +5,9 @@
 // silently wrong store. The harness materializes the input bytes as a
 // snapshot file and opens it with and without the whole-file checksum
 // pass; inputs the strict pass accepts must also be accepted by the
-// relaxed pass and restore identical store shapes.
+// relaxed pass and restore identical store shapes. The zero-copy (mmap)
+// open is run as a differential arm against the copied open: on any
+// accepted input both paths must restore the same dictionary and store.
 #include <unistd.h>
 
 #include <cstdint>
@@ -14,6 +16,7 @@
 #include <string>
 
 #include "storage/snapshot.h"
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace {
@@ -68,6 +71,23 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     if (reopened->app_meta != opened->app_meta) std::abort();
     // A file Open accepts must also pass Inspect.
     if (!info.ok()) std::abort();
+  }
+
+  // Differential arm: zero-copy vs copied. Forced-mmap accepts must
+  // match the copied open exactly (kAuto would hide Map failures).
+  if (rdfparams::util::MmapFile::Supported()) {
+    OpenOptions mmapped = strict;
+    mmapped.mmap = rdfparams::storage::MmapMode::kOn;
+    auto borrowed = Snapshot::Open(TempPath(), mmapped);
+    if (borrowed.ok() != opened.ok()) std::abort();
+    if (borrowed.ok()) {
+      if (borrowed->dict.size() != opened->dict.size()) std::abort();
+      for (uint32_t id = 0; id < opened->dict.size(); ++id) {
+        if (borrowed->dict.term(id) != opened->dict.term(id)) std::abort();
+      }
+      if (borrowed->store.size() != opened->store.size()) std::abort();
+      if (borrowed->app_meta != opened->app_meta) std::abort();
+    }
   }
   return 0;
 }

@@ -28,8 +28,9 @@ class DictAccess {
   /// the overlay, never the shared base dictionary.
   explicit DictAccess(rdf::ScratchDictionary* scratch) : scratch_(scratch) {}
 
-  /// Decodes `id` through whichever dictionary this accessor wraps.
-  const rdf::Term& term(rdf::TermId id) const {
+  /// Decodes `id` through whichever dictionary this accessor wraps. The
+  /// returned view stays valid until the wrapped dictionary next interns.
+  rdf::TermView term(rdf::TermId id) const {
     return mut_ != nullptr ? mut_->term(id) : scratch_->term(id);
   }
   /// Reverse lookup without interning; nullopt when `t` is unknown.

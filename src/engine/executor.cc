@@ -736,12 +736,12 @@ struct CompiledFilter {
 struct ConstRhsFilter {
   const sparql::FilterCondition* f = nullptr;
   TermId rhs = rdf::kInvalidTermId;
-  const rdf::Term* b = nullptr;  // null when rhs is kInvalidTermId
+  rdf::TermView b;  // meaningful only when rhs != kInvalidTermId
   int rank_b = 0;
   bool b_numeric = false;
   std::optional<double> b_num;
 
-  static int Rank(const rdf::Term& t) {
+  static int Rank(const rdf::TermView& t) {
     if (t.is_blank()) return 0;
     if (t.is_iri()) return 1;
     return 2;  // literal
@@ -752,10 +752,10 @@ struct ConstRhsFilter {
     f = &filter;
     rhs = rhs_const;
     if (rhs == rdf::kInvalidTermId) return;
-    b = &dict.term(rhs);
-    rank_b = Rank(*b);
-    b_numeric = b->is_numeric();
-    if (b_numeric) b_num = b->AsDouble();
+    b = dict.term(rhs);
+    rank_b = Rank(b);
+    b_numeric = b.is_numeric();
+    if (b_numeric) b_num = b.AsDouble();
   }
 
   bool Eval(TermId lhs, const DictAccess& dict) const {
@@ -765,7 +765,7 @@ struct ConstRhsFilter {
     if (lhs == rdf::kInvalidTermId || rhs == rdf::kInvalidTermId) {
       return f->op == CompareOp::kNe;
     }
-    const rdf::Term& a = dict.term(lhs);
+    const rdf::TermView a = dict.term(lhs);
     int cmp;
     int rank_a = Rank(a);
     if (rank_a != rank_b) {
@@ -779,9 +779,9 @@ struct ConstRhsFilter {
         }
       }
       if (cmp == 2) {
-        int c = a.lexical.compare(b->lexical);
-        if (c == 0) c = a.datatype.compare(b->datatype);
-        if (c == 0) c = a.lang.compare(b->lang);
+        int c = a.lexical.compare(b.lexical);
+        if (c == 0) c = a.datatype.compare(b.datatype);
+        if (c == 0) c = a.lang.compare(b.lang);
         cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
       }
     }
@@ -1023,8 +1023,8 @@ bool Executor::EvalFilter(const sparql::FilterCondition& f, TermId lhs,
   if (lhs == rdf::kInvalidTermId || rhs == rdf::kInvalidTermId) {
     return f.op == CompareOp::kNe;
   }
-  const rdf::Term& a = dacc_.term(lhs);
-  const rdf::Term& b = dacc_.term(rhs);
+  const rdf::TermView a = dacc_.term(lhs);
+  const rdf::TermView b = dacc_.term(rhs);
   int cmp = a.Compare(b);
   switch (f.op) {
     case CompareOp::kEq: return cmp == 0;
@@ -1142,7 +1142,7 @@ Status Executor::SortRows(const SelectQuery& query, BindingTable* table) {
     auto it = decoded.find(id);
     if (it != decoded.end()) return;
     DecodedKey key;
-    const rdf::Term& term = dacc_.term(id);
+    const rdf::TermView term = dacc_.term(id);
     if (term.is_blank()) {
       key.rank = 0;
     } else if (term.is_iri()) {

@@ -7,10 +7,12 @@
 
 namespace rdfparams::rdf {
 
-std::string ShortenIri(const std::string& iri) {
+std::string ShortenIri(std::string_view iri) {
   size_t cut = iri.find_last_of("#/");
-  if (cut == std::string::npos || cut + 1 >= iri.size()) return iri;
-  return iri.substr(cut + 1);
+  if (cut == std::string_view::npos || cut + 1 >= iri.size()) {
+    return std::string(iri);
+  }
+  return std::string(iri.substr(cut + 1));
 }
 
 std::string DescribeStore(const TripleStore& store, const Dictionary& dict,
@@ -39,9 +41,9 @@ std::string DescribeStore(const TripleStore& store, const Dictionary& dict,
   util::TablePrinter table({"predicate", "triples", "distinct S",
                             "distinct O", "fan-out", "fan-in"});
   for (const Row& row : rows) {
-    const Term& term = dict.term(row.p);
-    std::string name =
-        options.shorten_iris ? ShortenIri(term.lexical) : term.lexical;
+    const TermView term = dict.term(row.p);
+    std::string name = std::string(
+        options.shorten_iris ? ShortenIri(term.lexical) : term.lexical);
     uint64_t ds = store.DistinctSubjectsForPredicate(row.p);
     uint64_t dobj = store.DistinctObjectsForPredicate(row.p);
     double fan_out = ds > 0 ? static_cast<double>(row.count) /

@@ -25,7 +25,7 @@ std::string DescribeStore(const TripleStore& store, const Dictionary& dict,
                           const DescribeOptions& options = {});
 
 /// "http://x/vocab#livesIn" -> "livesIn" (for display only).
-std::string ShortenIri(const std::string& iri);
+std::string ShortenIri(std::string_view iri);
 
 }  // namespace rdfparams::rdf
 

@@ -1,11 +1,22 @@
 // Dictionary encoding: bidirectional mapping between Terms and dense
 // 32-bit TermIds. All store/optimizer/executor code works on TermIds.
+//
+// Storage layout (since format v2): one contiguous byte arena holds every
+// lexical form plus a deduplicated pool of datatype IRIs and language
+// tags; a flat array of fixed-width 40-byte records (offsets/lengths into
+// the arena, kind, cached numeric payload) maps ids to terms; and a flat
+// open-addressing u32 hash table over the records maps terms back to ids.
+// All three pieces are raw little-endian bytes, so a snapshot can adopt
+// them verbatim — either copied into owned buffers or borrowed from an
+// mmap'd file (kept alive by a shared owner) — and skip re-interning.
 #ifndef RDFPARAMS_RDF_DICTIONARY_H_
 #define RDFPARAMS_RDF_DICTIONARY_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -19,8 +30,37 @@ inline constexpr TermId kInvalidTermId = 0xFFFFFFFFu;
 
 class ScratchDictionary;
 
+/// Fixed-width term record, little-endian fields at these byte offsets:
+///   [0]  u32 lexical offset    [4]  u32 lexical length
+///   [8]  u32 datatype offset   [12] u32 datatype length
+///   [16] u32 lang offset       [20] u32 lang length
+///   [24] u32 kind (low byte) | flags
+///   [28] u32 reserved, must be 0
+///   [32] u64 IEEE-754 bits of the cached strtod value
+inline constexpr size_t kTermRecordBytes = 40;
+inline constexpr uint32_t kTermFlagHasDouble = 1u << 8;
+inline constexpr uint32_t kTermFlagNumericType = 1u << 9;
+
+/// Empty slot marker in the serialized hash table (all-FF bytes).
+inline constexpr uint32_t kEmptyHashSlot = 0xFFFFFFFFu;
+
+/// Deterministic open-addressing capacity for n terms: 0 for an empty
+/// table, else the smallest power of two >= 2n, floored at 16 (max load
+/// factor 1/2). Reserve()-then-fill, incremental doubling, and snapshot
+/// adoption all converge on this exact capacity, so the serialized hash
+/// section is a pure function of the intern sequence.
+uint32_t HashCapacityFor(size_t n);
+
+/// Stable 64-bit hash of a term's identity tuple. `datatype`/`lang` must
+/// already be normalized through TermKeyTail. Both the in-memory table and
+/// the snapshot v2 hash section depend on this exact function (FNV-1a /
+/// SplitMix64 based, identical on every platform).
+uint64_t HashTermKey(TermKind kind, std::string_view lexical,
+                     std::string_view datatype, std::string_view lang);
+
 /// Append-only term dictionary. Ids are dense and start at 0.
 /// Not thread-safe for writes; concurrent reads after loading are fine.
+/// TermViews returned by term() are invalidated by the next Intern.
 class Dictionary {
  public:
   Dictionary() = default;
@@ -31,10 +71,11 @@ class Dictionary {
 
   /// Interns a term, returning its id (existing or freshly assigned).
   TermId Intern(const Term& term);
-  TermId Intern(Term&& term);
+  TermId Intern(Term&& term) { return Intern(static_cast<const Term&>(term)); }
 
-  /// Pre-sizes the id vector and the key map for `n` terms — worth calling
-  /// before a bulk restore (e.g. a snapshot open) to avoid rehash churn.
+  /// Pre-sizes the record buffer and hash table for `n` terms — worth
+  /// calling before a bulk restore to avoid rehash churn. The final table
+  /// capacity is unchanged by this call (see HashCapacityFor).
   void Reserve(size_t n);
 
   /// Convenience interners.
@@ -45,17 +86,18 @@ class Dictionary {
   TermId InternInteger(int64_t v) { return Intern(Term::Integer(v)); }
   TermId InternDouble(double v) { return Intern(Term::Double(v)); }
 
-  /// Lookup without interning; nullopt if absent.
+  /// Lookup without interning; nullopt if absent. The string_view
+  /// overloads probe the hash table directly — no Term materialization,
+  /// no canonical-string allocation.
   std::optional<TermId> Find(const Term& term) const;
-  std::optional<TermId> FindIri(const std::string& iri) const {
-    return Find(Term::Iri(iri));
-  }
+  std::optional<TermId> Find(const TermView& term) const;
+  std::optional<TermId> FindIri(std::string_view iri) const;
 
-  /// Id -> term. Asserts id < size().
-  const Term& term(TermId id) const;
+  /// Id -> term view into the arena. Asserts id < size().
+  TermView term(TermId id) const;
 
   /// Number of interned terms.
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return size_; }
 
   /// N-Triples rendering of an id (convenience for EXPLAIN / debugging).
   std::string ToString(TermId id) const;
@@ -71,10 +113,113 @@ class Dictionary {
   /// id from the earliest chunk; later folds find it already present.
   std::vector<TermId> FoldScratch(const ScratchDictionary& overlay);
 
+  // --- serialized representation (snapshot v2 sections) -------------------
+
+  /// Raw bytes of the three sections, serializable verbatim.
+  std::string_view arena() const { return ArenaBytes(); }
+  std::string_view records() const { return RecordBytes(); }
+  std::string_view hash_slots() const { return SlotBytes(); }
+
+  /// True while the storage is borrowed from an external owner (mmap).
+  /// The first Intern after adoption copies everything into owned buffers.
+  bool borrowed() const { return borrowed_; }
+
+  /// True when hash_slots() already has the canonical capacity for size()
+  /// terms. (Only an over-estimating Reserve can make it larger.)
+  bool hash_is_canonical() const {
+    return SlotBytes().size() ==
+           static_cast<size_t>(HashCapacityFor(size_)) * 4;
+  }
+
+  /// Rebuilds the hash section at the given capacity (id insertion order,
+  /// linear probing). Snapshot save uses this with HashCapacityFor(size())
+  /// when the live table was over-Reserved, so the serialized section is a
+  /// pure function of the intern sequence.
+  std::string BuildHashSlots(uint32_t capacity) const;
+
+  /// Builds a dictionary over serialized sections without re-interning.
+  /// The borrowed overload keeps views into caller memory alive via
+  /// `owner` (e.g. a shared MmapFile); the owning overload moves the
+  /// buffers in. Validation is structural and O(n): record geometry,
+  /// arena bounds, flag bits, and hash-slot shape — content integrity is
+  /// the storage layer's CRC contract.
+  [[nodiscard]] static Result<Dictionary> Adopt(
+      std::string_view arena, std::string_view records,
+      std::string_view hash_slots, size_t num_terms,
+      std::shared_ptr<const void> owner);
+  [[nodiscard]] static Result<Dictionary> Adopt(std::string arena,
+                                                std::string records,
+                                                std::string hash_slots,
+                                                size_t num_terms);
+
  private:
-  std::vector<Term> terms_;
-  // Key: canonical N-Triples form, which is unique per term.
-  std::unordered_map<std::string, TermId> index_;
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct StringEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::string_view ArenaBytes() const {
+    return borrowed_ ? arena_ : std::string_view(arena_owned_);
+  }
+  std::string_view RecordBytes() const {
+    return borrowed_ ? records_ : std::string_view(records_owned_);
+  }
+  std::string_view SlotBytes() const {
+    return borrowed_ ? slots_ : std::string_view(slots_owned_);
+  }
+
+  TermView ViewAt(TermId id) const;
+
+  /// Hash-probes for the normalized key; fills *insert_slot (when the
+  /// table has capacity) with the empty slot that terminated the probe.
+  std::optional<TermId> Probe(TermKind kind, std::string_view lexical,
+                              std::string_view key_dt, std::string_view key_lang,
+                              uint64_t hash, size_t* insert_slot) const;
+
+  /// Copies borrowed storage into owned buffers and/or rebuilds the
+  /// datatype/lang dedup pool; required before any mutation.
+  void EnsureMutable();
+
+  /// Rebuilds the slot array at `capacity` from records 0..size_-1.
+  void Rehash(uint32_t capacity);
+
+  /// Returns (offset, length) of `s` in the arena, appending on first use.
+  std::pair<uint32_t, uint32_t> InternValueBytes(std::string_view s);
+
+  [[nodiscard]] static Status ValidateSections(std::string_view arena,
+                                               std::string_view records,
+                                               std::string_view hash_slots,
+                                               size_t num_terms);
+
+  size_t size_ = 0;
+
+  // Owned storage (authoritative when !borrowed_).
+  std::string arena_owned_;
+  std::string records_owned_;
+  std::string slots_owned_;
+
+  // Borrowed storage: views into `owner_`-kept memory (mmap'd snapshot).
+  std::string_view arena_;
+  std::string_view records_;
+  std::string_view slots_;
+  std::shared_ptr<const void> owner_;
+  bool borrowed_ = false;
+
+  // Datatype/lang dedup pool: value -> (arena offset, length) of its first
+  // appearance. Lazily rebuilt from the records after adoption (lookup
+  // only — never iterated, so no ordering leaks into output).
+  std::unordered_map<std::string, std::pair<uint32_t, uint32_t>, StringHash,
+                     StringEq>
+      value_pool_;
+  bool pool_built_ = true;
 };
 
 /// Copy-on-write overlay over an immutable base dictionary.
@@ -99,8 +244,9 @@ class ScratchDictionary {
   /// Lookup across base + overlay without interning.
   std::optional<TermId> Find(const Term& term) const;
 
-  /// Resolves either a base id or an overlay id.
-  const Term& term(TermId id) const;
+  /// Resolves either a base id or an overlay id. Overlay views carry a
+  /// numeric payload computed on access (the overlay is tiny).
+  TermView term(TermId id) const;
 
   size_t size() const { return base_size_ + local_.size(); }
   size_t base_size() const { return base_size_; }

@@ -315,6 +315,11 @@ std::string ToNTriplesLine(const Term& s, const Term& p, const Term& o) {
   return s.ToNTriples() + " " + p.ToNTriples() + " " + o.ToNTriples() + " .";
 }
 
+std::string ToNTriplesLine(const TermView& s, const TermView& p,
+                           const TermView& o) {
+  return s.ToNTriples() + " " + p.ToNTriples() + " " + o.ToNTriples() + " .";
+}
+
 Status WriteNTriples(const Dictionary& dict, const TripleStore& store,
                      std::ostream& os) {
   if (!store.finalized()) {

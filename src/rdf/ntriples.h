@@ -98,6 +98,8 @@ struct LoadOptions {
 
 /// Serializes one triple as an N-Triples line (no trailing newline).
 std::string ToNTriplesLine(const Term& s, const Term& p, const Term& o);
+std::string ToNTriplesLine(const TermView& s, const TermView& p,
+                           const TermView& o);
 
 /// Writes the whole store in SPO order.
 [[nodiscard]] Status WriteNTriples(const Dictionary& dict, const TripleStore& store,

@@ -172,52 +172,142 @@ Result<std::string> UnescapeNTriplesString(std::string_view s) {
   return out;
 }
 
-std::string Term::ToNTriples() const {
+void AppendTermNTriples(TermKind kind, std::string_view lexical,
+                        std::string_view datatype, std::string_view lang,
+                        std::string* out) {
   switch (kind) {
     case TermKind::kIri:
-      return "<" + lexical + ">";
+      out->push_back('<');
+      out->append(lexical);
+      out->push_back('>');
+      return;
     case TermKind::kBlank:
-      return "_:" + lexical;
-    case TermKind::kLiteral: {
-      std::string out = "\"" + EscapeNTriplesString(lexical) + "\"";
+      out->append("_:");
+      out->append(lexical);
+      return;
+    case TermKind::kLiteral:
+      out->push_back('"');
+      out->append(EscapeNTriplesString(lexical));
+      out->push_back('"');
       if (!lang.empty()) {
-        out += "@" + lang;
+        out->push_back('@');
+        out->append(lang);
       } else if (!datatype.empty() && datatype != kXsdString) {
-        out += "^^<" + datatype + ">";
+        out->append("^^<");
+        out->append(datatype);
+        out->push_back('>');
       }
-      return out;
-    }
+      return;
   }
-  return "";
+}
+
+std::string Term::ToNTriples() const {
+  std::string out;
+  out.reserve(lexical.size() + datatype.size() + lang.size() + 8);
+  AppendTermNTriples(kind, lexical, datatype, lang, &out);
+  return out;
+}
+
+std::string TermView::ToNTriples() const {
+  std::string out;
+  out.reserve(lexical.size() + datatype.size() + lang.size() + 8);
+  AppendTermNTriples(kind, lexical, datatype, lang, &out);
+  return out;
+}
+
+namespace {
+
+// SPARQL ordering: blank nodes < IRIs < literals.
+int KindRank(TermKind k) {
+  switch (k) {
+    case TermKind::kBlank: return 0;
+    case TermKind::kIri: return 1;
+    case TermKind::kLiteral: return 2;
+  }
+  return 3;
+}
+
+int CompareStringViews(std::string_view a, std::string_view b) {
+  int c = a.compare(b);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+}  // namespace
+
+int TermView::Compare(const TermView& other) const {
+  int ra = KindRank(kind), rb = KindRank(other.kind);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (kind == TermKind::kLiteral && is_numeric() && other.is_numeric() &&
+      num.has_double && other.num.has_double) {
+    if (num.value < other.num.value) return -1;
+    if (num.value > other.num.value) return 1;
+    return 0;
+  }
+  int c = CompareStringViews(lexical, other.lexical);
+  if (c != 0) return c;
+  c = CompareStringViews(datatype, other.datatype);
+  if (c != 0) return c;
+  return CompareStringViews(lang, other.lang);
 }
 
 int Term::Compare(const Term& other) const {
-  // SPARQL ordering: blank nodes < IRIs < literals.
-  auto rank = [](TermKind k) {
-    switch (k) {
-      case TermKind::kBlank: return 0;
-      case TermKind::kIri: return 1;
-      case TermKind::kLiteral: return 2;
-    }
-    return 3;
-  };
-  int ra = rank(kind), rb = rank(other.kind);
-  if (ra != rb) return ra < rb ? -1 : 1;
-  if (kind == TermKind::kLiteral && is_numeric() && other.is_numeric()) {
-    auto a = AsDouble();
-    auto b = other.AsDouble();
-    if (a && b) {
-      if (*a < *b) return -1;
-      if (*a > *b) return 1;
-      return 0;
-    }
+  return view().Compare(other.view());
+}
+
+std::optional<int64_t> TermView::AsInteger() const {
+  if (!is_literal()) return std::nullopt;
+  // strtoll needs a NUL terminator the arena does not provide; numeric
+  // lexical forms are short, so a bounded copy keeps Term::AsInteger
+  // semantics (leading whitespace, sign handling) exactly.
+  if (lexical.size() > 64) return std::nullopt;
+  char buf[65];
+  std::memcpy(buf, lexical.data(), lexical.size());
+  buf[lexical.size()] = '\0';
+  char* end = nullptr;
+  long long v = std::strtoll(buf, &end, 10);
+  if (end == buf || *end != '\0' ||
+      static_cast<size_t>(end - buf) != lexical.size()) {
+    return std::nullopt;
   }
-  int c = lexical.compare(other.lexical);
-  if (c != 0) return c < 0 ? -1 : 1;
-  c = datatype.compare(other.datatype);
-  if (c != 0) return c < 0 ? -1 : 1;
-  c = lang.compare(other.lang);
-  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  return static_cast<int64_t>(v);
+}
+
+Term TermView::ToTerm() const {
+  Term t;
+  t.kind = kind;
+  t.lexical.assign(lexical);
+  t.datatype.assign(datatype);
+  t.lang.assign(lang);
+  return t;
+}
+
+TermNumerics ComputeTermNumerics(const Term& term) {
+  TermNumerics n;
+  if (!term.is_literal()) return n;
+  n.numeric_type = term.is_numeric();
+  if (auto d = term.AsDouble()) {
+    n.has_double = true;
+    n.value = *d;
+  }
+  return n;
+}
+
+TermView Term::view() const {
+  TermView v;
+  v.kind = kind;
+  v.lexical = lexical;
+  v.datatype = datatype;
+  v.lang = lang;
+  v.num = ComputeTermNumerics(*this);
+  return v;
+}
+
+std::pair<std::string_view, std::string_view> TermKeyTail(
+    TermKind kind, std::string_view datatype, std::string_view lang) {
+  if (kind != TermKind::kLiteral) return {{}, {}};
+  if (!lang.empty()) return {{}, lang};
+  if (datatype == kXsdString) return {{}, lang};
+  return {datatype, lang};
 }
 
 }  // namespace rdfparams::rdf

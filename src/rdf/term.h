@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "util/status.h"
 
@@ -36,6 +37,58 @@ inline constexpr std::string_view kXsdDateTime =
     "http://www.w3.org/2001/XMLSchema#dateTime";
 inline constexpr std::string_view kXsdDate =
     "http://www.w3.org/2001/XMLSchema#date";
+
+struct Term;
+struct TermView;
+
+/// Cached numeric payload of a term, computed once at intern time so the
+/// executor's hot paths never re-run strtod. `has_double` mirrors
+/// Term::AsDouble (strtod consumes the whole lexical form of a literal);
+/// `numeric_type` mirrors Term::is_numeric (datatype is an XSD numeric
+/// type). The two are independent: "5"^^xsd:string parses but is not
+/// numeric-typed; "x"^^xsd:integer is numeric-typed but does not parse.
+struct TermNumerics {
+  bool has_double = false;
+  bool numeric_type = false;
+  double value = 0.0;
+
+  bool operator==(const TermNumerics&) const = default;
+};
+
+/// Non-owning view of a term: the Dictionary's arena-backed accessor type.
+/// Field semantics and equality match Term exactly; the numeric payload is
+/// carried along so AsDouble / Compare need no NUL-terminated buffer.
+/// Views returned by Dictionary::term stay valid until the next Intern.
+struct TermView {
+  TermKind kind = TermKind::kIri;
+  std::string_view lexical;
+  std::string_view datatype;
+  std::string_view lang;
+  TermNumerics num;
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_numeric() const { return is_literal() && num.numeric_type; }
+
+  std::optional<int64_t> AsInteger() const;
+  std::optional<double> AsDouble() const {
+    if (!is_literal() || !num.has_double) return std::nullopt;
+    return num.value;
+  }
+
+  std::string ToNTriples() const;
+  int Compare(const TermView& other) const;
+  /// Materializes an owning Term (for callers that outlive the arena).
+  Term ToTerm() const;
+
+  bool operator==(const TermView& o) const {
+    return kind == o.kind && lexical == o.lexical && datatype == o.datatype &&
+           lang == o.lang;
+  }
+  bool operator!=(const TermView& o) const { return !(*this == o); }
+  bool operator<(const TermView& o) const { return Compare(o) < 0; }
+};
 
 /// One RDF term. Equality is structural over all four fields.
 struct Term {
@@ -75,13 +128,47 @@ struct Term {
   /// compare by value, others lexically. Returns <0, 0, >0.
   int Compare(const Term& other) const;
 
+  /// Non-owning view of this term, with the numeric payload computed
+  /// (one strtod for literals). Valid while *this* is alive and unchanged.
+  TermView view() const;
+
   bool operator==(const Term& other) const {
     return kind == other.kind && lexical == other.lexical &&
            datatype == other.datatype && lang == other.lang;
   }
   bool operator!=(const Term& other) const { return !(*this == other); }
   bool operator<(const Term& other) const { return Compare(other) < 0; }
+
+  bool operator==(const TermView& o) const {
+    return kind == o.kind && lexical == o.lexical && datatype == o.datatype &&
+           lang == o.lang;
+  }
+  bool operator!=(const TermView& o) const { return !(*this == o); }
 };
+
+inline bool operator==(const TermView& a, const Term& b) { return b == a; }
+inline bool operator!=(const TermView& a, const Term& b) { return !(b == a); }
+
+/// Computes the cached numeric payload for a term's fields. The Dictionary
+/// stamps this into every arena record at intern time; Term::view() calls
+/// it on demand.
+TermNumerics ComputeTermNumerics(const Term& term);
+
+/// Appends the canonical N-Triples form of a term to `out`. Shared by
+/// Term::ToNTriples and TermView::ToNTriples so the two serializations
+/// cannot drift: a literal's `^^<...#string>` suffix is suppressed, a
+/// language tag suppresses the datatype entirely.
+void AppendTermNTriples(TermKind kind, std::string_view lexical,
+                        std::string_view datatype, std::string_view lang,
+                        std::string* out);
+
+/// The (datatype, lang) pair a term's identity actually depends on — the
+/// tail of the canonical N-Triples form. Non-literals carry neither; a
+/// language tag hides the datatype; xsd:string is the implicit default and
+/// normalizes away. Dictionary hashing/equality key on this so structural
+/// keying merges exactly the terms the canonical-string keying merged.
+std::pair<std::string_view, std::string_view> TermKeyTail(
+    TermKind kind, std::string_view datatype, std::string_view lang);
 
 /// Escapes a string for N-Triples (quotes, backslash, control chars).
 std::string EscapeNTriplesString(std::string_view s);

@@ -47,6 +47,45 @@ struct PermutedLess {
   }
 };
 
+TermId Triple::* MemberFor(TriplePos pos) {
+  switch (pos) {
+    case TriplePos::kS: return &Triple::s;
+    case TriplePos::kP: return &Triple::p;
+    case TriplePos::kO: return &Triple::o;
+  }
+  return &Triple::s;
+}
+
+/// First position where `v` violates the `perm` sort order (`strict`
+/// additionally forbids equal neighbours), or v.size() when sorted.
+/// Member pointers resolved once per run keep the hot loop free of the
+/// per-element position switch — this is the snapshot-open validation
+/// path over every adopted index run.
+size_t FirstUnsorted(const std::vector<Triple>& v,
+                     const std::array<TriplePos, 3>& perm, bool strict) {
+  TermId Triple::*m0 = MemberFor(perm[0]);
+  TermId Triple::*m1 = MemberFor(perm[1]);
+  TermId Triple::*m2 = MemberFor(perm[2]);
+  for (size_t i = 1; i < v.size(); ++i) {
+    const Triple& a = v[i - 1];
+    const Triple& b = v[i];
+    if (a.*m0 != b.*m0) {
+      if (a.*m0 < b.*m0) continue;
+      return i;
+    }
+    if (a.*m1 != b.*m1) {
+      if (a.*m1 < b.*m1) continue;
+      return i;
+    }
+    if (a.*m2 != b.*m2) {
+      if (a.*m2 < b.*m2) continue;
+      return i;
+    }
+    if (strict) return i;
+  }
+  return v.size();
+}
+
 }  // namespace
 
 void TripleStore::Add(TermId s, TermId p, TermId o) {
@@ -137,16 +176,12 @@ Status TripleStore::AdoptSortedRuns(std::vector<Triple> spo,
           std::to_string(run.v->size()) + " triples, expected " +
           std::to_string(expected));
     }
-    PermutedLess less{IndexPermutation(run.order)};
-    for (size_t i = 1; i < run.v->size(); ++i) {
-      const Triple& a = (*run.v)[i - 1];
-      const Triple& b = (*run.v)[i];
-      bool ok = run.strict ? less(a, b) : !less(b, a);
-      if (!ok) {
-        return Status::InvalidArgument(
-            std::string("index run ") + IndexOrderName(run.order) +
-            " is not sorted at position " + std::to_string(i));
-      }
+    size_t bad =
+        FirstUnsorted(*run.v, IndexPermutation(run.order), run.strict);
+    if (bad != run.v->size()) {
+      return Status::InvalidArgument(
+          std::string("index run ") + IndexOrderName(run.order) +
+          " is not sorted at position " + std::to_string(bad));
     }
   }
   spo_ = std::move(spo);
@@ -186,28 +221,33 @@ void TripleStore::ComputePredicateStats() {
       prev = t.o;
     }
   }
-  // Per-predicate stats from POS (sorted by p, then o, then s).
+  // Per-predicate stats from POS (sorted by p, then o, then s). Distinct
+  // subjects per predicate use one epoch array over subject ids instead of
+  // sorting each slice: seen[s] == this predicate's ordinal marks s as
+  // already counted. O(n) total, same counts as the sort+unique it
+  // replaced — this runs on every snapshot open, so it is hot.
+  TermId max_s = 0;
+  for (const Triple& t : spo_) max_s = std::max(max_s, t.s);
+  std::vector<uint32_t> seen(spo_.empty() ? 0 : max_s + 1, 0);
   size_t i = 0;
   while (i < pos_.size()) {
     TermId p = pos_[i].p;
     size_t begin = i;
     uint64_t distinct_o = 0;
+    uint64_t distinct_s = 0;
+    const uint32_t epoch = static_cast<uint32_t>(predicates_.size()) + 1;
     TermId prev_o = kInvalidTermId;
     while (i < pos_.size() && pos_[i].p == p) {
       if (pos_[i].o != prev_o) {
         ++distinct_o;
         prev_o = pos_[i].o;
       }
+      if (seen[pos_[i].s] != epoch) {
+        seen[pos_[i].s] = epoch;
+        ++distinct_s;
+      }
       ++i;
     }
-    // Distinct subjects for this predicate: collect and sort the slice.
-    std::vector<TermId> subs;
-    subs.reserve(i - begin);
-    for (size_t k = begin; k < i; ++k) subs.push_back(pos_[k].s);
-    std::sort(subs.begin(), subs.end());
-    uint64_t distinct_s = static_cast<uint64_t>(
-        std::unique(subs.begin(), subs.end()) - subs.begin());
-
     predicates_.push_back(p);
     pred_count_.push_back(i - begin);
     pred_distinct_s_.push_back(distinct_s);

@@ -58,7 +58,7 @@ Result<SelectQuery> QueryTemplate::Bind(const ParameterBinding& binding,
   }
   std::map<std::string, rdf::Term> values;
   for (size_t i = 0; i < parameter_names_.size(); ++i) {
-    values[parameter_names_[i]] = dict.term(binding.values[i]);
+    values[parameter_names_[i]] = dict.term(binding.values[i]).ToTerm();
   }
   return BindNamed(values);
 }

@@ -17,7 +17,7 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
 
 void PageRef::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    if (frame_ != BufferPool::kBorrowedFrame) pool_->Unpin(frame_);
     pool_ = nullptr;
     payload_ = {};
   }
@@ -28,7 +28,50 @@ BufferPool::BufferPool(const SnapshotFile* file, size_t capacity)
   for (Frame& f : frames_) f.data.resize(file_->page_size());
 }
 
+BufferPool::BufferPool(const SnapshotFile* file,
+                       std::shared_ptr<const util::MmapFile> mapping)
+    : file_(file),
+      mapping_(std::move(mapping)),
+      verified_(file->page_count(), false) {
+  RDFPARAMS_DCHECK(mapping_->size() >=
+                   file_->page_count() *
+                       static_cast<uint64_t>(file_->page_size()));
+}
+
+void BufferPool::MarkAllVerified() {
+  RDFPARAMS_DCHECK(mapping_ != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  verified_.assign(verified_.size(), true);
+}
+
+Result<PageRef> BufferPool::FetchBorrowed(uint64_t page_id) {
+  if (page_id >= file_->page_count()) {
+    return Status::OutOfRange("page " + std::to_string(page_id) +
+                              " beyond snapshot end");
+  }
+  if (file_->IsRawPage(page_id)) {
+    return Status::InvalidArgument("page " + std::to_string(page_id) +
+                                   " belongs to a raw section");
+  }
+  std::span<const uint8_t> page(
+      mapping_->data() + page_id * static_cast<uint64_t>(page_size()),
+      page_size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!verified_[page_id]) {
+      ++stats_.misses;
+      RDFPARAMS_RETURN_NOT_OK(VerifyPage(page_id, page));
+      verified_[page_id] = true;
+    } else {
+      ++stats_.hits;
+    }
+  }
+  return PageRef(this, kBorrowedFrame, page_id,
+                 page.subspan(kPageCrcBytes));
+}
+
 Result<PageRef> BufferPool::Fetch(uint64_t page_id) {
+  if (mapping_ != nullptr) return FetchBorrowed(page_id);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = frame_of_page_.find(page_id);
   if (it != frame_of_page_.end()) {

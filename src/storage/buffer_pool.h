@@ -17,16 +17,26 @@
 // snapshot size: the snapshot opener streams dictionary bytes and index
 // runs through it, and the paged accessors (paged_reader.h) let scans
 // touch arbitrarily large runs with a handful of resident pages.
+//
+// Borrowed-frame mode (mmap-backed opens): constructed over a memory
+// mapping, the pool owns no frames at all — Fetch returns a PageRef whose
+// payload points straight into the mapping, and the per-page CRC is
+// verified once on first touch (a bitset under the same mutex). PageRefs
+// from a borrowed pool carry a sentinel frame index and never pin or
+// unpin; the mapping's shared_ptr keeps the bytes alive. The paged
+// accessors work unchanged over either mode.
 #ifndef RDFPARAMS_STORAGE_BUFFER_POOL_H_
 #define RDFPARAMS_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/snapshot_file.h"
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace rdfparams::storage {
@@ -72,19 +82,35 @@ class PageRef {
 
 class BufferPool {
  public:
+  /// Sentinel frame index for refs handed out by a borrowed pool.
+  static constexpr size_t kBorrowedFrame = static_cast<size_t>(-1);
+
   /// `file` must outlive the pool. `capacity` is in pages (>= 1).
   BufferPool(const SnapshotFile* file, size_t capacity);
+  /// Borrowed-frame mode: pages are served as views into `mapping`, which
+  /// must cover the whole file. CRCs are verified once per page on first
+  /// touch. `file` must outlive the pool; the mapping is kept alive here.
+  BufferPool(const SnapshotFile* file,
+             std::shared_ptr<const util::MmapFile> mapping);
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns a pinned ref to the page, loading (and CRC-verifying) it on a
   /// miss. Fails with kUnavailable when every frame is pinned, and with
   /// the underlying DataLoss/IOError when the page cannot be loaded.
+  /// Raw-section pages are refused in both modes — they have no page CRC.
   [[nodiscard]] Result<PageRef> Fetch(uint64_t page_id);
 
+  /// Borrowed mode only: marks every page as CRC-verified. Sound exactly
+  /// when the whole-file checksum has just been verified over this same
+  /// mapping — the file CRC covers every pre-footer byte, so each page is
+  /// already known intact and the per-page check would be redundant work.
+  void MarkAllVerified();
+
+  bool borrowed() const { return mapping_ != nullptr; }
   size_t capacity() const { return frames_.size(); }
   uint32_t page_size() const { return file_->page_size(); }
-  /// Number of frames with at least one live pin.
+  /// Number of frames with at least one live pin (always 0 when borrowed).
   size_t pinned_frames() const;
   BufferPoolStats stats() const;
 
@@ -100,11 +126,14 @@ class BufferPool {
   };
 
   void Unpin(size_t frame_idx);
+  [[nodiscard]] Result<PageRef> FetchBorrowed(uint64_t page_id);
 
   const SnapshotFile* file_;
+  std::shared_ptr<const util::MmapFile> mapping_;  // null in copied mode
   mutable std::mutex mu_;
   std::vector<Frame> frames_;
   std::unordered_map<uint64_t, size_t> frame_of_page_;
+  std::vector<bool> verified_;  // borrowed mode: page CRC checked already
   size_t hand_ = 0;
   BufferPoolStats stats_;
 };

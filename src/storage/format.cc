@@ -52,6 +52,7 @@ Result<std::string> EncodeHeaderPayload(const SnapshotHeader& header) {
     util::AppendU64(&out, s.page_count);
     util::AppendU64(&out, s.byte_length);
     util::AppendU64(&out, s.item_count);
+    if (header.version >= 2) util::AppendU32(&out, s.crc32);
   }
   if (out.size() > PayloadSize(header.page_size)) {
     return Status::Internal("snapshot header does not fit one page");
@@ -71,7 +72,7 @@ Result<SnapshotHeader> DecodeHeaderPayload(std::span<const uint8_t> payload,
 
   SnapshotHeader header;
   RDFPARAMS_ASSIGN_OR_RETURN(header.version, dec.ReadU32());
-  if (header.version != kFormatVersion) {
+  if (header.version < kMinFormatVersion || header.version > kFormatVersion) {
     return Status::ParseError("unsupported snapshot version " +
                               std::to_string(header.version));
   }
@@ -93,7 +94,8 @@ Result<SnapshotHeader> DecodeHeaderPayload(std::span<const uint8_t> payload,
   uint32_t section_count = 0;
   RDFPARAMS_ASSIGN_OR_RETURN(section_count, dec.ReadU32());
   // The table must fit the header page, which bounds section_count tightly.
-  if (section_count > PayloadSize(header.page_size) / 36) {
+  if (section_count >
+      PayloadSize(header.page_size) / SectionEntryBytes(header.version)) {
     return Status::ParseError("snapshot section table too large");
   }
   uint64_t next_free_page = 1;  // pages 0 (header) and N-1 (footer) are fixed
@@ -104,8 +106,16 @@ Result<SnapshotHeader> DecodeHeaderPayload(std::span<const uint8_t> payload,
     RDFPARAMS_ASSIGN_OR_RETURN(s.page_count, dec.ReadU64());
     RDFPARAMS_ASSIGN_OR_RETURN(s.byte_length, dec.ReadU64());
     RDFPARAMS_ASSIGN_OR_RETURN(s.item_count, dec.ReadU64());
-    bool known = s.kind == kSectionDictionary || s.kind == kSectionAppMeta ||
-                 (s.kind >= kSectionIndexBase && s.kind < kSectionIndexBase + 6);
+    if (header.version >= 2) {
+      RDFPARAMS_ASSIGN_OR_RETURN(s.crc32, dec.ReadU32());
+    }
+    // v1 carries the byte-stream dictionary; v2 carries the raw
+    // arena/records/hash triple instead. Neither accepts the other's kinds.
+    bool known =
+        s.kind == kSectionAppMeta ||
+        (s.kind >= kSectionIndexBase && s.kind < kSectionIndexBase + 6) ||
+        (header.version == 1 ? s.kind == kSectionDictionary
+                             : IsRawSectionKind(s.kind));
     if (!known) {
       return Status::ParseError("unknown snapshot section kind " +
                                 std::to_string(s.kind));
@@ -128,6 +138,8 @@ Result<SnapshotHeader> DecodeHeaderPayload(std::span<const uint8_t> payload,
         return Status::ParseError("snapshot section length inconsistent");
       }
       expected_pages = (s.item_count + per_page - 1) / per_page;
+    } else if (IsRawSectionKind(s.kind)) {
+      expected_pages = RawSectionPages(s.byte_length, header.page_size);
     } else {
       expected_pages = (s.byte_length + payload - 1) / payload;
     }

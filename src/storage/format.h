@@ -12,8 +12,8 @@
 // flip anywhere in the file is caught either by a page CRC or by the file
 // CRC, and always as a clean Status, never as a wrong answer.
 //
-// Sections start on a fresh page. Two packing disciplines:
-//   * byte-stream sections (dictionary, app meta): payload areas of the
+// Sections start on a fresh page. Three packing disciplines:
+//   * byte-stream sections (v1 dictionary, app meta): payload areas of the
 //     section's pages concatenate into one byte stream; records straddle
 //     page boundaries freely.
 //   * record sections (index runs): fixed 12-byte triples that never
@@ -21,6 +21,21 @@
 //     zero padding — so triple i is addressable as (page, offset) without
 //     reading its neighbours. This is what makes the paged accessors and
 //     larger-than-memory scans O(1) per step.
+//   * raw sections (v2 dictionary arena / records / hash): the payload
+//     fills entire pages with NO per-page CRC field, so the section's
+//     bytes are contiguous in the file and an mmap'd open can adopt them
+//     verbatim (a per-page CRC hole would force a gather copy). Integrity
+//     keeps two layers regardless: the section's own CRC32 (stored in its
+//     table entry, seeded with the section kind, verified on every open)
+//     plus the footer's whole-file CRC, which covers raw pages like any
+//     other pre-footer byte.
+//
+// Format v2 (kFormatVersion): replaces the v1 byte-stream dictionary
+// section with three raw sections — string arena, fixed-width term
+// records, open-addressing term->id hash — serialized straight from
+// rdf::Dictionary's wire representation, and widens each section-table
+// entry with the raw-section CRC32 field. v1 files still open through the
+// re-intern path; v1 never contains raw kinds, v2 never contains kind 1.
 #ifndef RDFPARAMS_STORAGE_FORMAT_H_
 #define RDFPARAMS_STORAGE_FORMAT_H_
 
@@ -38,7 +53,9 @@ inline constexpr char kHeaderMagic[8] = {'R', 'D', 'F', 'P',
                                          'S', 'N', 'P', '1'};
 inline constexpr char kFooterMagic[8] = {'R', 'D', 'F', 'P',
                                          'F', 'T', 'R', '1'};
-inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint32_t kFormatVersion = 2;
+/// Oldest version this build still opens (v1 via the re-intern path).
+inline constexpr uint32_t kMinFormatVersion = 1;
 
 inline constexpr uint32_t kMinPageSize = 512;
 inline constexpr uint32_t kMaxPageSize = 1u << 20;
@@ -62,27 +79,50 @@ inline uint64_t TriplesPerPage(uint32_t page_size) {
 }
 
 enum SectionKind : uint32_t {
-  kSectionDictionary = 1,
+  kSectionDictionary = 1,  ///< v1 only: byte-stream of (kind, lex, dt, lang)
   // Index runs: kSectionIndexBase + static_cast<uint32_t>(IndexOrder).
   kSectionIndexBase = 2,
   kSectionAppMeta = 8,
+  // v2 raw dictionary sections (rdf::Dictionary wire representation).
+  kSectionDictArena = 16,
+  kSectionDictRecords = 17,
+  kSectionDictHash = 18,
 };
 
 inline uint32_t SectionKindForIndex(rdf::IndexOrder order) {
   return kSectionIndexBase + static_cast<uint32_t>(order);
 }
 
+/// True for sections stored with the raw discipline (full pages, no page
+/// CRC, contiguous bytes, per-section CRC in the table entry).
+inline bool IsRawSectionKind(uint32_t kind) {
+  return kind >= kSectionDictArena && kind <= kSectionDictHash;
+}
+
+/// Pages occupied by a raw section of `byte_length` bytes.
+inline uint64_t RawSectionPages(uint64_t byte_length, uint32_t page_size) {
+  return (byte_length + page_size - 1) / page_size;
+}
+
 /// Header flag bits.
 inline constexpr uint32_t kFlagAllIndexes = 1u << 0;
 
-/// One entry of the header's section table.
+/// One entry of the header's section table. v1 entries are 36 bytes; v2
+/// entries append the 4-byte section CRC (meaningful for raw sections,
+/// zero otherwise).
 struct SectionInfo {
   uint32_t kind = 0;
   uint64_t first_page = 0;   ///< 0 for empty sections
   uint64_t page_count = 0;
   uint64_t byte_length = 0;  ///< meaningful payload bytes, excluding padding
   uint64_t item_count = 0;   ///< terms / triples; 0 for byte-only sections
+  uint32_t crc32 = 0;        ///< raw sections: Crc32Seeded(kind, bytes)
 };
+
+/// Serialized section-table entry size for a given format version.
+inline size_t SectionEntryBytes(uint32_t version) {
+  return version >= 2 ? 40 : 36;
+}
 
 /// Decoded header page.
 struct SnapshotHeader {

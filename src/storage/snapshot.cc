@@ -1,6 +1,11 @@
 #include "storage/snapshot.h"
 
+#include <algorithm>
+#include <bit>
+#include <chrono>
 #include <cstring>
+#include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -10,6 +15,7 @@
 #include "util/coding.h"
 #include "util/crc32.h"
 #include "util/file_io.h"
+#include "util/mmap_file.h"
 
 namespace rdfparams::storage {
 
@@ -56,6 +62,28 @@ class PageWriter {
     return Status::OK();
   }
 
+  /// Raw discipline: `bytes` fill whole pages verbatim — no per-page CRC
+  /// field — so the section is contiguous in the file and mmap-adoptable.
+  /// The pages still count into the whole-file CRC like any others;
+  /// per-section integrity is the table entry's own CRC32.
+  Status AppendRawSection(std::string_view bytes) {
+    RDFPARAMS_DCHECK(pos_ == 0);
+    size_t off = 0;
+    while (off < bytes.size()) {
+      size_t chunk = std::min(page_.size(), bytes.size() - off);
+      std::memcpy(page_.data(), bytes.data() + off, chunk);
+      if (chunk < page_.size()) {
+        std::memset(page_.data() + chunk, 0, page_.size() - chunk);
+      }
+      file_crc_ = util::Crc32Extend(file_crc_, page_.data(), page_.size());
+      RDFPARAMS_RETURN_NOT_OK(out_->Append(page_.data(), page_.size()));
+      ++next_page_;
+      off += chunk;
+    }
+    std::memset(page_.data(), 0, page_.size());
+    return Status::OK();
+  }
+
   /// Writes one standalone page (header / footer) whose payload is
   /// `payload` followed by zeros. `count_in_file_crc` is false only for
   /// the footer, which the file CRC does not cover.
@@ -89,7 +117,7 @@ class PageWriter {
 uint64_t DictionaryByteLength(const rdf::Dictionary& dict) {
   uint64_t n = 0;
   for (size_t i = 0; i < dict.size(); ++i) {
-    const rdf::Term& t = dict.term(static_cast<rdf::TermId>(i));
+    const rdf::TermView t = dict.term(static_cast<rdf::TermId>(i));
     n += 1 + 4 + t.lexical.size() + 4 + t.datatype.size() + 4 + t.lang.size();
   }
   return n;
@@ -107,29 +135,42 @@ std::vector<rdf::IndexOrder> SerializedOrders(bool all_indexes) {
 
 Status ReadIndexRun(BufferPool* pool, const SectionInfo& section,
                     size_t dict_size, std::vector<rdf::Triple>* out) {
-  // Page-at-a-time bulk decode: one Fetch per page, then a tight loop over
-  // its fixed-size records — measurably faster than a per-triple cursor on
-  // multi-hundred-thousand-triple runs.
+  // Page-at-a-time bulk decode: one Fetch per page, then a straight
+  // memcpy of its fixed-size records (the serialized form is exactly the
+  // in-memory Triple layout on little-endian platforms), with one
+  // branch-free max-scan for the id bounds check afterwards — measurably
+  // faster than per-triple decode on multi-hundred-thousand-triple runs.
+  static_assert(sizeof(rdf::Triple) == kTripleBytes);
+  static_assert(std::is_trivially_copyable_v<rdf::Triple>);
   const uint64_t per_page = TriplesPerPage(pool->page_size());
   out->clear();
-  out->reserve(section.item_count);
+  out->resize(section.item_count);
+  uint64_t filled = 0;
   uint64_t remaining = section.item_count;
   for (uint64_t page = 0; remaining > 0; ++page) {
     RDFPARAMS_ASSIGN_OR_RETURN(PageRef ref,
                                pool->Fetch(section.first_page + page));
     const uint8_t* p = ref.payload().data();
     uint64_t n = std::min<uint64_t>(per_page, remaining);
-    for (uint64_t i = 0; i < n; ++i, p += kTripleBytes) {
-      rdf::Triple t(util::LoadU32(p), util::LoadU32(p + 4),
-                    util::LoadU32(p + 8));
-      if (t.s >= dict_size || t.p >= dict_size || t.o >= dict_size) {
-        return Status::ParseError("snapshot triple refers to term id beyond "
-                                  "dictionary (" +
-                                  std::to_string(dict_size) + " terms)");
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out->data() + filled, p, n * kTripleBytes);
+    } else {
+      for (uint64_t i = 0; i < n; ++i, p += kTripleBytes) {
+        (*out)[filled + i] = rdf::Triple(
+            util::LoadU32(p), util::LoadU32(p + 4), util::LoadU32(p + 8));
       }
-      out->push_back(t);
     }
+    filled += n;
     remaining -= n;
+  }
+  rdf::TermId max_id = 0;
+  for (const rdf::Triple& t : *out) {
+    max_id = std::max(max_id, std::max(t.s, std::max(t.p, t.o)));
+  }
+  if (!out->empty() && max_id >= dict_size) {
+    return Status::ParseError("snapshot triple refers to term id beyond "
+                              "dictionary (" +
+                              std::to_string(dict_size) + " terms)");
   }
   return Status::OK();
 }
@@ -146,6 +187,12 @@ Status Snapshot::Save(const rdf::Dictionary& dict,
     return Status::InvalidArgument("invalid snapshot page size " +
                                    std::to_string(options.page_size));
   }
+  if (options.format_version < kMinFormatVersion ||
+      options.format_version > kFormatVersion) {
+    return Status::InvalidArgument("cannot write snapshot format version " +
+                                   std::to_string(options.format_version));
+  }
+  const bool v2 = options.format_version >= 2;
   const uint32_t page_size = options.page_size;
   const uint64_t payload = PayloadSize(page_size);
   const uint64_t per_page = TriplesPerPage(page_size);
@@ -154,6 +201,7 @@ Status Snapshot::Save(const rdf::Dictionary& dict,
   // Section table first: the header is page 0, so every extent must be
   // known before any payload is written.
   SnapshotHeader header;
+  header.version = options.format_version;
   header.page_size = page_size;
   header.flags = all_indexes ? kFlagAllIndexes : 0;
   uint64_t next_page = 1;
@@ -168,10 +216,36 @@ Status Snapshot::Save(const rdf::Dictionary& dict,
     next_page += page_count;
     header.sections.push_back(s);
   };
+  auto add_raw_section = [&](uint32_t kind, std::string_view bytes,
+                             uint64_t item_count) {
+    add_section(kind, bytes.size(), item_count,
+                RawSectionPages(bytes.size(), page_size));
+    header.sections.back().crc32 =
+        util::Crc32Seeded(kind, bytes.data(), bytes.size());
+  };
 
-  const uint64_t dict_bytes = DictionaryByteLength(dict);
-  add_section(kSectionDictionary, dict_bytes, dict.size(),
-              (dict_bytes + payload - 1) / payload);
+  // v2: the dictionary's wire sections, serialized verbatim. The hash
+  // section must have the canonical capacity for size() terms so open-time
+  // validation can demand the exact shape; rebuild it when the live table
+  // was over-Reserved.
+  std::string hash_rebuilt;
+  std::string_view hash_bytes;
+  uint64_t dict_bytes = 0;
+  if (v2) {
+    if (dict.hash_is_canonical()) {
+      hash_bytes = dict.hash_slots();
+    } else {
+      hash_rebuilt = dict.BuildHashSlots(rdf::HashCapacityFor(dict.size()));
+      hash_bytes = hash_rebuilt;
+    }
+    add_raw_section(kSectionDictArena, dict.arena(), 0);
+    add_raw_section(kSectionDictRecords, dict.records(), dict.size());
+    add_raw_section(kSectionDictHash, hash_bytes, 0);
+  } else {
+    dict_bytes = DictionaryByteLength(dict);
+    add_section(kSectionDictionary, dict_bytes, dict.size(),
+                (dict_bytes + payload - 1) / payload);
+  }
   for (rdf::IndexOrder order : SerializedOrders(all_indexes)) {
     uint64_t n = store.IndexRun(order).size();
     add_section(SectionKindForIndex(order), n * kTripleBytes, n,
@@ -190,18 +264,24 @@ Status Snapshot::Save(const rdf::Dictionary& dict,
                              EncodeHeaderPayload(header));
   RDFPARAMS_RETURN_NOT_OK(writer.WritePage(header_payload, true));
 
-  // Dictionary: terms in id order, each (kind u8, lexical, datatype, lang).
-  std::string record;
-  for (size_t i = 0; i < dict.size(); ++i) {
-    const rdf::Term& t = dict.term(static_cast<rdf::TermId>(i));
-    record.clear();
-    util::AppendU8(&record, static_cast<uint8_t>(t.kind));
-    util::AppendLengthPrefixed(&record, t.lexical);
-    util::AppendLengthPrefixed(&record, t.datatype);
-    util::AppendLengthPrefixed(&record, t.lang);
-    RDFPARAMS_RETURN_NOT_OK(writer.AppendBytes(record.data(), record.size()));
+  if (v2) {
+    RDFPARAMS_RETURN_NOT_OK(writer.AppendRawSection(dict.arena()));
+    RDFPARAMS_RETURN_NOT_OK(writer.AppendRawSection(dict.records()));
+    RDFPARAMS_RETURN_NOT_OK(writer.AppendRawSection(hash_bytes));
+  } else {
+    // v1: terms in id order, each (kind u8, lexical, datatype, lang).
+    std::string record;
+    for (size_t i = 0; i < dict.size(); ++i) {
+      const rdf::TermView t = dict.term(static_cast<rdf::TermId>(i));
+      record.clear();
+      util::AppendU8(&record, static_cast<uint8_t>(t.kind));
+      util::AppendLengthPrefixed(&record, t.lexical);
+      util::AppendLengthPrefixed(&record, t.datatype);
+      util::AppendLengthPrefixed(&record, t.lang);
+      RDFPARAMS_RETURN_NOT_OK(writer.AppendBytes(record.data(), record.size()));
+    }
+    RDFPARAMS_RETURN_NOT_OK(writer.EndSection());
   }
-  RDFPARAMS_RETURN_NOT_OK(writer.EndSection());
 
   for (rdf::IndexOrder order : SerializedOrders(all_indexes)) {
     uint8_t buf[kTripleBytes];
@@ -230,23 +310,131 @@ Status Snapshot::Save(const rdf::Dictionary& dict,
 
 Result<OpenedSnapshot> Snapshot::Open(const std::string& path,
                                       const OpenOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  auto seconds_since = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  OpenStats discard;
+  OpenStats& stats = options.stats != nullptr ? *options.stats : discard;
+  stats = OpenStats();
+
   RDFPARAMS_ASSIGN_OR_RETURN(auto file, SnapshotFile::Open(path));
-  if (options.verify_file_checksum) {
-    RDFPARAMS_RETURN_NOT_OK(file->VerifyFileChecksum());
-  }
   const SnapshotHeader& header = file->header();
-  BufferPool pool(file.get(), options.pool_pages);
+  stats.format_version = header.version;
+  const uint64_t page_size = file->page_size();
+
+  // Map the file when asked (or by default when the platform can). kAuto
+  // degrades to the copied path on any mapping failure; kOn surfaces it.
+  std::shared_ptr<const util::MmapFile> mapping;
+  if (options.mmap != MmapMode::kOff) {
+    if (!util::MmapFile::Supported()) {
+      if (options.mmap == MmapMode::kOn) {
+        return Status::Unsupported(
+            path + ": mmap open requested but unsupported on this platform");
+      }
+    } else {
+      Result<std::shared_ptr<util::MmapFile>> mapped =
+          util::MmapFile::Map(path);
+      if (!mapped.ok()) {
+        if (options.mmap == MmapMode::kOn) return mapped.status();
+      } else if ((*mapped)->size() != header.page_count * page_size) {
+        if (options.mmap == MmapMode::kOn) {
+          return Status::IOError(
+              path + ": mapped size does not match snapshot geometry");
+        }
+      } else {
+        mapping = *std::move(mapped);
+      }
+    }
+  }
+  stats.mmap_used = mapping != nullptr;
+
+  if (options.verify_file_checksum) {
+    Clock::time_point t0 = Clock::now();
+    if (mapping != nullptr) {
+      // CRC straight over the mapping — no second read of the file.
+      RDFPARAMS_RETURN_NOT_OK(file->VerifyFileChecksum(
+          std::span<const uint8_t>(mapping->data(), mapping->size())));
+    } else {
+      RDFPARAMS_RETURN_NOT_OK(file->VerifyFileChecksum());
+    }
+    stats.checksum_seconds = seconds_since(t0);
+  }
+
+  std::optional<BufferPool> pool;
+  if (mapping != nullptr) {
+    pool.emplace(file.get(), mapping);
+    if (options.verify_file_checksum) {
+      // The file CRC just verified every byte of this mapping; per-page
+      // CRC checks on the same bytes would only repeat the work.
+      pool->MarkAllVerified();
+    }
+  } else {
+    pool.emplace(file.get(), options.pool_pages);
+  }
 
   OpenedSnapshot out;
 
-  // Dictionary: re-intern in id order. Interning is what rebuilds the
-  // id<->term maps; the id check catches duplicate terms in the stream.
-  const SectionInfo* dict_section = header.FindSection(kSectionDictionary);
-  if (dict_section == nullptr) {
-    return Status::ParseError(path + ": snapshot has no dictionary section");
-  }
-  {
-    PagedByteReader reader(&pool, *dict_section);
+  Clock::time_point t_dict = Clock::now();
+  if (header.version >= 2) {
+    // v2: adopt the dictionary's wire sections verbatim — borrowed views
+    // into the mapping, or bulk-read into owned buffers. Raw pages have no
+    // page CRC, so every open still checks their bytes exactly once: the
+    // whole-file CRC covers them when enabled; otherwise (or whenever the
+    // bytes are re-read from disk, as in the copied path) the per-section
+    // CRC runs before adoption.
+    const SectionInfo* arena_s = header.FindSection(kSectionDictArena);
+    const SectionInfo* records_s = header.FindSection(kSectionDictRecords);
+    const SectionInfo* hash_s = header.FindSection(kSectionDictHash);
+    if (arena_s == nullptr || records_s == nullptr || hash_s == nullptr) {
+      return Status::ParseError(path +
+                                ": snapshot is missing a dictionary section");
+    }
+    if (mapping != nullptr) {
+      auto raw_view = [&](const SectionInfo& s) {
+        return std::string_view(
+            reinterpret_cast<const char*>(mapping->data()) +
+                s.first_page * page_size,
+            s.byte_length);
+      };
+      if (!options.verify_file_checksum) {
+        // The whole-file CRC already covers these exact mapped bytes when
+        // it runs; only when the caller opted out do the sections need
+        // their own check before adoption.
+        for (const SectionInfo* s : {arena_s, records_s, hash_s}) {
+          std::string_view bytes = raw_view(*s);
+          if (util::Crc32Seeded(s->kind, bytes.data(), bytes.size()) !=
+              s->crc32) {
+            return Status::DataLoss(path + ": section " +
+                                    std::to_string(s->kind) +
+                                    " checksum mismatch");
+          }
+        }
+      }
+      RDFPARAMS_ASSIGN_OR_RETURN(
+          out.dict, rdf::Dictionary::Adopt(raw_view(*arena_s),
+                                           raw_view(*records_s),
+                                           raw_view(*hash_s),
+                                           records_s->item_count, mapping));
+    } else {
+      std::string arena, records, slots;
+      RDFPARAMS_RETURN_NOT_OK(file->ReadRawSection(*arena_s, &arena));
+      RDFPARAMS_RETURN_NOT_OK(file->ReadRawSection(*records_s, &records));
+      RDFPARAMS_RETURN_NOT_OK(file->ReadRawSection(*hash_s, &slots));
+      RDFPARAMS_ASSIGN_OR_RETURN(
+          out.dict, rdf::Dictionary::Adopt(std::move(arena),
+                                           std::move(records),
+                                           std::move(slots),
+                                           records_s->item_count));
+    }
+  } else {
+    // v1: re-intern in id order. Interning is what rebuilds the id<->term
+    // maps; the id check catches duplicate terms in the stream.
+    const SectionInfo* dict_section = header.FindSection(kSectionDictionary);
+    if (dict_section == nullptr) {
+      return Status::ParseError(path + ": snapshot has no dictionary section");
+    }
+    PagedByteReader reader(&*pool, *dict_section);
     out.dict.Reserve(dict_section->item_count);
     for (uint64_t i = 0; i < dict_section->item_count; ++i) {
       rdf::Term term;
@@ -270,8 +458,10 @@ Result<OpenedSnapshot> Snapshot::Open(const std::string& path,
                                 " trailing bytes");
     }
   }
+  stats.dict_seconds = seconds_since(t_dict);
 
   // Index runs, adopted verbatim (validated sorted by AdoptSortedRuns).
+  Clock::time_point t_runs = Clock::now();
   std::vector<rdf::Triple> runs[6];
   for (rdf::IndexOrder order : SerializedOrders(header.all_indexes())) {
     const SectionInfo* section = header.FindSection(SectionKindForIndex(order));
@@ -279,22 +469,25 @@ Result<OpenedSnapshot> Snapshot::Open(const std::string& path,
       return Status::ParseError(path + ": snapshot is missing the " +
                                 rdf::IndexOrderName(order) + " index run");
     }
-    RDFPARAMS_RETURN_NOT_OK(ReadIndexRun(&pool, *section, out.dict.size(),
+    RDFPARAMS_RETURN_NOT_OK(ReadIndexRun(&*pool, *section, out.dict.size(),
                                          &runs[static_cast<size_t>(order)]));
   }
   RDFPARAMS_RETURN_NOT_OK(out.store.AdoptSortedRuns(
       std::move(runs[0]), std::move(runs[1]), std::move(runs[2]),
       std::move(runs[3]), std::move(runs[4]), std::move(runs[5]),
       header.all_indexes()));
+  stats.runs_seconds = seconds_since(t_runs);
 
+  Clock::time_point t_meta = Clock::now();
   const SectionInfo* meta = header.FindSection(kSectionAppMeta);
   if (meta != nullptr) {
-    PagedByteReader reader(&pool, *meta);
+    PagedByteReader reader(&*pool, *meta);
     out.app_meta.resize(meta->byte_length);
     RDFPARAMS_RETURN_NOT_OK(
         reader.Read(out.app_meta.data(), out.app_meta.size()));
     out.has_app_meta = true;
   }
+  stats.meta_seconds = seconds_since(t_meta);
   return out;
 }
 

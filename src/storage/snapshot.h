@@ -27,15 +27,43 @@ namespace rdfparams::storage {
 
 struct SaveOptions {
   uint32_t page_size = kDefaultPageSize;
+  /// On-disk format to write. 2 (default) serializes the dictionary's raw
+  /// arena/records/hash sections; 1 writes the legacy byte-stream
+  /// dictionary for downgrade compatibility.
+  uint32_t format_version = kFormatVersion;
+};
+
+/// Whether Open memory-maps the file and borrows pages/dictionary bytes
+/// from the mapping instead of copying them.
+enum class MmapMode {
+  kOff,   ///< always copy (RandomAccessFile reads)
+  kOn,    ///< require mmap; fail if unavailable
+  kAuto,  ///< mmap when the platform supports it, else fall back to copy
+};
+
+/// Filled by Open when OpenOptions::stats is set: which path ran and where
+/// the time went. Phase seconds are wall-clock (steady_clock).
+struct OpenStats {
+  uint32_t format_version = 0;
+  bool mmap_used = false;
+  double checksum_seconds = 0;  ///< whole-file CRC verification pass
+  double dict_seconds = 0;      ///< dictionary restore (re-intern or adopt)
+  double runs_seconds = 0;      ///< index-run decode + adoption
+  double meta_seconds = 0;      ///< app-meta read
 };
 
 struct OpenOptions {
-  /// Buffer pool capacity in pages while restoring.
+  /// Buffer pool capacity in pages while restoring (copied mode only; a
+  /// borrowed pool has no frames).
   size_t pool_pages = 256;
   /// Verify the footer's whole-file CRC with a streaming pass before
   /// decoding anything. Catches flips in padding and page CRC fields that
   /// per-page checks cannot see; costs one sequential read of the file.
   bool verify_file_checksum = true;
+  /// Zero-copy open mode (see MmapMode).
+  MmapMode mmap = MmapMode::kAuto;
+  /// When non-null, receives open-path statistics and phase timings.
+  OpenStats* stats = nullptr;
 };
 
 /// Everything a snapshot restores.
@@ -62,10 +90,13 @@ class Snapshot {
                      const rdf::TripleStore& store, std::string_view app_meta,
                      const std::string& path, const SaveOptions& options = {});
 
-  /// Opens a snapshot: verifies checksums, re-interns the dictionary in id
-  /// order, adopts the index runs verbatim, and returns the restored parts.
-  /// Any corruption or format violation is a clean DataLoss / ParseError —
-  /// never a crash or a silently wrong store.
+  /// Opens a snapshot: verifies checksums, restores the dictionary (v2:
+  /// adopts the raw arena/records/hash sections verbatim, borrowed from
+  /// the mapping when mmap'd; v1: re-interns in id order), adopts the
+  /// index runs, and returns the restored parts. Output is byte-identical
+  /// across format versions and open modes. Any corruption or format
+  /// violation is a clean DataLoss / ParseError — never a crash or a
+  /// silently wrong store.
   [[nodiscard]] static Result<OpenedSnapshot> Open(const std::string& path,
                                      const OpenOptions& options = {});
 

@@ -32,7 +32,7 @@ Result<std::unique_ptr<SnapshotFile>> SnapshotFile::Open(
   }
   uint32_t version =
       util::LoadU32(prologue + kPageCrcBytes + sizeof(kHeaderMagic));
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     return Status::ParseError(path + ": unsupported snapshot version " +
                               std::to_string(version));
   }
@@ -76,9 +76,42 @@ Status SnapshotFile::ReadPage(uint64_t page_id, std::span<uint8_t> out) const {
     return Status::OutOfRange("page " + std::to_string(page_id) +
                               " beyond snapshot end");
   }
+  if (IsRawPage(page_id)) {
+    return Status::InvalidArgument("page " + std::to_string(page_id) +
+                                   " belongs to a raw section");
+  }
   RDFPARAMS_RETURN_NOT_OK(
       file_->ReadExact(page_id * static_cast<uint64_t>(page_size()), out));
   return VerifyPage(page_id, out);
+}
+
+bool SnapshotFile::IsRawPage(uint64_t page_id) const {
+  for (const SectionInfo& s : header_.sections) {
+    if (IsRawSectionKind(s.kind) && s.page_count > 0 &&
+        page_id >= s.first_page && page_id < s.first_page + s.page_count) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status SnapshotFile::ReadRawSection(const SectionInfo& section,
+                                    std::string* out) const {
+  RDFPARAMS_DCHECK(IsRawSectionKind(section.kind));
+  out->resize(section.byte_length);
+  if (section.byte_length > 0) {
+    RDFPARAMS_RETURN_NOT_OK(file_->ReadExact(
+        section.first_page * static_cast<uint64_t>(page_size()),
+        std::span<uint8_t>(reinterpret_cast<uint8_t*>(out->data()),
+                           out->size())));
+  }
+  uint32_t crc = util::Crc32Seeded(section.kind, out->data(), out->size());
+  if (crc != section.crc32) {
+    return Status::DataLoss(path_ + ": section " +
+                            std::to_string(section.kind) +
+                            " checksum mismatch");
+  }
+  return Status::OK();
 }
 
 Status SnapshotFile::VerifyFileChecksum() const {
@@ -96,6 +129,17 @@ Status SnapshotFile::VerifyFileChecksum() const {
     offset += n;
   }
   if (crc != footer_file_crc_) {
+    return Status::DataLoss(path_ + ": whole-file checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status SnapshotFile::VerifyFileChecksum(
+    std::span<const uint8_t> file_bytes) const {
+  const uint64_t covered =
+      (page_count() - 1) * static_cast<uint64_t>(page_size());
+  RDFPARAMS_DCHECK(file_bytes.size() >= covered);
+  if (util::Crc32(file_bytes.data(), covered) != footer_file_crc_) {
     return Status::DataLoss(path_ + ": whole-file checksum mismatch");
   }
   return Status::OK();

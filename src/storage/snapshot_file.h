@@ -34,13 +34,28 @@ class SnapshotFile {
   const std::string& path() const { return path_; }
 
   /// Reads page `page_id` (full page bytes, CRC verified) into `out`,
-  /// which must be exactly page_size() bytes.
+  /// which must be exactly page_size() bytes. Refuses raw-section pages:
+  /// they carry no per-page CRC, so VerifyPage would misfire on them.
   [[nodiscard]] Status ReadPage(uint64_t page_id, std::span<uint8_t> out) const;
+
+  /// True when `page_id` falls inside a raw (uncrc'd, contiguous) section.
+  bool IsRawPage(uint64_t page_id) const;
+
+  /// Reads a raw section's meaningful bytes into `out` and verifies the
+  /// section CRC stored in its table entry. DataLoss on mismatch.
+  [[nodiscard]] Status ReadRawSection(const SectionInfo& section,
+                                      std::string* out) const;
 
   /// Streams the entire file and compares against the footer's whole-file
   /// CRC. Catches flips in padding or CRC fields that no payload read
   /// would ever touch.
   [[nodiscard]] Status VerifyFileChecksum() const;
+
+  /// Same check over an in-memory image of the file (an mmap'd open
+  /// passes its mapping to skip the re-read). `file_bytes` must be the
+  /// whole file.
+  [[nodiscard]] Status VerifyFileChecksum(
+      std::span<const uint8_t> file_bytes) const;
 
  private:
   SnapshotFile(std::unique_ptr<util::RandomAccessFile> file,

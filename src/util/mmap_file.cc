@@ -1,0 +1,65 @@
+#include "util/mmap_file.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RDFPARAMS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace rdfparams::util {
+
+#ifdef RDFPARAMS_HAVE_MMAP
+
+bool MmapFile::Supported() { return true; }
+
+Result<std::shared_ptr<MmapFile>> MmapFile::Map(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(path + ": open failed: " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s =
+        Status::IOError(path + ": fstat failed: " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  uint8_t* data = nullptr;
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      Status s =
+          Status::IOError(path + ": mmap failed: " + std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    data = static_cast<uint8_t*>(addr);
+  }
+  ::close(fd);  // the mapping survives the descriptor
+  return std::shared_ptr<MmapFile>(new MmapFile(data, size));
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+#else  // !RDFPARAMS_HAVE_MMAP
+
+bool MmapFile::Supported() { return false; }
+
+Result<std::shared_ptr<MmapFile>> MmapFile::Map(const std::string& path) {
+  return Status::Unsupported(path +
+                             ": memory mapping unsupported on this platform");
+}
+
+MmapFile::~MmapFile() = default;
+
+#endif  // RDFPARAMS_HAVE_MMAP
+
+}  // namespace rdfparams::util

@@ -91,7 +91,7 @@ TEST(BsbmGeneratorTest, PricesAreNumericLiterals) {
   size_t checked = 0;
   ds.store.ScanPattern(rdf::kWildcardId, p_price, rdf::kWildcardId,
                        [&](const rdf::Triple& t) {
-                         const rdf::Term& lit = ds.dict.term(t.o);
+                         const rdf::TermView lit = ds.dict.term(t.o);
                          EXPECT_TRUE(lit.is_numeric());
                          auto value = lit.AsDouble();
                          ASSERT_TRUE(value.has_value());

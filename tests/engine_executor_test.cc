@@ -26,7 +26,7 @@ class ExecutorTest : public test::TurtleStoreTest {
   std::string TermAt(const BindingTable& t, size_t row, const char* var) {
     int col = t.VarIndex(var);
     EXPECT_GE(col, 0);
-    return dict_.term(t.at(row, static_cast<size_t>(col))).lexical;
+    return std::string(dict_.term(t.at(row, static_cast<size_t>(col))).lexical);
   }
 };
 

@@ -462,7 +462,7 @@ TEST(ParallelSortEdgeTest, NanInfAndMixedRankKeys) {
   int phase = 0;  // 0=iri, 1=finite numeric, 2=nan, 3=other literal
   double last_value = -std::numeric_limits<double>::infinity();
   for (size_t r = 0; r < result->num_rows(); ++r) {
-    const rdf::Term& term = dict.term(result->at(r, static_cast<size_t>(v_col)));
+    const rdf::TermView term = dict.term(result->at(r, static_cast<size_t>(v_col)));
     int cls;
     std::optional<double> num;
     if (term.is_numeric()) num = term.AsDouble();
@@ -513,9 +513,9 @@ TEST_F(ParallelExecDirectedTest, GroupByMatchesManualAggregates) {
   // Manual aggregation straight off the generator formula in
   // ItemScoreTurtle(100): item i has type T(i%3) and score i%7.
   for (size_t r = 0; r < result->num_rows(); ++r) {
-    std::string type =
+    std::string type(
         dict_.term(result->at(r, static_cast<size_t>(result->VarIndex("t"))))
-            .lexical;
+            .lexical);
     int t = type.back() - '0';
     double sum = 0, lo = 1e9, hi = -1e9, n = 0;
     for (int i = 0; i < 100; ++i) {

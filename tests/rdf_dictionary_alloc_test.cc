@@ -1,0 +1,92 @@
+// Allocation regression guard for the dictionary's read path. The
+// string_view lookups (Find on a view, FindIri) exist so the executor can
+// probe the term->id index without materializing a Term or a canonical
+// key string — this test counts global operator new calls to pin that
+// down: once the dictionary is built, lookups must allocate nothing.
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace {
+std::atomic<uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace rdfparams::rdf {
+namespace {
+
+uint64_t AllocsDuring(const std::function<void()>& fn) {
+  uint64_t before = g_news.load(std::memory_order_relaxed);
+  fn();
+  return g_news.load(std::memory_order_relaxed) - before;
+}
+
+TEST(DictionaryAllocTest, ViewLookupsDoNotAllocate) {
+  Dictionary dict;
+  std::vector<std::string> iris;
+  for (int i = 0; i < 5000; ++i) {
+    iris.push_back("http://example.org/product/long-enough-to-defeat-sso/" +
+                   std::to_string(i));
+    dict.InternIri(iris.back());
+  }
+  TermId tagged = dict.Intern(Term::LangLiteral("hello world, a long one", "en"));
+
+  // Warm everything once outside the counted region.
+  ASSERT_TRUE(dict.FindIri(iris[4999]).has_value());
+
+  uint64_t n = AllocsDuring([&] {
+    for (int i = 0; i < 5000; ++i) {
+      auto hit = dict.FindIri(iris[static_cast<size_t>(i)]);
+      ASSERT_TRUE(hit.has_value());
+      ASSERT_EQ(*hit, static_cast<TermId>(i));
+    }
+    ASSERT_FALSE(dict.FindIri("http://example.org/absent-iri-looked-up-cold"));
+  });
+  EXPECT_EQ(n, 0u) << "FindIri allocated " << n << " times over 5001 lookups";
+
+  n = AllocsDuring([&] {
+    TermView view = dict.term(tagged);
+    auto hit = dict.Find(view);
+    ASSERT_TRUE(hit.has_value());
+    ASSERT_EQ(*hit, tagged);
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(dict.Find(dict.term(static_cast<TermId>(i))).has_value());
+    }
+  });
+  EXPECT_EQ(n, 0u) << "Find(TermView) allocated " << n << " times";
+}
+
+TEST(DictionaryAllocTest, TermAccessorDoesNotAllocate) {
+  Dictionary dict;
+  dict.InternIri("http://example.org/one-term-that-is-quite-long-indeed");
+  uint64_t n = AllocsDuring([&] {
+    for (int i = 0; i < 1000; ++i) {
+      TermView v = dict.term(0);
+      ASSERT_FALSE(v.lexical.empty());
+    }
+  });
+  EXPECT_EQ(n, 0u) << "term() allocated " << n << " times";
+}
+
+}  // namespace
+}  // namespace rdfparams::rdf

@@ -1,0 +1,206 @@
+// Property test for the arena dictionary (format v2): against a trivial
+// reference model — canonical N-Triples string keying with the first
+// interned Term stored verbatim — the arena implementation must assign
+// the same ids, return the same terms, and render the same strings, over
+// randomized term streams that include every kind, duplicate forms, the
+// xsd:string alias, and both snapshot adoption paths (owned and
+// borrowed), with interning continuing correctly after adoption.
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/rng.h"
+
+namespace rdfparams::rdf {
+namespace {
+
+/// The old behavior in miniature: ids by first appearance of the
+/// canonical N-Triples rendering (which already suppresses ^^xsd:string
+/// and lets a language tag hide the datatype — exactly the merges
+/// TermKeyTail must reproduce structurally).
+class ReferenceDict {
+ public:
+  TermId Intern(const Term& term) {
+    std::string key = term.ToNTriples();
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    TermId id = static_cast<TermId>(terms_.size());
+    index_.emplace(std::move(key), id);
+    terms_.push_back(term);
+    return id;
+  }
+  std::optional<TermId> Find(const Term& term) const {
+    auto it = index_.find(term.ToNTriples());
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+  const Term& term(TermId id) const { return terms_[id]; }
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<Term> terms_;
+};
+
+Term RandomTerm(util::Rng* rng) {
+  uint64_t n = rng->Uniform(40);  // small pool -> plenty of duplicates
+  switch (rng->Uniform(8)) {
+    case 0: return Term::Iri("http://example.org/x" + std::to_string(n));
+    case 1: return Term::Blank("b" + std::to_string(n));
+    case 2: return Term::Literal("plain " + std::to_string(n));
+    case 3:
+      // The alias: must collapse onto the matching plain literal.
+      return Term::TypedLiteral("plain " + std::to_string(n),
+                                std::string(kXsdString));
+    case 4: return Term::Integer(static_cast<int64_t>(n) - 20);
+    case 5: return Term::Double(static_cast<double>(n) * 0.5);
+    case 6:
+      return Term::LangLiteral("tagged " + std::to_string(n),
+                               n % 2 == 0 ? "en" : "de-AT");
+    default:
+      return Term::TypedLiteral(std::to_string(n),
+                                "http://example.org/dt" +
+                                    std::to_string(n % 3));
+  }
+}
+
+void ExpectMatchesReference(const Dictionary& dict, const ReferenceDict& ref) {
+  ASSERT_EQ(dict.size(), ref.size());
+  for (TermId id = 0; id < ref.size(); ++id) {
+    EXPECT_EQ(dict.term(id), ref.term(id)) << "term " << id << " differs";
+    EXPECT_EQ(dict.ToString(id), ref.term(id).ToNTriples())
+        << "rendering of term " << id << " differs";
+    auto found = dict.Find(ref.term(id));
+    ASSERT_TRUE(found.has_value()) << "term " << id << " not found";
+    EXPECT_EQ(*found, id);
+    if (ref.term(id).is_iri()) {
+      auto by_iri = dict.FindIri(ref.term(id).lexical);
+      ASSERT_TRUE(by_iri.has_value());
+      EXPECT_EQ(*by_iri, id);
+    }
+  }
+}
+
+TEST(DictionaryPropertyTest, MatchesReferenceModelOverRandomStreams) {
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    util::Rng rng(seed);
+    Dictionary dict;
+    ReferenceDict ref;
+    for (int i = 0; i < 2000; ++i) {
+      Term t = RandomTerm(&rng);
+      TermId ref_id = ref.Intern(t);
+      EXPECT_EQ(dict.Intern(t), ref_id) << "seed " << seed << " step " << i;
+    }
+    ExpectMatchesReference(dict, ref);
+    EXPECT_FALSE(dict.Find(Term::Iri("http://example.org/absent")));
+    EXPECT_FALSE(dict.FindIri("http://example.org/absent"));
+  }
+}
+
+TEST(DictionaryPropertyTest, XsdStringAliasCollapsesBothWays) {
+  // Whichever spelling arrives first owns the id; the other resolves to it.
+  Dictionary d1;
+  TermId plain = d1.Intern(Term::Literal("v"));
+  EXPECT_EQ(d1.Intern(Term::TypedLiteral("v", std::string(kXsdString))), plain);
+  EXPECT_EQ(d1.size(), 1u);
+
+  Dictionary d2;
+  TermId typed = d2.Intern(Term::TypedLiteral("v", std::string(kXsdString)));
+  EXPECT_EQ(d2.Intern(Term::Literal("v")), typed);
+  EXPECT_EQ(d2.size(), 1u);
+  // A language tag keeps it distinct; a different datatype too.
+  EXPECT_NE(d2.Intern(Term::LangLiteral("v", "en")), typed);
+  EXPECT_NE(d2.Intern(Term::TypedLiteral("v", std::string(kXsdInteger))),
+            typed);
+}
+
+/// Serializes `src`, adopts the bytes (owned or borrowed), and checks the
+/// adopted dictionary behaves like the reference — including growing past
+/// the adopted prefix, which must copy borrowed storage before mutating.
+void RoundTripThroughAdoption(bool borrowed) {
+  util::Rng rng(77);
+  Dictionary src;
+  ReferenceDict ref;
+  for (int i = 0; i < 1200; ++i) {
+    Term t = RandomTerm(&rng);
+    ref.Intern(t);
+    src.Intern(t);
+  }
+
+  std::string arena(src.arena());
+  std::string records(src.records());
+  std::string slots(src.hash_slots());
+  Result<Dictionary> adopted = [&] {
+    if (!borrowed) {
+      return Dictionary::Adopt(arena, records, slots, src.size());
+    }
+    auto owner = std::make_shared<
+        std::tuple<std::string, std::string, std::string>>(arena, records,
+                                                           slots);
+    return Dictionary::Adopt(std::get<0>(*owner), std::get<1>(*owner),
+                             std::get<2>(*owner), src.size(), owner);
+  }();
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  EXPECT_EQ(adopted->borrowed(), borrowed);
+  ExpectMatchesReference(*adopted, ref);
+
+  // Keep interning: fresh terms extend, known terms resolve, and the
+  // reference must stay in lockstep (first Intern unborrows in place).
+  util::Rng rng2(78);
+  for (int i = 0; i < 600; ++i) {
+    Term t = RandomTerm(&rng2);
+    EXPECT_EQ(adopted->Intern(t), ref.Intern(t)) << "post-adopt step " << i;
+  }
+  EXPECT_FALSE(adopted->borrowed());
+  ExpectMatchesReference(*adopted, ref);
+}
+
+TEST(DictionaryPropertyTest, OwnedAdoptionMatchesReference) {
+  RoundTripThroughAdoption(/*borrowed=*/false);
+}
+
+TEST(DictionaryPropertyTest, BorrowedAdoptionMatchesReference) {
+  RoundTripThroughAdoption(/*borrowed=*/true);
+}
+
+TEST(DictionaryPropertyTest, FoldScratchMatchesSerialIds) {
+  // Folding chunked overlays must reproduce the ids a serial pass assigns.
+  util::Rng rng(55);
+  std::vector<Term> stream;
+  for (int i = 0; i < 900; ++i) stream.push_back(RandomTerm(&rng));
+
+  ReferenceDict serial;
+  for (const Term& t : stream) serial.Intern(t);
+
+  Dictionary base;
+  for (size_t i = 0; i < 300; ++i) base.Intern(stream[i]);  // chunk 0
+  for (size_t chunk = 1; chunk < 3; ++chunk) {
+    ScratchDictionary overlay(base);
+    std::vector<TermId> overlay_ids;
+    for (size_t i = chunk * 300; i < (chunk + 1) * 300; ++i) {
+      overlay_ids.push_back(overlay.Intern(stream[i]));
+    }
+    std::vector<TermId> mapping = base.FoldScratch(overlay);
+    for (size_t i = 0; i < overlay_ids.size(); ++i) {
+      TermId id = overlay_ids[i];
+      TermId global = id < overlay.base_size()
+                          ? id
+                          : mapping[id - overlay.base_size()];
+      EXPECT_EQ(global, *serial.Find(stream[chunk * 300 + i]));
+    }
+  }
+  ASSERT_EQ(base.size(), serial.size());
+  for (TermId id = 0; id < base.size(); ++id) {
+    EXPECT_EQ(base.term(id), serial.term(id)) << "folded term " << id;
+  }
+}
+
+}  // namespace
+}  // namespace rdfparams::rdf

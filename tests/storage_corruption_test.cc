@@ -14,6 +14,7 @@
 #include "rdf/triple_store.h"
 #include "storage/format.h"
 #include "storage/snapshot.h"
+#include "util/mmap_file.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -91,6 +92,19 @@ class StorageCorruptionTest : public ::testing::Test {
                   code == StatusCode::kInvalidArgument)
           << what << ": unexpected status " << opened.status().ToString();
     }
+    std::remove(path.c_str());
+  }
+
+  /// Opening `bytes` through the zero-copy path must fail cleanly too.
+  static void ExpectMmapOpenFails(const std::string& bytes, const char* what,
+                                  bool verify_file_checksum) {
+    if (!util::MmapFile::Supported()) return;
+    std::string path = WriteScratch(bytes);
+    OpenOptions options;
+    options.mmap = MmapMode::kOn;
+    options.verify_file_checksum = verify_file_checksum;
+    auto opened = Snapshot::Open(path, options);
+    EXPECT_FALSE(opened.ok()) << what << ": mmap open missed the corruption";
     std::remove(path.c_str());
   }
 
@@ -207,6 +221,104 @@ TEST_F(StorageCorruptionTest, SwappedPagesAreDetected) {
   corrupt.replace(1 * kPageSize, kPageSize, corrupt, 2 * kPageSize, kPageSize);
   corrupt.replace(2 * kPageSize, kPageSize, tmp);
   ExpectOpenFails(corrupt, "swapped pages 1 and 2");
+}
+
+// ---------------------------------------------------------------------------
+// v2 raw sections (dictionary arena / records / hash): no per-page CRC,
+// so damage there must be caught by the whole-file pass, by the section
+// CRC when that pass is off, and identically through the mmap path.
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageCorruptionTest, RawSectionFlipsAreDetectedInBothModes) {
+  auto info = Snapshot::Inspect(*path_);
+  ASSERT_TRUE(info.ok());
+  for (uint32_t kind : {static_cast<uint32_t>(kSectionDictArena),
+                        static_cast<uint32_t>(kSectionDictRecords),
+                        static_cast<uint32_t>(kSectionDictHash)}) {
+    const SectionInfo* s = info->header.FindSection(kind);
+    ASSERT_NE(s, nullptr) << "fixture is not a v2 snapshot";
+    ASSERT_GT(s->byte_length, 0u);
+    for (uint64_t offset : {uint64_t{0}, s->byte_length / 2,
+                            s->byte_length - 1}) {
+      std::string corrupt = *image_;
+      size_t pos = s->first_page * kPageSize + offset;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x04);
+      std::string what =
+          "raw section " + std::to_string(kind) + " flip at " +
+          std::to_string(offset);
+      // Whole-file pass on: caught before any adoption.
+      ExpectOpenFails(corrupt, what.c_str());
+      ExpectMmapOpenFails(corrupt, what.c_str(),
+                          /*verify_file_checksum=*/true);
+      // Whole-file pass off: the per-section CRC is the last line.
+      ExpectOpenFails(corrupt, what.c_str(), /*verify_file_checksum=*/false);
+      ExpectMmapOpenFails(corrupt, what.c_str(),
+                          /*verify_file_checksum=*/false);
+    }
+  }
+}
+
+TEST_F(StorageCorruptionTest, SectionCrcFieldFlipIsDetected) {
+  // Damage the stored CRC itself (in the header's section table): the
+  // header page CRC catches it with or without the whole-file pass.
+  auto info = Snapshot::Inspect(*path_);
+  ASSERT_TRUE(info.ok());
+  std::string corrupt = *image_;
+  // The header payload is position-dependent, so flip a byte in the middle
+  // of the header page past the fixed prologue.
+  size_t pos = kPageCrcBytes + 64;
+  corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x80);
+  ExpectOpenFails(corrupt, "header section-table flip");
+  ExpectOpenFails(corrupt, "header section-table flip",
+                  /*verify_file_checksum=*/false);
+}
+
+TEST_F(StorageCorruptionTest, TruncationIsDetectedThroughMmapToo) {
+  const size_t pages = image_->size() / kPageSize;
+  for (size_t keep : {pages / 2, pages - 1}) {
+    ExpectMmapOpenFails(image_->substr(0, keep * kPageSize),
+                        ("mmap truncation to " + std::to_string(keep)).c_str(),
+                        /*verify_file_checksum=*/true);
+    ExpectMmapOpenFails(image_->substr(0, keep * kPageSize),
+                        ("mmap truncation to " + std::to_string(keep)).c_str(),
+                        /*verify_file_checksum=*/false);
+  }
+}
+
+TEST_F(StorageCorruptionTest, V1ImageCorruptionStillDetected) {
+  // The legacy byte-stream dictionary keeps its per-page CRCs; a flip in
+  // any v1 page must fail in both verification modes.
+  util::Rng rng(7);
+  rdf::Dictionary dict;
+  std::vector<rdf::TermId> ids;
+  for (size_t i = 0; i < 30; ++i) {
+    ids.push_back(dict.InternIri("http://example.org/v1/e" +
+                                 std::to_string(i)));
+  }
+  rdf::TripleStore store;
+  for (size_t i = 0; i < 200; ++i) {
+    store.Add(ids[rng.Uniform(ids.size())], ids[rng.Uniform(ids.size())],
+              ids[rng.Uniform(ids.size())]);
+  }
+  store.Finalize();
+  std::string path = WriteScratch("");
+  SaveOptions options;
+  options.page_size = kPageSize;
+  options.format_version = 1;
+  ASSERT_TRUE(Snapshot::Save(dict, store, "v1-meta", path, options).ok());
+  auto bytes = util::ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::remove(path.c_str());
+
+  const size_t pages = bytes->size() / kPageSize;
+  for (size_t page = 0; page < pages; ++page) {
+    std::string corrupt = *bytes;
+    size_t offset = page * kPageSize + kPageCrcBytes + 3;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x20);
+    ExpectOpenFails(corrupt, ("v1 flip page " + std::to_string(page)).c_str());
+    ExpectOpenFails(corrupt, ("v1 flip page " + std::to_string(page)).c_str(),
+                    /*verify_file_checksum=*/false);
+  }
 }
 
 TEST_F(StorageCorruptionTest, InspectRejectsCorruptionToo) {

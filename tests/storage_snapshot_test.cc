@@ -20,6 +20,7 @@
 #include "server/protocol.h"
 #include "server/workbench.h"
 #include "storage/snapshot.h"
+#include "util/mmap_file.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -310,6 +311,138 @@ TEST(StorageSnapshot, BareSnapshotRefusesToServeWorkload) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Open-mode differentials: the mmap (borrowed-frame, zero-copy) path and
+// the copied path must restore identical stores at every page size, and a
+// v1 file must keep opening through the re-intern fallback.
+// ---------------------------------------------------------------------------
+
+TEST(StorageSnapshot, MmapAndCopiedOpensAreIdentical) {
+  if (!util::MmapFile::Supported()) GTEST_SKIP() << "no mmap platform";
+  for (uint32_t page_size : {512u, 2048u, 4096u}) {
+    util::Rng rng(31 + page_size);
+    rdf::Dictionary dict;
+    std::vector<rdf::TermId> ids;
+    for (size_t i = 0; i < 150; ++i) {
+      ids.push_back(dict.Intern(RandomTerm(&rng, i)));
+    }
+    rdf::TripleStore store;
+    for (size_t i = 0; i < 1500; ++i) {
+      store.Add(ids[rng.Uniform(ids.size())], ids[rng.Uniform(ids.size())],
+                ids[rng.Uniform(ids.size())]);
+    }
+    store.BuildAllIndexes();
+    store.Finalize();
+
+    std::string path = TmpPath("mmap_diff_" + std::to_string(page_size) +
+                               ".snap");
+    SaveOptions save;
+    save.page_size = page_size;
+    ASSERT_TRUE(Snapshot::Save(dict, store, "m", path, save).ok());
+
+    OpenOptions copied;
+    copied.mmap = MmapMode::kOff;
+    OpenStats copied_stats;
+    copied.stats = &copied_stats;
+    auto a = Snapshot::Open(path, copied);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    EXPECT_FALSE(copied_stats.mmap_used);
+    EXPECT_EQ(copied_stats.format_version, kFormatVersion);
+
+    OpenOptions mapped;
+    mapped.mmap = MmapMode::kOn;
+    OpenStats mapped_stats;
+    mapped.stats = &mapped_stats;
+    auto b = Snapshot::Open(path, mapped);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_TRUE(mapped_stats.mmap_used);
+    EXPECT_TRUE(b->dict.borrowed());
+
+    ExpectDictsIdentical(a->dict, b->dict);
+    ExpectStoresIdentical(a->store, b->store);
+    ExpectDictsIdentical(dict, b->dict);
+    ExpectStoresIdentical(store, b->store);
+    EXPECT_EQ(a->app_meta, b->app_meta);
+
+    // Same with the whole-file pass off: the raw sections then rely on
+    // their own CRCs, and the result must not change.
+    OpenOptions unverified = mapped;
+    unverified.verify_file_checksum = false;
+    unverified.stats = nullptr;
+    auto c = Snapshot::Open(path, unverified);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    ExpectDictsIdentical(a->dict, c->dict);
+    ExpectStoresIdentical(a->store, c->store);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(StorageSnapshot, V1SaveStillRoundTrips) {
+  util::Rng rng(41);
+  rdf::Dictionary dict;
+  std::vector<rdf::TermId> ids;
+  for (size_t i = 0; i < 80; ++i) {
+    ids.push_back(dict.Intern(RandomTerm(&rng, i)));
+  }
+  rdf::TripleStore store;
+  for (size_t i = 0; i < 700; ++i) {
+    store.Add(ids[rng.Uniform(ids.size())], ids[rng.Uniform(ids.size())],
+              ids[rng.Uniform(ids.size())]);
+  }
+  store.Finalize();
+
+  std::string path = TmpPath("v1_roundtrip.snap");
+  SaveOptions save;
+  save.format_version = 1;
+  ASSERT_TRUE(Snapshot::Save(dict, store, "legacy", path, save).ok());
+
+  OpenStats stats;
+  OpenOptions options;
+  options.stats = &stats;
+  auto opened = Snapshot::Open(path, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(stats.format_version, 1u);
+  EXPECT_FALSE(opened->dict.borrowed());  // v1 always re-interns
+  ExpectDictsIdentical(dict, opened->dict);
+  ExpectStoresIdentical(store, opened->store);
+  std::remove(path.c_str());
+}
+
+// The checked-in fixture was written by the format-v1 writer as it
+// existed before the v2 sections landed — a genuine old file, not one
+// this build produced. It must keep opening with identical contents, and
+// today's v1 writer must still reproduce it bit for bit.
+TEST(StorageSnapshot, CheckedInV1FixtureOpensByteIdentically) {
+  const std::string fixture =
+      std::string(RDFPARAMS_TESTDATA_DIR) + "/v1_bsbm_p120.snap";
+
+  server::WorkbenchConfig config;
+  config.products = 120;
+  auto fresh = server::BuildWorkbench(config);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+  auto opened = server::OpenWorkbenchSnapshot(fixture);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ExpectDictsIdentical(fresh->dict(), opened->dict());
+  ExpectStoresIdentical(fresh->store(), opened->store());
+  EXPECT_EQ(PipelineOutput(*fresh, 4), PipelineOutput(*opened, 4));
+
+  // Writer stability: saving the same workbench at v1 today yields the
+  // fixture's exact bytes (the save -> open -> save fixpoint, across
+  // format generations).
+  std::string resaved = TmpPath("v1_fixture_resave.snap");
+  storage::SaveOptions save;
+  save.page_size = 512;
+  save.format_version = 1;
+  ASSERT_TRUE(server::SaveWorkbenchSnapshot(*fresh, resaved, save).ok());
+  auto bytes_fixture = util::ReadFileToString(fixture);
+  auto bytes_resaved = util::ReadFileToString(resaved);
+  ASSERT_TRUE(bytes_fixture.ok() && bytes_resaved.ok());
+  EXPECT_TRUE(*bytes_fixture == *bytes_resaved)
+      << "v1 writer output drifted from the checked-in fixture";
+  std::remove(resaved.c_str());
+}
+
 TEST(StorageSnapshot, InspectReportsLayout) {
   server::WorkbenchConfig config;
   config.products = 300;
@@ -320,9 +453,15 @@ TEST(StorageSnapshot, InspectReportsLayout) {
   auto info = Snapshot::Inspect(path);
   ASSERT_TRUE(info.ok()) << info.status().ToString();
   EXPECT_EQ(info->header.page_size, kDefaultPageSize);
-  ASSERT_NE(info->header.FindSection(kSectionDictionary), nullptr);
-  EXPECT_EQ(info->header.FindSection(kSectionDictionary)->item_count,
-            fresh->dict().size());
+  EXPECT_EQ(info->header.version, kFormatVersion);
+  // v2 carries the raw dictionary triple instead of the v1 byte stream.
+  EXPECT_EQ(info->header.FindSection(kSectionDictionary), nullptr);
+  ASSERT_NE(info->header.FindSection(kSectionDictArena), nullptr);
+  ASSERT_NE(info->header.FindSection(kSectionDictHash), nullptr);
+  const SectionInfo* records = info->header.FindSection(kSectionDictRecords);
+  ASSERT_NE(records, nullptr);
+  EXPECT_EQ(records->item_count, fresh->dict().size());
+  EXPECT_EQ(records->byte_length, fresh->dict().size() * rdf::kTermRecordBytes);
   ASSERT_NE(info->header.FindSection(kSectionAppMeta), nullptr);
   const SectionInfo* spo =
       info->header.FindSection(SectionKindForIndex(rdf::IndexOrder::kSPO));

@@ -1,0 +1,74 @@
+// MmapFile: the read-only whole-file mapping under zero-copy snapshot
+// opens. Checks the mapped bytes match the file exactly, that the mapping
+// outlives the Map() scope through its shared_ptr (the property the
+// storage layer leans on), and that the error paths are clean.
+#include "util/mmap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace rdfparams::util {
+namespace {
+
+std::string WriteTemp(const std::string& name, std::string_view bytes) {
+  std::string path = ::testing::TempDir() + "rdfparams_mmap_" + name;
+  std::ofstream os(path, std::ios::trunc | std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.close();
+  return path;
+}
+
+TEST(MmapFileTest, MapsWholeFileByteExactly) {
+  if (!MmapFile::Supported()) GTEST_SKIP() << "no mmap on this platform";
+  std::string bytes(70000, '\0');
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>((i * 131) & 0xFF);
+  }
+  std::string path = WriteTemp("exact.bin", bytes);
+  auto mapped = MmapFile::Map(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ((*mapped)->size(), bytes.size());
+  EXPECT_EQ((*mapped)->view(), bytes);
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, MappingOutlivesScopeViaSharedPtr) {
+  if (!MmapFile::Supported()) GTEST_SKIP() << "no mmap on this platform";
+  std::string path = WriteTemp("outlive.bin", "persistent payload");
+  std::string_view view;
+  std::shared_ptr<const MmapFile> keeper;
+  {
+    auto mapped = MmapFile::Map(path);
+    ASSERT_TRUE(mapped.ok());
+    keeper = *mapped;
+    view = keeper->view();
+  }
+  // The Result and every other owner are gone; the view must stay valid.
+  EXPECT_EQ(view, "persistent payload");
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, EmptyFileMapsToEmptyView) {
+  if (!MmapFile::Supported()) GTEST_SKIP() << "no mmap on this platform";
+  std::string path = WriteTemp("empty.bin", "");
+  auto mapped = MmapFile::Map(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ((*mapped)->size(), 0u);
+  EXPECT_TRUE((*mapped)->view().empty());
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, MissingFileIsCleanIoError) {
+  if (!MmapFile::Supported()) GTEST_SKIP() << "no mmap on this platform";
+  auto mapped = MmapFile::Map(::testing::TempDir() + "rdfparams_mmap_nope");
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace rdfparams::util

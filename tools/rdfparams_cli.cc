@@ -100,6 +100,8 @@ struct Options {
   std::string input;
   std::string snapshot;
   int64_t page_size = storage::kDefaultPageSize;
+  int64_t format = storage::kFormatVersion;
+  std::string mmap = "auto";  // off | on | auto
   // serve / client
   std::string host = "127.0.0.1";
   int64_t port = 0;
@@ -115,12 +117,25 @@ using Context = server::Workbench;
 using server::MakeDomain;
 using server::PickTemplate;
 
+Result<storage::MmapMode> ParseMmapMode(const std::string& name) {
+  if (name == "off") return storage::MmapMode::kOff;
+  if (name == "on") return storage::MmapMode::kOn;
+  if (name == "auto") return storage::MmapMode::kAuto;
+  return Status::InvalidArgument("--mmap must be off, on, or auto (got '" +
+                                 name + "')");
+}
+
 Result<Context> MakeContext(const Options& opt) {
   if (!opt.snapshot.empty()) {
     // Fast path: restore the saved world instead of regenerating it. The
     // restored workbench is byte-identical to the generated one, so every
-    // downstream subcommand produces the same output either way.
-    return server::OpenWorkbenchSnapshot(opt.snapshot);
+    // downstream subcommand produces the same output either way — in
+    // copied and mmap'd open modes alike.
+    RDFPARAMS_ASSIGN_OR_RETURN(storage::MmapMode mode,
+                               ParseMmapMode(opt.mmap));
+    storage::OpenOptions options;
+    options.mmap = mode;
+    return server::OpenWorkbenchSnapshot(opt.snapshot, options);
   }
   server::WorkbenchConfig config;
   config.workload = opt.workload;
@@ -205,6 +220,7 @@ int CmdSave(const Options& opt) {
   }
   storage::SaveOptions options;
   options.page_size = static_cast<uint32_t>(opt.page_size);
+  options.format_version = static_cast<uint32_t>(opt.format);
 
   if (!opt.input.empty()) {
     // Raw N-Triples load -> bare snapshot (store + dictionary, no workload
@@ -251,7 +267,8 @@ int CmdOpen(const Options& opt) {
   }
   auto info = storage::Snapshot::Inspect(path);
   if (!info.ok()) return Fail(info.status());
-  std::printf("%s: %llu pages of %u bytes (%s), checksums OK\n", path.c_str(),
+  std::printf("%s: format v%u, %llu pages of %u bytes (%s), checksums OK\n",
+              path.c_str(), info->header.version,
               static_cast<unsigned long long>(info->header.page_count),
               info->header.page_size,
               util::FormatCount(info->file_size).c_str());
@@ -260,6 +277,12 @@ int CmdOpen(const Options& opt) {
     std::string name;
     if (s.kind == storage::kSectionDictionary) {
       name = "dictionary";
+    } else if (s.kind == storage::kSectionDictArena) {
+      name = "dict arena";
+    } else if (s.kind == storage::kSectionDictRecords) {
+      name = "dict records";
+    } else if (s.kind == storage::kSectionDictHash) {
+      name = "dict hash";
     } else if (s.kind == storage::kSectionAppMeta) {
       name = "app meta";
     } else {
@@ -272,8 +295,21 @@ int CmdOpen(const Options& opt) {
   }
   std::printf("%s", table.ToText().c_str());
 
-  auto snap = storage::Snapshot::Open(path);
+  auto mode = ParseMmapMode(opt.mmap);
+  if (!mode.ok()) return Fail(mode.status());
+  storage::OpenOptions open_options;
+  open_options.mmap = *mode;
+  storage::OpenStats stats;
+  open_options.stats = &stats;
+  auto snap = storage::Snapshot::Open(path, open_options);
   if (!snap.ok()) return Fail(snap.status());
+  std::printf("open path: %s; phases: checksum %s, dictionary %s, "
+              "index runs %s, meta %s\n",
+              stats.mmap_used ? "mmap (zero-copy)" : "copied",
+              util::FormatDuration(stats.checksum_seconds).c_str(),
+              util::FormatDuration(stats.dict_seconds).c_str(),
+              util::FormatDuration(stats.runs_seconds).c_str(),
+              util::FormatDuration(stats.meta_seconds).c_str());
   std::printf("restored: %s triples, %zu terms, %s indexes, %s\n",
               util::FormatCount(snap->store.size()).c_str(),
               snap->dict.size(),
@@ -572,6 +608,9 @@ int CmdHelp(const char* prog) {
       "  --snapshot=FILE.snap    open a saved snapshot instead of\n"
       "                          regenerating (classify/sample/run/serve/\n"
       "                          describe; byte-identical results)\n"
+      "  --mmap=auto|on|off      snapshot open mode: memory-map and borrow\n"
+      "                          pages/dictionary bytes (auto falls back to\n"
+      "                          copied reads; identical output either way)\n"
       "  --query=N               template number within the workload\n"
       "  --products=N --persons=N --seed=N    dataset shape (deterministic)\n"
       "  --threads=N             curation worker threads (0 = all cores;\n"
@@ -602,10 +641,11 @@ int CmdHelp(const char* prog) {
       "  sample:   --mode=uniform|step|class|class:K --n=N --out=FILE.tsv\n"
       "  run:      --bindings=FILE.tsv | --n=N (uniform fallback)\n"
       "  load:     --input=FILE.nt --all-indexes=B\n"
-      "  save:     --out=FILE.snap --page-size=N, plus either the dataset\n"
-      "            flags (workload snapshot) or --input=FILE.nt (bare\n"
-      "            store, no workload metadata)\n"
-      "  open:     --input=FILE.snap (verify checksums, print layout)\n"
+      "  save:     --out=FILE.snap --page-size=N --format=1|2, plus either\n"
+      "            the dataset flags (workload snapshot) or --input=FILE.nt\n"
+      "            (bare store, no workload metadata)\n"
+      "  open:     --input=FILE.snap --mmap=auto|on|off (verify checksums,\n"
+      "            print layout, open-phase timings)\n"
       "  serve:    --host=H --port=N (0 = ephemeral, printed on stdout)\n"
       "            --threads=N --max-conns=N --queue-depth=N\n"
       "  client:   --host=H --port=N --op=ping|classify|run|explain|shutdown\n"
@@ -668,6 +708,12 @@ int main(int argc, char** argv) {
   flags.AddInt64("page_size", &opt.page_size,
                  "snapshot page size in bytes for `save` (power of two, "
                  "512..1M)");
+  flags.AddInt64("format", &opt.format,
+                 "snapshot format version for `save` (1 = legacy byte-stream "
+                 "dictionary, 2 = raw arena/records/hash)");
+  flags.AddString("mmap", &opt.mmap,
+                  "snapshot open mode: auto (mmap when available), on "
+                  "(require mmap), off (always copy)");
   flags.AddString("host", &opt.host, "bind/connect address for serve/client");
   flags.AddInt64("port", &opt.port,
                  "TCP port for serve/client (0 = ephemeral for serve)");
